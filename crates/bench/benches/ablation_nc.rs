@@ -1,0 +1,38 @@
+//! Ablation: the coarse matrix size `nc` (§III-D). The paper argues
+//! `nc = 2J` over `nc = J` to lessen Wang's factor-4 grid-vs-arbitrary gap;
+//! `nc = 4J` costs more regionalization time for little balance gain. This
+//! bench measures build time per `nc_factor`; the accompanying balance
+//! quality is printed once to stderr.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ewh_bench::bcb;
+use ewh_core::{build_csio, HistogramParams, Key};
+
+fn keys_of(ts: &[ewh_core::Tuple]) -> Vec<Key> {
+    ts.iter().map(|t| t.key).collect()
+}
+
+fn bench_nc_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_nc_factor");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let w = bcb(3, 0.5, 7);
+    let (k1, k2) = (keys_of(&w.r1), keys_of(&w.r2));
+    for factor in [1usize, 2, 4] {
+        let params = HistogramParams { j: 16, nc_factor: factor, threads: 2, ..Default::default() };
+        let scheme = build_csio(&k1, &k2, &w.cond, &w.cost, &params);
+        eprintln!(
+            "nc_factor={factor}: est_max_weight={} regions={}",
+            scheme.build.est_max_weight,
+            scheme.num_regions()
+        );
+        group.bench_with_input(BenchmarkId::new("build_csio", factor), &factor, |b, _| {
+            b.iter(|| build_csio(&k1, &k2, &w.cond, &w.cost, &params).build.est_max_weight);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nc_factor);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: the sample matrix size `ns` against the Lemma 3.1 rule
+//! `ns = sqrt(2nJ)`. Halving ns coarsens MS cells (weightier cells → worse
+//! achievable balance); doubling it pays more sampling and coarsening time
+//! for marginal gains. Build time measured here; balance quality printed to
+//! stderr once per setting.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ewh_bench::bcb;
+use ewh_core::{build_csio, HistogramParams, Key};
+
+fn keys_of(ts: &[ewh_core::Tuple]) -> Vec<Key> {
+    ts.iter().map(|t| t.key).collect()
+}
+
+fn bench_ns_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ns_rule");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let w = bcb(3, 0.5, 7);
+    let (k1, k2) = (keys_of(&w.r1), keys_of(&w.r2));
+    let n = k1.len().max(k2.len()) as u64;
+    let rule = HistogramParams::recommended_ns(n, 16);
+    for (label, ns) in [("half", rule / 2), ("rule", rule), ("double", rule * 2)] {
+        let params = HistogramParams {
+            j: 16,
+            ns_override: Some(ns),
+            threads: 2,
+            ..Default::default()
+        };
+        let scheme = build_csio(&k1, &k2, &w.cond, &w.cost, &params);
+        eprintln!(
+            "ns={ns} ({label}): est_max_weight={} so={}",
+            scheme.build.est_max_weight, scheme.build.so
+        );
+        group.bench_with_input(BenchmarkId::new("build_csio", label), &ns, |b, _| {
+            b.iter(|| build_csio(&k1, &k2, &w.cond, &w.cost, &params).build.est_max_weight);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ns_rule);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: the sort + sliding-window local join across conditions
+//! and output volumes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ewh_core::{JoinCondition, Tuple};
+use ewh_exec::{local_join, OutputWork};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|i| Tuple::new(rng.gen_range(0..domain), i as u64)).collect()
+}
+
+fn bench_local_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_join");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let n = 100_000;
+    for beta in [0i64, 2, 8] {
+        let cond = JoinCondition::Band { beta };
+        group.bench_with_input(BenchmarkId::new("band_touch", beta), &beta, |b, _| {
+            let r1 = tuples(n, n as i64, 11);
+            let r2 = tuples(n, n as i64, 12);
+            b.iter_batched(
+                || (r1.clone(), r2.clone()),
+                |(mut a, mut b2)| local_join(&mut a, &mut b2, &cond, OutputWork::Touch).0,
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.bench_function("equi_count", |b| {
+        let cond = JoinCondition::Equi;
+        let r1 = tuples(n, n as i64 / 4, 13);
+        let r2 = tuples(n, n as i64 / 4, 14);
+        b.iter_batched(
+            || (r1.clone(), r2.clone()),
+            |(mut a, mut b2)| local_join(&mut a, &mut b2, &cond, OutputWork::Count).0,
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_join);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: the sampling substrate — Stream-Sample (sequential vs
+//! parallel), equi-depth histogram construction, alias tables and weighted
+//! reservoirs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ewh_sampling::{
+    bernoulli_sample, parallel_stream_sample, stream_sample, AliasTable, EquiDepthHistogram,
+    KeyedCounts, WeightedReservoir,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn keys(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..n as i64 / 4)).collect()
+}
+
+fn bench_stream_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_sample");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let r1 = keys(100_000, 1);
+    let r2 = keys(100_000, 2);
+    let jr = |k: i64| (k - 2, k + 2);
+    let d2equi = KeyedCounts::from_keys(r2.clone());
+    group.bench_function("sequential_so2000", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| stream_sample(&r1, &d2equi, jr, 2000, &mut rng).m);
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("parallel_so2000", threads), &threads, |b, &t| {
+            b.iter(|| parallel_stream_sample(&r1, &r2, jr, 2000, t, 4).m);
+        });
+    }
+    group.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_structures");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let ks = keys(200_000, 5);
+    group.bench_function("bernoulli_1pct", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        b.iter(|| bernoulli_sample(&ks, 0.01, &mut rng).len());
+    });
+    group.bench_function("equi_depth_1000_buckets", |b| {
+        b.iter(|| {
+            let mut sample = ks[..20_000].to_vec();
+            EquiDepthHistogram::from_sample(&mut sample, 1000).num_buckets()
+        });
+    });
+    let weights: Vec<u64> = (1..10_000u64).collect();
+    group.bench_function("alias_build_and_1k_draws", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let at = AliasTable::new(&weights).unwrap();
+            (0..1000).map(|_| at.sample(&mut rng)).sum::<usize>()
+        });
+    });
+    group.bench_function("weighted_reservoir_100k_offers", |b| {
+        let mut rng = SmallRng::seed_from_u64(8);
+        b.iter(|| {
+            let mut r = WeightedReservoir::new(1024);
+            for (i, &k) in ks.iter().take(100_000).enumerate() {
+                r.offer(i as u64, (k as u64 % 16) + 1, &mut rng);
+            }
+            r.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_sample, bench_structures);
+criterion_main!(benches);

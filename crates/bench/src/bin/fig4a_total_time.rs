@@ -1,0 +1,50 @@
+//! Figure 4a + 4b: total execution time (stats + join) for all eight joins
+//! under CI / CSI / CSIO, plus the CSIO-normalized view against ρoi.
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin fig4a_total_time
+//!         [--scale 1.0] [--j 32] [--seed S] [--csi-p P]`
+
+use ewh_bench::{fig4a_workloads, print_table, rho_oi, run_all_schemes, RunConfig};
+
+fn main() {
+    let rc = RunConfig::from_args();
+    eprintln!(
+        "fig4a: scale={} J={} threads={} (paper: SF160 / J=32)",
+        rc.scale, rc.j, rc.threads
+    );
+
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    for w in fig4a_workloads(rc.scale, rc.seed) {
+        let runs = run_all_schemes(&w, &rc);
+        let rho = rho_oi(&w, &runs[0]);
+        let csio_total = runs[2].total_sim_secs;
+        for run in &runs {
+            rows_a.push(vec![
+                w.name.clone(),
+                format!("{rho:.2}"),
+                run.kind.to_string(),
+                format!("{:.3}", run.stats_sim_secs),
+                format!("{:.3}", run.join.sim_join_secs),
+                format!("{:.3}", run.total_sim_secs),
+                format!("{:.3}", run.join.wall_join_secs),
+                if run.join.overflowed { "MEM-OVERFLOW" } else { "" }.to_string(),
+            ]);
+            rows_b.push(vec![
+                format!("{rho:.2}"),
+                run.kind.to_string(),
+                format!("{:.2}", run.total_sim_secs / csio_total),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 4a: total execution time (simulated seconds; stats + join)",
+        &["join", "rho_oi", "scheme", "stats_s", "join_s", "total_s", "wall_join_s", "note"],
+        &rows_a,
+    );
+    print_table(
+        "Fig 4b: total time normalized to CSIO, by output/input ratio",
+        &["rho_oi", "scheme", "normalized_total"],
+        &rows_b,
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 4c: cluster memory consumption (and network volume) for B_ICD,
+//! B_CB-3 and BE_OCD under the three schemes, with the paper's
+//! memory-overflow annotation.
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin fig4c_memory [--scale 1.0] [--j 32]`
+
+use ewh_bench::{bcb, beocd, beocd_gamma, bicd, mib, print_table, run_all_schemes, RunConfig};
+
+fn main() {
+    let rc = RunConfig::from_args();
+    eprintln!(
+        "fig4c: scale={} J={} capacity={:.1} MiB",
+        rc.scale,
+        rc.j,
+        mib(rc.cluster_capacity_bytes())
+    );
+
+    let workloads = vec![
+        bicd(rc.scale, rc.seed),
+        bcb(3, rc.scale, rc.seed),
+        beocd(rc.scale, beocd_gamma(rc.scale), rc.seed),
+    ];
+    let mut rows = Vec::new();
+    for w in workloads {
+        for run in run_all_schemes(&w, &rc) {
+            rows.push(vec![
+                w.name.clone(),
+                run.kind.to_string(),
+                format!("{:.2}", mib(run.join.mem_bytes)),
+                format!("{}", run.join.network_tuples),
+                if run.join.overflowed { "MEM-OVERFLOW" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 4c: cluster memory consumption",
+        &["join", "scheme", "mem_mib", "network_tuples", "note"],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! Figures 4d + 4e: weak scalability of B_CB-3 — data size and workers grow
+//! together (paper: 96M/16 → 192M/32 → 384M/64; here the same ratios at
+//! 1/1000 scale).
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin fig4d_scalability_bcb [--scale 1.0]`
+
+use ewh_bench::{bcb, mib, print_table, run_all_schemes, RunConfig};
+
+fn main() {
+    let base = RunConfig::from_args();
+    let mut time_rows = Vec::new();
+    let mut mem_rows = Vec::new();
+    for (mult, j) in [(0.5, 16usize), (1.0, 32), (2.0, 64)] {
+        let rc = RunConfig { scale: base.scale * mult, j, ..base };
+        // The cluster (and its memory capacity) is fixed across the sweep, as
+        // in the paper's 10-blade testbed.
+        let capacity = RunConfig { scale: base.scale, ..base }.cluster_capacity_bytes();
+        let w = bcb(3, rc.scale, rc.seed);
+        let setting = format!("{}k/{j}", w.n_input() / 1000);
+        for mut run in run_all_schemes(&w, &rc) {
+            run.join.overflowed = run.join.mem_bytes > capacity;
+            time_rows.push(vec![
+                setting.clone(),
+                run.kind.to_string(),
+                format!("{:.3}", run.stats_sim_secs),
+                format!("{:.3}", run.join.sim_join_secs),
+                format!("{:.3}", run.total_sim_secs),
+                if run.join.overflowed { "MEM-OVERFLOW" } else { "" }.to_string(),
+            ]);
+            mem_rows.push(vec![
+                setting.clone(),
+                run.kind.to_string(),
+                format!("{:.2}", mib(run.join.mem_bytes)),
+                if run.join.overflowed { "MEM-OVERFLOW" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 4d: BCB-3 scalability — total execution time",
+        &["input/J", "scheme", "stats_s", "join_s", "total_s", "note"],
+        &time_rows,
+    );
+    print_table(
+        "Fig 4e: BCB-3 scalability — cluster memory",
+        &["input/J", "scheme", "mem_mib", "note"],
+        &mem_rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Figures 4f + 4g: weak scalability of BE_OCD (paper: SF 80/16 → SF 160/32
+//! → SF 320/64, with γ adjusted per scale as in Appendix B). The fixed
+//! customer population makes the output grow superlinearly with the input —
+//! the paper's input ×2.92 → output ×14.46 regime.
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin fig4f_scalability_beocd [--scale 1.0]`
+
+use ewh_bench::{beocd, beocd_gamma, mib, print_table, rho_oi, run_all_schemes, RunConfig};
+
+fn main() {
+    let base = RunConfig::from_args();
+    let mut time_rows = Vec::new();
+    let mut mem_rows = Vec::new();
+    for (mult, j) in [(0.5, 16usize), (1.0, 32), (2.0, 64)] {
+        let rc = RunConfig { scale: base.scale * mult, j, ..base };
+        let w = beocd(rc.scale, beocd_gamma(rc.scale), rc.seed);
+        let setting = format!("{:.1}k/{j}", w.n_input() as f64 / 1000.0);
+        for run in run_all_schemes(&w, &rc) {
+            time_rows.push(vec![
+                setting.clone(),
+                run.kind.to_string(),
+                format!("{:.2}", rho_oi(&w, &run)),
+                format!("{:.3}", run.stats_sim_secs),
+                format!("{:.3}", run.join.sim_join_secs),
+                format!("{:.3}", run.total_sim_secs),
+            ]);
+            mem_rows.push(vec![
+                setting.clone(),
+                run.kind.to_string(),
+                format!("{:.2}", mib(run.join.mem_bytes)),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 4f: BEOCD scalability — total execution time",
+        &["input/J", "scheme", "rho_oi", "stats_s", "join_s", "total_s"],
+        &time_rows,
+    );
+    print_table(
+        "Fig 4g: BEOCD scalability — cluster memory",
+        &["input/J", "scheme", "mem_mib"],
+        &mem_rows,
+    );
+}

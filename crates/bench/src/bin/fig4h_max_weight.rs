@@ -1,0 +1,113 @@
+//! Figure 4h: maximum region weight per scheme, computed *after* execution
+//! from the realized per-worker loads, plus CSIO's pre-execution estimate
+//! (`CSIO-est`) — the accuracy validation of the cost model and of the
+//! equi-weight histogram. Also prints the Table I verdicts and, with
+//! `--per-region`, the per-region weight histogram of Fig. 2a.
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin fig4h_max_weight
+//!         [--scale 1.0] [--j 32] [--per-region]`
+
+use ewh_bench::{bcb, beocd, beocd_gamma, bicd, print_table, run_all_schemes, RunConfig};
+use ewh_core::SchemeKind;
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let per_region = std::env::args().any(|a| a == "--per-region");
+
+    let workloads = vec![
+        bicd(rc.scale, rc.seed),
+        bcb(3, rc.scale, rc.seed),
+        beocd(rc.scale, beocd_gamma(rc.scale), rc.seed),
+    ];
+    let mut rows = Vec::new();
+    // Per scheme: max-weight ratio vs the per-join best, on the
+    // input-dominated and output-dominated extremes.
+    let mut icd_ratio = std::collections::HashMap::new();
+    let mut ocd_ratio = std::collections::HashMap::new();
+    for w in workloads {
+        let runs = run_all_schemes(&w, &rc);
+        for run in &runs {
+            rows.push(vec![
+                w.name.clone(),
+                run.kind.to_string(),
+                format!("{}", run.join.max_weight_milli / 1000),
+                format!("{}", run.join.max_input()),
+                format!("{}", run.join.max_output()),
+                format!("{:.2}", run.join.imbalance(&w.cost)),
+            ]);
+            if run.kind == SchemeKind::Csio {
+                let est = run.build.est_max_weight;
+                let real = run.join.max_weight_milli;
+                let err = (est as f64 - real as f64) / real.max(1) as f64 * 100.0;
+                rows.push(vec![
+                    w.name.clone(),
+                    "CSIO-est".into(),
+                    format!("{}", est / 1000),
+                    String::new(),
+                    String::new(),
+                    format!("{err:+.1}% vs realized"),
+                ]);
+            }
+
+            if per_region {
+                println!(
+                    "# Fig 2a: per-worker weights — {} / {}",
+                    w.name, run.kind
+                );
+                for (i, (inp, out)) in run
+                    .join
+                    .per_worker_input
+                    .iter()
+                    .zip(&run.join.per_worker_output)
+                    .enumerate()
+                {
+                    println!(
+                        "{}\t{}\tworker{}\tinput={}\toutput={}\tweight={}",
+                        w.name,
+                        run.kind,
+                        i,
+                        inp,
+                        out,
+                        w.cost.weight(*inp, *out) / 1000
+                    );
+                }
+                println!();
+            }
+        }
+        // Table I inputs: how far is each scheme's max weight from the best
+        // scheme's, on the two extremes of the ρoi spectrum? A scheme is
+        // input-optimal when it stays competitive on the input-dominated
+        // join, output-optimal when it does on the output-dominated join.
+        let best = runs.iter().map(|r| r.join.max_weight_milli).min().unwrap().max(1);
+        for run in &runs {
+            let ratio = run.join.max_weight_milli as f64 / best as f64;
+            if w.name == "BICD" {
+                icd_ratio.insert(run.kind, ratio);
+            } else if w.name == "BEOCD" {
+                ocd_ratio.insert(run.kind, ratio);
+            }
+        }
+    }
+    print_table(
+        "Fig 4h: maximum region weight (work units) after execution",
+        &["join", "scheme", "max_weight", "max_input", "max_output", "imbalance"],
+        &rows,
+    );
+    let verdict_rows: Vec<Vec<String>> = [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio]
+        .into_iter()
+        .map(|k| {
+            let i = icd_ratio[&k];
+            let o = ocd_ratio[&k];
+            vec![
+                k.to_string(),
+                format!("{} ({i:.2}x best on BICD)", if i <= 1.5 { "yes" } else { "no" }),
+                format!("{} ({o:.2}x best on BEOCD)", if o <= 1.5 { "yes" } else { "no" }),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: optimality verdicts (within 1.5x of the best scheme's max weight)",
+        &["scheme", "input_optimal", "output_optimal"],
+        &verdict_rows,
+    );
+}

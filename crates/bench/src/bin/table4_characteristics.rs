@@ -1,0 +1,35 @@
+//! Table IV: join characteristics — input size, output size and the
+//! output/input ratio ρoi for every workload, side by side with the paper's
+//! reported numbers (in millions; ours are scaled by `--scale`).
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin table4_characteristics [--scale 1.0]`
+
+use ewh_bench::{fig4a_workloads, print_table, RunConfig};
+use ewh_core::{JoinMatrix, Key, Tuple};
+
+fn keys(ts: &[Tuple]) -> Vec<Key> {
+    ts.iter().map(|t| t.key).collect()
+}
+
+fn main() {
+    let rc = RunConfig::from_args();
+    let mut rows = Vec::new();
+    for w in fig4a_workloads(rc.scale, rc.seed) {
+        let m = JoinMatrix::new(keys(&w.r1), keys(&w.r2), w.cond).output_count();
+        let rho = m as f64 / w.n_input() as f64;
+        rows.push(vec![
+            w.name.clone(),
+            format!("{}", w.n_input()),
+            format!("{m}"),
+            format!("{rho:.2}"),
+            format!("{:.0}M", w.paper_input_m),
+            format!("{:.0}M", w.paper_output_m),
+            format!("{:.2}", w.paper_rho()),
+        ]);
+    }
+    print_table(
+        "Table IV: join characteristics (measured vs paper)",
+        &["join", "input", "output", "rho_oi", "paper_input", "paper_output", "paper_rho"],
+        &rows,
+    );
+}

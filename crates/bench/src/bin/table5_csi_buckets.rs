@@ -1,0 +1,49 @@
+//! Table V: CSI join execution time and histogram-algorithm time for
+//! increasing bucket counts p, on BE_OCD and B_CB-3.
+//!
+//! The paper's point: more input statistics cannot cure the missing output
+//! statistics — the histogram time grows with p while the join time barely
+//! improves, and even the best CSI stays far from CSIO (printed last for
+//! reference).
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin table5_csi_buckets [--scale 1.0]`
+
+use ewh_bench::{bcb, beocd, beocd_gamma, print_table, run_scheme, RunConfig, Workload};
+use ewh_core::SchemeKind;
+
+fn sweep(w: &Workload, rc: &RunConfig, ps: &[usize], rows: &mut Vec<Vec<String>>) {
+    for &p in ps {
+        let rc_p = RunConfig { csi_p: p, ..*rc };
+        let run = run_scheme(w, SchemeKind::Csi, &rc_p);
+        rows.push(vec![
+            w.name.clone(),
+            format!("CSI p={p}"),
+            format!("{:.3}", run.join.sim_join_secs),
+            format!("{:.4}", run.build.hist_secs),
+            format!("{:.3}", run.total_sim_secs),
+        ]);
+    }
+    let run = run_scheme(w, SchemeKind::Csio, rc);
+    rows.push(vec![
+        w.name.clone(),
+        "CSIO".into(),
+        format!("{:.3}", run.join.sim_join_secs),
+        format!("{:.4}", run.build.hist_secs),
+        format!("{:.3}", run.total_sim_secs),
+    ]);
+}
+
+fn main() {
+    let rc = RunConfig::from_args();
+    // The paper sweeps 2000..24000 at n = 240M; the same p/n ratios at our
+    // scale (relative to n ≈ 240k after --scale) land at 64..2048.
+    let ps = [64usize, 128, 256, 512, 1024, 2048];
+    let mut rows = Vec::new();
+    sweep(&beocd(rc.scale, beocd_gamma(rc.scale), rc.seed), &rc, &ps, &mut rows);
+    sweep(&bcb(3, rc.scale, rc.seed), &rc, &ps, &mut rows);
+    print_table(
+        "Table V: CSI join and histogram-algorithm time vs bucket count p",
+        &["join", "scheme", "join_s", "hist_alg_s", "total_s"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! §VI-E: worst-case scenarios.
+//!
+//! (a) Input-cost-dominated joins with negligible JPS: CSIO's sampling
+//!     overhead buys nothing — the paper bounds the slowdown at 1.04×.
+//! (b) High-selectivity joins (ρoi ≫ 100): the adaptive operator must build
+//!     CSIO's statistics, notice the exact m, and fall back to CI, wasting
+//!     only the (cheap) stats phase.
+//!
+//! Usage: `cargo run --release -p ewh-bench --bin worst_case [--scale 1.0]`
+
+use ewh_bench::{bicd, print_table, run_scheme, RunConfig};
+use ewh_core::{JoinCondition, SchemeKind, Tuple};
+use ewh_datagen::ZipfCdf;
+use ewh_exec::{run_operator_adaptive, FallbackPolicy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let rc = RunConfig::from_args();
+
+    // (a) The B_ICD worst case: compare CSIO's total time against CSI's.
+    let w = bicd(rc.scale, rc.seed);
+    let csi = run_scheme(&w, SchemeKind::Csi, &rc);
+    let csio = run_scheme(&w, SchemeKind::Csio, &rc);
+    let slowdown = csio.total_sim_secs / csi.total_sim_secs;
+    print_table(
+        "Worst case (a): BICD — CSIO overhead vs CSI (paper bound: 1.04x)",
+        &["scheme", "stats_s", "join_s", "total_s", "slowdown_vs_csi"],
+        &[
+            vec![
+                "CSI".into(),
+                format!("{:.3}", csi.stats_sim_secs),
+                format!("{:.3}", csi.join.sim_join_secs),
+                format!("{:.3}", csi.total_sim_secs),
+                "1.00".into(),
+            ],
+            vec![
+                "CSIO".into(),
+                format!("{:.3}", csio.stats_sim_secs),
+                format!("{:.3}", csio.join.sim_join_secs),
+                format!("{:.3}", csio.total_sim_secs),
+                format!("{slowdown:.2}"),
+            ],
+        ],
+    );
+
+    // (b) A high-selectivity join: heavy-hitter equi-join whose output is
+    // ~3 orders of magnitude above the input.
+    let n = (20_000.0 * rc.scale) as usize;
+    let zipf = ZipfCdf::new(8, 1.2); // 8 distinct keys, strong head
+    let mut rng = SmallRng::seed_from_u64(rc.seed);
+    let gen = |rng: &mut SmallRng| -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(zipf.sample(rng) as i64, i as u64)).collect()
+    };
+    let (r1, r2) = (gen(&mut rng), gen(&mut rng));
+    let cfg = rc.operator_config(&w); // reuse cluster settings; cost model band
+    let adaptive = run_operator_adaptive(&r1, &r2, &JoinCondition::Equi, &cfg, &FallbackPolicy::default());
+    let rho = adaptive.join.output_total as f64 / (2 * n) as f64;
+    print_table(
+        "Worst case (b): high-selectivity equi-join — adaptive CI fallback",
+        &["rho_oi", "fell_back", "final_scheme", "stats_s(incl. wasted)", "join_s", "total_s"],
+        &[vec![
+            format!("{rho:.0}"),
+            format!("{}", adaptive.fell_back),
+            adaptive.kind.to_string(),
+            format!("{:.3}", adaptive.stats_sim_secs),
+            format!("{:.3}", adaptive.join.sim_join_secs),
+            format!("{:.3}", adaptive.total_sim_secs),
+        ]],
+    );
+}

@@ -1,0 +1,27 @@
+//! # ewh-bench — the evaluation harness
+//!
+//! Reproduces every table and figure of §VI of *Load Balancing and Skew
+//! Resilience for Parallel Joins* (ICDE 2016). The [`workloads`] module
+//! defines the eight joins of Table IV at laptop scale; [`harness`] provides
+//! the shared runner; the `src/bin/` binaries regenerate the individual
+//! tables/figures (see DESIGN.md §3 for the full index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig4a_total_time`        | Fig. 4a + 4b (total/normalized execution time) |
+//! | `fig4c_memory`            | Fig. 4c (cluster memory) |
+//! | `fig4d_scalability_bcb`   | Fig. 4d + 4e (B_CB-3 scalability) |
+//! | `fig4f_scalability_beocd` | Fig. 4f + 4g (BE_OCD scalability) |
+//! | `fig4h_max_weight`        | Fig. 4h + Table I verdicts + Fig. 2a |
+//! | `table3_complexity`       | Table III (stage timing/state scaling) |
+//! | `table4_characteristics`  | Table IV (join characteristics) |
+//! | `table5_csi_buckets`      | Table V (CSI bucket sweep) |
+//! | `worst_case`              | §VI-E (worst cases + adaptive fallback) |
+
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{mib, print_table, rho_oi, run_all_schemes, run_scheme, RunConfig};
+pub use workloads::{
+    bcb, beocd, beocd_gamma, bicd, encode_beocd, fig4a_workloads, Workload, BEOCD_SHIFT,
+};

@@ -1,0 +1,267 @@
+//! The evaluation workloads of §VI-A / Table IV / Appendix B, scaled to
+//! laptop size (~1/1000 of the paper's tuple counts by default; every code
+//! path identical).
+//!
+//! | name    | dataset | condition                         | paper input/output |
+//! |---------|---------|-----------------------------------|--------------------|
+//! | B_ICD   | TPC-H   | `\|o1.orderkey − 10·o2.custkey\| ≤ 2` | 480M / 296M    |
+//! | B_CB-β  | X       | `\|r1.key − r2.key\| ≤ β`         | 192M / 348M..3828M |
+//! | BE_OCD  | TPC-H   | `o1.custkey = o2.custkey AND \|sp1 − sp2\| ≤ 2` + filters | 36.8M / 2000M |
+
+use ewh_core::{CostModel, JoinCondition, Tuple};
+use ewh_datagen::{gen_orders, gen_x_relation, Order, OrdersParams};
+
+/// Shift for the BE_OCD composite `(custkey, ship_priority)` key encoding;
+/// `ship_priority < 8 < 16` and `β = 2 < 16`.
+pub const BEOCD_SHIFT: i64 = 16;
+
+/// A ready-to-run workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub name: String,
+    pub r1: Vec<Tuple>,
+    pub r2: Vec<Tuple>,
+    pub cond: JoinCondition,
+    pub cost: CostModel,
+    /// Paper-reported input/output sizes in millions of tuples (Table IV),
+    /// for side-by-side reporting.
+    pub paper_input_m: f64,
+    pub paper_output_m: f64,
+}
+
+impl Workload {
+    /// Total input tuples (both relations).
+    pub fn n_input(&self) -> u64 {
+        (self.r1.len() + self.r2.len()) as u64
+    }
+
+    /// Paper's output/input cost ratio for this join.
+    pub fn paper_rho(&self) -> f64 {
+        self.paper_output_m / self.paper_input_m
+    }
+}
+
+/// Baseline tuple counts at `scale = 1.0` (1/1000 of the paper's SF-160
+/// runs: 240M orders → 240k; 96M X tuples per relation → 96k).
+pub const BICD_ORDERS: usize = 240_000;
+pub const BCB_X: usize = 19_200; // per-relation size is 5x = 96_000
+pub const BEOCD_ORDERS: usize = 240_000;
+
+/// B_ICD: the input-cost-dominated TPC-H band join
+/// `ABS(O1.orderkey − 10·O2.custkey) ≤ 2` (Appendix B). R1 carries
+/// `orderkey` (1/4-dense), R2 carries `10·custkey` (Zipf-skewed).
+pub fn bicd(scale: f64, seed: u64) -> Workload {
+    let n = ((BICD_ORDERS as f64 * scale) as usize).max(1000);
+    let orders = gen_orders(&OrdersParams { n, seed, ..Default::default() });
+    let r1 = orders
+        .iter()
+        .map(|o| Tuple::new(o.orderkey, o.orderkey as u64))
+        .collect();
+    let r2 = orders
+        .iter()
+        .map(|o| Tuple::new(10 * o.custkey, o.custkey as u64))
+        .collect();
+    Workload {
+        name: "BICD".into(),
+        r1,
+        r2,
+        cond: JoinCondition::Band { beta: 2 },
+        cost: CostModel::band(),
+        paper_input_m: 480.0,
+        paper_output_m: 296.0,
+    }
+}
+
+/// B_CB-β: the cost-balanced band join over the synthetic X dataset.
+pub fn bcb(beta: i64, scale: f64, seed: u64) -> Workload {
+    let x = ((BCB_X as f64 * scale) as usize).max(600);
+    let r1 = gen_x_relation(x, seed ^ 0xB1);
+    let r2 = gen_x_relation(x, seed ^ 0xB2);
+    let paper_output_m = match beta {
+        1 => 348.0,
+        2 => 580.0,
+        3 => 812.0,
+        4 => 1044.0,
+        8 => 1972.0,
+        16 => 3828.0,
+        // Other widths follow the analytical ≈ 7(2β+1)x trend.
+        _ => 7.0 * (2 * beta + 1) as f64 * 19.2,
+    };
+    Workload {
+        name: format!("BCB-{beta}"),
+        r1,
+        r2,
+        cond: JoinCondition::Band { beta },
+        cost: CostModel::band(),
+        paper_input_m: 192.0,
+        paper_output_m,
+    }
+}
+
+/// BE_OCD customer population. The paper's skewed dbgen at SF 160 yields
+/// custkey multiplicities whose self-join blows 36.8M filtered tuples up to
+/// 2000M outputs (ρoi ≈ 54). With our scaled filtered input (~65k tuples at
+/// scale 1.0), 600 Zipf customers plus the whales below land the same
+/// ρoi ≈ 54. Held constant across scales so the scalability runs reproduce
+/// the paper's superlinear output growth (input ×2.92 → output ×14.46,
+/// §VI-C).
+pub const BEOCD_CUSTOMERS: usize = 600;
+
+/// Heavy-hitter ("whale") customers injected into BE_OCD. The paper's
+/// z = 0.25 Zipf over SF-160's 24M custkeys yields head customers ~50× the
+/// mean multiplicity — a ratio a 1000×-smaller Zipf domain cannot reproduce
+/// while keeping ρoi ≈ 54. Three whales at 4% of the orders each restore the
+/// head-to-mean profile (~25×) that drives CSI's join product skew collapse
+/// (the 15.63× of §VI-B).
+pub const BEOCD_WHALES: usize = 3;
+pub const BEOCD_WHALE_FRAC: f64 = 0.04;
+
+/// BE_OCD: the output-cost-dominated equality+band self-join with selection
+/// predicates (Appendix B):
+///
+/// ```sql
+/// SELECT * FROM ORDERS O1, ORDERS O2
+/// WHERE O1.custkey = O2.custkey
+///   AND ABS(O1.ship_priority - O2.ship_priority) <= 2
+///   AND O1.order_priority = 4 AND O2.order_priority = 1
+///   AND O1.totalprice BETWEEN γ AND 360000
+///   AND O2.totalprice BETWEEN γ AND 360000
+/// ```
+///
+/// `gamma` defaults to the paper's SF-160 value (140000).
+pub fn beocd(scale: f64, gamma: i64, seed: u64) -> Workload {
+    let n = ((BEOCD_ORDERS as f64 * scale) as usize).max(1000);
+    let mut orders = gen_orders(&OrdersParams {
+        n,
+        seed,
+        customers_div: (n / BEOCD_CUSTOMERS).max(1),
+        ..Default::default()
+    });
+    // Reassign a deterministic stripe of orders to the whale customers.
+    // Whales are scattered across the custkey domain (as the Zipf head is in
+    // the paper's data) — adjacent whales would let one rectangular region
+    // capture several whale blocks at once, which never happens at scale.
+    let whale_span = (n as f64 * BEOCD_WHALE_FRAC) as usize;
+    for w in 0..BEOCD_WHALES {
+        let custkey = ((w + 1) * BEOCD_CUSTOMERS / (BEOCD_WHALES + 1)) as i64;
+        for o in orders.iter_mut().skip(w).step_by(BEOCD_WHALES).take(whale_span) {
+            o.custkey = custkey;
+        }
+    }
+    let filtered = |prio: i64| -> Vec<Tuple> {
+        orders
+            .iter()
+            .filter(|o| o.order_priority == prio && o.totalprice >= gamma && o.totalprice <= 360_000)
+            .map(encode_beocd)
+            .collect()
+    };
+    Workload {
+        name: "BEOCD".into(),
+        r1: filtered(4), // "4-NOT SPECIFIED"
+        r2: filtered(1), // "1-URGENT"
+        cond: JoinCondition::EquiBand { shift: BEOCD_SHIFT, beta: 2 },
+        cost: CostModel::equi_band(),
+        paper_input_m: 36.8,
+        paper_output_m: 2000.0,
+    }
+}
+
+/// Encodes an order for the BE_OCD composite condition.
+pub fn encode_beocd(o: &Order) -> Tuple {
+    Tuple::new(
+        JoinCondition::encode_composite(o.custkey, o.ship_priority, BEOCD_SHIFT),
+        o.orderkey as u64,
+    )
+}
+
+/// The paper's γ per scale factor (§ Appendix B: 120k/140k/160k for SF
+/// 80/160/320). Our scales 0.5/1.0/2.0 mirror those SFs.
+pub fn beocd_gamma(scale: f64) -> i64 {
+    if scale < 0.75 {
+        120_000
+    } else if scale < 1.5 {
+        140_000
+    } else {
+        160_000
+    }
+}
+
+/// All eight joins of Fig. 4a in presentation order.
+pub fn fig4a_workloads(scale: f64, seed: u64) -> Vec<Workload> {
+    let mut v = vec![bicd(scale, seed)];
+    for beta in [1, 2, 3, 4, 8, 16] {
+        v.push(bcb(beta, scale, seed));
+    }
+    v.push(beocd(scale, beocd_gamma(scale), seed));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewh_core::{JoinMatrix, Key};
+
+    fn rho(w: &Workload) -> f64 {
+        let keys = |ts: &[Tuple]| ts.iter().map(|t| t.key).collect::<Vec<Key>>();
+        let m = JoinMatrix::new(keys(&w.r1), keys(&w.r2), w.cond).output_count();
+        m as f64 / w.n_input() as f64
+    }
+
+    #[test]
+    fn bicd_rho_matches_paper_band() {
+        let w = bicd(0.25, 42);
+        let got = rho(&w);
+        let paper = w.paper_rho(); // 0.62
+        assert!(
+            (got - paper).abs() < 0.35 * paper,
+            "BICD rho {got} vs paper {paper}"
+        );
+    }
+
+    #[test]
+    fn bcb_rho_tracks_beta() {
+        let mut prev = 0.0;
+        for beta in [1i64, 3, 8] {
+            let w = bcb(beta, 0.25, 42);
+            let got = rho(&w);
+            let paper = w.paper_rho();
+            assert!(got > prev, "rho must grow with beta");
+            assert!(
+                got > 0.5 * paper && got < 2.0 * paper,
+                "BCB-{beta} rho {got} vs paper {paper}"
+            );
+            prev = got;
+        }
+    }
+
+    #[test]
+    fn beocd_is_output_dominated() {
+        let w = beocd(0.5, beocd_gamma(0.5), 42);
+        let got = rho(&w);
+        // The paper's 54.35 needs the exact skew profile; we require the
+        // same regime: output two orders of magnitude above input.
+        assert!(got > 15.0, "BEOCD rho {got} too small — not OCD");
+        assert!(got < 250.0, "BEOCD rho {got} implausibly large");
+        // Filters keep roughly 8-14% of the input (paper: 7.7%; our uniform
+        // totalprice is slightly less selective than TPC-H's).
+        let frac = w.n_input() as f64 / (2.0 * BEOCD_ORDERS as f64 * 0.5);
+        assert!(frac > 0.04 && frac < 0.15, "filter fraction {frac}");
+    }
+
+    #[test]
+    fn beocd_composite_keys_decode() {
+        let w = beocd(0.25, 120_000, 7);
+        for t in w.r1.iter().take(100) {
+            let sp = t.key % BEOCD_SHIFT;
+            assert!((0..8).contains(&sp));
+        }
+    }
+
+    #[test]
+    fn fig4a_has_eight_joins() {
+        let ws = fig4a_workloads(0.05, 1);
+        assert_eq!(ws.len(), 8);
+        assert_eq!(ws[0].name, "BICD");
+        assert_eq!(ws[7].name, "BEOCD");
+    }
+}

@@ -1,0 +1,148 @@
+//! The weight function `w(r) = ci(r) + co(r)` (§II, §VI-A).
+//!
+//! A machine's work is modeled as a linear function of the input tuples it
+//! receives and the output tuples it produces: `w = wi·input + wo·output`.
+//! The paper calibrates `wi`/`wo` by linear regression on benchmark runs and
+//! reports `wi = 1, wo = 0.2` for band joins and `wi = 1, wo = 0.3` for the
+//! equality+band combination; those are the defaults here.
+//!
+//! Weights are integer *milli-units* (`wi = 1.0 → 1000`) so prefix sums and
+//! binary searches over δ/φ are exact.
+
+/// Linear cost model in milli work units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of processing one input tuple, in milli-units.
+    pub wi_milli: u64,
+    /// Cost of processing one output tuple, in milli-units.
+    pub wo_milli: u64,
+}
+
+impl CostModel {
+    /// The paper's calibrated model for band joins (`wi = 1, wo = 0.2`).
+    pub const fn band() -> Self {
+        CostModel { wi_milli: 1000, wo_milli: 200 }
+    }
+
+    /// The paper's calibrated model for combinations of equality and band
+    /// conditions (`wi = 1, wo = 0.3`).
+    pub const fn equi_band() -> Self {
+        CostModel { wi_milli: 1000, wo_milli: 300 }
+    }
+
+    /// Builds from floating-point per-tuple rates.
+    pub fn from_rates(wi: f64, wo: f64) -> Self {
+        assert!(wi >= 0.0 && wo >= 0.0);
+        CostModel {
+            wi_milli: (wi * 1000.0).round() as u64,
+            wo_milli: (wo * 1000.0).round() as u64,
+        }
+    }
+
+    /// Weight of a region processing `input` input tuples and `output`
+    /// output tuples, in milli-units.
+    #[inline]
+    pub fn weight(&self, input: u64, output: u64) -> u64 {
+        self.wi_milli
+            .saturating_mul(input)
+            .saturating_add(self.wo_milli.saturating_mul(output))
+    }
+
+    /// Converts milli-units to (simulated) seconds given a per-worker
+    /// processing rate in *units* per second.
+    #[inline]
+    pub fn milli_to_secs(weight_milli: u64, units_per_sec: f64) -> f64 {
+        weight_milli as f64 / 1000.0 / units_per_sec
+    }
+
+    /// Calibrates `(wi, wo)` by least squares through the origin from
+    /// observations `(input_tuples, output_tuples, seconds)` — the regression
+    /// of §VI-A ("we determine the values for wi and wo using linear
+    /// regression on several benchmark runs"). Returns per-tuple seconds; use
+    /// [`CostModel::from_rates`] after normalizing by the desired unit.
+    ///
+    /// Returns `None` when the system is singular (e.g. all observations
+    /// collinear), in which case callers should fall back to defaults.
+    pub fn calibrate(samples: &[(u64, u64, f64)]) -> Option<(f64, f64)> {
+        // Normal equations for t ≈ wi·x + wo·y:
+        //   [Σx² Σxy][wi]   [Σxt]
+        //   [Σxy Σy²][wo] = [Σyt]
+        let (mut sxx, mut sxy, mut syy, mut sxt, mut syt) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        for &(x, y, t) in samples {
+            let (x, y) = (x as f64, y as f64);
+            sxx += x * x;
+            sxy += x * y;
+            syy += y * y;
+            sxt += x * t;
+            syt += y * t;
+        }
+        let det = sxx * syy - sxy * sxy;
+        if det.abs() < 1e-9 * sxx.max(syy).max(1.0) {
+            return None;
+        }
+        let wi = (sxt * syy - syt * sxy) / det;
+        let wo = (syt * sxx - sxt * sxy) / det;
+        Some((wi, wo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_linear() {
+        let c = CostModel::band();
+        assert_eq!(c.weight(0, 0), 0);
+        assert_eq!(c.weight(10, 0), 10_000);
+        assert_eq!(c.weight(0, 10), 2_000);
+        assert_eq!(c.weight(7, 13), 7_000 + 2_600);
+    }
+
+    #[test]
+    fn weight_saturates() {
+        let c = CostModel { wi_milli: u64::MAX, wo_milli: u64::MAX };
+        assert_eq!(c.weight(2, 2), u64::MAX);
+    }
+
+    #[test]
+    fn calibration_recovers_known_rates() {
+        // Synthetic benchmark runs generated from wi = 2e-6 s, wo = 5e-7 s.
+        let (wi, wo) = (2e-6, 5e-7);
+        let samples: Vec<(u64, u64, f64)> = vec![
+            (1_000_000, 100_000, 0.0),
+            (2_000_000, 3_000_000, 0.0),
+            (500_000, 5_000_000, 0.0),
+            (4_000_000, 400_000, 0.0),
+        ]
+        .into_iter()
+        .map(|(x, y, _)| (x, y, wi * x as f64 + wo * y as f64))
+        .collect();
+        let (gi, go) = CostModel::calibrate(&samples).unwrap();
+        assert!((gi - wi).abs() < 1e-12, "wi {gi}");
+        assert!((go - wo).abs() < 1e-12, "wo {go}");
+    }
+
+    #[test]
+    fn calibration_rejects_singular_systems() {
+        // All observations share the same input/output ratio: unidentifiable.
+        let samples: Vec<(u64, u64, f64)> =
+            (1..5).map(|k| (k * 100, k * 200, k as f64)).collect();
+        assert!(CostModel::calibrate(&samples).is_none());
+    }
+
+    #[test]
+    fn rate_roundtrip() {
+        let c = CostModel::from_rates(1.0, 0.2);
+        assert_eq!(c, CostModel::band());
+        let c = CostModel::from_rates(1.0, 0.3);
+        assert_eq!(c, CostModel::equi_band());
+    }
+
+    #[test]
+    fn milli_to_secs() {
+        // 2e6 units/s, 4e9 milli-units = 4e6 units -> 2 seconds.
+        let s = CostModel::milli_to_secs(4_000_000_000, 2e6);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+use crate::{CostModel, KeyRange};
+
+/// A rectangular region of the join matrix, expressed as key ranges: the
+/// machine assigned to this region receives every `R1` tuple whose key falls
+/// in `rows` and every `R2` tuple whose key falls in `cols`, and joins them
+/// locally.
+///
+/// `est_input` / `est_output` carry the scheme's own estimates (tuples), used
+/// for diagnostics (Fig. 4h's `CSIO-est`) and for heterogeneous-cluster
+/// region-to-machine assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    pub rows: KeyRange,
+    pub cols: KeyRange,
+    pub est_input: u64,
+    pub est_output: u64,
+}
+
+impl Region {
+    pub fn new(rows: KeyRange, cols: KeyRange) -> Self {
+        Region { rows, cols, est_input: 0, est_output: 0 }
+    }
+
+    /// Estimated weight under a cost model, in milli-units.
+    #[inline]
+    pub fn est_weight(&self, cost: &CostModel) -> u64 {
+        cost.weight(self.est_input, self.est_output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn est_weight_uses_cost_model() {
+        let mut r = Region::new(KeyRange::new(0, 9), KeyRange::new(0, 9));
+        r.est_input = 100;
+        r.est_output = 50;
+        assert_eq!(r.est_weight(&CostModel::band()), 100_000 + 10_000);
+        assert_eq!(r.est_weight(&CostModel::equi_band()), 100_000 + 15_000);
+    }
+}

@@ -1,0 +1,281 @@
+//! Tuple routing: which regions receive an incoming tuple.
+//!
+//! Content-sensitive schemes (CSI, CSIO) route by join key: the key maps to a
+//! grid row (column) through the histogram boundaries, and the tuple goes to
+//! every region intersecting that row (column). The content-insensitive
+//! scheme (CI / 1-Bucket) ignores the key entirely: an `R1` tuple picks a
+//! random row *band* of the J = a×b region grid and is replicated to the `b`
+//! regions of that band (§II-A).
+
+use rand::Rng;
+
+use crate::Key;
+
+/// Routes tuples of both relations to region ids.
+#[derive(Clone, Debug)]
+pub enum Router {
+    Grid(GridRouter),
+    Random(RandomRouter),
+    Hash(HashRouter),
+}
+
+impl Router {
+    /// Appends the region ids receiving an `R1` tuple with key `k`.
+    #[inline]
+    pub fn route_r1(&self, k: Key, rng: &mut impl Rng, out: &mut Vec<u32>) {
+        match self {
+            Router::Grid(g) => g.route_r1(k, out),
+            Router::Random(r) => r.route_r1(rng, out),
+            Router::Hash(h) => h.route_r1(k, rng, out),
+        }
+    }
+
+    /// Appends the region ids receiving an `R2` tuple with key `k`.
+    #[inline]
+    pub fn route_r2(&self, k: Key, rng: &mut impl Rng, out: &mut Vec<u32>) {
+        match self {
+            Router::Grid(g) => g.route_r2(k, out),
+            Router::Random(r) => r.route_r2(rng, out),
+            Router::Hash(h) => h.route_r2(k, out),
+        }
+    }
+}
+
+/// Content-sensitive router over a key-range grid.
+///
+/// `row_bounds` has one entry per grid row plus a trailing sentinel; grid row
+/// `i` covers keys `[row_bounds[i], row_bounds[i+1])`, with the outer bounds
+/// at `Key::MIN` / `Key::MAX` so every key maps somewhere. `by_row[i]` lists
+/// the regions whose row range covers grid row `i` (likewise `by_col`).
+#[derive(Clone, Debug)]
+pub struct GridRouter {
+    row_bounds: Vec<Key>,
+    col_bounds: Vec<Key>,
+    by_row: Vec<Vec<u32>>,
+    by_col: Vec<Vec<u32>>,
+}
+
+impl GridRouter {
+    /// Builds from grid bounds and per-region grid-cell rectangles
+    /// `(r0, r1, c0, c1)` (inclusive grid coordinates).
+    pub fn new(
+        row_bounds: Vec<Key>,
+        col_bounds: Vec<Key>,
+        region_rects: &[(usize, usize, usize, usize)],
+    ) -> Self {
+        let n_rows = row_bounds.len() - 1;
+        let n_cols = col_bounds.len() - 1;
+        let mut by_row = vec![Vec::new(); n_rows];
+        let mut by_col = vec![Vec::new(); n_cols];
+        for (id, &(r0, r1, c0, c1)) in region_rects.iter().enumerate() {
+            debug_assert!(r0 <= r1 && r1 < n_rows && c0 <= c1 && c1 < n_cols);
+            for row in by_row.iter_mut().take(r1 + 1).skip(r0) {
+                row.push(id as u32);
+            }
+            for col in by_col.iter_mut().take(c1 + 1).skip(c0) {
+                col.push(id as u32);
+            }
+        }
+        GridRouter { row_bounds, col_bounds, by_row, by_col }
+    }
+
+    #[inline]
+    fn cell_of(bounds: &[Key], k: Key) -> usize {
+        (bounds.partition_point(|&b| b <= k) - 1).min(bounds.len() - 2)
+    }
+
+    #[inline]
+    pub fn route_r1(&self, k: Key, out: &mut Vec<u32>) {
+        out.extend_from_slice(&self.by_row[Self::cell_of(&self.row_bounds, k)]);
+    }
+
+    #[inline]
+    pub fn route_r2(&self, k: Key, out: &mut Vec<u32>) {
+        out.extend_from_slice(&self.by_col[Self::cell_of(&self.col_bounds, k)]);
+    }
+
+    /// Grid row index of a key (exposed for tests and diagnostics).
+    pub fn row_of(&self, k: Key) -> usize {
+        Self::cell_of(&self.row_bounds, k)
+    }
+
+    pub fn col_of(&self, k: Key) -> usize {
+        Self::cell_of(&self.col_bounds, k)
+    }
+}
+
+/// Content-insensitive router: the `a × b` random replication matrix of the
+/// 1-Bucket scheme. Region `(i, j)` has id `i·b + j`; an `R1` tuple picks a
+/// random `i` and goes to regions `(i, *)`, an `R2` tuple picks a random `j`
+/// and goes to regions `(*, j)`. Replication factors are thus `b` for R1 and
+/// `a` for R2.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomRouter {
+    pub rows: u32,
+    pub cols: u32,
+}
+
+impl RandomRouter {
+    #[inline]
+    pub fn route_r1(&self, rng: &mut impl Rng, out: &mut Vec<u32>) {
+        let i = rng.gen_range(0..self.rows);
+        out.extend((0..self.cols).map(|j| i * self.cols + j));
+    }
+
+    #[inline]
+    pub fn route_r2(&self, rng: &mut impl Rng, out: &mut Vec<u32>) {
+        let j = rng.gen_range(0..self.cols);
+        out.extend((0..self.rows).map(|i| i * self.cols + j));
+    }
+}
+
+/// Hash-partitioning router (equi and band conditions only; see
+/// `schemes::hash` for why others are impossible).
+///
+/// * Equi (`beta = 0`): both sides route to `hash(key) % j`.
+/// * Band: `R1` routes to `hash(key)`; `R2` replicates to
+///   `hash(key − β) ..= hash(key + β)` — the `2β + 1` fan-out of §V.1.
+/// * Heavy keys (PRPD-style): the `R1` side scatters to a random region,
+///   the `R2` side of any key joinable with a heavy key broadcasts.
+#[derive(Clone, Debug)]
+pub struct HashRouter {
+    j: u32,
+    beta: i64,
+    /// Sorted heavy keys.
+    heavy: Vec<Key>,
+}
+
+impl HashRouter {
+    pub fn new(j: u32, beta: i64, heavy: Vec<Key>) -> Self {
+        debug_assert!(heavy.windows(2).all(|w| w[0] < w[1]));
+        HashRouter { j, beta, heavy }
+    }
+
+    /// Fibonacci hashing of a key onto `j` buckets.
+    #[inline]
+    fn bucket(&self, k: Key) -> u32 {
+        ((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as u32 % self.j
+    }
+
+    #[inline]
+    fn is_heavy(&self, k: Key) -> bool {
+        self.heavy.binary_search(&k).is_ok()
+    }
+
+    /// Is any heavy key within the band of `k`?
+    #[inline]
+    fn near_heavy(&self, k: Key) -> bool {
+        let lo = k.saturating_sub(self.beta);
+        let i = self.heavy.partition_point(|&h| h < lo);
+        self.heavy.get(i).map(|&h| h <= k.saturating_add(self.beta)).unwrap_or(false)
+    }
+
+    #[inline]
+    pub fn route_r1(&self, k: Key, rng: &mut impl Rng, out: &mut Vec<u32>) {
+        if self.is_heavy(k) {
+            out.push(rng.gen_range(0..self.j));
+        } else {
+            out.push(self.bucket(k));
+        }
+    }
+
+    #[inline]
+    pub fn route_r2(&self, k: Key, out: &mut Vec<u32>) {
+        if self.near_heavy(k) {
+            // Broadcast: the heavy partner may sit on any worker. Non-heavy
+            // partners in the band are also satisfied (every bucket present).
+            out.extend(0..self.j);
+            return;
+        }
+        let start = out.len();
+        for key in k.saturating_sub(self.beta)..=k.saturating_add(self.beta) {
+            let b = self.bucket(key);
+            if !out[start..].contains(&b) {
+                out.push(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridRouter {
+        // 3x3 grid with bounds at 10 and 20; regions: top-left 2x2, right
+        // column, bottom-left strip.
+        GridRouter::new(
+            vec![Key::MIN, 10, 20, Key::MAX],
+            vec![Key::MIN, 10, 20, Key::MAX],
+            &[(0, 1, 0, 1), (0, 2, 2, 2), (2, 2, 0, 1)],
+        )
+    }
+
+    #[test]
+    fn keys_map_to_expected_regions() {
+        let g = grid();
+        let mut out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let r = Router::Grid(g);
+
+        // R1 key 5 -> grid row 0 -> regions 0 (rows 0..1) and 1 (rows 0..2).
+        r.route_r1(5, &mut rng, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        out.clear();
+        // R1 key 25 -> grid row 2 -> regions 1 and 2.
+        r.route_r1(25, &mut rng, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        out.clear();
+        // R2 key 12 -> grid col 1 -> regions 0 and 2.
+        r.route_r2(12, &mut rng, &mut out);
+        assert_eq!(out, vec![0, 2]);
+        out.clear();
+        // R2 key 99 -> grid col 2 -> region 1 only.
+        r.route_r2(99, &mut rng, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn extreme_keys_clamp_into_grid() {
+        let g = grid();
+        assert_eq!(g.row_of(Key::MIN), 0);
+        assert_eq!(g.row_of(Key::MAX), 2);
+        assert_eq!(g.col_of(9), 0);
+        assert_eq!(g.col_of(10), 1);
+    }
+
+    #[test]
+    fn random_router_replicates_a_full_band() {
+        let r = RandomRouter { rows: 4, cols: 8 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        r.route_r1(&mut rng, &mut out);
+        assert_eq!(out.len(), 8, "R1 replicated to all regions of its row band");
+        let band = out[0] / 8;
+        assert!(out.iter().all(|&id| id / 8 == band));
+
+        out.clear();
+        r.route_r2(&mut rng, &mut out);
+        assert_eq!(out.len(), 4, "R2 replicated to all regions of its column");
+        let col = out[0] % 8;
+        assert!(out.iter().all(|&id| id % 8 == col));
+    }
+
+    #[test]
+    fn every_r1_r2_pair_meets_exactly_once_in_ci() {
+        // The correctness core of 1-Bucket: any (row band, column) pair
+        // intersects in exactly one region.
+        let r = RandomRouter { rows: 3, cols: 5 };
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            r.route_r1(&mut rng, &mut a);
+            r.route_r2(&mut rng, &mut b);
+            let shared: Vec<_> = a.iter().filter(|x| b.contains(x)).collect();
+            assert_eq!(shared.len(), 1);
+        }
+    }
+}

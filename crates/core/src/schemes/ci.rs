@@ -1,0 +1,96 @@
+//! CI — the content-insensitive 1-Bucket scheme (§II-A; Okcan & Riedewald,
+//! SIGMOD 2011).
+//!
+//! The join matrix is covered by a `a × b` grid of equal-area regions
+//! (`a·b = J`). Incoming tuples pick a random row (column) band and are
+//! replicated to every region of that band. Random placement makes region
+//! outputs near-equal regardless of skew — perfect output balance — at the
+//! price of replicating each `R1` tuple `b` times and each `R2` tuple `a`
+//! times, which is what sinks the scheme on input-cost-dominated joins.
+
+use crate::{
+    BuildInfo, KeyRange, PartitionScheme, RandomRouter, Region, Router, SchemeKind,
+};
+
+/// Chooses the region matrix shape: the factor pair `a·b = j` minimizing the
+/// per-region input `n1/a + n2/b` (for `n1 = n2` this is the most square
+/// pair, e.g. 4×8 for J = 32).
+pub fn choose_shape(j: usize, n1: u64, n2: u64) -> (u32, u32) {
+    assert!(j >= 1);
+    let mut best = (1u32, j as u32);
+    let mut best_cost = f64::INFINITY;
+    for a in 1..=j {
+        if !j.is_multiple_of(a) {
+            continue;
+        }
+        let b = j / a;
+        let cost = n1 as f64 / a as f64 + n2 as f64 / b as f64;
+        if cost < best_cost {
+            best_cost = cost;
+            best = (a as u32, b as u32);
+        }
+    }
+    best
+}
+
+/// Builds the CI scheme. `m_hint` (if known) only refines the per-region
+/// output estimate used in diagnostics; CI needs no statistics at all — which
+/// is exactly why its stats time is zero in Fig. 4a.
+pub fn build_ci(j: usize, n1: u64, n2: u64, m_hint: Option<u64>) -> PartitionScheme {
+    let (rows, cols) = choose_shape(j, n1, n2);
+    let est_input = n1 / rows as u64 + n2 / cols as u64;
+    let est_output = m_hint.unwrap_or(0) / j as u64;
+    let regions = (0..j)
+        .map(|_| Region {
+            rows: KeyRange::full(),
+            cols: KeyRange::full(),
+            est_input,
+            est_output,
+        })
+        .collect();
+    PartitionScheme {
+        kind: SchemeKind::Ci,
+        regions,
+        router: Router::Random(RandomRouter { rows, cols }),
+        build: BuildInfo::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper_example() {
+        // J = 32 with equal relation sizes: the best factor pair is 4 × 8
+        // (replication factors 4 and 8, average 6 — §VI-B).
+        let (a, b) = choose_shape(32, 1000, 1000);
+        assert_eq!((a.min(b), a.max(b)), (4, 8));
+        assert_eq!(a * b, 32);
+    }
+
+    #[test]
+    fn asymmetric_sizes_skew_the_shape() {
+        // A much larger R1 wants more row bands so each region receives less
+        // of R1.
+        let (a, b) = choose_shape(32, 1_000_000, 1_000);
+        assert!(a > b, "expected tall matrix, got {a}x{b}");
+    }
+
+    #[test]
+    fn prime_j_degenerates_to_a_strip() {
+        let (a, b) = choose_shape(7, 500, 500);
+        assert_eq!(a * b, 7);
+        assert!(a == 1 || b == 1);
+    }
+
+    #[test]
+    fn build_produces_j_regions_with_estimates() {
+        let s = build_ci(32, 320_000, 320_000, Some(3_200_000));
+        assert_eq!(s.num_regions(), 32);
+        let r = &s.regions[0];
+        assert_eq!(r.est_input, 320_000 / 4 + 320_000 / 8);
+        assert_eq!(r.est_output, 100_000);
+        assert!(matches!(s.router, Router::Random(_)));
+    }
+}

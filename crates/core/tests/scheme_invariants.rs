@@ -1,0 +1,186 @@
+//! Cross-module invariants of the partitioning schemes, checked against the
+//! exact join-matrix model.
+
+use ewh_core::{
+    build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams,
+    HistogramParams, JoinCondition, JoinMatrix, Key, KeyRange, Region, SchemeKind,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_keys(n: usize, domain: i64, seed: u64) -> Vec<Key> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+/// Routes a key pair through a scheme and counts common regions.
+fn meets(
+    s: &ewh_core::PartitionScheme,
+    k1: Key,
+    k2: Key,
+    rng: &mut SmallRng,
+) -> usize {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    s.router.route_r1(k1, rng, &mut a);
+    s.router.route_r2(k2, rng, &mut b);
+    a.iter().filter(|x| b.contains(x)).count()
+}
+
+#[test]
+fn csi_regions_are_disjoint_and_cover_candidates() {
+    let k1 = random_keys(6000, 3000, 1);
+    let k2 = random_keys(6000, 3000, 2);
+    let cond = JoinCondition::Band { beta: 2 };
+    let s = build_csi(&k1, &k2, &cond, 8, &CsiParams { p: 128, seed: 3 });
+
+    // Disjoint rectangles.
+    for (i, a) in s.regions.iter().enumerate() {
+        for b in &s.regions[i + 1..] {
+            assert!(
+                !(a.rows.intersects(&b.rows) && a.cols.intersects(&b.cols)),
+                "{a:?} overlaps {b:?}"
+            );
+        }
+    }
+    // Every matching pair covered by exactly one rectangle.
+    let mut rng = SmallRng::seed_from_u64(4);
+    for _ in 0..2000 {
+        let a = k1[rng.gen_range(0..k1.len())];
+        let jr = cond.joinable_range(a);
+        let b = rng.gen_range(jr.lo..=jr.hi);
+        let covering = s
+            .regions
+            .iter()
+            .filter(|r| r.rows.contains(a) && r.cols.contains(b))
+            .count();
+        assert_eq!(covering, 1, "pair ({a},{b})");
+        assert_eq!(meets(&s, a, b, &mut rng), 1);
+    }
+}
+
+#[test]
+fn csio_estimates_match_matrix_ground_truth() {
+    // Region-level estimated input/output vs the exact join matrix: the
+    // region-weight proximity property of §III-A.
+    let k1 = random_keys(20_000, 10_000, 5);
+    let k2 = random_keys(20_000, 10_000, 6);
+    let cond = JoinCondition::Band { beta: 3 };
+    let params = HistogramParams { j: 8, ..Default::default() };
+    let s = build_csio(&k1, &k2, &cond, &CostModel::band(), &params);
+    let matrix = JoinMatrix::new(k1, k2, cond);
+    let cost = CostModel::band();
+    for region in &s.regions {
+        let (input, output) = matrix.region_counts(region);
+        let est = region.est_weight(&cost) as f64;
+        let real = cost.weight(input, output) as f64;
+        if real > 1e6 {
+            // Only regions with meaningful weight; tiny ones are all noise.
+            let err = (est - real).abs() / real;
+            assert!(err < 0.25, "region {region:?}: est {est} vs real {real}");
+        }
+    }
+    // The max-weight estimate is tight.
+    let est_max = s.regions.iter().map(|r| r.est_weight(&cost)).max().unwrap() as f64;
+    let real_max = s
+        .regions
+        .iter()
+        .map(|r| {
+            let (i, o) = matrix.region_counts(r);
+            cost.weight(i, o)
+        })
+        .max()
+        .unwrap() as f64;
+    assert!((est_max - real_max).abs() / real_max < 0.15);
+}
+
+#[test]
+fn ci_regions_have_uniform_estimates() {
+    let s = build_ci(12, 1200, 2400, Some(12_000));
+    assert_eq!(s.num_regions(), 12);
+    let first = s.regions[0];
+    assert!(s.regions.iter().all(|r| r.est_input == first.est_input));
+    assert!(s.regions.iter().all(|r| r.est_output == 1000));
+    assert!(s.regions.iter().all(|r| r.rows == KeyRange::full() && r.cols == KeyRange::full()));
+}
+
+#[test]
+fn all_schemes_expose_display_names() {
+    assert_eq!(SchemeKind::Ci.to_string(), "CI");
+    assert_eq!(SchemeKind::Csi.to_string(), "CSI");
+    assert_eq!(SchemeKind::Csio.to_string(), "CSIO");
+    assert_eq!(SchemeKind::Hash.to_string(), "HASH");
+}
+
+#[test]
+fn hash_equi_network_is_minimal() {
+    // On an equi-join without heavy keys, hash moves each tuple exactly once.
+    let k = random_keys(3000, 100_000, 7); // near-distinct keys
+    let s = build_hash(&k, &k, &JoinCondition::Equi, 8, &HashParams { heavy_fraction: None });
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut out = Vec::new();
+    for &key in k.iter().take(500) {
+        out.clear();
+        s.router.route_r1(key, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        s.router.route_r2(key, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}
+
+#[test]
+fn csio_handles_single_distinct_key() {
+    // Degenerate: both relations hold one repeated key. One irreducible
+    // cell; the scheme must still route correctly.
+    let k1 = vec![99i64; 500];
+    let k2 = vec![99i64; 700];
+    let cond = JoinCondition::Equi;
+    let params = HistogramParams { j: 4, ..Default::default() };
+    let s = build_csio(&k1, &k2, &cond, &CostModel::band(), &params);
+    assert_eq!(s.build.m_est, 500 * 700);
+    let mut rng = SmallRng::seed_from_u64(9);
+    assert_eq!(meets(&s, 99, 99, &mut rng), 1);
+}
+
+#[test]
+fn csio_with_tiny_j_and_huge_j() {
+    let k1 = random_keys(3000, 1000, 10);
+    let k2 = random_keys(3000, 1000, 11);
+    let cond = JoinCondition::Band { beta: 1 };
+    for j in [1usize, 64] {
+        let params = HistogramParams { j, ..Default::default() };
+        let s = build_csio(&k1, &k2, &cond, &CostModel::band(), &params);
+        assert!(s.num_regions() <= j.max(1));
+        assert!(s.num_regions() >= 1);
+    }
+}
+
+#[test]
+fn regions_report_est_weight_consistent_with_cost_model() {
+    let r = Region {
+        rows: KeyRange::new(0, 10),
+        cols: KeyRange::new(0, 10),
+        est_input: 1000,
+        est_output: 5000,
+    };
+    assert_eq!(r.est_weight(&CostModel::band()), 1000 * 1000 + 5000 * 200);
+    assert_eq!(r.est_weight(&CostModel::equi_band()), 1000 * 1000 + 5000 * 300);
+}
+
+#[test]
+fn csi_p_exceeding_distinct_keys_degrades_gracefully() {
+    // p = 2000 buckets over 50 distinct keys: boundaries collapse, buckets
+    // dedup, coverage must still hold.
+    let k1: Vec<Key> = (0..2000).map(|i| (i % 50) as Key).collect();
+    let k2 = k1.clone();
+    let cond = JoinCondition::Band { beta: 1 };
+    let s = build_csi(&k1, &k2, &cond, 6, &CsiParams { p: 2000, seed: 12 });
+    assert!(s.num_regions() <= 6);
+    let mut rng = SmallRng::seed_from_u64(13);
+    for a in 0..50i64 {
+        for b in (a - 1).max(0)..=(a + 1).min(49) {
+            assert_eq!(meets(&s, a, b, &mut rng), 1, "({a},{b})");
+        }
+    }
+}

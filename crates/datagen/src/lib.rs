@@ -1,0 +1,18 @@
+//! Workload generators for the ICDE 2016 evaluation (§VI-A).
+//!
+//! * [`ZipfCdf`] — exact Zipf(z) sampling (the Chaudhuri-Narasayya skew
+//!   knob; the paper sets z = 0.25).
+//! * [`gen_orders`] — the skewed TPC-H-style ORDERS table behind the B_ICD
+//!   and BE_OCD joins.
+//! * [`gen_x_relation`] — the synthetic X dataset behind the cost-balanced
+//!   B_CB band joins (80/20 segments with join product skew).
+
+mod tpch;
+mod xdata;
+mod zipf;
+
+pub use tpch::{
+    gen_orders, Order, OrdersParams, ORDER_PRIORITIES, PRICE_MAX, PRICE_MIN, SHIP_PRIORITIES,
+};
+pub use xdata::gen_x_relation;
+pub use zipf::ZipfCdf;

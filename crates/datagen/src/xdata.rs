@@ -1,0 +1,84 @@
+//! The paper's synthetic X dataset (§VI-A).
+//!
+//! Each relation has two independently generated segments with an 80/20 size
+//! split engineered so that *the small segments produce the majority of the
+//! output* — join product skew without redistribution skew:
+//!
+//! * segment 1: `x` tuples, keys uniform over `[0, x/6]` (dense: ~6 tuples
+//!   per key value);
+//! * segment 2: `y = 4x` tuples, keys uniform over `[2y, 6y]` (sparse: ~1
+//!   tuple per 4 key values).
+//!
+//! For a band join of width β the dense segment yields ≈ `6(2β+1)x` output
+//! tuples versus ≈ `(2β+1)x` from the 4×-larger sparse segment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ewh_core::{Key, Tuple};
+
+/// Generates one X relation with segment-1 size `x` (total `5x` tuples).
+pub fn gen_x_relation(x: usize, seed: u64) -> Vec<Tuple> {
+    assert!(x >= 6, "segment 1 needs a non-degenerate key domain");
+    let y = 4 * x;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(5 * x);
+    let seg1_hi = (x / 6) as Key;
+    for i in 0..x {
+        out.push(Tuple::new(rng.gen_range(0..=seg1_hi), i as u64));
+    }
+    let (lo, hi) = (2 * y as Key, 6 * y as Key);
+    for i in 0..y {
+        out.push(Tuple::new(rng.gen_range(lo..=hi), (x + i) as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewh_core::{JoinCondition, JoinMatrix};
+
+    #[test]
+    fn segment_sizes_and_domains() {
+        let x = 600;
+        let r = gen_x_relation(x, 1);
+        assert_eq!(r.len(), 5 * x);
+        let seg1 = &r[..x];
+        let seg2 = &r[x..];
+        assert!(seg1.iter().all(|t| (0..=(x / 6) as Key).contains(&t.key)));
+        let y = 4 * x;
+        assert!(seg2.iter().all(|t| (2 * y as Key..=6 * y as Key).contains(&t.key)));
+    }
+
+    #[test]
+    fn small_segment_produces_most_output() {
+        // The defining property of the X dataset: join product skew.
+        let x = 3000;
+        let r1 = gen_x_relation(x, 10);
+        let r2 = gen_x_relation(x, 11);
+        let beta = 2;
+        let cond = JoinCondition::Band { beta };
+
+        let keys = |ts: &[Tuple]| ts.iter().map(|t| t.key).collect::<Vec<_>>();
+        let m_all = JoinMatrix::new(keys(&r1), keys(&r2), cond).output_count();
+        let m_seg1 = JoinMatrix::new(keys(&r1[..x]), keys(&r2[..x]), cond).output_count();
+        assert!(
+            m_seg1 as f64 > 0.7 * m_all as f64,
+            "segment 1 produced only {m_seg1} of {m_all}"
+        );
+        // Rough magnitude check against the analytical ≈ 6(2β+1)x.
+        let expect = 6.0 * (2 * beta + 1) as f64 * x as f64;
+        assert!(
+            (m_seg1 as f64) > 0.5 * expect && (m_seg1 as f64) < 2.0 * expect,
+            "seg1 output {m_seg1} vs analytical {expect}"
+        );
+    }
+
+    #[test]
+    fn independent_seeds_differ() {
+        let a = gen_x_relation(100, 1);
+        let b = gen_x_relation(100, 2);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.key != y.key));
+    }
+}

@@ -1,0 +1,92 @@
+//! Distributional validation of the workload generators against the paper's
+//! dataset descriptions (§VI-A).
+
+use ewh_core::{JoinCondition, JoinMatrix, Tuple};
+use ewh_datagen::{gen_orders, gen_x_relation, OrdersParams, ZipfCdf};
+
+fn keys(ts: &[Tuple]) -> Vec<i64> {
+    ts.iter().map(|t| t.key).collect()
+}
+
+#[test]
+fn x_dataset_output_scales_linearly_with_band_width() {
+    // Table IV's B_CB column: m ≈ 7(2β+1)x, i.e. linear in (2β+1).
+    let x = 4000;
+    let r1 = keys(&gen_x_relation(x, 1));
+    let r2 = keys(&gen_x_relation(x, 2));
+    let m = |beta: i64| {
+        JoinMatrix::new(r1.clone(), r2.clone(), JoinCondition::Band { beta }).output_count() as f64
+    };
+    let (m1, m3, m8) = (m(1), m(3), m(8));
+    // Ratios of (2β+1): 7/3 and 17/3.
+    assert!((m3 / m1 - 7.0 / 3.0).abs() < 0.35, "m3/m1 = {}", m3 / m1);
+    assert!((m8 / m1 - 17.0 / 3.0).abs() < 0.9, "m8/m1 = {}", m8 / m1);
+}
+
+#[test]
+fn x_dataset_has_no_redistribution_skew_but_strong_jps() {
+    // §I example: equal-size buckets (no RS) yet wildly uneven per-bucket
+    // output (JPS). Split the key domain into equi-depth ranges and compare
+    // input vs output spread.
+    let x = 6000;
+    let r1 = keys(&gen_x_relation(x, 3));
+    let r2 = keys(&gen_x_relation(x, 4));
+    let cond = JoinCondition::Band { beta: 2 };
+    let matrix = JoinMatrix::new(r1.clone(), r2.clone(), cond);
+
+    let mut sorted = r1.clone();
+    sorted.sort_unstable();
+    let b = 10;
+    let mut outputs = Vec::new();
+    for i in 0..b {
+        let lo = sorted[i * sorted.len() / b];
+        let hi = if i == b - 1 { i64::MAX } else { sorted[(i + 1) * sorted.len() / b] - 1 };
+        let region = ewh_core::Region::new(
+            ewh_core::KeyRange::new(lo, hi),
+            ewh_core::KeyRange::new(i64::MIN, i64::MAX),
+        );
+        let (_, out) = matrix.region_counts(&region);
+        outputs.push(out);
+    }
+    // Equi-depth rows: inputs equal by construction. Outputs: the dense
+    // segment's rows must dwarf the sparse segment's.
+    let max = *outputs.iter().max().unwrap() as f64;
+    let min = *outputs.iter().min().unwrap().max(&1) as f64;
+    assert!(max / min > 5.0, "JPS not visible: outputs {outputs:?}");
+}
+
+#[test]
+fn orders_zipf_head_grows_with_z() {
+    let head_count = |z: f64| {
+        let orders = gen_orders(&OrdersParams { n: 50_000, z, seed: 9, ..Default::default() });
+        let mut counts = std::collections::HashMap::new();
+        for o in &orders {
+            *counts.entry(o.custkey).or_insert(0u64) += 1;
+        }
+        *counts.values().max().unwrap()
+    };
+    let flat = head_count(0.0);
+    let mild = head_count(0.25);
+    let steep = head_count(1.0);
+    assert!(mild > flat, "z=0.25 head {mild} not above uniform {flat}");
+    assert!(steep > 2 * mild, "z=1.0 head {steep} not well above z=0.25 {mild}");
+}
+
+#[test]
+fn zipf_cdf_sums_to_one() {
+    for z in [0.0, 0.25, 1.0, 2.0] {
+        let zipf = ZipfCdf::new(1000, z);
+        let total: f64 = (0..1000).map(|i| zipf.prob(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "z={z}: total {total}");
+    }
+}
+
+#[test]
+fn bicd_key_columns_follow_tpch_density() {
+    // orderkey 1/4-dense, custkey domain = n/10: the selectivity inputs of
+    // the B_ICD analysis.
+    let orders = gen_orders(&OrdersParams { n: 10_000, ..Default::default() });
+    assert!(orders.iter().all(|o| o.orderkey % 4 == 0));
+    let max_ck = orders.iter().map(|o| o.custkey).max().unwrap();
+    assert!(max_ck <= 1000);
+}

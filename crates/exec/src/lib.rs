@@ -1,0 +1,28 @@
+//! # ewh-exec — shared-nothing parallel join execution
+//!
+//! The execution substrate standing in for the paper's SQUALL/Storm cluster
+//! (§VI-A): J logical workers on real threads, a mapper-side [`shuffle`]
+//! driven by the partitioning scheme's router, sort+sweep [`local_join`]s,
+//! and the [`run_operator`] driver that reports the paper's metrics —
+//! simulated time from the validated cost model, measured wall time, network
+//! tuples, cluster memory, and per-worker loads.
+//!
+//! Also implements the operational extensions of the paper: the
+//! high-selectivity CI fallback (§VI-E, [`run_operator_adaptive`]) and
+//! heterogeneous clusters via capacity-aware region assignment (Appendix A5,
+//! [`assign_regions`]).
+
+mod adaptive;
+mod local_join;
+mod metrics;
+mod operator;
+mod shuffle;
+
+pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
+pub use local_join::{local_join, OutputWork};
+pub use metrics::JoinStats;
+pub use operator::{
+    assign_regions, build_scheme, execute_join, run_operator, run_operator_adaptive,
+    FallbackPolicy, OperatorConfig, OperatorRun,
+};
+pub use shuffle::{shuffle, Shuffled};

@@ -1,0 +1,96 @@
+//! Execution metrics: per-worker loads, the realized weight function, and
+//! resource accounting (memory, network), mirroring what §VI-B measures.
+
+use ewh_core::CostModel;
+
+/// Metrics of one join execution.
+#[derive(Clone, Debug, Default)]
+pub struct JoinStats {
+    /// Total output tuples produced (must equal the reference join size).
+    pub output_total: u64,
+    /// Input tuples received per worker (both relations, replication
+    /// included).
+    pub per_worker_input: Vec<u64>,
+    /// Output tuples produced per worker.
+    pub per_worker_output: Vec<u64>,
+    /// Realized maximum region weight in milli-units — the paper's
+    /// "computed after the join execution" weights of Fig. 4h.
+    pub max_weight_milli: u64,
+    /// Simulated join time: max worker weight at the configured
+    /// units-per-second rate (the paper's cost model, validated by Fig. 4h).
+    pub sim_join_secs: f64,
+    /// Measured wall-clock of the threaded local-join phase.
+    pub wall_join_secs: f64,
+    /// Tuples moved mapper → reducer (replication included).
+    pub network_tuples: u64,
+    /// Peak resident bytes across the cluster (tuples × 16 B).
+    pub mem_bytes: u64,
+    /// Did `mem_bytes` exceed the configured cluster capacity? (The paper
+    /// extrapolates such runs; we complete them and flag the overflow.)
+    pub overflowed: bool,
+    /// Fold of all output tuples' payloads; forces the "post-processing
+    /// cost per output tuple" to really happen and lets tests compare runs.
+    pub checksum: u64,
+}
+
+impl JoinStats {
+    /// Recomputes the realized max weight from per-worker loads.
+    pub fn compute_max_weight(&mut self, cost: &CostModel) {
+        self.max_weight_milli = self
+            .per_worker_input
+            .iter()
+            .zip(&self.per_worker_output)
+            .map(|(&i, &o)| cost.weight(i, o))
+            .max()
+            .unwrap_or(0);
+    }
+
+    pub fn max_input(&self) -> u64 {
+        self.per_worker_input.iter().copied().max().unwrap_or(0)
+    }
+
+    pub fn max_output(&self) -> u64 {
+        self.per_worker_output.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Load imbalance: max worker weight over mean worker weight (1.0 =
+    /// perfect balance).
+    pub fn imbalance(&self, cost: &CostModel) -> f64 {
+        let weights: Vec<u64> = self
+            .per_worker_input
+            .iter()
+            .zip(&self.per_worker_output)
+            .map(|(&i, &o)| cost.weight(i, o))
+            .collect();
+        let max = weights.iter().copied().max().unwrap_or(0) as f64;
+        let mean = weights.iter().sum::<u64>() as f64 / weights.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_weight_and_imbalance() {
+        let mut s = JoinStats {
+            per_worker_input: vec![100, 200, 100],
+            per_worker_output: vec![1000, 0, 1000],
+            ..Default::default()
+        };
+        let cost = CostModel::band(); // w = 1000*in + 200*out
+        s.compute_max_weight(&cost);
+        // Worker 0/2: 100k + 200k = 300k; worker 1: 200k.
+        assert_eq!(s.max_weight_milli, 300_000);
+        assert_eq!(s.max_input(), 200);
+        assert_eq!(s.max_output(), 1000);
+        let imb = s.imbalance(&cost);
+        let mean = (300_000.0 + 200_000.0 + 300_000.0) / 3.0;
+        assert!((imb - 300_000.0 / mean).abs() < 1e-12);
+    }
+}

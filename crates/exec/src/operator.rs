@@ -1,0 +1,508 @@
+//! The end-to-end join operator: statistics → partitioning scheme → shuffle
+//! → local joins, with the paper's time and resource accounting.
+//!
+//! Time is reported on two axes:
+//! * **simulated seconds** — the paper's own cost model: the slowest worker's
+//!   weight `max_r w(r)` (plus the modeled statistics scans) at a fixed
+//!   processing rate. This is hardware-independent and is what the figures
+//!   compare, exactly as Fig. 4h validates the model in the paper.
+//! * **wall seconds** — measured on the real threaded execution, as a sanity
+//!   check that the simulated ordering is physical.
+
+use std::thread;
+use std::time::Instant;
+
+use ewh_core::{
+    build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams,
+    HistogramParams, JoinCondition, Key, PartitionScheme, SchemeKind, Tuple,
+};
+
+use crate::{local_join, shuffle, JoinStats, OutputWork, Shuffled};
+
+/// Cluster + operator configuration.
+#[derive(Clone, Debug)]
+pub struct OperatorConfig {
+    /// Number of workers (the paper's J).
+    pub j: usize,
+    /// Real OS threads driving the simulated workers.
+    pub threads: usize,
+    pub seed: u64,
+    pub cost: CostModel,
+    /// CSI bucket count etc.
+    pub csi: CsiParams,
+    /// CSIO histogram tunables (its `j`, `seed` and `threads` fields are
+    /// overridden from this config).
+    pub hist: HistogramParams,
+    /// Hash-scheme tunables (heavy-hitter threshold).
+    pub hash: HashParams,
+    /// Build more regions than workers (heterogeneous clusters, Appendix
+    /// A5); regions are then LPT-assigned to workers by estimated weight.
+    pub j_regions: Option<usize>,
+    /// Relative worker capacities (heterogeneous clusters); length `j`.
+    pub capacities: Option<Vec<f64>>,
+    /// Simulated per-worker processing rate in work units per second.
+    pub units_per_sec: f64,
+    /// Cost of scanning one tuple during statistics collection, as a
+    /// fraction of `wi` (§VI-D: scans repartition join keys only, cheaper
+    /// than full shuffle processing).
+    pub scan_cost_factor: f64,
+    /// Modeled cost of the histogram algorithm itself, as a fraction of `wi`
+    /// per input tuple, run on a single machine (Theorem 3.1: the whole
+    /// chain is O(n) local time). Applies to CSIO on `max(n1, n2)` and to
+    /// CSI on its `p` buckets; CI has no statistics at all.
+    pub hist_cost_factor: f64,
+    /// Cluster memory capacity; exceeding it flags
+    /// [`JoinStats::overflowed`].
+    pub mem_capacity_bytes: Option<u64>,
+    /// Per-output-tuple work performed by the local joins.
+    pub output_work: OutputWork,
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        OperatorConfig {
+            j: 4,
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2),
+            seed: 0x0E17,
+            cost: CostModel::band(),
+            csi: CsiParams::default(),
+            hist: HistogramParams::default(),
+            hash: HashParams::default(),
+            j_regions: None,
+            capacities: None,
+            units_per_sec: 2.0e6,
+            scan_cost_factor: 0.5,
+            hist_cost_factor: 0.02,
+            mem_capacity_bytes: None,
+            output_work: OutputWork::Touch,
+        }
+    }
+}
+
+/// A completed operator run.
+#[derive(Clone, Debug)]
+pub struct OperatorRun {
+    pub kind: SchemeKind,
+    pub num_regions: usize,
+    pub build: ewh_core::BuildInfo,
+    /// Modeled statistics time (scan passes + measured histogram algorithm).
+    pub stats_sim_secs: f64,
+    /// Measured wall-clock of building the scheme.
+    pub stats_wall_secs: f64,
+    pub join: JoinStats,
+    /// `stats_sim_secs + join.sim_join_secs` — the paper's "total execution
+    /// time".
+    pub total_sim_secs: f64,
+    /// Whether the adaptive operator abandoned CSIO for CI (§VI-E).
+    pub fell_back: bool,
+}
+
+impl OperatorRun {
+    /// Output/input cost ratio ρoi of the executed join.
+    pub fn rho_oi(&self, n_input: u64) -> f64 {
+        self.join.output_total as f64 / n_input.max(1) as f64
+    }
+}
+
+fn extract_keys(tuples: &[Tuple]) -> Vec<Key> {
+    tuples.iter().map(|t| t.key).collect()
+}
+
+/// Builds the requested scheme (measures wall time into the result).
+pub fn build_scheme(
+    kind: SchemeKind,
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    cfg: &OperatorConfig,
+) -> (PartitionScheme, f64) {
+    let start = Instant::now();
+    let j_regions = cfg.j_regions.unwrap_or(cfg.j);
+    let scheme = match kind {
+        SchemeKind::Ci => build_ci(cfg.j, r1.len() as u64, r2.len() as u64, None),
+        SchemeKind::Csi => {
+            let params = CsiParams { seed: cfg.seed, ..cfg.csi };
+            build_csi(&extract_keys(r1), &extract_keys(r2), cond, j_regions, &params)
+        }
+        SchemeKind::Csio => {
+            let params = HistogramParams {
+                j: j_regions,
+                seed: cfg.seed,
+                threads: cfg.threads,
+                ..cfg.hist
+            };
+            build_csio(&extract_keys(r1), &extract_keys(r2), cond, &cfg.cost, &params)
+        }
+        SchemeKind::Hash => {
+            build_hash(&extract_keys(r1), &extract_keys(r2), cond, cfg.j, &cfg.hash)
+        }
+    };
+    (scheme, start.elapsed().as_secs_f64())
+}
+
+/// Assigns regions to workers. Identity when regions ≤ workers and the
+/// cluster is homogeneous; otherwise LPT (longest processing time first) on
+/// estimated region weight over worker capacity.
+pub fn assign_regions(
+    scheme: &PartitionScheme,
+    j: usize,
+    capacities: Option<&[f64]>,
+    cost: &CostModel,
+) -> Vec<u32> {
+    let n = scheme.num_regions();
+    if n <= j && capacities.is_none() {
+        return (0..n as u32).collect();
+    }
+    let caps: Vec<f64> = match capacities {
+        Some(c) => {
+            assert_eq!(c.len(), j, "capacities must have one entry per worker");
+            c.to_vec()
+        }
+        None => vec![1.0; j],
+    };
+    // LPT: heaviest region first onto the worker with the lowest projected
+    // finish time (load / capacity).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(scheme.regions[i].est_weight(cost)));
+    let mut load = vec![0u64; j];
+    let mut map = vec![0u32; n];
+    for i in order {
+        let w = scheme.regions[i].est_weight(cost);
+        let target = (0..j)
+            .min_by(|&a, &b| {
+                let fa = (load[a] + w) as f64 / caps[a];
+                let fb = (load[b] + w) as f64 / caps[b];
+                fa.total_cmp(&fb)
+            })
+            .unwrap();
+        load[target] += w;
+        map[i] = target as u32;
+    }
+    map
+}
+
+/// Modeled statistics time: scan passes at `scan_cost_factor · wi` per tuple
+/// parallelized over J workers, plus the histogram algorithm at
+/// `hist_cost_factor · wi` per tuple on a single machine (its input size is
+/// `max(n1, n2)` for CSIO's 3-stage chain, `p` for CSI's cover heuristic).
+/// The *measured* histogram wall time stays available in
+/// [`ewh_core::BuildInfo::hist_secs`] for Table V, where runs of the same
+/// scale compare against each other.
+fn stats_sim_secs(scheme: &PartitionScheme, n: u64, cfg: &OperatorConfig) -> f64 {
+    let scan_milli = (scheme.build.stats_scan_tuples as f64 / cfg.j as f64)
+        * cfg.cost.wi_milli as f64
+        * cfg.scan_cost_factor;
+    let hist_input = match scheme.kind {
+        SchemeKind::Ci | SchemeKind::Hash => 0,
+        SchemeKind::Csi => scheme.build.ns as u64,
+        SchemeKind::Csio => n,
+    };
+    let hist_milli = hist_input as f64 * cfg.cost.wi_milli as f64 * cfg.hist_cost_factor;
+    CostModel::milli_to_secs((scan_milli + hist_milli) as u64, cfg.units_per_sec)
+}
+
+/// Executes the local joins across threads; returns complete [`JoinStats`].
+/// Joins run per *region* (the unit of correctness), and per-worker loads
+/// aggregate over `region_to_worker`.
+pub fn execute_join(
+    mut shuffled: Shuffled,
+    cond: &JoinCondition,
+    region_to_worker: &[u32],
+    cfg: &OperatorConfig,
+) -> JoinStats {
+    let per_region_input = shuffled.per_region_input();
+    let network_tuples = shuffled.network_tuples;
+    let mem_bytes = shuffled.mem_bytes();
+
+    let start = Instant::now();
+    let n_regions = shuffled.r1.len();
+    debug_assert_eq!(region_to_worker.len(), n_regions);
+    let threads = cfg.threads.max(1).min(n_regions.max(1));
+    let work = cfg.output_work;
+    // Interleave regions across threads so consecutive (often similar-sized)
+    // regions spread out.
+    type RegionBucket<'a> = (usize, &'a mut Vec<Tuple>, &'a mut Vec<Tuple>);
+    let results: Vec<(usize, u64, u64)> = thread::scope(|s| {
+        let buckets: Vec<RegionBucket<'_>> = shuffled
+            .r1
+            .iter_mut()
+            .zip(shuffled.r2.iter_mut())
+            .enumerate()
+            .map(|(r, (a, b))| (r, a, b))
+            .collect();
+        let mut per_thread: Vec<Vec<RegionBucket<'_>>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in buckets.into_iter().enumerate() {
+            per_thread[i % threads].push(item);
+        }
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|mine| {
+                s.spawn(move || {
+                    mine.into_iter()
+                        .map(|(r, r1, r2)| {
+                            let (count, sum) = local_join(r1, r2, cond, work);
+                            (r, count, sum)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("join worker panicked"))
+            .collect()
+    });
+    let wall_join_secs = start.elapsed().as_secs_f64();
+
+    let mut per_worker_input = vec![0u64; cfg.j];
+    let mut per_worker_output = vec![0u64; cfg.j];
+    for (r, &input) in per_region_input.iter().enumerate() {
+        per_worker_input[region_to_worker[r] as usize] += input;
+    }
+    let mut checksum = 0u64;
+    let mut output_total = 0u64;
+    for (r, count, sum) in results {
+        per_worker_output[region_to_worker[r] as usize] += count;
+        output_total += count;
+        checksum ^= sum;
+    }
+
+    let mut stats = JoinStats {
+        output_total,
+        per_worker_input,
+        per_worker_output,
+        network_tuples,
+        mem_bytes,
+        overflowed: cfg.mem_capacity_bytes.map(|cap| mem_bytes > cap).unwrap_or(false),
+        wall_join_secs,
+        checksum,
+        ..Default::default()
+    };
+    stats.compute_max_weight(&cfg.cost);
+    stats.sim_join_secs = CostModel::milli_to_secs(stats.max_weight_milli, cfg.units_per_sec);
+    stats
+}
+
+/// Runs the full operator with the given scheme kind.
+pub fn run_operator(
+    kind: SchemeKind,
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    cfg: &OperatorConfig,
+) -> OperatorRun {
+    let (scheme, stats_wall_secs) = build_scheme(kind, r1, r2, cond, cfg);
+    run_with_scheme(scheme, stats_wall_secs, r1, r2, cond, cfg, false)
+}
+
+fn run_with_scheme(
+    scheme: PartitionScheme,
+    stats_wall_secs: f64,
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    cfg: &OperatorConfig,
+    fell_back: bool,
+) -> OperatorRun {
+    let map = assign_regions(&scheme, cfg.j, cfg.capacities.as_deref(), &cfg.cost);
+    let shuffled = shuffle(r1, r2, &scheme, cfg.threads, cfg.seed ^ 0x5F);
+    let join = execute_join(shuffled, cond, &map, cfg);
+    let stats_sim = stats_sim_secs(&scheme, r1.len().max(r2.len()) as u64, cfg);
+    OperatorRun {
+        kind: scheme.kind,
+        num_regions: scheme.num_regions(),
+        total_sim_secs: stats_sim + join.sim_join_secs,
+        stats_sim_secs: stats_sim,
+        stats_wall_secs,
+        build: scheme.build,
+        join,
+        fell_back,
+    }
+}
+
+/// §VI-E: adaptive operator. Always start building CSIO (cheap relative to
+/// the join); if the exact `m` learned during sampling reveals a
+/// high-selectivity join (`m > rho_threshold · n`), fall back to CI — the
+/// wasted statistics time is charged to the run.
+#[derive(Clone, Copy, Debug)]
+pub struct FallbackPolicy {
+    /// Fall back when `m / max(n1, n2)` exceeds this (paper: CSIO is better
+    /// or on par with CI while the output is up to 2 orders of magnitude
+    /// bigger than the input).
+    pub rho_threshold: f64,
+}
+
+impl Default for FallbackPolicy {
+    fn default() -> Self {
+        FallbackPolicy { rho_threshold: 100.0 }
+    }
+}
+
+/// Runs CSIO with the CI fallback policy.
+pub fn run_operator_adaptive(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    cfg: &OperatorConfig,
+    policy: &FallbackPolicy,
+) -> OperatorRun {
+    let (scheme, csio_wall) = build_scheme(SchemeKind::Csio, r1, r2, cond, cfg);
+    let n = r1.len().max(r2.len()) as u64;
+    let rho = scheme.build.m_est as f64 / n.max(1) as f64;
+    if rho > policy.rho_threshold {
+        // Abandon CSIO: keep its (wasted) stats cost on the books, run CI.
+        let wasted_sim = stats_sim_secs(&scheme, n, cfg);
+        let (ci, ci_wall) = build_scheme(SchemeKind::Ci, r1, r2, cond, cfg);
+        let mut run = run_with_scheme(ci, csio_wall + ci_wall, r1, r2, cond, cfg, true);
+        run.stats_sim_secs += wasted_sim;
+        run.total_sim_secs += wasted_sim;
+        return run;
+    }
+    run_with_scheme(scheme, csio_wall, r1, r2, cond, cfg, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewh_core::JoinMatrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tuples(keys: &[Key]) -> Vec<Tuple> {
+        keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+    }
+
+    fn random_keys(n: usize, domain: i64, seed: u64) -> Vec<Key> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..domain)).collect()
+    }
+
+    #[test]
+    fn all_schemes_produce_the_exact_join_output() {
+        let k1 = random_keys(4000, 1000, 1);
+        let k2 = random_keys(4000, 1000, 2);
+        let cond = JoinCondition::Band { beta: 1 };
+        let expect = JoinMatrix::new(k1.clone(), k2.clone(), cond).output_count();
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let cfg = OperatorConfig { j: 6, threads: 2, ..Default::default() };
+        for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
+            let run = run_operator(kind, &r1, &r2, &cond, &cfg);
+            assert_eq!(run.join.output_total, expect, "{kind}");
+            assert!(run.total_sim_secs >= run.join.sim_join_secs);
+        }
+    }
+
+    #[test]
+    fn ci_and_content_sensitive_same_checksum() {
+        // The checksum is an order-invariant fold over all output tuples, so
+        // any correct scheme must produce the same value.
+        let k1 = random_keys(2000, 400, 3);
+        let k2 = random_keys(2000, 400, 4);
+        let cond = JoinCondition::Equi;
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let cfg = OperatorConfig { j: 4, threads: 2, ..Default::default() };
+        let a = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+        let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        let c = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
+        assert_eq!(a.join.checksum, b.join.checksum);
+        assert_eq!(a.join.checksum, c.join.checksum);
+    }
+
+    #[test]
+    fn csio_beats_csi_under_join_product_skew() {
+        // A hot key segment (JPS): CSI balances input only and must end up
+        // with a heavier max worker than CSIO.
+        let mut k1 = random_keys(8000, 8000, 5);
+        let mut k2 = random_keys(8000, 8000, 6);
+        for i in 0..2000 {
+            k1[i] = 4000 + (i as i64 % 50);
+            k2[i] = 4000 + (i as i64 * 3 % 50);
+        }
+        let cond = JoinCondition::Band { beta: 2 };
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let cfg = OperatorConfig { j: 8, threads: 2, ..Default::default() };
+        let csi = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
+        let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        assert_eq!(csi.join.output_total, csio.join.output_total);
+        assert!(
+            csio.join.max_weight_milli < csi.join.max_weight_milli,
+            "CSIO {} !< CSI {}",
+            csio.join.max_weight_milli,
+            csi.join.max_weight_milli
+        );
+    }
+
+    #[test]
+    fn ci_network_volume_exceeds_csio() {
+        let k1 = random_keys(4000, 2000, 7);
+        let k2 = random_keys(4000, 2000, 8);
+        let cond = JoinCondition::Band { beta: 1 };
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let cfg = OperatorConfig { j: 16, threads: 2, ..Default::default() };
+        let ci = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+        let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        assert!(
+            ci.join.network_tuples > 2 * csio.join.network_tuples,
+            "CI {} vs CSIO {}",
+            ci.join.network_tuples,
+            csio.join.network_tuples
+        );
+    }
+
+    #[test]
+    fn heterogeneous_assignment_respects_capacity() {
+        let k1 = random_keys(6000, 3000, 9);
+        let k2 = random_keys(6000, 3000, 10);
+        let cond = JoinCondition::Band { beta: 1 };
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        // Worker 0 is 4x faster; build 8 regions for 2 workers.
+        let cfg = OperatorConfig {
+            j: 2,
+            threads: 2,
+            j_regions: Some(8),
+            capacities: Some(vec![4.0, 1.0]),
+            ..Default::default()
+        };
+        let run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        let expect = JoinMatrix::new(k1, k2, cond).output_count();
+        assert_eq!(run.join.output_total, expect);
+        // The fast worker should carry more input than the slow one.
+        assert!(run.join.per_worker_input[0] > run.join.per_worker_input[1]);
+    }
+
+    #[test]
+    fn adaptive_falls_back_on_high_selectivity() {
+        // Cross-product-like join: every key matches everything.
+        let k1 = vec![0i64; 2000];
+        let k2 = vec![0i64; 2000];
+        let cond = JoinCondition::Equi;
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let cfg = OperatorConfig { j: 4, threads: 2, ..Default::default() };
+        let run = run_operator_adaptive(&r1, &r2, &cond, &cfg, &FallbackPolicy::default());
+        assert!(run.fell_back, "rho = 2000 should trigger the CI fallback");
+        assert_eq!(run.kind, SchemeKind::Ci);
+        assert_eq!(run.join.output_total, 4_000_000);
+
+        // A low-selectivity join must not fall back.
+        let k1: Vec<Key> = (0..2000).collect();
+        let (r1b, r2b) = (tuples(&k1), tuples(&k1));
+        let run = run_operator_adaptive(&r1b, &r2b, &cond, &cfg, &FallbackPolicy::default());
+        assert!(!run.fell_back);
+        assert_eq!(run.kind, SchemeKind::Csio);
+    }
+
+    #[test]
+    fn memory_overflow_is_flagged() {
+        let k1 = random_keys(1000, 500, 11);
+        let (r1, r2) = (tuples(&k1), tuples(&k1));
+        let cond = JoinCondition::Equi;
+        let cfg = OperatorConfig {
+            j: 4,
+            mem_capacity_bytes: Some(1), // absurdly small
+            ..Default::default()
+        };
+        let run = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+        assert!(run.join.overflowed);
+    }
+}

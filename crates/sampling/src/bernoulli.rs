@@ -1,0 +1,105 @@
+use rand::Rng;
+
+/// One-pass Bernoulli sampling with rate `rate` (§IV: "we build the input
+/// sample in one pass in parallel using Bernoulli sampling with a sampling
+/// rate of q_i = s_i / n").
+///
+/// Uses geometric gap skipping: instead of one coin flip per item, draw the
+/// gap to the next selected item, `O(n·rate)` RNG calls in expectation.
+pub fn bernoulli_sample<T: Copy>(items: &[T], rate: f64, rng: &mut impl Rng) -> Vec<T> {
+    bernoulli_sample_by(items, rate, rng, |t| *t)
+}
+
+/// Bernoulli sampling through a projection (e.g. extract the join key while
+/// scanning full tuples).
+pub fn bernoulli_sample_by<T, U>(
+    items: &[T],
+    rate: f64,
+    rng: &mut impl Rng,
+    project: impl Fn(&T) -> U,
+) -> Vec<U> {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    if rate <= 0.0 || items.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity((items.len() as f64 * rate * 1.2) as usize + 4);
+    if rate >= 1.0 {
+        out.extend(items.iter().map(&project));
+        return out;
+    }
+    let ln_q = (1.0 - rate).ln();
+    let mut i = 0usize;
+    loop {
+        // Geometric gap: number of rejections before the next acceptance.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (u.ln() / ln_q).floor() as usize;
+        i = match i.checked_add(gap) {
+            Some(v) => v,
+            None => break,
+        };
+        if i >= items.len() {
+            break;
+        }
+        out.push(project(&items[i]));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_zero_and_one() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(bernoulli_sample(&items, 0.0, &mut rng).is_empty());
+        assert_eq!(bernoulli_sample(&items, 1.0, &mut rng), items);
+    }
+
+    #[test]
+    fn sample_size_concentrates_around_rate_n() {
+        let items: Vec<u64> = (0..200_000).collect();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let s = bernoulli_sample(&items, 0.01, &mut rng);
+        let expect = 2000.0;
+        assert!(
+            (s.len() as f64 - expect).abs() < 5.0 * expect.sqrt(),
+            "sample size {} too far from {}",
+            s.len(),
+            expect
+        );
+        // Elements preserved in order and without duplicates.
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn positions_are_roughly_uniform() {
+        // Split the index space into 10 deciles: each should get ~sample/10.
+        let items: Vec<u64> = (0..100_000).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = bernoulli_sample(&items, 0.05, &mut rng);
+        let mut deciles = [0u64; 10];
+        for &x in &s {
+            deciles[(x / 10_000) as usize] += 1;
+        }
+        let mean = s.len() as f64 / 10.0;
+        for (d, &c) in deciles.iter().enumerate() {
+            assert!(
+                (c as f64 - mean).abs() < 6.0 * mean.sqrt(),
+                "decile {d}: {c} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_variant_extracts_fields() {
+        let items: Vec<(i64, &str)> = vec![(1, "a"), (2, "b"), (3, "c")];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let keys = bernoulli_sample_by(&items, 1.0, &mut rng, |t| t.0);
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,180 @@
+use crate::Key;
+
+/// Sorted distinct join keys with multiplicities and prefix sums — the
+/// paper's `d2equi` structure (§IV-A, step 1).
+///
+/// For any join condition whose joinable set is one contiguous key range
+/// (equi, band, inequality, and the encoded equality+band composite), the
+/// joinable-set size `d2(k)` is a single [`KeyedCounts::range_count`] call.
+#[derive(Clone, Debug, Default)]
+pub struct KeyedCounts {
+    keys: Vec<Key>,
+    counts: Vec<u64>,
+    /// `prefix[i]` = total multiplicity of `keys[..i]`; `prefix.len() == keys.len() + 1`.
+    prefix: Vec<u64>,
+}
+
+impl KeyedCounts {
+    /// Aggregates a multiset of keys. `O(n log n)`.
+    pub fn from_keys(mut keys: Vec<Key>) -> Self {
+        keys.sort_unstable();
+        let mut distinct = Vec::new();
+        let mut counts = Vec::new();
+        for k in keys {
+            match distinct.last() {
+                Some(&last) if last == k => *counts.last_mut().unwrap() += 1,
+                _ => {
+                    distinct.push(k);
+                    counts.push(1u64);
+                }
+            }
+        }
+        Self::from_sorted_distinct(distinct, counts)
+    }
+
+    /// Builds from already-aggregated `(key, count)` pairs in strictly
+    /// ascending key order (used when merging per-partition aggregates).
+    pub fn from_sorted_distinct(keys: Vec<Key>, counts: Vec<u64>) -> Self {
+        debug_assert_eq!(keys.len(), counts.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly ascending");
+        let mut prefix = Vec::with_capacity(keys.len() + 1);
+        prefix.push(0);
+        for &c in &counts {
+            prefix.push(prefix.last().unwrap() + c);
+        }
+        KeyedCounts { keys, counts, prefix }
+    }
+
+    /// Merges several per-partition aggregates (keys may repeat across
+    /// parts) into one.
+    pub fn merge(parts: &[KeyedCounts]) -> Self {
+        let mut all: Vec<(Key, u64)> = parts
+            .iter()
+            .flat_map(|p| p.keys.iter().copied().zip(p.counts.iter().copied()))
+            .collect();
+        all.sort_unstable_by_key(|&(k, _)| k);
+        let mut keys = Vec::with_capacity(all.len());
+        let mut counts = Vec::with_capacity(all.len());
+        for (k, c) in all {
+            match keys.last() {
+                Some(&last) if last == k => *counts.last_mut().unwrap() += c,
+                _ => {
+                    keys.push(k);
+                    counts.push(c);
+                }
+            }
+        }
+        Self::from_sorted_distinct(keys, counts)
+    }
+
+    /// Total multiplicity.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        *self.prefix.last().unwrap_or(&0)
+    }
+
+    /// Number of distinct keys.
+    #[inline]
+    pub fn num_distinct(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Index of the first key `>= k`.
+    #[inline]
+    fn lower_bound(&self, k: Key) -> usize {
+        self.keys.partition_point(|&x| x < k)
+    }
+
+    /// Total multiplicity of keys in the inclusive range `[lo, hi]` — the
+    /// joinable-set size `d2` for a tuple whose joinable range is `[lo, hi]`.
+    #[inline]
+    pub fn range_count(&self, lo: Key, hi: Key) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let a = self.lower_bound(lo);
+        let b = self.keys.partition_point(|&x| x <= hi);
+        self.prefix[b] - self.prefix[a]
+    }
+
+    /// Picks the `u`-th tuple (0-based) among the tuples whose key lies in
+    /// `[lo, hi]`, returning its key. This realizes "choose a join key from
+    /// the joinable set with probability proportional to its multiplicity"
+    /// (§IV-A, step 3). `u` must be `< range_count(lo, hi)`.
+    pub fn pick_in_range(&self, lo: Key, hi: Key, u: u64) -> Key {
+        let a = self.lower_bound(lo);
+        debug_assert!(u < self.range_count(lo, hi));
+        let target = self.prefix[a] + u;
+        // First index i with prefix[i+1] > target.
+        let i = self.prefix[a + 1..].partition_point(|&p| p <= target) + a;
+        self.keys[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_multiset() {
+        let kc = KeyedCounts::from_keys(vec![5, 3, 5, 5, 3, 9]);
+        assert_eq!(kc.keys(), &[3, 5, 9]);
+        assert_eq!(kc.counts(), &[2, 3, 1]);
+        assert_eq!(kc.total(), 6);
+        assert_eq!(kc.num_distinct(), 3);
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let keys = vec![-4, -4, 0, 2, 2, 2, 7, 11, 11];
+        let kc = KeyedCounts::from_keys(keys.clone());
+        for lo in -6..14 {
+            for hi in lo - 1..14 {
+                let expect = keys.iter().filter(|&&k| lo <= k && k <= hi).count() as u64;
+                assert_eq!(kc.range_count(lo, hi), expect, "[{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn range_count_extremes() {
+        let kc = KeyedCounts::from_keys(vec![1, 2, 3]);
+        assert_eq!(kc.range_count(Key::MIN, Key::MAX), 3);
+        assert_eq!(kc.range_count(4, Key::MAX), 0);
+        assert_eq!(kc.range_count(3, 2), 0); // inverted
+        let empty = KeyedCounts::from_keys(vec![]);
+        assert_eq!(empty.range_count(Key::MIN, Key::MAX), 0);
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn pick_in_range_is_proportional_to_multiplicity() {
+        let kc = KeyedCounts::from_keys(vec![10, 20, 20, 20, 30, 30]);
+        // In range [15, 35] there are 5 tuples: 20,20,20,30,30.
+        let picks: Vec<Key> = (0..5).map(|u| kc.pick_in_range(15, 35, u)).collect();
+        assert_eq!(picks, vec![20, 20, 20, 30, 30]);
+        // Full range.
+        assert_eq!(kc.pick_in_range(Key::MIN, Key::MAX, 0), 10);
+        assert_eq!(kc.pick_in_range(Key::MIN, Key::MAX, 5), 30);
+    }
+
+    #[test]
+    fn merge_equals_single_shot() {
+        let a = KeyedCounts::from_keys(vec![1, 2, 2, 8]);
+        let b = KeyedCounts::from_keys(vec![2, 3, 8, 8]);
+        let merged = KeyedCounts::merge(&[a, b]);
+        let direct = KeyedCounts::from_keys(vec![1, 2, 2, 8, 2, 3, 8, 8]);
+        assert_eq!(merged.keys(), direct.keys());
+        assert_eq!(merged.counts(), direct.counts());
+    }
+}

@@ -1,0 +1,117 @@
+//! Kolmogorov-Smirnov and χ² helpers.
+//!
+//! Appendix A1 of the paper sizes the output sample via Kolmogorov's
+//! statistics: "for an error on the region output within 5% and confidence of
+//! at least 99%, the standard tables only require that the sample size is at
+//! least 1063", combined with a small integer multiple of the number of
+//! scrutinized categories (candidate `MS` cells). These functions provide the
+//! size rule and the goodness-of-fit statistics the tests use to verify that
+//! Stream-Sample output really is a uniform sample of the join output.
+
+/// The paper's output sample size rule (§A1, "in our experiments we set
+/// `so = 2·nsc`"): `so = max(1063, 2 × candidate_cells)`.
+pub fn output_sample_size(candidate_cells: usize) -> usize {
+    1063usize.max(2 * candidate_cells)
+}
+
+/// One-sample Kolmogorov-Smirnov statistic of `values` against U(0,1).
+/// `values` need not be sorted.
+pub fn ks_statistic_uniform(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let mut v = values.to_vec();
+    v.sort_unstable_by(f64::total_cmp);
+    let n = v.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in v.iter().enumerate() {
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((x - lo).abs()).max((hi - x).abs());
+    }
+    d
+}
+
+/// Asymptotic KS critical value at significance `alpha` (two-sided):
+/// `c(alpha) / sqrt(n)` with `c(0.05) = 1.358`, `c(0.01) = 1.628`.
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    let c = if alpha <= 0.01 {
+        1.628
+    } else if alpha <= 0.05 {
+        1.358
+    } else {
+        1.224 // alpha = 0.10
+    };
+    c / (n as f64).sqrt()
+}
+
+/// Pearson χ² statistic for observed counts against expected (same length,
+/// expected > 0 where observed > 0). Categories with expected < 1e-12 and
+/// zero observations are skipped.
+pub fn chi_square(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len());
+    let mut chi = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        if e <= 1e-12 {
+            assert_eq!(o, 0, "observation in a zero-probability category");
+            continue;
+        }
+        let d = o as f64 - e;
+        chi += d * d / e;
+    }
+    chi
+}
+
+/// Loose upper critical value for a χ² distribution with `df` degrees of
+/// freedom at roughly the 0.1% level, via the Wilson-Hilferty cube
+/// approximation. Used by statistical tests to fail only on gross mismatches
+/// (so seeds do not flake).
+pub fn chi_square_critical(df: usize) -> f64 {
+    let df = df as f64;
+    let z = 3.09; // ≈ 99.9th percentile of N(0,1)
+    df * (1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt()).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sample_size_rule() {
+        assert_eq!(output_sample_size(0), 1063);
+        assert_eq!(output_sample_size(500), 1063);
+        assert_eq!(output_sample_size(1000), 2000);
+    }
+
+    #[test]
+    fn uniform_sample_passes_ks() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let v: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        let d = ks_statistic_uniform(&v);
+        assert!(d < ks_critical(v.len(), 0.01), "d = {d}");
+    }
+
+    #[test]
+    fn skewed_sample_fails_ks() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let v: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>().powi(3)).collect();
+        let d = ks_statistic_uniform(&v);
+        assert!(d > ks_critical(v.len(), 0.01), "d = {d} should reject");
+    }
+
+    #[test]
+    fn chi_square_detects_bias() {
+        let expected = vec![250.0; 4];
+        let fair = [260u64, 240, 255, 245];
+        let biased = [500u64, 100, 200, 200];
+        assert!(chi_square(&fair, &expected) < chi_square_critical(3));
+        assert!(chi_square(&biased, &expected) > chi_square_critical(3));
+    }
+
+    #[test]
+    fn chi_square_critical_is_sane() {
+        // df=10 at 0.1% is about 29.6.
+        let c = chi_square_critical(10);
+        assert!((25.0..35.0).contains(&c), "{c}");
+    }
+}

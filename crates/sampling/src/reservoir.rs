@@ -1,0 +1,174 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+
+/// Weighted reservoir sampling *without replacement* (Efraimidis & Spirakis,
+/// IPL 2006, algorithm A-Res).
+///
+/// Each item receives priority `u^(1/w)` with `u ~ U(0,1)`; the reservoir
+/// keeps the `k` items with the largest priorities. Reservoirs built on
+/// disjoint partitions merge by keeping the global top-`k` priorities — this
+/// is exactly the paper's parallel one-pass S1 construction (§IV-A step 2:
+/// "after each reducer produces its Max-Heap reservoir, we merge them into a
+/// single reservoir using the same priority function").
+#[derive(Clone, Debug)]
+pub struct WeightedReservoir<T> {
+    capacity: usize,
+    /// Min-heap on priority: the root is the weakest kept item.
+    heap: BinaryHeap<Entry<T>>,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    priority: f64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the minimum priority at
+        // the root for eviction.
+        other.priority.total_cmp(&self.priority)
+    }
+}
+
+impl<T> WeightedReservoir<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        WeightedReservoir { capacity, heap: BinaryHeap::with_capacity(capacity + 1) }
+    }
+
+    /// Offers an item with the given weight. Zero-weight items are never
+    /// selected.
+    pub fn offer(&mut self, item: T, weight: u64, rng: &mut impl Rng) {
+        if weight == 0 {
+            return;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let priority = u.powf(1.0 / weight as f64);
+        self.offer_with_priority(item, priority);
+    }
+
+    /// Inserts with an externally computed priority (used by merge).
+    pub fn offer_with_priority(&mut self, item: T, priority: f64) {
+        if self.heap.len() < self.capacity {
+            self.heap.push(Entry { priority, item });
+        } else if self.heap.peek().map(|e| priority > e.priority).unwrap_or(false) {
+            self.heap.pop();
+            self.heap.push(Entry { priority, item });
+        }
+    }
+
+    /// Merges another reservoir into this one, keeping the top-capacity
+    /// priorities overall.
+    pub fn merge(&mut self, other: WeightedReservoir<T>) {
+        for e in other.heap {
+            self.offer_with_priority(e.item, e.priority);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the reservoir, returning `(item, priority)` pairs in
+    /// arbitrary order.
+    pub fn into_items(self) -> Vec<(T, f64)> {
+        self.heap.into_iter().map(|e| (e.item, e.priority)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keeps_at_most_capacity() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut r = WeightedReservoir::new(10);
+        for i in 0..1000u64 {
+            r.offer(i, 1 + i % 5, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn zero_weight_items_never_selected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut r = WeightedReservoir::new(5);
+        for i in 0..100u64 {
+            r.offer(i, 0, &mut rng);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn inclusion_probability_tracks_weight() {
+        // Item 0 has weight 50, the other 99 items weight 1. For k = 1, the
+        // WOR inclusion probability of item 0 is 50/149 ≈ 0.336.
+        let mut hits = 0u32;
+        let trials = 20_000;
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..trials {
+            let mut r = WeightedReservoir::new(1);
+            r.offer(0u64, 50, &mut rng);
+            for i in 1..100u64 {
+                r.offer(i, 1, &mut rng);
+            }
+            if r.into_items()[0].0 == 0 {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        let expect = 50.0 / 149.0;
+        assert!((p - expect).abs() < 0.015, "p = {p}, expected ≈ {expect}");
+    }
+
+    #[test]
+    fn merge_equals_single_pass_distributionally() {
+        // Same stream split in two partitions: merged reservoir must keep the
+        // globally strongest priorities, i.e. be identical to offering all
+        // priorities to one reservoir.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let prios: Vec<(u64, f64)> =
+            (0..100).map(|i| (i, rng.gen_range(f64::EPSILON..1.0))).collect();
+
+        let mut single = WeightedReservoir::new(8);
+        for &(i, p) in &prios {
+            single.offer_with_priority(i, p);
+        }
+        let mut a = WeightedReservoir::new(8);
+        let mut b = WeightedReservoir::new(8);
+        for &(i, p) in &prios[..50] {
+            a.offer_with_priority(i, p);
+        }
+        for &(i, p) in &prios[50..] {
+            b.offer_with_priority(i, p);
+        }
+        a.merge(b);
+
+        let mut got: Vec<u64> = a.into_items().into_iter().map(|(i, _)| i).collect();
+        let mut expect: Vec<u64> = single.into_items().into_iter().map(|(i, _)| i).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,343 @@
+//! Stream-Sample: uniform random sampling of the join *output* without
+//! executing the join (§IV-A).
+//!
+//! Chaudhuri, Motwani & Narasayya (SIGMOD 1999) show that joining uniform
+//! samples of the inputs does **not** give a uniform sample of the output;
+//! their Stream-Sample algorithm fixes this for equi-joins. The paper extends
+//! it to band and inequality joins: the *joinable set* of an `R1` tuple
+//! becomes every `R2` tuple whose key falls in a contiguous range `jr(k1)`
+//! determined by the join condition.
+//!
+//! The algorithm (MapReduce steps of §IV-A):
+//! 1. Aggregate `R2` into `d2equi`: distinct keys with multiplicities
+//!    ([`KeyedCounts`]).
+//! 2. For each `R1` tuple compute `d2(k1) = |joinable set|` via a range
+//!    count; draw a with-replacement sample `S1` of size `so` from `R1`
+//!    weighted by `d2`. The exact output size is `m = Σ_t1 d2(t1.key)` — a
+//!    byproduct the sample matrix needs anyway.
+//! 3. For each `ts1 ∈ S1`, pick a joinable key from `d2equi` with probability
+//!    proportional to its multiplicity; emit the key pair.
+//!
+//! Each emitted `(k1, k2)` pair is then a uniform draw from the join output:
+//! step 2 picks `t1` proportionally to its output contribution and step 3
+//! uniformizes within the joinable set.
+
+use std::thread;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AliasTable, Key, KeyedCounts};
+
+/// A uniform random sample of the join output (join keys only — the sample
+/// feeds the sample matrix, it is never propagated in the query plan), plus
+/// the exact output size.
+#[derive(Clone, Debug)]
+pub struct OutputSample {
+    /// `(k1, k2)` join-key pairs, each a uniform draw from the join output.
+    pub pairs: Vec<(Key, Key)>,
+    /// Exact join output size `m = Σ_{t1 ∈ R1} d2(t1.key)`.
+    pub m: u64,
+}
+
+/// Sequential Stream-Sample. `joinable` maps an `R1` key to the inclusive
+/// `R2` key range it joins with (the join condition's joinable range).
+pub fn stream_sample(
+    r1_keys: &[Key],
+    d2equi: &KeyedCounts,
+    joinable: impl Fn(Key) -> (Key, Key),
+    so: usize,
+    rng: &mut impl Rng,
+) -> OutputSample {
+    // Aggregate R1 so weights are per distinct key: w(k) = mult1(k) · d2(k).
+    let d1 = KeyedCounts::from_keys(r1_keys.to_vec());
+    let mut weights = Vec::with_capacity(d1.num_distinct());
+    let mut ranges = Vec::with_capacity(d1.num_distinct());
+    let mut m: u64 = 0;
+    for (&k, &c) in d1.keys().iter().zip(d1.counts()) {
+        let (lo, hi) = joinable(k);
+        let d2 = d2equi.range_count(lo, hi);
+        weights.push(c * d2);
+        ranges.push((lo, hi));
+        m += c * d2;
+    }
+    let pairs = draw_pairs(d1.keys(), &weights, &ranges, d2equi, so, m, rng);
+    OutputSample { pairs, m }
+}
+
+/// Draws `so` WR samples over distinct R1 keys (weights `w`), then picks the
+/// R2 partner uniformly within the joinable set.
+fn draw_pairs(
+    keys: &[Key],
+    weights: &[u64],
+    ranges: &[(Key, Key)],
+    d2equi: &KeyedCounts,
+    so: usize,
+    m: u64,
+    rng: &mut impl Rng,
+) -> Vec<(Key, Key)> {
+    if m == 0 {
+        return Vec::new();
+    }
+    let alias = AliasTable::new(weights).expect("m > 0 implies positive weight");
+    let mut pairs = Vec::with_capacity(so);
+    for _ in 0..so {
+        let i = alias.sample(rng);
+        let (lo, hi) = ranges[i];
+        let d2 = d2equi.range_count(lo, hi);
+        debug_assert!(d2 > 0, "sampled a key with empty joinable set");
+        let u = rng.gen_range(0..d2);
+        pairs.push((keys[i], d2equi.pick_in_range(lo, hi, u)));
+    }
+    pairs
+}
+
+/// Parallel Stream-Sample over `threads` logical partitions, mirroring the
+/// paper's MapReduce formulation:
+/// * step 1 (build `d2equi`) aggregates `R2` per partition and merges;
+/// * step 2 partitions `R1`, computes per-partition `d2` weights and weight
+///   totals, splits the `so` draws across partitions proportionally to their
+///   total weight (multinomial), and samples each partition independently;
+/// * step 3 is embarrassingly parallel per drawn tuple.
+///
+/// Deterministic for a fixed `seed` and `threads`.
+pub fn parallel_stream_sample(
+    r1_keys: &[Key],
+    r2_keys: &[Key],
+    joinable: impl Fn(Key) -> (Key, Key) + Sync,
+    so: usize,
+    threads: usize,
+    seed: u64,
+) -> OutputSample {
+    let threads = threads.max(1);
+
+    // Step 1: d2equi by parallel aggregation + merge.
+    let parts: Vec<KeyedCounts> = thread::scope(|s| {
+        let handles: Vec<_> = chunks(r2_keys, threads)
+            .map(|chunk| s.spawn(move || KeyedCounts::from_keys(chunk.to_vec())))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("d2equi worker panicked")).collect()
+    });
+    let d2equi = KeyedCounts::merge(&parts);
+
+    // Step 2: per-partition weights over distinct R1 keys.
+    struct Part {
+        keys: Vec<Key>,
+        weights: Vec<u64>,
+        ranges: Vec<(Key, Key)>,
+        total: u64,
+    }
+    let joinable = &joinable;
+    let d2equi_ref = &d2equi;
+    let parts: Vec<Part> = thread::scope(|s| {
+        let handles: Vec<_> = chunks(r1_keys, threads)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let d1 = KeyedCounts::from_keys(chunk.to_vec());
+                    let mut weights = Vec::with_capacity(d1.num_distinct());
+                    let mut ranges = Vec::with_capacity(d1.num_distinct());
+                    let mut total = 0u64;
+                    for (&k, &c) in d1.keys().iter().zip(d1.counts()) {
+                        let (lo, hi) = joinable(k);
+                        let d2 = d2equi_ref.range_count(lo, hi);
+                        weights.push(c * d2);
+                        ranges.push((lo, hi));
+                        total += c * d2;
+                    }
+                    Part { keys: d1.keys().to_vec(), weights, ranges, total }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("d2 worker panicked")).collect()
+    });
+
+    let m: u64 = parts.iter().map(|p| p.total).sum();
+    if m == 0 {
+        return OutputSample { pairs: Vec::new(), m: 0 };
+    }
+
+    // Multinomial split of the so draws across partitions by weight.
+    let mut quota = vec![0usize; parts.len()];
+    {
+        let totals: Vec<u64> = parts.iter().map(|p| p.total).collect();
+        let alias = AliasTable::new(&totals).expect("m > 0");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..so {
+            quota[alias.sample(&mut rng)] += 1;
+        }
+    }
+
+    // Steps 2b + 3 in parallel: per-partition WR draws and partner picks.
+    let pairs: Vec<(Key, Key)> = thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .zip(&quota)
+            .enumerate()
+            .map(|(t, (part, &q))| {
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    draw_pairs(&part.keys, &part.weights, &part.ranges, d2equi_ref, q, part.total, &mut rng)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sampling worker panicked"))
+            .collect()
+    });
+
+    OutputSample { pairs, m }
+}
+
+/// Splits a slice into at most `n` contiguous chunks of near-equal size,
+/// skipping empty ones.
+fn chunks<T>(items: &[T], n: usize) -> impl Iterator<Item = &[T]> {
+    let len = items.len();
+    let per = len.div_ceil(n.max(1)).max(1);
+    items.chunks(per)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ks::{chi_square, chi_square_critical};
+
+    /// Brute-force join output for verification.
+    fn exact_join(r1: &[Key], r2: &[Key], joinable: impl Fn(Key) -> (Key, Key)) -> Vec<(Key, Key)> {
+        let mut out = Vec::new();
+        for &a in r1 {
+            let (lo, hi) = joinable(a);
+            for &b in r2 {
+                if lo <= b && b <= hi {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn m_is_exact_for_band_join() {
+        let r1: Vec<Key> = vec![1, 2, 2, 5, 9, 9, 9];
+        let r2: Vec<Key> = vec![0, 2, 3, 3, 8, 10];
+        let beta = 1;
+        let jr = |k: Key| (k - beta, k + beta);
+        let d2equi = KeyedCounts::from_keys(r2.clone());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = stream_sample(&r1, &d2equi, jr, 100, &mut rng);
+        assert_eq!(s.m as usize, exact_join(&r1, &r2, jr).len());
+        assert_eq!(s.pairs.len(), 100);
+        // Every sampled pair must satisfy the join condition.
+        for &(a, b) in &s.pairs {
+            assert!((a - b).abs() <= beta, "({a},{b}) violates band");
+        }
+    }
+
+    #[test]
+    fn empty_output_gives_empty_sample() {
+        let r1: Vec<Key> = vec![0, 1, 2];
+        let r2: Vec<Key> = vec![100, 200];
+        let jr = |k: Key| (k - 1, k + 1);
+        let d2equi = KeyedCounts::from_keys(r2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = stream_sample(&r1, &d2equi, jr, 50, &mut rng);
+        assert_eq!(s.m, 0);
+        assert!(s.pairs.is_empty());
+    }
+
+    #[test]
+    fn sample_is_uniform_over_the_join_output() {
+        // Skewed multiplicities on both sides so the test is non-trivial:
+        // joining input samples (the naive approach the paper rules out)
+        // would NOT be uniform here.
+        let mut r1: Vec<Key> = Vec::new();
+        for i in 0..20 {
+            for _ in 0..(1 + (i % 4) * 3) {
+                r1.push(i);
+            }
+        }
+        let mut r2: Vec<Key> = Vec::new();
+        for j in 0..20 {
+            for _ in 0..(1 + (j % 5) * 2) {
+                r2.push(j);
+            }
+        }
+        let jr = |k: Key| (k - 2, k + 2);
+        let exact = exact_join(&r1, &r2, jr);
+        let m = exact.len() as u64;
+
+        // Count exact output multiplicity per (k1, k2) pair.
+        let mut pair_count = std::collections::HashMap::new();
+        for p in &exact {
+            *pair_count.entry(*p).or_insert(0u64) += 1;
+        }
+        let categories: Vec<((Key, Key), u64)> = {
+            let mut v: Vec<_> = pair_count.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+
+        let d2equi = KeyedCounts::from_keys(r2.clone());
+        let mut rng = SmallRng::seed_from_u64(33);
+        let so = 40_000;
+        let s = stream_sample(&r1, &d2equi, jr, so, &mut rng);
+        assert_eq!(s.m, m);
+
+        let mut observed = vec![0u64; categories.len()];
+        let index: std::collections::HashMap<(Key, Key), usize> =
+            categories.iter().enumerate().map(|(i, (p, _))| (*p, i)).collect();
+        for p in &s.pairs {
+            observed[*index.get(p).expect("sampled pair not in exact output")] += 1;
+        }
+        let expected: Vec<f64> =
+            categories.iter().map(|(_, c)| so as f64 * *c as f64 / m as f64).collect();
+        let chi = chi_square(&observed, &expected);
+        let crit = chi_square_critical(categories.len() - 1);
+        assert!(chi < crit, "χ² = {chi} > {crit}: sample not uniform over output");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_semantics() {
+        let r1: Vec<Key> = (0..500).map(|i| i % 37).collect();
+        let r2: Vec<Key> = (0..700).map(|i| (i * 3) % 41).collect();
+        let jr = |k: Key| (k - 3, k + 3);
+        let exact_m = exact_join(&r1, &r2, jr).len() as u64;
+
+        for threads in [1usize, 2, 4, 7] {
+            let s = parallel_stream_sample(&r1, &r2, jr, 2000, threads, 99);
+            assert_eq!(s.m, exact_m, "threads = {threads}");
+            assert_eq!(s.pairs.len(), 2000);
+            for &(a, b) in &s.pairs {
+                assert!((a - b).abs() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_per_seed() {
+        let r1: Vec<Key> = (0..300).collect();
+        let r2: Vec<Key> = (0..300).collect();
+        let jr = |k: Key| (k, k);
+        let a = parallel_stream_sample(&r1, &r2, jr, 500, 3, 7);
+        let b = parallel_stream_sample(&r1, &r2, jr, 500, 3, 7);
+        assert_eq!(a.pairs, b.pairs);
+        let c = parallel_stream_sample(&r1, &r2, jr, 500, 3, 8);
+        assert_ne!(a.pairs, c.pairs, "different seeds should differ");
+    }
+
+    #[test]
+    fn inequality_join_ranges_work() {
+        // a < b join: joinable range is (a, MAX].
+        let r1: Vec<Key> = vec![1, 5, 9];
+        let r2: Vec<Key> = vec![2, 4, 6, 8, 10];
+        let jr = |k: Key| (k + 1, Key::MAX);
+        let d2equi = KeyedCounts::from_keys(r2.clone());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = stream_sample(&r1, &d2equi, jr, 200, &mut rng);
+        // d2: 1→5, 5→3, 9→1 ⇒ m = 9.
+        assert_eq!(s.m, 9);
+        for &(a, b) in &s.pairs {
+            assert!(a < b);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Rectangle tiling algorithms for join load balancing.
+//!
+//! This crate implements the computational-geometry substrate of the
+//! equi-weight histogram construction from *Load Balancing and Skew
+//! Resilience for Parallel Joins* (ICDE 2016):
+//!
+//! * [`Grid`] — a weighted `n × n` matrix with O(1) rectangle weight and
+//!   candidate-count queries backed by prefix sums, plus minimal-candidate-
+//!   rectangle shrinking (§III-C, Fig. 2c of the paper).
+//! * [`bsp`] — the baseline Binary Space Partition tiling algorithm of
+//!   Berman, DasGupta & Muthukrishnan (SODA 2002): an optimal *hierarchical*
+//!   partitioning, within a factor of 2 of an optimal arbitrary rectangular
+//!   partitioning (Algorithm 1 of the paper).
+//! * [`monotonic_bsp`] — the paper's novel MONOTONICBSP (Algorithm 2),
+//!   which enumerates only minimal candidate rectangles (Lemma 3.4) and
+//!   thereby reduces BSP's `O(nc⁴)` space / `O(nc⁵)` time to `O(ncc²)` space
+//!   and `O(ncc² · nc log nc)` time for monotonic join matrices.
+//! * [`partition_max_weight`] — the regionalization driver: a binary search
+//!   over the maximum region weight δ (BSP solves the dual problem — given δ,
+//!   minimize the number of regions — so we search for the smallest δ that
+//!   fits in the available `J` regions).
+//! * [`coarsen`] — the grid-partitioning (RTILE, MAX-WEIGHT metric)
+//!   coarsening stage after Muthukrishnan & Suel (J. Algorithms 2005),
+//!   implemented as alternating exact 1-D re-optimization, with the
+//!   *MonotonicCoarsening* shortcut that skips non-candidate cells (§III-B).
+//!
+//! Weights are unsigned integers ("milli work units" in the parent crates) so
+//! all binary searches are exact and reproducible.
+
+mod bsp;
+mod coarsen;
+mod grid;
+mod monotonic_bsp;
+mod partition;
+mod rect;
+
+pub use bsp::{bsp, BspSolver};
+pub use coarsen::{
+    coarsen, equi_weight_1d, grid_cell_weights, grid_max_cell_weight, CoarsenConfig, SparseGrid,
+    SparsePoint,
+};
+pub use grid::Grid;
+pub use monotonic_bsp::{monotonic_bsp, MonotonicBspSolver};
+pub use partition::{
+    partition_max_weight, validate_partition, Partition, PartitionError, TilingAlgo,
+};
+pub use rect::Rect;
+
+/// Sentinel region count for "this rectangle cannot be covered at the given
+/// δ" (a single cell already exceeds δ). Saturating arithmetic keeps DP sums
+/// involving this value above any real region count.
+pub(crate) const INFEASIBLE: u32 = u32::MAX / 4;

@@ -1,0 +1,370 @@
+//! MONOTONICBSP — the paper's novel tiling algorithm (Algorithm 2).
+//!
+//! For monotonic joins the candidate cells of the (coarsened) join matrix
+//! form a staircase: each row's candidates occupy one contiguous column
+//! interval whose endpoints are non-decreasing from row to row. Lemma 3.4
+//! shows that both defining corners of any *minimal candidate rectangle* are
+//! then candidate cells, so at most `ncc²` rectangles (ncc = number of
+//! candidate cells) can ever arise in the BSP recursion — against `O(nc⁴)`
+//! arbitrary rectangles for the baseline.
+//!
+//! The solver:
+//! 1. enumerates all rectangles whose UL and LR corners are candidate cells
+//!    (`GENERATECANDIDATERECTANGLES`), closing the set under split+shrink so
+//!    non-staircase grids remain correct (for staircases the closure adds
+//!    nothing — asserted by tests);
+//! 2. sorts them by semi-perimeter (split parts always come strictly
+//!    earlier) and **precomputes**, once, each rectangle's weight and the
+//!    shrunken halves of every splitter;
+//! 3. per δ probe of the regionalization binary search, runs a pure
+//!    array-DP pass over the sorted rectangles — no hashing, no geometry.
+//!
+//! Space is `O(ncc² · nc)` for the split tables; each `solve(δ)` touches
+//! every splitter of every rectangle once, the paper's
+//! `O(ncc² · nc log nc)` with the `log nc` shrink folded into precompute.
+
+use std::collections::HashMap;
+
+use crate::{Grid, Rect, INFEASIBLE};
+
+/// "No candidate cells in this half" marker in the split tables.
+const EMPTY: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+enum Plan {
+    Leaf,
+    /// Index into the split-pair table.
+    Split(u32),
+    Stuck,
+}
+
+/// Reusable MONOTONICBSP solver: enumeration, sorting and split tables are
+/// δ-independent, so the regionalization binary search pays them once.
+pub struct MonotonicBspSolver<'a> {
+    grid: &'a Grid,
+    /// All reachable minimal candidate rectangles, sorted by ascending
+    /// semi-perimeter (ties by packed key for determinism).
+    rects: Vec<Rect>,
+    /// Rectangle weights, aligned with `rects`.
+    weights: Vec<u64>,
+    /// Per-rect range into `split_pairs`.
+    split_start: Vec<u32>,
+    /// For every splitter of every rect: the rect indexes of the two
+    /// shrunken halves (`EMPTY` when a half has no candidates).
+    split_pairs: Vec<(u32, u32)>,
+}
+
+impl<'a> MonotonicBspSolver<'a> {
+    /// Enumerates candidate-cornered rectangles (Lemma 3.4), closes the set
+    /// under split+shrink, and builds the DP tables.
+    pub fn new(grid: &'a Grid) -> Self {
+        let cells = grid.candidate_cells();
+        let mut rects = Vec::with_capacity(cells.len() * cells.len() / 2 + 1);
+        for (a, &(r0, c0)) in cells.iter().enumerate() {
+            for &(r1, c1) in &cells[a..] {
+                // Cells come in row-major order so r1 >= r0; the staircase
+                // orientation means minimal rects also satisfy c1 >= c0.
+                if c1 >= c0 {
+                    rects.push(Rect::new(r0, c0, r1, c1));
+                }
+            }
+        }
+        // Seed with the root: on non-staircase matrices its corners need not
+        // be candidate cells, yet the DP always starts there.
+        if let Some(root) = grid.shrink(grid.full()) {
+            rects.push(root);
+        }
+        let mut index: HashMap<u64, ()> = rects.iter().map(|r| (r.pack(), ())).collect();
+        // Closure pass: any shrunken split half not in the set is appended
+        // and processed in turn (a no-op on monotonic matrices).
+        let mut i = 0;
+        while i < rects.len() {
+            let rm = rects[i];
+            i += 1;
+            let mut visit = |part: Rect| {
+                if let Some(half) = grid.shrink(part) {
+                    if index.insert(half.pack(), ()).is_none() {
+                        rects.push(half);
+                    }
+                }
+            };
+            for k in rm.r0..rm.r1 {
+                let (a, b) = rm.split_h(k);
+                visit(a);
+                visit(b);
+            }
+            for k in rm.c0..rm.c1 {
+                let (a, b) = rm.split_v(k);
+                visit(a);
+                visit(b);
+            }
+        }
+
+        rects.sort_unstable_by_key(|r| (r.semi_perimeter(), r.pack()));
+        rects.dedup();
+        let index: HashMap<u64, u32> =
+            rects.iter().enumerate().map(|(i, r)| (r.pack(), i as u32)).collect();
+
+        let weights: Vec<u64> = rects.iter().map(|&r| grid.weight(r)).collect();
+        let mut split_start = Vec::with_capacity(rects.len() + 1);
+        let mut split_pairs = Vec::new();
+        split_start.push(0u32);
+        for &rm in &rects {
+            let half_idx = |part: Rect| -> u32 {
+                match grid.shrink(part) {
+                    None => EMPTY,
+                    Some(h) => *index.get(&h.pack()).expect("closure covers all halves"),
+                }
+            };
+            for k in rm.r0..rm.r1 {
+                let (a, b) = rm.split_h(k);
+                split_pairs.push((half_idx(a), half_idx(b)));
+            }
+            for k in rm.c0..rm.c1 {
+                let (a, b) = rm.split_v(k);
+                split_pairs.push((half_idx(a), half_idx(b)));
+            }
+            split_start.push(split_pairs.len() as u32);
+        }
+
+        MonotonicBspSolver { grid, rects, weights, split_start, split_pairs }
+    }
+
+    /// Number of enumerated rectangles (`O(ncc²)`), for the space-complexity
+    /// comparison of Table III.
+    pub fn state_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// A lower bound on any feasible δ given `j` regions: the heavier of the
+    /// largest candidate cell and (covered weight)/j (see
+    /// [`Grid::covered_weight`]).
+    pub fn delta_lower_bound(&self, j: usize) -> u64 {
+        if self.rects.is_empty() {
+            return 0;
+        }
+        self.grid
+            .max_candidate_cell_weight()
+            .max(self.grid.covered_weight() / j.max(1) as u64)
+    }
+
+    /// Solves for a given δ: regions covering every candidate cell exactly
+    /// once with each region's weight ≤ δ, or `None` when a single candidate
+    /// cell exceeds δ.
+    pub fn solve(&self, delta: u64) -> Option<Vec<Rect>> {
+        let Some(root) = self.grid.shrink(self.grid.full()) else {
+            return Some(Vec::new()); // no candidate cells at all
+        };
+
+        let n = self.rects.len();
+        let mut count = vec![0u32; n];
+        let mut plan = vec![Plan::Stuck; n];
+        for i in 0..n {
+            if self.weights[i] <= delta {
+                count[i] = 1;
+                plan[i] = Plan::Leaf;
+                continue;
+            }
+            let mut best = INFEASIBLE;
+            let mut best_split = 0u32;
+            let range = self.split_start[i]..self.split_start[i + 1];
+            for s in range {
+                let (a, b) = self.split_pairs[s as usize];
+                let ca = if a == EMPTY { 0 } else { count[a as usize] };
+                let cb = if b == EMPTY { 0 } else { count[b as usize] };
+                let c = ca.saturating_add(cb);
+                if c < best {
+                    best = c;
+                    best_split = s;
+                }
+            }
+            count[i] = best.min(INFEASIBLE);
+            plan[i] = Plan::Split(best_split);
+        }
+
+        let root_idx = self
+            .rects
+            .binary_search_by_key(&(root.semi_perimeter(), root.pack()), |r| {
+                (r.semi_perimeter(), r.pack())
+            })
+            .expect("root is a minimal candidate rectangle");
+        if count[root_idx] >= INFEASIBLE {
+            return None;
+        }
+        let mut regions = Vec::with_capacity(count[root_idx] as usize);
+        self.extract(root_idx, &plan, &mut regions);
+        Some(regions)
+    }
+
+    fn extract(&self, idx: usize, plan: &[Plan], out: &mut Vec<Rect>) {
+        match plan[idx] {
+            Plan::Leaf => out.push(self.rects[idx]),
+            Plan::Split(s) => {
+                let (a, b) = self.split_pairs[s as usize];
+                if a != EMPTY {
+                    self.extract(a as usize, plan, out);
+                }
+                if b != EMPTY {
+                    self.extract(b as usize, plan, out);
+                }
+            }
+            Plan::Stuck => unreachable!("extraction reached an infeasible rectangle"),
+        }
+    }
+}
+
+/// One-shot MONOTONICBSP at a fixed δ.
+pub fn monotonic_bsp(grid: &Grid, delta: u64) -> Option<Vec<Rect>> {
+    MonotonicBspSolver::new(grid).solve(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bsp, validate_partition};
+
+    fn band_grid(n: usize, half_width: i64, heavy: Option<(usize, usize, u64)>) -> Grid {
+        let mut out = vec![0u64; n * n];
+        let mut cand = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if (i as i64 - j as i64).abs() <= half_width {
+                    out[i * n + j] = 1;
+                    cand[i * n + j] = true;
+                }
+            }
+        }
+        if let Some((i, j, w)) = heavy {
+            assert!(cand[i * n + j]);
+            out[i * n + j] = w;
+        }
+        Grid::new(&vec![1u64; n], &vec![1u64; n], &out, &cand)
+    }
+
+    #[test]
+    fn matches_baseline_bsp_region_counts() {
+        // The paper's claim: MONOTONICBSP gives the same accuracy as BSP on
+        // monotonic matrices. Hierarchical optima may differ in shape but the
+        // minimal region count must agree.
+        for n in [4usize, 6, 8] {
+            for hw in [0i64, 1, 2] {
+                let g = band_grid(n, hw, None);
+                for delta in [3u64, 5, 9, 17, 33] {
+                    let a = bsp(&g, delta).map(|r| r.len());
+                    let b = monotonic_bsp(&g, delta).map(|r| r.len());
+                    assert_eq!(a, b, "n={n} hw={hw} delta={delta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_adds_nothing_on_staircase_grids() {
+        // For a monotonic matrix, every reachable rectangle already has
+        // candidate corners: the enumeration is exactly the pairs set.
+        let g = band_grid(10, 1, None);
+        let ncc = g.candidate_cells().len();
+        let solver = MonotonicBspSolver::new(&g);
+        let pairs = g
+            .candidate_cells()
+            .iter()
+            .enumerate()
+            .map(|(a, &(r0, c0))| {
+                g.candidate_cells()[a..]
+                    .iter()
+                    .filter(|&&(_, c1)| c1 >= c0)
+                    .filter(|&&(r1, _)| r1 >= r0)
+                    .count()
+            })
+            .sum::<usize>();
+        assert!(ncc > 0);
+        assert_eq!(solver.state_count(), pairs);
+    }
+
+    #[test]
+    fn handles_non_monotonic_grids_via_closure() {
+        // An anti-diagonal plus main-diagonal pattern breaks the staircase;
+        // the closure must keep the DP correct (validated partitions).
+        let n = 6usize;
+        let mut out = vec![0u64; n * n];
+        let mut cand = vec![false; n * n];
+        for i in 0..n {
+            out[i * n + i] = 2;
+            cand[i * n + i] = true;
+            out[i * n + (n - 1 - i)] = 2;
+            cand[i * n + (n - 1 - i)] = true;
+        }
+        let g = Grid::new(&vec![1u64; n], &vec![1u64; n], &out, &cand);
+        for delta in [4u64, 8, 16, 64] {
+            if let Some(regions) = monotonic_bsp(&g, delta) {
+                validate_partition(&g, &regions, delta).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_valid() {
+        let g = band_grid(12, 2, Some((5, 5, 40)));
+        for delta in [44u64, 60, 100, 400] {
+            let regions = monotonic_bsp(&g, delta).unwrap();
+            validate_partition(&g, &regions, delta).unwrap();
+        }
+    }
+
+    #[test]
+    fn heavy_cell_below_delta_is_infeasible() {
+        let g = band_grid(8, 1, Some((3, 3, 100)));
+        // Cell (3,3) weighs 1 + 1 + 100 = 102; smaller δ cannot be met.
+        assert!(monotonic_bsp(&g, 101).is_none());
+        assert!(monotonic_bsp(&g, 102).is_some());
+    }
+
+    #[test]
+    fn no_candidates_is_trivially_covered() {
+        let g = Grid::new(&[5, 5], &[5, 5], &[0; 4], &[false; 4]);
+        assert_eq!(monotonic_bsp(&g, 0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn skewed_outputs_drive_uneven_region_shapes() {
+        // A heavy diagonal head: the tiling should isolate the hot corner in
+        // small regions and merge the cold tail.
+        let n = 10usize;
+        let mut out = vec![0u64; n * n];
+        let mut cand = vec![false; n * n];
+        for i in 0..n {
+            out[i * n + i] = if i < 2 { 100 } else { 1 };
+            cand[i * n + i] = true;
+        }
+        let g = Grid::new(&vec![1u64; n], &vec![1u64; n], &out, &cand);
+        let regions = monotonic_bsp(&g, 104).unwrap();
+        validate_partition(&g, &regions, 104).unwrap();
+        // The two hot cells cannot share a region (2*100 + input > 104).
+        let hot0 = regions.iter().find(|r| r.contains(0, 0)).unwrap();
+        let hot1 = regions.iter().find(|r| r.contains(1, 1)).unwrap();
+        assert_ne!(hot0, hot1);
+    }
+
+    #[test]
+    fn state_count_is_quadratic_in_candidates() {
+        let g = band_grid(16, 0, None); // 16 diagonal candidates
+        let solver = MonotonicBspSolver::new(&g);
+        // Pairs (a, b) with a <= b over 16 cells: 16*17/2 = 136.
+        assert_eq!(solver.state_count(), 136);
+    }
+
+    #[test]
+    fn delta_lower_bound_is_sound() {
+        let g = band_grid(12, 1, Some((4, 4, 30)));
+        let solver = MonotonicBspSolver::new(&g);
+        for j in [1usize, 2, 4, 8] {
+            let lb = solver.delta_lower_bound(j);
+            // Nothing below the bound may be feasible with <= j regions.
+            if lb > 0 {
+                if let Some(regions) = solver.solve(lb - 1) {
+                    assert!(regions.len() > j, "j={j}: {} regions at delta {}", regions.len(), lb - 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+/// An axis-parallel rectangle over grid cells, inclusive on all four bounds.
+///
+/// Coordinates are cell indexes: the rectangle covers rows `r0..=r1` and
+/// columns `c0..=c1`. Grids in this crate are at most `u16::MAX` cells per
+/// side, so a rectangle packs into a `u64` for use as a memoization key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rect {
+    pub r0: u32,
+    pub c0: u32,
+    pub r1: u32,
+    pub c1: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle; panics in debug builds when bounds are inverted.
+    #[inline]
+    pub fn new(r0: u32, c0: u32, r1: u32, c1: u32) -> Self {
+        debug_assert!(r0 <= r1 && c0 <= c1, "inverted rect {r0}..{r1} {c0}..{c1}");
+        Rect { r0, c0, r1, c1 }
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.r1 - self.r0 + 1
+    }
+
+    /// Number of columns covered.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.c1 - self.c0 + 1
+    }
+
+    /// Number of cells covered.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.height() as u64 * self.width() as u64
+    }
+
+    /// Semi-perimeter (rows + columns). MONOTONICBSP processes rectangles in
+    /// increasing semi-perimeter order so every split part is already solved.
+    #[inline]
+    pub fn semi_perimeter(&self) -> u32 {
+        self.height() + self.width()
+    }
+
+    /// Packs the rectangle into a `u64` memoization key.
+    #[inline]
+    pub fn pack(&self) -> u64 {
+        debug_assert!(self.r1 < 1 << 16 && self.c1 < 1 << 16);
+        (self.r0 as u64) << 48 | (self.c0 as u64) << 32 | (self.r1 as u64) << 16 | self.c1 as u64
+    }
+
+    /// Inverse of [`Rect::pack`].
+    #[inline]
+    pub fn unpack(key: u64) -> Self {
+        Rect {
+            r0: (key >> 48) as u32,
+            c0: ((key >> 32) & 0xffff) as u32,
+            r1: ((key >> 16) & 0xffff) as u32,
+            c1: (key & 0xffff) as u32,
+        }
+    }
+
+    /// Does `self` contain the cell `(row, col)`?
+    #[inline]
+    pub fn contains(&self, row: u32, col: u32) -> bool {
+        self.r0 <= row && row <= self.r1 && self.c0 <= col && col <= self.c1
+    }
+
+    /// Do two rectangles share at least one cell?
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.r0 <= other.r1 && other.r0 <= self.r1 && self.c0 <= other.c1 && other.c0 <= self.c1
+    }
+
+    /// Splits horizontally after row `k` (`r0 <= k < r1`), returning the top
+    /// and bottom parts.
+    #[inline]
+    pub fn split_h(&self, k: u32) -> (Rect, Rect) {
+        debug_assert!(self.r0 <= k && k < self.r1);
+        (
+            Rect::new(self.r0, self.c0, k, self.c1),
+            Rect::new(k + 1, self.c0, self.r1, self.c1),
+        )
+    }
+
+    /// Splits vertically after column `k` (`c0 <= k < c1`), returning the
+    /// left and right parts.
+    #[inline]
+    pub fn split_v(&self, k: u32) -> (Rect, Rect) {
+        debug_assert!(self.c0 <= k && k < self.c1);
+        (
+            Rect::new(self.r0, self.c0, self.r1, k),
+            Rect::new(self.r0, k + 1, self.r1, self.c1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let r = Rect::new(3, 7, 1000, 65534);
+        assert_eq!(Rect::unpack(r.pack()), r);
+        let unit = Rect::new(0, 0, 0, 0);
+        assert_eq!(Rect::unpack(unit.pack()), unit);
+    }
+
+    #[test]
+    fn geometry_basics() {
+        let r = Rect::new(2, 3, 5, 9);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.width(), 7);
+        assert_eq!(r.area(), 28);
+        assert_eq!(r.semi_perimeter(), 11);
+        assert!(r.contains(2, 3));
+        assert!(r.contains(5, 9));
+        assert!(!r.contains(6, 9));
+        assert!(!r.contains(5, 10));
+    }
+
+    #[test]
+    fn splits_partition_the_rect() {
+        let r = Rect::new(2, 3, 5, 9);
+        let (t, b) = r.split_h(3);
+        assert_eq!(t, Rect::new(2, 3, 3, 9));
+        assert_eq!(b, Rect::new(4, 3, 5, 9));
+        assert_eq!(t.area() + b.area(), r.area());
+        assert!(!t.intersects(&b));
+
+        let (l, rr) = r.split_v(6);
+        assert_eq!(l, Rect::new(2, 3, 5, 6));
+        assert_eq!(rr, Rect::new(2, 7, 5, 9));
+        assert_eq!(l.area() + rr.area(), r.area());
+        assert!(!l.intersects(&rr));
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_tight() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(2, 2, 4, 4); // shares exactly cell (2,2)
+        let c = Rect::new(3, 3, 4, 4);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+    }
+}

@@ -1,0 +1,87 @@
+//! Multi-way joins as a sequence of 2-way operators (§IV-B: "a multi-way
+//! join can be efficiently executed using a sequence of our 2-way joins").
+//!
+//! Three sensor relations are chained with band conditions:
+//! `A ⋈ B ON |a−b| ≤ 2` then `(A⋈B) ⋈ C ON |b−c| ≤ 2`. The intermediate
+//! result feeds the second operator as an ordinary relation — the paper's
+//! "input relations are not necessarily base relations" case, where the
+//! scheme is rebuilt per join from fresh statistics.
+//!
+//! Run with: `cargo run --release --example multiway_chain`
+
+use ewh::prelude::*;
+use ewh::sampling::KeyedCounts;
+
+fn relation(n: usize, stride: i64, seed: i64) -> Vec<Tuple> {
+    (0..n).map(|i| Tuple::new((i as i64 * stride + seed) % n as i64, i as u64)).collect()
+}
+
+/// Materializes the join's output keyed by the *right* key (the attribute the
+/// next join in the chain uses), as a query plan's pipeline would.
+fn materialize_by_right_key(r1: &[Tuple], r2: &[Tuple], cond: &JoinCondition) -> Vec<Tuple> {
+    // Sort-merge production mirroring the engine's local join; at this scale
+    // a single machine materializes the intermediate.
+    let mut left = r1.to_vec();
+    let mut right = r2.to_vec();
+    left.sort_unstable_by_key(|t| t.key);
+    right.sort_unstable_by_key(|t| t.key);
+    let mut out = Vec::new();
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for t1 in &left {
+        let jr = cond.joinable_range(t1.key);
+        while lo < right.len() && right[lo].key < jr.lo {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < right.len() && right[hi].key <= jr.hi {
+            hi += 1;
+        }
+        for t2 in &right[lo..hi] {
+            out.push(Tuple::new(t2.key, t1.payload ^ t2.payload));
+        }
+    }
+    out
+}
+
+fn main() {
+    let n = 60_000;
+    let a = relation(n, 7, 0);
+    let b = relation(n, 11, 3);
+    let c = relation(n, 13, 5);
+    let cond = JoinCondition::Band { beta: 2 };
+    let cfg = OperatorConfig { j: 8, ..OperatorConfig::default() };
+
+    // First 2-way join through the parallel operator.
+    let run1 = run_operator(SchemeKind::Csio, &a, &b, &cond, &cfg);
+    println!(
+        "stage 1: A |x| B  -> {} tuples (sim {:.4}s, {} regions)",
+        run1.join.output_total, run1.total_sim_secs, run1.num_regions
+    );
+
+    // Materialize the intermediate keyed by B's attribute and chain.
+    let ab = materialize_by_right_key(&a, &b, &cond);
+    assert_eq!(ab.len() as u64, run1.join.output_total);
+    let run2 = run_operator(SchemeKind::Csio, &ab, &c, &cond, &cfg);
+    println!(
+        "stage 2: AB |x| C -> {} tuples (sim {:.4}s, {} regions)",
+        run2.join.output_total, run2.total_sim_secs, run2.num_regions
+    );
+
+    // Cross-check the chained result against a direct two-level count.
+    let c_counts = KeyedCounts::from_keys(c.iter().map(|t| t.key).collect());
+    let expect: u64 = ab
+        .iter()
+        .map(|t| {
+            let jr = cond.joinable_range(t.key);
+            c_counts.range_count(jr.lo, jr.hi)
+        })
+        .sum();
+    assert_eq!(run2.join.output_total, expect);
+    println!("\nchained 3-way output verified: {expect} tuples");
+    println!(
+        "total simulated time: {:.4}s (stats rebuilt per join, as in §IV-B)",
+        run1.total_sim_secs + run2.total_sim_secs
+    );
+}

@@ -1,0 +1,50 @@
+//! # EWH — Equi-Weight Histograms for Parallel Joins
+//!
+//! Facade crate for the workspace reproducing *Load Balancing and Skew
+//! Resilience for Parallel Joins* (Vitorovic, Elseidy & Koch, ICDE 2016).
+//! Re-exports every sub-crate under one roof so examples and downstream users
+//! need a single dependency:
+//!
+//! * [`core`] — join model, cost model, the CI / CSI / CSIO
+//!   partitioning schemes and the three-stage equi-weight histogram.
+//! * [`tiling`] — BSP, MONOTONICBSP and grid coarsening.
+//! * [`sampling`] — Bernoulli, equi-depth, reservoirs and
+//!   parallel Stream-Sample.
+//! * [`exec`] — the shared-nothing execution engine (shuffle,
+//!   local joins, metrics, operator runner, CI fallback).
+//! * [`datagen`] — skewed TPC-H-style and synthetic X workload
+//!   generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ewh::prelude::*;
+//!
+//! // Two small relations joined by a band condition |a - b| <= 2.
+//! let r1: Vec<Tuple> = (0..2000).map(|i| Tuple::new(i % 500, i as u64)).collect();
+//! let r2: Vec<Tuple> = (0..2000).map(|i| (i * 7) % 500).map(|k| Tuple::new(k, k as u64)).collect();
+//! let cond = JoinCondition::Band { beta: 2 };
+//!
+//! let cfg = OperatorConfig { j: 4, ..OperatorConfig::default() };
+//! let run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+//! assert!(run.join.output_total > 0);
+//! ```
+
+pub use ewh_core as core;
+pub use ewh_datagen as datagen;
+pub use ewh_exec as exec;
+pub use ewh_sampling as sampling;
+pub use ewh_tiling as tiling;
+
+/// Common imports for examples and applications.
+pub mod prelude {
+    pub use ewh_core::{
+        CostModel, HistogramParams, IneqOp, JoinCondition, JoinMatrix, Key, KeyRange, Region,
+        SchemeKind, Tuple,
+    };
+    pub use ewh_datagen::{gen_orders, gen_x_relation, Order, OrdersParams, ZipfCdf};
+    pub use ewh_exec::{
+        run_operator, run_operator_adaptive, FallbackPolicy, OperatorConfig, OperatorRun,
+        OutputWork,
+    };
+}

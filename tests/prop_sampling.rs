@@ -1,0 +1,86 @@
+//! Property-based tests of the sampling substrate: Stream-Sample exactness,
+//! equi-depth totality, keyed-count range queries.
+
+use ewh::sampling::{parallel_stream_sample, EquiDepthHistogram, Key, KeyedCounts};
+use proptest::prelude::*;
+
+fn brute_m(r1: &[Key], r2: &[Key], beta: i64) -> u64 {
+    let mut m = 0;
+    for &a in r1 {
+        for &b in r2 {
+            if (a - b).abs() <= beta {
+                m += 1;
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn stream_sample_m_is_exact(
+        r1 in prop::collection::vec(-100i64..100, 0..150),
+        r2 in prop::collection::vec(-100i64..100, 0..150),
+        beta in 0i64..6,
+        threads in 1usize..5,
+    ) {
+        let s = parallel_stream_sample(&r1, &r2, |k| (k - beta, k + beta), 64, threads, 7);
+        prop_assert_eq!(s.m, brute_m(&r1, &r2, beta));
+        // Every sampled pair satisfies the condition.
+        for &(a, b) in &s.pairs {
+            prop_assert!((a - b).abs() <= beta);
+        }
+        if s.m > 0 {
+            prop_assert_eq!(s.pairs.len(), 64);
+        } else {
+            prop_assert!(s.pairs.is_empty());
+        }
+    }
+
+    #[test]
+    fn equi_depth_buckets_partition_all_keys(
+        sample in prop::collection::vec(any::<i32>().prop_map(|x| x as Key), 0..400),
+        buckets in 1usize..40,
+    ) {
+        let mut s = sample.clone();
+        let h = EquiDepthHistogram::from_sample(&mut s, buckets);
+        prop_assert!(h.num_buckets() >= 1 && h.num_buckets() <= buckets.max(1));
+        for &k in sample.iter().chain([Key::MIN, Key::MAX, 0].iter()) {
+            let b = h.bucket_of(k);
+            prop_assert!(b < h.num_buckets());
+            let (lo, hi) = h.bucket_range(b);
+            prop_assert!(lo <= k && k <= hi, "key {} not in bucket [{}, {}]", k, lo, hi);
+        }
+        // Ranges tile the key space in order.
+        let mut expect_lo = Key::MIN;
+        for i in 0..h.num_buckets() {
+            let (lo, hi) = h.bucket_range(i);
+            prop_assert_eq!(lo, expect_lo);
+            if i + 1 < h.num_buckets() {
+                expect_lo = hi + 1;
+            } else {
+                prop_assert_eq!(hi, Key::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_counts_range_queries_match_filter(
+        keys in prop::collection::vec(-50i64..50, 0..200),
+        lo in -60i64..60,
+        span in 0i64..40,
+    ) {
+        let kc = KeyedCounts::from_keys(keys.clone());
+        let hi = lo + span;
+        let expect = keys.iter().filter(|&&k| lo <= k && k <= hi).count() as u64;
+        prop_assert_eq!(kc.range_count(lo, hi), expect);
+        prop_assert_eq!(kc.total(), keys.len() as u64);
+        // pick_in_range enumerates exactly the tuples in the range, in key order.
+        let picks: Vec<Key> = (0..expect).map(|u| kc.pick_in_range(lo, hi, u)).collect();
+        let mut sorted: Vec<Key> = keys.iter().copied().filter(|&k| lo <= k && k <= hi).collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(picks, sorted);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the tiling substrate: random staircase grids,
+//! random weights — partitions must always be valid, MONOTONICBSP must match
+//! the dense baseline, and the regionalization objective must be monotone in
+//! the number of machines.
+
+use ewh::tiling::{
+    bsp, monotonic_bsp, partition_max_weight, validate_partition, Grid, TilingAlgo,
+};
+use proptest::prelude::*;
+
+/// A random monotone staircase grid: per-row candidate intervals with
+/// non-decreasing endpoints, random input weights, random output weights on
+/// candidate cells.
+fn staircase_grid() -> impl Strategy<Value = Grid> {
+    (2usize..10).prop_flat_map(|n| {
+        let steps = prop::collection::vec((0u32..3, 0u32..3), n);
+        let row_w = prop::collection::vec(1u64..20, n);
+        let col_w = prop::collection::vec(1u64..20, n);
+        let out_seed = prop::collection::vec(0u64..50, n * n);
+        (steps, row_w, col_w, out_seed).prop_map(move |(steps, row_w, col_w, out_seed)| {
+            // Build non-decreasing intervals clamped to the grid.
+            let mut lo = 0u32;
+            let mut hi = 0u32;
+            let mut cand = vec![false; n * n];
+            let mut out = vec![0u64; n * n];
+            for (i, &(dlo, dhi)) in steps.iter().enumerate() {
+                lo = (lo + dlo).min(n as u32 - 1);
+                hi = (hi.max(lo) + dhi).min(n as u32 - 1);
+                for j in lo..=hi {
+                    cand[i * n + j as usize] = true;
+                    out[i * n + j as usize] = out_seed[i * n + j as usize];
+                }
+            }
+            Grid::new(&row_w, &col_w, &out, &cand)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn monotonic_bsp_partitions_are_always_valid(grid in staircase_grid(), delta_frac in 1u64..8) {
+        let total = grid.weight(grid.full());
+        let delta = (total / delta_frac).max(1);
+        if let Some(regions) = monotonic_bsp(&grid, delta) {
+            prop_assert!(validate_partition(&grid, &regions, delta).is_ok());
+        } else {
+            // Infeasible only when a candidate cell exceeds delta.
+            prop_assert!(grid.max_candidate_cell_weight() > delta);
+        }
+    }
+
+    #[test]
+    fn monotonic_matches_dense_baseline(grid in staircase_grid(), delta_frac in 1u64..8) {
+        let total = grid.weight(grid.full());
+        let delta = (total / delta_frac).max(1);
+        let a = bsp(&grid, delta).map(|r| r.len());
+        let b = monotonic_bsp(&grid, delta).map(|r| r.len());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_weight_is_monotone_in_j(grid in staircase_grid()) {
+        let mut prev = u64::MAX;
+        for j in [1usize, 2, 4, 8] {
+            let p = partition_max_weight(&grid, j, TilingAlgo::MonotonicBsp);
+            prop_assert!(p.regions.len() <= j);
+            prop_assert!(p.max_weight <= prev, "j={}: {} > {}", j, p.max_weight, prev);
+            prop_assert!(validate_partition(&grid, &p.regions, p.delta).is_ok());
+            prev = p.max_weight;
+        }
+    }
+
+    #[test]
+    fn delta_from_binary_search_is_tight(grid in staircase_grid(), j in 1usize..6) {
+        // No smaller delta may admit a partition within j regions.
+        let p = partition_max_weight(&grid, j, TilingAlgo::MonotonicBsp);
+        if p.delta > grid.max_candidate_cell_weight() && p.delta > 0 {
+            let smaller = monotonic_bsp(&grid, p.delta - 1);
+            prop_assert!(
+                smaller.map(|r| r.len() > j).unwrap_or(true),
+                "delta {} not minimal",
+                p.delta
+            );
+        }
+    }
+}
