@@ -1,0 +1,262 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the criterion APIs the workspace's `benches/` use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`BatchSize`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a deliberately simple measurement loop: one
+//! calibration call, then as many timed iterations as fit in the group's
+//! `measurement_time` (capped at 5000 iterations, or `sample_size` if
+//! larger), reporting the mean as `ns/iter` on stderr.
+//!
+//! No statistical analysis, HTML reports, or baseline comparison — just
+//! enough to keep `cargo bench` runnable and the bench targets compiling.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Upper bound on timed iterations per benchmark (overridable upward by
+/// `sample_size`). Fast micro-benchmarks hit this cap before exhausting
+/// `measurement_time`, trading statistical depth for bounded runtime.
+const ITER_CAP: u64 = 5000;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim measures the routine
+/// in isolation regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement: Duration::from_millis(500),
+            warmup: Duration::from_millis(100),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.run(&id.id, f);
+        drop(group);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warmup: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            warmup: self.warmup,
+            min_iters: self.sample_size as u64,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let label = if self.name.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        eprintln!(
+            "bench: {label:<48} {:>14.1} ns/iter  ({} iters)",
+            bencher.mean_ns, bencher.iters
+        );
+    }
+}
+
+/// Throughput annotation; accepted and ignored by the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    measurement: Duration,
+    warmup: Duration,
+    /// Lower bound on timed iterations, from the group's `sample_size`.
+    min_iters: u64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, running as many iterations as fit in the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate with a single run.
+        let calib = Instant::now();
+        black_box(f());
+        let per_iter = calib.elapsed().max(Duration::from_nanos(1));
+
+        let warm_iters = (self.warmup.as_nanos() / per_iter.as_nanos()).clamp(0, 1000) as u64;
+        for _ in 0..warm_iters {
+            black_box(f());
+        }
+
+        let floor = self.min_iters.max(1);
+        let iters = ((self.measurement.as_nanos() / per_iter.as_nanos()) as u64)
+            .clamp(floor, floor.max(ITER_CAP));
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let cap = self.min_iters.max(ITER_CAP);
+        while (total < self.measurement || iters < self.min_iters) && iters < cap {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate the bench binary's `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

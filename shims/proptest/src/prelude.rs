@@ -1,0 +1,14 @@
+//! Glob-import surface (mirrors `proptest::prelude`).
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};
+
+/// The `prop::` module alias (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
