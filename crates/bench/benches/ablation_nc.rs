@@ -16,11 +16,19 @@ fn keys_of(ts: &[ewh_core::Tuple]) -> Vec<Key> {
 
 fn bench_nc_factor(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_nc_factor");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let w = bcb(3, 0.5, 7);
     let (k1, k2) = (keys_of(&w.r1), keys_of(&w.r2));
     for factor in [1usize, 2, 4] {
-        let params = HistogramParams { j: 16, nc_factor: factor, threads: 2, ..Default::default() };
+        let params = HistogramParams {
+            j: 16,
+            nc_factor: factor,
+            threads: 2,
+            ..Default::default()
+        };
         let scheme = build_csio(&k1, &k2, &w.cond, &w.cost, &params);
         eprintln!(
             "nc_factor={factor}: est_max_weight={} regions={}",
@@ -28,7 +36,11 @@ fn bench_nc_factor(c: &mut Criterion) {
             scheme.num_regions()
         );
         group.bench_with_input(BenchmarkId::new("build_csio", factor), &factor, |b, _| {
-            b.iter(|| build_csio(&k1, &k2, &w.cond, &w.cost, &params).build.est_max_weight);
+            b.iter(|| {
+                build_csio(&k1, &k2, &w.cond, &w.cost, &params)
+                    .build
+                    .est_max_weight
+            });
         });
     }
     group.finish();

@@ -16,7 +16,10 @@ fn keys_of(ts: &[ewh_core::Tuple]) -> Vec<Key> {
 
 fn bench_ns_rule(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_ns_rule");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let w = bcb(3, 0.5, 7);
     let (k1, k2) = (keys_of(&w.r1), keys_of(&w.r2));
     let n = k1.len().max(k2.len()) as u64;
@@ -34,7 +37,11 @@ fn bench_ns_rule(c: &mut Criterion) {
             scheme.build.est_max_weight, scheme.build.so
         );
         group.bench_with_input(BenchmarkId::new("build_csio", label), &ns, |b, _| {
-            b.iter(|| build_csio(&k1, &k2, &w.cond, &w.cost, &params).build.est_max_weight);
+            b.iter(|| {
+                build_csio(&k1, &k2, &w.cond, &w.cost, &params)
+                    .build
+                    .est_max_weight
+            });
         });
     }
     group.finish();

@@ -10,13 +10,25 @@ use ewh_exec::run_operator;
 
 fn bench_e2e(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2e_bcb3");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    let rc = RunConfig { scale: 0.25, j: 8, threads: 2, ..Default::default() };
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let rc = RunConfig {
+        scale: 0.25,
+        j: 8,
+        threads: 2,
+        ..Default::default()
+    };
     let w = bcb(3, rc.scale, rc.seed);
     let cfg = rc.operator_config(&w);
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
         group.bench_with_input(BenchmarkId::new("scheme", kind), &kind, |b, &k| {
-            b.iter(|| run_operator(k, &w.r1, &w.r2, &w.cond, &cfg).join.output_total);
+            b.iter(|| {
+                run_operator(k, &w.r1, &w.r2, &w.cond, &cfg)
+                    .join
+                    .output_total
+            });
         });
     }
     group.finish();

@@ -14,12 +14,19 @@ fn keys_of(ts: &[ewh_core::Tuple]) -> Vec<Key> {
 
 fn bench_stages(c: &mut Criterion) {
     let mut group = c.benchmark_group("histogram_stages");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for scale in [0.25f64, 0.5, 1.0] {
         let w = bcb(3, scale, 7);
         let (k1, k2) = (keys_of(&w.r1), keys_of(&w.r2));
         let n = k1.len();
-        let params = HistogramParams { j: 16, threads: 2, ..Default::default() };
+        let params = HistogramParams {
+            j: 16,
+            threads: 2,
+            ..Default::default()
+        };
 
         group.bench_with_input(BenchmarkId::new("sampling", n), &n, |b, _| {
             b.iter(|| build_sample_matrix(&k1, &k2, &w.cond, &params).m);
@@ -42,10 +49,17 @@ fn bench_monotonic_coarsening(c: &mut Criterion) {
     // MonotonicCoarsening vs the generic sweep (§III-B: "improves the
     // algorithm's running time in practice").
     let mut group = c.benchmark_group("coarsening_monotonic_vs_generic");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let w = bcb(3, 1.0, 7);
     let (k1, k2) = (keys_of(&w.r1), keys_of(&w.r2));
-    let params = HistogramParams { j: 16, threads: 2, ..Default::default() };
+    let params = HistogramParams {
+        j: 16,
+        threads: 2,
+        ..Default::default()
+    };
     let ms = build_sample_matrix(&k1, &k2, &w.cond, &params);
     group.bench_function("monotonic", |b| {
         b.iter(|| coarsen_sample_matrix(&ms, &w.cond, &w.cost, 32, 4, true).n_rows());

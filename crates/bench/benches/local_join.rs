@@ -11,12 +11,17 @@ use rand::{Rng, SeedableRng};
 
 fn tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|i| Tuple::new(rng.gen_range(0..domain), i as u64)).collect()
+    (0..n)
+        .map(|i| Tuple::new(rng.gen_range(0..domain), i as u64))
+        .collect()
 }
 
 fn bench_local_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_join");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let n = 100_000;
     for beta in [0i64, 2, 8] {
         let cond = JoinCondition::Band { beta };

@@ -1,0 +1,40 @@
+//! Criterion comparison of the batch oracle vs. the morsel-driven pipelined
+//! engine on a Zipf band join and the hot-key retail equi-join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ewh_bench::{bcb, retail_hotkey, RunConfig, Workload};
+use ewh_core::SchemeKind;
+use ewh_exec::{run_operator, ExecMode, OperatorConfig, OutputWork};
+
+fn bench_modes(c: &mut Criterion) {
+    let rc = RunConfig {
+        scale: 0.1,
+        j: 16,
+        threads: 4,
+        ..Default::default()
+    };
+    let cases: Vec<(Workload, OutputWork)> = vec![
+        (bcb(2, rc.scale, rc.seed), OutputWork::Touch),
+        (retail_hotkey(rc.scale * 2.0, rc.seed), OutputWork::Count),
+    ];
+    let mut group = c.benchmark_group("exec_mode");
+    for (w, work) in &cases {
+        for mode in [ExecMode::Batch, ExecMode::Pipelined] {
+            let cfg = OperatorConfig {
+                mode,
+                output_work: *work,
+                ..rc.operator_config(w)
+            };
+            group.bench_function(BenchmarkId::new(&w.name, format!("{mode:?}")), |b| {
+                b.iter(|| {
+                    let run = run_operator(SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg);
+                    criterion::black_box(run.join.output_total)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

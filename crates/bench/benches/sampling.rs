@@ -19,7 +19,10 @@ fn keys(n: usize, seed: u64) -> Vec<i64> {
 
 fn bench_stream_sample(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream_sample");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let r1 = keys(100_000, 1);
     let r2 = keys(100_000, 2);
     let jr = |k: i64| (k - 2, k + 2);
@@ -29,16 +32,23 @@ fn bench_stream_sample(c: &mut Criterion) {
         b.iter(|| stream_sample(&r1, &d2equi, jr, 2000, &mut rng).m);
     });
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("parallel_so2000", threads), &threads, |b, &t| {
-            b.iter(|| parallel_stream_sample(&r1, &r2, jr, 2000, t, 4).m);
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_so2000", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| parallel_stream_sample(&r1, &r2, jr, 2000, t, 4).m);
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_structures(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampling_structures");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let ks = keys(200_000, 5);
     group.bench_function("bernoulli_1pct", |b| {
         let mut rng = SmallRng::seed_from_u64(6);

@@ -25,7 +25,10 @@ fn band_grid(n: usize, half_width: i64) -> Grid {
 
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("tiling_solve");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for nc in [12usize, 16, 24] {
         let grid = band_grid(nc, 1);
         let delta = grid.weight(grid.full()) / 6;
@@ -43,7 +46,10 @@ fn bench_solvers(c: &mut Criterion) {
 
 fn bench_regionalization(c: &mut Criterion) {
     let mut group = c.benchmark_group("tiling_binary_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     // The full regionalization (binary search over delta) at a realistic
     // coarse size (nc = 2J = 64) — MONOTONICBSP only; the dense baseline is
     // intractable here, which is the paper's point.

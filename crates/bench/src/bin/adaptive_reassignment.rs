@@ -35,7 +35,11 @@ fn main() {
         let cfg = match kind {
             // CI's region count is its machine count; emulate 4J regions by
             // building it for 4J "machines" and packing 4 per worker.
-            SchemeKind::Ci => OperatorConfig { j: 4 * j, j_regions: None, ..cfg },
+            SchemeKind::Ci => OperatorConfig {
+                j: 4 * j,
+                j_regions: None,
+                ..cfg
+            },
             _ => cfg,
         };
         let (scheme, _) = build_scheme(kind, &w.r1, &w.r2, &w.cond, &cfg);
@@ -44,7 +48,10 @@ fn main() {
         // Realized per-region weights from an actual execution (identity
         // region→worker map over 4J slots, then re-packed 4-per-worker).
         let id_map: Vec<u32> = (0..scheme.num_regions() as u32).collect();
-        let exec_cfg = OperatorConfig { j: scheme.num_regions().max(1), ..cfg.clone() };
+        let exec_cfg = OperatorConfig {
+            j: scheme.num_regions().max(1),
+            ..cfg.clone()
+        };
         let stats = execute_join(shuffled, &w.cond, &id_map, &exec_cfg);
 
         let tasks: Vec<TaskSpec> = per_region_input
@@ -63,13 +70,20 @@ fn main() {
             &tasks,
             &assignment,
             j,
-            &AdaptiveConfig { reassign: false, ..Default::default() },
+            &AdaptiveConfig {
+                reassign: false,
+                ..Default::default()
+            },
         );
         let adaptive = simulate_adaptive(
             &tasks,
             &assignment,
             j,
-            &AdaptiveConfig { reassign: true, move_cost_factor: 1.0, wi_milli: w.cost.wi_milli },
+            &AdaptiveConfig {
+                reassign: true,
+                move_cost_factor: 1.0,
+                wi_milli: w.cost.wi_milli,
+            },
         );
         let max_task = tasks.iter().map(|t| t.weight_milli).max().unwrap_or(0);
         rows.push(vec![

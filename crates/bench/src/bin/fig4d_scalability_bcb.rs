@@ -11,10 +11,18 @@ fn main() {
     let mut time_rows = Vec::new();
     let mut mem_rows = Vec::new();
     for (mult, j) in [(0.5, 16usize), (1.0, 32), (2.0, 64)] {
-        let rc = RunConfig { scale: base.scale * mult, j, ..base };
+        let rc = RunConfig {
+            scale: base.scale * mult,
+            j,
+            ..base
+        };
         // The cluster (and its memory capacity) is fixed across the sweep, as
         // in the paper's 10-blade testbed.
-        let capacity = RunConfig { scale: base.scale, ..base }.cluster_capacity_bytes();
+        let capacity = RunConfig {
+            scale: base.scale,
+            ..base
+        }
+        .cluster_capacity_bytes();
         let w = bcb(3, rc.scale, rc.seed);
         let setting = format!("{}k/{j}", w.n_input() / 1000);
         for mut run in run_all_schemes(&w, &rc) {
@@ -25,13 +33,23 @@ fn main() {
                 format!("{:.3}", run.stats_sim_secs),
                 format!("{:.3}", run.join.sim_join_secs),
                 format!("{:.3}", run.total_sim_secs),
-                if run.join.overflowed { "MEM-OVERFLOW" } else { "" }.to_string(),
+                if run.join.overflowed {
+                    "MEM-OVERFLOW"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]);
             mem_rows.push(vec![
                 setting.clone(),
                 run.kind.to_string(),
                 format!("{:.2}", mib(run.join.mem_bytes)),
-                if run.join.overflowed { "MEM-OVERFLOW" } else { "" }.to_string(),
+                if run.join.overflowed {
+                    "MEM-OVERFLOW"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]);
         }
     }

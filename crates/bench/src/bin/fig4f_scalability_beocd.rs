@@ -12,7 +12,11 @@ fn main() {
     let mut time_rows = Vec::new();
     let mut mem_rows = Vec::new();
     for (mult, j) in [(0.5, 16usize), (1.0, 32), (2.0, 64)] {
-        let rc = RunConfig { scale: base.scale * mult, j, ..base };
+        let rc = RunConfig {
+            scale: base.scale * mult,
+            j,
+            ..base
+        };
         let w = beocd(rc.scale, beocd_gamma(rc.scale), rc.seed);
         let setting = format!("{:.1}k/{j}", w.n_input() as f64 / 1000.0);
         for run in run_all_schemes(&w, &rc) {
@@ -33,7 +37,9 @@ fn main() {
     }
     print_table(
         "Fig 4f: BEOCD scalability — total execution time",
-        &["input/J", "scheme", "rho_oi", "stats_s", "join_s", "total_s"],
+        &[
+            "input/J", "scheme", "rho_oi", "stats_s", "join_s", "total_s",
+        ],
         &time_rows,
     );
     print_table(

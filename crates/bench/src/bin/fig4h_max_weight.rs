@@ -50,10 +50,7 @@ fn main() {
             }
 
             if per_region {
-                println!(
-                    "# Fig 2a: per-worker weights — {} / {}",
-                    w.name, run.kind
-                );
+                println!("# Fig 2a: per-worker weights — {} / {}", w.name, run.kind);
                 for (i, (inp, out)) in run
                     .join
                     .per_worker_input
@@ -78,7 +75,12 @@ fn main() {
         // scheme's, on the two extremes of the ρoi spectrum? A scheme is
         // input-optimal when it stays competitive on the input-dominated
         // join, output-optimal when it does on the output-dominated join.
-        let best = runs.iter().map(|r| r.join.max_weight_milli).min().unwrap().max(1);
+        let best = runs
+            .iter()
+            .map(|r| r.join.max_weight_milli)
+            .min()
+            .unwrap()
+            .max(1);
         for run in &runs {
             let ratio = run.join.max_weight_milli as f64 / best as f64;
             if w.name == "BICD" {
@@ -90,7 +92,14 @@ fn main() {
     }
     print_table(
         "Fig 4h: maximum region weight (work units) after execution",
-        &["join", "scheme", "max_weight", "max_input", "max_output", "imbalance"],
+        &[
+            "join",
+            "scheme",
+            "max_weight",
+            "max_input",
+            "max_output",
+            "imbalance",
+        ],
         &rows,
     );
     let verdict_rows: Vec<Vec<String>> = [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio]
@@ -100,8 +109,14 @@ fn main() {
             let o = ocd_ratio[&k];
             vec![
                 k.to_string(),
-                format!("{} ({i:.2}x best on BICD)", if i <= 1.5 { "yes" } else { "no" }),
-                format!("{} ({o:.2}x best on BEOCD)", if o <= 1.5 { "yes" } else { "no" }),
+                format!(
+                    "{} ({i:.2}x best on BICD)",
+                    if i <= 1.5 { "yes" } else { "no" }
+                ),
+                format!(
+                    "{} ({o:.2}x best on BEOCD)",
+                    if o <= 1.5 { "yes" } else { "no" }
+                ),
             ]
         })
         .collect();

@@ -33,10 +33,7 @@ fn main() {
                 w.name.clone(),
                 kind.to_string(),
                 format!("{}", run.join.network_tuples),
-                format!(
-                    "{:.2}",
-                    run.join.network_tuples as f64 / w.n_input() as f64
-                ),
+                format!("{:.2}", run.join.network_tuples as f64 / w.n_input() as f64),
                 format!("{}", run.join.max_weight_milli / 1000),
                 format!("{:.3}", run.total_sim_secs),
             ]);
@@ -44,7 +41,14 @@ fn main() {
     }
     print_table(
         "Hash vs range partitioning on band joins (replication grows with beta)",
-        &["join", "scheme", "network_tuples", "replication", "max_weight", "total_s"],
+        &[
+            "join",
+            "scheme",
+            "network_tuples",
+            "replication",
+            "max_weight",
+            "total_s",
+        ],
         &rows,
     );
 
@@ -53,7 +57,9 @@ fn main() {
     let zipf = ZipfCdf::new(n / 20, 0.9);
     let mut rng = SmallRng::seed_from_u64(rc.seed);
     let gen = |rng: &mut SmallRng| -> Vec<Tuple> {
-        (0..n).map(|i| Tuple::new(zipf.sample(rng) as i64, i as u64)).collect()
+        (0..n)
+            .map(|i| Tuple::new(zipf.sample(rng) as i64, i as u64))
+            .collect()
     };
     let (r1, r2) = (gen(&mut rng), gen(&mut rng));
     let w0 = bcb(1, rc.scale, rc.seed); // settings template only
@@ -71,7 +77,13 @@ fn main() {
     }
     print_table(
         "Equi-join with Zipf(0.9) keys: hashing is competitive here (the paper's concession)",
-        &["scheme", "output", "network_tuples", "max_weight", "total_s"],
+        &[
+            "scheme",
+            "output",
+            "network_tuples",
+            "max_weight",
+            "total_s",
+        ],
         &rows,
     );
 }

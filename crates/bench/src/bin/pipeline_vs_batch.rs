@@ -1,0 +1,160 @@
+//! Batch vs. morsel-driven pipelined execution: wall time and peak resident
+//! memory across the Zipf-skewed paper workloads and the hot-key retail
+//! scenario.
+//!
+//! Emits the usual TSV table plus a JSON document (stdout, or `--json PATH`
+//! to write a file) so successive runs can be tracked as `BENCH_*.json`
+//! trajectories.
+//!
+//! ```sh
+//! cargo run --release -p ewh-bench --bin pipeline_vs_batch -- \
+//!     [--scale 0.25] [--j 32] [--threads N] [--json BENCH_pipeline.json]
+//! ```
+
+use ewh_bench::{
+    bcb, beocd, beocd_gamma, bicd, mib, print_table, retail_hotkey, RunConfig, Workload,
+};
+use ewh_core::SchemeKind;
+use ewh_exec::{run_operator, ExecMode, OperatorConfig, OperatorRun, OutputWork};
+
+struct Row {
+    workload: String,
+    mode: &'static str,
+    run: OperatorRun,
+}
+
+fn run_mode(w: &Workload, rc: &RunConfig, mode: ExecMode, work: OutputWork) -> OperatorRun {
+    let cfg = OperatorConfig {
+        mode,
+        output_work: work,
+        ..rc.operator_config(w)
+    };
+    run_operator(SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut rc = RunConfig::from_args();
+    // This comparison is wall-time sensitive; default to a lighter scale
+    // than the paper-figure binaries unless the caller chose one.
+    if !args.iter().any(|a| a == "--scale") {
+        rc.scale = 0.25;
+    }
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // The hot-key join's output is quadratic in the whale SKU; Count mode
+    // keeps the comparison about routing and memory, not output touching.
+    let workloads: Vec<(Workload, OutputWork)> = vec![
+        (bicd(rc.scale, rc.seed), OutputWork::Touch),
+        (bcb(4, rc.scale, rc.seed), OutputWork::Touch),
+        (
+            beocd(rc.scale, beocd_gamma(rc.scale), rc.seed),
+            OutputWork::Touch,
+        ),
+        (retail_hotkey(rc.scale * 4.0, rc.seed), OutputWork::Count),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (w, work) in &workloads {
+        let batch = run_mode(w, &rc, ExecMode::Batch, *work);
+        let pipe = run_mode(w, &rc, ExecMode::Pipelined, *work);
+        assert_eq!(
+            batch.join.output_total, pipe.join.output_total,
+            "{}: modes disagree on the join size",
+            w.name
+        );
+        assert_eq!(
+            batch.join.checksum, pipe.join.checksum,
+            "{}: checksum mismatch",
+            w.name
+        );
+        assert!(
+            pipe.join.peak_resident_bytes < batch.join.peak_resident_bytes,
+            "{}: pipelined peak {} not below batch {}",
+            w.name,
+            pipe.join.peak_resident_bytes,
+            batch.join.peak_resident_bytes
+        );
+        rows.push(Row {
+            workload: w.name.clone(),
+            mode: "batch",
+            run: batch,
+        });
+        rows.push(Row {
+            workload: w.name.clone(),
+            mode: "pipelined",
+            run: pipe,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let j = &r.run.join;
+            vec![
+                r.workload.clone(),
+                r.mode.to_string(),
+                j.output_total.to_string(),
+                format!("{:.1}", mib(j.peak_resident_bytes)),
+                format!("{:.1}", mib(j.mem_bytes)),
+                format!("{:.4}", j.wall_join_secs),
+                j.morsels_routed.to_string(),
+                format!("{:.4}", j.backpressure_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("pipeline_vs_batch (CSIO, scale {}, j {})", rc.scale, rc.j),
+        &[
+            "workload",
+            "mode",
+            "output",
+            "peak_MiB",
+            "shuffle_MiB",
+            "join_wall_s",
+            "morsels",
+            "backpressure_s",
+        ],
+        &table,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"pipeline_vs_batch\",\n  \"scale\": {},\n  \"j\": {},\n  \"threads\": {},\n  \"seed\": {},\n  \"results\": [\n",
+        rc.scale, rc.j, rc.threads, rc.seed
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let j = &r.run.join;
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"peak_resident_bytes\": {}, \"shuffle_bytes\": {}, \"network_tuples\": {}, \"join_wall_secs\": {:.6}, \"morsels_routed\": {}, \"backpressure_secs\": {:.6}}}{}\n",
+            json_escape(&r.workload),
+            r.mode,
+            j.output_total,
+            j.checksum,
+            j.peak_resident_bytes,
+            j.mem_bytes,
+            j.network_tuples,
+            j.wall_join_secs,
+            j.morsels_routed,
+            j.backpressure_secs,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing the JSON report failed");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -29,7 +29,11 @@ fn main() {
         let w = bcb(3, scale, rc.seed);
         let (k1, k2) = (keys(&w.r1), keys(&w.r2));
         let n = k1.len().max(k2.len());
-        let params = HistogramParams { j, threads: rc.threads, ..Default::default() };
+        let params = HistogramParams {
+            j,
+            threads: rc.threads,
+            ..Default::default()
+        };
 
         let t0 = Instant::now();
         let ms = build_sample_matrix(&k1, &k2, &w.cond, &params);
@@ -62,12 +66,24 @@ fn main() {
             format!("{}", mc.n_rows().max(mc.n_cols())),
             format!("{}", dense.state_count()),
             format!("{}", mono.state_count()),
-            format!("{:.1}x", dense.state_count() as f64 / mono.state_count().max(1) as f64),
+            format!(
+                "{:.1}x",
+                dense.state_count() as f64 / mono.state_count().max(1) as f64
+            ),
         ]);
     }
     print_table(
         "Table III (a): histogram stage wall times vs n (expect ~linear total)",
-        &["n", "ns", "nc", "sampling_s", "coarsening_s", "regionalization_s", "total_s", "regions"],
+        &[
+            "n",
+            "ns",
+            "nc",
+            "sampling_s",
+            "coarsening_s",
+            "regionalization_s",
+            "total_s",
+            "regions",
+        ],
         &stage_rows,
     );
     print_table(

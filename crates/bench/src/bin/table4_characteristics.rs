@@ -29,7 +29,15 @@ fn main() {
     }
     print_table(
         "Table IV: join characteristics (measured vs paper)",
-        &["join", "input", "output", "rho_oi", "paper_input", "paper_output", "paper_rho"],
+        &[
+            "join",
+            "input",
+            "output",
+            "rho_oi",
+            "paper_input",
+            "paper_output",
+            "paper_rho",
+        ],
         &rows,
     );
 }

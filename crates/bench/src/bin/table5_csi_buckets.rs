@@ -39,7 +39,12 @@ fn main() {
     // scale (relative to n ≈ 240k after --scale) land at 64..2048.
     let ps = [64usize, 128, 256, 512, 1024, 2048];
     let mut rows = Vec::new();
-    sweep(&beocd(rc.scale, beocd_gamma(rc.scale), rc.seed), &rc, &ps, &mut rows);
+    sweep(
+        &beocd(rc.scale, beocd_gamma(rc.scale), rc.seed),
+        &rc,
+        &ps,
+        &mut rows,
+    );
     sweep(&bcb(3, rc.scale, rc.seed), &rc, &ps, &mut rows);
     print_table(
         "Table V: CSI join and histogram-algorithm time vs bucket count p",

@@ -50,15 +50,30 @@ fn main() {
     let zipf = ZipfCdf::new(8, 1.2); // 8 distinct keys, strong head
     let mut rng = SmallRng::seed_from_u64(rc.seed);
     let gen = |rng: &mut SmallRng| -> Vec<Tuple> {
-        (0..n).map(|i| Tuple::new(zipf.sample(rng) as i64, i as u64)).collect()
+        (0..n)
+            .map(|i| Tuple::new(zipf.sample(rng) as i64, i as u64))
+            .collect()
     };
     let (r1, r2) = (gen(&mut rng), gen(&mut rng));
     let cfg = rc.operator_config(&w); // reuse cluster settings; cost model band
-    let adaptive = run_operator_adaptive(&r1, &r2, &JoinCondition::Equi, &cfg, &FallbackPolicy::default());
+    let adaptive = run_operator_adaptive(
+        &r1,
+        &r2,
+        &JoinCondition::Equi,
+        &cfg,
+        &FallbackPolicy::default(),
+    );
     let rho = adaptive.join.output_total as f64 / (2 * n) as f64;
     print_table(
         "Worst case (b): high-selectivity equi-join — adaptive CI fallback",
-        &["rho_oi", "fell_back", "final_scheme", "stats_s(incl. wasted)", "join_s", "total_s"],
+        &[
+            "rho_oi",
+            "fell_back",
+            "final_scheme",
+            "stats_s(incl. wasted)",
+            "join_s",
+            "total_s",
+        ],
         &[vec![
             format!("{rho:.0}"),
             format!("{}", adaptive.fell_back),

@@ -26,7 +26,9 @@ impl Default for RunConfig {
         RunConfig {
             scale: 1.0,
             j: 32,
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2),
             seed: 0xEC,
             csi_p: 512,
         }
@@ -57,8 +59,7 @@ impl RunConfig {
     /// 4.5× the B_ICD input bytes at this scale. CI's ≥6× replication on the
     /// large joins overflows it; the content-sensitive schemes never do.
     pub fn cluster_capacity_bytes(&self) -> u64 {
-        (4.5 * 2.0 * crate::workloads::BICD_ORDERS as f64 * self.scale * TUPLE_BYTES as f64)
-            as u64
+        (4.5 * 2.0 * crate::workloads::BICD_ORDERS as f64 * self.scale * TUPLE_BYTES as f64) as u64
     }
 
     /// Operator configuration for one workload.
@@ -68,7 +69,10 @@ impl RunConfig {
             threads: self.threads,
             seed: self.seed,
             cost: w.cost,
-            csi: CsiParams { p: self.csi_p, seed: self.seed },
+            csi: CsiParams {
+                p: self.csi_p,
+                seed: self.seed,
+            },
             hist: HistogramParams::default(),
             mem_capacity_bytes: Some(self.cluster_capacity_bytes()),
             ..Default::default()
@@ -118,14 +122,28 @@ mod tests {
 
     #[test]
     fn run_config_capacity_scales() {
-        let rc = RunConfig { scale: 1.0, ..Default::default() };
-        let half = RunConfig { scale: 0.5, ..Default::default() };
-        assert_eq!(rc.cluster_capacity_bytes(), 2 * half.cluster_capacity_bytes());
+        let rc = RunConfig {
+            scale: 1.0,
+            ..Default::default()
+        };
+        let half = RunConfig {
+            scale: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            rc.cluster_capacity_bytes(),
+            2 * half.cluster_capacity_bytes()
+        );
     }
 
     #[test]
     fn all_three_schemes_agree_on_output() {
-        let rc = RunConfig { scale: 0.05, j: 8, threads: 2, ..Default::default() };
+        let rc = RunConfig {
+            scale: 0.05,
+            j: 8,
+            threads: 2,
+            ..Default::default()
+        };
         let w = bcb(2, rc.scale, rc.seed);
         let runs = run_all_schemes(&w, &rc);
         assert_eq!(runs.len(), 3);

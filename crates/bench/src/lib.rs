@@ -23,5 +23,6 @@ pub mod workloads;
 
 pub use harness::{mib, print_table, rho_oi, run_all_schemes, run_scheme, RunConfig};
 pub use workloads::{
-    bcb, beocd, beocd_gamma, bicd, encode_beocd, fig4a_workloads, Workload, BEOCD_SHIFT,
+    bcb, beocd, beocd_gamma, bicd, encode_beocd, fig4a_workloads, retail_hotkey, Workload,
+    BEOCD_SHIFT, RETAIL_N,
 };

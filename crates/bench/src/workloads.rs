@@ -9,7 +9,7 @@
 //! | BE_OCD  | TPC-H   | `o1.custkey = o2.custkey AND \|sp1 − sp2\| ≤ 2` + filters | 36.8M / 2000M |
 
 use ewh_core::{CostModel, JoinCondition, Tuple};
-use ewh_datagen::{gen_orders, gen_x_relation, Order, OrdersParams};
+use ewh_datagen::{gen_orders, gen_retail, gen_x_relation, Order, OrdersParams, RetailParams};
 
 /// Shift for the BE_OCD composite `(custkey, ship_priority)` key encoding;
 /// `ship_priority < 8 < 16` and `β = 2 < 16`.
@@ -52,7 +52,11 @@ pub const BEOCD_ORDERS: usize = 240_000;
 /// `orderkey` (1/4-dense), R2 carries `10·custkey` (Zipf-skewed).
 pub fn bicd(scale: f64, seed: u64) -> Workload {
     let n = ((BICD_ORDERS as f64 * scale) as usize).max(1000);
-    let orders = gen_orders(&OrdersParams { n, seed, ..Default::default() });
+    let orders = gen_orders(&OrdersParams {
+        n,
+        seed,
+        ..Default::default()
+    });
     let r1 = orders
         .iter()
         .map(|o| Tuple::new(o.orderkey, o.orderkey as u64))
@@ -144,14 +148,21 @@ pub fn beocd(scale: f64, gamma: i64, seed: u64) -> Workload {
     let whale_span = (n as f64 * BEOCD_WHALE_FRAC) as usize;
     for w in 0..BEOCD_WHALES {
         let custkey = ((w + 1) * BEOCD_CUSTOMERS / (BEOCD_WHALES + 1)) as i64;
-        for o in orders.iter_mut().skip(w).step_by(BEOCD_WHALES).take(whale_span) {
+        for o in orders
+            .iter_mut()
+            .skip(w)
+            .step_by(BEOCD_WHALES)
+            .take(whale_span)
+        {
             o.custkey = custkey;
         }
     }
     let filtered = |prio: i64| -> Vec<Tuple> {
         orders
             .iter()
-            .filter(|o| o.order_priority == prio && o.totalprice >= gamma && o.totalprice <= 360_000)
+            .filter(|o| {
+                o.order_priority == prio && o.totalprice >= gamma && o.totalprice <= 360_000
+            })
             .map(encode_beocd)
             .collect()
     };
@@ -159,7 +170,10 @@ pub fn beocd(scale: f64, gamma: i64, seed: u64) -> Workload {
         name: "BEOCD".into(),
         r1: filtered(4), // "4-NOT SPECIFIED"
         r2: filtered(1), // "1-URGENT"
-        cond: JoinCondition::EquiBand { shift: BEOCD_SHIFT, beta: 2 },
+        cond: JoinCondition::EquiBand {
+            shift: BEOCD_SHIFT,
+            beta: 2,
+        },
         cost: CostModel::equi_band(),
         paper_input_m: 36.8,
         paper_output_m: 2000.0,
@@ -172,6 +186,35 @@ pub fn encode_beocd(o: &Order) -> Tuple {
         JoinCondition::encode_composite(o.custkey, o.ship_priority, BEOCD_SHIFT),
         o.orderkey as u64,
     )
+}
+
+/// Per-relation tuple count of the hot-key retail workload at `scale = 1.0`.
+pub const RETAIL_N: usize = 20_000;
+
+/// RETAIL: the hot-key equi self-join — 99 uniform SKUs plus one whale SKU
+/// carrying ~100× their tuples (the Flink-style flash-sale scenario; not a
+/// paper workload, so the `paper_*` fields are zero). With ≈50% of each
+/// relation on one key, ≈25% of the join output lands on a single key:
+/// maximal single-key join product skew for the output-aware scheme to
+/// split.
+pub fn retail_hotkey(scale: f64, seed: u64) -> Workload {
+    let n = ((RETAIL_N as f64 * scale) as usize).max(2_000);
+    let gen = |seed| {
+        gen_retail(&RetailParams {
+            n,
+            seed,
+            ..Default::default()
+        })
+    };
+    Workload {
+        name: "RETAIL".into(),
+        r1: gen(seed ^ 0x4E1),
+        r2: gen(seed ^ 0x4E2),
+        cond: JoinCondition::Equi,
+        cost: CostModel::band(),
+        paper_input_m: 0.0,
+        paper_output_m: 0.0,
+    }
 }
 
 /// The paper's γ per scale factor (§ Appendix B: 120k/140k/160k for SF
@@ -255,6 +298,21 @@ mod tests {
             let sp = t.key % BEOCD_SHIFT;
             assert!((0..8).contains(&sp));
         }
+    }
+
+    #[test]
+    fn retail_output_is_dominated_by_the_hot_key() {
+        let w = retail_hotkey(0.2, 7);
+        let hot = ewh_datagen::RetailParams::default().hot_key();
+        let n1_hot = w.r1.iter().filter(|t| t.key == hot).count() as u64;
+        let n2_hot = w.r2.iter().filter(|t| t.key == hot).count() as u64;
+        let keys = |ts: &[Tuple]| ts.iter().map(|t| t.key).collect::<Vec<Key>>();
+        let total = JoinMatrix::new(keys(&w.r1), keys(&w.r2), w.cond).output_count();
+        let hot_pairs = n1_hot * n2_hot;
+        assert!(
+            hot_pairs as f64 > 0.15 * total as f64,
+            "hot key produces {hot_pairs} of {total} outputs"
+        );
     }
 
     #[test]

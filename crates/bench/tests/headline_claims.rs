@@ -6,7 +6,13 @@ use ewh_bench::{bcb, beocd, beocd_gamma, bicd, run_all_schemes, run_scheme, RunC
 use ewh_core::SchemeKind;
 
 fn rc() -> RunConfig {
-    RunConfig { scale: 0.25, j: 16, threads: 2, csi_p: 256, ..Default::default() }
+    RunConfig {
+        scale: 0.25,
+        j: 16,
+        threads: 2,
+        csi_p: 256,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -15,8 +21,14 @@ fn csio_wins_the_cost_balanced_join() {
     let w = bcb(3, rc.scale, rc.seed);
     let runs = run_all_schemes(&w, &rc);
     let (ci, csi, csio) = (&runs[0], &runs[1], &runs[2]);
-    assert!(csio.total_sim_secs < ci.total_sim_secs, "CSIO !< CI on BCB-3");
-    assert!(csio.total_sim_secs < csi.total_sim_secs, "CSIO !< CSI on BCB-3");
+    assert!(
+        csio.total_sim_secs < ci.total_sim_secs,
+        "CSIO !< CI on BCB-3"
+    );
+    assert!(
+        csio.total_sim_secs < csi.total_sim_secs,
+        "CSIO !< CSI on BCB-3"
+    );
 }
 
 #[test]

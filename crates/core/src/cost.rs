@@ -21,13 +21,19 @@ pub struct CostModel {
 impl CostModel {
     /// The paper's calibrated model for band joins (`wi = 1, wo = 0.2`).
     pub const fn band() -> Self {
-        CostModel { wi_milli: 1000, wo_milli: 200 }
+        CostModel {
+            wi_milli: 1000,
+            wo_milli: 200,
+        }
     }
 
     /// The paper's calibrated model for combinations of equality and band
     /// conditions (`wi = 1, wo = 0.3`).
     pub const fn equi_band() -> Self {
-        CostModel { wi_milli: 1000, wo_milli: 300 }
+        CostModel {
+            wi_milli: 1000,
+            wo_milli: 300,
+        }
     }
 
     /// Builds from floating-point per-tuple rates.
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn weight_saturates() {
-        let c = CostModel { wi_milli: u64::MAX, wo_milli: u64::MAX };
+        let c = CostModel {
+            wi_milli: u64::MAX,
+            wo_milli: u64::MAX,
+        };
         assert_eq!(c.weight(2, 2), u64::MAX);
     }
 
@@ -126,8 +135,7 @@ mod tests {
     #[test]
     fn calibration_rejects_singular_systems() {
         // All observations share the same input/output ratio: unidentifiable.
-        let samples: Vec<(u64, u64, f64)> =
-            (1..5).map(|k| (k * 100, k * 200, k as f64)).collect();
+        let samples: Vec<(u64, u64, f64)> = (1..5).map(|k| (k * 100, k * 200, k as f64)).collect();
         assert!(CostModel::calibrate(&samples).is_none());
     }
 

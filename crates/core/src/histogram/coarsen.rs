@@ -49,7 +49,11 @@ impl CoarsenedMatrix {
 
 fn range_of(bounds: &[Key], i: usize) -> KeyRange {
     let lo = bounds[i];
-    let hi = if i + 2 == bounds.len() { Key::MAX } else { bounds[i + 1] - 1 };
+    let hi = if i + 2 == bounds.len() {
+        Key::MAX
+    } else {
+        bounds[i + 1] - 1
+    };
     KeyRange::new(lo, hi)
 }
 
@@ -74,7 +78,11 @@ pub fn coarsen_sample_matrix(
     let points: Vec<SparsePoint> = ms
         .points
         .iter()
-        .map(|&(r, c)| SparsePoint { row: r, col: c, w: pt_w })
+        .map(|&(r, c)| SparsePoint {
+            row: r,
+            col: c,
+            w: pt_w,
+        })
         .collect();
 
     let sg = SparseGrid::new(
@@ -85,7 +93,11 @@ pub fn coarsen_sample_matrix(
         points,
         ms.cand.clone(),
     );
-    let cfg = CoarsenConfig { nc, iters, monotonic };
+    let cfg = CoarsenConfig {
+        nc,
+        iters,
+        monotonic,
+    };
     let (row_cuts, col_cuts) = coarsen(&sg, &cfg);
 
     materialize(ms, cond, cost, &row_cuts, &col_cuts)
@@ -125,11 +137,15 @@ pub(crate) fn materialize(
 
     let mut row_tuples = vec![0u64; nr];
     for (r, t) in row_tuples.iter_mut().enumerate() {
-        *t = ms.row_tuples[row_cuts[r] as usize..row_cuts[r + 1] as usize].iter().sum();
+        *t = ms.row_tuples[row_cuts[r] as usize..row_cuts[r + 1] as usize]
+            .iter()
+            .sum();
     }
     let mut col_tuples = vec![0u64; nc];
     for (c, t) in col_tuples.iter_mut().enumerate() {
-        *t = ms.col_tuples[col_cuts[c] as usize..col_cuts[c + 1] as usize].iter().sum();
+        *t = ms.col_tuples[col_cuts[c] as usize..col_cuts[c + 1] as usize]
+            .iter()
+            .sum();
     }
 
     // Output sample counts per coarse cell, then scale by m/so.
@@ -139,8 +155,10 @@ pub(crate) fn materialize(
         let c = slab_of(col_cuts, pc);
         counts[r * nc + c] += 1;
     }
-    let out_tuples: Vec<u64> =
-        counts.iter().map(|&cnt| scale_count(cnt, ms.m, ms.so.max(1))).collect();
+    let out_tuples: Vec<u64> = counts
+        .iter()
+        .map(|&cnt| scale_count(cnt, ms.m, ms.so.max(1)))
+        .collect();
 
     // Exact candidacy over coarse key ranges (conservative by construction:
     // the boundary-only check is exact for monotonic conditions).
@@ -154,18 +172,37 @@ pub(crate) fn materialize(
     }
     // Every sampled output point must land in a candidate cell.
     debug_assert!(
-        counts.iter().zip(&cand).all(|(&cnt, &is_cand)| cnt == 0 || is_cand),
+        counts
+            .iter()
+            .zip(&cand)
+            .all(|(&cnt, &is_cand)| cnt == 0 || is_cand),
         "output sample hit a non-candidate coarse cell"
     );
 
     let grid = Grid::new(
-        &row_tuples.iter().map(|&t| cost.wi_milli * t).collect::<Vec<_>>(),
-        &col_tuples.iter().map(|&t| cost.wi_milli * t).collect::<Vec<_>>(),
-        &out_tuples.iter().map(|&t| cost.wo_milli * t).collect::<Vec<_>>(),
+        &row_tuples
+            .iter()
+            .map(|&t| cost.wi_milli * t)
+            .collect::<Vec<_>>(),
+        &col_tuples
+            .iter()
+            .map(|&t| cost.wi_milli * t)
+            .collect::<Vec<_>>(),
+        &out_tuples
+            .iter()
+            .map(|&t| cost.wo_milli * t)
+            .collect::<Vec<_>>(),
         &cand,
     );
 
-    CoarsenedMatrix { grid, row_bounds, col_bounds, row_tuples, col_tuples, out_tuples }
+    CoarsenedMatrix {
+        grid,
+        row_bounds,
+        col_bounds,
+        row_tuples,
+        col_tuples,
+        out_tuples,
+    }
 }
 
 #[inline]
@@ -182,7 +219,10 @@ mod tests {
         let r1: Vec<Key> = (0..4000).map(|i| (i * 7) % 4000).collect();
         let r2: Vec<Key> = (0..4000).map(|i| (i * 11) % 4000).collect();
         let cond = JoinCondition::Band { beta: 2 };
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         (build_sample_matrix(&r1, &r2, &cond, &params), cond)
     }
 
@@ -197,7 +237,11 @@ mod tests {
         // Scaled output estimates must add up to ≈ m (rounding per cell).
         let est: u64 = mc.out_tuples.iter().sum();
         let lo = ms.m.saturating_sub(ms.so as u64);
-        assert!(est >= lo && est <= ms.m + ms.so as u64, "est {est} vs m {}", ms.m);
+        assert!(
+            est >= lo && est <= ms.m + ms.so as u64,
+            "est {est} vs m {}",
+            ms.m
+        );
     }
 
     #[test]

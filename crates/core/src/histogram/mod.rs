@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn nc_defaults_to_2j() {
-        let p = HistogramParams { j: 16, ..Default::default() };
+        let p = HistogramParams {
+            j: 16,
+            ..Default::default()
+        };
         assert_eq!(p.nc(), 32);
     }
 }

@@ -28,25 +28,43 @@ pub struct Regionalization {
 
 /// Stage 3 driver.
 pub fn regionalize(mc: &CoarsenedMatrix, j: usize, baseline_bsp: bool) -> Regionalization {
-    let algo = if baseline_bsp { TilingAlgo::Bsp } else { TilingAlgo::MonotonicBsp };
+    let algo = if baseline_bsp {
+        TilingAlgo::Bsp
+    } else {
+        TilingAlgo::MonotonicBsp
+    };
     let partition = partition_max_weight(&mc.grid, j, algo);
 
     let ncols = mc.n_cols();
     let mut regions = Vec::with_capacity(partition.regions.len());
     let mut rects = Vec::with_capacity(partition.regions.len());
     for r in &partition.regions {
-        let rows = KeyRange::new(mc.row_range(r.r0 as usize).lo, mc.row_range(r.r1 as usize).hi);
-        let cols = KeyRange::new(mc.col_range(r.c0 as usize).lo, mc.col_range(r.c1 as usize).hi);
-        let est_input: u64 = mc.row_tuples[r.r0 as usize..=r.r1 as usize].iter().sum::<u64>()
-            + mc.col_tuples[r.c0 as usize..=r.c1 as usize].iter().sum::<u64>();
+        let rows = KeyRange::new(
+            mc.row_range(r.r0 as usize).lo,
+            mc.row_range(r.r1 as usize).hi,
+        );
+        let cols = KeyRange::new(
+            mc.col_range(r.c0 as usize).lo,
+            mc.col_range(r.c1 as usize).hi,
+        );
+        let est_input: u64 = mc.row_tuples[r.r0 as usize..=r.r1 as usize]
+            .iter()
+            .sum::<u64>()
+            + mc.col_tuples[r.c0 as usize..=r.c1 as usize]
+                .iter()
+                .sum::<u64>();
         let mut est_output = 0u64;
         for row in r.r0 as usize..=r.r1 as usize {
-            est_output +=
-                mc.out_tuples[row * ncols + r.c0 as usize..=row * ncols + r.c1 as usize]
-                    .iter()
-                    .sum::<u64>();
+            est_output += mc.out_tuples[row * ncols + r.c0 as usize..=row * ncols + r.c1 as usize]
+                .iter()
+                .sum::<u64>();
         }
-        regions.push(Region { rows, cols, est_input, est_output });
+        regions.push(Region {
+            rows,
+            cols,
+            est_input,
+            est_output,
+        });
         rects.push((r.r0 as usize, r.r1 as usize, r.c0 as usize, r.c1 as usize));
     }
 
@@ -68,7 +86,10 @@ mod tests {
         let r1: Vec<Key> = (0..6000).map(|i| (i * 13) % 6000).collect();
         let r2: Vec<Key> = (0..6000).map(|i| (i * 17) % 6000).collect();
         let cond = JoinCondition::Band { beta: 3 };
-        let params = HistogramParams { j, ..Default::default() };
+        let params = HistogramParams {
+            j,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&r1, &r2, &cond, &params);
         coarsen_sample_matrix(&ms, &cond, &CostModel::band(), 2 * j, 4, true)
     }
@@ -79,14 +100,22 @@ mod tests {
             let mc = mc_for(j);
             let reg = regionalize(&mc, j, false);
             assert!(!reg.regions.is_empty());
-            assert!(reg.regions.len() <= j, "j={j}: {} regions", reg.regions.len());
+            assert!(
+                reg.regions.len() <= j,
+                "j={j}: {} regions",
+                reg.regions.len()
+            );
             assert!(reg.est_max_weight <= reg.delta);
             let cost = CostModel::band();
             // est_max_weight must equal the max region weight recomputed
             // from the estimates (up to the output rounding folded into the
             // grid weights, which is exact here by construction).
-            let recomputed =
-                reg.regions.iter().map(|r| r.est_weight(&cost)).max().unwrap();
+            let recomputed = reg
+                .regions
+                .iter()
+                .map(|r| r.est_weight(&cost))
+                .max()
+                .unwrap();
             assert_eq!(recomputed, reg.est_max_weight);
         }
     }

@@ -62,7 +62,10 @@ impl SampleMatrix {
         let mut max = 0;
         for (&(r, c), &cnt) in &per_cell {
             let out = scale_count(cnt, self.m, self.so);
-            let w = cost.weight(self.row_tuples[r as usize] + self.col_tuples[c as usize], out);
+            let w = cost.weight(
+                self.row_tuples[r as usize] + self.col_tuples[c as usize],
+                out,
+            );
             max = max.max(w);
         }
         // Cells without sample hits still carry input weight.
@@ -121,8 +124,11 @@ fn split_buckets(
 ) -> EquiDepthHistogram {
     let mut interior: Vec<Key> = hist.bounds()[1..hist.bounds().len() - 1].to_vec();
     for b in buckets {
-        let mut ks: Vec<Key> =
-            sample_keys.iter().copied().filter(|&k| hist.bucket_of(k) == b).collect();
+        let mut ks: Vec<Key> = sample_keys
+            .iter()
+            .copied()
+            .filter(|&k| hist.bucket_of(k) == b)
+            .collect();
         if ks.is_empty() {
             continue;
         }
@@ -191,7 +197,9 @@ pub fn build_sample_matrix(
         .map(|&(lo, hi)| if lo <= hi { (hi - lo + 1) as u64 } else { 0 })
         .sum();
 
-    let mut so = params.so_override.unwrap_or_else(|| ks::output_sample_size(nsc as usize));
+    let mut so = params
+        .so_override
+        .unwrap_or_else(|| ks::output_sample_size(nsc as usize));
     let sample = parallel_stream_sample(
         r1_keys,
         r2_keys,
@@ -235,8 +243,9 @@ pub fn build_sample_matrix(
                 .iter()
                 .map(|&(lo, hi)| if lo <= hi { (hi - lo + 1) as u64 } else { 0 })
                 .sum();
-            let new_so =
-                params.so_override.unwrap_or_else(|| ks::output_sample_size(nsc as usize));
+            let new_so = params
+                .so_override
+                .unwrap_or_else(|| ks::output_sample_size(nsc as usize));
             if new_so > so {
                 so = new_so;
                 pairs = parallel_stream_sample(
@@ -279,10 +288,8 @@ pub fn build_sample_matrix(
             }
             let k1s: Vec<Key> = pairs.iter().map(|&(k1, _)| k1).collect();
             let k2s: Vec<Key> = pairs.iter().map(|&(_, k2)| k2).collect();
-            row_hist =
-                split_buckets(&row_hist, overweight.iter().map(|&(r, _)| r as usize), &k1s);
-            col_hist =
-                split_buckets(&col_hist, overweight.iter().map(|&(_, c)| c as usize), &k2s);
+            row_hist = split_buckets(&row_hist, overweight.iter().map(|&(r, _)| r as usize), &k1s);
+            col_hist = split_buckets(&col_hist, overweight.iter().map(|&(_, c)| c as usize), &k2s);
             cand = candidate_intervals(&row_hist, &col_hist, cond);
         }
         nsc = cand
@@ -332,7 +339,11 @@ mod tests {
         let r1 = uniform_keys(5000, 7);
         let r2 = uniform_keys(5000, 11);
         let cond = JoinCondition::Band { beta: 2 };
-        let params = HistogramParams { j: 8, threads: 2, ..Default::default() };
+        let params = HistogramParams {
+            j: 8,
+            threads: 2,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&r1, &r2, &cond, &params);
         // Exact m by brute d2 sum.
         let d2equi = ewh_sampling::KeyedCounts::from_keys(r2.clone());
@@ -353,7 +364,10 @@ mod tests {
         let r1 = uniform_keys(3001, 3);
         let r2 = uniform_keys(2000, 5);
         let cond = JoinCondition::Band { beta: 1 };
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&r1, &r2, &cond, &params);
         assert_eq!(ms.row_tuples.iter().sum::<u64>(), 3001);
         assert_eq!(ms.col_tuples.iter().sum::<u64>(), 2000);
@@ -364,7 +378,10 @@ mod tests {
         let r1 = uniform_keys(4000, 13);
         let r2 = uniform_keys(4000, 17);
         let cond = JoinCondition::Band { beta: 5 };
-        let params = HistogramParams { j: 8, ..Default::default() };
+        let params = HistogramParams {
+            j: 8,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&r1, &r2, &cond, &params);
         let mut prev = (0u32, 0u32);
         for &(lo, hi) in &ms.cand {
@@ -375,7 +392,10 @@ mod tests {
         // Every output point must land inside its row's candidate interval.
         for &(r, c) in &ms.points {
             let (lo, hi) = ms.cand[r as usize];
-            assert!(lo <= c && c <= hi, "point ({r},{c}) outside interval [{lo},{hi}]");
+            assert!(
+                lo <= c && c <= hi,
+                "point ({r},{c}) outside interval [{lo},{hi}]"
+            );
         }
     }
 
@@ -384,7 +404,10 @@ mod tests {
         let r1 = vec![0i64; 100];
         let r2 = vec![1_000_000i64; 100];
         let cond = JoinCondition::Band { beta: 3 };
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&r1, &r2, &cond, &params);
         assert_eq!(ms.m, 0);
         assert!(ms.points.is_empty());
@@ -401,7 +424,10 @@ mod tests {
         let cond = JoinCondition::Band { beta: 3 };
         let cost = CostModel::band();
         for j in [4usize, 8, 16] {
-            let params = HistogramParams { j, ..Default::default() };
+            let params = HistogramParams {
+                j,
+                ..Default::default()
+            };
             let ms = build_sample_matrix(&r1, &r2, &cond, &params);
             assert!(ms.m >= n as u64, "premise of Lemma 3.1 (m >= n)");
             let sigma = ms.max_cell_weight(&cost);
@@ -426,9 +452,16 @@ mod tests {
         let mut r2: Vec<Key> = (0..200).collect();
         r2.extend((200..n as i64).map(|i| i * 1_000 + 500));
         let cond = JoinCondition::Band { beta: 2 };
-        let params = HistogramParams { j: 8, ..Default::default() };
+        let params = HistogramParams {
+            j: 8,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&r1, &r2, &cond, &params);
-        assert!(ms.m > 0 && ms.m < n as u64 / 2, "premise: sparse join (m = {})", ms.m);
+        assert!(
+            ms.m > 0 && ms.m < n as u64 / 2,
+            "premise: sparse join (m = {})",
+            ms.m
+        );
 
         let cap = (ms.so as u64 / 16).max(1); // so / (2J)
         let mut counts = std::collections::HashMap::new();
@@ -451,7 +484,10 @@ mod tests {
         // Band 1000 wide in a keyspace of stride 1000: roughly 2 matches per
         // tuple... make it sparser: beta = 400 -> no matches except none.
         let cond = JoinCondition::Band { beta: 500 };
-        let params = HistogramParams { j: 8, ..Default::default() };
+        let params = HistogramParams {
+            j: 8,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&r1, &r2, &cond, &params);
         let base = HistogramParams::recommended_ns(n as u64, 8);
         if ms.m < n as u64 && ms.m > 0 {

@@ -192,8 +192,8 @@ mod tests {
                         for bhi in blo..12 {
                             let r1 = KeyRange::new(alo, ahi);
                             let r2 = KeyRange::new(blo, bhi);
-                            let brute = (alo..=ahi)
-                                .any(|a| (blo..=bhi).any(|b| cond.matches(a, b)));
+                            let brute =
+                                (alo..=ahi).any(|a| (blo..=bhi).any(|b| cond.matches(a, b)));
                             assert_eq!(
                                 cond.candidate(&r1, &r2),
                                 brute,
@@ -218,7 +218,7 @@ mod tests {
         let cond = JoinCondition::EquiBand { shift: 10, beta: 2 };
         let a = JoinCondition::encode_composite(3, 9, 10); // group 3, pos 9
         let b = JoinCondition::encode_composite(4, 0, 10); // group 4, pos 0
-        // Encoded keys differ by 1 but the groups differ: no match.
+                                                           // Encoded keys differ by 1 but the groups differ: no match.
         assert_eq!(b - a, 1);
         assert!(!cond.matches(a, b));
         // Joinable range of `a` must stay inside group 3.

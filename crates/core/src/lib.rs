@@ -19,8 +19,8 @@
 //! Tuple shuffling and local join execution live in `ewh-exec`; the tiling
 //! and sampling substrates in `ewh-tiling` / `ewh-sampling`.
 
-pub mod histogram;
 mod cost;
+pub mod histogram;
 mod join;
 mod matrix;
 mod region;
@@ -33,9 +33,9 @@ pub use histogram::HistogramParams;
 pub use join::{IneqOp, JoinCondition};
 pub use matrix::JoinMatrix;
 pub use region::Region;
-pub use router::{GridRouter, HashRouter, RandomRouter, Router};
+pub use router::{GridRouter, HashRouter, RandomRouter, Rel, RouteBatch, RouteBuckets, Router};
 pub use schemes::{
-    build_ci, build_csi, build_csio, build_hash, BuildInfo, CsiParams, HashParams,
-    PartitionScheme, SchemeKind,
+    build_ci, build_csi, build_csio, build_hash, BuildInfo, CsiParams, HashParams, PartitionScheme,
+    SchemeKind,
 };
 pub use types::{Key, KeyRange, Tuple, TUPLE_BYTES};

@@ -24,7 +24,12 @@ impl JoinMatrix {
         r1.sort_unstable();
         r2.sort_unstable();
         let d2equi = KeyedCounts::from_keys(r2.clone());
-        JoinMatrix { r1, r2, d2equi, cond }
+        JoinMatrix {
+            r1,
+            r2,
+            d2equi,
+            cond,
+        }
     }
 
     pub fn n1(&self) -> usize {
@@ -164,8 +169,16 @@ mod tests {
         let m = fig1();
         let region = Region::new(KeyRange::new(5, 15), KeyRange::new(3, 11));
         let (input, output) = m.region_counts(&region);
-        let rows = m.r1_keys().iter().filter(|&&k| (5..=15).contains(&k)).count() as u64;
-        let cols = m.r2_keys().iter().filter(|&&k| (3..=11).contains(&k)).count() as u64;
+        let rows = m
+            .r1_keys()
+            .iter()
+            .filter(|&&k| (5..=15).contains(&k))
+            .count() as u64;
+        let cols = m
+            .r2_keys()
+            .iter()
+            .filter(|&&k| (3..=11).contains(&k))
+            .count() as u64;
         assert_eq!(input, rows + cols);
         let mut brute = 0u64;
         for &a in m.r1_keys().iter().filter(|&&k| (5..=15).contains(&k)) {
@@ -181,9 +194,7 @@ mod tests {
     #[test]
     fn band_grid_is_monotonic() {
         let m = fig1();
-        let ranges: Vec<KeyRange> = (0..7)
-            .map(|i| KeyRange::new(i * 4, i * 4 + 3))
-            .collect();
+        let ranges: Vec<KeyRange> = (0..7).map(|i| KeyRange::new(i * 4, i * 4 + 3)).collect();
         assert!(m.grid_is_monotonic(&ranges, &ranges));
     }
 

@@ -18,7 +18,12 @@ pub struct Region {
 
 impl Region {
     pub fn new(rows: KeyRange, cols: KeyRange) -> Self {
-        Region { rows, cols, est_input: 0, est_output: 0 }
+        Region {
+            rows,
+            cols,
+            est_input: 0,
+            est_output: 0,
+        }
     }
 
     /// Estimated weight under a cost model, in milli-units.

@@ -11,12 +11,138 @@ use rand::Rng;
 
 use crate::Key;
 
+/// Which relation a tuple being routed belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rel {
+    R1,
+    R2,
+}
+
+/// Scatter result of routing one batch of tuples: for every region, the
+/// indices (into the batch) of the tuples it receives. Reused across batches
+/// so per-region buffers keep their capacity; [`RouteBuckets::clear`] resets
+/// only the regions touched by the previous batch.
+#[derive(Clone, Debug)]
+pub struct RouteBuckets {
+    by_region: Vec<Vec<u32>>,
+    touched: Vec<u32>,
+}
+
+impl RouteBuckets {
+    pub fn new(n_regions: usize) -> Self {
+        RouteBuckets {
+            by_region: vec![Vec::new(); n_regions],
+            touched: Vec::new(),
+        }
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.by_region.len()
+    }
+
+    /// Region ids that received at least one tuple of the current batch, in
+    /// first-touch order (deterministic given the routing decisions).
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Batch indices routed to `region`.
+    pub fn region(&self, region: u32) -> &[u32] {
+        &self.by_region[region as usize]
+    }
+
+    /// Appends batch index `idx` to `region`'s bucket.
+    #[inline]
+    pub fn push(&mut self, region: u32, idx: u32) {
+        let bucket = &mut self.by_region[region as usize];
+        if bucket.is_empty() {
+            self.touched.push(region);
+        }
+        bucket.push(idx);
+    }
+
+    /// Resets the buckets touched by the last batch (O(touched), keeps
+    /// capacity).
+    pub fn clear(&mut self) {
+        for &r in &self.touched {
+            self.by_region[r as usize].clear();
+        }
+        self.touched.clear();
+    }
+}
+
+/// Batch routing: the entry point the morsel-driven executor uses so that
+/// routing work amortizes per-morsel instead of per-tuple.
+///
+/// The provided [`route_batch`](RouteBatch::route_batch) default loops
+/// [`route_one`](RouteBatch::route_one) over the batch with a reused scratch
+/// buffer; implementors can override it to hoist per-batch invariants (the
+/// [`Router`] impl dispatches its enum variant once per batch rather than
+/// once per tuple).
+pub trait RouteBatch {
+    /// Routes one key of relation `rel`, appending the receiving region ids
+    /// to `out`.
+    fn route_one(&self, rel: Rel, k: Key, rng: &mut impl Rng, out: &mut Vec<u32>);
+
+    /// Routes a whole batch of keys into per-region index buckets.
+    /// `buckets` must span at least every routable region id and is *not*
+    /// cleared here — callers clear between batches to reuse capacity.
+    fn route_batch(&self, rel: Rel, keys: &[Key], rng: &mut impl Rng, buckets: &mut RouteBuckets) {
+        let mut scratch: Vec<u32> = Vec::with_capacity(8);
+        for (i, &k) in keys.iter().enumerate() {
+            scratch.clear();
+            self.route_one(rel, k, &mut *rng, &mut scratch);
+            for &region in &scratch {
+                buckets.push(region, i as u32);
+            }
+        }
+    }
+}
+
 /// Routes tuples of both relations to region ids.
 #[derive(Clone, Debug)]
 pub enum Router {
     Grid(GridRouter),
     Random(RandomRouter),
     Hash(HashRouter),
+}
+
+impl RouteBatch for Router {
+    #[inline]
+    fn route_one(&self, rel: Rel, k: Key, rng: &mut impl Rng, out: &mut Vec<u32>) {
+        match rel {
+            Rel::R1 => self.route_r1(k, rng, out),
+            Rel::R2 => self.route_r2(k, rng, out),
+        }
+    }
+
+    /// Amortized override: one variant dispatch per batch, scratch buffer
+    /// reused across the whole morsel.
+    fn route_batch(&self, rel: Rel, keys: &[Key], rng: &mut impl Rng, buckets: &mut RouteBuckets) {
+        let mut scratch: Vec<u32> = Vec::with_capacity(8);
+        macro_rules! scatter {
+            (|$k:ident, $out:ident| $route:expr) => {
+                for (i, &$k) in keys.iter().enumerate() {
+                    scratch.clear();
+                    {
+                        let $out = &mut scratch;
+                        $route;
+                    }
+                    for &region in &scratch {
+                        buckets.push(region, i as u32);
+                    }
+                }
+            };
+        }
+        match (self, rel) {
+            (Router::Grid(g), Rel::R1) => scatter!(|k, out| g.route_r1(k, out)),
+            (Router::Grid(g), Rel::R2) => scatter!(|k, out| g.route_r2(k, out)),
+            (Router::Random(r), Rel::R1) => scatter!(|_k, out| r.route_r1(&mut *rng, out)),
+            (Router::Random(r), Rel::R2) => scatter!(|_k, out| r.route_r2(&mut *rng, out)),
+            (Router::Hash(h), Rel::R1) => scatter!(|k, out| h.route_r1(k, &mut *rng, out)),
+            (Router::Hash(h), Rel::R2) => scatter!(|k, out| h.route_r2(k, out)),
+        }
+    }
 }
 
 impl Router {
@@ -76,7 +202,12 @@ impl GridRouter {
                 col.push(id as u32);
             }
         }
-        GridRouter { row_bounds, col_bounds, by_row, by_col }
+        GridRouter {
+            row_bounds,
+            col_bounds,
+            by_row,
+            by_col,
+        }
     }
 
     #[inline]
@@ -167,7 +298,10 @@ impl HashRouter {
     fn near_heavy(&self, k: Key) -> bool {
         let lo = k.saturating_sub(self.beta);
         let i = self.heavy.partition_point(|&h| h < lo);
-        self.heavy.get(i).map(|&h| h <= k.saturating_add(self.beta)).unwrap_or(false)
+        self.heavy
+            .get(i)
+            .map(|&h| h <= k.saturating_add(self.beta))
+            .unwrap_or(false)
     }
 
     #[inline]
@@ -261,6 +395,61 @@ mod tests {
         assert_eq!(out.len(), 4, "R2 replicated to all regions of its column");
         let col = out[0] % 8;
         assert!(out.iter().all(|&id| id % 8 == col));
+    }
+
+    #[test]
+    fn route_batch_matches_per_tuple_routing_for_grid() {
+        let r = Router::Grid(grid());
+        let keys: Vec<Key> = vec![5, 25, 12, 99, 0, 19, 20];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buckets = RouteBuckets::new(3);
+        r.route_batch(Rel::R1, &keys, &mut rng, &mut buckets);
+
+        // Reference: per-tuple routing into index buckets.
+        let mut expect = vec![Vec::new(); 3];
+        let mut out = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            out.clear();
+            r.route_r1(k, &mut rng, &mut out);
+            for &region in &out {
+                expect[region as usize].push(i as u32);
+            }
+        }
+        for region in 0..3u32 {
+            assert_eq!(
+                buckets.region(region),
+                &expect[region as usize][..],
+                "region {region}"
+            );
+        }
+        // Touched lists exactly the non-empty regions.
+        let mut touched: Vec<u32> = buckets.touched().to_vec();
+        touched.sort_unstable();
+        let non_empty: Vec<u32> = (0..3u32)
+            .filter(|&r| !expect[r as usize].is_empty())
+            .collect();
+        assert_eq!(touched, non_empty);
+
+        // Clearing resets only what was touched and keeps the struct usable.
+        buckets.clear();
+        assert!(buckets.touched().is_empty());
+        assert!((0..3u32).all(|r| buckets.region(r).is_empty()));
+    }
+
+    #[test]
+    fn route_batch_random_replicates_full_bands() {
+        let r = Router::Random(RandomRouter { rows: 4, cols: 8 });
+        let keys: Vec<Key> = (0..100).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buckets = RouteBuckets::new(32);
+        r.route_batch(Rel::R1, &keys, &mut rng, &mut buckets);
+        // Every R1 key lands in exactly `cols` regions of one row band.
+        let total: usize = buckets
+            .touched()
+            .iter()
+            .map(|&r| buckets.region(r).len())
+            .sum();
+        assert_eq!(total, 100 * 8);
     }
 
     #[test]

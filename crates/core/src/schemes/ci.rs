@@ -8,9 +8,7 @@
 //! price of replicating each `R1` tuple `b` times and each `R2` tuple `a`
 //! times, which is what sinks the scheme on input-cost-dominated joins.
 
-use crate::{
-    BuildInfo, KeyRange, PartitionScheme, RandomRouter, Region, Router, SchemeKind,
-};
+use crate::{BuildInfo, KeyRange, PartitionScheme, RandomRouter, Region, Router, SchemeKind};
 
 /// Chooses the region matrix shape: the factor pair `a·b = j` minimizing the
 /// per-region input `n1/a + n2/b` (for `n1 = n2` this is the most square

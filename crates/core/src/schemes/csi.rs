@@ -37,7 +37,10 @@ pub struct CsiParams {
 
 impl Default for CsiParams {
     fn default() -> Self {
-        CsiParams { p: 2000, seed: 0x5EED }
+        CsiParams {
+            p: 2000,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -80,7 +83,14 @@ impl CandGrid {
             }
             prev_nonempty[r] = prev;
         }
-        CandGrid { iv, cells_pfx, next_nonempty, prev_nonempty, row_unit, col_unit }
+        CandGrid {
+            iv,
+            cells_pfx,
+            next_nonempty,
+            prev_nonempty,
+            row_unit,
+            col_unit,
+        }
     }
 
     fn cells_in_rows(&self, r0: usize, r1: usize) -> u64 {
@@ -227,8 +237,11 @@ pub fn build_csi(
     // in J regions.
     let mut lo = g.row_unit + g.col_unit;
     let mut hi = n1 + n2;
-    let feasible =
-        |t: u64| cover(&g, p1, t).map(|regs| regs.len() <= j).unwrap_or(false);
+    let feasible = |t: u64| {
+        cover(&g, p1, t)
+            .map(|regs| regs.len() <= j)
+            .unwrap_or(false)
+    };
     if !feasible(hi) {
         // One region per row block can still exceed J for extreme p/J; widen
         // until feasible (T beyond n1+n2 changes nothing, so fall back to a
@@ -315,7 +328,12 @@ mod tests {
                 s.router.route_r1(k1, &mut rng, &mut a);
                 s.router.route_r2(k2, &mut rng, &mut b);
                 let both: Vec<_> = a.iter().filter(|x| b.contains(x)).collect();
-                assert_eq!(both.len(), 1, "pair ({k1},{k2}) met in {} regions", both.len());
+                assert_eq!(
+                    both.len(),
+                    1,
+                    "pair ({k1},{k2}) met in {} regions",
+                    both.len()
+                );
             }
         }
     }

@@ -8,9 +8,7 @@
 
 use std::time::Instant;
 
-use crate::histogram::{
-    build_sample_matrix, coarsen_sample_matrix, regionalize, HistogramParams,
-};
+use crate::histogram::{build_sample_matrix, coarsen_sample_matrix, regionalize, HistogramParams};
 use crate::{
     BuildInfo, CostModel, GridRouter, JoinCondition, Key, PartitionScheme, Router, SchemeKind,
 };
@@ -92,7 +90,10 @@ mod tests {
         let r1 = uniform(6000, 7, 6000);
         let r2 = uniform(6000, 11, 6000);
         let cond = JoinCondition::Band { beta: 3 };
-        let params = HistogramParams { j: 8, ..Default::default() };
+        let params = HistogramParams {
+            j: 8,
+            ..Default::default()
+        };
         let s = build_csio(&r1, &r2, &cond, &CostModel::band(), &params);
         assert!(s.num_regions() <= 8 && s.num_regions() >= 2);
 
@@ -110,13 +111,19 @@ mod tests {
         let r1 = uniform(4000, 3, 4000);
         let r2 = uniform(4000, 5, 4000);
         let cond = JoinCondition::Band { beta: 1 };
-        let params = HistogramParams { j: 6, ..Default::default() };
+        let params = HistogramParams {
+            j: 6,
+            ..Default::default()
+        };
         let s = build_csio(&r1, &r2, &cond, &CostModel::band(), &params);
 
         // Every region must be a candidate rectangle (it covers at least one
         // candidate cell, so its corner ranges satisfy the condition check).
         for r in &s.regions {
-            assert!(cond.candidate(&r.rows, &r.cols), "non-candidate region {r:?}");
+            assert!(
+                cond.candidate(&r.rows, &r.cols),
+                "non-candidate region {r:?}"
+            );
         }
 
         // The router's meet count must equal the number of regions whose
@@ -149,16 +156,26 @@ mod tests {
         }
         let cond = JoinCondition::Band { beta: 2 };
         let cost = CostModel::band();
-        let params = HistogramParams { j: 8, ..Default::default() };
+        let params = HistogramParams {
+            j: 8,
+            ..Default::default()
+        };
         let s = build_csio(&r1, &r2, &cond, &cost, &params);
 
-        let weights: Vec<u64> =
-            s.regions.iter().map(|r| r.est_weight(&cost)).filter(|&w| w > 0).collect();
+        let weights: Vec<u64> = s
+            .regions
+            .iter()
+            .map(|r| r.est_weight(&cost))
+            .filter(|&w| w > 0)
+            .collect();
         let max = *weights.iter().max().unwrap();
         let total: u64 = weights.iter().sum();
         // One region owning the hot segment would hold > 80% of the total;
         // an equi-weight split across 8 regions should stay well below 1/3.
-        assert!(max <= total / 3, "hot segment not split: max {max} of {total}");
+        assert!(
+            max <= total / 3,
+            "hot segment not split: max {max} of {total}"
+        );
     }
 
     #[test]
@@ -167,24 +184,19 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let r1: Vec<Key> = (0..5000)
             .map(|_| {
-                JoinCondition::encode_composite(
-                    rng.gen_range(0..50),
-                    rng.gen_range(0..8),
-                    shift,
-                )
+                JoinCondition::encode_composite(rng.gen_range(0..50), rng.gen_range(0..8), shift)
             })
             .collect();
         let r2: Vec<Key> = (0..5000)
             .map(|_| {
-                JoinCondition::encode_composite(
-                    rng.gen_range(0..50),
-                    rng.gen_range(0..8),
-                    shift,
-                )
+                JoinCondition::encode_composite(rng.gen_range(0..50), rng.gen_range(0..8), shift)
             })
             .collect();
         let cond = JoinCondition::EquiBand { shift, beta: 2 };
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         let s = build_csio(&r1, &r2, &cond, &CostModel::equi_band(), &params);
         for _ in 0..1000 {
             let k1 = r1[rng.gen_range(0..r1.len())];
@@ -200,7 +212,10 @@ mod tests {
         let r1: Vec<Key> = (0..500).collect();
         let r2: Vec<Key> = (10_000..10_500).collect();
         let cond = JoinCondition::Equi;
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         let s = build_csio(&r1, &r2, &cond, &CostModel::band(), &params);
         assert_eq!(s.build.m_est, 0);
         // Candidate cells can still exist (the boundary check is
@@ -214,7 +229,10 @@ mod tests {
         let r1 = uniform(3000, 7, 3000);
         let r2 = uniform(3000, 5, 3000);
         let cond = JoinCondition::Band { beta: 2 };
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         let s = build_csio(&r1, &r2, &cond, &CostModel::band(), &params);
         assert!(s.build.ns > 0);
         assert!(s.build.nc > 0 && s.build.nc <= 8);

@@ -35,7 +35,9 @@ pub struct HashParams {
 
 impl Default for HashParams {
     fn default() -> Self {
-        HashParams { heavy_fraction: Some(0.01) }
+        HashParams {
+            heavy_fraction: Some(0.01),
+        }
     }
 }
 
@@ -95,7 +97,11 @@ pub fn build_hash(
         router: Router::Hash(HashRouter::new(j as u32, beta, heavy)),
         build: BuildInfo {
             // One aggregation pass over both inputs for heavy detection.
-            stats_scan_tuples: if params.heavy_fraction.is_some() { n1 + n2 } else { 0 },
+            stats_scan_tuples: if params.heavy_fraction.is_some() {
+                n1 + n2
+            } else {
+                0
+            },
             ..Default::default()
         },
     }
@@ -118,7 +124,13 @@ mod tests {
     #[test]
     fn equi_pairs_meet_exactly_once() {
         let keys: Vec<Key> = (0..500).collect();
-        let s = build_hash(&keys, &keys, &JoinCondition::Equi, 8, &HashParams::default());
+        let s = build_hash(
+            &keys,
+            &keys,
+            &JoinCondition::Equi,
+            8,
+            &HashParams::default(),
+        );
         let mut rng = SmallRng::seed_from_u64(1);
         for k in 0..500 {
             assert_eq!(meet_count(&s, k, k, &mut rng), 1, "key {k}");
@@ -131,7 +143,15 @@ mod tests {
         let k1: Vec<Key> = (0..400).map(|_| rng.gen_range(0..200)).collect();
         let k2: Vec<Key> = (0..400).map(|_| rng.gen_range(0..200)).collect();
         let cond = JoinCondition::Band { beta: 3 };
-        let s = build_hash(&k1, &k2, &cond, 6, &HashParams { heavy_fraction: None });
+        let s = build_hash(
+            &k1,
+            &k2,
+            &cond,
+            6,
+            &HashParams {
+                heavy_fraction: None,
+            },
+        );
         for &a in k1.iter().take(50) {
             for &b in k2.iter().take(50) {
                 let meets = meet_count(&s, a, b, &mut rng);
@@ -163,7 +183,10 @@ mod tests {
             assert_eq!(out.len(), 1, "heavy R1 tuples go to one (random) region");
             regions_seen.insert(out[0]);
         }
-        assert!(regions_seen.len() >= 6, "heavy key not scattered: {regions_seen:?}");
+        assert!(
+            regions_seen.len() >= 6,
+            "heavy key not scattered: {regions_seen:?}"
+        );
         // The matching R2 key broadcasts.
         out.clear();
         s.router.route_r2(7, &mut rng, &mut out);

@@ -86,6 +86,10 @@ impl PartitionScheme {
 
     /// Estimated maximum region weight under `cost` (milli-units).
     pub fn est_max_weight(&self, cost: &CostModel) -> u64 {
-        self.regions.iter().map(|r| r.est_weight(cost)).max().unwrap_or(0)
+        self.regions
+            .iter()
+            .map(|r| r.est_weight(cost))
+            .max()
+            .unwrap_or(0)
     }
 }

@@ -36,7 +36,10 @@ impl KeyRange {
     /// The whole key space.
     #[inline]
     pub fn full() -> Self {
-        KeyRange { lo: Key::MIN, hi: Key::MAX }
+        KeyRange {
+            lo: Key::MIN,
+            hi: Key::MAX,
+        }
     }
 
     #[inline]

@@ -2,8 +2,8 @@
 //! exact join-matrix model.
 
 use ewh_core::{
-    build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams,
-    HistogramParams, JoinCondition, JoinMatrix, Key, KeyRange, Region, SchemeKind,
+    build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams, HistogramParams,
+    JoinCondition, JoinMatrix, Key, KeyRange, Region, SchemeKind,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -14,12 +14,7 @@ fn random_keys(n: usize, domain: i64, seed: u64) -> Vec<Key> {
 }
 
 /// Routes a key pair through a scheme and counts common regions.
-fn meets(
-    s: &ewh_core::PartitionScheme,
-    k1: Key,
-    k2: Key,
-    rng: &mut SmallRng,
-) -> usize {
+fn meets(s: &ewh_core::PartitionScheme, k1: Key, k2: Key, rng: &mut SmallRng) -> usize {
     let mut a = Vec::new();
     let mut b = Vec::new();
     s.router.route_r1(k1, rng, &mut a);
@@ -66,7 +61,10 @@ fn csio_estimates_match_matrix_ground_truth() {
     let k1 = random_keys(20_000, 10_000, 5);
     let k2 = random_keys(20_000, 10_000, 6);
     let cond = JoinCondition::Band { beta: 3 };
-    let params = HistogramParams { j: 8, ..Default::default() };
+    let params = HistogramParams {
+        j: 8,
+        ..Default::default()
+    };
     let s = build_csio(&k1, &k2, &cond, &CostModel::band(), &params);
     let matrix = JoinMatrix::new(k1, k2, cond);
     let cost = CostModel::band();
@@ -101,7 +99,10 @@ fn ci_regions_have_uniform_estimates() {
     let first = s.regions[0];
     assert!(s.regions.iter().all(|r| r.est_input == first.est_input));
     assert!(s.regions.iter().all(|r| r.est_output == 1000));
-    assert!(s.regions.iter().all(|r| r.rows == KeyRange::full() && r.cols == KeyRange::full()));
+    assert!(s
+        .regions
+        .iter()
+        .all(|r| r.rows == KeyRange::full() && r.cols == KeyRange::full()));
 }
 
 #[test]
@@ -116,7 +117,15 @@ fn all_schemes_expose_display_names() {
 fn hash_equi_network_is_minimal() {
     // On an equi-join without heavy keys, hash moves each tuple exactly once.
     let k = random_keys(3000, 100_000, 7); // near-distinct keys
-    let s = build_hash(&k, &k, &JoinCondition::Equi, 8, &HashParams { heavy_fraction: None });
+    let s = build_hash(
+        &k,
+        &k,
+        &JoinCondition::Equi,
+        8,
+        &HashParams {
+            heavy_fraction: None,
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(8);
     let mut out = Vec::new();
     for &key in k.iter().take(500) {
@@ -136,7 +145,10 @@ fn csio_handles_single_distinct_key() {
     let k1 = vec![99i64; 500];
     let k2 = vec![99i64; 700];
     let cond = JoinCondition::Equi;
-    let params = HistogramParams { j: 4, ..Default::default() };
+    let params = HistogramParams {
+        j: 4,
+        ..Default::default()
+    };
     let s = build_csio(&k1, &k2, &cond, &CostModel::band(), &params);
     assert_eq!(s.build.m_est, 500 * 700);
     let mut rng = SmallRng::seed_from_u64(9);
@@ -149,7 +161,10 @@ fn csio_with_tiny_j_and_huge_j() {
     let k2 = random_keys(3000, 1000, 11);
     let cond = JoinCondition::Band { beta: 1 };
     for j in [1usize, 64] {
-        let params = HistogramParams { j, ..Default::default() };
+        let params = HistogramParams {
+            j,
+            ..Default::default()
+        };
         let s = build_csio(&k1, &k2, &cond, &CostModel::band(), &params);
         assert!(s.num_regions() <= j.max(1));
         assert!(s.num_regions() >= 1);
@@ -165,7 +180,10 @@ fn regions_report_est_weight_consistent_with_cost_model() {
         est_output: 5000,
     };
     assert_eq!(r.est_weight(&CostModel::band()), 1000 * 1000 + 5000 * 200);
-    assert_eq!(r.est_weight(&CostModel::equi_band()), 1000 * 1000 + 5000 * 300);
+    assert_eq!(
+        r.est_weight(&CostModel::equi_band()),
+        1000 * 1000 + 5000 * 300
+    );
 }
 
 #[test]

@@ -6,11 +6,15 @@
 //!   and BE_OCD joins.
 //! * [`gen_x_relation`] — the synthetic X dataset behind the cost-balanced
 //!   B_CB band joins (80/20 segments with join product skew).
+//! * [`gen_retail`] — the hot-key retail scenario (99 uniform keys plus one
+//!   key at ~100× their weight), exercising single-key output skew.
 
+mod retail;
 mod tpch;
 mod xdata;
 mod zipf;
 
+pub use retail::{gen_retail, RetailParams};
 pub use tpch::{
     gen_orders, Order, OrdersParams, ORDER_PRIORITIES, PRICE_MAX, PRICE_MIN, SHIP_PRIORITIES,
 };

@@ -1,0 +1,130 @@
+//! Hot-key "retail" workload: a stream where one SKU dwarfs every other.
+//!
+//! Models the classic data-stream skew scenario (a flash sale: one product
+//! id carries a large constant fraction of all events while the remaining
+//! catalog is uniform). With the defaults — 100 distinct keys, the hot key
+//! weighted 100× an average cold key — the hot key receives ≈ 50% of the
+//! relation, so a hash- or range-partitioned equi-join collapses onto one
+//! worker unless the scheme splits by *output* weight.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ewh_core::{Key, Tuple};
+
+/// Tunables for [`gen_retail`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetailParams {
+    /// Total tuples.
+    pub n: usize,
+    /// Distinct keys (the catalog size), hot key included.
+    pub n_keys: usize,
+    /// The hot key's weight relative to one cold key: it receives
+    /// `hot_factor / (n_keys - 1 + hot_factor)` of the tuples in
+    /// expectation.
+    pub hot_factor: f64,
+    pub seed: u64,
+}
+
+impl Default for RetailParams {
+    fn default() -> Self {
+        RetailParams {
+            n: 100_000,
+            n_keys: 100,
+            hot_factor: 100.0,
+            seed: 0xCA7,
+        }
+    }
+}
+
+impl RetailParams {
+    /// The key carrying the hot fraction (middle of the catalog, so range
+    /// partitioners cannot isolate it at a domain boundary for free).
+    pub fn hot_key(&self) -> Key {
+        (self.n_keys / 2) as Key
+    }
+
+    /// Expected fraction of tuples on the hot key.
+    pub fn hot_fraction(&self) -> f64 {
+        self.hot_factor / (self.n_keys as f64 - 1.0 + self.hot_factor)
+    }
+}
+
+/// Generates one retail relation: keys in `[0, n_keys)`, one hot key at
+/// `hot_factor`× the weight of each of the other uniform keys.
+pub fn gen_retail(params: &RetailParams) -> Vec<Tuple> {
+    assert!(
+        params.n_keys >= 2,
+        "need at least one cold key besides the hot one"
+    );
+    assert!(params.hot_factor > 0.0);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let hot = params.hot_key();
+    let p_hot = params.hot_fraction();
+    (0..params.n)
+        .map(|i| {
+            let key = if rng.gen_bool(p_hot) {
+                hot
+            } else {
+                // Uniform over the cold keys, skipping the hot slot.
+                let cold = rng.gen_range(0..params.n_keys as Key - 1);
+                if cold >= hot {
+                    cold + 1
+                } else {
+                    cold
+                }
+            };
+            Tuple::new(key, i as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_key_carries_about_100x_a_cold_key() {
+        let params = RetailParams {
+            n: 200_000,
+            ..Default::default()
+        };
+        let r = gen_retail(&params);
+        assert_eq!(r.len(), params.n);
+        let mut counts = vec![0u64; params.n_keys];
+        for t in &r {
+            assert!((0..params.n_keys as Key).contains(&t.key));
+            counts[t.key as usize] += 1;
+        }
+        let hot = counts[params.hot_key() as usize];
+        let cold_mean = (params.n as u64 - hot) as f64 / (params.n_keys - 1) as f64;
+        let ratio = hot as f64 / cold_mean;
+        assert!(
+            (60.0..140.0).contains(&ratio),
+            "hot/cold ratio {ratio}, expected ≈ {}",
+            params.hot_factor
+        );
+        // Every cold key shows up: the catalog is uniform outside the whale.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RetailParams {
+            n: 5_000,
+            ..Default::default()
+        };
+        let a = gen_retail(&p);
+        let b = gen_retail(&p);
+        assert_eq!(a, b);
+        let c = gen_retail(&RetailParams { seed: 99, ..p });
+        assert!(a.iter().zip(&c).any(|(x, y)| x.key != y.key));
+    }
+
+    #[test]
+    fn hot_fraction_matches_the_closed_form() {
+        let p = RetailParams::default();
+        // 100 / (99 + 100) ≈ 0.5025…
+        assert!((p.hot_fraction() - 100.0 / 199.0).abs() < 1e-12);
+    }
+}

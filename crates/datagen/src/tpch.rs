@@ -49,7 +49,12 @@ pub struct OrdersParams {
 
 impl Default for OrdersParams {
     fn default() -> Self {
-        OrdersParams { n: 1_000_000, z: 0.25, customers_div: 10, seed: 0xD8 }
+        OrdersParams {
+            n: 1_000_000,
+            z: 0.25,
+            customers_div: 10,
+            seed: 0xD8,
+        }
     }
 }
 
@@ -83,14 +88,25 @@ mod tests {
 
     #[test]
     fn orderkeys_are_quarter_dense() {
-        let orders = gen_orders(&OrdersParams { n: 1000, ..Default::default() });
+        let orders = gen_orders(&OrdersParams {
+            n: 1000,
+            ..Default::default()
+        });
         assert_eq!(orders.len(), 1000);
-        assert!(orders.iter().enumerate().all(|(i, o)| o.orderkey == 4 * i as Key));
+        assert!(orders
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.orderkey == 4 * i as Key));
     }
 
     #[test]
     fn custkey_skew_produces_heavy_hitters() {
-        let params = OrdersParams { n: 100_000, z: 0.25, customers_div: 10, seed: 3 };
+        let params = OrdersParams {
+            n: 100_000,
+            z: 0.25,
+            customers_div: 10,
+            seed: 3,
+        };
         let orders = gen_orders(&params);
         let customers = 10_000usize;
         let mut counts = vec![0u64; customers + 1];
@@ -102,12 +118,18 @@ mod tests {
         // Zipf 0.25 over 10k ranks: the head should clearly exceed the mean
         // but stay moderate (that is the paper's point about z = 0.25).
         assert!(max as f64 > 2.0 * mean, "no skew visible: max {max}");
-        assert!((max as f64) < 60.0 * mean, "skew implausibly heavy: max {max}");
+        assert!(
+            (max as f64) < 60.0 * mean,
+            "skew implausibly heavy: max {max}"
+        );
     }
 
     #[test]
     fn columns_stay_in_domain() {
-        let orders = gen_orders(&OrdersParams { n: 10_000, ..Default::default() });
+        let orders = gen_orders(&OrdersParams {
+            n: 10_000,
+            ..Default::default()
+        });
         for o in &orders {
             assert!((0..SHIP_PRIORITIES).contains(&o.ship_priority));
             assert!((1..=ORDER_PRIORITIES).contains(&o.order_priority));
@@ -118,7 +140,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let p = OrdersParams { n: 500, seed: 77, ..Default::default() };
+        let p = OrdersParams {
+            n: 500,
+            seed: 77,
+            ..Default::default()
+        };
         let a = gen_orders(&p);
         let b = gen_orders(&p);
         assert!(a.iter().zip(&b).all(|(x, y)| x.orderkey == y.orderkey

@@ -48,7 +48,9 @@ mod tests {
         let seg2 = &r[x..];
         assert!(seg1.iter().all(|t| (0..=(x / 6) as Key).contains(&t.key)));
         let y = 4 * x;
-        assert!(seg2.iter().all(|t| (2 * y as Key..=6 * y as Key).contains(&t.key)));
+        assert!(seg2
+            .iter()
+            .all(|t| (2 * y as Key..=6 * y as Key).contains(&t.key)));
     }
 
     #[test]

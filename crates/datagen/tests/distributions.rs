@@ -40,7 +40,11 @@ fn x_dataset_has_no_redistribution_skew_but_strong_jps() {
     let mut outputs = Vec::new();
     for i in 0..b {
         let lo = sorted[i * sorted.len() / b];
-        let hi = if i == b - 1 { i64::MAX } else { sorted[(i + 1) * sorted.len() / b] - 1 };
+        let hi = if i == b - 1 {
+            i64::MAX
+        } else {
+            sorted[(i + 1) * sorted.len() / b] - 1
+        };
         let region = ewh_core::Region::new(
             ewh_core::KeyRange::new(lo, hi),
             ewh_core::KeyRange::new(i64::MIN, i64::MAX),
@@ -58,7 +62,12 @@ fn x_dataset_has_no_redistribution_skew_but_strong_jps() {
 #[test]
 fn orders_zipf_head_grows_with_z() {
     let head_count = |z: f64| {
-        let orders = gen_orders(&OrdersParams { n: 50_000, z, seed: 9, ..Default::default() });
+        let orders = gen_orders(&OrdersParams {
+            n: 50_000,
+            z,
+            seed: 9,
+            ..Default::default()
+        });
         let mut counts = std::collections::HashMap::new();
         for o in &orders {
             *counts.entry(o.custkey).or_insert(0u64) += 1;
@@ -69,7 +78,10 @@ fn orders_zipf_head_grows_with_z() {
     let mild = head_count(0.25);
     let steep = head_count(1.0);
     assert!(mild > flat, "z=0.25 head {mild} not above uniform {flat}");
-    assert!(steep > 2 * mild, "z=1.0 head {steep} not well above z=0.25 {mild}");
+    assert!(
+        steep > 2 * mild,
+        "z=1.0 head {steep} not well above z=0.25 {mild}"
+    );
 }
 
 #[test]
@@ -85,7 +97,10 @@ fn zipf_cdf_sums_to_one() {
 fn bicd_key_columns_follow_tpch_density() {
     // orderkey 1/4-dense, custkey domain = n/10: the selectivity inputs of
     // the B_ICD analysis.
-    let orders = gen_orders(&OrdersParams { n: 10_000, ..Default::default() });
+    let orders = gen_orders(&OrdersParams {
+        n: 10_000,
+        ..Default::default()
+    });
     assert!(orders.iter().all(|o| o.orderkey % 4 == 0));
     let max_ck = orders.iter().map(|o| o.custkey).max().unwrap();
     assert!(max_ck <= 1000);

@@ -39,7 +39,11 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { reassign: true, move_cost_factor: 1.0, wi_milli: 1000 }
+        AdaptiveConfig {
+            reassign: true,
+            move_cost_factor: 1.0,
+            wi_milli: 1000,
+        }
     }
 }
 
@@ -59,7 +63,12 @@ pub struct AdaptiveOutcome {
 /// process their queues in the given order; when idle and `reassign` is on,
 /// a worker steals the last *unstarted* task from the worker with the most
 /// remaining queued work, paying the move penalty.
-pub fn simulate(tasks: &[TaskSpec], assignment: &[u32], j: usize, cfg: &AdaptiveConfig) -> AdaptiveOutcome {
+pub fn simulate(
+    tasks: &[TaskSpec],
+    assignment: &[u32],
+    j: usize,
+    cfg: &AdaptiveConfig,
+) -> AdaptiveOutcome {
     assert_eq!(tasks.len(), assignment.len());
     assert!(j >= 1);
     let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); j];
@@ -92,8 +101,7 @@ pub fn simulate(tasks: &[TaskSpec], assignment: &[u32], j: usize, cfg: &Adaptive
             (0..j)
                 .filter(|&v| v != w && !queues[v].is_empty())
                 .map(|v| {
-                    let backlog: u64 =
-                        queues[v].iter().map(|&t| tasks[t].weight_milli).sum();
+                    let backlog: u64 = queues[v].iter().map(|&t| tasks[t].weight_milli).sum();
                     (v, backlog)
                 })
                 .filter(|&(v, backlog)| {
@@ -130,7 +138,10 @@ mod tests {
     use super::*;
 
     fn t(weight: u64, input: u64) -> TaskSpec {
-        TaskSpec { weight_milli: weight, input_tuples: input }
+        TaskSpec {
+            weight_milli: weight,
+            input_tuples: input,
+        }
     }
 
     #[test]
@@ -152,7 +163,10 @@ mod tests {
             &tasks,
             &assignment,
             4,
-            &AdaptiveConfig { reassign: false, ..Default::default() },
+            &AdaptiveConfig {
+                reassign: false,
+                ..Default::default()
+            },
         );
         assert_eq!(frozen.makespan_milli, 800);
         assert_eq!(frozen.reassignments, 0);
@@ -168,14 +182,22 @@ mod tests {
         // times... increases the input-related work").
         let tasks = vec![t(100, 1000); 8];
         let assignment = vec![0u32; 8];
-        let cfg = AdaptiveConfig { reassign: true, move_cost_factor: 1.0, wi_milli: 1000 };
+        let cfg = AdaptiveConfig {
+            reassign: true,
+            move_cost_factor: 1.0,
+            wi_milli: 1000,
+        };
         let out = simulate(&tasks, &assignment, 4, &cfg);
         assert_eq!(out.reassignments, 0);
         assert_eq!(out.moved_tuples, 0);
         assert_eq!(out.makespan_milli, 800);
 
         // With free moves the same layout balances out.
-        let cheap = AdaptiveConfig { reassign: true, move_cost_factor: 0.0, wi_milli: 1000 };
+        let cheap = AdaptiveConfig {
+            reassign: true,
+            move_cost_factor: 0.0,
+            wi_milli: 1000,
+        };
         let out = simulate(&tasks, &assignment, 4, &cheap);
         assert!(out.reassignments > 0);
         assert!(out.makespan_milli < 800);

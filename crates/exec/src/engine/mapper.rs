@@ -1,0 +1,129 @@
+//! Mapper tasks: claim morsels, batch-route them through the scheme's
+//! router, and push per-region fragments into the owning reducers' bounded
+//! queues.
+//!
+//! Mappers coordinate the *seal protocol* without a central barrier: two
+//! atomic countdowns (one per relation) track unrouted morsels, and the
+//! mapper that finishes the last morsel of a relation broadcasts the seal to
+//! every reducer queue. Because every mapper finishes pushing a morsel's
+//! fragments *before* decrementing the countdown, FIFO queue order
+//! guarantees a reducer never sees relation data after that relation's seal.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ewh_core::{Key, Rel, RouteBatch, RouteBuckets, Router, Tuple};
+
+use super::morsel::{MemGauge, MorselPlan};
+use super::queue::{BoundedQueue, Delivery, RegionBatch};
+
+/// Everything a mapper task needs, shared by reference across the engine's
+/// scoped threads.
+pub struct MapperShared<'a> {
+    pub plan: &'a MorselPlan,
+    pub r1: &'a [Tuple],
+    pub r2: &'a [Tuple],
+    pub router: &'a Router,
+    /// Region id → owning reducer queue index.
+    pub region_to_reducer: &'a [u32],
+    pub queues: &'a [BoundedQueue],
+    /// Unrouted `R1` morsels; hitting zero triggers the `SealR1` broadcast.
+    pub r1_remaining: &'a AtomicUsize,
+    /// Unrouted morsels of *both* relations; hitting zero triggers
+    /// `SealAll`. This must count R1 too: mappers claim morsels in plan
+    /// order but finish in any order, so the last R2 morsel can complete
+    /// while another mapper is still routing an R1 morsel.
+    pub all_remaining: &'a AtomicUsize,
+    pub gauge: &'a MemGauge,
+    pub network_tuples: &'a AtomicU64,
+    pub morsels_routed: &'a AtomicU64,
+    pub seed: u64,
+    /// Cooperative cancellation: checked between morsels.
+    pub cancel: &'a AtomicBool,
+}
+
+/// One mapper task. Runs until the plan drains or the run is cancelled.
+pub struct MapperTask<'a> {
+    shared: &'a MapperShared<'a>,
+    buckets: RouteBuckets,
+    keybuf: Vec<Key>,
+}
+
+impl<'a> MapperTask<'a> {
+    pub fn new(shared: &'a MapperShared<'a>) -> Self {
+        let n_regions = shared.region_to_reducer.len();
+        MapperTask {
+            shared,
+            buckets: RouteBuckets::new(n_regions),
+            keybuf: Vec::with_capacity(shared.plan.morsel_tuples()),
+        }
+    }
+
+    pub fn run(mut self) {
+        let sh = self.shared;
+        loop {
+            if sh.cancel.load(Ordering::Relaxed) {
+                return; // seals never fire; the orchestrator aborts reducers
+            }
+            let Some(morsel) = sh.plan.claim() else {
+                return;
+            };
+            let tuples = match morsel.rel {
+                Rel::R1 => &sh.r1[morsel.range.clone()],
+                Rel::R2 => &sh.r2[morsel.range.clone()],
+            };
+            self.route_morsel(morsel.index, morsel.rel, tuples);
+            sh.morsels_routed.fetch_add(1, Ordering::Relaxed);
+            // AcqRel: the last decrement must observe every other mapper's
+            // queue pushes as already completed. The R1 seal is broadcast
+            // *before* this morsel's `all_remaining` decrement, so in every
+            // queue's FIFO order SealR1 precedes SealAll.
+            if morsel.rel == Rel::R1 && sh.r1_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                broadcast(sh.queues, || Delivery::SealR1);
+            }
+            if sh.all_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                broadcast(sh.queues, || Delivery::SealAll);
+            }
+        }
+    }
+
+    fn route_morsel(&mut self, index: usize, rel: Rel, tuples: &[Tuple]) {
+        let sh = self.shared;
+        self.keybuf.clear();
+        self.keybuf.extend(tuples.iter().map(|t| t.key));
+        // Seed the routing RNG per morsel (not per thread) so content-
+        // insensitive routing is identical no matter which mapper claims the
+        // morsel — network volume stays deterministic per seed.
+        let stream = (index as u64) << 1 | matches!(rel, Rel::R2) as u64;
+        let mut rng = SmallRng::seed_from_u64(sh.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        sh.router
+            .route_batch(rel, &self.keybuf, &mut rng, &mut self.buckets);
+        for &region in self.buckets.touched() {
+            let fragment: Vec<Tuple> = self
+                .buckets
+                .region(region)
+                .iter()
+                .map(|&i| tuples[i as usize])
+                .collect();
+            sh.gauge.add(fragment.len() as u64);
+            sh.network_tuples
+                .fetch_add(fragment.len() as u64, Ordering::Relaxed);
+            let queue = &sh.queues[sh.region_to_reducer[region as usize] as usize];
+            queue.push(Delivery::Batch(RegionBatch {
+                region,
+                rel,
+                tuples: fragment,
+            }));
+        }
+        self.buckets.clear();
+    }
+}
+
+/// Pushes one control message to every reducer queue.
+pub fn broadcast(queues: &[BoundedQueue], mut make: impl FnMut() -> Delivery) {
+    for q in queues {
+        q.push(make());
+    }
+}

@@ -1,0 +1,474 @@
+//! # The morsel-driven pipelined execution engine
+//!
+//! Replaces the two global barriers of the batch path (full shuffle
+//! materialization, then joins) with a pipeline of mapper and reducer tasks
+//! connected by bounded queues:
+//!
+//! * **Mappers** claim fixed-size [`Morsel`]s of either relation from a
+//!   shared [`MorselPlan`] and batch-route them through the scheme's
+//!   [`Router`] ([`ewh_core::RouteBatch`]), pushing per-region fragments to
+//!   the owning reducer's bounded queue (backpressure: a full queue blocks
+//!   the mapper).
+//! * **Reducers** build each owned region's sorted `R1` state incrementally
+//!   from the arriving fragments. When the last `R1` morsel is routed, the
+//!   finishing mapper broadcasts a seal; reducers merge their sorted runs
+//!   and from then on sweep `R2` probe chunks immediately, freeing each
+//!   chunk after its sweep. The full probe side is never resident.
+//!
+//! Peak resident memory is tracked by a cluster-wide [`MemGauge`]; a
+//! completed run reports it alongside per-reducer busy/idle time,
+//! backpressure stalls, and routed-morsel counts.
+
+mod mapper;
+mod morsel;
+mod queue;
+mod reducer;
+
+pub use morsel::{MemGauge, Morsel, MorselPlan};
+pub use queue::{BoundedQueue, Delivery, RegionBatch};
+pub use reducer::{merge_sorted_runs, RegionResult};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use ewh_core::{JoinCondition, Router, Tuple};
+
+use crate::local_join::OutputWork;
+
+use mapper::{broadcast, MapperShared, MapperTask};
+use reducer::{ReducerOutcome, ReducerTask};
+
+/// Engine tuning knobs (derived from `OperatorConfig` by the operator
+/// layer).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Mapper task count.
+    pub mappers: usize,
+    /// Reducer task count.
+    pub reducers: usize,
+    /// Bounded queue capacity, in tuples, per reducer.
+    pub queue_tuples: usize,
+    /// Probe tuples buffered per region before a sweep.
+    pub probe_chunk: usize,
+    pub seed: u64,
+    pub work: OutputWork,
+}
+
+impl EngineConfig {
+    /// Splits `threads` real threads into mapper and reducer tasks (half
+    /// each, at least one of both; a single thread is oversubscribed 1+1,
+    /// which is harmless because blocked tasks yield the core).
+    pub fn for_threads(threads: usize, morsel_tuples: usize, seed: u64) -> Self {
+        let threads = threads.max(1);
+        let reducers = (threads / 2).max(1);
+        let mappers = (threads - reducers).max(1);
+        EngineConfig {
+            mappers,
+            reducers,
+            queue_tuples: 4 * morsel_tuples.max(1),
+            // A fraction of the morsel size: a region fed by several morsels
+            // flushes (and frees) probe chunks mid-stream instead of only at
+            // the final seal. The floor keeps per-sweep overhead amortized.
+            probe_chunk: (morsel_tuples / 4).max(64),
+            seed,
+            work: OutputWork::Touch,
+        }
+    }
+}
+
+/// Everything a completed (or cancelled) engine run reports.
+#[derive(Clone, Debug, Default)]
+pub struct EngineOutcome {
+    /// Input tuples received per region (replication included).
+    pub per_region_input: Vec<u64>,
+    pub per_region_output: Vec<u64>,
+    pub per_region_checksum: Vec<u64>,
+    /// Tuples pushed mapper → reducer (== the batch path's network volume
+    /// for deterministic routers).
+    pub network_tuples: u64,
+    /// High-water mark of resident routed tuples across the cluster.
+    pub peak_resident_tuples: u64,
+    pub morsels_routed: u64,
+    /// Total time mappers spent blocked on full reducer queues.
+    pub backpressure_secs: f64,
+    /// Per-reducer time spent processing vs. waiting.
+    pub busy_secs: Vec<f64>,
+    pub idle_secs: Vec<f64>,
+    pub wall_secs: f64,
+    /// True when the run was cancelled; all tallies except morsel/network
+    /// counters are zeroed (reducer state is discarded).
+    pub cancelled: bool,
+}
+
+impl EngineOutcome {
+    pub fn output_total(&self) -> u64 {
+        self.per_region_output.iter().sum()
+    }
+
+    pub fn checksum(&self) -> u64 {
+        self.per_region_checksum.iter().fold(0, |acc, &c| acc ^ c)
+    }
+}
+
+/// Runs one pipelined join execution.
+///
+/// `region_to_reducer[r]` names the reducer task owning region `r` (values
+/// `< cfg.reducers`); the operator layer computes it with LPT over estimated
+/// region weights. `cancel` is checked by mappers between morsels; a
+/// cancelled run discards all reducer state and reports
+/// [`EngineOutcome::cancelled`] — the unconsumed remainder of `plan` stays
+/// claimable by a follow-up run (see the adaptive fallback).
+#[allow(clippy::too_many_arguments)] // an execution plan, not a builder
+pub fn run_pipelined(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    router: &Router,
+    cond: &JoinCondition,
+    region_to_reducer: &[u32],
+    plan: &MorselPlan,
+    cfg: &EngineConfig,
+    cancel: Option<&AtomicBool>,
+) -> EngineOutcome {
+    let n_regions = region_to_reducer.len();
+    let reducers = cfg.reducers.max(1);
+    debug_assert!(region_to_reducer.iter().all(|&q| (q as usize) < reducers));
+
+    let start = Instant::now();
+    let queues: Vec<BoundedQueue> = (0..reducers)
+        .map(|_| BoundedQueue::new(cfg.queue_tuples))
+        .collect();
+    let gauge = MemGauge::default();
+    let default_cancel = AtomicBool::new(false);
+    let cancel = cancel.unwrap_or(&default_cancel);
+    // Seed the seal countdowns from the *unconsumed* remainder: a resumed
+    // plan (cancelled earlier run) only routes what is left, so counting
+    // the full plan would leave the seals unreachable.
+    let r1_left = plan.r1_unconsumed();
+    let all_left = plan.unconsumed();
+    let r1_remaining = AtomicUsize::new(r1_left);
+    let all_remaining = AtomicUsize::new(all_left);
+    let network_tuples = AtomicU64::new(0);
+    let morsels_routed = AtomicU64::new(0);
+
+    // An empty relation — or a portion fully claimed before this run —
+    // never triggers a mapper-side seal; pre-seal here.
+    if r1_left == 0 {
+        broadcast(&queues, || Delivery::SealR1);
+    }
+    if all_left == 0 {
+        broadcast(&queues, || Delivery::SealAll);
+    }
+
+    let shared = MapperShared {
+        plan,
+        r1,
+        r2,
+        router,
+        region_to_reducer,
+        queues: &queues,
+        r1_remaining: &r1_remaining,
+        all_remaining: &all_remaining,
+        gauge: &gauge,
+        network_tuples: &network_tuples,
+        morsels_routed: &morsels_routed,
+        seed: cfg.seed,
+        cancel,
+    };
+
+    let mut owned: Vec<Vec<u32>> = vec![Vec::new(); reducers];
+    for (region, &q) in region_to_reducer.iter().enumerate() {
+        owned[q as usize].push(region as u32);
+    }
+
+    let outcomes: Vec<ReducerOutcome> = thread::scope(|s| {
+        let reducer_handles: Vec<_> = owned
+            .iter()
+            .enumerate()
+            .map(|(q, regions)| {
+                let task = ReducerTask::new(
+                    &queues[q],
+                    regions.clone(),
+                    n_regions,
+                    cond,
+                    cfg.work,
+                    cfg.probe_chunk,
+                    &gauge,
+                );
+                s.spawn(move || task.run())
+            })
+            .collect();
+        let mapper_handles: Vec<_> = (0..cfg.mappers.max(1))
+            .map(|_| {
+                let shared = &shared;
+                s.spawn(move || MapperTask::new(shared).run())
+            })
+            .collect();
+        for h in mapper_handles {
+            h.join().expect("mapper task panicked");
+        }
+        // If the mappers exited without routing everything (cancellation),
+        // the seal chain is broken: abort the reducers explicitly. Control
+        // messages bypass queue bounds, so this cannot deadlock.
+        if all_remaining.load(Ordering::Acquire) != 0 {
+            broadcast(&queues, || Delivery::Abort);
+        }
+        reducer_handles
+            .into_iter()
+            .map(|h| h.join().expect("reducer task panicked"))
+            .collect()
+    });
+
+    let cancelled = outcomes.iter().any(|o| o.aborted);
+    let mut outcome = EngineOutcome {
+        per_region_input: vec![0; n_regions],
+        per_region_output: vec![0; n_regions],
+        per_region_checksum: vec![0; n_regions],
+        network_tuples: network_tuples.into_inner(),
+        peak_resident_tuples: gauge.peak_tuples(),
+        morsels_routed: morsels_routed.into_inner(),
+        backpressure_secs: queues.iter().map(|q| q.blocked_secs()).sum(),
+        busy_secs: outcomes.iter().map(|o| o.busy_secs).collect(),
+        idle_secs: outcomes.iter().map(|o| o.idle_secs).collect(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        cancelled,
+    };
+    if !cancelled {
+        for o in &outcomes {
+            for r in &o.results {
+                outcome.per_region_input[r.region as usize] = r.input;
+                outcome.per_region_output[r.region as usize] = r.output;
+                outcome.per_region_checksum[r.region as usize] = r.checksum;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewh_core::{build_ci, build_csio, CostModel, HistogramParams, Key};
+
+    fn tuples(keys: &[Key]) -> Vec<Tuple> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
+    }
+
+    fn nested_loop(r1: &[Tuple], r2: &[Tuple], cond: &JoinCondition) -> (u64, u64) {
+        let (mut c, mut s) = (0u64, 0u64);
+        for a in r1 {
+            for b in r2 {
+                if cond.matches(a.key, b.key) {
+                    c += 1;
+                    s ^= a.payload.wrapping_mul(31).wrapping_add(b.payload);
+                }
+            }
+        }
+        (c, s)
+    }
+
+    fn run(
+        r1: &[Tuple],
+        r2: &[Tuple],
+        router: &Router,
+        n_regions: usize,
+        cond: &JoinCondition,
+        morsel: usize,
+        reducers: usize,
+    ) -> EngineOutcome {
+        let region_to_reducer: Vec<u32> = (0..n_regions).map(|r| (r % reducers) as u32).collect();
+        let plan = MorselPlan::new(r1.len(), r2.len(), morsel);
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers,
+            queue_tuples: 2048,
+            probe_chunk: morsel,
+            seed: 7,
+            work: OutputWork::Touch,
+        };
+        run_pipelined(r1, r2, router, cond, &region_to_reducer, &plan, &cfg, None)
+    }
+
+    #[test]
+    fn csio_pipeline_matches_nested_loop() {
+        let k1: Vec<Key> = (0..3000).map(|i| (i * 7 % 900) as Key).collect();
+        let k2: Vec<Key> = (0..3000).map(|i| (i * 11 % 900) as Key).collect();
+        let cond = JoinCondition::Band { beta: 2 };
+        let scheme = build_csio(
+            &k1,
+            &k2,
+            &cond,
+            &CostModel::band(),
+            &HistogramParams {
+                j: 6,
+                ..Default::default()
+            },
+        );
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let (expect_c, expect_s) = nested_loop(&r1, &r2, &cond);
+        for morsel in [64, 997, 5000] {
+            let out = run(
+                &r1,
+                &r2,
+                &scheme.router,
+                scheme.num_regions(),
+                &cond,
+                morsel,
+                3,
+            );
+            assert_eq!(out.output_total(), expect_c, "morsel {morsel}");
+            assert_eq!(out.checksum(), expect_s, "morsel {morsel}");
+            assert!(!out.cancelled);
+            assert_eq!(
+                out.morsels_routed as usize,
+                MorselPlan::new(r1.len(), r2.len(), morsel).total()
+            );
+        }
+    }
+
+    #[test]
+    fn ci_pipeline_counts_match_despite_random_routing() {
+        let k: Vec<Key> = (0..2000).map(|i| (i % 50) as Key).collect();
+        let (r1, r2) = (tuples(&k), tuples(&k));
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(8, 2000, 2000, None);
+        let (expect_c, expect_s) = nested_loop(&r1, &r2, &cond);
+        let out = run(
+            &r1,
+            &r2,
+            &scheme.router,
+            scheme.num_regions(),
+            &cond,
+            256,
+            2,
+        );
+        assert_eq!(out.output_total(), expect_c);
+        assert_eq!(out.checksum(), expect_s);
+    }
+
+    #[test]
+    fn empty_inputs_terminate_cleanly() {
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(4, 0, 0, None);
+        let out = run(
+            &[],
+            &[],
+            &scheme.router,
+            scheme.num_regions(),
+            &cond,
+            128,
+            2,
+        );
+        assert_eq!(out.output_total(), 0);
+        assert!(!out.cancelled);
+
+        let r2 = tuples(&[1, 2, 3]);
+        let out = run(
+            &[],
+            &r2,
+            &scheme.router,
+            scheme.num_regions(),
+            &cond,
+            128,
+            2,
+        );
+        assert_eq!(out.output_total(), 0);
+    }
+
+    #[test]
+    fn pre_set_cancel_aborts_and_leaves_the_plan_resumable() {
+        let k: Vec<Key> = (0..4000).collect();
+        let (r1, r2) = (tuples(&k), tuples(&k));
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(4, 4000, 4000, None);
+        let region_to_reducer: Vec<u32> =
+            (0..scheme.num_regions()).map(|r| (r % 2) as u32).collect();
+        let plan = MorselPlan::new(r1.len(), r2.len(), 256);
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 2,
+            queue_tuples: 2048,
+            probe_chunk: 256,
+            seed: 3,
+            work: OutputWork::Touch,
+        };
+        let cancel = AtomicBool::new(true);
+        let out = run_pipelined(
+            &r1,
+            &r2,
+            &scheme.router,
+            &cond,
+            &region_to_reducer,
+            &plan,
+            &cfg,
+            Some(&cancel),
+        );
+        assert!(out.cancelled);
+        assert_eq!(out.output_total(), 0);
+        assert_eq!(out.morsels_routed, 0, "cancel was set before any claim");
+
+        // The same plan drives a follow-up run to the full, correct result.
+        cancel.store(false, Ordering::Relaxed);
+        let out = run_pipelined(
+            &r1,
+            &r2,
+            &scheme.router,
+            &cond,
+            &region_to_reducer,
+            &plan,
+            &cfg,
+            Some(&cancel),
+        );
+        assert!(!out.cancelled);
+        assert_eq!(out.output_total(), 4000);
+    }
+
+    #[test]
+    fn partially_consumed_plan_resumes_and_seals() {
+        // Simulate a prior (cancelled) run that claimed a prefix of the plan,
+        // including all of R1: a resumed engine run must seed its seal
+        // countdowns from the remainder, route only the unconsumed morsels,
+        // and terminate normally instead of aborting.
+        let k: Vec<Key> = (0..1000).collect();
+        let (r1, r2) = (tuples(&k), tuples(&k));
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(4, 1000, 1000, None);
+        let region_to_reducer: Vec<u32> =
+            (0..scheme.num_regions()).map(|r| (r % 2) as u32).collect();
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 2,
+            queue_tuples: 2048,
+            probe_chunk: 128,
+            seed: 5,
+            work: OutputWork::Touch,
+        };
+        for pre_claimed in [1usize, 4, 6] {
+            let plan = MorselPlan::new(r1.len(), r2.len(), 256); // 4 + 4 morsels
+            for _ in 0..pre_claimed {
+                plan.claim().expect("plan has 8 morsels");
+            }
+            let out = run_pipelined(
+                &r1,
+                &r2,
+                &scheme.router,
+                &cond,
+                &region_to_reducer,
+                &plan,
+                &cfg,
+                None,
+            );
+            assert!(
+                !out.cancelled,
+                "resume with {pre_claimed} pre-claimed morsels aborted"
+            );
+            assert_eq!(out.morsels_routed as usize, 8 - pre_claimed);
+            // Only the remainder's pairs are produced (a subset join), but
+            // the run must complete and account its routed volume.
+            assert!(out.network_tuples > 0);
+        }
+    }
+}

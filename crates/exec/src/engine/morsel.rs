@@ -1,0 +1,207 @@
+//! Morsel decomposition of the operator inputs, plus the shared memory
+//! gauge that tracks the engine's peak resident footprint.
+//!
+//! A *morsel* is a fixed-size contiguous run of one input relation — the
+//! scheduling quantum of the pipelined engine (after Leis et al.'s
+//! morsel-driven parallelism). The [`MorselPlan`] describes the full
+//! decomposition up front and hands out morsels through an atomic cursor, so
+//! any number of mapper tasks can claim work without further coordination,
+//! and an aborted run can report exactly which morsels were never consumed
+//! (the adaptive CI fallback re-routes only those instead of re-morselizing).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use ewh_core::Rel;
+
+/// One claimable unit of routing work: a contiguous tuple range of one
+/// relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position in the plan's global order (R1 morsels first).
+    pub index: usize,
+    pub rel: Rel,
+    /// Tuple index range within the relation.
+    pub range: Range<usize>,
+}
+
+/// The morsel decomposition of a join's two inputs. Construction is O(1):
+/// morsels are described arithmetically, never materialized.
+#[derive(Debug)]
+pub struct MorselPlan {
+    morsel_tuples: usize,
+    n1: usize,
+    n2: usize,
+    next: AtomicUsize,
+}
+
+impl MorselPlan {
+    pub fn new(n1: usize, n2: usize, morsel_tuples: usize) -> Self {
+        MorselPlan {
+            morsel_tuples: morsel_tuples.max(1),
+            n1,
+            n2,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn morsel_tuples(&self) -> usize {
+        self.morsel_tuples
+    }
+
+    pub fn r1_morsels(&self) -> usize {
+        self.n1.div_ceil(self.morsel_tuples)
+    }
+
+    pub fn r2_morsels(&self) -> usize {
+        self.n2.div_ceil(self.morsel_tuples)
+    }
+
+    pub fn total(&self) -> usize {
+        self.r1_morsels() + self.r2_morsels()
+    }
+
+    /// The morsel at global position `index` (R1 morsels come first).
+    pub fn describe(&self, index: usize) -> Morsel {
+        let r1m = self.r1_morsels();
+        debug_assert!(index < self.total());
+        if index < r1m {
+            let start = index * self.morsel_tuples;
+            Morsel {
+                index,
+                rel: Rel::R1,
+                range: start..(start + self.morsel_tuples).min(self.n1),
+            }
+        } else {
+            let start = (index - r1m) * self.morsel_tuples;
+            Morsel {
+                index,
+                rel: Rel::R2,
+                range: start..(start + self.morsel_tuples).min(self.n2),
+            }
+        }
+    }
+
+    /// Claims the next unconsumed morsel; `None` once the plan is drained.
+    pub fn claim(&self) -> Option<Morsel> {
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        (index < self.total()).then(|| self.describe(index))
+    }
+
+    /// Morsels handed out so far (== routed morsels once a run completes; on
+    /// a cancelled run, `total() - consumed()` morsels were never routed).
+    pub fn consumed(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.total())
+    }
+
+    /// `R1` morsels not yet claimed — what a (resumed) engine run will
+    /// route before its `SealR1` fires.
+    pub fn r1_unconsumed(&self) -> usize {
+        self.r1_morsels().saturating_sub(self.consumed())
+    }
+
+    /// Morsels of both relations not yet claimed.
+    pub fn unconsumed(&self) -> usize {
+        self.total() - self.consumed()
+    }
+
+    /// Rewinds the cursor for callers that want to re-route the whole plan
+    /// from scratch instead of resuming the unconsumed remainder.
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Cluster-wide resident-tuple gauge: incremented when a routed batch is
+/// materialized, decremented when the reducer frees it (probe chunks after
+/// their sweep, build state when the region completes). The high-water mark
+/// is the engine's peak resident footprint — the number the pipelined mode
+/// exists to shrink versus the batch path's full shuffle materialization.
+#[derive(Debug, Default)]
+pub struct MemGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemGauge {
+    pub fn add(&self, tuples: u64) {
+        let now = self.current.fetch_add(tuples, Ordering::Relaxed) + tuples;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, tuples: u64) {
+        self.current.fetch_sub(tuples, Ordering::Relaxed);
+    }
+
+    pub fn peak_tuples(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    pub fn current_tuples(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_both_relations_exactly() {
+        let plan = MorselPlan::new(10_000, 4_097, 1024);
+        assert_eq!(plan.r1_morsels(), 10);
+        assert_eq!(plan.r2_morsels(), 5);
+        let mut covered1 = 0;
+        let mut covered2 = 0;
+        for i in 0..plan.total() {
+            let m = plan.describe(i);
+            assert_eq!(m.index, i);
+            assert!(m.range.len() <= 1024 && !m.range.is_empty());
+            match m.rel {
+                Rel::R1 => {
+                    assert_eq!(m.range.start, covered1);
+                    covered1 = m.range.end;
+                }
+                Rel::R2 => {
+                    assert_eq!(m.range.start, covered2);
+                    covered2 = m.range.end;
+                }
+            }
+        }
+        assert_eq!(covered1, 10_000);
+        assert_eq!(covered2, 4_097);
+    }
+
+    #[test]
+    fn claim_drains_each_morsel_exactly_once() {
+        let plan = MorselPlan::new(100, 50, 16);
+        let mut seen = vec![false; plan.total()];
+        while let Some(m) = plan.claim() {
+            assert!(!seen[m.index], "morsel {} claimed twice", m.index);
+            seen[m.index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(plan.consumed(), plan.total());
+        plan.reset();
+        assert_eq!(plan.consumed(), 0);
+        assert!(plan.claim().is_some());
+    }
+
+    #[test]
+    fn empty_relations_yield_no_morsels() {
+        let plan = MorselPlan::new(0, 0, 1024);
+        assert_eq!(plan.total(), 0);
+        assert!(plan.claim().is_none());
+    }
+
+    #[test]
+    fn gauge_tracks_the_high_water_mark() {
+        let g = MemGauge::default();
+        g.add(100);
+        g.add(50);
+        g.sub(120);
+        g.add(10);
+        assert_eq!(g.peak_tuples(), 150);
+        assert_eq!(g.current_tuples(), 40);
+    }
+}

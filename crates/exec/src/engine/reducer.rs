@@ -1,0 +1,324 @@
+//! Reducer tasks: consume routed fragments from a bounded queue, build each
+//! owned region's sorted `R1` state incrementally, and sweep probe (`R2`)
+//! chunks against it as soon as the region's build side is sealed.
+//!
+//! Memory discipline is the point: probe fragments are buffered only up to
+//! one chunk (`probe_chunk` tuples) per region and freed right after their
+//! sweep, and a region's build state is freed the moment the region
+//! completes — the engine never holds the full shuffle materialization the
+//! batch path does.
+
+use std::mem;
+use std::time::Instant;
+
+use ewh_core::{JoinCondition, Rel, Tuple};
+
+use crate::local_join::{sweep_sorted, OutputWork};
+
+use super::morsel::MemGauge;
+use super::queue::{BoundedQueue, Delivery, RegionBatch};
+
+/// Per-region accumulator.
+#[derive(Debug, Default)]
+struct RegionState {
+    /// Sorted `R1` runs (each incoming fragment is sorted on arrival);
+    /// merged into `build` at the R1 seal.
+    runs: Vec<Vec<Tuple>>,
+    /// Merged, sorted build side (valid once `sealed` is set).
+    build: Vec<Tuple>,
+    /// Probe tuples waiting for the seal or for a full chunk.
+    pending: Vec<Tuple>,
+    sealed: bool,
+    input: u64,
+    output: u64,
+    checksum: u64,
+}
+
+impl RegionState {
+    fn resident_tuples(&self) -> u64 {
+        (self.runs.iter().map(Vec::len).sum::<usize>() + self.build.len() + self.pending.len())
+            as u64
+    }
+}
+
+/// Final tallies of one region.
+#[derive(Clone, Debug)]
+pub struct RegionResult {
+    pub region: u32,
+    pub input: u64,
+    pub output: u64,
+    pub checksum: u64,
+}
+
+/// What one reducer produced.
+#[derive(Debug)]
+pub struct ReducerOutcome {
+    pub results: Vec<RegionResult>,
+    /// Time spent processing deliveries.
+    pub busy_secs: f64,
+    /// Time spent blocked waiting on the queue.
+    pub idle_secs: f64,
+    pub aborted: bool,
+}
+
+/// One reducer task: owns `regions` and drains `queue` until sealed or
+/// aborted.
+pub struct ReducerTask<'a> {
+    queue: &'a BoundedQueue,
+    regions: Vec<u32>,
+    cond: &'a JoinCondition,
+    work: OutputWork,
+    /// Probe tuples buffered per region before a sweep is worth it.
+    probe_chunk: usize,
+    gauge: &'a MemGauge,
+    states: Vec<RegionState>,
+    /// Region id → index into `states` (u32::MAX for unowned regions).
+    slot_of: Vec<u32>,
+}
+
+impl<'a> ReducerTask<'a> {
+    pub fn new(
+        queue: &'a BoundedQueue,
+        regions: Vec<u32>,
+        n_regions: usize,
+        cond: &'a JoinCondition,
+        work: OutputWork,
+        probe_chunk: usize,
+        gauge: &'a MemGauge,
+    ) -> Self {
+        let mut slot_of = vec![u32::MAX; n_regions];
+        for (slot, &r) in regions.iter().enumerate() {
+            slot_of[r as usize] = slot as u32;
+        }
+        let states = regions.iter().map(|_| RegionState::default()).collect();
+        ReducerTask {
+            queue,
+            regions,
+            cond,
+            work,
+            probe_chunk: probe_chunk.max(1),
+            gauge,
+            states,
+            slot_of,
+        }
+    }
+
+    pub fn run(mut self) -> ReducerOutcome {
+        let mut busy = 0.0f64;
+        let mut idle = 0.0f64;
+        loop {
+            let wait_start = Instant::now();
+            let delivery = self.queue.pop();
+            let work_start = Instant::now();
+            idle += work_start.duration_since(wait_start).as_secs_f64();
+            match delivery {
+                Delivery::Batch(batch) => self.on_batch(batch),
+                Delivery::SealR1 => self.on_seal_r1(),
+                Delivery::SealAll => {
+                    let results = self.finish();
+                    busy += work_start.elapsed().as_secs_f64();
+                    return ReducerOutcome {
+                        results,
+                        busy_secs: busy,
+                        idle_secs: idle,
+                        aborted: false,
+                    };
+                }
+                Delivery::Abort => {
+                    self.discard();
+                    busy += work_start.elapsed().as_secs_f64();
+                    return ReducerOutcome {
+                        results: Vec::new(),
+                        busy_secs: busy,
+                        idle_secs: idle,
+                        aborted: true,
+                    };
+                }
+            }
+            busy += work_start.elapsed().as_secs_f64();
+        }
+    }
+
+    fn state_mut(&mut self, region: u32) -> &mut RegionState {
+        let slot = self.slot_of[region as usize];
+        debug_assert!(
+            slot != u32::MAX,
+            "region {region} delivered to the wrong reducer"
+        );
+        &mut self.states[slot as usize]
+    }
+
+    fn on_batch(&mut self, batch: RegionBatch) {
+        let RegionBatch {
+            region,
+            rel,
+            mut tuples,
+        } = batch;
+        let (cond, work, gauge, probe_chunk) = (self.cond, self.work, self.gauge, self.probe_chunk);
+        let st = self.state_mut(region);
+        st.input += tuples.len() as u64;
+        match rel {
+            Rel::R1 => {
+                debug_assert!(!st.sealed, "R1 fragment after the R1 seal");
+                // Incremental sorted build: sort the fragment now, merge the
+                // runs once at the seal — O(n log n) total, off the mappers'
+                // critical path.
+                tuples.sort_unstable_by_key(|t| t.key);
+                st.runs.push(tuples);
+            }
+            Rel::R2 => {
+                st.pending.append(&mut tuples);
+                if st.sealed && st.pending.len() >= probe_chunk {
+                    Self::flush(st, cond, work, gauge);
+                }
+            }
+        }
+    }
+
+    fn on_seal_r1(&mut self) {
+        let (cond, work, gauge, probe_chunk) = (self.cond, self.work, self.gauge, self.probe_chunk);
+        for st in &mut self.states {
+            debug_assert!(!st.sealed, "duplicate R1 seal");
+            st.build = Self::merge_gauged(mem::take(&mut st.runs), gauge);
+            st.sealed = true;
+            if st.pending.len() >= probe_chunk {
+                Self::flush(st, cond, work, gauge);
+            }
+        }
+    }
+
+    /// Merges a region's sorted runs, charging the merge's memory transient
+    /// to the gauge: the merged output coexists with the source runs until
+    /// the merge completes, so the region briefly holds up to 2× its build
+    /// side. Charging the full size for the whole merge is a (slight)
+    /// overestimate of the instantaneous extra — the gauge must never
+    /// under-report the high-water mark it exists to measure.
+    fn merge_gauged(runs: Vec<Vec<Tuple>>, gauge: &MemGauge) -> Vec<Tuple> {
+        let transient = runs.iter().map(Vec::len).sum::<usize>() as u64;
+        gauge.add(transient);
+        let build = merge_sorted_runs(runs);
+        gauge.sub(transient);
+        build
+    }
+
+    /// Sweeps and frees the region's buffered probe chunk.
+    fn flush(st: &mut RegionState, cond: &JoinCondition, work: OutputWork, gauge: &MemGauge) {
+        debug_assert!(st.sealed);
+        let mut probe = mem::take(&mut st.pending);
+        probe.sort_unstable_by_key(|t| t.key);
+        let (count, checksum) = sweep_sorted(&st.build, &probe, cond, work);
+        st.output += count;
+        st.checksum ^= checksum;
+        gauge.sub(probe.len() as u64);
+    }
+
+    fn finish(&mut self) -> Vec<RegionResult> {
+        let (cond, work, gauge) = (self.cond, self.work, self.gauge);
+        let mut results = Vec::with_capacity(self.regions.len());
+        for (st, &region) in self.states.iter_mut().zip(&self.regions) {
+            // A region that saw no R1 seal can only mean an empty plan where
+            // the orchestrator pre-sealed; merge whatever is there.
+            if !st.sealed {
+                st.build = Self::merge_gauged(mem::take(&mut st.runs), gauge);
+                st.sealed = true;
+            }
+            if !st.pending.is_empty() {
+                Self::flush(st, cond, work, gauge);
+            }
+            gauge.sub(st.build.len() as u64);
+            st.build = Vec::new();
+            results.push(RegionResult {
+                region,
+                input: st.input,
+                output: st.output,
+                checksum: st.checksum,
+            });
+        }
+        results
+    }
+
+    fn discard(&mut self) {
+        let gauge = self.gauge;
+        for st in &mut self.states {
+            gauge.sub(st.resident_tuples());
+            *st = RegionState::default();
+        }
+    }
+}
+
+/// Balanced pairwise merge of sorted runs: O(n log k) for k runs of n total
+/// tuples.
+pub fn merge_sorted_runs(mut runs: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().expect("non-empty by construction")
+}
+
+fn merge_two(a: Vec<Tuple>, b: Vec<Tuple>) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x.key <= y.key {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ia);
+                break;
+            }
+            (None, _) => {
+                out.extend(ib);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples(keys: &[i64]) -> Vec<Tuple> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn merge_runs_produces_one_sorted_run() {
+        let runs = vec![
+            tuples(&[1, 5, 9]),
+            tuples(&[2, 2, 8]),
+            tuples(&[0]),
+            Vec::new(),
+            tuples(&[3, 4, 10, 11]),
+        ];
+        let merged = merge_sorted_runs(runs);
+        let keys: Vec<i64> = merged.iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 2, 3, 4, 5, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(merge_sorted_runs(Vec::new()).is_empty());
+        assert!(merge_sorted_runs(vec![Vec::new(), Vec::new()]).is_empty());
+    }
+}

@@ -1,28 +1,38 @@
 //! # ewh-exec — shared-nothing parallel join execution
 //!
 //! The execution substrate standing in for the paper's SQUALL/Storm cluster
-//! (§VI-A): J logical workers on real threads, a mapper-side [`shuffle`]
-//! driven by the partitioning scheme's router, sort+sweep [`local_join`]s,
-//! and the [`run_operator`] driver that reports the paper's metrics —
-//! simulated time from the validated cost model, measured wall time, network
-//! tuples, cluster memory, and per-worker loads.
+//! (§VI-A): J logical workers on real threads, the morsel-driven pipelined
+//! [`engine`] (mapper tasks batch-route morsels over bounded per-region
+//! queues to reducer tasks that build sorted region state incrementally and
+//! sweep probe chunks as they stream in), sort+sweep [`local_join`]s, and
+//! the [`run_operator`] driver that reports the paper's metrics — simulated
+//! time from the validated cost model, measured wall time, network tuples,
+//! cluster memory (modeled and actually-resident peak), and per-worker
+//! loads.
+//!
+//! The barrier-phased batch path ([`shuffle`] + [`execute_join`]) is kept as
+//! the reference oracle behind [`ExecMode::Batch`]; property tests assert
+//! both modes produce identical joins.
 //!
 //! Also implements the operational extensions of the paper: the
-//! high-selectivity CI fallback (§VI-E, [`run_operator_adaptive`]) and
-//! heterogeneous clusters via capacity-aware region assignment (Appendix A5,
-//! [`assign_regions`]).
+//! high-selectivity CI fallback (§VI-E, [`run_operator_adaptive`], which in
+//! pipelined mode re-routes only the unconsumed morsels of the abandoned
+//! attempt's plan) and heterogeneous clusters via capacity-aware region
+//! assignment (Appendix A5, [`assign_regions`]).
 
 mod adaptive;
+pub mod engine;
 mod local_join;
 mod metrics;
 mod operator;
 mod shuffle;
 
 pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
-pub use local_join::{local_join, OutputWork};
+pub use engine::{EngineConfig, EngineOutcome, MemGauge, Morsel, MorselPlan};
+pub use local_join::{local_join, sweep_sorted, OutputWork};
 pub use metrics::JoinStats;
 pub use operator::{
-    assign_regions, build_scheme, execute_join, run_operator, run_operator_adaptive,
-    FallbackPolicy, OperatorConfig, OperatorRun,
+    assign_regions, build_scheme, execute_join, execute_join_pipelined, lpt_schedule, run_operator,
+    run_operator_adaptive, ExecMode, FallbackPolicy, OperatorConfig, OperatorRun,
 };
 pub use shuffle::{shuffle, Shuffled};

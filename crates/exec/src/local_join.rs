@@ -33,12 +33,39 @@ pub fn local_join(
 ) -> (u64, u64) {
     r1.sort_unstable_by_key(|t| t.key);
     r2.sort_unstable_by_key(|t| t.key);
+    sweep_sorted(r1, r2, cond, work)
+}
+
+/// The sweep itself, over *pre-sorted* inputs — the pipelined engine calls
+/// this once per probe chunk against a region's sealed, sorted `R1` state.
+///
+/// Narrows `r1` to the tuples whose joinable range can reach the probe's key
+/// span first: both `jr` endpoints are non-decreasing in the key (the
+/// staircase property), so the relevant `R1` tuples form one contiguous run
+/// found by two binary searches. A small probe chunk against a large sorted
+/// side therefore costs `O(log |r1| + relevant + output)` instead of
+/// `O(|r1|)`.
+pub fn sweep_sorted(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    work: OutputWork,
+) -> (u64, u64) {
+    if r1.is_empty() || r2.is_empty() {
+        return (0, 0);
+    }
+    debug_assert!(r1.windows(2).all(|w| w[0].key <= w[1].key));
+    debug_assert!(r2.windows(2).all(|w| w[0].key <= w[1].key));
+    let probe_min = r2[0].key;
+    let probe_max = r2[r2.len() - 1].key;
+    let start = r1.partition_point(|t| cond.joinable_range(t.key).hi < probe_min);
+    let end = r1.partition_point(|t| cond.joinable_range(t.key).lo <= probe_max);
 
     let mut count = 0u64;
     let mut checksum = 0u64;
     let mut lo = 0usize;
     let mut hi = 0usize;
-    for t1 in r1.iter() {
+    for t1 in r1[start..end].iter() {
         let jr = cond.joinable_range(t1.key);
         while lo < r2.len() && r2[lo].key < jr.lo {
             lo += 1;
@@ -67,7 +94,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn tuples(keys: &[Key]) -> Vec<Tuple> {
-        keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
     }
 
     fn nested_loop(r1: &[Tuple], r2: &[Tuple], cond: &JoinCondition) -> u64 {
@@ -103,6 +133,40 @@ mod tests {
             let expect = nested_loop(&r1, &r2, &cond);
             let (got, _) = local_join(&mut r1, &mut r2, &cond, OutputWork::Touch);
             assert_eq!(got, expect, "{cond:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_probe_sweeps_equal_one_shot_join() {
+        // The pipelined engine joins a region's sorted R1 against the probe
+        // side one chunk at a time; the pair set partitions across chunks, so
+        // counts add and checksums XOR to the one-shot result.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let conds = [
+            JoinCondition::Equi,
+            JoinCondition::Band { beta: 3 },
+            JoinCondition::Inequality(IneqOp::Le),
+            JoinCondition::EquiBand { shift: 16, beta: 2 },
+        ];
+        for cond in conds {
+            let k1: Vec<Key> = (0..500).map(|_| rng.gen_range(0..80)).collect();
+            let k2: Vec<Key> = (0..500).map(|_| rng.gen_range(0..80)).collect();
+            let mut r1 = tuples(&k1);
+            let mut r2 = tuples(&k2);
+            let (expect_c, expect_s) = local_join(&mut r1, &mut r2, &cond, OutputWork::Touch);
+
+            // r1 is now sorted; probe it with unsorted chunks of varied size.
+            let probe = tuples(&k2);
+            let (mut count, mut checksum) = (0u64, 0u64);
+            for chunk in probe.chunks(37) {
+                let mut chunk = chunk.to_vec();
+                chunk.sort_unstable_by_key(|t| t.key);
+                let (c, s) = sweep_sorted(&r1, &chunk, &cond, OutputWork::Touch);
+                count += c;
+                checksum ^= s;
+            }
+            assert_eq!(count, expect_c, "{cond:?}");
+            assert_eq!(checksum, expect_s, "{cond:?}");
         }
     }
 

@@ -23,14 +23,29 @@ pub struct JoinStats {
     pub wall_join_secs: f64,
     /// Tuples moved mapper → reducer (replication included).
     pub network_tuples: u64,
-    /// Peak resident bytes across the cluster (tuples × 16 B).
+    /// Modeled cluster memory of a full shuffle materialization
+    /// (`network_tuples × 16 B`) — what the batch path holds resident.
     pub mem_bytes: u64,
-    /// Did `mem_bytes` exceed the configured cluster capacity? (The paper
-    /// extrapolates such runs; we complete them and flag the overflow.)
+    /// Bytes actually resident at the high-water mark. Equals `mem_bytes`
+    /// under [`ExecMode::Batch`](crate::ExecMode); strictly smaller under
+    /// the pipelined engine, which frees probe chunks after their sweep and
+    /// regions as they complete.
+    pub peak_resident_bytes: u64,
+    /// Did the resident footprint (`peak_resident_bytes`) exceed the
+    /// configured cluster capacity? (The paper extrapolates such runs; we
+    /// complete them and flag the overflow.)
     pub overflowed: bool,
     /// Fold of all output tuples' payloads; forces the "post-processing
     /// cost per output tuple" to really happen and lets tests compare runs.
     pub checksum: u64,
+    /// Morsels routed by the pipelined engine (0 under batch execution).
+    pub morsels_routed: u64,
+    /// Total mapper time blocked on full reducer queues (backpressure).
+    pub backpressure_secs: f64,
+    /// Per reducer task: time processing deliveries vs. waiting on the
+    /// queue. Empty under batch execution.
+    pub reducer_busy_secs: Vec<f64>,
+    pub reducer_idle_secs: Vec<f64>,
 }
 
 impl JoinStats {

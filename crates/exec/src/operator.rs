@@ -13,11 +13,24 @@ use std::thread;
 use std::time::Instant;
 
 use ewh_core::{
-    build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams,
-    HistogramParams, JoinCondition, Key, PartitionScheme, SchemeKind, Tuple,
+    build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams, HistogramParams,
+    JoinCondition, Key, PartitionScheme, SchemeKind, Tuple,
 };
 
+use crate::engine::{run_pipelined, EngineConfig, MorselPlan};
 use crate::{local_join, shuffle, JoinStats, OutputWork, Shuffled};
+
+/// How the operator executes the shuffle + local joins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Two global barriers: materialize the full shuffle, then join. Kept as
+    /// the reference oracle; peak memory is the whole replicated input.
+    Batch,
+    /// The morsel-driven pipelined engine (`crate::engine`): bounded queues,
+    /// incremental build, streamed probe chunks — no full materialization.
+    #[default]
+    Pipelined,
+}
 
 /// Cluster + operator configuration.
 #[derive(Clone, Debug)]
@@ -56,13 +69,21 @@ pub struct OperatorConfig {
     pub mem_capacity_bytes: Option<u64>,
     /// Per-output-tuple work performed by the local joins.
     pub output_work: OutputWork,
+    /// Execution strategy (pipelined by default; batch is the oracle).
+    pub mode: ExecMode,
+    /// Tuples per morsel — the pipelined engine's scheduling quantum.
+    pub morsel_tuples: usize,
+    /// Bounded queue capacity per reducer, in tuples (backpressure knob).
+    pub queue_tuples: usize,
 }
 
 impl Default for OperatorConfig {
     fn default() -> Self {
         OperatorConfig {
             j: 4,
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2),
             seed: 0x0E17,
             cost: CostModel::band(),
             csi: CsiParams::default(),
@@ -75,6 +96,9 @@ impl Default for OperatorConfig {
             hist_cost_factor: 0.02,
             mem_capacity_bytes: None,
             output_work: OutputWork::Touch,
+            mode: ExecMode::default(),
+            morsel_tuples: 1024,
+            queue_tuples: 4096,
         }
     }
 }
@@ -121,8 +145,17 @@ pub fn build_scheme(
     let scheme = match kind {
         SchemeKind::Ci => build_ci(cfg.j, r1.len() as u64, r2.len() as u64, None),
         SchemeKind::Csi => {
-            let params = CsiParams { seed: cfg.seed, ..cfg.csi };
-            build_csi(&extract_keys(r1), &extract_keys(r2), cond, j_regions, &params)
+            let params = CsiParams {
+                seed: cfg.seed,
+                ..cfg.csi
+            };
+            build_csi(
+                &extract_keys(r1),
+                &extract_keys(r2),
+                cond,
+                j_regions,
+                &params,
+            )
         }
         SchemeKind::Csio => {
             let params = HistogramParams {
@@ -131,7 +164,13 @@ pub fn build_scheme(
                 threads: cfg.threads,
                 ..cfg.hist
             };
-            build_csio(&extract_keys(r1), &extract_keys(r2), cond, &cfg.cost, &params)
+            build_csio(
+                &extract_keys(r1),
+                &extract_keys(r2),
+                cond,
+                &cfg.cost,
+                &params,
+            )
         }
         SchemeKind::Hash => {
             build_hash(&extract_keys(r1), &extract_keys(r2), cond, cfg.j, &cfg.hash)
@@ -140,9 +179,42 @@ pub fn build_scheme(
     (scheme, start.elapsed().as_secs_f64())
 }
 
+/// LPT (longest processing time first) list scheduling: assigns each
+/// weighted item to one of `bins` bins, heaviest item first onto the bin
+/// with the lowest projected finish time (`load / capacity`). Used for
+/// region → worker placement, region → reducer-task placement in the
+/// pipelined engine, and region → thread scheduling in the batch oracle.
+pub fn lpt_schedule(weights: &[u64], capacities: Option<&[f64]>, bins: usize) -> Vec<u32> {
+    assert!(bins >= 1, "need at least one bin");
+    let caps: Vec<f64> = match capacities {
+        Some(c) => {
+            assert_eq!(c.len(), bins, "capacities must have one entry per bin");
+            c.to_vec()
+        }
+        None => vec![1.0; bins],
+    };
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut load = vec![0u64; bins];
+    let mut map = vec![0u32; weights.len()];
+    for i in order {
+        let w = weights[i];
+        let target = (0..bins)
+            .min_by(|&a, &b| {
+                let fa = (load[a] + w) as f64 / caps[a];
+                let fb = (load[b] + w) as f64 / caps[b];
+                fa.total_cmp(&fb)
+            })
+            .expect("bins >= 1");
+        load[target] += w;
+        map[i] = target as u32;
+    }
+    map
+}
+
 /// Assigns regions to workers. Identity when regions ≤ workers and the
-/// cluster is homogeneous; otherwise LPT (longest processing time first) on
-/// estimated region weight over worker capacity.
+/// cluster is homogeneous; otherwise [`lpt_schedule`] on estimated region
+/// weight over worker capacity.
 pub fn assign_regions(
     scheme: &PartitionScheme,
     j: usize,
@@ -153,32 +225,8 @@ pub fn assign_regions(
     if n <= j && capacities.is_none() {
         return (0..n as u32).collect();
     }
-    let caps: Vec<f64> = match capacities {
-        Some(c) => {
-            assert_eq!(c.len(), j, "capacities must have one entry per worker");
-            c.to_vec()
-        }
-        None => vec![1.0; j],
-    };
-    // LPT: heaviest region first onto the worker with the lowest projected
-    // finish time (load / capacity).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(scheme.regions[i].est_weight(cost)));
-    let mut load = vec![0u64; j];
-    let mut map = vec![0u32; n];
-    for i in order {
-        let w = scheme.regions[i].est_weight(cost);
-        let target = (0..j)
-            .min_by(|&a, &b| {
-                let fa = (load[a] + w) as f64 / caps[a];
-                let fb = (load[b] + w) as f64 / caps[b];
-                fa.total_cmp(&fb)
-            })
-            .unwrap();
-        load[target] += w;
-        map[i] = target as u32;
-    }
-    map
+    let weights: Vec<u64> = scheme.regions.iter().map(|r| r.est_weight(cost)).collect();
+    lpt_schedule(&weights, capacities, j)
 }
 
 /// Modeled statistics time: scan passes at `scan_cost_factor · wi` per tuple
@@ -219,8 +267,11 @@ pub fn execute_join(
     debug_assert_eq!(region_to_worker.len(), n_regions);
     let threads = cfg.threads.max(1).min(n_regions.max(1));
     let work = cfg.output_work;
-    // Interleave regions across threads so consecutive (often similar-sized)
-    // regions spread out.
+    // Schedule regions onto threads LPT-by-input-weight: a round-robin
+    // interleave strands cores when one region dominates (the hot region
+    // plus its round-robin neighbors pile onto one thread while others sit
+    // idle).
+    let thread_of = lpt_schedule(&per_region_input, None, threads);
     type RegionBucket<'a> = (usize, &'a mut Vec<Tuple>, &'a mut Vec<Tuple>);
     let results: Vec<(usize, u64, u64)> = thread::scope(|s| {
         let buckets: Vec<RegionBucket<'_>> = shuffled
@@ -230,10 +281,9 @@ pub fn execute_join(
             .enumerate()
             .map(|(r, (a, b))| (r, a, b))
             .collect();
-        let mut per_thread: Vec<Vec<RegionBucket<'_>>> =
-            (0..threads).map(|_| Vec::new()).collect();
+        let mut per_thread: Vec<Vec<RegionBucket<'_>>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, item) in buckets.into_iter().enumerate() {
-            per_thread[i % threads].push(item);
+            per_thread[thread_of[i] as usize].push(item);
         }
         let handles: Vec<_> = per_thread
             .into_iter()
@@ -274,9 +324,87 @@ pub fn execute_join(
         per_worker_output,
         network_tuples,
         mem_bytes,
-        overflowed: cfg.mem_capacity_bytes.map(|cap| mem_bytes > cap).unwrap_or(false),
+        // Batch execution holds the full shuffle resident while joining.
+        peak_resident_bytes: mem_bytes,
+        overflowed: cfg
+            .mem_capacity_bytes
+            .map(|cap| mem_bytes > cap)
+            .unwrap_or(false),
         wall_join_secs,
         checksum,
+        ..Default::default()
+    };
+    stats.compute_max_weight(&cfg.cost);
+    stats.sim_join_secs = CostModel::milli_to_secs(stats.max_weight_milli, cfg.units_per_sec);
+    stats
+}
+
+/// Executes the join on the morsel-driven pipelined engine. Mirrors
+/// [`execute_join`]'s accounting while never materializing the full shuffle:
+/// `mem_bytes` still reports the modeled full-materialization footprint for
+/// comparability, while `peak_resident_bytes` reports what the engine
+/// actually held at its high-water mark.
+pub fn execute_join_pipelined(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    scheme: &PartitionScheme,
+    cond: &JoinCondition,
+    region_to_worker: &[u32],
+    plan: &MorselPlan,
+    cfg: &OperatorConfig,
+) -> JoinStats {
+    let n_regions = scheme.num_regions();
+    debug_assert_eq!(region_to_worker.len(), n_regions);
+    let mut engine_cfg = EngineConfig::for_threads(cfg.threads, cfg.morsel_tuples, cfg.seed ^ 0x5F);
+    engine_cfg.queue_tuples = cfg.queue_tuples;
+    engine_cfg.work = cfg.output_work;
+    engine_cfg.reducers = engine_cfg.reducers.min(n_regions.max(1));
+    // Reducer-task placement: LPT by estimated region weight, so a hot
+    // region gets a task to itself instead of queueing behind siblings.
+    let weights: Vec<u64> = scheme
+        .regions
+        .iter()
+        .map(|r| r.est_weight(&cfg.cost))
+        .collect();
+    let region_to_reducer = lpt_schedule(&weights, None, engine_cfg.reducers);
+
+    let out = run_pipelined(
+        r1,
+        r2,
+        &scheme.router,
+        cond,
+        &region_to_reducer,
+        plan,
+        &engine_cfg,
+        None,
+    );
+    debug_assert!(!out.cancelled, "operator-level runs are never cancelled");
+
+    let mut per_worker_input = vec![0u64; cfg.j];
+    let mut per_worker_output = vec![0u64; cfg.j];
+    for r in 0..n_regions {
+        per_worker_input[region_to_worker[r] as usize] += out.per_region_input[r];
+        per_worker_output[region_to_worker[r] as usize] += out.per_region_output[r];
+    }
+    let mem_bytes = out.network_tuples * ewh_core::TUPLE_BYTES;
+    let peak_resident_bytes = out.peak_resident_tuples * ewh_core::TUPLE_BYTES;
+    let mut stats = JoinStats {
+        output_total: out.output_total(),
+        per_worker_input,
+        per_worker_output,
+        network_tuples: out.network_tuples,
+        mem_bytes,
+        peak_resident_bytes,
+        overflowed: cfg
+            .mem_capacity_bytes
+            .map(|cap| peak_resident_bytes > cap)
+            .unwrap_or(false),
+        wall_join_secs: out.wall_secs,
+        checksum: out.checksum(),
+        morsels_routed: out.morsels_routed,
+        backpressure_secs: out.backpressure_secs,
+        reducer_busy_secs: out.busy_secs,
+        reducer_idle_secs: out.idle_secs,
         ..Default::default()
     };
     stats.compute_max_weight(&cfg.cost);
@@ -293,9 +421,10 @@ pub fn run_operator(
     cfg: &OperatorConfig,
 ) -> OperatorRun {
     let (scheme, stats_wall_secs) = build_scheme(kind, r1, r2, cond, cfg);
-    run_with_scheme(scheme, stats_wall_secs, r1, r2, cond, cfg, false)
+    run_with_scheme(scheme, stats_wall_secs, r1, r2, cond, cfg, false, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_with_scheme(
     scheme: PartitionScheme,
     stats_wall_secs: f64,
@@ -304,10 +433,29 @@ fn run_with_scheme(
     cond: &JoinCondition,
     cfg: &OperatorConfig,
     fell_back: bool,
+    // A pre-built morsel plan to (re)use — the adaptive fallback hands over
+    // the plan of the abandoned attempt so only its unconsumed morsels are
+    // routed.
+    plan: Option<&MorselPlan>,
 ) -> OperatorRun {
     let map = assign_regions(&scheme, cfg.j, cfg.capacities.as_deref(), &cfg.cost);
-    let shuffled = shuffle(r1, r2, &scheme, cfg.threads, cfg.seed ^ 0x5F);
-    let join = execute_join(shuffled, cond, &map, cfg);
+    let join = match cfg.mode {
+        ExecMode::Batch => {
+            let shuffled = shuffle(r1, r2, &scheme, cfg.threads, cfg.seed ^ 0x5F);
+            execute_join(shuffled, cond, &map, cfg)
+        }
+        ExecMode::Pipelined => {
+            let fresh;
+            let plan = match plan {
+                Some(p) => p,
+                None => {
+                    fresh = MorselPlan::new(r1.len(), r2.len(), cfg.morsel_tuples);
+                    &fresh
+                }
+            };
+            execute_join_pipelined(r1, r2, &scheme, cond, &map, plan, cfg)
+        }
+    };
     let stats_sim = stats_sim_secs(&scheme, r1.len().max(r2.len()) as u64, cfg);
     OperatorRun {
         kind: scheme.kind,
@@ -335,11 +483,20 @@ pub struct FallbackPolicy {
 
 impl Default for FallbackPolicy {
     fn default() -> Self {
-        FallbackPolicy { rho_threshold: 100.0 }
+        FallbackPolicy {
+            rho_threshold: 100.0,
+        }
     }
 }
 
 /// Runs CSIO with the CI fallback policy.
+///
+/// In pipelined mode the fallback shares one [`MorselPlan`] between the
+/// abandoned CSIO attempt and the CI run: the CI engine re-routes only the
+/// morsels the CSIO engine never consumed, instead of re-morselizing the
+/// inputs from scratch. Because Stream-Sample learns the exact `m` during
+/// statistics — before the first morsel is claimed — that is the whole plan,
+/// and no tuple is ever shuffled twice.
 pub fn run_operator_adaptive(
     r1: &[Tuple],
     r2: &[Tuple],
@@ -350,16 +507,28 @@ pub fn run_operator_adaptive(
     let (scheme, csio_wall) = build_scheme(SchemeKind::Csio, r1, r2, cond, cfg);
     let n = r1.len().max(r2.len()) as u64;
     let rho = scheme.build.m_est as f64 / n.max(1) as f64;
+    let plan = MorselPlan::new(r1.len(), r2.len(), cfg.morsel_tuples);
     if rho > policy.rho_threshold {
-        // Abandon CSIO: keep its (wasted) stats cost on the books, run CI.
+        // Abandon CSIO: keep its (wasted) stats cost on the books, run CI
+        // over the same plan's unconsumed morsels.
+        debug_assert_eq!(plan.consumed(), 0, "fallback fires before execution starts");
         let wasted_sim = stats_sim_secs(&scheme, n, cfg);
         let (ci, ci_wall) = build_scheme(SchemeKind::Ci, r1, r2, cond, cfg);
-        let mut run = run_with_scheme(ci, csio_wall + ci_wall, r1, r2, cond, cfg, true);
+        let mut run = run_with_scheme(
+            ci,
+            csio_wall + ci_wall,
+            r1,
+            r2,
+            cond,
+            cfg,
+            true,
+            Some(&plan),
+        );
         run.stats_sim_secs += wasted_sim;
         run.total_sim_secs += wasted_sim;
         return run;
     }
-    run_with_scheme(scheme, csio_wall, r1, r2, cond, cfg, false)
+    run_with_scheme(scheme, csio_wall, r1, r2, cond, cfg, false, Some(&plan))
 }
 
 #[cfg(test)]
@@ -370,7 +539,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn tuples(keys: &[Key]) -> Vec<Tuple> {
-        keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
     }
 
     fn random_keys(n: usize, domain: i64, seed: u64) -> Vec<Key> {
@@ -385,7 +557,11 @@ mod tests {
         let cond = JoinCondition::Band { beta: 1 };
         let expect = JoinMatrix::new(k1.clone(), k2.clone(), cond).output_count();
         let (r1, r2) = (tuples(&k1), tuples(&k2));
-        let cfg = OperatorConfig { j: 6, threads: 2, ..Default::default() };
+        let cfg = OperatorConfig {
+            j: 6,
+            threads: 2,
+            ..Default::default()
+        };
         for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
             let run = run_operator(kind, &r1, &r2, &cond, &cfg);
             assert_eq!(run.join.output_total, expect, "{kind}");
@@ -401,7 +577,11 @@ mod tests {
         let k2 = random_keys(2000, 400, 4);
         let cond = JoinCondition::Equi;
         let (r1, r2) = (tuples(&k1), tuples(&k2));
-        let cfg = OperatorConfig { j: 4, threads: 2, ..Default::default() };
+        let cfg = OperatorConfig {
+            j: 4,
+            threads: 2,
+            ..Default::default()
+        };
         let a = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
         let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
         let c = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
@@ -421,7 +601,11 @@ mod tests {
         }
         let cond = JoinCondition::Band { beta: 2 };
         let (r1, r2) = (tuples(&k1), tuples(&k2));
-        let cfg = OperatorConfig { j: 8, threads: 2, ..Default::default() };
+        let cfg = OperatorConfig {
+            j: 8,
+            threads: 2,
+            ..Default::default()
+        };
         let csi = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
         let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
         assert_eq!(csi.join.output_total, csio.join.output_total);
@@ -439,7 +623,11 @@ mod tests {
         let k2 = random_keys(4000, 2000, 8);
         let cond = JoinCondition::Band { beta: 1 };
         let (r1, r2) = (tuples(&k1), tuples(&k2));
-        let cfg = OperatorConfig { j: 16, threads: 2, ..Default::default() };
+        let cfg = OperatorConfig {
+            j: 16,
+            threads: 2,
+            ..Default::default()
+        };
         let ci = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
         let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
         assert!(
@@ -478,7 +666,11 @@ mod tests {
         let k2 = vec![0i64; 2000];
         let cond = JoinCondition::Equi;
         let (r1, r2) = (tuples(&k1), tuples(&k2));
-        let cfg = OperatorConfig { j: 4, threads: 2, ..Default::default() };
+        let cfg = OperatorConfig {
+            j: 4,
+            threads: 2,
+            ..Default::default()
+        };
         let run = run_operator_adaptive(&r1, &r2, &cond, &cfg, &FallbackPolicy::default());
         assert!(run.fell_back, "rho = 2000 should trigger the CI fallback");
         assert_eq!(run.kind, SchemeKind::Ci);

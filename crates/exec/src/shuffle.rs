@@ -80,7 +80,10 @@ pub fn shuffle(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shuffle worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shuffle worker panicked"))
+                .collect()
         });
         // Reducer-side concatenation.
         let mut merged: Vec<Vec<Tuple>> = vec![Vec::new(); n_regions];
@@ -100,7 +103,11 @@ pub fn shuffle(
     let r2_buckets = route(false, r2);
     let network_tuples = r1_buckets.iter().map(|b| b.len() as u64).sum::<u64>()
         + r2_buckets.iter().map(|b| b.len() as u64).sum::<u64>();
-    Shuffled { r1: r1_buckets, r2: r2_buckets, network_tuples }
+    Shuffled {
+        r1: r1_buckets,
+        r2: r2_buckets,
+        network_tuples,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +116,9 @@ mod tests {
     use ewh_core::{build_ci, build_csio, CostModel, HistogramParams, JoinCondition, Key};
 
     fn tuples(keys: impl Iterator<Item = Key>) -> Vec<Tuple> {
-        keys.enumerate().map(|(i, k)| Tuple::new(k, i as u64)).collect()
+        keys.enumerate()
+            .map(|(i, k)| Tuple::new(k, i as u64))
+            .collect()
     }
 
     #[test]
@@ -132,7 +141,10 @@ mod tests {
         let cond = JoinCondition::Band { beta: 2 };
         let keys1: Vec<Key> = r1.iter().map(|t| t.key).collect();
         let keys2: Vec<Key> = r2.iter().map(|t| t.key).collect();
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         let scheme = build_csio(&keys1, &keys2, &cond, &CostModel::band(), &params);
         let sh = shuffle(&r1, &r2, &scheme, 2, 9);
 
@@ -176,7 +188,10 @@ mod tests {
         let keys1: Vec<Key> = r1.iter().map(|t| t.key).collect();
         let keys2: Vec<Key> = r2.iter().map(|t| t.key).collect();
         let cond = JoinCondition::Equi;
-        let params = HistogramParams { j: 4, ..Default::default() };
+        let params = HistogramParams {
+            j: 4,
+            ..Default::default()
+        };
         let scheme = build_csio(&keys1, &keys2, &cond, &CostModel::band(), &params);
         let a = shuffle(&r1, &r2, &scheme, 1, 3);
         let b = shuffle(&r1, &r2, &scheme, 4, 3);

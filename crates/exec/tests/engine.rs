@@ -5,14 +5,15 @@ use ewh_core::{
     build_ci, build_csio, CostModel, HistogramParams, JoinCondition, Key, SchemeKind, Tuple,
     TUPLE_BYTES,
 };
-use ewh_exec::{
-    assign_regions, execute_join, run_operator, shuffle, OperatorConfig, OutputWork,
-};
+use ewh_exec::{assign_regions, execute_join, run_operator, shuffle, OperatorConfig, OutputWork};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn tuples(keys: &[Key]) -> Vec<Tuple> {
-    keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| Tuple::new(k, i as u64))
+        .collect()
 }
 
 fn random_keys(n: usize, domain: i64, seed: u64) -> Vec<Key> {
@@ -26,7 +27,10 @@ fn grid_shuffle_is_identical_across_thread_counts() {
     let (r1, r2) = (tuples(&k), tuples(&k));
     let keys: Vec<Key> = k.clone();
     let cond = JoinCondition::Band { beta: 2 };
-    let params = HistogramParams { j: 6, ..Default::default() };
+    let params = HistogramParams {
+        j: 6,
+        ..Default::default()
+    };
     let scheme = build_csio(&keys, &keys, &cond, &CostModel::band(), &params);
 
     let base = shuffle(&r1, &r2, &scheme, 1, 42);
@@ -52,7 +56,11 @@ fn ci_output_balance_is_statistical() {
     keys.extend(random_keys(4000, 1000, 2));
     let (r1, r2) = (tuples(&keys), tuples(&keys));
     let cond = JoinCondition::Band { beta: 1 };
-    let cfg = OperatorConfig { j: 8, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 8,
+        threads: 2,
+        ..Default::default()
+    };
     let run = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
     let max = run.join.per_worker_output.iter().copied().max().unwrap() as f64;
     let mean = run.join.output_total as f64 / 8.0;
@@ -76,9 +84,16 @@ fn execute_join_aggregates_region_loads_per_worker() {
     let (r1, r2) = (tuples(&k), tuples(&k));
     let keys = k.clone();
     let cond = JoinCondition::Equi;
-    let params = HistogramParams { j: 8, ..Default::default() };
+    let params = HistogramParams {
+        j: 8,
+        ..Default::default()
+    };
     let scheme = build_csio(&keys, &keys, &cond, &CostModel::band(), &params);
-    let cfg = OperatorConfig { j: 2, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 2,
+        threads: 2,
+        ..Default::default()
+    };
     // Fold all regions onto 2 workers.
     let map: Vec<u32> = (0..scheme.num_regions()).map(|r| (r % 2) as u32).collect();
     let sh = shuffle(&r1, &r2, &scheme, 2, 6);
@@ -98,7 +113,10 @@ fn lpt_assignment_balances_unequal_regions() {
     let keys = k.clone();
     let cond = JoinCondition::Band { beta: 2 };
     let cost = CostModel::band();
-    let params = HistogramParams { j: 12, ..Default::default() };
+    let params = HistogramParams {
+        j: 12,
+        ..Default::default()
+    };
     let scheme = build_csio(&keys, &keys, &cond, &cost, &params);
     // 12 regions onto 3 equal workers: LPT loads within 2x of each other.
     let map = assign_regions(&scheme, 3, None, &cost);
@@ -128,8 +146,16 @@ fn sim_time_scales_inversely_with_units_per_sec() {
     let k = random_keys(2000, 500, 8);
     let (r1, r2) = (tuples(&k), tuples(&k));
     let cond = JoinCondition::Band { beta: 1 };
-    let slow = OperatorConfig { j: 4, units_per_sec: 1e6, ..Default::default() };
-    let fast = OperatorConfig { j: 4, units_per_sec: 4e6, ..Default::default() };
+    let slow = OperatorConfig {
+        j: 4,
+        units_per_sec: 1e6,
+        ..Default::default()
+    };
+    let fast = OperatorConfig {
+        j: 4,
+        units_per_sec: 4e6,
+        ..Default::default()
+    };
     let a = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &slow);
     let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &fast);
     assert_eq!(a.join.max_weight_milli, b.join.max_weight_milli);
@@ -143,8 +169,14 @@ fn hash_scheme_runs_end_to_end_on_band_join() {
     let k2 = random_keys(4000, 1500, 10);
     let cond = JoinCondition::Band { beta: 2 };
     let (r1, r2) = (tuples(&k1), tuples(&k2));
-    let cfg = OperatorConfig { j: 8, threads: 2, ..Default::default() };
-    let expect = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg).join.output_total;
+    let cfg = OperatorConfig {
+        j: 8,
+        threads: 2,
+        ..Default::default()
+    };
+    let expect = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg)
+        .join
+        .output_total;
     let run = run_operator(SchemeKind::Hash, &r1, &r2, &cond, &cfg);
     assert_eq!(run.join.output_total, expect);
     // The 2β+1 fan-out must show in the network volume.

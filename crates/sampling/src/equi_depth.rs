@@ -40,7 +40,9 @@ impl EquiDepthHistogram {
     /// Builds a degenerate single-bucket histogram (used when a relation is
     /// empty).
     pub fn single_bucket() -> Self {
-        EquiDepthHistogram { bounds: vec![Key::MIN, Key::MAX] }
+        EquiDepthHistogram {
+            bounds: vec![Key::MIN, Key::MAX],
+        }
     }
 
     /// Builds directly from explicit interior boundaries (ascending). Used by
@@ -75,7 +77,11 @@ impl EquiDepthHistogram {
     #[inline]
     pub fn bucket_range(&self, i: usize) -> (Key, Key) {
         let lo = self.bounds[i];
-        let hi = if i + 2 == self.bounds.len() { Key::MAX } else { self.bounds[i + 1] - 1 };
+        let hi = if i + 2 == self.bounds.len() {
+            Key::MAX
+        } else {
+            self.bounds[i + 1] - 1
+        };
         (lo, hi)
     }
 
@@ -108,7 +114,9 @@ mod tests {
         let keys: Vec<Key> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
         let b = 32;
         let si = EquiDepthHistogram::required_sample_size(n, b, 0.5, 0.01);
-        let mut sample: Vec<Key> = (0..si).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+        let mut sample: Vec<Key> = (0..si)
+            .map(|_| keys[rng.gen_range(0..keys.len())])
+            .collect();
         let h = EquiDepthHistogram::from_sample(&mut sample, b);
         assert_eq!(h.num_buckets(), b);
 
@@ -138,7 +146,10 @@ mod tests {
         for k in [Key::MIN, -1, 0, 41, 42, 43, 99, Key::MAX] {
             let b = h.bucket_of(k);
             let (lo, hi) = h.bucket_range(b);
-            assert!(lo <= k && k <= hi, "key {k} not in its bucket range [{lo},{hi}]");
+            assert!(
+                lo <= k && k <= hi,
+                "key {k} not in its bucket range [{lo},{hi}]"
+            );
         }
     }
 

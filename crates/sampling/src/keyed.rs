@@ -36,13 +36,20 @@ impl KeyedCounts {
     /// ascending key order (used when merging per-partition aggregates).
     pub fn from_sorted_distinct(keys: Vec<Key>, counts: Vec<u64>) -> Self {
         debug_assert_eq!(keys.len(), counts.len());
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly ascending");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be strictly ascending"
+        );
         let mut prefix = Vec::with_capacity(keys.len() + 1);
         prefix.push(0);
         for &c in &counts {
             prefix.push(prefix.last().unwrap() + c);
         }
-        KeyedCounts { keys, counts, prefix }
+        KeyedCounts {
+            keys,
+            counts,
+            prefix,
+        }
     }
 
     /// Merges several per-partition aggregates (keys may repeat across

@@ -28,8 +28,8 @@
 mod alias;
 mod bernoulli;
 mod equi_depth;
-pub mod ks;
 mod keyed;
+pub mod ks;
 mod reservoir;
 mod stream_sample;
 

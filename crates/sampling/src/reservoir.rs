@@ -47,7 +47,10 @@ impl<T> Ord for Entry<T> {
 impl<T> WeightedReservoir<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        WeightedReservoir { capacity, heap: BinaryHeap::with_capacity(capacity + 1) }
+        WeightedReservoir {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+        }
     }
 
     /// Offers an item with the given weight. Zero-weight items are never
@@ -65,7 +68,12 @@ impl<T> WeightedReservoir<T> {
     pub fn offer_with_priority(&mut self, item: T, priority: f64) {
         if self.heap.len() < self.capacity {
             self.heap.push(Entry { priority, item });
-        } else if self.heap.peek().map(|e| priority > e.priority).unwrap_or(false) {
+        } else if self
+            .heap
+            .peek()
+            .map(|e| priority > e.priority)
+            .unwrap_or(false)
+        {
             self.heap.pop();
             self.heap.push(Entry { priority, item });
         }
@@ -90,7 +98,10 @@ impl<T> WeightedReservoir<T> {
     /// Consumes the reservoir, returning `(item, priority)` pairs in
     /// arbitrary order.
     pub fn into_items(self) -> Vec<(T, f64)> {
-        self.heap.into_iter().map(|e| (e.item, e.priority)).collect()
+        self.heap
+            .into_iter()
+            .map(|e| (e.item, e.priority))
+            .collect()
     }
 }
 
@@ -148,8 +159,9 @@ mod tests {
         // globally strongest priorities, i.e. be identical to offering all
         // priorities to one reservoir.
         let mut rng = SmallRng::seed_from_u64(5);
-        let prios: Vec<(u64, f64)> =
-            (0..100).map(|i| (i, rng.gen_range(f64::EPSILON..1.0))).collect();
+        let prios: Vec<(u64, f64)> = (0..100)
+            .map(|i| (i, rng.gen_range(f64::EPSILON..1.0)))
+            .collect();
 
         let mut single = WeightedReservoir::new(8);
         for &(i, p) in &prios {

@@ -116,7 +116,10 @@ pub fn parallel_stream_sample(
         let handles: Vec<_> = chunks(r2_keys, threads)
             .map(|chunk| s.spawn(move || KeyedCounts::from_keys(chunk.to_vec())))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("d2equi worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("d2equi worker panicked"))
+            .collect()
     });
     let d2equi = KeyedCounts::merge(&parts);
 
@@ -144,16 +147,27 @@ pub fn parallel_stream_sample(
                         ranges.push((lo, hi));
                         total += c * d2;
                     }
-                    Part { keys: d1.keys().to_vec(), weights, ranges, total }
+                    Part {
+                        keys: d1.keys().to_vec(),
+                        weights,
+                        ranges,
+                        total,
+                    }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("d2 worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("d2 worker panicked"))
+            .collect()
     });
 
     let m: u64 = parts.iter().map(|p| p.total).sum();
     if m == 0 {
-        return OutputSample { pairs: Vec::new(), m: 0 };
+        return OutputSample {
+            pairs: Vec::new(),
+            m: 0,
+        };
     }
 
     // Multinomial split of the so draws across partitions by weight.
@@ -175,8 +189,18 @@ pub fn parallel_stream_sample(
             .enumerate()
             .map(|(t, (part, &q))| {
                 s.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    draw_pairs(&part.keys, &part.weights, &part.ranges, d2equi_ref, q, part.total, &mut rng)
+                    let mut rng = SmallRng::seed_from_u64(
+                        seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    draw_pairs(
+                        &part.keys,
+                        &part.weights,
+                        &part.ranges,
+                        d2equi_ref,
+                        q,
+                        part.total,
+                        &mut rng,
+                    )
                 })
             })
             .collect();
@@ -284,16 +308,24 @@ mod tests {
         assert_eq!(s.m, m);
 
         let mut observed = vec![0u64; categories.len()];
-        let index: std::collections::HashMap<(Key, Key), usize> =
-            categories.iter().enumerate().map(|(i, (p, _))| (*p, i)).collect();
+        let index: std::collections::HashMap<(Key, Key), usize> = categories
+            .iter()
+            .enumerate()
+            .map(|(i, (p, _))| (*p, i))
+            .collect();
         for p in &s.pairs {
             observed[*index.get(p).expect("sampled pair not in exact output")] += 1;
         }
-        let expected: Vec<f64> =
-            categories.iter().map(|(_, c)| so as f64 * *c as f64 / m as f64).collect();
+        let expected: Vec<f64> = categories
+            .iter()
+            .map(|(_, c)| so as f64 * *c as f64 / m as f64)
+            .collect();
         let chi = chi_square(&observed, &expected);
         let crit = chi_square_critical(categories.len() - 1);
-        assert!(chi < crit, "χ² = {chi} > {crit}: sample not uniform over output");
+        assert!(
+            chi < crit,
+            "χ² = {chi} > {crit}: sample not uniform over output"
+        );
     }
 
     #[test]

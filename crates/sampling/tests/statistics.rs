@@ -4,8 +4,7 @@
 
 use ewh_sampling::ks::{chi_square, chi_square_critical, ks_critical, ks_statistic_uniform};
 use ewh_sampling::{
-    parallel_stream_sample, stream_sample, EquiDepthHistogram, Key, KeyedCounts,
-    WeightedReservoir,
+    parallel_stream_sample, stream_sample, EquiDepthHistogram, Key, KeyedCounts, WeightedReservoir,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -57,8 +56,12 @@ fn parallel_stream_sample_is_uniform_over_output() {
 fn stream_sample_positions_pass_ks_against_output_cdf() {
     // Map each sampled pair to its rank in the lexicographic enumeration of
     // the exact output; ranks must be ~U(0,1) after normalization.
-    let r1: Vec<Key> = (0..60).flat_map(|k| std::iter::repeat_n(k, (k % 4 + 1) as usize)).collect();
-    let r2: Vec<Key> = (0..60).flat_map(|k| std::iter::repeat_n(k, (k % 3 + 1) as usize)).collect();
+    let r1: Vec<Key> = (0..60)
+        .flat_map(|k| std::iter::repeat_n(k, (k % 4 + 1) as usize))
+        .collect();
+    let r2: Vec<Key> = (0..60)
+        .flat_map(|k| std::iter::repeat_n(k, (k % 3 + 1) as usize))
+        .collect();
     let jr = |k: Key| (k - 1, k + 1);
     let d2equi = KeyedCounts::from_keys(r2.clone());
     let d1 = KeyedCounts::from_keys(r1.clone());
@@ -123,7 +126,10 @@ fn reservoir_merge_matches_single_machine_distribution() {
             hits_merged += 1;
         }
     }
-    let (p1, p2) = (hits_single as f64 / trials as f64, hits_merged as f64 / trials as f64);
+    let (p1, p2) = (
+        hits_single as f64 / trials as f64,
+        hits_merged as f64 / trials as f64,
+    );
     assert!(
         (p1 - p2).abs() < 0.04,
         "merged ({p2:.3}) vs single ({p1:.3}) inclusion probabilities diverge"
@@ -140,7 +146,9 @@ fn equi_depth_error_bound_holds_with_prescribed_sample_size() {
     let mut rng = SmallRng::seed_from_u64(13);
     let keys: Vec<Key> = (0..n).map(|_| rng.gen_range(0..100_000) as Key).collect();
     let si = EquiDepthHistogram::required_sample_size(n, b, err, 0.01).min(keys.len());
-    let mut sample: Vec<Key> = (0..si).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
+    let mut sample: Vec<Key> = (0..si)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect();
     let h = EquiDepthHistogram::from_sample(&mut sample, b);
     let mut counts = vec![0u64; h.num_buckets()];
     for &k in &keys {

@@ -165,7 +165,10 @@ impl<'a> BspSolver<'a> {
         match plan[self.index(rect)] {
             Plan::Empty => {}
             Plan::Shrink => {
-                let rm = self.grid.shrink(rect).expect("Shrink plan implies candidates");
+                let rm = self
+                    .grid
+                    .shrink(rect)
+                    .expect("Shrink plan implies candidates");
                 self.extract(plan, rm, out);
             }
             Plan::Leaf => out.push(rect),

@@ -58,7 +58,14 @@ impl SparseGrid {
         for p in &points {
             assert!(p.row < n_rows && p.col < n_cols, "point out of range");
         }
-        SparseGrid { n_rows, n_cols, row_w, col_w, points, cand }
+        SparseGrid {
+            n_rows,
+            n_cols,
+            row_w,
+            col_w,
+            points,
+            cand,
+        }
     }
 
     /// Are the candidate intervals a monotone staircase (both endpoints
@@ -117,7 +124,11 @@ pub struct CoarsenConfig {
 
 impl Default for CoarsenConfig {
     fn default() -> Self {
-        CoarsenConfig { nc: 2, iters: 4, monotonic: true }
+        CoarsenConfig {
+            nc: 2,
+            iters: 4,
+            monotonic: true,
+        }
     }
 }
 
@@ -208,7 +219,10 @@ fn optimize_cuts(
             } else if lo > hi {
                 (1, 0)
             } else {
-                (slab_of(other_cuts, lo) as u32, slab_of(other_cuts, hi) as u32)
+                (
+                    slab_of(other_cuts, lo) as u32,
+                    slab_of(other_cuts, hi) as u32,
+                )
             }
         })
         .collect();
@@ -320,11 +334,15 @@ pub fn grid_cell_weights(
     let nc = col_cuts.len() - 1;
     let mut row_w = vec![0u64; nr];
     for (s, w) in row_w.iter_mut().enumerate() {
-        *w = sg.row_w[row_cuts[s] as usize..row_cuts[s + 1] as usize].iter().sum();
+        *w = sg.row_w[row_cuts[s] as usize..row_cuts[s + 1] as usize]
+            .iter()
+            .sum();
     }
     let mut col_w = vec![0u64; nc];
     for (s, w) in col_w.iter_mut().enumerate() {
-        *w = sg.col_w[col_cuts[s] as usize..col_cuts[s + 1] as usize].iter().sum();
+        *w = sg.col_w[col_cuts[s] as usize..col_cuts[s + 1] as usize]
+            .iter()
+            .sum();
     }
     let mut out = vec![0u64; nr * nc];
     for p in &sg.points {
@@ -439,9 +457,21 @@ pub fn coarsen(sg: &SparseGrid, cfg: &CoarsenConfig) -> (Vec<u32>, Vec<u32>) {
 
     // Initialize each dimension against a single collapsed slab of the other.
     let other_one = [0u32, sg.n_cols];
-    let mut row_cuts = optimize_cuts(&row_view, &other_one, &vec![0; sg.n_cols as usize], cfg.nc, monotonic);
+    let mut row_cuts = optimize_cuts(
+        &row_view,
+        &other_one,
+        &vec![0; sg.n_cols as usize],
+        cfg.nc,
+        monotonic,
+    );
     let other_one = [0u32, sg.n_rows];
-    let mut col_cuts = optimize_cuts(&col_view, &other_one, &vec![0; sg.n_rows as usize], cfg.nc, monotonic);
+    let mut col_cuts = optimize_cuts(
+        &col_view,
+        &other_one,
+        &vec![0; sg.n_rows as usize],
+        cfg.nc,
+        monotonic,
+    );
 
     let mut best = (row_cuts.clone(), col_cuts.clone());
     let mut best_w = grid_max_cell_weight(sg, &row_cuts, &col_cuts);
@@ -480,7 +510,10 @@ mod tests {
     fn check_cuts(cuts: &[u32], n: u32, nc: usize) {
         assert_eq!(cuts[0], 0);
         assert_eq!(*cuts.last().unwrap(), n);
-        assert!(cuts.windows(2).all(|w| w[0] < w[1]), "cuts not increasing: {cuts:?}");
+        assert!(
+            cuts.windows(2).all(|w| w[0] < w[1]),
+            "cuts not increasing: {cuts:?}"
+        );
         assert!(cuts.len() - 1 <= nc);
     }
 
@@ -522,7 +555,11 @@ mod tests {
     #[test]
     fn coarsen_produces_valid_cuts() {
         let sg = skewed_band(32);
-        let cfg = CoarsenConfig { nc: 6, iters: 4, monotonic: true };
+        let cfg = CoarsenConfig {
+            nc: 6,
+            iters: 4,
+            monotonic: true,
+        };
         let (rc, cc) = coarsen(&sg, &cfg);
         check_cuts(&rc, 32, 6);
         check_cuts(&cc, 32, 6);
@@ -534,7 +571,11 @@ mod tests {
         // cold rows: the max cell weight must come close to the hot cells'
         // own weight rather than an aggregate.
         let sg = skewed_band(32);
-        let cfg = CoarsenConfig { nc: 8, iters: 6, monotonic: true };
+        let cfg = CoarsenConfig {
+            nc: 8,
+            iters: 6,
+            monotonic: true,
+        };
         let (rc, cc) = coarsen(&sg, &cfg);
         let got = grid_max_cell_weight(&sg, &rc, &cc);
         // Uniform 4-slab cuts would put both hot points (2 × 50) plus inputs
@@ -548,12 +589,25 @@ mod tests {
         // must produce valid grids; and for a fully-candidate matrix they
         // solve the same problem.
         let n = 16u32;
-        let points: Vec<SparsePoint> =
-            (0..n).map(|i| SparsePoint { row: i, col: (i * 7) % n, w: 3 }).collect();
+        let points: Vec<SparsePoint> = (0..n)
+            .map(|i| SparsePoint {
+                row: i,
+                col: (i * 7) % n,
+                w: 3,
+            })
+            .collect();
         let cand = vec![(0u32, n - 1); n as usize]; // everything candidate
         let sg = SparseGrid::new(n, n, vec![2; n as usize], vec![2; n as usize], points, cand);
-        let cfg_m = CoarsenConfig { nc: 4, iters: 4, monotonic: true };
-        let cfg_g = CoarsenConfig { nc: 4, iters: 4, monotonic: false };
+        let cfg_m = CoarsenConfig {
+            nc: 4,
+            iters: 4,
+            monotonic: true,
+        };
+        let cfg_g = CoarsenConfig {
+            nc: 4,
+            iters: 4,
+            monotonic: false,
+        };
         let (rm, cm) = coarsen(&sg, &cfg_m);
         let (rg, cg) = coarsen(&sg, &cfg_g);
         assert_eq!(
@@ -565,7 +619,11 @@ mod tests {
     #[test]
     fn nc_larger_than_grid_is_identity() {
         let sg = skewed_band(4);
-        let cfg = CoarsenConfig { nc: 10, iters: 2, monotonic: true };
+        let cfg = CoarsenConfig {
+            nc: 10,
+            iters: 2,
+            monotonic: true,
+        };
         let (rc, cc) = coarsen(&sg, &cfg);
         assert_eq!(rc, vec![0, 1, 2, 3, 4]);
         assert_eq!(cc, vec![0, 1, 2, 3, 4]);
@@ -576,7 +634,11 @@ mod tests {
         let sg = skewed_band(48);
         let mut prev = u64::MAX;
         for nc in [2usize, 4, 8, 16] {
-            let cfg = CoarsenConfig { nc, iters: 4, monotonic: true };
+            let cfg = CoarsenConfig {
+                nc,
+                iters: 4,
+                monotonic: true,
+            };
             let (rc, cc) = coarsen(&sg, &cfg);
             let w = grid_max_cell_weight(&sg, &rc, &cc);
             assert!(w <= prev, "nc={nc}: {w} > {prev}");

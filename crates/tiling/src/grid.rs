@@ -40,7 +40,10 @@ impl Grid {
         let n_rows = row_w.len();
         let n_cols = col_w.len();
         assert!(n_rows > 0 && n_cols > 0, "empty grid");
-        assert!(n_rows < 1 << 16 && n_cols < 1 << 16, "grid side exceeds u16");
+        assert!(
+            n_rows < 1 << 16 && n_cols < 1 << 16,
+            "grid side exceeds u16"
+        );
         assert_eq!(out_w.len(), n_rows * n_cols, "out_w dimension mismatch");
         assert_eq!(cand.len(), n_rows * n_cols, "cand dimension mismatch");
 
@@ -61,10 +64,9 @@ impl Grid {
         for i in 0..n_rows {
             for j in 0..n_cols {
                 let cell = i * n_cols + j;
-                out_pfx[(i + 1) * stride + j + 1] = out_w[cell]
-                    + out_pfx[i * stride + j + 1]
-                    + out_pfx[(i + 1) * stride + j]
-                    - out_pfx[i * stride + j];
+                out_pfx[(i + 1) * stride + j + 1] =
+                    out_w[cell] + out_pfx[i * stride + j + 1] + out_pfx[(i + 1) * stride + j]
+                        - out_pfx[i * stride + j];
                 cand_pfx[(i + 1) * stride + j + 1] = cand[cell] as u32
                     + cand_pfx[i * stride + j + 1]
                     + cand_pfx[(i + 1) * stride + j]

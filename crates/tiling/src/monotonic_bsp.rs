@@ -102,8 +102,11 @@ impl<'a> MonotonicBspSolver<'a> {
 
         rects.sort_unstable_by_key(|r| (r.semi_perimeter(), r.pack()));
         rects.dedup();
-        let index: HashMap<u64, u32> =
-            rects.iter().enumerate().map(|(i, r)| (r.pack(), i as u32)).collect();
+        let index: HashMap<u64, u32> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.pack(), i as u32))
+            .collect();
 
         let weights: Vec<u64> = rects.iter().map(|&r| grid.weight(r)).collect();
         let mut split_start = Vec::with_capacity(rects.len() + 1);
@@ -127,7 +130,13 @@ impl<'a> MonotonicBspSolver<'a> {
             split_start.push(split_pairs.len() as u32);
         }
 
-        MonotonicBspSolver { grid, rects, weights, split_start, split_pairs }
+        MonotonicBspSolver {
+            grid,
+            rects,
+            weights,
+            split_start,
+            split_pairs,
+        }
     }
 
     /// Number of enumerated rectangles (`O(ncc²)`), for the space-complexity
@@ -362,7 +371,12 @@ mod tests {
             // Nothing below the bound may be feasible with <= j regions.
             if lb > 0 {
                 if let Some(regions) = solver.solve(lb - 1) {
-                    assert!(regions.len() > j, "j={j}: {} regions at delta {}", regions.len(), lb - 1);
+                    assert!(
+                        regions.len() > j,
+                        "j={j}: {} regions at delta {}",
+                        regions.len(),
+                        lb - 1
+                    );
                 }
             }
         }

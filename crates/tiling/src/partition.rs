@@ -47,7 +47,11 @@ impl std::fmt::Display for PartitionError {
             PartitionError::UncoveredCandidate { row, col } => {
                 write!(f, "candidate cell ({row}, {col}) is uncovered")
             }
-            PartitionError::Overweight { rect, weight, delta } => {
+            PartitionError::Overweight {
+                rect,
+                weight,
+                delta,
+            } => {
                 write!(f, "region {rect:?} weighs {weight} > delta {delta}")
             }
         }
@@ -70,7 +74,11 @@ pub fn validate_partition(grid: &Grid, regions: &[Rect], delta: u64) -> Result<(
     for r in regions {
         let w = grid.weight(*r);
         if w > delta {
-            return Err(PartitionError::Overweight { rect: *r, weight: w, delta });
+            return Err(PartitionError::Overweight {
+                rect: *r,
+                weight: w,
+                delta,
+            });
         }
     }
     let covered: u32 = regions.iter().map(|r| grid.cand_count(*r)).sum();
@@ -94,7 +102,11 @@ pub fn partition_max_weight(grid: &Grid, j: usize, algo: TilingAlgo) -> Partitio
     assert!(j >= 1, "need at least one region");
     let full = grid.full();
     if grid.cand_count(full) == 0 {
-        return Partition { regions: Vec::new(), delta: 0, max_weight: 0 };
+        return Partition {
+            regions: Vec::new(),
+            delta: 0,
+            max_weight: 0,
+        };
     }
 
     // δ below the heaviest candidate cell is never feasible (regions live on
@@ -121,9 +133,8 @@ pub fn partition_max_weight(grid: &Grid, j: usize, algo: TilingAlgo) -> Partitio
         }
     };
 
-    let feasible = |regions: &Option<Vec<Rect>>| {
-        regions.as_ref().map(|r| r.len() <= j).unwrap_or(false)
-    };
+    let feasible =
+        |regions: &Option<Vec<Rect>>| regions.as_ref().map(|r| r.len() <= j).unwrap_or(false);
 
     let mut best = solve(hi).expect("delta = total weight is always feasible");
     debug_assert!(best.len() <= 1 || j >= best.len());
@@ -141,7 +152,11 @@ pub fn partition_max_weight(grid: &Grid, j: usize, algo: TilingAlgo) -> Partitio
     }
 
     let max_weight = best.iter().map(|r| grid.weight(*r)).max().unwrap_or(0);
-    Partition { regions: best, delta: best_delta, max_weight }
+    Partition {
+        regions: best,
+        delta: best_delta,
+        max_weight,
+    }
 }
 
 #[cfg(test)]

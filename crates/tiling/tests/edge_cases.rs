@@ -60,7 +60,12 @@ fn fully_candidate_grid_covers_everything() {
 #[test]
 fn zero_weight_grid_is_trivial() {
     let n = 4;
-    let g = Grid::new(&vec![0u64; n], &vec![0u64; n], &vec![0u64; n * n], &vec![true; n * n]);
+    let g = Grid::new(
+        &vec![0u64; n],
+        &vec![0u64; n],
+        &vec![0u64; n * n],
+        &vec![true; n * n],
+    );
     let p = partition_max_weight(&g, 3, TilingAlgo::MonotonicBsp);
     assert_eq!(p.max_weight, 0);
     validate_partition(&g, &p.regions, 0).unwrap();
@@ -95,7 +100,12 @@ fn anti_staircase_still_partitions_correctly() {
 #[test]
 fn extreme_weights_do_not_overflow() {
     let big = u64::MAX / 16;
-    let g = Grid::new(&[big, 1], &[big, 1], &[big, 0, 0, 1], &[true, false, false, true]);
+    let g = Grid::new(
+        &[big, 1],
+        &[big, 1],
+        &[big, 0, 0, 1],
+        &[true, false, false, true],
+    );
     // Total weight computation must saturate/behave, and the partition at
     // huge delta must succeed.
     let p = partition_max_weight(&g, 2, TilingAlgo::MonotonicBsp);
@@ -113,7 +123,14 @@ fn coarsen_handles_empty_point_set() {
         Vec::new(),
         (0..n).map(|i| (i, (i + 2).min(n - 1))).collect(),
     );
-    let (rc, cc) = coarsen(&sg, &CoarsenConfig { nc: 4, iters: 3, monotonic: true });
+    let (rc, cc) = coarsen(
+        &sg,
+        &CoarsenConfig {
+            nc: 4,
+            iters: 3,
+            monotonic: true,
+        },
+    );
     assert_eq!(rc[0], 0);
     assert_eq!(*rc.last().unwrap(), n);
     assert!(rc.len() - 1 <= 4 && cc.len() - 1 <= 4);
@@ -134,7 +151,14 @@ fn coarsen_with_all_rows_empty_candidates() {
         Vec::new(),
         vec![(1, 0); n as usize], // all empty
     );
-    let (rc, cc) = coarsen(&sg, &CoarsenConfig { nc: 3, iters: 2, monotonic: true });
+    let (rc, cc) = coarsen(
+        &sg,
+        &CoarsenConfig {
+            nc: 3,
+            iters: 2,
+            monotonic: true,
+        },
+    );
     assert_eq!(grid_max_cell_weight(&sg, &rc, &cc), 0);
 }
 
@@ -144,9 +168,21 @@ fn coarsen_single_hot_point() {
     // merge extra weight into that cell.
     let n = 16u32;
     let points = vec![
-        SparsePoint { row: 8, col: 8, w: 1000 },
-        SparsePoint { row: 2, col: 2, w: 10 },
-        SparsePoint { row: 13, col: 14, w: 10 },
+        SparsePoint {
+            row: 8,
+            col: 8,
+            w: 1000,
+        },
+        SparsePoint {
+            row: 2,
+            col: 2,
+            w: 10,
+        },
+        SparsePoint {
+            row: 13,
+            col: 14,
+            w: 10,
+        },
     ];
     let sg = SparseGrid::new(
         n,
@@ -154,9 +190,18 @@ fn coarsen_single_hot_point() {
         vec![1; n as usize],
         vec![1; n as usize],
         points,
-        (0..n).map(|i| (i.saturating_sub(1), (i + 1).min(n - 1))).collect(),
+        (0..n)
+            .map(|i| (i.saturating_sub(1), (i + 1).min(n - 1)))
+            .collect(),
     );
-    let (rc, cc) = coarsen(&sg, &CoarsenConfig { nc: 8, iters: 4, monotonic: true });
+    let (rc, cc) = coarsen(
+        &sg,
+        &CoarsenConfig {
+            nc: 8,
+            iters: 4,
+            monotonic: true,
+        },
+    );
     let w = grid_max_cell_weight(&sg, &rc, &cc);
     // The hot point alone weighs 1000 + inputs; allow its own cell plus a
     // couple of neighbors, but not a merge with another hot point.

@@ -14,15 +14,20 @@ fn sparse_grid() -> impl Strategy<Value = SparseGrid> {
         let points = prop::collection::vec((0..n, 0u32..3, 1u64..50), 0..60);
         (row_w, col_w, points).prop_map(move |(row_w, col_w, raw)| {
             // Staircase intervals around the diagonal, width 2.
-            let cand: Vec<(u32, u32)> =
-                (0..n).map(|i| (i.saturating_sub(1), (i + 1).min(n - 1))).collect();
+            let cand: Vec<(u32, u32)> = (0..n)
+                .map(|i| (i.saturating_sub(1), (i + 1).min(n - 1)))
+                .collect();
             // Clamp points into their row's candidate interval so the grid is
             // consistent (real output samples always land in candidates).
             let points: Vec<SparsePoint> = raw
                 .into_iter()
                 .map(|(row, dc, w)| {
                     let (lo, hi) = cand[row as usize];
-                    SparsePoint { row, col: (lo + dc).min(hi), w }
+                    SparsePoint {
+                        row,
+                        col: (lo + dc).min(hi),
+                        w,
+                    }
                 })
                 .collect();
             SparseGrid::new(n, n, row_w, col_w, points, cand)
@@ -33,7 +38,11 @@ fn sparse_grid() -> impl Strategy<Value = SparseGrid> {
 fn check_cuts(cuts: &[u32], n: u32, nc: usize) -> Result<(), TestCaseError> {
     prop_assert_eq!(cuts[0], 0);
     prop_assert_eq!(*cuts.last().unwrap(), n);
-    prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]), "not increasing: {:?}", cuts);
+    prop_assert!(
+        cuts.windows(2).all(|w| w[0] < w[1]),
+        "not increasing: {:?}",
+        cuts
+    );
     prop_assert!(cuts.len() - 1 <= nc);
     Ok(())
 }

@@ -14,7 +14,12 @@ const SHIFT: i64 = 16;
 fn main() {
     // Orders with Zipf-skewed custkeys (z = 0.8 to make the skew visible at
     // this scale) and uniform ship priorities.
-    let params = OrdersParams { n: 120_000, z: 0.8, customers_div: 200, ..Default::default() };
+    let params = OrdersParams {
+        n: 120_000,
+        z: 0.8,
+        customers_div: 200,
+        ..Default::default()
+    };
     let orders = gen_orders(&params);
     let encode = |o: &Order| {
         Tuple::new(
@@ -22,9 +27,20 @@ fn main() {
             o.orderkey as u64,
         )
     };
-    let r1: Vec<Tuple> = orders.iter().filter(|o| o.order_priority <= 2).map(encode).collect();
-    let r2: Vec<Tuple> = orders.iter().filter(|o| o.order_priority >= 4).map(encode).collect();
-    let cond = JoinCondition::EquiBand { shift: SHIFT, beta: 2 };
+    let r1: Vec<Tuple> = orders
+        .iter()
+        .filter(|o| o.order_priority <= 2)
+        .map(encode)
+        .collect();
+    let r2: Vec<Tuple> = orders
+        .iter()
+        .filter(|o| o.order_priority >= 4)
+        .map(encode)
+        .collect();
+    let cond = JoinCondition::EquiBand {
+        shift: SHIFT,
+        beta: 2,
+    };
 
     let keys = |ts: &[Tuple]| ts.iter().map(|t| t.key).collect::<Vec<Key>>();
     let m = JoinMatrix::new(keys(&r1), keys(&r2), cond).output_count();

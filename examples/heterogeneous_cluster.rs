@@ -12,13 +12,20 @@ use ewh::prelude::*;
 
 fn main() {
     let n = 120_000;
-    let r1: Vec<Tuple> = (0..n).map(|i| Tuple::new((i * 7 % n) as Key, i as u64)).collect();
-    let r2: Vec<Tuple> = (0..n).map(|i| Tuple::new((i * 11 % n) as Key, i as u64)).collect();
+    let r1: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::new((i * 7 % n) as Key, i as u64))
+        .collect();
+    let r2: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::new((i * 11 % n) as Key, i as u64))
+        .collect();
     let cond = JoinCondition::Band { beta: 4 };
     let capacities = vec![3.0, 1.0, 1.0, 1.0];
 
     // Naive: one region per machine, capacities ignored.
-    let naive = OperatorConfig { j: 4, ..OperatorConfig::default() };
+    let naive = OperatorConfig {
+        j: 4,
+        ..OperatorConfig::default()
+    };
     let naive_run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &naive);
 
     // Capacity-aware: 16 regions LPT-packed onto the 4 workers.
@@ -43,7 +50,10 @@ fn main() {
     };
     println!("cluster: capacities {capacities:?} (worker 0 is 3x faster)");
     println!("per-worker (input, output):");
-    for (label, run) in [("naive 4 regions", &naive_run), ("A5: 16 regions + LPT", &aware_run)] {
+    for (label, run) in [
+        ("naive 4 regions", &naive_run),
+        ("A5: 16 regions + LPT", &aware_run),
+    ] {
         let loads: Vec<(u64, u64)> = run
             .join
             .per_worker_input

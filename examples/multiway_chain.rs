@@ -13,7 +13,9 @@ use ewh::prelude::*;
 use ewh::sampling::KeyedCounts;
 
 fn relation(n: usize, stride: i64, seed: i64) -> Vec<Tuple> {
-    (0..n).map(|i| Tuple::new((i as i64 * stride + seed) % n as i64, i as u64)).collect()
+    (0..n)
+        .map(|i| Tuple::new((i as i64 * stride + seed) % n as i64, i as u64))
+        .collect()
 }
 
 /// Materializes the join's output keyed by the *right* key (the attribute the
@@ -51,7 +53,10 @@ fn main() {
     let b = relation(n, 11, 3);
     let c = relation(n, 13, 5);
     let cond = JoinCondition::Band { beta: 2 };
-    let cfg = OperatorConfig { j: 8, ..OperatorConfig::default() };
+    let cfg = OperatorConfig {
+        j: 8,
+        ..OperatorConfig::default()
+    };
 
     // First 2-way join through the parallel operator.
     let run1 = run_operator(SchemeKind::Csio, &a, &b, &cond, &cfg);

@@ -12,20 +12,34 @@ fn main() {
     let hot = n / 5;
     let r1: Vec<Tuple> = (0..n)
         .map(|i| {
-            let key = if i < hot { (i % (n / 50)) as Key } else { (i * 7 % n) as Key };
+            let key = if i < hot {
+                (i % (n / 50)) as Key
+            } else {
+                (i * 7 % n) as Key
+            };
             Tuple::new(key, i as u64)
         })
         .collect();
     let r2: Vec<Tuple> = (0..n)
         .map(|i| {
-            let key = if i < hot { (i % (n / 50)) as Key } else { (i * 13 % n) as Key };
+            let key = if i < hot {
+                (i % (n / 50)) as Key
+            } else {
+                (i * 13 % n) as Key
+            };
             Tuple::new(key, i as u64)
         })
         .collect();
     let cond = JoinCondition::Band { beta: 5 };
 
-    let cfg = OperatorConfig { j: 16, ..OperatorConfig::default() };
-    println!("join: |R1.key - R2.key| <= 5, n = {n} per relation, J = {}", cfg.j);
+    let cfg = OperatorConfig {
+        j: 16,
+        ..OperatorConfig::default()
+    };
+    println!(
+        "join: |R1.key - R2.key| <= 5, n = {n} per relation, J = {}",
+        cfg.j
+    );
     println!(
         "{:<6} {:>10} {:>12} {:>10} {:>12} {:>10}",
         "scheme", "regions", "output", "max-input", "max-output", "imbalance"

@@ -46,7 +46,10 @@ fn main() {
     let reference = JoinMatrix::new(keys(&r1), keys(&r2), cond).output_count();
     println!("calls: {n} per side; band = 10s; exact output = {reference}");
 
-    let cfg = OperatorConfig { j: 16, ..OperatorConfig::default() };
+    let cfg = OperatorConfig {
+        j: 16,
+        ..OperatorConfig::default()
+    };
     println!(
         "{:<6} {:>10} {:>12} {:>12} {:>12}",
         "scheme", "output", "sim_total_s", "network", "max_weight"
@@ -54,7 +57,10 @@ fn main() {
     let mut best: Option<(SchemeKind, f64)> = None;
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
         let run = run_operator(kind, &r1, &r2, &cond, &cfg);
-        assert_eq!(run.join.output_total, reference, "scheme lost or duplicated tuples");
+        assert_eq!(
+            run.join.output_total, reference,
+            "scheme lost or duplicated tuples"
+        );
         println!(
             "{:<6} {:>10} {:>12.4} {:>12} {:>12}",
             run.kind.to_string(),

@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --example tiling_visualizer`
 
-use ewh::core::{
-    build_csio, CostModel, HistogramParams, JoinCondition, JoinMatrix, Key, KeyRange,
-};
+use ewh::core::{build_csio, CostModel, HistogramParams, JoinCondition, JoinMatrix, Key, KeyRange};
 
 fn main() {
     // The key multisets of Fig. 1 (R1 on rows, R2 on columns).
@@ -34,7 +32,11 @@ fn main() {
 
     // Build the CSIO scheme for 3 machines (as in Fig. 1d) and render the
     // region ownership of every matrix cell.
-    let params = HistogramParams { j: 3, so_override: Some(400), ..Default::default() };
+    let params = HistogramParams {
+        j: 3,
+        so_override: Some(400),
+        ..Default::default()
+    };
     let scheme = build_csio(&r1, &r2, &cond, &CostModel::band(), &params);
     println!("\nCSIO regions for J = 3 (letters = owning region, '.' = unassigned):\n");
     print!("      ");
@@ -45,9 +47,10 @@ fn main() {
     for &k1 in m.r1_keys() {
         print!("{k1:>5} ");
         for &k2 in m.r2_keys() {
-            let owner = scheme.regions.iter().position(|r| {
-                r.rows.contains(k1) && r.cols.contains(k2)
-            });
+            let owner = scheme
+                .regions
+                .iter()
+                .position(|r| r.rows.contains(k1) && r.cols.contains(k2));
             match owner {
                 Some(id) => print!("{:>3}", (b'A' + id as u8) as char),
                 None => print!("{:>3}", "."),
@@ -58,8 +61,16 @@ fn main() {
     println!();
     for (id, r) in scheme.regions.iter().enumerate() {
         let fmt = |kr: &KeyRange| {
-            let lo = if kr.lo == Key::MIN { "-inf".into() } else { kr.lo.to_string() };
-            let hi = if kr.hi == Key::MAX { "+inf".into() } else { kr.hi.to_string() };
+            let lo = if kr.lo == Key::MIN {
+                "-inf".into()
+            } else {
+                kr.lo.to_string()
+            };
+            let hi = if kr.hi == Key::MAX {
+                "+inf".into()
+            } else {
+                kr.hi.to_string()
+            };
             format!("[{lo}, {hi}]")
         };
         println!(

@@ -91,7 +91,9 @@ macro_rules! prop_assert_ne {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
                 ::std::format!(
                     "assertion failed: `{} != {}`\n  both: `{:?}`",
-                    stringify!($left), stringify!($right), __l,
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
                 ),
             ));
         }

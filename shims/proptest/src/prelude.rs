@@ -3,9 +3,7 @@
 pub use crate::arbitrary::any;
 pub use crate::strategy::{BoxedStrategy, Just, Strategy};
 pub use crate::test_runner::{ProptestConfig, TestCaseError};
-pub use crate::{
-    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 
 /// The `prop::` module alias (`prop::collection::vec(...)`).
 pub mod prop {

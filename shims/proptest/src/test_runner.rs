@@ -14,7 +14,10 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65536 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
     }
 }
 

@@ -153,7 +153,11 @@ impl SampleRange<f64> for Range<f64> {
         let v = self.start + (self.end - self.start) * f64::sample(rng);
         // start + span*f can round up to `end` when the range spans few
         // representable values; keep the result in the half-open contract.
-        if v < self.end { v } else { self.start }
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
     }
 }
 
@@ -161,7 +165,11 @@ impl SampleRange<f32> for Range<f32> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
         assert!(self.start < self.end, "gen_range: empty range");
         let v = self.start + (self.end - self.start) * f32::sample(rng);
-        if v < self.end { v } else { self.start }
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
     }
 }
 
@@ -193,7 +201,7 @@ mod tests {
             let y = rng.gen_range(5usize..=5);
             assert_eq!(y, 5);
             let f = rng.gen_range(f64::EPSILON..1.0);
-            assert!(f >= f64::EPSILON && f < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
         }
     }
 

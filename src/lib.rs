@@ -10,8 +10,9 @@
 //! * [`tiling`] — BSP, MONOTONICBSP and grid coarsening.
 //! * [`sampling`] — Bernoulli, equi-depth, reservoirs and
 //!   parallel Stream-Sample.
-//! * [`exec`] — the shared-nothing execution engine (shuffle,
-//!   local joins, metrics, operator runner, CI fallback).
+//! * [`exec`] — the shared-nothing execution engine (morsel-driven
+//!   pipeline, batch oracle, local joins, metrics, operator runner, CI
+//!   fallback).
 //! * [`datagen`] — skewed TPC-H-style and synthetic X workload
 //!   generators.
 //!
@@ -42,9 +43,11 @@ pub mod prelude {
         CostModel, HistogramParams, IneqOp, JoinCondition, JoinMatrix, Key, KeyRange, Region,
         SchemeKind, Tuple,
     };
-    pub use ewh_datagen::{gen_orders, gen_x_relation, Order, OrdersParams, ZipfCdf};
+    pub use ewh_datagen::{
+        gen_orders, gen_retail, gen_x_relation, Order, OrdersParams, RetailParams, ZipfCdf,
+    };
     pub use ewh_exec::{
-        run_operator, run_operator_adaptive, FallbackPolicy, OperatorConfig, OperatorRun,
+        run_operator, run_operator_adaptive, ExecMode, FallbackPolicy, OperatorConfig, OperatorRun,
         OutputWork,
     };
 }

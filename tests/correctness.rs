@@ -8,7 +8,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn tuples(keys: &[Key]) -> Vec<Tuple> {
-    keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| Tuple::new(k, i as u64))
+        .collect()
 }
 
 /// Key generators exercising the skew taxonomy of the paper: none (uniform),
@@ -20,9 +23,15 @@ fn patterns(n: usize, seed: u64) -> Vec<(&'static str, Vec<Key>)> {
     for h in heavy.iter_mut().take(n / 3) {
         *h = 777; // one heavy hitter (redistribution skew)
     }
-    let mut segmented: Vec<Key> = (0..n / 5).map(|_| rng.gen_range(0..n as i64 / 30)).collect();
+    let mut segmented: Vec<Key> = (0..n / 5)
+        .map(|_| rng.gen_range(0..n as i64 / 30))
+        .collect();
     segmented.extend((0..4 * n / 5).map(|_| rng.gen_range(8 * n as i64..16 * n as i64)));
-    vec![("uniform", uniform), ("heavy_hitter", heavy), ("segmented", segmented)]
+    vec![
+        ("uniform", uniform),
+        ("heavy_hitter", heavy),
+        ("segmented", segmented),
+    ]
 }
 
 fn conditions() -> Vec<JoinCondition> {
@@ -43,10 +52,13 @@ fn all_schemes_match_reference_on_all_conditions_and_skews() {
         for (qname, keys2) in patterns(n, 2) {
             for cond in conditions() {
                 // EquiBand needs non-negative keys; patterns are.
-                let reference =
-                    JoinMatrix::new(keys1.clone(), keys2.clone(), cond).output_count();
+                let reference = JoinMatrix::new(keys1.clone(), keys2.clone(), cond).output_count();
                 let (r1, r2) = (tuples(&keys1), tuples(&keys2));
-                let cfg = OperatorConfig { j: 6, threads: 2, ..Default::default() };
+                let cfg = OperatorConfig {
+                    j: 6,
+                    threads: 2,
+                    ..Default::default()
+                };
                 let mut checksums = Vec::new();
                 for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
                     let run = run_operator(kind, &r1, &r2, &cond, &cfg);
@@ -67,7 +79,11 @@ fn all_schemes_match_reference_on_all_conditions_and_skews() {
 
 #[test]
 fn empty_and_degenerate_relations() {
-    let cfg = OperatorConfig { j: 4, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 4,
+        threads: 2,
+        ..Default::default()
+    };
     let cond = JoinCondition::Band { beta: 2 };
     let some = tuples(&(0..100).collect::<Vec<Key>>());
 
@@ -90,7 +106,11 @@ fn duplicate_only_relations() {
     let n = 400u64;
     let keys = vec![42i64; n as usize];
     let (r1, r2) = (tuples(&keys), tuples(&keys));
-    let cfg = OperatorConfig { j: 4, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 4,
+        threads: 2,
+        ..Default::default()
+    };
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
         let run = run_operator(kind, &r1, &r2, &JoinCondition::Equi, &cfg);
         assert_eq!(run.join.output_total, n * n, "{kind}");
@@ -108,7 +128,11 @@ fn negative_keys_work_for_non_composite_conditions() {
         JoinCondition::Inequality(IneqOp::Le),
     ] {
         let reference = JoinMatrix::new(k1.clone(), k2.clone(), cond).output_count();
-        let cfg = OperatorConfig { j: 5, threads: 2, ..Default::default() };
+        let cfg = OperatorConfig {
+            j: 5,
+            threads: 2,
+            ..Default::default()
+        };
         for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
             let run = run_operator(kind, &tuples(&k1), &tuples(&k2), &cond, &cfg);
             assert_eq!(run.join.output_total, reference, "{kind} {cond:?}");
@@ -122,7 +146,12 @@ fn results_are_deterministic_per_seed() {
     let k1: Vec<Key> = (0..2000).map(|_| rng.gen_range(0..500)).collect();
     let (r1, r2) = (tuples(&k1), tuples(&k1));
     let cond = JoinCondition::Band { beta: 1 };
-    let cfg = OperatorConfig { j: 8, threads: 2, seed: 77, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 8,
+        threads: 2,
+        seed: 77,
+        ..Default::default()
+    };
     let a = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
     let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
     assert_eq!(a.join.output_total, b.join.output_total);

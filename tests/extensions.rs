@@ -3,25 +3,38 @@
 //! model calibration loop of §VI-A.
 
 use ewh::core::{CostModel, JoinCondition, JoinMatrix, Key, SchemeKind, Tuple};
-use ewh::exec::{
-    run_operator, run_operator_adaptive, FallbackPolicy, OperatorConfig, OutputWork,
-};
+use ewh::exec::{run_operator, run_operator_adaptive, FallbackPolicy, OperatorConfig, OutputWork};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn tuples(keys: &[Key]) -> Vec<Tuple> {
-    keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| Tuple::new(k, i as u64))
+        .collect()
 }
 
 #[test]
 fn adaptive_operator_decision_boundary() {
-    let cfg = OperatorConfig { j: 4, threads: 2, ..Default::default() };
-    let policy = FallbackPolicy { rho_threshold: 50.0 };
+    let cfg = OperatorConfig {
+        j: 4,
+        threads: 2,
+        ..Default::default()
+    };
+    let policy = FallbackPolicy {
+        rho_threshold: 50.0,
+    };
 
     // rho ≈ n/8 per distinct key with 8 keys: n = 1000 → rho = 125 > 50.
     let mut rng = SmallRng::seed_from_u64(1);
     let hot: Vec<Key> = (0..1000).map(|_| rng.gen_range(0..8)).collect();
-    let run = run_operator_adaptive(&tuples(&hot), &tuples(&hot), &JoinCondition::Equi, &cfg, &policy);
+    let run = run_operator_adaptive(
+        &tuples(&hot),
+        &tuples(&hot),
+        &JoinCondition::Equi,
+        &cfg,
+        &policy,
+    );
     assert!(run.fell_back);
     assert_eq!(run.kind, SchemeKind::Ci);
     // The fallback must still be exact.
@@ -30,7 +43,13 @@ fn adaptive_operator_decision_boundary() {
 
     // A selective join stays on CSIO.
     let cold: Vec<Key> = (0..1000).collect();
-    let run = run_operator_adaptive(&tuples(&cold), &tuples(&cold), &JoinCondition::Equi, &cfg, &policy);
+    let run = run_operator_adaptive(
+        &tuples(&cold),
+        &tuples(&cold),
+        &JoinCondition::Equi,
+        &cfg,
+        &policy,
+    );
     assert!(!run.fell_back);
     assert_eq!(run.kind, SchemeKind::Csio);
 }
@@ -45,7 +64,11 @@ fn heterogeneous_cluster_beats_naive_assignment() {
     let (r1, r2) = (tuples(&k1), tuples(&k2));
     let caps = vec![4.0, 1.0, 1.0];
 
-    let naive = OperatorConfig { j: 3, threads: 2, ..Default::default() };
+    let naive = OperatorConfig {
+        j: 3,
+        threads: 2,
+        ..Default::default()
+    };
     let aware = OperatorConfig {
         j: 3,
         threads: 2,
@@ -83,7 +106,11 @@ fn cost_model_calibration_closes_the_loop() {
     let mut rng = SmallRng::seed_from_u64(3);
     let k: Vec<Key> = (0..n).map(|_| rng.gen_range(0..n as i64 / 10)).collect();
     let (r1, r2) = (tuples(&k), tuples(&k));
-    let cfg = OperatorConfig { j: 8, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 8,
+        threads: 2,
+        ..Default::default()
+    };
     let run = run_operator(SchemeKind::Csio, &r1, &r2, &JoinCondition::Equi, &cfg);
 
     let (true_wi, true_wo) = (2.5e-6, 0.4e-6);
@@ -110,9 +137,16 @@ fn count_and_touch_output_work_agree_on_counts() {
     let k: Vec<Key> = (0..n).map(|_| rng.gen_range(0..500)).collect();
     let (r1, r2) = (tuples(&k), tuples(&k));
     let cond = JoinCondition::Band { beta: 1 };
-    let base = OperatorConfig { j: 4, threads: 2, ..Default::default() };
+    let base = OperatorConfig {
+        j: 4,
+        threads: 2,
+        ..Default::default()
+    };
     let touch = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &base);
-    let count_cfg = OperatorConfig { output_work: OutputWork::Count, ..base };
+    let count_cfg = OperatorConfig {
+        output_work: OutputWork::Count,
+        ..base
+    };
     let count = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &count_cfg);
     assert_eq!(touch.join.output_total, count.join.output_total);
     assert_eq!(count.join.checksum, 0);
@@ -127,10 +161,16 @@ fn worst_case_overhead_stays_small_on_icd_joins() {
     let n = 60_000;
     let k1: Vec<Key> = (0..n as i64).map(|i| 4 * i).collect();
     let mut rng = SmallRng::seed_from_u64(5);
-    let k2: Vec<Key> = (0..n).map(|_| 10 * rng.gen_range(0..n as i64 / 10)).collect();
+    let k2: Vec<Key> = (0..n)
+        .map(|_| 10 * rng.gen_range(0..n as i64 / 10))
+        .collect();
     let cond = JoinCondition::Band { beta: 2 };
     let (r1, r2) = (tuples(&k1), tuples(&k2));
-    let cfg = OperatorConfig { j: 16, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 16,
+        threads: 2,
+        ..Default::default()
+    };
     let csi = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
     let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
     let ratio = csio.total_sim_secs / csi.total_sim_secs;

@@ -27,9 +27,15 @@ fn lemma_3_1_holds_across_j_and_conditions() {
     let k1 = skewed_keys(n, 1);
     let k2 = skewed_keys(n, 2);
     let cost = CostModel::band();
-    for cond in [JoinCondition::Band { beta: 2 }, JoinCondition::Band { beta: 8 }] {
+    for cond in [
+        JoinCondition::Band { beta: 2 },
+        JoinCondition::Band { beta: 8 },
+    ] {
         for j in [4usize, 8, 16] {
-            let params = HistogramParams { j, ..Default::default() };
+            let params = HistogramParams {
+                j,
+                ..Default::default()
+            };
             let ms = build_sample_matrix(&k1, &k2, &cond, &params);
             if ms.m < n as u64 {
                 continue; // lemma premise m >= n
@@ -52,7 +58,10 @@ fn regionalization_partition_is_valid_on_the_coarse_grid() {
     let cond = JoinCondition::Band { beta: 3 };
     let cost = CostModel::band();
     for j in [4usize, 8] {
-        let params = HistogramParams { j, ..Default::default() };
+        let params = HistogramParams {
+            j,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&k1, &k2, &cond, &params);
         let mc = coarsen_sample_matrix(&ms, &cond, &cost, 2 * j, 4, true);
         let reg = regionalize(&mc, j, false);
@@ -75,14 +84,25 @@ fn estimate_tracks_realized_weight_within_15_percent() {
     let k2 = skewed_keys(40_000, 6);
     let cond = JoinCondition::Band { beta: 2 };
     let tup = |ks: &[Key]| -> Vec<Tuple> {
-        ks.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+        ks.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
     };
-    let cfg = OperatorConfig { j: 8, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 8,
+        threads: 2,
+        ..Default::default()
+    };
     let run = run_operator(SchemeKind::Csio, &tup(&k1), &tup(&k2), &cond, &cfg);
     let est = run.build.est_max_weight as f64;
     let real = run.join.max_weight_milli as f64;
     let err = (est - real).abs() / real;
-    assert!(err < 0.15, "estimate off by {:.1}% (est {est}, real {real})", err * 100.0);
+    assert!(
+        err < 0.15,
+        "estimate off by {:.1}% (est {est}, real {real})",
+        err * 100.0
+    );
 }
 
 #[test]
@@ -94,9 +114,16 @@ fn csio_dominates_both_baselines_under_mixed_skew() {
     let k2 = skewed_keys(n, 8);
     let cond = JoinCondition::Band { beta: 4 };
     let tup = |ks: &[Key]| -> Vec<Tuple> {
-        ks.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+        ks.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
     };
-    let cfg = OperatorConfig { j: 16, threads: 2, ..Default::default() };
+    let cfg = OperatorConfig {
+        j: 16,
+        threads: 2,
+        ..Default::default()
+    };
     let (r1, r2) = (tup(&k1), tup(&k2));
     let ci = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
     let csi = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
@@ -124,7 +151,11 @@ fn nc_2j_is_at_least_as_good_as_nc_j() {
     let cost = CostModel::band();
     let j = 8;
     let est_for = |factor: usize| {
-        let params = HistogramParams { j, nc_factor: factor, ..Default::default() };
+        let params = HistogramParams {
+            j,
+            nc_factor: factor,
+            ..Default::default()
+        };
         let ms = build_sample_matrix(&k1, &k2, &cond, &params);
         let mc = coarsen_sample_matrix(&ms, &cond, &cost, params.nc(), 4, true);
         regionalize(&mc, j, false).est_max_weight
@@ -133,7 +164,10 @@ fn nc_2j_is_at_least_as_good_as_nc_j() {
     let w2 = est_for(2);
     // Allow a small tolerance: the stages are approximate, but 2J should
     // never be substantially worse.
-    assert!(w2 as f64 <= 1.10 * w1 as f64, "nc=2J ({w2}) much worse than nc=J ({w1})");
+    assert!(
+        w2 as f64 <= 1.10 * w1 as f64,
+        "nc=2J ({w2}) much worse than nc=J ({w1})"
+    );
 }
 
 #[test]
@@ -144,7 +178,10 @@ fn baseline_bsp_and_monotonic_agree_end_to_end() {
     let cost = CostModel::band();
     // Small j so the dense baseline (O(nc^4) space) stays cheap.
     let j = 3;
-    let params = HistogramParams { j, ..Default::default() };
+    let params = HistogramParams {
+        j,
+        ..Default::default()
+    };
     let ms = build_sample_matrix(&k1, &k2, &cond, &params);
     let mc = coarsen_sample_matrix(&ms, &cond, &cost, 2 * j, 4, true);
     let mono = regionalize(&mc, j, false);
@@ -161,8 +198,15 @@ fn rho_b_optimization_shrinks_ns_without_losing_correctness() {
     let k1: Vec<Key> = (0..n).map(|_| rng.gen_range(0..n as i64 / 20)).collect();
     let k2: Vec<Key> = (0..n).map(|_| rng.gen_range(0..n as i64 / 20)).collect();
     let cond = JoinCondition::Equi;
-    let plain = HistogramParams { j: 8, ..Default::default() };
-    let opt = HistogramParams { j: 8, rho_b_opt: true, ..Default::default() };
+    let plain = HistogramParams {
+        j: 8,
+        ..Default::default()
+    };
+    let opt = HistogramParams {
+        j: 8,
+        rho_b_opt: true,
+        ..Default::default()
+    };
     let ms_plain = build_sample_matrix(&k1, &k2, &cond, &plain);
     let ms_opt = build_sample_matrix(&k1, &k2, &cond, &opt);
     assert_eq!(ms_plain.m, ms_opt.m, "m is exact either way");

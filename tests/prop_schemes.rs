@@ -40,7 +40,10 @@ fn reference(k1: &[Key], k2: &[Key], cond: &JoinCondition) -> u64 {
 }
 
 fn tuples(keys: &[Key]) -> Vec<Tuple> {
-    keys.iter().enumerate().map(|(i, &k)| Tuple::new(k, i as u64)).collect()
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| Tuple::new(k, i as u64))
+        .collect()
 }
 
 proptest! {

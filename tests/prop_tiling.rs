@@ -3,9 +3,7 @@
 //! the dense baseline, and the regionalization objective must be monotone in
 //! the number of machines.
 
-use ewh::tiling::{
-    bsp, monotonic_bsp, partition_max_weight, validate_partition, Grid, TilingAlgo,
-};
+use ewh::tiling::{bsp, monotonic_bsp, partition_max_weight, validate_partition, Grid, TilingAlgo};
 use proptest::prelude::*;
 
 /// A random monotone staircase grid: per-row candidate intervals with
