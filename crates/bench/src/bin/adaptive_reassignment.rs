@@ -83,6 +83,7 @@ fn main() {
                 reassign: true,
                 move_cost_factor: 1.0,
                 wi_milli: w.cost.wi_milli,
+                ..Default::default()
             },
         );
         let max_task = tasks.iter().map(|t| t.weight_milli).max().unwrap_or(0);

@@ -1,21 +1,28 @@
 //! Batch vs. morsel-driven pipelined execution: wall time and peak resident
 //! memory across the Zipf-skewed paper workloads and the hot-key retail
-//! scenario.
+//! scenario — plus the run-time skew-resilience section: region migration
+//! (on vs. off, with and without an injected straggler) compared against
+//! the discrete-event simulation's predicted reassignment counts.
 //!
-//! Emits the usual TSV table plus a JSON document (stdout, or `--json PATH`
-//! to write a file) so successive runs can be tracked as `BENCH_*.json`
-//! trajectories.
+//! Emits the usual TSV tables plus JSON documents (stdout, or `--json PATH`
+//! / `--adaptive-json PATH` to write files) so successive runs can be
+//! tracked as `BENCH_*.json` trajectories.
 //!
 //! ```sh
 //! cargo run --release -p ewh-bench --bin pipeline_vs_batch -- \
-//!     [--scale 0.25] [--j 32] [--threads N] [--json BENCH_pipeline.json]
+//!     [--scale 0.25] [--j 32] [--threads N] \
+//!     [--json BENCH_pipeline.json] [--adaptive-json BENCH_adaptive.json]
 //! ```
 
 use ewh_bench::{
-    bcb, beocd, beocd_gamma, bicd, mib, print_table, retail_hotkey, RunConfig, Workload,
+    bcb, beocd, beocd_gamma, bicd, check_pipelined_scale, mib, print_table, retail_hotkey,
+    RunConfig, Workload,
 };
 use ewh_core::SchemeKind;
-use ewh_exec::{run_operator, ExecMode, OperatorConfig, OperatorRun, OutputWork};
+use ewh_exec::{
+    build_scheme, execute_join, run_operator, shuffle, simulate_adaptive, AdaptiveConfig,
+    EngineConfig, ExecMode, OperatorConfig, OperatorRun, OutputWork, Straggler, TaskSpec,
+};
 
 struct Row {
     workload: String,
@@ -36,6 +43,121 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+fn idle_sum(run: &OperatorRun) -> f64 {
+    run.join.reducer_idle_secs.iter().sum()
+}
+
+/// Predicted reassignment count for one scheme: realized per-region weights
+/// (from a batch execution with an identity region → worker map) fed to the
+/// §V discrete-event simulation under the engine's initial reducer-task
+/// placement — the simulation's answer to "how many regions *should* move?".
+fn predicted_reassignments(
+    w: &Workload,
+    kind: SchemeKind,
+    rc: &RunConfig,
+    adaptive: &AdaptiveConfig,
+) -> usize {
+    let cfg = rc.operator_config(w);
+    let (scheme, _) = build_scheme(kind, &w.r1, &w.r2, &w.cond, &cfg);
+    let shuffled = shuffle(&w.r1, &w.r2, &scheme, rc.threads, rc.seed);
+    let per_region_input = shuffled.per_region_input();
+    let id_map: Vec<u32> = (0..scheme.num_regions() as u32).collect();
+    let exec_cfg = OperatorConfig {
+        j: scheme.num_regions().max(1),
+        output_work: OutputWork::Count,
+        ..cfg.clone()
+    };
+    let stats = execute_join(shuffled, &w.cond, &id_map, &exec_cfg);
+    let tasks: Vec<TaskSpec> = per_region_input
+        .iter()
+        .zip(&stats.per_worker_output)
+        .map(|(&input, &output)| TaskSpec {
+            weight_milli: w.cost.weight(input, output),
+            input_tuples: input,
+        })
+        .collect();
+    // The engine's initial placement: LPT by estimated weight over the
+    // reducer-task count `EngineConfig::for_threads` would choose.
+    let reducers = EngineConfig::for_threads(rc.threads, cfg.morsel_tuples, rc.seed).reducers;
+    let weights: Vec<u64> = scheme
+        .regions
+        .iter()
+        .map(|r| r.est_weight(&w.cost))
+        .collect();
+    let assignment = ewh_exec::lpt_schedule(&weights, None, reducers);
+    let sim = simulate_adaptive(
+        &tasks,
+        &assignment,
+        reducers,
+        &AdaptiveConfig {
+            wi_milli: w.cost.wi_milli,
+            ..*adaptive
+        },
+    );
+    sim.reassignments
+}
+
+struct AdaptiveRow {
+    scheme: SchemeKind,
+    straggler: bool,
+    reassign: bool,
+    run: OperatorRun,
+    predicted: Option<usize>,
+}
+
+/// Injected cost per absorbed tuple on the slowed reducer — the single
+/// source for the scenario table header and the JSON report.
+const STRAGGLER_NANOS_PER_TUPLE: u64 = 5_000;
+
+/// Runs the migration scenarios. `rc.threads` must already be bumped to the
+/// effective thread count (see the call site) so the JSON metadata matches
+/// what actually ran.
+fn adaptive_section(rc: &RunConfig) -> (Vec<AdaptiveRow>, Workload) {
+    let w = retail_hotkey(rc.scale * 4.0, rc.seed);
+    // Injected cost per absorbed tuple on reducer 0: enough for the slowed
+    // reducer to dominate the makespan unless its regions migrate.
+    let straggler = Straggler {
+        reducer: 0,
+        nanos_per_tuple: STRAGGLER_NANOS_PER_TUPLE,
+    };
+    let scenarios: [(SchemeKind, Option<Straggler>, bool); 7] = [
+        (SchemeKind::Csio, None, false),
+        (SchemeKind::Csio, None, true),
+        (SchemeKind::Hash, None, true),
+        (SchemeKind::Csio, Some(straggler), false),
+        (SchemeKind::Csio, Some(straggler), true),
+        (SchemeKind::Hash, Some(straggler), false),
+        (SchemeKind::Hash, Some(straggler), true),
+    ];
+    let adaptive_on = AdaptiveConfig::default();
+    let mut rows = Vec::new();
+    for (kind, stg, reassign) in scenarios {
+        let cfg = OperatorConfig {
+            mode: ExecMode::Pipelined,
+            output_work: OutputWork::Count,
+            adaptive: AdaptiveConfig {
+                reassign,
+                ..adaptive_on
+            },
+            straggler: stg,
+            ..rc.operator_config(&w)
+        };
+        let run = run_operator(kind, &w.r1, &w.r2, &w.cond, &cfg);
+        // The simulation has no straggler model; predictions pair with the
+        // fault-free runs only.
+        let predicted = (stg.is_none() && reassign)
+            .then(|| predicted_reassignments(&w, kind, rc, &adaptive_on));
+        rows.push(AdaptiveRow {
+            scheme: kind,
+            straggler: stg.is_some(),
+            reassign,
+            run,
+            predicted,
+        });
+    }
+    (rows, w)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut rc = RunConfig::from_args();
@@ -44,11 +166,14 @@ fn main() {
     if !args.iter().any(|a| a == "--scale") {
         rc.scale = 0.25;
     }
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let path_arg = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = path_arg("--json");
+    let adaptive_json_path = path_arg("--adaptive-json");
 
     // The hot-key join's output is quadratic in the whale SKU; Count mode
     // keeps the comparison about routing and memory, not output touching.
@@ -64,6 +189,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for (w, work) in &workloads {
+        check_pipelined_scale(w, &rc.operator_config(w));
         let batch = run_mode(w, &rc, ExecMode::Batch, *work);
         let pipe = run_mode(w, &rc, ExecMode::Pipelined, *work);
         assert_eq!(
@@ -108,6 +234,7 @@ fn main() {
                 format!("{:.4}", j.wall_join_secs),
                 j.morsels_routed.to_string(),
                 format!("{:.4}", j.backpressure_secs),
+                j.regions_migrated.to_string(),
             ]
         })
         .collect();
@@ -122,8 +249,59 @@ fn main() {
             "join_wall_s",
             "morsels",
             "backpressure_s",
+            "migrations",
         ],
         &table,
+    );
+
+    // Run-time skew resilience: migration on/off, with and without an
+    // injected straggler, against the simulation's predicted counts.
+    // Migration needs several reducer tasks to exist at all; oversubscribe
+    // the cores if the host has fewer (blocked tasks yield the CPU). One
+    // config for the runs *and* the JSON metadata below.
+    let adaptive_rc = RunConfig {
+        threads: rc.threads.max(4),
+        ..rc
+    };
+    let (adaptive_rows, aw) = adaptive_section(&adaptive_rc);
+    let atable: Vec<Vec<String>> = adaptive_rows
+        .iter()
+        .map(|r| {
+            let j = &r.run.join;
+            vec![
+                r.scheme.to_string(),
+                if r.straggler { "slow-reducer" } else { "none" }.to_string(),
+                if r.reassign { "on" } else { "off" }.to_string(),
+                format!("{:.4}", j.wall_join_secs),
+                format!("{:.4}", idle_sum(&r.run)),
+                j.regions_migrated.to_string(),
+                j.migration_tuples.to_string(),
+                format!("{:.4}", j.migration_secs),
+                r.predicted
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "runtime region migration ({}, scale {}, straggler = {} ns/tuple on one reducer)",
+            aw.name,
+            rc.scale * 4.0,
+            STRAGGLER_NANOS_PER_TUPLE
+        ),
+        &[
+            "init_scheme",
+            "fault",
+            "migration",
+            "join_wall_s",
+            "reducer_idle_s",
+            "migrations",
+            "migr_tuples",
+            "migr_handshake_s",
+            "sim_predicted",
+        ],
+        &atable,
     );
 
     let mut json = String::from("{\n");
@@ -134,7 +312,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let j = &r.run.join;
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"peak_resident_bytes\": {}, \"shuffle_bytes\": {}, \"network_tuples\": {}, \"join_wall_secs\": {:.6}, \"morsels_routed\": {}, \"backpressure_secs\": {:.6}}}{}\n",
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"peak_resident_bytes\": {}, \"shuffle_bytes\": {}, \"network_tuples\": {}, \"join_wall_secs\": {:.6}, \"morsels_routed\": {}, \"backpressure_secs\": {:.6}, \"regions_migrated\": {}, \"migration_tuples\": {}, \"migration_secs\": {:.6}}}{}\n",
             json_escape(&r.workload),
             r.mode,
             j.output_total,
@@ -145,16 +323,65 @@ fn main() {
             j.wall_join_secs,
             j.morsels_routed,
             j.backpressure_secs,
+            j.regions_migrated,
+            j.migration_tuples,
+            j.migration_secs,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     json.push_str("  ]\n}\n");
 
+    let mut ajson = String::from("{\n");
+    ajson.push_str(&format!(
+        "  \"bench\": \"runtime_migration\",\n  \"workload\": \"{}\",\n  \"scale\": {},\n  \"j\": {},\n  \"threads\": {},\n  \"seed\": {},\n  \"straggler_nanos_per_tuple\": {},\n  \"results\": [\n",
+        json_escape(&aw.name),
+        adaptive_rc.scale * 4.0,
+        adaptive_rc.j,
+        adaptive_rc.threads,
+        adaptive_rc.seed,
+        STRAGGLER_NANOS_PER_TUPLE
+    ));
+    for (i, r) in adaptive_rows.iter().enumerate() {
+        let j = &r.run.join;
+        ajson.push_str(&format!(
+            "    {{\"init_scheme\": \"{}\", \"straggler\": {}, \"migration\": {}, \"join_wall_secs\": {:.6}, \"reducer_idle_secs\": {:.6}, \"regions_migrated\": {}, \"migration_tuples\": {}, \"migration_secs\": {:.6}, \"sim_predicted_reassignments\": {}}}{}\n",
+            r.scheme,
+            r.straggler,
+            r.reassign,
+            j.wall_join_secs,
+            idle_sum(&r.run),
+            j.regions_migrated,
+            j.migration_tuples,
+            j.migration_secs,
+            r.predicted
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 < adaptive_rows.len() { "," } else { "" },
+        ));
+    }
+    ajson.push_str("  ]\n}\n");
+
+    // Stdout carries at most one JSON document (`... | jq .` keeps
+    // working): the pipeline report unless --json redirected it to a file,
+    // then the adaptive report unless --adaptive-json did likewise.
+    let pipeline_on_stdout = json_path.is_none();
     match json_path {
         Some(path) => {
             std::fs::write(&path, &json).expect("writing the JSON report failed");
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
+    }
+    match adaptive_json_path {
+        Some(path) => {
+            std::fs::write(&path, &ajson).expect("writing the adaptive JSON report failed");
+            eprintln!("wrote {path}");
+        }
+        None if pipeline_on_stdout => {
+            eprintln!(
+                "adaptive JSON suppressed (one document per stdout); pass --adaptive-json PATH"
+            )
+        }
+        None => print!("{ajson}"),
     }
 }

@@ -104,6 +104,29 @@ pub fn mib(bytes: u64) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
 }
 
+/// Warns (stderr) when a workload is too small for pipelined-vs-batch
+/// peak-memory comparisons to mean anything: below ~3× the engine's bounded
+/// buffers (reducer queues + in-flight morsels + probe chunks) most of the
+/// input fits in flight at once and "peak resident" legitimately approaches
+/// the total — the small-scale footgun documented after PR 2. Returns
+/// whether the workload is safely above the floor, so claims tests can
+/// assert on it.
+pub fn check_pipelined_scale(w: &Workload, cfg: &OperatorConfig) -> bool {
+    let floor = cfg.min_pipelined_input_tuples();
+    let ok = w.n_input() >= floor;
+    if !ok {
+        eprintln!(
+            "warning: workload `{}` has {} input tuples, below the ~{} floor where \
+             pipelined peak-resident comparisons are meaningful (inputs must dwarf the \
+             engine's bounded buffers); grow --scale or shrink queue/morsel sizes",
+            w.name,
+            w.n_input(),
+            floor
+        );
+    }
+    ok
+}
+
 /// Prints a TSV header followed by rows (all binaries emit
 /// machine-greppable TSV so EXPERIMENTS.md can quote them directly).
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

@@ -21,7 +21,9 @@
 pub mod harness;
 pub mod workloads;
 
-pub use harness::{mib, print_table, rho_oi, run_all_schemes, run_scheme, RunConfig};
+pub use harness::{
+    check_pipelined_scale, mib, print_table, rho_oi, run_all_schemes, run_scheme, RunConfig,
+};
 pub use workloads::{
     bcb, beocd, beocd_gamma, bicd, encode_beocd, fig4a_workloads, retail_hotkey, Workload,
     BEOCD_SHIFT, RETAIL_N,

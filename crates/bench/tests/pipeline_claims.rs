@@ -1,11 +1,28 @@
 //! Acceptance claims of the pipelined engine on the real evaluation
-//! workloads: identical joins to the batch oracle, and peak resident memory
+//! workloads: identical joins to the batch oracle, peak resident memory
 //! strictly below the batch path's full-shuffle materialization on both the
-//! Zipf-skewed paper workloads and the hot-key retail scenario.
+//! Zipf-skewed paper workloads and the hot-key retail scenario, and the
+//! run-time migration claims — a straggling reducer's makespan and idle
+//! time recover with migration on, while balanced CSIO runs migrate ≈0
+//! regions, matching the adaptive simulation's prediction.
 
-use ewh_bench::{bcb, retail_hotkey, RunConfig, Workload};
+use std::sync::{Mutex, MutexGuard};
+
+use ewh_bench::{bcb, check_pipelined_scale, retail_hotkey, RunConfig, Workload};
 use ewh_core::SchemeKind;
-use ewh_exec::{run_operator, ExecMode, OperatorConfig, OutputWork};
+use ewh_exec::{
+    run_operator, AdaptiveConfig, ExecMode, OperatorConfig, OperatorRun, OutputWork, Straggler,
+};
+
+/// These tests assert on timing-sensitive properties (peak resident memory,
+/// idle time, migration counts) and one of them sleeps hard; running them
+/// concurrently on a small host starves each other's reducers and turns
+/// genuine claims flaky. Serialize them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn run_both(
     w: &Workload,
@@ -41,6 +58,7 @@ fn run_both(
 
 #[test]
 fn pipelined_peak_memory_beats_batch_on_zipf_and_hotkey_workloads() {
+    let _serial = serial();
     // The claim needs inputs comfortably larger than the engine's bounded
     // buffers (queues + probe chunks); at toy sizes everything fits in
     // flight and peak legitimately reaches the total. The hot-key join runs
@@ -57,6 +75,14 @@ fn pipelined_peak_memory_beats_batch_on_zipf_and_hotkey_workloads() {
         (retail_hotkey(1.0, rc.seed), OutputWork::Count),
     ];
     for (w, work) in &workloads {
+        // The comparison below is only meaningful above the small-scale
+        // floor (inputs must dwarf the engine's bounded buffers) — assert
+        // it so a future scale tweak cannot silently hollow the claim out.
+        assert!(
+            check_pipelined_scale(w, &rc.operator_config(w)),
+            "{}: workload too small for a meaningful peak-memory claim",
+            w.name
+        );
         let (batch, pipe) = run_both(w, &rc, *work);
         assert_eq!(
             pipe.join.output_total, batch.join.output_total,
@@ -77,8 +103,100 @@ fn pipelined_peak_memory_beats_batch_on_zipf_and_hotkey_workloads() {
     }
 }
 
+fn migration_run(
+    w: &Workload,
+    rc: &RunConfig,
+    reassign: bool,
+    straggler: Option<Straggler>,
+) -> OperatorRun {
+    let cfg = OperatorConfig {
+        mode: ExecMode::Pipelined,
+        output_work: OutputWork::Count,
+        adaptive: AdaptiveConfig {
+            reassign,
+            ..Default::default()
+        },
+        straggler,
+        ..rc.operator_config(w)
+    };
+    run_operator(SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg)
+}
+
+fn idle_sum(run: &OperatorRun) -> f64 {
+    run.join.reducer_idle_secs.iter().sum()
+}
+
+#[test]
+fn migration_recovers_a_straggling_reducer() {
+    let _serial = serial();
+    // An injected 20 µs/tuple straggler on one of several reducer tasks
+    // dominates the makespan when the placement is frozen; with the
+    // migration coordinator on, its regions move to idle reducers and both
+    // the wall time and the summed reducer idle time must drop. The margin
+    // is wide (the injected sleeps are a hard floor on the frozen run), so
+    // this is safe to assert in CI.
+    let rc = RunConfig {
+        scale: 1.0,
+        j: 16,
+        threads: 4,
+        ..Default::default()
+    };
+    let w = retail_hotkey(rc.scale, rc.seed);
+    let straggler = Some(Straggler {
+        reducer: 0,
+        nanos_per_tuple: 20_000,
+    });
+    let frozen = migration_run(&w, &rc, false, straggler);
+    let adaptive = migration_run(&w, &rc, true, straggler);
+
+    assert_eq!(frozen.join.output_total, adaptive.join.output_total);
+    assert_eq!(frozen.join.checksum, adaptive.join.checksum);
+    assert_eq!(frozen.join.regions_migrated, 0);
+    assert!(
+        adaptive.join.regions_migrated >= 1,
+        "the coordinator must move work off the straggler"
+    );
+    assert!(adaptive.join.migration_tuples > 0);
+    assert!(
+        adaptive.join.wall_join_secs < frozen.join.wall_join_secs,
+        "migration-on wall {} !< migration-off wall {}",
+        adaptive.join.wall_join_secs,
+        frozen.join.wall_join_secs
+    );
+    assert!(
+        idle_sum(&adaptive) < idle_sum(&frozen),
+        "migration-on idle {} !< migration-off idle {}",
+        idle_sum(&adaptive),
+        idle_sum(&frozen)
+    );
+}
+
+#[test]
+fn balanced_csio_runs_migrate_almost_nothing() {
+    let _serial = serial();
+    // The paper's §V argument, realized: CSIO's equi-weight initialization
+    // leaves nothing for run-time reassignment to fix, so with default
+    // thresholds the coordinator should (almost) never fire — matching the
+    // discrete-event simulation's prediction of zero steals for balanced
+    // placements.
+    let rc = RunConfig {
+        scale: 1.0,
+        j: 16,
+        threads: 4,
+        ..Default::default()
+    };
+    let w = retail_hotkey(rc.scale, rc.seed);
+    let run = migration_run(&w, &rc, true, None);
+    assert!(
+        run.join.regions_migrated <= 1,
+        "balanced CSIO run migrated {} regions",
+        run.join.regions_migrated
+    );
+}
+
 #[test]
 fn hotkey_workload_is_output_skewed_for_input_only_schemes() {
+    let _serial = serial();
     // The point of the retail scenario: CSI balances input tuples but the
     // hot key's output lands on one worker; CSIO splits by weight and must
     // end up with a strictly lighter max worker.

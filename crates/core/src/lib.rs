@@ -33,7 +33,9 @@ pub use histogram::HistogramParams;
 pub use join::{IneqOp, JoinCondition};
 pub use matrix::JoinMatrix;
 pub use region::Region;
-pub use router::{GridRouter, HashRouter, RandomRouter, Rel, RouteBatch, RouteBuckets, Router};
+pub use router::{
+    GridRouter, HashRouter, RandomRouter, Rel, RouteBatch, RouteBuckets, Router, RoutingTable,
+};
 pub use schemes::{
     build_ci, build_csi, build_csio, build_hash, BuildInfo, CsiParams, HashParams, PartitionScheme,
     SchemeKind,

@@ -7,6 +7,8 @@
 //! random row *band* of the J = a×b region grid and is replicated to the `b`
 //! regions of that band (§II-A).
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
 use rand::Rng;
 
 use crate::Key;
@@ -96,6 +98,84 @@ pub trait RouteBatch {
                 buckets.push(region, i as u32);
             }
         }
+    }
+}
+
+/// Epoch-versioned, shared-mutable region → owner map.
+///
+/// The pipelined engine publishes region ownership here instead of baking a
+/// `region → reducer` slice into the execution plan: mappers re-resolve the
+/// owner of every routed fragment at push time, so a migration coordinator
+/// can reassign a region mid-run with [`migrate`](RoutingTable::migrate) and
+/// all subsequent fragments re-route immediately. Every reassignment bumps a
+/// global *epoch*; fragments are stamped with the epoch observed at routing
+/// time, which lets consumers fence off in-flight data routed before a
+/// migration from data routed after it (see the engine's migration
+/// protocol).
+///
+/// Memory ordering contract: [`migrate`](RoutingTable::migrate) stores the
+/// new owner *before* bumping the epoch (both release-ordered), and readers
+/// load the epoch *before* the owner (both acquire-ordered). A reader that
+/// still observes the old owner therefore observed a pre-migration epoch,
+/// so a fragment that reaches a past owner is always stamped strictly below
+/// [`migrated_at`](RoutingTable::migrated_at) — the invariant the engine's
+/// forwarding fence asserts.
+#[derive(Debug)]
+pub struct RoutingTable {
+    owners: Vec<AtomicU32>,
+    /// Epoch of the last migration of each region (0 = never migrated).
+    migrated_at: Vec<AtomicU64>,
+    epoch: AtomicU64,
+}
+
+impl RoutingTable {
+    /// Builds the table from an initial placement (`owners[region]` = owning
+    /// consumer index). The initial placement is epoch 0.
+    pub fn new(owners: &[u32]) -> Self {
+        RoutingTable {
+            owners: owners.iter().map(|&q| AtomicU32::new(q)).collect(),
+            migrated_at: owners.iter().map(|_| AtomicU64::new(0)).collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Current owner of `region`.
+    #[inline]
+    pub fn owner_of(&self, region: u32) -> u32 {
+        self.owners[region as usize].load(Ordering::Acquire)
+    }
+
+    /// Current routing epoch (= number of migrations so far).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Epoch at which `region` was last migrated (0 = still at its initial
+    /// owner).
+    #[inline]
+    pub fn migrated_at(&self, region: u32) -> u64 {
+        self.migrated_at[region as usize].load(Ordering::Acquire)
+    }
+
+    /// Reassigns `region` to `to` and bumps the routing epoch; returns the
+    /// new epoch. See the type docs for the ordering contract.
+    pub fn migrate(&self, region: u32, to: u32) -> u64 {
+        self.owners[region as usize].store(to, Ordering::Release);
+        let new_epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.migrated_at[region as usize].store(new_epoch, Ordering::Release);
+        new_epoch
+    }
+
+    /// A point-in-time copy of the full owner map.
+    pub fn snapshot(&self) -> Vec<u32> {
+        (0..self.owners.len() as u32)
+            .map(|r| self.owner_of(r))
+            .collect()
     }
 }
 
@@ -450,6 +530,28 @@ mod tests {
             .map(|&r| buckets.region(r).len())
             .sum();
         assert_eq!(total, 100 * 8);
+    }
+
+    #[test]
+    fn routing_table_migrations_bump_the_epoch_and_reroute() {
+        let table = RoutingTable::new(&[0, 0, 1, 1]);
+        assert_eq!(table.n_regions(), 4);
+        assert_eq!(table.epoch(), 0);
+        assert_eq!(table.snapshot(), vec![0, 0, 1, 1]);
+        assert_eq!(table.migrated_at(2), 0, "never migrated");
+
+        let e1 = table.migrate(2, 0);
+        assert_eq!(e1, 1);
+        assert_eq!(table.owner_of(2), 0);
+        assert_eq!(table.migrated_at(2), 1);
+        assert_eq!(table.epoch(), 1);
+
+        let e2 = table.migrate(0, 1);
+        assert_eq!(e2, 2);
+        assert_eq!(table.snapshot(), vec![1, 0, 0, 1]);
+        // Regions keep their own last-migration epoch.
+        assert_eq!(table.migrated_at(0), 2);
+        assert_eq!(table.migrated_at(2), 1);
     }
 
     #[test]

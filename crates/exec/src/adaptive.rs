@@ -24,17 +24,33 @@ pub struct TaskSpec {
     pub input_tuples: u64,
 }
 
-/// Adaptive execution knobs.
+/// Adaptive execution knobs — shared by the discrete-event [`simulate`] and
+/// the real pipelined engine's migration coordinator
+/// (`ewh_exec::engine`), so predicted and realized reassignment behavior
+/// can be compared under one configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct AdaptiveConfig {
-    /// Enable idle-steals-from-busiest reassignment.
+    /// Enable idle-steals-from-busiest reassignment (in the engine: the
+    /// run-time region migration coordinator).
     pub reassign: bool,
     /// Cost of re-shipping one tuple of a stolen region, as a fraction of
     /// the input cost `wi` (the "tuples move twice" penalty; 1.0 means a
-    /// moved region pays its input cost again in full).
+    /// moved region pays its input cost again in full). The engine uses the
+    /// same factor unit-free: a migration is profitable only when the
+    /// victim's tuple backlog exceeds `move_cost_factor ×` the shipped
+    /// region state, so `wi` cancels out of the comparison.
     pub move_cost_factor: f64,
-    /// `wi` in milli-units (to convert moved tuples into work).
+    /// `wi` in milli-units (to convert moved tuples into work). Simulation
+    /// only.
     pub wi_milli: u64,
+    /// Engine only: queue backlog, in tuples, at which a busy reducer
+    /// becomes a migration victim while another reducer sits idle.
+    pub migrate_backlog_tuples: usize,
+    /// Engine only: the migration coordinator's poll interval.
+    pub poll_micros: u64,
+    /// Engine only: cap on run-time region migrations per execution (each
+    /// region migrates at most once regardless).
+    pub max_migrations: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -43,6 +59,12 @@ impl Default for AdaptiveConfig {
             reassign: true,
             move_cost_factor: 1.0,
             wi_milli: 1000,
+            // Half the default queue capacity (`OperatorConfig::queue_tuples`
+            // = 4096): a reducer with a persistently half-full queue while a
+            // sibling idles is a genuine straggler, not noise.
+            migrate_backlog_tuples: 2048,
+            poll_micros: 200,
+            max_migrations: usize::MAX,
         }
     }
 }
@@ -186,6 +208,7 @@ mod tests {
             reassign: true,
             move_cost_factor: 1.0,
             wi_milli: 1000,
+            ..Default::default()
         };
         let out = simulate(&tasks, &assignment, 4, &cfg);
         assert_eq!(out.reassignments, 0);
@@ -197,6 +220,7 @@ mod tests {
             reassign: true,
             move_cost_factor: 0.0,
             wi_milli: 1000,
+            ..Default::default()
         };
         let out = simulate(&tasks, &assignment, 4, &cheap);
         assert!(out.reassignments > 0);

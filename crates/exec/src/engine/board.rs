@@ -1,0 +1,129 @@
+//! The shared progress board: reducer heartbeats the migration coordinator
+//! reads when deciding whether (and what) to migrate.
+//!
+//! Reducers publish lightweight progress signals as they work — whether they
+//! are blocked on an empty queue, how many of their regions are sealed, how
+//! many probe chunks they have swept, and per-region absorbed volumes. All
+//! fields are relaxed atomics: the board is advisory input to a heuristic,
+//! never part of the correctness protocol (queue FIFO order and the
+//! in-flight accounting in `mod.rs` are what guarantee correctness), so a
+//! momentarily stale read costs at most one deferred or spurious migration
+//! decision.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared progress heartbeats: one slot per reducer task plus one per
+/// region.
+#[derive(Debug)]
+pub struct ProgressBoard {
+    /// Per reducer: currently blocked on (or about to block on) its queue.
+    idle: Vec<AtomicBool>,
+    /// Per reducer: regions whose build side has been sealed (merged).
+    regions_sealed: Vec<AtomicU64>,
+    /// Per reducer: probe chunks swept so far.
+    chunks_swept: Vec<AtomicU64>,
+    /// Per region: probe (`R2`) tuples absorbed so far — the coordinator's
+    /// proxy for a region's share of the remaining probe stream.
+    region_probe: Vec<AtomicU64>,
+    /// Per region: build (`R1`) tuples absorbed so far — the coordinator's
+    /// estimate of how much state a migration would ship.
+    region_build: Vec<AtomicU64>,
+}
+
+impl ProgressBoard {
+    pub fn new(reducers: usize, n_regions: usize) -> Self {
+        ProgressBoard {
+            idle: (0..reducers).map(|_| AtomicBool::new(false)).collect(),
+            regions_sealed: (0..reducers).map(|_| AtomicU64::new(0)).collect(),
+            chunks_swept: (0..reducers).map(|_| AtomicU64::new(0)).collect(),
+            region_probe: (0..n_regions).map(|_| AtomicU64::new(0)).collect(),
+            region_build: (0..n_regions).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn reducers(&self) -> usize {
+        self.idle.len()
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.region_probe.len()
+    }
+
+    #[inline]
+    pub fn set_idle(&self, reducer: usize, idle: bool) {
+        self.idle[reducer].store(idle, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn is_idle(&self, reducer: usize) -> bool {
+        self.idle[reducer].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn note_region_sealed(&self, reducer: usize) {
+        self.regions_sealed[reducer].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn regions_sealed(&self, reducer: usize) -> u64 {
+        self.regions_sealed[reducer].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn note_chunk_swept(&self, reducer: usize) {
+        self.chunks_swept[reducer].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn chunks_swept(&self, reducer: usize) -> u64 {
+        self.chunks_swept[reducer].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn add_probe(&self, region: u32, tuples: u64) {
+        self.region_probe[region as usize].fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    pub fn probe_tuples(&self, region: u32) -> u64 {
+        self.region_probe[region as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn add_build(&self, region: u32, tuples: u64) {
+        self.region_build[region as usize].fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    pub fn build_tuples(&self, region: u32) -> u64 {
+        self.region_build[region as usize].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeats_accumulate_per_slot() {
+        let b = ProgressBoard::new(2, 3);
+        assert_eq!(b.reducers(), 2);
+        assert_eq!(b.n_regions(), 3);
+
+        b.set_idle(1, true);
+        assert!(!b.is_idle(0));
+        assert!(b.is_idle(1));
+        b.set_idle(1, false);
+        assert!(!b.is_idle(1));
+
+        b.note_region_sealed(0);
+        b.note_region_sealed(0);
+        b.note_chunk_swept(1);
+        assert_eq!(b.regions_sealed(0), 2);
+        assert_eq!(b.regions_sealed(1), 0);
+        assert_eq!(b.chunks_swept(1), 1);
+
+        b.add_probe(2, 10);
+        b.add_probe(2, 5);
+        b.add_build(0, 7);
+        assert_eq!(b.probe_tuples(2), 15);
+        assert_eq!(b.build_tuples(0), 7);
+        assert_eq!(b.probe_tuples(0), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The migration coordinator: the control-plane task of the pipelined
+//! engine's run-time skew handling.
+//!
+//! The coordinator owns two responsibilities:
+//!
+//! 1. **Straggler detection and region migration** (§V's SkewTune-style
+//!    run-time reassignment, made real). Once every `R1` morsel has been
+//!    routed, it polls the [`ProgressBoard`] and the reducer queues; when
+//!    some reducer sits idle on an empty queue while another's backlog
+//!    exceeds `AdaptiveConfig::migrate_backlog_tuples`, it picks the
+//!    victim's hottest not-yet-migrated region (by absorbed probe volume),
+//!    checks the move is profitable (`backlog > move_cost_factor × shipped
+//!    state`), redirects the region in the shared
+//!    [`RoutingTable`](ewh_core::RoutingTable) — so every subsequent probe
+//!    fragment re-routes immediately — and asks the old owner to ship its
+//!    sealed state to the new owner ([`Delivery::Migrate`]). Handshakes are
+//!    serialized: a new migration starts only after the previous adoption
+//!    completed, which keeps the latency accounting exact and gives the
+//!    pipeline time to react before the next decision.
+//!
+//! 2. **Quiescence-driven termination.** With migrations in play, `SealAll`
+//!    no longer means "no more data can reach you": migrated state and
+//!    fenced-off fragments travel reducer → reducer after the mappers exit.
+//!    The coordinator therefore broadcasts [`Delivery::Finish`] only when
+//!    the mappers have joined, every routed tuple has been absorbed into
+//!    some region's state (`in_flight == 0`), and no migration handshake is
+//!    pending — at which point no queue can ever receive data again.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ewh_core::RoutingTable;
+
+use crate::adaptive::AdaptiveConfig;
+
+use super::board::ProgressBoard;
+use super::mapper::broadcast;
+use super::queue::{BoundedQueue, Delivery};
+
+/// Everything the coordinator task reads and writes, shared by reference
+/// across the engine's scoped threads.
+pub struct CoordinatorShared<'a> {
+    pub queues: &'a [BoundedQueue],
+    pub table: &'a RoutingTable,
+    pub board: &'a ProgressBoard,
+    pub adaptive: &'a AdaptiveConfig,
+    /// Unrouted `R1` morsels; migrations only start at zero (regions must be
+    /// sealable before their build state can ship).
+    pub r1_remaining: &'a AtomicUsize,
+    /// Set by the orchestrator once every mapper has joined cleanly.
+    pub mappers_done: &'a AtomicBool,
+    /// Set by the orchestrator when the run was cancelled; the coordinator
+    /// exits without broadcasting `Finish` (the orchestrator aborts).
+    pub abort: &'a AtomicBool,
+    /// Tuples routed into queues but not yet absorbed into region state.
+    pub in_flight: &'a AtomicU64,
+    /// Completed adoptions (incremented by the adopting reducer).
+    pub adoptions: &'a AtomicU64,
+}
+
+/// What the coordinator did over one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrationTally {
+    /// Regions reassigned at run time.
+    pub regions_migrated: u64,
+    /// Summed handshake latency: decision → adoption installed, including
+    /// the time the old owner spent draining its queue down to the
+    /// `Migrate` message.
+    pub migration_secs: f64,
+}
+
+/// Polls a starvation pattern must survive before any migration fires at
+/// all: a single-poll blip (an OS scheduling hiccup, a queue momentarily
+/// draining) must never move a region.
+const MIN_PERSIST_POLLS: u32 = 2;
+
+/// Polls a starvation pattern must survive before the one-shot
+/// profitability gate is waived: a queue-capacity-bounded backlog snapshot
+/// systematically undervalues a *persistent* straggler (the backlog refills
+/// as fast as it drains), so a condition that holds this many consecutive
+/// polls migrates regardless of the move cost.
+const PERSIST_POLLS: u32 = 10;
+
+/// Runs the coordinator until the run is quiescent (broadcasts `Finish`) or
+/// aborted (exits silently; the orchestrator broadcasts `Abort`).
+pub fn run_coordinator(sh: &CoordinatorShared<'_>) -> MigrationTally {
+    // The orchestrator only spawns a coordinator under the coordinated
+    // protocol; with `reassign` off, reducers terminate on `SealAll` and no
+    // one would consume a `Finish`.
+    debug_assert!(
+        sh.adaptive.reassign,
+        "coordinator spawned with reassign off"
+    );
+    let mut tally = MigrationTally::default();
+    let mut started = 0u64;
+    let mut migrated = vec![false; sh.table.n_regions()];
+    let mut pending_since: Option<Instant> = None;
+    let mut starved_polls = 0u32;
+    let poll = Duration::from_micros(sh.adaptive.poll_micros.max(1));
+
+    loop {
+        if sh.abort.load(Ordering::Acquire) {
+            return tally;
+        }
+        let adopted = sh.adoptions.load(Ordering::Acquire);
+        if let Some(t0) = pending_since {
+            if adopted == started {
+                tally.migration_secs += t0.elapsed().as_secs_f64();
+                pending_since = None;
+            }
+        }
+        if pending_since.is_none()
+            && sh.mappers_done.load(Ordering::Acquire)
+            && sh.in_flight.load(Ordering::Acquire) == 0
+        {
+            broadcast(sh.queues, || Delivery::Finish);
+            return tally;
+        }
+        if pending_since.is_none()
+            && started < sh.adaptive.max_migrations as u64
+            && sh.r1_remaining.load(Ordering::Acquire) == 0
+        {
+            match try_migrate(sh, &mut migrated, starved_polls) {
+                Decision::Migrated => {
+                    started += 1;
+                    tally.regions_migrated += 1;
+                    pending_since = Some(Instant::now());
+                    starved_polls = 0;
+                }
+                Decision::Starved => starved_polls += 1,
+                Decision::Balanced => starved_polls = 0,
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+enum Decision {
+    /// A handshake was started.
+    Migrated,
+    /// The straggler pattern is present but no profitable move exists (yet).
+    Starved,
+    /// No idle-while-backlogged pair observed.
+    Balanced,
+}
+
+/// One migration decision. `starved_polls` counts how many consecutive
+/// prior polls already observed the starvation pattern — migrations need
+/// [`MIN_PERSIST_POLLS`] of history, and [`PERSIST_POLLS`] waive the
+/// move-cost gate entirely.
+fn try_migrate(sh: &CoordinatorShared<'_>, migrated: &mut [bool], starved_polls: u32) -> Decision {
+    let reducers = sh.queues.len();
+    // A target must be demonstrably starved: blocked on an empty queue.
+    let Some(target) =
+        (0..reducers).find(|&q| sh.board.is_idle(q) && sh.queues[q].used_tuples() == 0)
+    else {
+        return Decision::Balanced;
+    };
+    // The victim is the busiest non-idle reducer by queued backlog.
+    let Some((victim, backlog)) = (0..reducers)
+        .filter(|&q| q != target && !(sh.board.is_idle(q) && sh.queues[q].used_tuples() == 0))
+        .map(|q| (q, sh.queues[q].used_tuples()))
+        .max_by_key(|&(_, used)| used)
+    else {
+        return Decision::Balanced;
+    };
+    if backlog < sh.adaptive.migrate_backlog_tuples.max(1) {
+        return Decision::Balanced;
+    }
+    // Hottest not-yet-migrated region of the victim, by absorbed probe
+    // volume (the best available proxy for its share of the remaining
+    // stream); ties broken by build volume.
+    let owners = sh.table.snapshot();
+    let candidate = (0..owners.len() as u32)
+        .filter(|&r| owners[r as usize] as usize == victim && !migrated[r as usize])
+        .max_by_key(|&r| (sh.board.probe_tuples(r), sh.board.build_tuples(r)));
+    let Some(region) = candidate else {
+        return Decision::Starved;
+    };
+    // Profitability, mirroring the simulation's thief-finishes-first test
+    // with `wi` cancelled out: the backlog a move relieves must exceed the
+    // re-shipping cost of the region's accumulated build state. Waived
+    // under persistent starvation (see [`PERSIST_POLLS`]); conversely even
+    // a profitable move needs a little history ([`MIN_PERSIST_POLLS`]).
+    let ship_cost = sh.board.build_tuples(region) as f64 * sh.adaptive.move_cost_factor;
+    let profitable = (backlog as f64) > ship_cost;
+    let fire = starved_polls >= PERSIST_POLLS || (profitable && starved_polls >= MIN_PERSIST_POLLS);
+    if !fire {
+        return Decision::Starved;
+    }
+    migrated[region as usize] = true;
+    sh.table.migrate(region, target as u32);
+    sh.queues[victim].push_unbounded(Delivery::Migrate { region });
+    Decision::Migrated
+}

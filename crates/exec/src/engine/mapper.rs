@@ -2,6 +2,15 @@
 //! router, and push per-region fragments into the owning reducers' bounded
 //! queues.
 //!
+//! Ownership is *not* baked into the plan: every fragment resolves its
+//! destination through the shared epoch-versioned
+//! [`RoutingTable`](ewh_core::RoutingTable) at push time, so a region the
+//! migration coordinator reassigns mid-run re-routes all subsequent
+//! fragments immediately. Each fragment is stamped with the routing epoch
+//! observed *before* the owner lookup — the reducer-side migration fence
+//! relies on the table's ordering contract (owner stored before the epoch
+//! bump) to tell pre-migration stragglers from post-migration traffic.
+//!
 //! Mappers coordinate the *seal protocol* without a central barrier: two
 //! atomic countdowns (one per relation) track unrouted morsels, and the
 //! mapper that finishes the last morsel of a relation broadcasts the seal to
@@ -14,7 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use ewh_core::{Key, Rel, RouteBatch, RouteBuckets, Router, Tuple};
+use ewh_core::{Key, Rel, RouteBatch, RouteBuckets, Router, RoutingTable, Tuple};
 
 use super::morsel::{MemGauge, MorselPlan};
 use super::queue::{BoundedQueue, Delivery, RegionBatch};
@@ -26,8 +35,8 @@ pub struct MapperShared<'a> {
     pub r1: &'a [Tuple],
     pub r2: &'a [Tuple],
     pub router: &'a Router,
-    /// Region id → owning reducer queue index.
-    pub region_to_reducer: &'a [u32],
+    /// Region id → owning reducer, re-read per fragment (see module docs).
+    pub table: &'a RoutingTable,
     pub queues: &'a [BoundedQueue],
     /// Unrouted `R1` morsels; hitting zero triggers the `SealR1` broadcast.
     pub r1_remaining: &'a AtomicUsize,
@@ -39,6 +48,10 @@ pub struct MapperShared<'a> {
     pub gauge: &'a MemGauge,
     pub network_tuples: &'a AtomicU64,
     pub morsels_routed: &'a AtomicU64,
+    /// Tuples routed but not yet absorbed into some region's state —
+    /// incremented here per pushed fragment, decremented by reducers on
+    /// absorption. The coordinator's quiescence test.
+    pub in_flight: &'a AtomicU64,
     pub seed: u64,
     /// Cooperative cancellation: checked between morsels.
     pub cancel: &'a AtomicBool,
@@ -53,7 +66,7 @@ pub struct MapperTask<'a> {
 
 impl<'a> MapperTask<'a> {
     pub fn new(shared: &'a MapperShared<'a>) -> Self {
-        let n_regions = shared.region_to_reducer.len();
+        let n_regions = shared.table.n_regions();
         MapperTask {
             shared,
             buckets: RouteBuckets::new(n_regions),
@@ -110,10 +123,16 @@ impl<'a> MapperTask<'a> {
             sh.gauge.add(fragment.len() as u64);
             sh.network_tuples
                 .fetch_add(fragment.len() as u64, Ordering::Relaxed);
-            let queue = &sh.queues[sh.region_to_reducer[region as usize] as usize];
-            queue.push(Delivery::Batch(RegionBatch {
+            sh.in_flight
+                .fetch_add(fragment.len() as u64, Ordering::AcqRel);
+            // Epoch before owner: the table's ordering contract makes a
+            // stale-owner push always carry a pre-migration stamp.
+            let epoch = sh.table.epoch();
+            let owner = sh.table.owner_of(region);
+            sh.queues[owner as usize].push(Delivery::Batch(RegionBatch {
                 region,
                 rel,
+                epoch,
                 tuples: fragment,
             }));
         }
@@ -121,9 +140,10 @@ impl<'a> MapperTask<'a> {
     }
 }
 
-/// Pushes one control message to every reducer queue.
+/// Pushes one control message to every reducer queue (bypassing the bound —
+/// control must never deadlock behind a full queue).
 pub fn broadcast(queues: &[BoundedQueue], mut make: impl FnMut() -> Delivery) {
     for q in queues {
-        q.push(make());
+        q.push_unbounded(make());
     }
 }

@@ -8,36 +8,61 @@
 //!   shared [`MorselPlan`] and batch-route them through the scheme's
 //!   [`Router`] ([`ewh_core::RouteBatch`]), pushing per-region fragments to
 //!   the owning reducer's bounded queue (backpressure: a full queue blocks
-//!   the mapper).
+//!   the mapper). Ownership is resolved per fragment through the shared
+//!   epoch-versioned [`ewh_core::RoutingTable`] — never baked into the plan.
 //! * **Reducers** build each owned region's sorted `R1` state incrementally
 //!   from the arriving fragments. When the last `R1` morsel is routed, the
 //!   finishing mapper broadcasts a seal; reducers merge their sorted runs
 //!   and from then on sweep `R2` probe chunks immediately, freeing each
 //!   chunk after its sweep. The full probe side is never resident.
+//! * A **migration coordinator** (`coordinator` module) watches reducer
+//!   heartbeats on the shared [`ProgressBoard`] after the `R1` seal and
+//!   reassigns regions from backlogged reducers to idle ones at run time —
+//!   the paper's §V adaptive skew handling made real inside the engine. Its
+//!   behavior is driven by the same [`AdaptiveConfig`] as the discrete-event
+//!   simulation in [`crate::simulate_adaptive`], so predicted and realized
+//!   reassignment counts can be compared.
 //!
 //! Peak resident memory is tracked by a cluster-wide [`MemGauge`]; a
 //! completed run reports it alongside per-reducer busy/idle time,
-//! backpressure stalls, and routed-morsel counts.
+//! backpressure stalls, routed-morsel counts, and migration tallies.
 
+mod board;
+mod coordinator;
 mod mapper;
 mod morsel;
 mod queue;
 mod reducer;
 
+pub use board::ProgressBoard;
 pub use morsel::{MemGauge, Morsel, MorselPlan};
-pub use queue::{BoundedQueue, Delivery, RegionBatch};
+pub use queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 pub use reducer::{merge_sorted_runs, RegionResult};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
 
-use ewh_core::{JoinCondition, Router, Tuple};
+use ewh_core::{JoinCondition, Router, RoutingTable, Tuple};
 
+use crate::adaptive::AdaptiveConfig;
 use crate::local_join::OutputWork;
 
+use coordinator::{run_coordinator, CoordinatorShared};
 use mapper::{broadcast, MapperShared, MapperTask};
-use reducer::{ReducerOutcome, ReducerTask};
+use reducer::{ReducerOutcome, ReducerShared, ReducerTask};
+
+/// Fault injection: slow one reducer's absorption path down by a fixed cost
+/// per tuple, emulating a straggling node. Used by benchmarks and tests to
+/// demonstrate (and assert) that run-time region migration recovers the
+/// makespan a straggler would otherwise dominate.
+#[derive(Clone, Copy, Debug)]
+pub struct Straggler {
+    /// Index of the reducer task to slow down.
+    pub reducer: usize,
+    /// Injected processing cost per absorbed tuple.
+    pub nanos_per_tuple: u64,
+}
 
 /// Engine tuning knobs (derived from `OperatorConfig` by the operator
 /// layer).
@@ -53,6 +78,12 @@ pub struct EngineConfig {
     pub probe_chunk: usize,
     pub seed: u64,
     pub work: OutputWork,
+    /// Run-time migration knobs (shared with the adaptive simulation).
+    /// `adaptive.reassign` selects the coordinated protocol; with it off the
+    /// engine runs the legacy fixed-placement seal protocol.
+    pub adaptive: AdaptiveConfig,
+    /// Optional injected straggler (see [`Straggler`]).
+    pub straggler: Option<Straggler>,
 }
 
 impl EngineConfig {
@@ -73,6 +104,8 @@ impl EngineConfig {
             probe_chunk: (morsel_tuples / 4).max(64),
             seed,
             work: OutputWork::Touch,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
         }
     }
 }
@@ -85,7 +118,8 @@ pub struct EngineOutcome {
     pub per_region_output: Vec<u64>,
     pub per_region_checksum: Vec<u64>,
     /// Tuples pushed mapper → reducer (== the batch path's network volume
-    /// for deterministic routers).
+    /// for deterministic routers). Migration shipping is accounted
+    /// separately in [`EngineOutcome::migration_tuples`].
     pub network_tuples: u64,
     /// High-water mark of resident routed tuples across the cluster.
     pub peak_resident_tuples: u64,
@@ -96,8 +130,20 @@ pub struct EngineOutcome {
     pub busy_secs: Vec<f64>,
     pub idle_secs: Vec<f64>,
     pub wall_secs: f64,
-    /// True when the run was cancelled; all tallies except morsel/network
-    /// counters are zeroed (reducer state is discarded).
+    /// Regions reassigned between reducers at run time.
+    pub regions_migrated: u64,
+    /// Tuples of sealed state shipped reducer → reducer by migrations.
+    pub migration_tuples: u64,
+    /// Summed migration handshake latency (decision → adoption installed).
+    pub migration_secs: f64,
+    /// Final routing-table epoch (== `regions_migrated`; separate so tests
+    /// can cross-check the table against the coordinator's tally).
+    pub routing_epoch: u64,
+    /// True when the run was cancelled. Per-region join tallies are zeroed
+    /// (reducer state is discarded), but morsel/network counters and the
+    /// migration fields above are preserved: they describe real work done —
+    /// and real mutations to the shared routing table, which a resumed run
+    /// over the same table inherits — before the cancellation landed.
     pub cancelled: bool,
 }
 
@@ -113,10 +159,11 @@ impl EngineOutcome {
 
 /// Runs one pipelined join execution.
 ///
-/// `region_to_reducer[r]` names the reducer task owning region `r` (values
-/// `< cfg.reducers`); the operator layer computes it with LPT over estimated
-/// region weights. `cancel` is checked by mappers between morsels; a
-/// cancelled run discards all reducer state and reports
+/// `table` publishes region → reducer ownership (initial values
+/// `< cfg.reducers`; the operator layer seeds it with LPT over estimated
+/// region weights) and is mutated by the migration coordinator when
+/// `cfg.adaptive.reassign` is on. `cancel` is checked by mappers between
+/// morsels; a cancelled run discards all reducer state and reports
 /// [`EngineOutcome::cancelled`] — the unconsumed remainder of `plan` stays
 /// claimable by a follow-up run (see the adaptive fallback).
 #[allow(clippy::too_many_arguments)] // an execution plan, not a builder
@@ -125,20 +172,21 @@ pub fn run_pipelined(
     r2: &[Tuple],
     router: &Router,
     cond: &JoinCondition,
-    region_to_reducer: &[u32],
+    table: &RoutingTable,
     plan: &MorselPlan,
     cfg: &EngineConfig,
     cancel: Option<&AtomicBool>,
 ) -> EngineOutcome {
-    let n_regions = region_to_reducer.len();
+    let n_regions = table.n_regions();
     let reducers = cfg.reducers.max(1);
-    debug_assert!(region_to_reducer.iter().all(|&q| (q as usize) < reducers));
+    debug_assert!(table.snapshot().iter().all(|&q| (q as usize) < reducers));
 
     let start = Instant::now();
     let queues: Vec<BoundedQueue> = (0..reducers)
         .map(|_| BoundedQueue::new(cfg.queue_tuples))
         .collect();
     let gauge = MemGauge::default();
+    let board = ProgressBoard::new(reducers, n_regions);
     let default_cancel = AtomicBool::new(false);
     let cancel = cancel.unwrap_or(&default_cancel);
     // Seed the seal countdowns from the *unconsumed* remainder: a resumed
@@ -150,6 +198,15 @@ pub fn run_pipelined(
     let all_remaining = AtomicUsize::new(all_left);
     let network_tuples = AtomicU64::new(0);
     let morsels_routed = AtomicU64::new(0);
+    let in_flight = AtomicU64::new(0);
+    let adoptions = AtomicU64::new(0);
+    let migration_tuples = AtomicU64::new(0);
+    let mappers_done = AtomicBool::new(false);
+    let abort = AtomicBool::new(false);
+    // The coordinated protocol (heartbeats + run-time migration + Finish
+    // termination) is selected by the adaptive config; with reassignment
+    // off the engine runs the legacy SealAll-terminated protocol untouched.
+    let coordinated = cfg.adaptive.reassign;
 
     // An empty relation — or a portion fully claimed before this run —
     // never triggers a mapper-side seal; pre-seal here.
@@ -160,47 +217,69 @@ pub fn run_pipelined(
         broadcast(&queues, || Delivery::SealAll);
     }
 
-    let shared = MapperShared {
+    let mapper_shared = MapperShared {
         plan,
         r1,
         r2,
         router,
-        region_to_reducer,
+        table,
         queues: &queues,
         r1_remaining: &r1_remaining,
         all_remaining: &all_remaining,
         gauge: &gauge,
         network_tuples: &network_tuples,
         morsels_routed: &morsels_routed,
+        in_flight: &in_flight,
         seed: cfg.seed,
         cancel,
     };
+    let reducer_shared = ReducerShared {
+        queues: &queues,
+        table,
+        board: &board,
+        gauge: &gauge,
+        cond,
+        work: cfg.work,
+        probe_chunk: cfg.probe_chunk.max(1),
+        in_flight: &in_flight,
+        adoptions: &adoptions,
+        migration_tuples: &migration_tuples,
+        coordinated,
+        straggler: cfg.straggler,
+    };
+    let coordinator_shared = CoordinatorShared {
+        queues: &queues,
+        table,
+        board: &board,
+        adaptive: &cfg.adaptive,
+        r1_remaining: &r1_remaining,
+        mappers_done: &mappers_done,
+        abort: &abort,
+        in_flight: &in_flight,
+        adoptions: &adoptions,
+    };
 
     let mut owned: Vec<Vec<u32>> = vec![Vec::new(); reducers];
-    for (region, &q) in region_to_reducer.iter().enumerate() {
+    for (region, &q) in table.snapshot().iter().enumerate() {
         owned[q as usize].push(region as u32);
     }
 
-    let outcomes: Vec<ReducerOutcome> = thread::scope(|s| {
+    let (outcomes, tally): (Vec<ReducerOutcome>, _) = thread::scope(|s| {
         let reducer_handles: Vec<_> = owned
             .iter()
             .enumerate()
             .map(|(q, regions)| {
-                let task = ReducerTask::new(
-                    &queues[q],
-                    regions.clone(),
-                    n_regions,
-                    cond,
-                    cfg.work,
-                    cfg.probe_chunk,
-                    &gauge,
-                );
-                s.spawn(move || task.run())
+                let shared = &reducer_shared;
+                s.spawn(move || ReducerTask::new(shared, q, regions).run())
             })
             .collect();
+        let coordinator_handle = coordinated.then(|| {
+            let shared = &coordinator_shared;
+            s.spawn(move || run_coordinator(shared))
+        });
         let mapper_handles: Vec<_> = (0..cfg.mappers.max(1))
             .map(|_| {
-                let shared = &shared;
+                let shared = &mapper_shared;
                 s.spawn(move || MapperTask::new(shared).run())
             })
             .collect();
@@ -208,15 +287,27 @@ pub fn run_pipelined(
             h.join().expect("mapper task panicked");
         }
         // If the mappers exited without routing everything (cancellation),
-        // the seal chain is broken: abort the reducers explicitly. Control
-        // messages bypass queue bounds, so this cannot deadlock.
-        if all_remaining.load(Ordering::Acquire) != 0 {
+        // the seal chain is broken: stop the coordinator and abort the
+        // reducers explicitly. Control messages bypass queue bounds, so this
+        // cannot deadlock. Otherwise hand termination to the coordinator
+        // (Finish at quiescence) or, uncoordinated, to the SealAll chain.
+        let broken = all_remaining.load(Ordering::Acquire) != 0;
+        if broken {
+            abort.store(true, Ordering::Release);
+        } else {
+            mappers_done.store(true, Ordering::Release);
+        }
+        let tally = coordinator_handle
+            .map(|h| h.join().expect("coordinator task panicked"))
+            .unwrap_or_default();
+        if broken {
             broadcast(&queues, || Delivery::Abort);
         }
-        reducer_handles
+        let outcomes = reducer_handles
             .into_iter()
             .map(|h| h.join().expect("reducer task panicked"))
-            .collect()
+            .collect();
+        (outcomes, tally)
     });
 
     let cancelled = outcomes.iter().any(|o| o.aborted);
@@ -231,9 +322,18 @@ pub fn run_pipelined(
         busy_secs: outcomes.iter().map(|o| o.busy_secs).collect(),
         idle_secs: outcomes.iter().map(|o| o.idle_secs).collect(),
         wall_secs: start.elapsed().as_secs_f64(),
+        regions_migrated: tally.regions_migrated,
+        migration_tuples: migration_tuples.into_inner(),
+        migration_secs: tally.migration_secs,
+        routing_epoch: table.epoch(),
         cancelled,
     };
     if !cancelled {
+        debug_assert_eq!(
+            in_flight.load(Ordering::Acquire),
+            0,
+            "finished with unabsorbed tuples in flight"
+        );
         for o in &outcomes {
             for r in &o.results {
                 outcome.per_region_input[r.region as usize] = r.input;
@@ -280,6 +380,7 @@ mod tests {
         reducers: usize,
     ) -> EngineOutcome {
         let region_to_reducer: Vec<u32> = (0..n_regions).map(|r| (r % reducers) as u32).collect();
+        let table = RoutingTable::new(&region_to_reducer);
         let plan = MorselPlan::new(r1.len(), r2.len(), morsel);
         let cfg = EngineConfig {
             mappers: 2,
@@ -288,8 +389,10 @@ mod tests {
             probe_chunk: morsel,
             seed: 7,
             work: OutputWork::Touch,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
         };
-        run_pipelined(r1, r2, router, cond, &region_to_reducer, &plan, &cfg, None)
+        run_pipelined(r1, r2, router, cond, &table, &plan, &cfg, None)
     }
 
     #[test]
@@ -386,6 +489,7 @@ mod tests {
         let scheme = build_ci(4, 4000, 4000, None);
         let region_to_reducer: Vec<u32> =
             (0..scheme.num_regions()).map(|r| (r % 2) as u32).collect();
+        let table = RoutingTable::new(&region_to_reducer);
         let plan = MorselPlan::new(r1.len(), r2.len(), 256);
         let cfg = EngineConfig {
             mappers: 2,
@@ -394,6 +498,8 @@ mod tests {
             probe_chunk: 256,
             seed: 3,
             work: OutputWork::Touch,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
         };
         let cancel = AtomicBool::new(true);
         let out = run_pipelined(
@@ -401,7 +507,7 @@ mod tests {
             &r2,
             &scheme.router,
             &cond,
-            &region_to_reducer,
+            &table,
             &plan,
             &cfg,
             Some(&cancel),
@@ -417,7 +523,7 @@ mod tests {
             &r2,
             &scheme.router,
             &cond,
-            &region_to_reducer,
+            &table,
             &plan,
             &cfg,
             Some(&cancel),
@@ -445,22 +551,16 @@ mod tests {
             probe_chunk: 128,
             seed: 5,
             work: OutputWork::Touch,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
         };
         for pre_claimed in [1usize, 4, 6] {
+            let table = RoutingTable::new(&region_to_reducer);
             let plan = MorselPlan::new(r1.len(), r2.len(), 256); // 4 + 4 morsels
             for _ in 0..pre_claimed {
                 plan.claim().expect("plan has 8 morsels");
             }
-            let out = run_pipelined(
-                &r1,
-                &r2,
-                &scheme.router,
-                &cond,
-                &region_to_reducer,
-                &plan,
-                &cfg,
-                None,
-            );
+            let out = run_pipelined(&r1, &r2, &scheme.router, &cond, &table, &plan, &cfg, None);
             assert!(
                 !out.cancelled,
                 "resume with {pre_claimed} pre-claimed morsels aborted"
@@ -470,5 +570,92 @@ mod tests {
             // the run must complete and account its routed volume.
             assert!(out.network_tuples > 0);
         }
+    }
+
+    #[test]
+    fn injected_straggler_forces_migrations_and_stays_correct() {
+        // Reducer 0 is slowed hard; with aggressive thresholds the
+        // coordinator must move its regions to the idle reducer, and the
+        // join must still be exact. The CI router's regions all look alike,
+        // so this exercises the full Migrate/Adopt/fence path end to end.
+        let k: Vec<Key> = (0..4000).map(|i| (i % 200) as Key).collect();
+        let (r1, r2) = (tuples(&k), tuples(&k));
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(8, 4000, 4000, None);
+        let (expect_c, expect_s) = nested_loop(&r1, &r2, &cond);
+        let region_to_reducer: Vec<u32> =
+            (0..scheme.num_regions()).map(|r| (r % 2) as u32).collect();
+        let table = RoutingTable::new(&region_to_reducer);
+        let plan = MorselPlan::new(r1.len(), r2.len(), 128);
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 2,
+            queue_tuples: 512,
+            probe_chunk: 64,
+            seed: 11,
+            work: OutputWork::Touch,
+            adaptive: AdaptiveConfig {
+                reassign: true,
+                migrate_backlog_tuples: 1,
+                poll_micros: 50,
+                ..Default::default()
+            },
+            straggler: Some(Straggler {
+                reducer: 0,
+                nanos_per_tuple: 20_000,
+            }),
+        };
+        let out = run_pipelined(&r1, &r2, &scheme.router, &cond, &table, &plan, &cfg, None);
+        assert!(!out.cancelled);
+        assert_eq!(out.output_total(), expect_c);
+        assert_eq!(out.checksum(), expect_s);
+        assert!(
+            out.regions_migrated >= 1,
+            "straggler with forced thresholds must trigger migration"
+        );
+        assert_eq!(out.routing_epoch, out.regions_migrated);
+        assert!(out.migration_tuples > 0);
+        assert!(out.migration_secs >= 0.0);
+        // Each region migrates at most once, so the owner map diverges from
+        // the initial placement in exactly `regions_migrated` slots.
+        let owners = table.snapshot();
+        let moved = owners
+            .iter()
+            .zip(&region_to_reducer)
+            .filter(|(now, init)| now != init)
+            .count() as u64;
+        assert_eq!(moved, out.regions_migrated);
+    }
+
+    #[test]
+    fn migration_disabled_runs_the_legacy_protocol() {
+        let k: Vec<Key> = (0..1500).map(|i| (i % 90) as Key).collect();
+        let (r1, r2) = (tuples(&k), tuples(&k));
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(6, 1500, 1500, None);
+        let (expect_c, expect_s) = nested_loop(&r1, &r2, &cond);
+        let region_to_reducer: Vec<u32> =
+            (0..scheme.num_regions()).map(|r| (r % 3) as u32).collect();
+        let table = RoutingTable::new(&region_to_reducer);
+        let plan = MorselPlan::new(r1.len(), r2.len(), 200);
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 3,
+            queue_tuples: 1024,
+            probe_chunk: 100,
+            seed: 13,
+            work: OutputWork::Touch,
+            adaptive: AdaptiveConfig {
+                reassign: false,
+                ..Default::default()
+            },
+            straggler: None,
+        };
+        let out = run_pipelined(&r1, &r2, &scheme.router, &cond, &table, &plan, &cfg, None);
+        assert_eq!(out.output_total(), expect_c);
+        assert_eq!(out.checksum(), expect_s);
+        assert_eq!(out.regions_migrated, 0);
+        assert_eq!(out.routing_epoch, 0);
+        assert_eq!(out.migration_tuples, 0);
     }
 }

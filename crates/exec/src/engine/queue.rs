@@ -2,10 +2,14 @@
 //! channel between mapper and reducer tasks.
 //!
 //! Each reducer owns one queue; mappers push per-region tuple batches into
-//! the queue of the reducer owning the target region. The queue is bounded
-//! (in batches), so a reducer that falls behind exerts *backpressure*: the
+//! the queue of the reducer owning the target region (resolved through the
+//! shared [`ewh_core::RoutingTable`] at push time). The queue is bounded
+//! (in tuples), so a reducer that falls behind exerts *backpressure*: the
 //! pushing mapper blocks, and the blocked time is accounted so runs can
-//! report where the pipeline stalled.
+//! report where the pipeline stalled. Control traffic — seals, migration
+//! handshakes, finish/abort — bypasses the bound via
+//! [`BoundedQueue::push_unbounded`], so coordination can never deadlock
+//! behind a full queue.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,9 +27,23 @@ pub enum Delivery {
     /// mapper that routes the last `R1` morsel). Regions may merge their
     /// sorted `R1` runs and start sweeping probe chunks.
     SealR1,
-    /// Every tuple of both relations has been enqueued; flush remaining
-    /// probe chunks and finish.
+    /// Every tuple of both relations has been enqueued; flush buffered probe
+    /// chunks. Under the legacy (uncoordinated) protocol this also
+    /// terminates the reducer; under the migration coordinator the reducer
+    /// keeps draining until [`Delivery::Finish`], because migrated state and
+    /// fenced-off fragments may still arrive.
     SealAll,
+    /// Coordinator → current region owner: pack the region's state and ship
+    /// it to the routing table's (already updated) new owner.
+    Migrate { region: u32 },
+    /// Old owner → new owner: the packed state of a migrated region.
+    Adopt {
+        region: u32,
+        state: Box<MigratedRegion>,
+    },
+    /// Coordinator → every reducer: the run is quiescent (mappers done, no
+    /// data or migration state in flight) — flush, report, exit.
+    Finish,
     /// The run was cancelled: discard all region state and exit.
     Abort,
 }
@@ -36,7 +54,30 @@ pub enum Delivery {
 pub struct RegionBatch {
     pub region: u32,
     pub rel: Rel,
+    /// Routing epoch observed when the owning reducer was resolved — the
+    /// engine's per-region migration fence (see `reducer.rs`).
+    pub epoch: u64,
     pub tuples: Vec<Tuple>,
+}
+
+/// The shipped state of one migrated region: the sealed, sorted build side,
+/// any probe tuples buffered below a chunk, and the region's running
+/// tallies. Produced by the old owner on [`Delivery::Migrate`], installed by
+/// the new owner on [`Delivery::Adopt`].
+#[derive(Debug, Default)]
+pub struct MigratedRegion {
+    pub build: Vec<Tuple>,
+    pub pending: Vec<Tuple>,
+    pub sealed: bool,
+    pub input: u64,
+    pub output: u64,
+    pub checksum: u64,
+}
+
+impl MigratedRegion {
+    pub fn tuples(&self) -> u64 {
+        (self.build.len() + self.pending.len()) as u64
+    }
 }
 
 /// A bounded FIFO of [`Delivery`] messages. Multiple producers (mappers),
@@ -62,6 +103,8 @@ fn weight(item: &Delivery) -> usize {
     match item {
         // An empty batch still occupies a queue slot's worth of space.
         Delivery::Batch(b) => b.tuples.len().max(1),
+        // Shipped migration state is real resident memory in the queue.
+        Delivery::Adopt { state, .. } => state.tuples() as usize,
         _ => 0,
     }
 }
@@ -82,7 +125,7 @@ impl BoundedQueue {
 
     /// Blocking push; waits while the queue is at capacity. A batch larger
     /// than the whole capacity is admitted once the queue is empty (it could
-    /// never fit otherwise), and control messages (seals / abort) bypass the
+    /// never fit otherwise), and zero-weight control messages bypass the
     /// bound entirely so late coordination can never deadlock behind a full
     /// queue.
     pub fn push(&self, item: Delivery) {
@@ -102,9 +145,22 @@ impl BoundedQueue {
         self.not_empty.notify_one();
     }
 
-    /// Blocking pop. Termination is driven by [`Delivery::SealAll`] /
-    /// [`Delivery::Abort`] messages, which the orchestration layer
-    /// guarantees to deliver.
+    /// Non-blocking push that ignores the capacity bound (weight is still
+    /// accounted). Used for reducer → reducer traffic — forwarded fragments
+    /// and migration handshakes — where a blocking push could form a cycle
+    /// of reducers waiting on each other's full queues.
+    pub fn push_unbounded(&self, item: Delivery) {
+        let w = weight(&item);
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.used += w;
+        inner.queue.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking pop. Termination is driven by [`Delivery::Finish`] /
+    /// [`Delivery::SealAll`] / [`Delivery::Abort`] messages, which the
+    /// orchestration layer guarantees to deliver.
     pub fn pop(&self) -> Delivery {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
@@ -116,6 +172,12 @@ impl BoundedQueue {
             }
             inner = self.not_empty.wait(inner).expect("queue poisoned");
         }
+    }
+
+    /// Tuples currently enqueued — the queue-depth heartbeat the migration
+    /// coordinator reads when hunting for stragglers.
+    pub fn used_tuples(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").used
     }
 
     /// Total time producers spent blocked on this queue.
@@ -140,6 +202,7 @@ mod tests {
                     q.push(Delivery::Batch(RegionBatch {
                         region: i,
                         rel: Rel::R1,
+                        epoch: 0,
                         tuples: Vec::new(),
                     }));
                 }
@@ -171,11 +234,49 @@ mod tests {
         q.push(Delivery::Batch(RegionBatch {
             region: 0,
             rel: Rel::R2,
+            epoch: 0,
             tuples: Vec::new(),
         }));
         // A second data push would block; a seal must not.
         q.push(Delivery::SealAll);
         assert!(matches!(q.pop(), Delivery::Batch(_)));
         assert!(matches!(q.pop(), Delivery::SealAll));
+    }
+
+    #[test]
+    fn unbounded_push_skips_backpressure_but_keeps_accounting() {
+        let q = BoundedQueue::new(1);
+        for i in 0..5 {
+            q.push_unbounded(Delivery::Batch(RegionBatch {
+                region: i,
+                rel: Rel::R2,
+                epoch: 0,
+                tuples: vec![Tuple::new(1, 2); 3],
+            }));
+        }
+        assert_eq!(q.used_tuples(), 15);
+        for _ in 0..5 {
+            assert!(matches!(q.pop(), Delivery::Batch(_)));
+        }
+        assert_eq!(q.used_tuples(), 0);
+    }
+
+    #[test]
+    fn adopt_messages_carry_their_tuple_weight() {
+        let q = BoundedQueue::new(4);
+        q.push_unbounded(Delivery::Adopt {
+            region: 3,
+            state: Box::new(MigratedRegion {
+                build: vec![Tuple::new(0, 0); 7],
+                pending: vec![Tuple::new(1, 1); 2],
+                sealed: true,
+                input: 9,
+                output: 0,
+                checksum: 0,
+            }),
+        });
+        assert_eq!(q.used_tuples(), 9);
+        assert!(matches!(q.pop(), Delivery::Adopt { .. }));
+        assert_eq!(q.used_tuples(), 0);
     }
 }

@@ -7,16 +7,42 @@
 //! sweep, and a region's build state is freed the moment the region
 //! completes — the engine never holds the full shuffle materialization the
 //! batch path does.
+//!
+//! ## Region migration (the reducer's side of the protocol)
+//!
+//! Ownership is dynamic: the coordinator can reassign a region mid-run by
+//! updating the shared routing table and sending the old owner
+//! [`Delivery::Migrate`]. The old owner packs the region's sealed state and
+//! ships it to the new owner as [`Delivery::Adopt`]. Fragments caught on
+//! the wrong side of the reassignment are handled by a *per-region epoch
+//! fence*:
+//!
+//! * a fragment that reaches a reducer which no longer owns the region was
+//!   necessarily routed before the migration (its epoch stamp is strictly
+//!   below the region's migration epoch — the routing table's ordering
+//!   contract) and is **forwarded** to the current owner;
+//! * a fragment that reaches the *new* owner before the `Adopt` message is
+//!   **parked** and absorbed the moment the state installs — queue FIFO
+//!   guarantees the old owner's forwards arrive after its `Adopt`, so
+//!   parking is only ever a short race with the coordinator's epoch bump.
+//!
+//! Every absorbed tuple decrements the engine-wide in-flight counter; the
+//! coordinator broadcasts [`Delivery::Finish`] only at quiescence, which is
+//! what lets reducers keep draining after `SealAll` without ever dropping a
+//! late fragment.
 
 use std::mem;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
-use ewh_core::{JoinCondition, Rel, Tuple};
+use ewh_core::{JoinCondition, Rel, RoutingTable, Tuple};
 
 use crate::local_join::{sweep_sorted, OutputWork};
 
+use super::board::ProgressBoard;
 use super::morsel::MemGauge;
-use super::queue::{BoundedQueue, Delivery, RegionBatch};
+use super::queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
+use super::Straggler;
 
 /// Per-region accumulator.
 #[derive(Debug, Default)]
@@ -61,60 +87,88 @@ pub struct ReducerOutcome {
     pub aborted: bool,
 }
 
-/// One reducer task: owns `regions` and drains `queue` until sealed or
-/// aborted.
+/// State shared (by reference) between all reducer tasks of one run.
+pub struct ReducerShared<'a> {
+    pub queues: &'a [BoundedQueue],
+    pub table: &'a RoutingTable,
+    pub board: &'a ProgressBoard,
+    pub gauge: &'a MemGauge,
+    pub cond: &'a JoinCondition,
+    pub work: OutputWork,
+    /// Probe tuples buffered per region before a sweep is worth it
+    /// (normalized to ≥ 1 by the orchestrator).
+    pub probe_chunk: usize,
+    /// Tuples routed but not yet absorbed into region state.
+    pub in_flight: &'a AtomicU64,
+    /// Migration handshakes completed (incremented by the adopting side).
+    pub adoptions: &'a AtomicU64,
+    /// Tuples shipped between reducers by migrations.
+    pub migration_tuples: &'a AtomicU64,
+    /// Coordinated termination: keep draining past `SealAll` until the
+    /// coordinator's `Finish`. When false (legacy protocol, migration off),
+    /// `SealAll` terminates the reducer directly.
+    pub coordinated: bool,
+    /// Fault-injection: slow down one reducer's absorption path.
+    pub straggler: Option<Straggler>,
+}
+
+/// One reducer task: drains queue `me` until finished or aborted.
 pub struct ReducerTask<'a> {
-    queue: &'a BoundedQueue,
-    regions: Vec<u32>,
-    cond: &'a JoinCondition,
-    work: OutputWork,
-    /// Probe tuples buffered per region before a sweep is worth it.
-    probe_chunk: usize,
-    gauge: &'a MemGauge,
-    states: Vec<RegionState>,
-    /// Region id → index into `states` (u32::MAX for unowned regions).
-    slot_of: Vec<u32>,
+    sh: &'a ReducerShared<'a>,
+    me: usize,
+    /// Region id → live state for regions this reducer currently owns.
+    states: Vec<Option<RegionState>>,
+    /// Per-region fence buffer: fragments that arrived ahead of the
+    /// region's `Adopt` message.
+    parked: Vec<Vec<RegionBatch>>,
 }
 
 impl<'a> ReducerTask<'a> {
-    pub fn new(
-        queue: &'a BoundedQueue,
-        regions: Vec<u32>,
-        n_regions: usize,
-        cond: &'a JoinCondition,
-        work: OutputWork,
-        probe_chunk: usize,
-        gauge: &'a MemGauge,
-    ) -> Self {
-        let mut slot_of = vec![u32::MAX; n_regions];
-        for (slot, &r) in regions.iter().enumerate() {
-            slot_of[r as usize] = slot as u32;
+    pub fn new(sh: &'a ReducerShared<'a>, me: usize, owned: &[u32]) -> Self {
+        let n_regions = sh.table.n_regions();
+        let mut states: Vec<Option<RegionState>> = (0..n_regions).map(|_| None).collect();
+        for &r in owned {
+            states[r as usize] = Some(RegionState::default());
         }
-        let states = regions.iter().map(|_| RegionState::default()).collect();
         ReducerTask {
-            queue,
-            regions,
-            cond,
-            work,
-            probe_chunk: probe_chunk.max(1),
-            gauge,
+            sh,
+            me,
             states,
-            slot_of,
+            parked: (0..n_regions).map(|_| Vec::new()).collect(),
         }
     }
 
     pub fn run(mut self) -> ReducerOutcome {
         let mut busy = 0.0f64;
         let mut idle = 0.0f64;
+        let queue = &self.sh.queues[self.me];
         loop {
+            // Heartbeat: only an empty queue counts as idle — the
+            // coordinator treats an idle reducer as a migration target.
+            self.sh.board.set_idle(self.me, queue.used_tuples() == 0);
             let wait_start = Instant::now();
-            let delivery = self.queue.pop();
+            let delivery = queue.pop();
+            self.sh.board.set_idle(self.me, false);
             let work_start = Instant::now();
             idle += work_start.duration_since(wait_start).as_secs_f64();
             match delivery {
                 Delivery::Batch(batch) => self.on_batch(batch),
                 Delivery::SealR1 => self.on_seal_r1(),
-                Delivery::SealAll => {
+                Delivery::SealAll if !self.sh.coordinated => {
+                    let results = self.finish();
+                    busy += work_start.elapsed().as_secs_f64();
+                    return ReducerOutcome {
+                        results,
+                        busy_secs: busy,
+                        idle_secs: idle,
+                        aborted: false,
+                    };
+                }
+                Delivery::SealAll => self.on_seal_all(),
+                Delivery::Migrate { region } => self.on_migrate(region),
+                Delivery::Adopt { region, state } => self.on_adopt(region, *state),
+                Delivery::Finish => {
+                    debug_assert!(self.sh.coordinated, "Finish without a coordinator");
                     let results = self.finish();
                     busy += work_start.elapsed().as_secs_f64();
                     return ReducerOutcome {
@@ -139,24 +193,50 @@ impl<'a> ReducerTask<'a> {
         }
     }
 
-    fn state_mut(&mut self, region: u32) -> &mut RegionState {
-        let slot = self.slot_of[region as usize];
-        debug_assert!(
-            slot != u32::MAX,
-            "region {region} delivered to the wrong reducer"
-        );
-        &mut self.states[slot as usize]
+    /// Data fragment: absorb if owned, otherwise apply the migration fence
+    /// (park ahead of an adoption, or forward a pre-migration straggler to
+    /// the current owner).
+    fn on_batch(&mut self, batch: RegionBatch) {
+        let region = batch.region;
+        if self.states[region as usize].is_some() {
+            self.absorb(batch);
+            return;
+        }
+        let owner = self.sh.table.owner_of(region);
+        if owner as usize == self.me {
+            // We are the region's next owner; its state is still in flight.
+            self.parked[region as usize].push(batch);
+        } else {
+            // Routed before the region migrated away from us: the stamp
+            // must predate the region's migration epoch (table ordering
+            // contract — see `RoutingTable`).
+            debug_assert!(
+                batch.epoch < self.sh.table.migrated_at(region),
+                "post-migration fragment for region {region} reached a past owner"
+            );
+            self.sh.queues[owner as usize].push_unbounded(Delivery::Batch(batch));
+        }
     }
 
-    fn on_batch(&mut self, batch: RegionBatch) {
+    /// Folds an owned region's fragment into its state.
+    fn absorb(&mut self, batch: RegionBatch) {
         let RegionBatch {
             region,
             rel,
+            epoch: _,
             mut tuples,
         } = batch;
-        let (cond, work, gauge, probe_chunk) = (self.cond, self.work, self.gauge, self.probe_chunk);
-        let st = self.state_mut(region);
-        st.input += tuples.len() as u64;
+        let n = tuples.len() as u64;
+        if let Some(s) = self.sh.straggler {
+            if s.reducer == self.me && n > 0 {
+                std::thread::sleep(Duration::from_nanos(n.saturating_mul(s.nanos_per_tuple)));
+            }
+        }
+        let sh = self.sh;
+        let st = self.states[region as usize]
+            .as_mut()
+            .expect("absorb of an unowned region");
+        st.input += n;
         match rel {
             Rel::R1 => {
                 debug_assert!(!st.sealed, "R1 fragment after the R1 seal");
@@ -165,26 +245,120 @@ impl<'a> ReducerTask<'a> {
                 // critical path.
                 tuples.sort_unstable_by_key(|t| t.key);
                 st.runs.push(tuples);
+                sh.board.add_build(region, n);
             }
             Rel::R2 => {
                 st.pending.append(&mut tuples);
-                if st.sealed && st.pending.len() >= probe_chunk {
-                    Self::flush(st, cond, work, gauge);
+                sh.board.add_probe(region, n);
+                if st.sealed && st.pending.len() >= sh.probe_chunk {
+                    Self::flush(st, sh, self.me);
                 }
+            }
+        }
+        sh.in_flight.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    fn on_seal_r1(&mut self) {
+        let sh = self.sh;
+        let me = self.me;
+        for st in self.states.iter_mut().flatten() {
+            // Adopted regions arrive pre-sealed, and a region sealed early
+            // by a racing migration is equally fine — skip, don't re-merge.
+            if st.sealed {
+                continue;
+            }
+            st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
+            st.sealed = true;
+            sh.board.note_region_sealed(me);
+            if st.pending.len() >= sh.probe_chunk {
+                Self::flush(st, sh, me);
             }
         }
     }
 
-    fn on_seal_r1(&mut self) {
-        let (cond, work, gauge, probe_chunk) = (self.cond, self.work, self.gauge, self.probe_chunk);
-        for st in &mut self.states {
-            debug_assert!(!st.sealed, "duplicate R1 seal");
-            st.build = Self::merge_gauged(mem::take(&mut st.runs), gauge);
-            st.sealed = true;
-            if st.pending.len() >= probe_chunk {
-                Self::flush(st, cond, work, gauge);
+    /// `SealAll` under the coordinated protocol: every mapper-routed tuple
+    /// is enqueued somewhere, but migrated state and fenced fragments may
+    /// still arrive — eagerly sweep what is buffered (freeing the memory
+    /// early) and keep draining until `Finish`.
+    fn on_seal_all(&mut self) {
+        let sh = self.sh;
+        let me = self.me;
+        for st in self.states.iter_mut().flatten() {
+            if st.sealed && !st.pending.is_empty() {
+                Self::flush(st, sh, me);
             }
         }
+    }
+
+    /// Coordinator asked us to hand the region to its (already published)
+    /// new owner: seal if the `SealR1` broadcast is still in flight, pack,
+    /// and ship.
+    fn on_migrate(&mut self, region: u32) {
+        let sh = self.sh;
+        let mut st = self.states[region as usize]
+            .take()
+            .expect("Migrate for a region this reducer does not own");
+        if !st.sealed {
+            st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
+            st.sealed = true;
+            sh.board.note_region_sealed(self.me);
+        }
+        let state = MigratedRegion {
+            build: mem::take(&mut st.build),
+            pending: mem::take(&mut st.pending),
+            sealed: true,
+            input: st.input,
+            output: st.output,
+            checksum: st.checksum,
+        };
+        let shipped = state.tuples();
+        sh.migration_tuples.fetch_add(shipped, Ordering::Relaxed);
+        sh.in_flight.fetch_add(shipped, Ordering::AcqRel);
+        let owner = sh.table.owner_of(region);
+        debug_assert_ne!(owner as usize, self.me, "migration to self");
+        sh.queues[owner as usize].push_unbounded(Delivery::Adopt {
+            region,
+            state: Box::new(state),
+        });
+    }
+
+    /// Install a migrated region's state, then absorb any fragments the
+    /// fence parked while the state was in flight.
+    fn on_adopt(&mut self, region: u32, state: MigratedRegion) {
+        let sh = self.sh;
+        debug_assert!(
+            self.states[region as usize].is_none(),
+            "adoption of a region already owned"
+        );
+        debug_assert_eq!(
+            sh.table.owner_of(region) as usize,
+            self.me,
+            "adoption does not match the routing table"
+        );
+        let shipped = state.tuples();
+        self.states[region as usize] = Some(RegionState {
+            runs: Vec::new(),
+            build: state.build,
+            pending: state.pending,
+            sealed: state.sealed,
+            input: state.input,
+            output: state.output,
+            checksum: state.checksum,
+        });
+        sh.in_flight.fetch_sub(shipped, Ordering::AcqRel);
+        for batch in mem::take(&mut self.parked[region as usize]) {
+            self.absorb(batch);
+        }
+        let me = self.me;
+        let st = self.states[region as usize]
+            .as_mut()
+            .expect("just installed");
+        if st.sealed && st.pending.len() >= sh.probe_chunk {
+            Self::flush(st, sh, me);
+        }
+        // Publish completion last: the coordinator may start the next
+        // handshake (or declare quiescence) the moment it sees this.
+        sh.adoptions.fetch_add(1, Ordering::Release);
     }
 
     /// Merges a region's sorted runs, charging the merge's memory transient
@@ -202,33 +376,40 @@ impl<'a> ReducerTask<'a> {
     }
 
     /// Sweeps and frees the region's buffered probe chunk.
-    fn flush(st: &mut RegionState, cond: &JoinCondition, work: OutputWork, gauge: &MemGauge) {
+    fn flush(st: &mut RegionState, sh: &ReducerShared<'_>, me: usize) {
         debug_assert!(st.sealed);
         let mut probe = mem::take(&mut st.pending);
         probe.sort_unstable_by_key(|t| t.key);
-        let (count, checksum) = sweep_sorted(&st.build, &probe, cond, work);
+        let (count, checksum) = sweep_sorted(&st.build, &probe, sh.cond, sh.work);
         st.output += count;
         st.checksum ^= checksum;
-        gauge.sub(probe.len() as u64);
+        sh.board.note_chunk_swept(me);
+        sh.gauge.sub(probe.len() as u64);
     }
 
     fn finish(&mut self) -> Vec<RegionResult> {
-        let (cond, work, gauge) = (self.cond, self.work, self.gauge);
-        let mut results = Vec::with_capacity(self.regions.len());
-        for (st, &region) in self.states.iter_mut().zip(&self.regions) {
+        let sh = self.sh;
+        let me = self.me;
+        debug_assert!(
+            self.parked.iter().all(Vec::is_empty),
+            "finish with fenced fragments still parked"
+        );
+        let mut results = Vec::new();
+        for (region, slot) in self.states.iter_mut().enumerate() {
+            let Some(st) = slot.as_mut() else { continue };
             // A region that saw no R1 seal can only mean an empty plan where
             // the orchestrator pre-sealed; merge whatever is there.
             if !st.sealed {
-                st.build = Self::merge_gauged(mem::take(&mut st.runs), gauge);
+                st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
                 st.sealed = true;
             }
             if !st.pending.is_empty() {
-                Self::flush(st, cond, work, gauge);
+                Self::flush(st, sh, me);
             }
-            gauge.sub(st.build.len() as u64);
+            sh.gauge.sub(st.build.len() as u64);
             st.build = Vec::new();
             results.push(RegionResult {
-                region,
+                region: region as u32,
                 input: st.input,
                 output: st.output,
                 checksum: st.checksum,
@@ -238,10 +419,16 @@ impl<'a> ReducerTask<'a> {
     }
 
     fn discard(&mut self) {
-        let gauge = self.gauge;
-        for st in &mut self.states {
-            gauge.sub(st.resident_tuples());
-            *st = RegionState::default();
+        let gauge = self.sh.gauge;
+        for slot in self.states.iter_mut() {
+            if let Some(st) = slot.take() {
+                gauge.sub(st.resident_tuples());
+            }
+        }
+        for parked in self.parked.iter_mut() {
+            for batch in parked.drain(..) {
+                gauge.sub(batch.tuples.len() as u64);
+            }
         }
     }
 }

@@ -10,9 +10,18 @@
 //! cluster memory (modeled and actually-resident peak), and per-worker
 //! loads.
 //!
+//! The engine handles skew at run time, too: region → reducer ownership
+//! lives in an epoch-versioned [`ewh_core::RoutingTable`] that mappers
+//! re-resolve per fragment, and a migration coordinator watches reducer
+//! heartbeats ([`ProgressBoard`]) to reassign regions from backlogged
+//! reducers to idle ones mid-run — driven by the same [`AdaptiveConfig`]
+//! as the §V discrete-event simulation ([`simulate_adaptive`]), so
+//! predicted and realized reassignment counts are comparable.
+//!
 //! The barrier-phased batch path ([`shuffle`] + [`execute_join`]) is kept as
 //! the reference oracle behind [`ExecMode::Batch`]; property tests assert
-//! both modes produce identical joins.
+//! both modes produce identical joins (including with migration thresholds
+//! forced to fire, `tests/prop_migration.rs`).
 //!
 //! Also implements the operational extensions of the paper: the
 //! high-selectivity CI fallback (§VI-E, [`run_operator_adaptive`], which in
@@ -28,7 +37,9 @@ mod operator;
 mod shuffle;
 
 pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
-pub use engine::{EngineConfig, EngineOutcome, MemGauge, Morsel, MorselPlan};
+pub use engine::{
+    EngineConfig, EngineOutcome, MemGauge, Morsel, MorselPlan, ProgressBoard, Straggler,
+};
 pub use local_join::{local_join, sweep_sorted, OutputWork};
 pub use metrics::JoinStats;
 pub use operator::{

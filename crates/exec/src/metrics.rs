@@ -40,6 +40,17 @@ pub struct JoinStats {
     pub checksum: u64,
     /// Morsels routed by the pipelined engine (0 under batch execution).
     pub morsels_routed: u64,
+    /// Regions reassigned between reducer tasks at run time by the
+    /// pipelined engine's migration coordinator (0 under batch execution or
+    /// with `AdaptiveConfig::reassign` off).
+    pub regions_migrated: u64,
+    /// Tuples of sealed region state shipped reducer → reducer by those
+    /// migrations — the "tuples move twice" cost §V warns about, kept
+    /// separate from `network_tuples` (mapper → reducer volume).
+    pub migration_tuples: u64,
+    /// Summed migration handshake latency: coordinator decision → state
+    /// adopted by the new owner, including the old owner's queue drain.
+    pub migration_secs: f64,
     /// Total mapper time blocked on full reducer queues (backpressure).
     pub backpressure_secs: f64,
     /// Per reducer task: time processing deliveries vs. waiting on the

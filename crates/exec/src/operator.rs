@@ -14,10 +14,11 @@ use std::time::Instant;
 
 use ewh_core::{
     build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams, HistogramParams,
-    JoinCondition, Key, PartitionScheme, SchemeKind, Tuple,
+    JoinCondition, Key, PartitionScheme, RoutingTable, SchemeKind, Tuple,
 };
 
-use crate::engine::{run_pipelined, EngineConfig, MorselPlan};
+use crate::adaptive::AdaptiveConfig;
+use crate::engine::{run_pipelined, EngineConfig, MorselPlan, Straggler};
 use crate::{local_join, shuffle, JoinStats, OutputWork, Shuffled};
 
 /// How the operator executes the shuffle + local joins.
@@ -75,6 +76,14 @@ pub struct OperatorConfig {
     pub morsel_tuples: usize,
     /// Bounded queue capacity per reducer, in tuples (backpressure knob).
     pub queue_tuples: usize,
+    /// Run-time skew handling: the same config drives the pipelined
+    /// engine's migration coordinator and the discrete-event simulation
+    /// ([`crate::simulate_adaptive`]), so predicted and realized
+    /// reassignment counts can be compared. `reassign: false` freezes the
+    /// initial placement (the legacy protocol).
+    pub adaptive: AdaptiveConfig,
+    /// Fault injection: slow one reducer task down (benchmarks/tests only).
+    pub straggler: Option<Straggler>,
 }
 
 impl Default for OperatorConfig {
@@ -99,7 +108,25 @@ impl Default for OperatorConfig {
             mode: ExecMode::default(),
             morsel_tuples: 1024,
             queue_tuples: 4096,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
         }
+    }
+}
+
+impl OperatorConfig {
+    /// Below roughly this many input tuples (both relations, replication
+    /// excluded), the pipelined engine's bounded buffers — reducer queues,
+    /// in-flight morsels, and per-region probe chunks — can hold a large
+    /// fraction of the whole input at once, and peak-resident comparisons
+    /// against the batch path's full materialization are meaningless (the
+    /// small-scale footgun documented after PR 2). Benchmarks warn below
+    /// this floor; claims tests assert above it.
+    pub fn min_pipelined_input_tuples(&self) -> u64 {
+        let engine = EngineConfig::for_threads(self.threads, self.morsel_tuples, self.seed);
+        let buffered = engine.reducers * (self.queue_tuples + engine.probe_chunk)
+            + engine.mappers * self.morsel_tuples;
+        3 * buffered as u64
     }
 }
 
@@ -359,21 +386,25 @@ pub fn execute_join_pipelined(
     engine_cfg.queue_tuples = cfg.queue_tuples;
     engine_cfg.work = cfg.output_work;
     engine_cfg.reducers = engine_cfg.reducers.min(n_regions.max(1));
-    // Reducer-task placement: LPT by estimated region weight, so a hot
-    // region gets a task to itself instead of queueing behind siblings.
+    engine_cfg.adaptive = cfg.adaptive;
+    engine_cfg.straggler = cfg.straggler;
+    // Initial reducer-task placement: LPT by estimated region weight, so a
+    // hot region gets a task to itself instead of queueing behind siblings.
+    // Published through the epoch-versioned routing table, which the
+    // migration coordinator may rewrite at run time.
     let weights: Vec<u64> = scheme
         .regions
         .iter()
         .map(|r| r.est_weight(&cfg.cost))
         .collect();
-    let region_to_reducer = lpt_schedule(&weights, None, engine_cfg.reducers);
+    let table = RoutingTable::new(&lpt_schedule(&weights, None, engine_cfg.reducers));
 
     let out = run_pipelined(
         r1,
         r2,
         &scheme.router,
         cond,
-        &region_to_reducer,
+        &table,
         plan,
         &engine_cfg,
         None,
@@ -402,6 +433,9 @@ pub fn execute_join_pipelined(
         wall_join_secs: out.wall_secs,
         checksum: out.checksum(),
         morsels_routed: out.morsels_routed,
+        regions_migrated: out.regions_migrated,
+        migration_tuples: out.migration_tuples,
+        migration_secs: out.migration_secs,
         backpressure_secs: out.backpressure_secs,
         reducer_busy_secs: out.busy_secs,
         reducer_idle_secs: out.idle_secs,
