@@ -15,8 +15,8 @@
 //! ```
 
 use ewh_bench::{
-    bcb, beocd, beocd_gamma, bicd, check_pipelined_scale, mib, print_table, retail_hotkey,
-    RunConfig, Workload,
+    bcb, beocd, beocd_gamma, bicd, check_pipelined_scale, json_escape, mib, print_table,
+    retail_hotkey, RunConfig, Workload,
 };
 use ewh_core::SchemeKind;
 use ewh_exec::{
@@ -37,14 +37,6 @@ fn run_mode(w: &Workload, rc: &RunConfig, mode: ExecMode, work: OutputWork) -> O
         ..rc.operator_config(w)
     };
     run_operator(SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg)
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn idle_sum(run: &OperatorRun) -> f64 {
-    run.join.reducer_idle_secs.iter().sum()
 }
 
 /// Predicted reassignment count for one scheme: realized per-region weights
@@ -273,7 +265,7 @@ fn main() {
                 if r.straggler { "slow-reducer" } else { "none" }.to_string(),
                 if r.reassign { "on" } else { "off" }.to_string(),
                 format!("{:.4}", j.wall_join_secs),
-                format!("{:.4}", idle_sum(&r.run)),
+                format!("{:.4}", r.run.join.reducer_idle_total()),
                 j.regions_migrated.to_string(),
                 j.migration_tuples.to_string(),
                 format!("{:.4}", j.migration_secs),
@@ -349,7 +341,7 @@ fn main() {
             r.straggler,
             r.reassign,
             j.wall_join_secs,
-            idle_sum(&r.run),
+            r.run.join.reducer_idle_total(),
             j.regions_migrated,
             j.migration_tuples,
             j.migration_secs,

@@ -1,0 +1,212 @@
+//! Chained query plans: the pipelined executor (streamed intermediates +
+//! online statistics, `ewh_exec::run_plan`) against the classic
+//! materialize-between-operators execution (`run_plan_materialized`) on the
+//! chained hot-key workload — §IV-B's multi-way strategy, measured on peak
+//! resident memory and makespan, with the per-stage breakdown.
+//!
+//! Emits the usual TSV tables plus a JSON document (stdout, or
+//! `--json PATH` to write a file) so successive runs can be tracked as a
+//! `BENCH_dag.json` trajectory.
+//!
+//! ```sh
+//! cargo run --release -p ewh-bench --bin plan_vs_materialize -- \
+//!     [--scale 1.0] [--j 32] [--threads N] [--json BENCH_dag.json]
+//! ```
+
+use ewh_bench::{
+    chain_hotkey_with, check_plan_scale, json_escape, mib, print_table, ChainWorkload, RunConfig,
+};
+use ewh_core::SchemeKind;
+use ewh_exec::{run_plan, run_plan_materialized, OperatorConfig, PlanRun};
+
+struct ModeRun {
+    scheme: SchemeKind,
+    mode: &'static str,
+    run: PlanRun,
+}
+
+fn run_both(w: &ChainWorkload, cfg: &OperatorConfig) -> (PlanRun, PlanRun) {
+    let chain = w.chain();
+    let pipe = run_plan(&w.a, &w.b, &w.first, &chain, cfg);
+    let mat = run_plan_materialized(&w.a, &w.b, &w.first, &chain, cfg);
+    assert_eq!(
+        pipe.output_total, mat.output_total,
+        "{}: executors disagree on the final join size",
+        w.name
+    );
+    assert_eq!(
+        pipe.checksum, mat.checksum,
+        "{}: checksum mismatch against the materialized oracle",
+        w.name
+    );
+    assert!(
+        pipe.peak_resident_bytes < mat.peak_resident_bytes,
+        "{}: pipelined plan peak {} not below materialized baseline {}",
+        w.name,
+        pipe.peak_resident_bytes,
+        mat.peak_resident_bytes
+    );
+    (pipe, mat)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rc = RunConfig::from_args();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // CSIO exercises the online-statistics path end to end; hash is the
+    // equi-join state of the art and shows the same memory profile.
+    let mut runs: Vec<ModeRun> = Vec::new();
+    let mut reference: Option<(ChainWorkload, PlanRun, PlanRun)> = None;
+    for kind in [SchemeKind::Csio, SchemeKind::Hash] {
+        let w = chain_hotkey_with(kind, rc.scale, rc.seed);
+        let cfg = rc.chain_config(&w);
+        check_plan_scale(&w, &cfg);
+        let (pipe, mat) = run_both(&w, &cfg);
+        runs.push(ModeRun {
+            scheme: kind,
+            mode: "pipelined",
+            run: pipe.clone(),
+        });
+        runs.push(ModeRun {
+            scheme: kind,
+            mode: "materialized",
+            run: mat.clone(),
+        });
+        if kind == SchemeKind::Csio {
+            reference = Some((w, pipe, mat));
+        }
+    }
+
+    let table: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.mode.to_string(),
+                r.run.output_total.to_string(),
+                r.run.intermediate_tuples().to_string(),
+                format!("{:.2}", mib(r.run.peak_resident_bytes)),
+                format!("{:.4}", r.run.wall_secs),
+                r.run.total.network_tuples.to_string(),
+                r.run.total.regions_migrated.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "plan_vs_materialize (CHAIN, scale {}, j {}, intermediate ≈{:.0}% on the hot key)",
+            rc.scale,
+            rc.j,
+            reference
+                .as_ref()
+                .map(|(w, ..)| w.intermediate_hot_fraction * 100.0)
+                .unwrap_or(0.0)
+        ),
+        &[
+            "init_scheme",
+            "mode",
+            "output",
+            "intermediate",
+            "peak_MiB",
+            "makespan_s",
+            "network_tuples",
+            "migrations",
+        ],
+        &table,
+    );
+
+    // Per-stage breakdown of the CSIO pair: where the time and statistics
+    // went (sample sizes and cutoffs only exist on the pipelined side).
+    let (w, pipe, mat) = reference.expect("CSIO pair always runs");
+    let mut stage_rows = Vec::new();
+    for (mode, run) in [("pipelined", &pipe), ("materialized", &mat)] {
+        for (i, s) in run.stages.iter().enumerate() {
+            stage_rows.push(vec![
+                mode.to_string(),
+                i.to_string(),
+                s.kind.to_string(),
+                s.num_regions.to_string(),
+                s.join.output_total.to_string(),
+                s.sample_tuples.to_string(),
+                s.cutoff_seen.to_string(),
+                format!("{:.4}", s.stats_wall_secs),
+                format!("{:.4}", s.join.wall_join_secs),
+                format!("{:.4}", s.join.backpressure_secs),
+            ]);
+        }
+    }
+    print_table(
+        &format!("per-stage breakdown (CSIO, {})", w.name),
+        &[
+            "mode",
+            "stage",
+            "scheme",
+            "regions",
+            "output",
+            "stats_sample",
+            "stats_cutoff_seen",
+            "stats_wall_s",
+            "join_wall_s",
+            "backpressure_s",
+        ],
+        &stage_rows,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"plan_vs_materialize\",\n  \"workload\": \"{}\",\n  \"scale\": {},\n  \"j\": {},\n  \"threads\": {},\n  \"seed\": {},\n  \"intermediate_hot_fraction\": {:.4},\n  \"results\": [\n",
+        json_escape(&w.name),
+        rc.scale,
+        rc.j,
+        rc.threads,
+        rc.seed,
+        w.intermediate_hot_fraction,
+    ));
+    for (i, r) in runs.iter().enumerate() {
+        let stages: Vec<String> = r
+            .run
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"scheme\": \"{}\", \"regions\": {}, \"output\": {}, \"stats_sample\": {}, \"stats_cutoff_seen\": {}, \"stats_wall_secs\": {:.6}, \"join_wall_secs\": {:.6}}}",
+                    s.kind,
+                    s.num_regions,
+                    s.join.output_total,
+                    s.sample_tuples,
+                    s.cutoff_seen,
+                    s.stats_wall_secs,
+                    s.join.wall_join_secs,
+                )
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\"init_scheme\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"intermediate_tuples\": {}, \"peak_resident_bytes\": {}, \"makespan_secs\": {:.6}, \"network_tuples\": {}, \"regions_migrated\": {}, \"stages\": [{}]}}{}\n",
+            r.scheme,
+            r.mode,
+            r.run.output_total,
+            r.run.checksum,
+            r.run.intermediate_tuples(),
+            r.run.peak_resident_bytes,
+            r.run.wall_secs,
+            r.run.total.network_tuples,
+            r.run.total.regions_migrated,
+            stages.join(", "),
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing the JSON report failed");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

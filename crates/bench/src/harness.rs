@@ -1,10 +1,10 @@
 //! Shared experiment harness: consistent operator configuration, scheme
 //! sweeps, and TSV table printing for the per-figure binaries.
 
-use ewh_core::{CsiParams, HistogramParams, SchemeKind, TUPLE_BYTES};
+use ewh_core::{CostModel, CsiParams, HistogramParams, SchemeKind, TUPLE_BYTES};
 use ewh_exec::{run_operator, OperatorConfig, OperatorRun};
 
-use crate::workloads::Workload;
+use crate::workloads::{ChainWorkload, Workload};
 
 /// Experiment-level knobs shared by all binaries.
 #[derive(Clone, Copy, Debug)]
@@ -64,11 +64,21 @@ impl RunConfig {
 
     /// Operator configuration for one workload.
     pub fn operator_config(&self, w: &Workload) -> OperatorConfig {
+        self.config_with_cost(w.cost)
+    }
+
+    /// Operator configuration for a chained workload (shared by every
+    /// stage of the plan).
+    pub fn chain_config(&self, w: &ChainWorkload) -> OperatorConfig {
+        self.config_with_cost(w.cost)
+    }
+
+    fn config_with_cost(&self, cost: CostModel) -> OperatorConfig {
         OperatorConfig {
             j: self.j,
             threads: self.threads,
             seed: self.seed,
-            cost: w.cost,
+            cost,
             csi: CsiParams {
                 p: self.csi_p,
                 seed: self.seed,
@@ -104,6 +114,12 @@ pub fn mib(bytes: u64) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
 }
 
+/// Minimal JSON string escaping for the bench binaries' reports (one
+/// definition, shared so every `BENCH_*.json` escapes identically).
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Warns (stderr) when a workload is too small for pipelined-vs-batch
 /// peak-memory comparisons to mean anything: below ~3× the engine's bounded
 /// buffers (reducer queues + in-flight morsels + probe chunks) most of the
@@ -119,6 +135,27 @@ pub fn check_pipelined_scale(w: &Workload, cfg: &OperatorConfig) -> bool {
             "warning: workload `{}` has {} input tuples, below the ~{} floor where \
              pipelined peak-resident comparisons are meaningful (inputs must dwarf the \
              engine's bounded buffers); grow --scale or shrink queue/morsel sizes",
+            w.name,
+            w.n_input(),
+            floor
+        );
+    }
+    ok
+}
+
+/// The chained analogue of [`check_pipelined_scale`]: every stage of a
+/// plan-vs-materialize comparison must sit above the bounded-buffer floor,
+/// and the base relations are the smallest streams in play (the
+/// intermediate is strictly larger on the hot-key chain). Returns whether
+/// the workload is safely above the floor.
+pub fn check_plan_scale(w: &ChainWorkload, cfg: &OperatorConfig) -> bool {
+    let floor = cfg.min_pipelined_input_tuples();
+    let ok = w.n_input() >= floor;
+    if !ok {
+        eprintln!(
+            "warning: chained workload `{}` has {} base input tuples, below the ~{} floor \
+             where plan-vs-materialize peak-resident comparisons are meaningful; grow \
+             --scale or shrink queue/morsel sizes",
             w.name,
             w.n_input(),
             floor

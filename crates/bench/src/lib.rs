@@ -17,14 +17,17 @@
 //! | `table4_characteristics`  | Table IV (join characteristics) |
 //! | `table5_csi_buckets`      | Table V (CSI bucket sweep) |
 //! | `worst_case`              | §VI-E (worst cases + adaptive fallback) |
+//! | `pipeline_vs_batch`       | engine vs batch oracle + runtime migration |
+//! | `plan_vs_materialize`     | §IV-B chained joins: streamed vs materialized intermediates |
 
 pub mod harness;
 pub mod workloads;
 
 pub use harness::{
-    check_pipelined_scale, mib, print_table, rho_oi, run_all_schemes, run_scheme, RunConfig,
+    check_pipelined_scale, check_plan_scale, json_escape, mib, print_table, rho_oi,
+    run_all_schemes, run_scheme, RunConfig,
 };
 pub use workloads::{
-    bcb, beocd, beocd_gamma, bicd, encode_beocd, fig4a_workloads, retail_hotkey, Workload,
-    BEOCD_SHIFT, RETAIL_N,
+    bcb, beocd, beocd_gamma, bicd, chain_hotkey, chain_hotkey_with, encode_beocd, fig4a_workloads,
+    retail_hotkey, ChainWorkload, Workload, BEOCD_SHIFT, CHAIN_N, RETAIL_N,
 };

@@ -9,7 +9,11 @@
 //! | BE_OCD  | TPC-H   | `o1.custkey = o2.custkey AND \|sp1 − sp2\| ≤ 2` + filters | 36.8M / 2000M |
 
 use ewh_core::{CostModel, JoinCondition, Tuple};
-use ewh_datagen::{gen_orders, gen_retail, gen_x_relation, Order, OrdersParams, RetailParams};
+use ewh_datagen::{
+    gen_chain_retail, gen_orders, gen_retail, gen_x_relation, ChainParams, Order, OrdersParams,
+    RetailParams,
+};
+use ewh_exec::{ChainStage, StageSpec};
 
 /// Shift for the BE_OCD composite `(custkey, ship_priority)` key encoding;
 /// `ship_priority < 8 < 16` and `β = 2 < 16`.
@@ -217,6 +221,76 @@ pub fn retail_hotkey(scale: f64, seed: u64) -> Workload {
     }
 }
 
+/// Per-relation tuple count of the chained hot-key workload at
+/// `scale = 1.0`.
+pub const CHAIN_N: usize = 12_000;
+
+/// A ready-to-run two-hop chained join: `(A ⋈ B) ⋈ C`.
+#[derive(Clone, Debug)]
+pub struct ChainWorkload {
+    pub name: String,
+    pub a: Vec<Tuple>,
+    pub b: Vec<Tuple>,
+    pub c: Vec<Tuple>,
+    /// Root stage: `A` (build) ⋈ `B` (probe).
+    pub first: StageSpec,
+    /// Chain stage condition: `C` (build) ⋈ intermediate (probe).
+    pub second: StageSpec,
+    pub cost: CostModel,
+    /// Expected fraction of the intermediate on the hot key.
+    pub intermediate_hot_fraction: f64,
+}
+
+impl ChainWorkload {
+    /// Total base-relation input tuples (all three relations).
+    pub fn n_input(&self) -> u64 {
+        (self.a.len() + self.b.len() + self.c.len()) as u64
+    }
+
+    /// The plan's chain slice (borrowing `c`).
+    pub fn chain(&self) -> [ChainStage<'_>; 1] {
+        [ChainStage {
+            base: &self.c,
+            spec: self.second,
+        }]
+    }
+}
+
+/// CHAIN: the chained hot-key workload — `A ⋈ B` concentrates ≈ half of
+/// its output on one SKU, so the second hop's probe *stream* is an order
+/// of magnitude more skewed than any base relation (multi-way
+/// intermediate skew; not a paper workload). Both hops default to CSIO so
+/// the second hop's scheme is built from online intermediate statistics.
+pub fn chain_hotkey(scale: f64, seed: u64) -> ChainWorkload {
+    chain_hotkey_with(ewh_core::SchemeKind::Csio, scale, seed)
+}
+
+/// [`chain_hotkey`] with an explicit scheme kind for both hops.
+pub fn chain_hotkey_with(kind: ewh_core::SchemeKind, scale: f64, seed: u64) -> ChainWorkload {
+    let params = ChainParams {
+        n: ((CHAIN_N as f64 * scale) as usize).max(2_000),
+        seed,
+        ..Default::default()
+    };
+    let (a, b, c) = gen_chain_retail(&params);
+    ChainWorkload {
+        name: "CHAIN".into(),
+        a,
+        b,
+        c,
+        first: StageSpec {
+            kind,
+            cond: JoinCondition::Equi,
+        },
+        second: StageSpec {
+            kind,
+            cond: JoinCondition::Equi,
+        },
+        cost: CostModel::band(),
+        intermediate_hot_fraction: params.intermediate_hot_fraction(),
+    }
+}
+
 /// The paper's γ per scale factor (§ Appendix B: 120k/140k/160k for SF
 /// 80/160/320). Our scales 0.5/1.0/2.0 mirror those SFs.
 pub fn beocd_gamma(scale: f64) -> i64 {
@@ -313,6 +387,22 @@ mod tests {
             hot_pairs as f64 > 0.15 * total as f64,
             "hot key produces {hot_pairs} of {total} outputs"
         );
+    }
+
+    #[test]
+    fn chain_intermediate_is_more_skewed_than_its_inputs() {
+        let w = chain_hotkey(0.3, 7);
+        assert_eq!(w.n_input() as usize, w.a.len() + w.b.len() + w.c.len());
+        // The design target the plan executor's claims lean on: around
+        // half the intermediate on one key.
+        assert!(
+            w.intermediate_hot_fraction > 0.3 && w.intermediate_hot_fraction < 0.8,
+            "intermediate hot fraction {}",
+            w.intermediate_hot_fraction
+        );
+        let chain = w.chain();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].base.len(), w.c.len());
     }
 
     #[test]

@@ -24,15 +24,26 @@ fn serial() -> MutexGuard<'static, ()> {
     SERIAL.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Config for the peak-memory claim: halved reducer queues, so the bounded
+/// buffers sit well below the inputs. RETAIL's equi self-join has no
+/// replication (pipelined routed volume == batch shuffle volume), which
+/// makes its margin the thinnest of all workloads — at the default queue
+/// bound a momentarily backlogged queue plus the hot region's merge
+/// transient could brush the batch footprint.
+fn claim_config(w: &Workload, rc: &RunConfig, work: OutputWork) -> OperatorConfig {
+    OperatorConfig {
+        output_work: work,
+        queue_tuples: 2048,
+        ..rc.operator_config(w)
+    }
+}
+
 fn run_both(
     w: &Workload,
     rc: &RunConfig,
     work: OutputWork,
 ) -> (ewh_exec::OperatorRun, ewh_exec::OperatorRun) {
-    let base = OperatorConfig {
-        output_work: work,
-        ..rc.operator_config(w)
-    };
+    let base = claim_config(w, rc, work);
     let batch = run_operator(
         SchemeKind::Csio,
         &w.r1,
@@ -79,7 +90,7 @@ fn pipelined_peak_memory_beats_batch_on_zipf_and_hotkey_workloads() {
         // floor (inputs must dwarf the engine's bounded buffers) — assert
         // it so a future scale tweak cannot silently hollow the claim out.
         assert!(
-            check_pipelined_scale(w, &rc.operator_config(w)),
+            check_pipelined_scale(w, &claim_config(w, &rc, *work)),
             "{}: workload too small for a meaningful peak-memory claim",
             w.name
         );
@@ -122,10 +133,6 @@ fn migration_run(
     run_operator(SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg)
 }
 
-fn idle_sum(run: &OperatorRun) -> f64 {
-    run.join.reducer_idle_secs.iter().sum()
-}
-
 #[test]
 fn migration_recovers_a_straggling_reducer() {
     let _serial = serial();
@@ -164,10 +171,10 @@ fn migration_recovers_a_straggling_reducer() {
         frozen.join.wall_join_secs
     );
     assert!(
-        idle_sum(&adaptive) < idle_sum(&frozen),
+        adaptive.join.reducer_idle_total() < frozen.join.reducer_idle_total(),
         "migration-on idle {} !< migration-off idle {}",
-        idle_sum(&adaptive),
-        idle_sum(&frozen)
+        adaptive.join.reducer_idle_total(),
+        frozen.join.reducer_idle_total()
     );
 }
 

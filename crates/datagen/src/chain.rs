@@ -1,0 +1,141 @@
+//! Chained hot-key workload: three relations for a two-hop multi-way join
+//! whose *intermediate* is skewed — the scenario where multi-way plans
+//! actually fall over (SharesSkew, Afrati et al. 2015).
+//!
+//! `A` and `B` are retail-style streams sharing one hot SKU; their
+//! equi-join concentrates a quadratic share of the intermediate on that
+//! key, so the second join (`C ⋈ (A ⋈ B)`) receives a probe stream far more
+//! skewed than any base relation. `C` is a uniform catalog scan: the
+//! downstream operator's build side is benign — all the trouble streams in
+//! from upstream, which is exactly what online intermediate statistics and
+//! run-time migration must absorb.
+
+use ewh_core::Tuple;
+
+use crate::retail::{gen_retail, RetailParams};
+
+/// Tunables for [`gen_chain_retail`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChainParams {
+    /// Tuples per relation (all three).
+    pub n: usize,
+    /// Distinct keys (catalog size), hot key included.
+    pub n_keys: usize,
+    /// The hot key's weight relative to one cold key in `A` and `B`. The
+    /// *intermediate* hot fraction is roughly quadratic in the per-relation
+    /// hot fraction: 24× over 512 keys puts ≈ 4.5% of each input but
+    /// ≈ 50% of the `A ⋈ B` output on the hot key.
+    pub hot_factor: f64,
+    pub seed: u64,
+}
+
+impl Default for ChainParams {
+    fn default() -> Self {
+        ChainParams {
+            n: 12_000,
+            n_keys: 512,
+            hot_factor: 24.0,
+            seed: 0xC4A1,
+        }
+    }
+}
+
+impl ChainParams {
+    fn retail(&self, hot_factor: f64, salt: u64) -> RetailParams {
+        RetailParams {
+            n: self.n,
+            n_keys: self.n_keys,
+            hot_factor,
+            seed: self.seed ^ salt,
+        }
+    }
+
+    /// The shared hot key of `A` and `B`.
+    pub fn hot_key(&self) -> ewh_core::Key {
+        self.retail(self.hot_factor, 0).hot_key()
+    }
+
+    /// Expected fraction of the `A ⋈ B` equi-join output on the hot key:
+    /// the per-relation hot fractions multiply on the hot cell while the
+    /// cold mass spreads over `n_keys − 1` cells.
+    pub fn intermediate_hot_fraction(&self) -> f64 {
+        let p = self.retail(self.hot_factor, 0).hot_fraction();
+        // Cold pairs: (K−1) keys of ((1−p)·n/(K−1))² pairs each.
+        let cold_total = (1.0 - p) * (1.0 - p) / (self.n_keys as f64 - 1.0);
+        p * p / (p * p + cold_total)
+    }
+}
+
+/// Generates `(a, b, c)`: two hot-key streams and one uniform catalog over
+/// the same key domain.
+pub fn gen_chain_retail(params: &ChainParams) -> (Vec<Tuple>, Vec<Tuple>, Vec<Tuple>) {
+    let a = gen_retail(&params.retail(params.hot_factor, 0x0A));
+    let b = gen_retail(&params.retail(params.hot_factor, 0x0B));
+    // `hot_factor = 1` weights the "hot" slot like every cold key: uniform.
+    let c = gen_retail(&params.retail(1.0, 0x0C));
+    (a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_count(rel: &[Tuple], hot: ewh_core::Key) -> usize {
+        rel.iter().filter(|t| t.key == hot).count()
+    }
+
+    #[test]
+    fn a_and_b_share_a_hot_key_and_c_is_uniform() {
+        let p = ChainParams::default();
+        let (a, b, c) = gen_chain_retail(&p);
+        assert_eq!(a.len(), p.n);
+        assert_eq!(b.len(), p.n);
+        assert_eq!(c.len(), p.n);
+        let hot = p.hot_key();
+        let expect = p.retail(p.hot_factor, 0).hot_fraction() * p.n as f64;
+        for (name, rel) in [("a", &a), ("b", &b)] {
+            let got = hot_count(rel, hot) as f64;
+            assert!(
+                got > 0.6 * expect && got < 1.5 * expect,
+                "{name}: hot count {got} vs expected ≈ {expect}"
+            );
+        }
+        // C's hot slot carries no more than a few multiples of a uniform
+        // key's share.
+        let uniform = p.n as f64 / p.n_keys as f64;
+        let c_hot = hot_count(&c, hot) as f64;
+        assert!(c_hot < 3.0 * uniform, "c hot {c_hot} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn intermediate_is_hot_key_dominated() {
+        // Exact check of the design target: the A ⋈ B equi-join must put a
+        // large constant fraction of its output on the hot key — more
+        // skewed than either input.
+        let p = ChainParams {
+            n: 6_000,
+            ..Default::default()
+        };
+        let (a, b, _) = gen_chain_retail(&p);
+        let hot = p.hot_key();
+        let count = |rel: &[Tuple], k| rel.iter().filter(|t| t.key == k).count() as u64;
+        let mut m = 0u64;
+        for k in 0..p.n_keys as i64 {
+            m += count(&a, k) * count(&b, k);
+        }
+        let hot_pairs = count(&a, hot) * count(&b, hot);
+        let frac = hot_pairs as f64 / m as f64;
+        let predicted = p.intermediate_hot_fraction();
+        assert!(
+            frac > 0.25,
+            "hot key carries {frac} of the intermediate — not skewed enough"
+        );
+        assert!(
+            (frac - predicted).abs() < 0.2,
+            "measured hot fraction {frac} vs predicted {predicted}"
+        );
+        // And the input-side hot fraction is an order of magnitude smaller.
+        let input_frac = count(&a, hot) as f64 / a.len() as f64;
+        assert!(frac > 4.0 * input_frac);
+    }
+}

@@ -8,12 +8,16 @@
 //!   B_CB band joins (80/20 segments with join product skew).
 //! * [`gen_retail`] — the hot-key retail scenario (99 uniform keys plus one
 //!   key at ~100× their weight), exercising single-key output skew.
+//! * [`gen_chain_retail`] — three relations for a chained two-hop join
+//!   whose *intermediate* is hot-key dominated (multi-way skew).
 
+mod chain;
 mod retail;
 mod tpch;
 mod xdata;
 mod zipf;
 
+pub use chain::{gen_chain_retail, ChainParams};
 pub use retail::{gen_retail, RetailParams};
 pub use tpch::{
     gen_orders, Order, OrdersParams, ORDER_PRIORITIES, PRICE_MAX, PRICE_MIN, SHIP_PRIORITIES,

@@ -1,0 +1,490 @@
+//! The inter-operator exchange: a bounded batch queue connecting one
+//! operator's probe output to the next operator's mappers, plus the online
+//! statistics collector that lets the downstream partitioning scheme be
+//! built *while the intermediate streams* — no second pass over a
+//! materialized result.
+//!
+//! ## Exchange
+//!
+//! Upstream reducers push output batches as they sweep probe chunks;
+//! downstream mappers pop batches and route them like morsels. The queue is
+//! bounded in tuples, so a slow downstream operator exerts backpressure all
+//! the way up the chain (upstream reducers block pushing, their queues fill,
+//! upstream mappers block). Because query plans are DAGs this can only slow
+//! the pipeline down, never deadlock it. [`Exchange::close`] (called once
+//! the upstream operator has quiesced) is what lets the downstream seal
+//! protocol fire: a closed, fully routed exchange is the streamed
+//! equivalent of "the last morsel was claimed".
+//!
+//! ## Online statistics
+//!
+//! Every pushed batch is offered to an [`OnlineStats`] collector: a
+//! [`WeightedReservoir`] over the intermediate's join keys (uniform weights
+//! — a uniform sample of the stream seen so far) plus an exact tuple count.
+//! The plan driver blocks in [`OnlineStats::wait_cutoff`] until either a
+//! configured number of tuples has been observed or the stream closed
+//! (tiny intermediates), then freezes the sample and builds the downstream
+//! scheme from it. The cutoff is clamped below the exchange capacity by the
+//! caller, so the scheme is always ready before backpressure could reach
+//! the producer — the construction is deadlock-free by design.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ewh_core::{Key, Tuple};
+use ewh_sampling::WeightedReservoir;
+
+/// One observation from [`Exchange::pop_wait`].
+#[derive(Debug)]
+pub enum PopWait {
+    /// The next batch.
+    Batch(Vec<Tuple>),
+    /// Closed and drained — the end of the stream.
+    Closed,
+    /// Nothing arrived within the timeout; the stream is still open.
+    TimedOut,
+}
+
+/// A bounded MPMC queue of intermediate-tuple batches between two chained
+/// operators.
+#[derive(Debug)]
+pub struct Exchange {
+    inner: Mutex<ExchangeInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity_tuples: usize,
+}
+
+#[derive(Debug)]
+struct ExchangeInner {
+    batches: VecDeque<Vec<Tuple>>,
+    /// Tuples currently buffered.
+    used: usize,
+    /// Batches ever pushed (stable once `closed`).
+    pushed: u64,
+    closed: bool,
+    /// The consumer is gone (its stage unwound): producers must never
+    /// block again; pushes are discarded.
+    abandoned: bool,
+}
+
+impl Exchange {
+    pub fn new(capacity_tuples: usize) -> Self {
+        Exchange {
+            inner: Mutex::new(ExchangeInner {
+                batches: VecDeque::new(),
+                used: 0,
+                pushed: 0,
+                closed: false,
+                abandoned: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity_tuples: capacity_tuples.max(1),
+        }
+    }
+
+    /// Blocking push: waits while the queue is at capacity. A batch larger
+    /// than the whole capacity is admitted once the queue is empty (it
+    /// could never fit otherwise). Empty batches are dropped. Pushing after
+    /// [`close`](Exchange::close) is a bug in the producer.
+    ///
+    /// Memory-accounting contract: the producer charges the batch to the
+    /// **consuming engine's** [`MemGauge`](super::MemGauge) *before*
+    /// pushing (the reducer-side [`StageSink`] path does this), and the
+    /// consuming mapper releases it after routing — which is why a chained
+    /// plan must share one gauge across all its stages.
+    pub fn push(&self, batch: Vec<Tuple>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len();
+        let mut inner = self.inner.lock().expect("exchange poisoned");
+        debug_assert!(!inner.closed, "push after close");
+        while !inner.abandoned && inner.used > 0 && inner.used + n > self.capacity_tuples {
+            inner = self.not_full.wait(inner).expect("exchange poisoned");
+        }
+        if inner.abandoned {
+            // The consumer unwound; discard so the producer can run to
+            // completion and the failure propagates at the plan's joins
+            // instead of deadlocking. (Gauge accounting is best-effort on
+            // this path — the plan is already failing.)
+            return;
+        }
+        inner.used += n;
+        inner.pushed += 1;
+        inner.batches.push_back(batch);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Consumer-side teardown: marks the consumer as gone, waking and
+    /// unblocking every producer (their future pushes are discarded). Safe
+    /// to call after normal completion too — a drained, closed exchange
+    /// never sees another push. This is what keeps a panicking downstream
+    /// stage from deadlocking its upstream producer mid-`push`.
+    pub fn abandon(&self) {
+        let mut inner = self.inner.lock().expect("exchange poisoned");
+        inner.abandoned = true;
+        drop(inner);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Marks the stream complete: no batch will ever be pushed again. Wakes
+    /// every blocked consumer so they can observe the end of stream.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("exchange poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Blocking pop: the next batch, or `None` once the exchange is closed
+    /// and drained (the consumer-side end of stream).
+    pub fn pop(&self) -> Option<Vec<Tuple>> {
+        loop {
+            match self.pop_wait(std::time::Duration::from_secs(3600)) {
+                PopWait::Batch(batch) => return Some(batch),
+                PopWait::Closed => return None,
+                PopWait::TimedOut => {}
+            }
+        }
+    }
+
+    /// [`pop`](Exchange::pop) with a bounded wait, so a consumer can
+    /// interleave the wait with other checks (the engine's mappers re-check
+    /// cancellation between waits — a cancelled run must not hang on a
+    /// stalled upstream producer).
+    pub fn pop_wait(&self, timeout: std::time::Duration) -> PopWait {
+        let mut inner = self.inner.lock().expect("exchange poisoned");
+        loop {
+            if let Some(batch) = inner.batches.pop_front() {
+                inner.used -= batch.len();
+                drop(inner);
+                self.not_full.notify_all();
+                return PopWait::Batch(batch);
+            }
+            if inner.closed {
+                return PopWait::Closed;
+            }
+            let (guard, result) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .expect("exchange poisoned");
+            inner = guard;
+            if result.timed_out() {
+                // Re-check under the lock once before reporting: a push may
+                // have raced the timeout.
+                if let Some(batch) = inner.batches.pop_front() {
+                    inner.used -= batch.len();
+                    drop(inner);
+                    self.not_full.notify_all();
+                    return PopWait::Batch(batch);
+                }
+                if inner.closed {
+                    return PopWait::Closed;
+                }
+                return PopWait::TimedOut;
+            }
+        }
+    }
+
+    /// Is the stream complete *and* has the consumer routed every batch?
+    /// `routed` is the consumer's count of batches it finished processing —
+    /// the downstream seal protocol's end-of-relation test.
+    pub fn drained(&self, routed: u64) -> bool {
+        let inner = self.inner.lock().expect("exchange poisoned");
+        inner.closed && inner.batches.is_empty() && routed == inner.pushed
+    }
+
+    /// Tuples currently buffered.
+    pub fn used_tuples(&self) -> usize {
+        self.inner.lock().expect("exchange poisoned").used
+    }
+
+    /// Batches pushed so far (only stable after [`close`](Exchange::close)).
+    pub fn pushed_batches(&self) -> u64 {
+        self.inner.lock().expect("exchange poisoned").pushed
+    }
+}
+
+/// The frozen result of online statistics collection: a uniform sample of
+/// the intermediate's join keys and the exact count observed up to the
+/// freeze.
+#[derive(Clone, Debug)]
+pub struct IntermediateStats {
+    /// Uniform (weight-1 reservoir) sample of intermediate join keys.
+    pub sample: Vec<Key>,
+    /// Intermediate tuples observed before the sample froze.
+    pub seen: u64,
+    /// Whether the stream had already closed when the sample froze (the
+    /// sample then covers the *whole* intermediate, not a prefix).
+    pub complete: bool,
+}
+
+/// Online statistics over an intermediate stream: a weighted reservoir of
+/// join keys fed by the upstream probe as it produces output, plus the
+/// exact produced-tuple count. One writer-side call per pushed batch; one
+/// blocking reader ([`wait_cutoff`](OnlineStats::wait_cutoff)).
+#[derive(Debug)]
+pub struct OnlineStats {
+    /// Tuples to observe before the cutoff fires.
+    target: u64,
+    /// Set once the sample is taken; later offers only bump `seen`.
+    frozen: AtomicBool,
+    inner: Mutex<StatsInner>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct StatsInner {
+    reservoir: WeightedReservoir<Key>,
+    rng: SmallRng,
+    seen: u64,
+    closed: bool,
+}
+
+impl OnlineStats {
+    pub fn new(reservoir_tuples: usize, cutoff_tuples: usize, seed: u64) -> Self {
+        OnlineStats {
+            target: cutoff_tuples.max(1) as u64,
+            frozen: AtomicBool::new(false),
+            inner: Mutex::new(StatsInner {
+                reservoir: WeightedReservoir::new(reservoir_tuples.max(1)),
+                rng: SmallRng::seed_from_u64(seed ^ 0x0511_57A7),
+                seen: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Feeds one produced batch. Cheap after the freeze (a count bump).
+    pub fn offer(&self, batch: &[Tuple]) {
+        let frozen = self.frozen.load(Ordering::Acquire);
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        inner.seen += batch.len() as u64;
+        if !frozen {
+            let StatsInner { reservoir, rng, .. } = &mut *inner;
+            for t in batch {
+                reservoir.offer(t.key, 1, rng);
+            }
+            if inner.seen >= self.target {
+                drop(inner);
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    /// Marks the stream complete (wakes the waiting plan driver).
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Tuples observed so far (keeps counting after the freeze — by the end
+    /// of the run this is the exact intermediate cardinality).
+    pub fn seen(&self) -> u64 {
+        self.inner.lock().expect("stats poisoned").seen
+    }
+
+    /// Blocks until the cutoff target is reached or the stream closes, then
+    /// freezes and returns the sample. Single-shot by design (the plan
+    /// driver calls it once per stage boundary).
+    pub fn wait_cutoff(&self) -> IntermediateStats {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        while inner.seen < self.target && !inner.closed {
+            inner = self.ready.wait(inner).expect("stats poisoned");
+        }
+        self.frozen.store(true, Ordering::Release);
+        let reservoir = std::mem::replace(&mut inner.reservoir, WeightedReservoir::new(1));
+        IntermediateStats {
+            sample: reservoir.into_items().into_iter().map(|(k, _)| k).collect(),
+            seen: inner.seen,
+            complete: inner.closed,
+        }
+    }
+}
+
+/// Where a pipelined operator ships its probe output: the downstream
+/// exchange plus the online statistics collector riding on it. Reducers
+/// emit in batches of at most `batch_tuples`, flushed from *inside* the
+/// probe sweep — a hot region's single sweep can produce orders of
+/// magnitude more output than any bounded buffer, and pushing it whole
+/// would bypass the exchange bound (oversized batches are admitted when
+/// the queue is empty). Each batch is offered to the stats, charged to the
+/// shared memory gauge, and pushed; downstream backpressure therefore
+/// throttles the sweep itself.
+#[derive(Clone, Copy, Debug)]
+pub struct StageSink<'a> {
+    pub exchange: &'a Exchange,
+    pub stats: &'a OnlineStats,
+    /// Emission batch size (a morsel's worth; always ≥ 1).
+    pub batch_tuples: usize,
+}
+
+impl StageSink<'_> {
+    /// Closes both the exchange and the stats stream. Called (via
+    /// [`CloseOnDrop`]) when the producing operator finishes — or unwinds.
+    pub fn close(&self) {
+        self.stats.close();
+        self.exchange.close();
+    }
+}
+
+/// Closes a [`StageSink`] on drop, so a panicking upstream operator still
+/// releases the downstream consumers (they drain and finish; the panic then
+/// propagates at scope join).
+pub struct CloseOnDrop<'a>(pub StageSink<'a>);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Abandons a stage's *input* exchange on drop — the consumer-side
+/// counterpart of [`CloseOnDrop`]: if the consuming operator unwinds, its
+/// upstream producer must not stay blocked in [`Exchange::push`] forever.
+/// Running it after normal completion is harmless (the stream is already
+/// closed and drained).
+pub struct AbandonOnDrop<'a>(pub Option<&'a Exchange>);
+
+impl Drop for AbandonOnDrop<'_> {
+    fn drop(&mut self) {
+        if let Some(ex) = self.0 {
+            ex.abandon();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    fn batch(keys: &[Key]) -> Vec<Tuple> {
+        keys.iter().map(|&k| Tuple::new(k, k as u64)).collect()
+    }
+
+    #[test]
+    fn exchange_delivers_in_fifo_order_and_ends_cleanly() {
+        let ex = Exchange::new(8);
+        let consumed = AtomicU64::new(0);
+        thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..20i64 {
+                    ex.push(batch(&[i]));
+                }
+                ex.close();
+            });
+            s.spawn(|| {
+                let mut next = 0i64;
+                while let Some(b) = ex.pop() {
+                    assert_eq!(b[0].key, next, "FIFO violated");
+                    next += 1;
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(consumed.into_inner(), 20);
+        assert_eq!(ex.pushed_batches(), 20);
+        assert!(ex.drained(20));
+        assert!(!ex.drained(19));
+        assert_eq!(ex.used_tuples(), 0);
+    }
+
+    #[test]
+    fn oversized_batches_are_admitted_when_empty() {
+        let ex = Exchange::new(2);
+        ex.push(batch(&[1, 2, 3, 4, 5])); // larger than capacity
+        assert_eq!(ex.used_tuples(), 5);
+        assert_eq!(ex.pop().expect("present").len(), 5);
+        ex.close();
+        assert!(ex.pop().is_none());
+    }
+
+    #[test]
+    fn empty_batches_are_dropped() {
+        let ex = Exchange::new(4);
+        ex.push(Vec::new());
+        assert_eq!(ex.pushed_batches(), 0);
+        ex.close();
+        assert!(ex.pop().is_none());
+        assert!(ex.drained(0));
+    }
+
+    #[test]
+    fn abandon_unblocks_a_producer_stuck_in_push() {
+        let ex = Exchange::new(2);
+        ex.push(batch(&[1, 2])); // at capacity: the next push would block
+        thread::scope(|s| {
+            let producer = s.spawn(|| {
+                ex.push(batch(&[3, 4])); // blocks until abandon
+                ex.push(batch(&[5])); // discarded post-abandon, no block
+            });
+            thread::sleep(std::time::Duration::from_millis(10));
+            ex.abandon();
+            producer.join().expect("producer must unblock");
+        });
+    }
+
+    #[test]
+    fn stats_cutoff_fires_at_the_target() {
+        let stats = OnlineStats::new(64, 10, 7);
+        thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..6i64 {
+                    stats.offer(&batch(&[2 * i, 2 * i + 1]));
+                }
+            });
+            let cut = stats.wait_cutoff();
+            assert!(cut.seen >= 10);
+            assert!(!cut.sample.is_empty());
+            // Reservoir capacity 64 > stream: the sample is the full prefix.
+            assert_eq!(cut.sample.len() as u64, cut.seen);
+        });
+        // Offers after the freeze still count tuples.
+        stats.offer(&batch(&[99]));
+        assert_eq!(stats.seen(), 13);
+    }
+
+    #[test]
+    fn stats_cutoff_fires_on_close_for_tiny_streams() {
+        let stats = OnlineStats::new(16, 1_000_000, 3);
+        stats.offer(&batch(&[1, 2, 3]));
+        stats.close();
+        let cut = stats.wait_cutoff();
+        assert_eq!(cut.seen, 3);
+        assert!(cut.complete);
+        assert_eq!(cut.sample.len(), 3);
+    }
+
+    #[test]
+    fn reservoir_keeps_hot_keys_proportional() {
+        // A 50%-hot stream must stay roughly 50% hot in the frozen sample —
+        // the property the downstream scheme build depends on.
+        let stats = OnlineStats::new(512, 20_000, 11);
+        let mut stream = Vec::new();
+        for i in 0..20_000i64 {
+            stream.push(if i % 2 == 0 { 42 } else { i % 257 });
+        }
+        stats.offer(&batch(&stream));
+        let cut = stats.wait_cutoff();
+        assert_eq!(cut.sample.len(), 512);
+        let hot = cut.sample.iter().filter(|&&k| k == 42).count();
+        assert!(
+            (hot as f64) > 0.35 * 512.0 && (hot as f64) < 0.65 * 512.0,
+            "hot fraction {hot}/512 drifted from the stream's 50%"
+        );
+    }
+}

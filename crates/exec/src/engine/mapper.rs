@@ -11,12 +11,15 @@
 //! relies on the table's ordering contract (owner stored before the epoch
 //! bump) to tell pre-migration stragglers from post-migration traffic.
 //!
-//! Mappers coordinate the *seal protocol* without a central barrier: two
-//! atomic countdowns (one per relation) track unrouted morsels, and the
-//! mapper that finishes the last morsel of a relation broadcasts the seal to
-//! every reducer queue. Because every mapper finishes pushing a morsel's
-//! fragments *before* decrementing the countdown, FIFO queue order
-//! guarantees a reducer never sees relation data after that relation's seal.
+//! Mappers coordinate the *seal protocol* without a central barrier
+//! ([`SealState`]): atomic countdowns track unrouted scan morsels, and for
+//! an exchange-fed probe side a routed-batch counter is checked against the
+//! (closed) exchange's push count. Because every mapper finishes pushing a
+//! unit's fragments *before* publishing its completion, FIFO queue order
+//! guarantees a reducer never sees relation data after that relation's
+//! seal. Once the scan plan drains, mappers keep pulling intermediate
+//! batches from the upstream exchange until it closes — this is how a
+//! downstream operator's shuffle overlaps the upstream operator's probe.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -25,26 +28,84 @@ use rand::SeedableRng;
 
 use ewh_core::{Key, Rel, RouteBatch, RouteBuckets, Router, RoutingTable, Tuple};
 
+use super::exchange::{Exchange, PopWait};
 use super::morsel::{MemGauge, MorselPlan};
 use super::queue::{BoundedQueue, Delivery, RegionBatch};
+
+/// The engine's distributed end-of-input detector, shared by every mapper
+/// (and consulted once by the orchestrator for pre-sealing empty inputs).
+///
+/// * `SealR1` fires when the last `R1` scan morsel is routed (`R1` is
+///   always a scan; streamed build sides would need bushy plans).
+/// * `SealAll` fires when every scan morsel is routed **and** the probe
+///   exchange — if the probe side streams — is closed and fully routed.
+///   The upstream operator closes its output exchange at quiescence, so
+///   *upstream quiescence is what drives the downstream seal*.
+pub struct SealState<'a> {
+    /// Unrouted `R1` scan morsels; zero enables migrations and `SealR1`.
+    pub r1_remaining: AtomicUsize,
+    /// Unrouted scan morsels of both relations.
+    pub scan_remaining: AtomicUsize,
+    /// Streaming probe side, if any.
+    pub exchange: Option<&'a Exchange>,
+    /// Claim sequence for exchange batches (deterministic RNG streams).
+    pub exchange_claims: AtomicU64,
+    /// Exchange batches fully routed (fragments pushed).
+    pub routed_batches: AtomicU64,
+    /// Dedupes the `SealAll` broadcast.
+    sealed_all: AtomicBool,
+}
+
+impl<'a> SealState<'a> {
+    pub fn new(r1_morsels: usize, scan_morsels: usize, exchange: Option<&'a Exchange>) -> Self {
+        SealState {
+            r1_remaining: AtomicUsize::new(r1_morsels),
+            scan_remaining: AtomicUsize::new(scan_morsels),
+            exchange,
+            exchange_claims: AtomicU64::new(0),
+            routed_batches: AtomicU64::new(0),
+            sealed_all: AtomicBool::new(false),
+        }
+    }
+
+    /// Did `SealAll` fire? A completed run must have sealed; a cancelled
+    /// run never seals (the orchestrator's broken-pipeline test).
+    pub fn sealed_all(&self) -> bool {
+        self.sealed_all.load(Ordering::Acquire)
+    }
+
+    /// Broadcasts `SealAll` once the whole input — scan morsels and, if the
+    /// probe streams, the closed exchange — has been routed. Safe to call
+    /// from any task at any time; deduplicated internally.
+    pub fn maybe_seal_all(&self, queues: &[BoundedQueue]) {
+        if self.scan_remaining.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        if let Some(ex) = self.exchange {
+            if !ex.drained(self.routed_batches.load(Ordering::Acquire)) {
+                return;
+            }
+        }
+        if !self.sealed_all.swap(true, Ordering::AcqRel) {
+            broadcast(queues, || Delivery::SealAll);
+        }
+    }
+}
 
 /// Everything a mapper task needs, shared by reference across the engine's
 /// scoped threads.
 pub struct MapperShared<'a> {
     pub plan: &'a MorselPlan,
     pub r1: &'a [Tuple],
+    /// Scan tuples of the probe side (empty when the probe streams from an
+    /// exchange — see [`SealState::exchange`]).
     pub r2: &'a [Tuple],
     pub router: &'a Router,
     /// Region id → owning reducer, re-read per fragment (see module docs).
     pub table: &'a RoutingTable,
     pub queues: &'a [BoundedQueue],
-    /// Unrouted `R1` morsels; hitting zero triggers the `SealR1` broadcast.
-    pub r1_remaining: &'a AtomicUsize,
-    /// Unrouted morsels of *both* relations; hitting zero triggers
-    /// `SealAll`. This must count R1 too: mappers claim morsels in plan
-    /// order but finish in any order, so the last R2 morsel can complete
-    /// while another mapper is still routing an R1 morsel.
-    pub all_remaining: &'a AtomicUsize,
+    /// End-of-input tracking for both seals.
+    pub seal: &'a SealState<'a>,
     pub gauge: &'a MemGauge,
     pub network_tuples: &'a AtomicU64,
     pub morsels_routed: &'a AtomicU64,
@@ -57,7 +118,8 @@ pub struct MapperShared<'a> {
     pub cancel: &'a AtomicBool,
 }
 
-/// One mapper task. Runs until the plan drains or the run is cancelled.
+/// One mapper task. Routes the scan plan, then drains the probe exchange
+/// (if any); exits when both are done or the run is cancelled.
 pub struct MapperTask<'a> {
     shared: &'a MapperShared<'a>,
     buckets: RouteBuckets,
@@ -81,35 +143,68 @@ impl<'a> MapperTask<'a> {
                 return; // seals never fire; the orchestrator aborts reducers
             }
             let Some(morsel) = sh.plan.claim() else {
-                return;
+                break;
             };
             let tuples = match morsel.rel {
-                Rel::R1 => &sh.r1[morsel.range.clone()],
-                Rel::R2 => &sh.r2[morsel.range.clone()],
+                Rel::R1 => &sh.r1[morsel.range()],
+                Rel::R2 => &sh.r2[morsel.range()],
             };
-            self.route_morsel(morsel.index, morsel.rel, tuples);
+            self.route_batch(morsel.index as u64, morsel.rel, tuples);
             sh.morsels_routed.fetch_add(1, Ordering::Relaxed);
             // AcqRel: the last decrement must observe every other mapper's
             // queue pushes as already completed. The R1 seal is broadcast
-            // *before* this morsel's `all_remaining` decrement, so in every
+            // *before* this morsel's `scan_remaining` decrement, so in every
             // queue's FIFO order SealR1 precedes SealAll.
-            if morsel.rel == Rel::R1 && sh.r1_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if morsel.rel == Rel::R1 && sh.seal.r1_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 broadcast(sh.queues, || Delivery::SealR1);
             }
-            if sh.all_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                broadcast(sh.queues, || Delivery::SealAll);
+            if sh.seal.scan_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                sh.seal.maybe_seal_all(sh.queues);
+            }
+        }
+        // Scan plan drained: pull streamed probe batches until the upstream
+        // operator closes the exchange. Waits are bounded so cancellation
+        // stays observable even when the upstream producer stalls without
+        // closing (a cancelled run must never hang here).
+        let Some(exchange) = sh.seal.exchange else {
+            return;
+        };
+        loop {
+            if sh.cancel.load(Ordering::Relaxed) {
+                return;
+            }
+            match exchange.pop_wait(std::time::Duration::from_millis(5)) {
+                PopWait::Batch(batch) => {
+                    let seq = sh.seal.exchange_claims.fetch_add(1, Ordering::Relaxed);
+                    // Disjoint RNG stream space from plan morsel indices.
+                    self.route_batch(u64::MAX - seq, Rel::R2, &batch);
+                    // The batch leaves the exchange buffer only now — its
+                    // routed copies were charged fragment by fragment above.
+                    sh.gauge.sub(batch.len() as u64);
+                    sh.morsels_routed.fetch_add(1, Ordering::Relaxed);
+                    sh.seal.routed_batches.fetch_add(1, Ordering::AcqRel);
+                    sh.seal.maybe_seal_all(sh.queues);
+                }
+                PopWait::Closed => {
+                    // Closed and empty. Re-check the seal: the mapper that
+                    // routed the final batch may have observed the exchange
+                    // still open.
+                    sh.seal.maybe_seal_all(sh.queues);
+                    return;
+                }
+                PopWait::TimedOut => {}
             }
         }
     }
 
-    fn route_morsel(&mut self, index: usize, rel: Rel, tuples: &[Tuple]) {
+    fn route_batch(&mut self, stream: u64, rel: Rel, tuples: &[Tuple]) {
         let sh = self.shared;
         self.keybuf.clear();
         self.keybuf.extend(tuples.iter().map(|t| t.key));
-        // Seed the routing RNG per morsel (not per thread) so content-
+        // Seed the routing RNG per morsel/batch (not per thread) so content-
         // insensitive routing is identical no matter which mapper claims the
-        // morsel — network volume stays deterministic per seed.
-        let stream = (index as u64) << 1 | matches!(rel, Rel::R2) as u64;
+        // unit — network volume stays deterministic per seed for scans.
+        let stream = stream << 1 | matches!(rel, Rel::R2) as u64;
         let mut rng = SmallRng::seed_from_u64(sh.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         sh.router
             .route_batch(rel, &self.keybuf, &mut rng, &mut self.buckets);

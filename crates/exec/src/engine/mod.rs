@@ -26,30 +26,49 @@
 //! Peak resident memory is tracked by a cluster-wide [`MemGauge`]; a
 //! completed run reports it alongside per-reducer busy/idle time,
 //! backpressure stalls, routed-morsel counts, and migration tallies.
+//!
+//! ## Composable operators
+//!
+//! The engine's inputs are [`Source`]s, not bare slices: a base-relation
+//! scan (morselized through the [`MorselPlan`]) or a bounded [`Exchange`]
+//! fed by an upstream operator's probe output. With an exchange probe side,
+//! mappers drain the scan plan first (the build relation) and then pull
+//! intermediate batches as the upstream produces them; the upstream
+//! operator's quiescence — it closes the exchange after its own `Finish` —
+//! is what drives the downstream `SealAll`. A [`StageSink`] on the
+//! producing side ships every swept chunk downstream and feeds the
+//! [`OnlineStats`] reservoir, so the next operator's partitioning scheme is
+//! built from statistics collected *during* the upstream probe, never from
+//! a second pass over a materialized intermediate. The plan-level driver
+//! lives in [`crate::run_plan`].
 
 mod board;
 mod coordinator;
+mod exchange;
 mod mapper;
 mod morsel;
 mod queue;
 mod reducer;
 
 pub use board::ProgressBoard;
-pub use morsel::{MemGauge, Morsel, MorselPlan};
+pub use exchange::{
+    AbandonOnDrop, CloseOnDrop, Exchange, IntermediateStats, OnlineStats, PopWait, StageSink,
+};
+pub use morsel::{MemGauge, Morsel, MorselPlan, Source};
 pub use queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 pub use reducer::{merge_sorted_runs, RegionResult};
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread;
 use std::time::Instant;
 
 use ewh_core::{JoinCondition, Router, RoutingTable, Tuple};
 
 use crate::adaptive::AdaptiveConfig;
-use crate::local_join::OutputWork;
+use crate::local_join::{KeyFrom, OutputWork};
 
 use coordinator::{run_coordinator, CoordinatorShared};
-use mapper::{broadcast, MapperShared, MapperTask};
+use mapper::{broadcast, MapperShared, MapperTask, SealState};
 use reducer::{ReducerOutcome, ReducerShared, ReducerTask};
 
 /// Fault injection: slow one reducer's absorption path down by a fixed cost
@@ -157,7 +176,38 @@ impl EngineOutcome {
     }
 }
 
-/// Runs one pipelined join execution.
+/// The inputs and wiring of one pipelined operator execution — what flows
+/// in (two [`Source`]s), how it routes (router + routing table + morsel
+/// plan) and where the output goes (an optional downstream [`StageSink`]).
+/// Grouping these keeps [`run_pipelined_io`] callable from both the
+/// one-shot operator layer and the chained plan executor.
+#[derive(Clone, Copy)]
+pub struct EngineIo<'a> {
+    /// Build side. Must be a scan today: a streamed build side would need
+    /// bushy plans (left-deep chains always build on a base relation).
+    pub r1: Source<'a>,
+    /// Probe side: scan, or the streamed output of an upstream operator.
+    pub r2: Source<'a>,
+    pub router: &'a Router,
+    pub cond: &'a JoinCondition,
+    /// Region → reducer ownership (see [`run_pipelined`]).
+    pub table: &'a RoutingTable,
+    /// Morsel decomposition of the *scan* sources (an exchange side
+    /// contributes zero morsels — its batches arrive pre-cut).
+    pub plan: &'a MorselPlan,
+    /// Ship probe output downstream (chained plans).
+    pub sink: Option<StageSink<'a>>,
+    /// Which side's key emitted intermediates carry.
+    pub key_from: KeyFrom,
+    /// Share a cluster-wide gauge across a whole plan so
+    /// [`EngineOutcome::peak_resident_tuples`] reports the plan-global
+    /// high-water mark (exchange buffers included). `None`: private gauge.
+    pub gauge: Option<&'a MemGauge>,
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+/// Runs one pipelined join execution over two in-memory relations — the
+/// classic operator entry point, forwarding to [`run_pipelined_io`].
 ///
 /// `table` publishes region → reducer ownership (initial values
 /// `< cfg.reducers`; the operator layer seeds it with LPT over estimated
@@ -177,6 +227,33 @@ pub fn run_pipelined(
     cfg: &EngineConfig,
     cancel: Option<&AtomicBool>,
 ) -> EngineOutcome {
+    run_pipelined_io(
+        EngineIo {
+            r1: Source::Scan(r1),
+            r2: Source::Scan(r2),
+            router,
+            cond,
+            table,
+            plan,
+            sink: None,
+            key_from: KeyFrom::Probe,
+            gauge: None,
+            cancel,
+        },
+        cfg,
+    )
+}
+
+/// Runs one pipelined operator over generalized [`Source`]s — the entry
+/// point of the composable plan executor (see [`EngineIo`]).
+pub fn run_pipelined_io(io: EngineIo<'_>, cfg: &EngineConfig) -> EngineOutcome {
+    assert!(
+        io.r1.exchange().is_none(),
+        "streamed build sides are unsupported: left-deep chains build on base relations"
+    );
+    let r1 = io.r1.scan_tuples();
+    let r2 = io.r2.scan_tuples();
+    let (router, cond, table, plan) = (io.router, io.cond, io.table, io.plan);
     let n_regions = table.n_regions();
     let reducers = cfg.reducers.max(1);
     debug_assert!(table.snapshot().iter().all(|&q| (q as usize) < reducers));
@@ -185,17 +262,16 @@ pub fn run_pipelined(
     let queues: Vec<BoundedQueue> = (0..reducers)
         .map(|_| BoundedQueue::new(cfg.queue_tuples))
         .collect();
-    let gauge = MemGauge::default();
+    let local_gauge = MemGauge::default();
+    let gauge = io.gauge.unwrap_or(&local_gauge);
     let board = ProgressBoard::new(reducers, n_regions);
     let default_cancel = AtomicBool::new(false);
-    let cancel = cancel.unwrap_or(&default_cancel);
+    let cancel = io.cancel.unwrap_or(&default_cancel);
     // Seed the seal countdowns from the *unconsumed* remainder: a resumed
     // plan (cancelled earlier run) only routes what is left, so counting
     // the full plan would leave the seals unreachable.
     let r1_left = plan.r1_unconsumed();
-    let all_left = plan.unconsumed();
-    let r1_remaining = AtomicUsize::new(r1_left);
-    let all_remaining = AtomicUsize::new(all_left);
+    let seal = SealState::new(r1_left, plan.unconsumed(), io.r2.exchange());
     let network_tuples = AtomicU64::new(0);
     let morsels_routed = AtomicU64::new(0);
     let in_flight = AtomicU64::new(0);
@@ -209,13 +285,12 @@ pub fn run_pipelined(
     let coordinated = cfg.adaptive.reassign;
 
     // An empty relation — or a portion fully claimed before this run —
-    // never triggers a mapper-side seal; pre-seal here.
+    // never triggers a mapper-side seal; pre-seal here. (SealAll further
+    // requires a drained exchange when the probe side streams.)
     if r1_left == 0 {
         broadcast(&queues, || Delivery::SealR1);
     }
-    if all_left == 0 {
-        broadcast(&queues, || Delivery::SealAll);
-    }
+    seal.maybe_seal_all(&queues);
 
     let mapper_shared = MapperShared {
         plan,
@@ -224,9 +299,8 @@ pub fn run_pipelined(
         router,
         table,
         queues: &queues,
-        r1_remaining: &r1_remaining,
-        all_remaining: &all_remaining,
-        gauge: &gauge,
+        seal: &seal,
+        gauge,
         network_tuples: &network_tuples,
         morsels_routed: &morsels_routed,
         in_flight: &in_flight,
@@ -237,7 +311,7 @@ pub fn run_pipelined(
         queues: &queues,
         table,
         board: &board,
-        gauge: &gauge,
+        gauge,
         cond,
         work: cfg.work,
         probe_chunk: cfg.probe_chunk.max(1),
@@ -246,13 +320,15 @@ pub fn run_pipelined(
         migration_tuples: &migration_tuples,
         coordinated,
         straggler: cfg.straggler,
+        sink: io.sink,
+        key_from: io.key_from,
     };
     let coordinator_shared = CoordinatorShared {
         queues: &queues,
         table,
         board: &board,
         adaptive: &cfg.adaptive,
-        r1_remaining: &r1_remaining,
+        r1_remaining: &seal.r1_remaining,
         mappers_done: &mappers_done,
         abort: &abort,
         in_flight: &in_flight,
@@ -286,12 +362,12 @@ pub fn run_pipelined(
         for h in mapper_handles {
             h.join().expect("mapper task panicked");
         }
-        // If the mappers exited without routing everything (cancellation),
-        // the seal chain is broken: stop the coordinator and abort the
-        // reducers explicitly. Control messages bypass queue bounds, so this
-        // cannot deadlock. Otherwise hand termination to the coordinator
-        // (Finish at quiescence) or, uncoordinated, to the SealAll chain.
-        let broken = all_remaining.load(Ordering::Acquire) != 0;
+        // If the mappers exited without sealing (cancellation), the seal
+        // chain is broken: stop the coordinator and abort the reducers
+        // explicitly. Control messages bypass queue bounds, so this cannot
+        // deadlock. Otherwise hand termination to the coordinator (Finish
+        // at quiescence) or, uncoordinated, to the SealAll chain.
+        let broken = !seal.sealed_all();
         if broken {
             abort.store(true, Ordering::Release);
         } else {
@@ -625,6 +701,228 @@ mod tests {
             .filter(|(now, init)| now != init)
             .count() as u64;
         assert_eq!(moved, out.regions_migrated);
+    }
+
+    /// Streams `r2` through an [`Exchange`] in `batch` -sized chunks from a
+    /// producer thread (honoring the gauge contract), runs the engine with
+    /// an exchange-fed probe side, and returns the outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn run_exchange_fed(
+        r1: &[Tuple],
+        r2: &[Tuple],
+        router: &Router,
+        n_regions: usize,
+        cond: &JoinCondition,
+        cfg: &EngineConfig,
+        batch: usize,
+        capacity: usize,
+    ) -> EngineOutcome {
+        let region_to_reducer: Vec<u32> =
+            (0..n_regions).map(|r| (r % cfg.reducers) as u32).collect();
+        let table = RoutingTable::new(&region_to_reducer);
+        let plan = MorselPlan::new(r1.len(), 0, 128);
+        let exchange = Exchange::new(capacity);
+        let gauge = MemGauge::default();
+        thread::scope(|s| {
+            s.spawn(|| {
+                for chunk in r2.chunks(batch.max(1)) {
+                    gauge.add(chunk.len() as u64);
+                    exchange.push(chunk.to_vec());
+                }
+                exchange.close();
+            });
+            run_pipelined_io(
+                EngineIo {
+                    r1: Source::Scan(r1),
+                    r2: Source::Exchange(&exchange),
+                    router,
+                    cond,
+                    table: &table,
+                    plan: &plan,
+                    sink: None,
+                    key_from: crate::local_join::KeyFrom::Probe,
+                    gauge: Some(&gauge),
+                    cancel: None,
+                },
+                cfg,
+            )
+        })
+    }
+
+    #[test]
+    fn exchange_fed_probe_matches_the_scan_probe() {
+        // The same join, probe side streamed through an exchange in awkward
+        // batch sizes vs. scanned from memory: identical output, checksum,
+        // and network volume (deterministic router).
+        let k1: Vec<Key> = (0..2500).map(|i| (i * 7 % 700) as Key).collect();
+        let k2: Vec<Key> = (0..2500).map(|i| (i * 11 % 700) as Key).collect();
+        let cond = JoinCondition::Band { beta: 1 };
+        let scheme = build_csio(
+            &k1,
+            &k2,
+            &cond,
+            &CostModel::band(),
+            &HistogramParams {
+                j: 5,
+                ..Default::default()
+            },
+        );
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let scan = run(
+            &r1,
+            &r2,
+            &scheme.router,
+            scheme.num_regions(),
+            &cond,
+            128,
+            2,
+        );
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 2,
+            queue_tuples: 1024,
+            probe_chunk: 128,
+            seed: 7,
+            work: OutputWork::Touch,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
+        };
+        for batch in [1usize, 97, 4096] {
+            let out = run_exchange_fed(
+                &r1,
+                &r2,
+                &scheme.router,
+                scheme.num_regions(),
+                &cond,
+                &cfg,
+                batch,
+                512,
+            );
+            assert!(!out.cancelled, "batch {batch}");
+            assert_eq!(out.output_total(), scan.output_total(), "batch {batch}");
+            assert_eq!(out.checksum(), scan.checksum(), "batch {batch}");
+            assert_eq!(out.network_tuples, scan.network_tuples, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn exchange_fed_probe_survives_forced_migrations() {
+        let k: Vec<Key> = (0..3000).map(|i| (i % 150) as Key).collect();
+        let (r1, r2) = (tuples(&k), tuples(&k));
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(8, 3000, 3000, None);
+        let (expect_c, expect_s) = nested_loop(&r1, &r2, &cond);
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 2,
+            queue_tuples: 512,
+            probe_chunk: 64,
+            seed: 19,
+            work: OutputWork::Touch,
+            adaptive: AdaptiveConfig {
+                reassign: true,
+                migrate_backlog_tuples: 1,
+                poll_micros: 50,
+                ..Default::default()
+            },
+            straggler: Some(Straggler {
+                reducer: 0,
+                nanos_per_tuple: 10_000,
+            }),
+        };
+        let out = run_exchange_fed(
+            &r1,
+            &r2,
+            &scheme.router,
+            scheme.num_regions(),
+            &cond,
+            &cfg,
+            61,
+            256,
+        );
+        assert!(!out.cancelled);
+        assert_eq!(out.output_total(), expect_c);
+        assert_eq!(out.checksum(), expect_s);
+    }
+
+    #[test]
+    fn cancel_interrupts_a_stalled_exchange_probe() {
+        // The upstream producer never pushes and never closes; a cancelled
+        // downstream run must still unwind (bounded pop waits re-check the
+        // cancel flag) instead of hanging in the exchange forever.
+        let r1 = tuples(&(0..500).collect::<Vec<Key>>());
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(4, 500, 0, None);
+        let region_to_reducer: Vec<u32> =
+            (0..scheme.num_regions()).map(|r| (r % 2) as u32).collect();
+        let table = RoutingTable::new(&region_to_reducer);
+        let plan = MorselPlan::new(r1.len(), 0, 128);
+        let exchange = Exchange::new(256); // open for the whole test
+        let cancel = AtomicBool::new(false);
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 2,
+            queue_tuples: 512,
+            probe_chunk: 64,
+            seed: 23,
+            work: OutputWork::Touch,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
+        };
+        let out = thread::scope(|s| {
+            s.spawn(|| {
+                // Let the mappers drain the scan plan and block on the
+                // stalled exchange, then cancel.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                cancel.store(true, Ordering::Release);
+            });
+            run_pipelined_io(
+                EngineIo {
+                    r1: Source::Scan(&r1),
+                    r2: Source::Exchange(&exchange),
+                    router: &scheme.router,
+                    cond: &cond,
+                    table: &table,
+                    plan: &plan,
+                    sink: None,
+                    key_from: crate::local_join::KeyFrom::Probe,
+                    gauge: None,
+                    cancel: Some(&cancel),
+                },
+                &cfg,
+            )
+        });
+        assert!(out.cancelled, "stalled-exchange run must abort, not hang");
+        assert_eq!(out.output_total(), 0);
+    }
+
+    #[test]
+    fn empty_exchange_terminates_the_downstream_operator() {
+        let r1 = tuples(&[1, 2, 3]);
+        let cond = JoinCondition::Equi;
+        let scheme = build_ci(4, 3, 0, None);
+        let cfg = EngineConfig {
+            mappers: 2,
+            reducers: 2,
+            queue_tuples: 64,
+            probe_chunk: 16,
+            seed: 3,
+            work: OutputWork::Touch,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
+        };
+        let out = run_exchange_fed(
+            &r1,
+            &[],
+            &scheme.router,
+            scheme.num_regions(),
+            &cond,
+            &cfg,
+            8,
+            64,
+        );
+        assert!(!out.cancelled);
+        assert_eq!(out.output_total(), 0);
     }
 
     #[test]

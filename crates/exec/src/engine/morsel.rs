@@ -12,17 +12,73 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use ewh_core::Rel;
+use ewh_core::{Rel, Tuple};
+
+use super::exchange::Exchange;
 
 /// One claimable unit of routing work: a contiguous tuple range of one
-/// relation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// relation. `Copy` on purpose: mappers claim morsels in a hot loop and a
+/// plain start/end pair costs nothing to hand around (a `Range` field would
+/// force a clone per claim).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Morsel {
     /// Position in the plan's global order (R1 morsels first).
     pub index: usize,
     pub rel: Rel,
-    /// Tuple index range within the relation.
-    pub range: Range<usize>,
+    /// First tuple index of the run (inclusive).
+    pub start: usize,
+    /// One past the last tuple index (exclusive).
+    pub end: usize,
+}
+
+impl Morsel {
+    /// The tuple index range within the relation.
+    #[inline]
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// One input side of a pipelined operator: either a base relation resident
+/// in memory (scanned through the [`MorselPlan`]'s arithmetic morsels) or
+/// the streamed probe output of an upstream operator, arriving batch by
+/// batch through a bounded [`Exchange`]. This is what makes operators
+/// *composable*: a downstream join consumes the upstream's output without
+/// the intermediate ever being fully resident.
+#[derive(Clone, Copy, Debug)]
+pub enum Source<'a> {
+    /// A base relation (or any fully materialized input).
+    Scan(&'a [Tuple]),
+    /// The streamed output of an upstream operator.
+    Exchange(&'a Exchange),
+}
+
+impl<'a> Source<'a> {
+    /// The scan slice, empty for exchange sources (their tuples are pulled
+    /// from the queue, never addressed by morsel range).
+    pub fn scan_tuples(&self) -> &'a [Tuple] {
+        match self {
+            Source::Scan(t) => t,
+            Source::Exchange(_) => &[],
+        }
+    }
+
+    pub fn exchange(&self) -> Option<&'a Exchange> {
+        match self {
+            Source::Scan(_) => None,
+            Source::Exchange(e) => Some(e),
+        }
+    }
 }
 
 /// The morsel decomposition of a join's two inputs. Construction is O(1):
@@ -70,14 +126,16 @@ impl MorselPlan {
             Morsel {
                 index,
                 rel: Rel::R1,
-                range: start..(start + self.morsel_tuples).min(self.n1),
+                start,
+                end: (start + self.morsel_tuples).min(self.n1),
             }
         } else {
             let start = (index - r1m) * self.morsel_tuples;
             Morsel {
                 index,
                 rel: Rel::R2,
-                range: start..(start + self.morsel_tuples).min(self.n2),
+                start,
+                end: (start + self.morsel_tuples).min(self.n2),
             }
         }
     }
@@ -156,15 +214,16 @@ mod tests {
         for i in 0..plan.total() {
             let m = plan.describe(i);
             assert_eq!(m.index, i);
-            assert!(m.range.len() <= 1024 && !m.range.is_empty());
+            assert!(m.len() <= 1024 && !m.is_empty());
+            assert_eq!(m.range(), m.start..m.end);
             match m.rel {
                 Rel::R1 => {
-                    assert_eq!(m.range.start, covered1);
-                    covered1 = m.range.end;
+                    assert_eq!(m.start, covered1);
+                    covered1 = m.end;
                 }
                 Rel::R2 => {
-                    assert_eq!(m.range.start, covered2);
-                    covered2 = m.range.end;
+                    assert_eq!(m.start, covered2);
+                    covered2 = m.end;
                 }
             }
         }

@@ -37,9 +37,10 @@ use std::time::{Duration, Instant};
 
 use ewh_core::{JoinCondition, Rel, RoutingTable, Tuple};
 
-use crate::local_join::{sweep_sorted, OutputWork};
+use crate::local_join::{sweep_sorted, sweep_sorted_each, KeyFrom, OutputWork};
 
 use super::board::ProgressBoard;
+use super::exchange::StageSink;
 use super::morsel::MemGauge;
 use super::queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 use super::Straggler;
@@ -110,6 +111,11 @@ pub struct ReducerShared<'a> {
     pub coordinated: bool,
     /// Fault-injection: slow down one reducer's absorption path.
     pub straggler: Option<Straggler>,
+    /// Chained plans: ship each swept chunk's output downstream (and feed
+    /// the online statistics) instead of folding it into a checksum only.
+    pub sink: Option<StageSink<'a>>,
+    /// Which side's key the emitted intermediate carries (see [`KeyFrom`]).
+    pub key_from: KeyFrom,
 }
 
 /// One reducer task: drains queue `me` until finished or aborted.
@@ -375,12 +381,40 @@ impl<'a> ReducerTask<'a> {
         build
     }
 
-    /// Sweeps and frees the region's buffered probe chunk.
+    /// Sweeps and frees the region's buffered probe chunk. With a sink, the
+    /// swept pairs are materialized and shipped downstream: the output is
+    /// first offered to the online statistics collector, then pushed to the
+    /// exchange (blocking under downstream backpressure — plans are DAGs,
+    /// so this throttles the chain without ever deadlocking it). Exchange-
+    /// resident tuples are charged to the shared gauge here and released by
+    /// the downstream mapper once it has routed the batch.
     fn flush(st: &mut RegionState, sh: &ReducerShared<'_>, me: usize) {
         debug_assert!(st.sealed);
         let mut probe = mem::take(&mut st.pending);
         probe.sort_unstable_by_key(|t| t.key);
-        let (count, checksum) = sweep_sorted(&st.build, &probe, sh.cond, sh.work);
+        let (count, checksum) = match sh.sink {
+            None => sweep_sorted(&st.build, &probe, sh.cond, sh.work),
+            Some(sink) => {
+                let cap = sink.batch_tuples.max(1);
+                let mut buf: Vec<Tuple> = Vec::with_capacity(cap);
+                let ship = |batch: Vec<Tuple>| {
+                    sink.stats.offer(&batch);
+                    sh.gauge.add(batch.len() as u64);
+                    sink.exchange.push(batch);
+                };
+                let (count, checksum) =
+                    sweep_sorted_each(&st.build, &probe, sh.cond, sh.key_from, |t| {
+                        buf.push(t);
+                        if buf.len() >= cap {
+                            ship(mem::replace(&mut buf, Vec::with_capacity(cap)));
+                        }
+                    });
+                if !buf.is_empty() {
+                    ship(buf);
+                }
+                (count, checksum)
+            }
+        };
         st.output += count;
         st.checksum ^= checksum;
         sh.board.note_chunk_swept(me);

@@ -10,6 +10,16 @@
 //! cluster memory (modeled and actually-resident peak), and per-worker
 //! loads.
 //!
+//! Operators *compose*: [`run_plan`] executes a left-deep chain of 2-way
+//! joins (§IV-B's multi-way strategy) in which every reducer's probe output
+//! streams through a bounded [`Exchange`] into the
+//! downstream operator's mappers, the downstream partitioning scheme is
+//! built from online reservoir statistics collected during the upstream
+//! probe ([`engine::OnlineStats`]), and an upstream operator's quiescence
+//! drives the downstream seal — intermediates are never fully resident.
+//! [`run_plan_materialized`] keeps the classic materialize-between-
+//! operators execution as the oracle and comparison baseline.
+//!
 //! The engine handles skew at run time, too: region → reducer ownership
 //! lives in an epoch-versioned [`ewh_core::RoutingTable`] that mappers
 //! re-resolve per fragment, and a migration coordinator watches reducer
@@ -21,7 +31,8 @@
 //! The barrier-phased batch path ([`shuffle`] + [`execute_join`]) is kept as
 //! the reference oracle behind [`ExecMode::Batch`]; property tests assert
 //! both modes produce identical joins (including with migration thresholds
-//! forced to fire, `tests/prop_migration.rs`).
+//! forced to fire, `tests/prop_migration.rs`, and across chained plans,
+//! `tests/prop_plan.rs`).
 //!
 //! Also implements the operational extensions of the paper: the
 //! high-selectivity CI fallback (§VI-E, [`run_operator_adaptive`], which in
@@ -34,16 +45,23 @@ pub mod engine;
 mod local_join;
 mod metrics;
 mod operator;
+mod plan;
 mod shuffle;
 
 pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
 pub use engine::{
-    EngineConfig, EngineOutcome, MemGauge, Morsel, MorselPlan, ProgressBoard, Straggler,
+    EngineConfig, EngineIo, EngineOutcome, Exchange, MemGauge, Morsel, MorselPlan, OnlineStats,
+    ProgressBoard, Source, StageSink, Straggler,
 };
-pub use local_join::{local_join, sweep_sorted, OutputWork};
+pub use local_join::{
+    local_join, output_tuple, sweep_sorted, sweep_sorted_each, sweep_sorted_into, KeyFrom,
+    OutputWork,
+};
 pub use metrics::JoinStats;
 pub use operator::{
-    assign_regions, build_scheme, execute_join, execute_join_pipelined, lpt_schedule, run_operator,
-    run_operator_adaptive, ExecMode, FallbackPolicy, OperatorConfig, OperatorRun,
+    assign_regions, build_scheme, build_scheme_from_keys, execute_join, execute_join_pipelined,
+    lpt_schedule, run_operator, run_operator_adaptive, stats_from_outcome, ExecMode,
+    FallbackPolicy, OperatorConfig, OperatorRun,
 };
+pub use plan::{run_plan, run_plan_materialized, ChainStage, PlanRun, PlanStageRun, StageSpec};
 pub use shuffle::{shuffle, Shuffled};

@@ -23,6 +23,37 @@ pub enum OutputWork {
     Touch,
 }
 
+/// Which side's join key an emitted output tuple carries — i.e. which
+/// attribute the *next* operator in a chained query plan joins on.
+///
+/// A left-deep chain `A ⋈ B ⋈ C` joins each new base relation against the
+/// running intermediate: the first operator's output is keyed by its probe
+/// side (`B`, the freshly joined relation), while every later operator
+/// builds on the new base relation and probes the streamed intermediate, so
+/// its output is keyed by the *build* side (the freshly joined `C`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyFrom {
+    Build,
+    Probe,
+}
+
+/// The canonical output tuple of one matched pair — the single definition
+/// both the pipelined plan executor and the materialize-between-operators
+/// baseline use, so chained results are comparable bit for bit. The payload
+/// is exactly the pair's checksum contribution (`build·31 + probe`), so an
+/// operator's XOR checksum equals the XOR of its emitted payloads.
+#[inline]
+pub fn output_tuple(build: &Tuple, probe: &Tuple, key_from: KeyFrom) -> Tuple {
+    let key = match key_from {
+        KeyFrom::Build => build.key,
+        KeyFrom::Probe => probe.key,
+    };
+    Tuple::new(
+        key,
+        build.payload.wrapping_mul(31).wrapping_add(probe.payload),
+    )
+}
+
 /// Joins one worker's buckets in place (sorts both). Returns
 /// `(output_count, checksum)`; the checksum is 0 under [`OutputWork::Count`].
 pub fn local_join(
@@ -36,23 +67,27 @@ pub fn local_join(
     sweep_sorted(r1, r2, cond, work)
 }
 
-/// The sweep itself, over *pre-sorted* inputs — the pipelined engine calls
-/// this once per probe chunk against a region's sealed, sorted `R1` state.
+/// The one staircase kernel behind every sweep variant: walks the
+/// pre-sorted sides, and hands each `R1` tuple its contiguous run of
+/// joinable `R2` partners. Returns the pair count; what happens per pair
+/// (checksum fold, emission, nothing) is the caller's closure — inlined
+/// and monomorphized, so a no-op closure costs nothing.
 ///
-/// Narrows `r1` to the tuples whose joinable range can reach the probe's key
-/// span first: both `jr` endpoints are non-decreasing in the key (the
-/// staircase property), so the relevant `R1` tuples form one contiguous run
-/// found by two binary searches. A small probe chunk against a large sorted
-/// side therefore costs `O(log |r1| + relevant + output)` instead of
-/// `O(|r1|)`.
-pub fn sweep_sorted(
+/// Narrows `r1` to the tuples whose joinable range can reach the probe's
+/// key span first: both `jr` endpoints are non-decreasing in the key (the
+/// staircase property), so the relevant `R1` tuples form one contiguous
+/// run found by two binary searches. A small probe chunk against a large
+/// sorted side therefore costs `O(log |r1| + relevant + output)` instead
+/// of `O(|r1|)`.
+#[inline]
+fn sweep_ranges(
     r1: &[Tuple],
     r2: &[Tuple],
     cond: &JoinCondition,
-    work: OutputWork,
-) -> (u64, u64) {
+    mut on_range: impl FnMut(&Tuple, &[Tuple]),
+) -> u64 {
     if r1.is_empty() || r2.is_empty() {
-        return (0, 0);
+        return 0;
     }
     debug_assert!(r1.windows(2).all(|w| w[0].key <= w[1].key));
     debug_assert!(r2.windows(2).all(|w| w[0].key <= w[1].key));
@@ -62,7 +97,6 @@ pub fn sweep_sorted(
     let end = r1.partition_point(|t| cond.joinable_range(t.key).lo <= probe_max);
 
     let mut count = 0u64;
-    let mut checksum = 0u64;
     let mut lo = 0usize;
     let mut hi = 0usize;
     for t1 in r1[start..end].iter() {
@@ -77,13 +111,69 @@ pub fn sweep_sorted(
             hi += 1;
         }
         count += (hi - lo) as u64;
-        if work == OutputWork::Touch {
-            for t2 in &r2[lo..hi] {
+        on_range(t1, &r2[lo..hi]);
+    }
+    count
+}
+
+/// The sweep over *pre-sorted* inputs — the pipelined engine calls this
+/// once per probe chunk against a region's sealed, sorted `R1` state. See
+/// `sweep_ranges` above for the shared kernel and its complexity.
+pub fn sweep_sorted(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    work: OutputWork,
+) -> (u64, u64) {
+    let mut checksum = 0u64;
+    let count = match work {
+        // Count mode never iterates the partner runs: O(relevant), not
+        // O(output).
+        OutputWork::Count => sweep_ranges(r1, r2, cond, |_, _| {}),
+        OutputWork::Touch => sweep_ranges(r1, r2, cond, |t1, partners| {
+            for t2 in partners {
                 checksum ^= t1.payload.wrapping_mul(31).wrapping_add(t2.payload);
             }
-        }
-    }
+        }),
+    };
     (count, checksum)
+}
+
+/// [`sweep_sorted`] that *emits* the output: every matched pair is handed
+/// to `emit` as an [`output_tuple`], feeding a chained operator's exchange
+/// (pipelined plans, which flush bounded batches from inside the sweep so
+/// a hot region's output never materializes at once) or the materialized
+/// intermediate (the baseline). Returns `(count, checksum)` exactly like
+/// `sweep_sorted(..., OutputWork::Touch)` — the checksum is the XOR of the
+/// emitted payloads.
+pub fn sweep_sorted_each(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    key_from: KeyFrom,
+    mut emit: impl FnMut(Tuple),
+) -> (u64, u64) {
+    let mut checksum = 0u64;
+    let count = sweep_ranges(r1, r2, cond, |t1, partners| {
+        for t2 in partners {
+            let t = output_tuple(t1, t2, key_from);
+            checksum ^= t.payload;
+            emit(t);
+        }
+    });
+    (count, checksum)
+}
+
+/// [`sweep_sorted_each`] appending into a vector — the materialized
+/// baseline's per-region join.
+pub fn sweep_sorted_into(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    cond: &JoinCondition,
+    key_from: KeyFrom,
+    out: &mut Vec<Tuple>,
+) -> (u64, u64) {
+    sweep_sorted_each(r1, r2, cond, key_from, |t| out.push(t))
 }
 
 #[cfg(test)]
@@ -185,6 +275,35 @@ mod tests {
         let (cb, sb) = local_join(&mut r1b, &mut r2b, &cond, OutputWork::Touch);
         assert_eq!(ca, cb);
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn emitting_sweep_matches_touch_sweep_and_keys_by_side() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let k1: Vec<Key> = (0..300).map(|_| rng.gen_range(0..50)).collect();
+        let k2: Vec<Key> = (0..300).map(|_| rng.gen_range(0..50)).collect();
+        let mut r1 = tuples(&k1);
+        let mut r2 = tuples(&k2);
+        let cond = JoinCondition::Band { beta: 1 };
+        let (expect_c, expect_s) = local_join(&mut r1, &mut r2, &cond, OutputWork::Touch);
+
+        for key_from in [KeyFrom::Build, KeyFrom::Probe] {
+            let mut out = Vec::new();
+            let (c, s) = sweep_sorted_into(&r1, &r2, &cond, key_from, &mut out);
+            assert_eq!(c, expect_c);
+            assert_eq!(s, expect_s);
+            assert_eq!(out.len() as u64, expect_c);
+            // The checksum is exactly the XOR of the emitted payloads.
+            assert_eq!(out.iter().fold(0u64, |a, t| a ^ t.payload), expect_s);
+            // Every emitted key exists on the side it was taken from.
+            let side = match key_from {
+                KeyFrom::Build => &r1,
+                KeyFrom::Probe => &r2,
+            };
+            assert!(out
+                .iter()
+                .all(|t| side.binary_search_by_key(&t.key, |s| s.key).is_ok()));
+        }
     }
 
     #[test]

@@ -59,7 +59,59 @@ pub struct JoinStats {
     pub reducer_idle_secs: Vec<f64>,
 }
 
+/// Adds `src` elementwise into `dst`, growing `dst` as needed.
+fn add_elementwise<T: Copy + std::ops::AddAssign + Default>(dst: &mut Vec<T>, src: &[T]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), T::default());
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
 impl JoinStats {
+    /// Aggregates another operator's stats into this one — the canonical
+    /// way to total a multi-operator run (a chained query plan, a scheme
+    /// sweep) instead of summing fields by hand in every bench binary.
+    ///
+    /// Volumes, counts and times add; per-worker vectors add elementwise
+    /// (growing to the longer length); checksums XOR (order-invariant, as
+    /// everywhere else); `peak_resident_bytes` combines by `max` for
+    /// *sequential* runs — concurrent operators sharing a
+    /// [`MemGauge`](crate::MemGauge) already report a global peak, which a
+    /// sum would double-count; `max_weight_milli` takes the slowest
+    /// worker across runs.
+    pub fn merge(&mut self, other: &JoinStats) {
+        self.output_total += other.output_total;
+        add_elementwise(&mut self.per_worker_input, &other.per_worker_input);
+        add_elementwise(&mut self.per_worker_output, &other.per_worker_output);
+        self.max_weight_milli = self.max_weight_milli.max(other.max_weight_milli);
+        self.sim_join_secs += other.sim_join_secs;
+        self.wall_join_secs += other.wall_join_secs;
+        self.network_tuples += other.network_tuples;
+        self.mem_bytes += other.mem_bytes;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.overflowed |= other.overflowed;
+        self.checksum ^= other.checksum;
+        self.morsels_routed += other.morsels_routed;
+        self.regions_migrated += other.regions_migrated;
+        self.migration_tuples += other.migration_tuples;
+        self.migration_secs += other.migration_secs;
+        self.backpressure_secs += other.backpressure_secs;
+        add_elementwise(&mut self.reducer_busy_secs, &other.reducer_busy_secs);
+        add_elementwise(&mut self.reducer_idle_secs, &other.reducer_idle_secs);
+    }
+
+    /// Summed reducer idle time across tasks (0 under batch execution).
+    pub fn reducer_idle_total(&self) -> f64 {
+        self.reducer_idle_secs.iter().sum()
+    }
+
+    /// Summed reducer busy time across tasks (0 under batch execution).
+    pub fn reducer_busy_total(&self) -> f64 {
+        self.reducer_busy_secs.iter().sum()
+    }
+
     /// Recomputes the realized max weight from per-worker loads.
     pub fn compute_max_weight(&mut self, cost: &CostModel) {
         self.max_weight_milli = self
@@ -101,6 +153,59 @@ impl JoinStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_aggregates_volumes_and_maxes_peaks() {
+        let mut a = JoinStats {
+            output_total: 10,
+            per_worker_input: vec![1, 2],
+            per_worker_output: vec![5, 5],
+            max_weight_milli: 100,
+            sim_join_secs: 1.0,
+            wall_join_secs: 0.5,
+            network_tuples: 40,
+            mem_bytes: 640,
+            peak_resident_bytes: 320,
+            checksum: 0b1100,
+            morsels_routed: 4,
+            reducer_idle_secs: vec![0.1, 0.2],
+            ..Default::default()
+        };
+        let b = JoinStats {
+            output_total: 7,
+            per_worker_input: vec![3, 1, 9],
+            per_worker_output: vec![0, 7],
+            max_weight_milli: 250,
+            sim_join_secs: 2.0,
+            wall_join_secs: 0.25,
+            network_tuples: 10,
+            mem_bytes: 160,
+            peak_resident_bytes: 1000,
+            overflowed: true,
+            checksum: 0b1010,
+            morsels_routed: 2,
+            regions_migrated: 1,
+            migration_tuples: 8,
+            reducer_idle_secs: vec![0.3],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.output_total, 17);
+        assert_eq!(a.per_worker_input, vec![4, 3, 9]);
+        assert_eq!(a.per_worker_output, vec![5, 12]);
+        assert_eq!(a.max_weight_milli, 250);
+        assert_eq!(a.sim_join_secs, 3.0);
+        assert_eq!(a.wall_join_secs, 0.75);
+        assert_eq!(a.network_tuples, 50);
+        assert_eq!(a.mem_bytes, 800);
+        assert_eq!(a.peak_resident_bytes, 1000, "peaks max, not add");
+        assert!(a.overflowed);
+        assert_eq!(a.checksum, 0b0110, "checksums XOR");
+        assert_eq!(a.morsels_routed, 6);
+        assert_eq!(a.regions_migrated, 1);
+        assert_eq!(a.migration_tuples, 8);
+        assert!((a.reducer_idle_total() - 0.6).abs() < 1e-12);
+    }
 
     #[test]
     fn max_weight_and_imbalance() {

@@ -1,0 +1,160 @@
+//! Cluster and operator configuration.
+
+use ewh_core::{CostModel, CsiParams, HashParams, HistogramParams};
+
+use crate::adaptive::AdaptiveConfig;
+use crate::engine::{EngineConfig, Straggler};
+use crate::OutputWork;
+
+/// How the operator executes the shuffle + local joins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Two global barriers: materialize the full shuffle, then join. Kept as
+    /// the reference oracle; peak memory is the whole replicated input.
+    Batch,
+    /// The morsel-driven pipelined engine (`crate::engine`): bounded queues,
+    /// incremental build, streamed probe chunks — no full materialization.
+    #[default]
+    Pipelined,
+}
+
+/// Cluster + operator configuration.
+#[derive(Clone, Debug)]
+pub struct OperatorConfig {
+    /// Number of workers (the paper's J).
+    pub j: usize,
+    /// Real OS threads driving the simulated workers.
+    pub threads: usize,
+    pub seed: u64,
+    pub cost: CostModel,
+    /// CSI bucket count etc.
+    pub csi: CsiParams,
+    /// CSIO histogram tunables (its `j`, `seed` and `threads` fields are
+    /// overridden from this config).
+    pub hist: HistogramParams,
+    /// Hash-scheme tunables (heavy-hitter threshold).
+    pub hash: HashParams,
+    /// Build more regions than workers (heterogeneous clusters, Appendix
+    /// A5); regions are then LPT-assigned to workers by estimated weight.
+    pub j_regions: Option<usize>,
+    /// Relative worker capacities (heterogeneous clusters); length `j`.
+    pub capacities: Option<Vec<f64>>,
+    /// Simulated per-worker processing rate in work units per second.
+    pub units_per_sec: f64,
+    /// Cost of scanning one tuple during statistics collection, as a
+    /// fraction of `wi` (§VI-D: scans repartition join keys only, cheaper
+    /// than full shuffle processing).
+    pub scan_cost_factor: f64,
+    /// Modeled cost of the histogram algorithm itself, as a fraction of `wi`
+    /// per input tuple, run on a single machine (Theorem 3.1: the whole
+    /// chain is O(n) local time). Applies to CSIO on `max(n1, n2)` and to
+    /// CSI on its `p` buckets; CI has no statistics at all.
+    pub hist_cost_factor: f64,
+    /// Cluster memory capacity; exceeding it flags
+    /// [`JoinStats::overflowed`](crate::JoinStats::overflowed).
+    pub mem_capacity_bytes: Option<u64>,
+    /// Per-output-tuple work performed by the local joins.
+    pub output_work: OutputWork,
+    /// Execution strategy (pipelined by default; batch is the oracle).
+    pub mode: ExecMode,
+    /// Tuples per morsel — the pipelined engine's scheduling quantum.
+    pub morsel_tuples: usize,
+    /// Bounded queue capacity per reducer, in tuples (backpressure knob).
+    pub queue_tuples: usize,
+    /// Bounded capacity, in tuples, of the exchange connecting two chained
+    /// operators in a query plan ([`crate::run_plan`]). Backpressure knob of
+    /// the inter-operator stream.
+    pub exchange_tuples: usize,
+    /// Reservoir capacity of the online intermediate statistics collected
+    /// during an upstream operator's probe (chained plans).
+    pub stats_reservoir_tuples: usize,
+    /// Intermediate tuples to observe before a downstream scheme is built
+    /// from the online sample. Clamped to `exchange_tuples / 2` at run time
+    /// so the cutoff always fires before the exchange could fill — the
+    /// plan's deadlock-freedom argument.
+    pub stats_cutoff_tuples: usize,
+    /// Run-time skew handling: the same config drives the pipelined
+    /// engine's migration coordinator and the discrete-event simulation
+    /// ([`crate::simulate_adaptive`]), so predicted and realized
+    /// reassignment counts can be compared. `reassign: false` freezes the
+    /// initial placement (the legacy protocol).
+    pub adaptive: AdaptiveConfig,
+    /// Fault injection: slow one reducer task down (benchmarks/tests only).
+    /// In a chained plan the same injection applies to every stage.
+    pub straggler: Option<Straggler>,
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        OperatorConfig {
+            j: 4,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2),
+            seed: 0x0E17,
+            cost: CostModel::band(),
+            csi: CsiParams::default(),
+            hist: HistogramParams::default(),
+            hash: HashParams::default(),
+            j_regions: None,
+            capacities: None,
+            units_per_sec: 2.0e6,
+            scan_cost_factor: 0.5,
+            hist_cost_factor: 0.02,
+            mem_capacity_bytes: None,
+            output_work: OutputWork::Touch,
+            mode: ExecMode::default(),
+            morsel_tuples: 1024,
+            queue_tuples: 4096,
+            exchange_tuples: 16_384,
+            stats_reservoir_tuples: 4096,
+            stats_cutoff_tuples: 8192,
+            adaptive: AdaptiveConfig::default(),
+            straggler: None,
+        }
+    }
+}
+
+impl OperatorConfig {
+    /// Below roughly this many input tuples (both relations, replication
+    /// excluded), the pipelined engine's bounded buffers — reducer queues,
+    /// in-flight morsels, and per-region probe chunks — can hold a large
+    /// fraction of the whole input at once, and peak-resident comparisons
+    /// against the batch path's full materialization are meaningless (the
+    /// small-scale footgun documented after PR 2). Benchmarks warn below
+    /// this floor; claims tests assert above it.
+    pub fn min_pipelined_input_tuples(&self) -> u64 {
+        let engine = EngineConfig::for_threads(self.threads, self.morsel_tuples, self.seed);
+        let buffered = engine.reducers * (self.queue_tuples + engine.probe_chunk)
+            + engine.mappers * self.morsel_tuples;
+        3 * buffered as u64
+    }
+
+    /// The effective online-statistics cutoff: the configured target,
+    /// clamped so it fires strictly before the inter-operator exchange can
+    /// fill (see [`OperatorConfig::stats_cutoff_tuples`]).
+    pub fn effective_stats_cutoff(&self) -> usize {
+        self.stats_cutoff_tuples
+            .clamp(1, (self.exchange_tuples / 2).max(1))
+    }
+}
+
+/// §VI-E: adaptive operator. Always start building CSIO (cheap relative to
+/// the join); if the exact `m` learned during sampling reveals a
+/// high-selectivity join (`m > rho_threshold · n`), fall back to CI — the
+/// wasted statistics time is charged to the run.
+#[derive(Clone, Copy, Debug)]
+pub struct FallbackPolicy {
+    /// Fall back when `m / max(n1, n2)` exceeds this (paper: CSIO is better
+    /// or on par with CI while the output is up to 2 orders of magnitude
+    /// bigger than the input).
+    pub rho_threshold: f64,
+}
+
+impl Default for FallbackPolicy {
+    fn default() -> Self {
+        FallbackPolicy {
+            rho_threshold: 100.0,
+        }
+    }
+}

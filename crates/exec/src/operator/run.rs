@@ -1,134 +1,16 @@
-//! The end-to-end join operator: statistics → partitioning scheme → shuffle
-//! → local joins, with the paper's time and resource accounting.
-//!
-//! Time is reported on two axes:
-//! * **simulated seconds** — the paper's own cost model: the slowest worker's
-//!   weight `max_r w(r)` (plus the modeled statistics scans) at a fixed
-//!   processing rate. This is hardware-independent and is what the figures
-//!   compare, exactly as Fig. 4h validates the model in the paper.
-//! * **wall seconds** — measured on the real threaded execution, as a sanity
-//!   check that the simulated ordering is physical.
+//! Execution drivers: region placement, the batch oracle, the pipelined
+//! engine driver, and the adaptive CI fallback.
 
 use std::thread;
 use std::time::Instant;
 
-use ewh_core::{
-    build_ci, build_csi, build_csio, build_hash, CostModel, CsiParams, HashParams, HistogramParams,
-    JoinCondition, Key, PartitionScheme, RoutingTable, SchemeKind, Tuple,
-};
+use ewh_core::{JoinCondition, PartitionScheme, RoutingTable, SchemeKind, Tuple, TUPLE_BYTES};
 
-use crate::adaptive::AdaptiveConfig;
-use crate::engine::{run_pipelined, EngineConfig, MorselPlan, Straggler};
-use crate::{local_join, shuffle, JoinStats, OutputWork, Shuffled};
+use crate::engine::{run_pipelined, EngineConfig, EngineOutcome, MorselPlan};
+use crate::{local_join, shuffle, JoinStats, Shuffled};
 
-/// How the operator executes the shuffle + local joins.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub enum ExecMode {
-    /// Two global barriers: materialize the full shuffle, then join. Kept as
-    /// the reference oracle; peak memory is the whole replicated input.
-    Batch,
-    /// The morsel-driven pipelined engine (`crate::engine`): bounded queues,
-    /// incremental build, streamed probe chunks — no full materialization.
-    #[default]
-    Pipelined,
-}
-
-/// Cluster + operator configuration.
-#[derive(Clone, Debug)]
-pub struct OperatorConfig {
-    /// Number of workers (the paper's J).
-    pub j: usize,
-    /// Real OS threads driving the simulated workers.
-    pub threads: usize,
-    pub seed: u64,
-    pub cost: CostModel,
-    /// CSI bucket count etc.
-    pub csi: CsiParams,
-    /// CSIO histogram tunables (its `j`, `seed` and `threads` fields are
-    /// overridden from this config).
-    pub hist: HistogramParams,
-    /// Hash-scheme tunables (heavy-hitter threshold).
-    pub hash: HashParams,
-    /// Build more regions than workers (heterogeneous clusters, Appendix
-    /// A5); regions are then LPT-assigned to workers by estimated weight.
-    pub j_regions: Option<usize>,
-    /// Relative worker capacities (heterogeneous clusters); length `j`.
-    pub capacities: Option<Vec<f64>>,
-    /// Simulated per-worker processing rate in work units per second.
-    pub units_per_sec: f64,
-    /// Cost of scanning one tuple during statistics collection, as a
-    /// fraction of `wi` (§VI-D: scans repartition join keys only, cheaper
-    /// than full shuffle processing).
-    pub scan_cost_factor: f64,
-    /// Modeled cost of the histogram algorithm itself, as a fraction of `wi`
-    /// per input tuple, run on a single machine (Theorem 3.1: the whole
-    /// chain is O(n) local time). Applies to CSIO on `max(n1, n2)` and to
-    /// CSI on its `p` buckets; CI has no statistics at all.
-    pub hist_cost_factor: f64,
-    /// Cluster memory capacity; exceeding it flags
-    /// [`JoinStats::overflowed`].
-    pub mem_capacity_bytes: Option<u64>,
-    /// Per-output-tuple work performed by the local joins.
-    pub output_work: OutputWork,
-    /// Execution strategy (pipelined by default; batch is the oracle).
-    pub mode: ExecMode,
-    /// Tuples per morsel — the pipelined engine's scheduling quantum.
-    pub morsel_tuples: usize,
-    /// Bounded queue capacity per reducer, in tuples (backpressure knob).
-    pub queue_tuples: usize,
-    /// Run-time skew handling: the same config drives the pipelined
-    /// engine's migration coordinator and the discrete-event simulation
-    /// ([`crate::simulate_adaptive`]), so predicted and realized
-    /// reassignment counts can be compared. `reassign: false` freezes the
-    /// initial placement (the legacy protocol).
-    pub adaptive: AdaptiveConfig,
-    /// Fault injection: slow one reducer task down (benchmarks/tests only).
-    pub straggler: Option<Straggler>,
-}
-
-impl Default for OperatorConfig {
-    fn default() -> Self {
-        OperatorConfig {
-            j: 4,
-            threads: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(2),
-            seed: 0x0E17,
-            cost: CostModel::band(),
-            csi: CsiParams::default(),
-            hist: HistogramParams::default(),
-            hash: HashParams::default(),
-            j_regions: None,
-            capacities: None,
-            units_per_sec: 2.0e6,
-            scan_cost_factor: 0.5,
-            hist_cost_factor: 0.02,
-            mem_capacity_bytes: None,
-            output_work: OutputWork::Touch,
-            mode: ExecMode::default(),
-            morsel_tuples: 1024,
-            queue_tuples: 4096,
-            adaptive: AdaptiveConfig::default(),
-            straggler: None,
-        }
-    }
-}
-
-impl OperatorConfig {
-    /// Below roughly this many input tuples (both relations, replication
-    /// excluded), the pipelined engine's bounded buffers — reducer queues,
-    /// in-flight morsels, and per-region probe chunks — can hold a large
-    /// fraction of the whole input at once, and peak-resident comparisons
-    /// against the batch path's full materialization are meaningless (the
-    /// small-scale footgun documented after PR 2). Benchmarks warn below
-    /// this floor; claims tests assert above it.
-    pub fn min_pipelined_input_tuples(&self) -> u64 {
-        let engine = EngineConfig::for_threads(self.threads, self.morsel_tuples, self.seed);
-        let buffered = engine.reducers * (self.queue_tuples + engine.probe_chunk)
-            + engine.mappers * self.morsel_tuples;
-        3 * buffered as u64
-    }
-}
+use super::config::{ExecMode, FallbackPolicy, OperatorConfig};
+use super::stats::{build_scheme, stats_sim_secs};
 
 /// A completed operator run.
 #[derive(Clone, Debug)]
@@ -153,57 +35,6 @@ impl OperatorRun {
     pub fn rho_oi(&self, n_input: u64) -> f64 {
         self.join.output_total as f64 / n_input.max(1) as f64
     }
-}
-
-fn extract_keys(tuples: &[Tuple]) -> Vec<Key> {
-    tuples.iter().map(|t| t.key).collect()
-}
-
-/// Builds the requested scheme (measures wall time into the result).
-pub fn build_scheme(
-    kind: SchemeKind,
-    r1: &[Tuple],
-    r2: &[Tuple],
-    cond: &JoinCondition,
-    cfg: &OperatorConfig,
-) -> (PartitionScheme, f64) {
-    let start = Instant::now();
-    let j_regions = cfg.j_regions.unwrap_or(cfg.j);
-    let scheme = match kind {
-        SchemeKind::Ci => build_ci(cfg.j, r1.len() as u64, r2.len() as u64, None),
-        SchemeKind::Csi => {
-            let params = CsiParams {
-                seed: cfg.seed,
-                ..cfg.csi
-            };
-            build_csi(
-                &extract_keys(r1),
-                &extract_keys(r2),
-                cond,
-                j_regions,
-                &params,
-            )
-        }
-        SchemeKind::Csio => {
-            let params = HistogramParams {
-                j: j_regions,
-                seed: cfg.seed,
-                threads: cfg.threads,
-                ..cfg.hist
-            };
-            build_csio(
-                &extract_keys(r1),
-                &extract_keys(r2),
-                cond,
-                &cfg.cost,
-                &params,
-            )
-        }
-        SchemeKind::Hash => {
-            build_hash(&extract_keys(r1), &extract_keys(r2), cond, cfg.j, &cfg.hash)
-        }
-    };
-    (scheme, start.elapsed().as_secs_f64())
 }
 
 /// LPT (longest processing time first) list scheduling: assigns each
@@ -246,7 +77,7 @@ pub fn assign_regions(
     scheme: &PartitionScheme,
     j: usize,
     capacities: Option<&[f64]>,
-    cost: &CostModel,
+    cost: &ewh_core::CostModel,
 ) -> Vec<u32> {
     let n = scheme.num_regions();
     if n <= j && capacities.is_none() {
@@ -256,35 +87,18 @@ pub fn assign_regions(
     lpt_schedule(&weights, capacities, j)
 }
 
-/// Modeled statistics time: scan passes at `scan_cost_factor · wi` per tuple
-/// parallelized over J workers, plus the histogram algorithm at
-/// `hist_cost_factor · wi` per tuple on a single machine (its input size is
-/// `max(n1, n2)` for CSIO's 3-stage chain, `p` for CSI's cover heuristic).
-/// The *measured* histogram wall time stays available in
-/// [`ewh_core::BuildInfo::hist_secs`] for Table V, where runs of the same
-/// scale compare against each other.
-fn stats_sim_secs(scheme: &PartitionScheme, n: u64, cfg: &OperatorConfig) -> f64 {
-    let scan_milli = (scheme.build.stats_scan_tuples as f64 / cfg.j as f64)
-        * cfg.cost.wi_milli as f64
-        * cfg.scan_cost_factor;
-    let hist_input = match scheme.kind {
-        SchemeKind::Ci | SchemeKind::Hash => 0,
-        SchemeKind::Csi => scheme.build.ns as u64,
-        SchemeKind::Csio => n,
-    };
-    let hist_milli = hist_input as f64 * cfg.cost.wi_milli as f64 * cfg.hist_cost_factor;
-    CostModel::milli_to_secs((scan_milli + hist_milli) as u64, cfg.units_per_sec)
-}
-
-/// Executes the local joins across threads; returns complete [`JoinStats`].
-/// Joins run per *region* (the unit of correctness), and per-worker loads
-/// aggregate over `region_to_worker`.
-pub fn execute_join(
+/// The batch join core behind [`execute_join`] and the plan baseline's
+/// emitting variant: joins the shuffled regions across threads with a
+/// caller-supplied per-region join (which may carry extra output `R`, e.g.
+/// a materialized intermediate) and assembles the complete [`JoinStats`].
+/// There is exactly one copy of this accounting — the batch oracle and the
+/// materialize-between-operators baseline cannot drift apart.
+pub(crate) fn execute_join_with<R: Send>(
     mut shuffled: Shuffled,
-    cond: &JoinCondition,
     region_to_worker: &[u32],
     cfg: &OperatorConfig,
-) -> JoinStats {
+    join_region: impl Fn(&mut Vec<Tuple>, &mut Vec<Tuple>) -> (u64, u64, R) + Sync,
+) -> (JoinStats, Vec<(usize, R)>) {
     let per_region_input = shuffled.per_region_input();
     let network_tuples = shuffled.network_tuples;
     let mem_bytes = shuffled.mem_bytes();
@@ -293,14 +107,14 @@ pub fn execute_join(
     let n_regions = shuffled.r1.len();
     debug_assert_eq!(region_to_worker.len(), n_regions);
     let threads = cfg.threads.max(1).min(n_regions.max(1));
-    let work = cfg.output_work;
     // Schedule regions onto threads LPT-by-input-weight: a round-robin
     // interleave strands cores when one region dominates (the hot region
     // plus its round-robin neighbors pile onto one thread while others sit
     // idle).
     let thread_of = lpt_schedule(&per_region_input, None, threads);
     type RegionBucket<'a> = (usize, &'a mut Vec<Tuple>, &'a mut Vec<Tuple>);
-    let results: Vec<(usize, u64, u64)> = thread::scope(|s| {
+    let join_region = &join_region;
+    let results: Vec<(usize, u64, u64, R)> = thread::scope(|s| {
         let buckets: Vec<RegionBucket<'_>> = shuffled
             .r1
             .iter_mut()
@@ -318,8 +132,8 @@ pub fn execute_join(
                 s.spawn(move || {
                     mine.into_iter()
                         .map(|(r, r1, r2)| {
-                            let (count, sum) = local_join(r1, r2, cond, work);
-                            (r, count, sum)
+                            let (count, sum, extra) = join_region(r1, r2);
+                            (r, count, sum, extra)
                         })
                         .collect::<Vec<_>>()
                 })
@@ -339,10 +153,12 @@ pub fn execute_join(
     }
     let mut checksum = 0u64;
     let mut output_total = 0u64;
-    for (r, count, sum) in results {
+    let mut extras = Vec::with_capacity(results.len());
+    for (r, count, sum, extra) in results {
         per_worker_output[region_to_worker[r] as usize] += count;
         output_total += count;
         checksum ^= sum;
+        extras.push((r, extra));
     }
 
     let mut stats = JoinStats {
@@ -362,63 +178,48 @@ pub fn execute_join(
         ..Default::default()
     };
     stats.compute_max_weight(&cfg.cost);
-    stats.sim_join_secs = CostModel::milli_to_secs(stats.max_weight_milli, cfg.units_per_sec);
+    stats.sim_join_secs =
+        ewh_core::CostModel::milli_to_secs(stats.max_weight_milli, cfg.units_per_sec);
+    (stats, extras)
+}
+
+/// Executes the local joins across threads; returns complete [`JoinStats`].
+/// Joins run per *region* (the unit of correctness), and per-worker loads
+/// aggregate over `region_to_worker`.
+pub fn execute_join(
+    shuffled: Shuffled,
+    cond: &JoinCondition,
+    region_to_worker: &[u32],
+    cfg: &OperatorConfig,
+) -> JoinStats {
+    let work = cfg.output_work;
+    let (stats, _) = execute_join_with(shuffled, region_to_worker, cfg, |r1, r2| {
+        let (count, sum) = local_join(r1, r2, cond, work);
+        (count, sum, ())
+    });
     stats
 }
 
-/// Executes the join on the morsel-driven pipelined engine. Mirrors
-/// [`execute_join`]'s accounting while never materializing the full shuffle:
-/// `mem_bytes` still reports the modeled full-materialization footprint for
-/// comparability, while `peak_resident_bytes` reports what the engine
-/// actually held at its high-water mark.
-pub fn execute_join_pipelined(
-    r1: &[Tuple],
-    r2: &[Tuple],
-    scheme: &PartitionScheme,
-    cond: &JoinCondition,
+/// Folds a completed engine run into the operator's [`JoinStats`]
+/// accounting: per-region tallies aggregate to per-worker loads over
+/// `region_to_worker`, volumes convert to bytes, and the simulated join
+/// time is recomputed from the realized weights. Shared by the one-shot
+/// pipelined driver and the chained plan executor.
+pub fn stats_from_outcome(
+    out: &EngineOutcome,
     region_to_worker: &[u32],
-    plan: &MorselPlan,
     cfg: &OperatorConfig,
 ) -> JoinStats {
-    let n_regions = scheme.num_regions();
+    let n_regions = out.per_region_input.len();
     debug_assert_eq!(region_to_worker.len(), n_regions);
-    let mut engine_cfg = EngineConfig::for_threads(cfg.threads, cfg.morsel_tuples, cfg.seed ^ 0x5F);
-    engine_cfg.queue_tuples = cfg.queue_tuples;
-    engine_cfg.work = cfg.output_work;
-    engine_cfg.reducers = engine_cfg.reducers.min(n_regions.max(1));
-    engine_cfg.adaptive = cfg.adaptive;
-    engine_cfg.straggler = cfg.straggler;
-    // Initial reducer-task placement: LPT by estimated region weight, so a
-    // hot region gets a task to itself instead of queueing behind siblings.
-    // Published through the epoch-versioned routing table, which the
-    // migration coordinator may rewrite at run time.
-    let weights: Vec<u64> = scheme
-        .regions
-        .iter()
-        .map(|r| r.est_weight(&cfg.cost))
-        .collect();
-    let table = RoutingTable::new(&lpt_schedule(&weights, None, engine_cfg.reducers));
-
-    let out = run_pipelined(
-        r1,
-        r2,
-        &scheme.router,
-        cond,
-        &table,
-        plan,
-        &engine_cfg,
-        None,
-    );
-    debug_assert!(!out.cancelled, "operator-level runs are never cancelled");
-
     let mut per_worker_input = vec![0u64; cfg.j];
     let mut per_worker_output = vec![0u64; cfg.j];
     for r in 0..n_regions {
         per_worker_input[region_to_worker[r] as usize] += out.per_region_input[r];
         per_worker_output[region_to_worker[r] as usize] += out.per_region_output[r];
     }
-    let mem_bytes = out.network_tuples * ewh_core::TUPLE_BYTES;
-    let peak_resident_bytes = out.peak_resident_tuples * ewh_core::TUPLE_BYTES;
+    let mem_bytes = out.network_tuples * TUPLE_BYTES;
+    let peak_resident_bytes = out.peak_resident_tuples * TUPLE_BYTES;
     let mut stats = JoinStats {
         output_total: out.output_total(),
         per_worker_input,
@@ -437,13 +238,74 @@ pub fn execute_join_pipelined(
         migration_tuples: out.migration_tuples,
         migration_secs: out.migration_secs,
         backpressure_secs: out.backpressure_secs,
-        reducer_busy_secs: out.busy_secs,
-        reducer_idle_secs: out.idle_secs,
+        reducer_busy_secs: out.busy_secs.clone(),
+        reducer_idle_secs: out.idle_secs.clone(),
         ..Default::default()
     };
     stats.compute_max_weight(&cfg.cost);
-    stats.sim_join_secs = CostModel::milli_to_secs(stats.max_weight_milli, cfg.units_per_sec);
+    stats.sim_join_secs =
+        ewh_core::CostModel::milli_to_secs(stats.max_weight_milli, cfg.units_per_sec);
     stats
+}
+
+/// Derives one pipelined stage's engine configuration and initial
+/// region → reducer routing table from the operator config — shared by the
+/// one-shot pipelined driver and every stage of a chained plan, so a
+/// placement or seed-derivation change can never make the two diverge.
+///
+/// Initial reducer-task placement is LPT by estimated region weight, so a
+/// hot region gets a task to itself instead of queueing behind siblings;
+/// it is published through the epoch-versioned routing table, which the
+/// migration coordinator may rewrite at run time.
+pub(crate) fn engine_setup(
+    scheme: &PartitionScheme,
+    cfg: &OperatorConfig,
+) -> (EngineConfig, RoutingTable) {
+    let n_regions = scheme.num_regions();
+    let mut engine_cfg = EngineConfig::for_threads(cfg.threads, cfg.morsel_tuples, cfg.seed ^ 0x5F);
+    engine_cfg.queue_tuples = cfg.queue_tuples;
+    engine_cfg.work = cfg.output_work;
+    engine_cfg.reducers = engine_cfg.reducers.min(n_regions.max(1));
+    engine_cfg.adaptive = cfg.adaptive;
+    engine_cfg.straggler = cfg.straggler;
+    let weights: Vec<u64> = scheme
+        .regions
+        .iter()
+        .map(|r| r.est_weight(&cfg.cost))
+        .collect();
+    let table = RoutingTable::new(&lpt_schedule(&weights, None, engine_cfg.reducers));
+    (engine_cfg, table)
+}
+
+/// Executes the join on the morsel-driven pipelined engine. Mirrors
+/// [`execute_join`]'s accounting while never materializing the full shuffle:
+/// `mem_bytes` still reports the modeled full-materialization footprint for
+/// comparability, while `peak_resident_bytes` reports what the engine
+/// actually held at its high-water mark.
+pub fn execute_join_pipelined(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    scheme: &PartitionScheme,
+    cond: &JoinCondition,
+    region_to_worker: &[u32],
+    plan: &MorselPlan,
+    cfg: &OperatorConfig,
+) -> JoinStats {
+    debug_assert_eq!(region_to_worker.len(), scheme.num_regions());
+    let (engine_cfg, table) = engine_setup(scheme, cfg);
+
+    let out = run_pipelined(
+        r1,
+        r2,
+        &scheme.router,
+        cond,
+        &table,
+        plan,
+        &engine_cfg,
+        None,
+    );
+    debug_assert!(!out.cancelled, "operator-level runs are never cancelled");
+    stats_from_outcome(&out, region_to_worker, cfg)
 }
 
 /// Runs the full operator with the given scheme kind.
@@ -503,26 +365,6 @@ fn run_with_scheme(
     }
 }
 
-/// §VI-E: adaptive operator. Always start building CSIO (cheap relative to
-/// the join); if the exact `m` learned during sampling reveals a
-/// high-selectivity join (`m > rho_threshold · n`), fall back to CI — the
-/// wasted statistics time is charged to the run.
-#[derive(Clone, Copy, Debug)]
-pub struct FallbackPolicy {
-    /// Fall back when `m / max(n1, n2)` exceeds this (paper: CSIO is better
-    /// or on par with CI while the output is up to 2 orders of magnitude
-    /// bigger than the input).
-    pub rho_threshold: f64,
-}
-
-impl Default for FallbackPolicy {
-    fn default() -> Self {
-        FallbackPolicy {
-            rho_threshold: 100.0,
-        }
-    }
-}
-
 /// Runs CSIO with the CI fallback policy.
 ///
 /// In pipelined mode the fallback shares one [`MorselPlan`] between the
@@ -568,7 +410,7 @@ pub fn run_operator_adaptive(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ewh_core::JoinMatrix;
+    use ewh_core::{JoinMatrix, Key};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -730,5 +572,44 @@ mod tests {
         };
         let run = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
         assert!(run.join.overflowed);
+    }
+
+    #[test]
+    fn sampled_scheme_build_routes_every_key() {
+        // A scheme built from a *sample* of one side must still produce the
+        // exact join (grid routers clamp out-of-sample keys into the
+        // boundary regions) — the property the chained plan executor's
+        // online statistics rely on.
+        let k1 = random_keys(3000, 900, 21);
+        let k2 = random_keys(3000, 900, 22);
+        let sample: Vec<Key> = k2.iter().copied().step_by(7).collect();
+        let cond = JoinCondition::Band { beta: 1 };
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let expect = JoinMatrix::new(k1.clone(), k2.clone(), cond).output_count();
+        let cfg = OperatorConfig {
+            j: 6,
+            threads: 2,
+            ..Default::default()
+        };
+        for kind in [
+            SchemeKind::Ci,
+            SchemeKind::Csi,
+            SchemeKind::Csio,
+            SchemeKind::Hash,
+        ] {
+            let (scheme, _) = super::super::stats::build_scheme_from_keys(
+                kind,
+                &k1,
+                &sample,
+                r1.len() as u64,
+                r2.len() as u64,
+                &cond,
+                &cfg,
+            );
+            let map = assign_regions(&scheme, cfg.j, None, &cfg.cost);
+            let plan = MorselPlan::new(r1.len(), r2.len(), cfg.morsel_tuples);
+            let stats = execute_join_pipelined(&r1, &r2, &scheme, &cond, &map, &plan, &cfg);
+            assert_eq!(stats.output_total, expect, "{kind}");
+        }
     }
 }

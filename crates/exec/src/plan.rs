@@ -1,0 +1,682 @@
+//! Composable query plans: left-deep chains of 2-way join operators whose
+//! intermediates *stream* — §IV-B's "a multi-way join can be efficiently
+//! executed using a sequence of our 2-way joins", without ever
+//! materializing the sequence's intermediates.
+//!
+//! ## The pipelined executor ([`run_plan`])
+//!
+//! A plan is one root join over two base relations plus a chain of
+//! [`ChainStage`]s, each joining a new base relation against the running
+//! intermediate. Every stage is a full pipelined operator
+//! ([`crate::engine`]); adjacent stages are connected by a bounded
+//! [`Exchange`]:
+//!
+//! * The upstream operator's reducers ship each swept probe chunk's output
+//!   into the exchange instead of folding it into a checksum; the
+//!   downstream operator's mappers pull those batches and route them like
+//!   morsels. The intermediate is resident only as bounded buffers —
+//!   exchange + reducer queues + probe chunks — never in full.
+//! * The downstream **build** side is the new base relation (routed
+//!   immediately, sealed early); the **probe** side is the streamed
+//!   intermediate, swept chunk by chunk and freed. Left-deep chains always
+//!   build on base relations, which is what keeps the memory profile flat.
+//! * The downstream partitioning scheme is built from **online
+//!   statistics**: a [`WeightedReservoir`](ewh_sampling::WeightedReservoir)
+//!   sample of intermediate join keys fed by the upstream probe
+//!   ([`OnlineStats`]), frozen after [`OperatorConfig::stats_cutoff_tuples`]
+//!   observed tuples (clamped below the exchange capacity, so the cutoff
+//!   always fires before backpressure could reach the producer — the
+//!   construction cannot deadlock). There is no second pass over a
+//!   materialized intermediate, because there is no materialized
+//!   intermediate.
+//! * Termination composes: when an upstream operator quiesces (its own
+//!   `Finish`), it closes its output exchange, which is precisely what
+//!   lets the downstream operator's `SealAll` fire — the cross-operator
+//!   extension of the engine's seal protocol.
+//! * All stages share one [`MemGauge`], so
+//!   [`PlanRun::peak_resident_bytes`] is the *plan-global* high-water mark
+//!   of everything resident at once: routed fragments, sealed build
+//!   state, probe chunks, and exchange buffers.
+//!
+//! Run-time skew handling composes too: each stage runs its own migration
+//! coordinator (when [`AdaptiveConfig::reassign`](crate::AdaptiveConfig) is
+//! on), so a skewed *intermediate* — where multi-way plans actually fall
+//! over — is caught twice: by the online-statistics scheme build, and by
+//! run-time region migration if the frozen sample missed a late hot key.
+//!
+//! ## The baseline ([`run_plan_materialized`])
+//!
+//! The classic execution: run each operator to completion, materialize its
+//! full output, take a second statistics pass over it, and only then start
+//! the next operator — exactly what `examples/multiway_chain.rs` did by
+//! hand before this module existed. It doubles as the correctness oracle
+//! (identical `output_total` / `checksum`, property-tested in
+//! `tests/prop_plan.rs`) and as the peak-memory comparison target.
+
+use std::thread;
+use std::time::Instant;
+
+use ewh_core::{JoinCondition, PartitionScheme, SchemeKind, Tuple, TUPLE_BYTES};
+
+use crate::engine::{
+    run_pipelined_io, AbandonOnDrop, CloseOnDrop, EngineIo, Exchange, MemGauge, MorselPlan,
+    OnlineStats, Source, StageSink,
+};
+use crate::local_join::{sweep_sorted_into, KeyFrom};
+use crate::operator::{
+    assign_regions, build_scheme, build_scheme_from_keys, engine_setup, execute_join_with,
+    extract_keys, stats_from_outcome, OperatorConfig,
+};
+use crate::{execute_join, shuffle, JoinStats, Shuffled};
+
+/// One join operator of a plan: which partitioning scheme to build and the
+/// join condition between its build side and its probe side.
+#[derive(Clone, Copy, Debug)]
+pub struct StageSpec {
+    pub kind: SchemeKind,
+    /// Condition oriented `(build, probe)`. For the root stage the build is
+    /// `r1` and the probe `r2`; for chain stages the build is the new base
+    /// relation and the probe the streamed intermediate.
+    pub cond: JoinCondition,
+}
+
+/// One downstream link of a left-deep chain: joins `base` (build side)
+/// against the previous stage's output (probe side).
+#[derive(Clone, Copy, Debug)]
+pub struct ChainStage<'a> {
+    pub base: &'a [Tuple],
+    pub spec: StageSpec,
+}
+
+/// What one stage of a completed plan reports.
+#[derive(Clone, Debug)]
+pub struct PlanStageRun {
+    /// Scheme actually built (degrades to CI when the frozen sample was
+    /// empty — an empty intermediate leaves nothing to balance).
+    pub kind: SchemeKind,
+    pub num_regions: usize,
+    /// Wall-clock of building this stage's scheme.
+    pub stats_wall_secs: f64,
+    /// Online sample size the scheme was built from (0 for the root stage,
+    /// which sees full base statistics).
+    pub sample_tuples: usize,
+    /// Intermediate tuples observed before the sample froze.
+    pub cutoff_seen: u64,
+    /// Whether the upstream had already finished at the freeze (the sample
+    /// then covers the whole intermediate).
+    pub stats_complete: bool,
+    pub join: JoinStats,
+}
+
+/// A completed query-plan execution.
+#[derive(Clone, Debug)]
+pub struct PlanRun {
+    pub stages: Vec<PlanStageRun>,
+    /// Final operator's output size.
+    pub output_total: u64,
+    /// Final operator's order-invariant output checksum.
+    pub checksum: u64,
+    /// Plan-global peak resident bytes: the shared gauge's high-water mark
+    /// under [`run_plan`]; the modeled per-stage maximum (shuffle + resident
+    /// intermediate) under [`run_plan_materialized`].
+    pub peak_resident_bytes: u64,
+    /// End-to-end makespan, statistics included (stages overlap under
+    /// [`run_plan`], run back to back under the baseline).
+    pub wall_secs: f64,
+    /// [`JoinStats::merge`] over all stages (volumes add, peaks max).
+    pub total: JoinStats,
+}
+
+impl PlanRun {
+    /// Tuples produced by every non-final operator — the volume the
+    /// baseline materializes and the pipelined executor streams.
+    pub fn intermediate_tuples(&self) -> u64 {
+        let n = self.stages.len();
+        self.stages
+            .iter()
+            .take(n.saturating_sub(1))
+            .map(|s| s.join.output_total)
+            .sum()
+    }
+}
+
+/// Runs one pipelined stage: placement, engine, accounting. `sink` is where
+/// this stage's probe output streams (None for the final stage); the sink
+/// is closed when the engine returns — or unwinds — which is what
+/// terminates the downstream operator.
+#[allow(clippy::too_many_arguments)]
+fn run_stage(
+    r1: Source<'_>,
+    r2: Source<'_>,
+    scheme: &PartitionScheme,
+    cond: &JoinCondition,
+    key_from: KeyFrom,
+    sink: Option<StageSink<'_>>,
+    gauge: &MemGauge,
+    cfg: &OperatorConfig,
+) -> JoinStats {
+    // Teardown guards, armed before anything can panic: close this stage's
+    // output (so the downstream consumer terminates) and abandon its input
+    // (so the upstream producer can never stay blocked in `push` against a
+    // consumer that unwound). Both are harmless after normal completion.
+    let close_guard = sink.map(CloseOnDrop);
+    let _abandon_guard = AbandonOnDrop(r2.exchange());
+    let (engine_cfg, table) = engine_setup(scheme, cfg);
+    let plan = MorselPlan::new(
+        r1.scan_tuples().len(),
+        r2.scan_tuples().len(),
+        cfg.morsel_tuples,
+    );
+    let out = run_pipelined_io(
+        EngineIo {
+            r1,
+            r2,
+            router: &scheme.router,
+            cond,
+            table: &table,
+            plan: &plan,
+            sink,
+            key_from,
+            gauge: Some(gauge),
+            cancel: None,
+        },
+        &engine_cfg,
+    );
+    debug_assert!(!out.cancelled, "plan stages are never cancelled");
+    drop(close_guard); // close the downstream exchange: upstream quiescence
+    let map = assign_regions(scheme, cfg.j, cfg.capacities.as_deref(), &cfg.cost);
+    stats_from_outcome(&out, &map, cfg)
+}
+
+/// Builds a chain stage's scheme from the frozen online sample. An empty
+/// sample (empty or near-empty intermediate) degrades to CI: with nothing
+/// observed there is nothing to balance, and CI routes any key.
+fn build_chain_scheme(
+    stage: &ChainStage<'_>,
+    sample: &[ewh_core::Key],
+    est_probe_tuples: u64,
+    cfg: &OperatorConfig,
+) -> (PartitionScheme, f64) {
+    let base_keys = extract_keys(stage.base);
+    let kind = if sample.is_empty() {
+        SchemeKind::Ci
+    } else {
+        stage.spec.kind
+    };
+    build_scheme_from_keys(
+        kind,
+        &base_keys,
+        sample,
+        stage.base.len() as u64,
+        est_probe_tuples.max(1),
+        &stage.spec.cond,
+        cfg,
+    )
+}
+
+/// Executes a left-deep chained query plan on the pipelined engine with
+/// streamed intermediates and online statistics (see the module docs).
+///
+/// The root stage joins `r1 ⋈ r2` under `first`; each [`ChainStage`] then
+/// joins its base relation (build side) against the running intermediate
+/// (probe side). The root emits intermediates keyed by its probe side,
+/// chain stages by their build side — so each hop hands the *freshly
+/// joined* relation's attribute to the next operator, matching the
+/// materialized baseline tuple for tuple.
+///
+/// Every stage runs concurrently on its own task team ([`EngineConfig`]
+/// splits `cfg.threads` per stage; on small hosts the teams oversubscribe
+/// the cores, which is harmless because blocked tasks yield).
+pub fn run_plan(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    first: &StageSpec,
+    chain: &[ChainStage<'_>],
+    cfg: &OperatorConfig,
+) -> PlanRun {
+    let start = Instant::now();
+    let n_chain = chain.len();
+    let gauge = MemGauge::default();
+    let exchanges: Vec<Exchange> = (0..n_chain)
+        .map(|_| Exchange::new(cfg.exchange_tuples.max(2)))
+        .collect();
+    let cutoff = cfg.effective_stats_cutoff();
+    let stats: Vec<OnlineStats> = (0..n_chain)
+        .map(|i| {
+            OnlineStats::new(
+                cfg.stats_reservoir_tuples,
+                cutoff,
+                cfg.seed ^ ((i as u64 + 1) << 17),
+            )
+        })
+        .collect();
+
+    let (scheme0, wall0) = build_scheme(first.kind, r1, r2, &first.cond, cfg);
+    let root_m_est = scheme0.build.m_est;
+
+    struct StageMeta {
+        kind: SchemeKind,
+        num_regions: usize,
+        stats_wall_secs: f64,
+        sample_tuples: usize,
+        cutoff_seen: u64,
+        stats_complete: bool,
+    }
+    let mut metas = vec![StageMeta {
+        kind: scheme0.kind,
+        num_regions: scheme0.num_regions(),
+        stats_wall_secs: wall0,
+        sample_tuples: 0,
+        cutoff_seen: 0,
+        stats_complete: true,
+    }];
+
+    let stage_stats: Vec<JoinStats> = thread::scope(|s| {
+        let gauge = &gauge;
+        let mut handles = Vec::with_capacity(1 + n_chain);
+        {
+            let sink = exchanges.first().map(|exchange| StageSink {
+                exchange,
+                stats: &stats[0],
+                batch_tuples: cfg.morsel_tuples.max(1),
+            });
+            let scheme0 = &scheme0;
+            let cond = &first.cond;
+            handles.push(s.spawn(move || {
+                run_stage(
+                    Source::Scan(r1),
+                    Source::Scan(r2),
+                    scheme0,
+                    cond,
+                    KeyFrom::Probe,
+                    sink,
+                    gauge,
+                    cfg,
+                )
+            }));
+        }
+        // Chain stages start as their schemes become buildable: the driver
+        // blocks on each boundary's online-statistics cutoff in turn, then
+        // launches the downstream operator while everything upstream keeps
+        // running. Each stage task owns its scheme outright.
+        for (i, stage) in chain.iter().enumerate() {
+            let cut = stats[i].wait_cutoff();
+            // Probe cardinality estimate for CI's grid shape: the exact
+            // count when the stream already closed, otherwise the best
+            // available projection (the root's Stream-Sample `m` is exact
+            // for CSIO; deeper stages fall back to the observed prefix).
+            let est = if !cut.complete && i == 0 {
+                cut.seen.max(root_m_est)
+            } else {
+                cut.seen
+            };
+            let (scheme, wall) = build_chain_scheme(stage, &cut.sample, est, cfg);
+            metas.push(StageMeta {
+                kind: scheme.kind,
+                num_regions: scheme.num_regions(),
+                stats_wall_secs: wall,
+                sample_tuples: cut.sample.len(),
+                cutoff_seen: cut.seen,
+                stats_complete: cut.complete,
+            });
+            let sink = exchanges.get(i + 1).map(|exchange| StageSink {
+                exchange,
+                stats: &stats[i + 1],
+                batch_tuples: cfg.morsel_tuples.max(1),
+            });
+            let source = Source::Exchange(&exchanges[i]);
+            let base = stage.base;
+            let cond = &stage.spec.cond;
+            handles.push(s.spawn(move || {
+                run_stage(
+                    Source::Scan(base),
+                    source,
+                    &scheme,
+                    cond,
+                    KeyFrom::Build,
+                    sink,
+                    gauge,
+                    cfg,
+                )
+            }));
+        }
+        let joined: Vec<JoinStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("plan stage panicked"))
+            .collect();
+        joined
+    });
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut total = JoinStats::default();
+    for s in &stage_stats {
+        total.merge(s);
+    }
+    let last = stage_stats.last().expect("at least the root stage");
+    let (output_total, checksum) = (last.output_total, last.checksum);
+    let stages = metas
+        .into_iter()
+        .zip(stage_stats)
+        .map(|(m, join)| PlanStageRun {
+            kind: m.kind,
+            num_regions: m.num_regions,
+            stats_wall_secs: m.stats_wall_secs,
+            sample_tuples: m.sample_tuples,
+            cutoff_seen: m.cutoff_seen,
+            stats_complete: m.stats_complete,
+            join,
+        })
+        .collect();
+    PlanRun {
+        stages,
+        output_total,
+        checksum,
+        peak_resident_bytes: gauge.peak_tuples() * TUPLE_BYTES,
+        wall_secs,
+        total,
+    }
+}
+
+/// [`execute_join`]'s emitting sibling: joins the shuffled regions across
+/// threads *and materializes the output*, keyed per `key_from` — the
+/// baseline's inter-operator step, sharing the batch core
+/// (`execute_join_with`) so the two accountings cannot drift apart.
+fn execute_join_emit(
+    shuffled: Shuffled,
+    cond: &JoinCondition,
+    region_to_worker: &[u32],
+    cfg: &OperatorConfig,
+    key_from: KeyFrom,
+) -> (JoinStats, Vec<Tuple>) {
+    let (stats, extras) = execute_join_with(shuffled, region_to_worker, cfg, |r1, r2| {
+        r1.sort_unstable_by_key(|t| t.key);
+        r2.sort_unstable_by_key(|t| t.key);
+        let mut out = Vec::new();
+        let (count, sum) = sweep_sorted_into(r1, r2, cond, key_from, &mut out);
+        (count, sum, out)
+    });
+    let mut output = Vec::new();
+    for (_, mut out) in extras {
+        output.append(&mut out);
+    }
+    (stats, output)
+}
+
+/// The materialize-between-operators baseline: each stage runs to
+/// completion, its output is fully materialized, statistics are rebuilt
+/// from scratch with a second pass over the intermediate, and only then
+/// does the next stage start — §IV-B executed the pre-pipeline way.
+///
+/// Doubles as the plan executor's correctness oracle (its final
+/// `output_total` / `checksum` come from the batch path, which is
+/// trivially correct) and as the peak-memory comparison target:
+/// `peak_resident_bytes` models, per stage, the routed shuffle copies plus
+/// the larger of the inbound and outbound materialized intermediates
+/// resident alongside them, maximized over stages — granting the baseline
+/// the most favorable eviction order (inbound freed right after the
+/// shuffle, outbound only accumulating during the joins).
+pub fn run_plan_materialized(
+    r1: &[Tuple],
+    r2: &[Tuple],
+    first: &StageSpec,
+    chain: &[ChainStage<'_>],
+    cfg: &OperatorConfig,
+) -> PlanRun {
+    let start = Instant::now();
+    let mut stages: Vec<PlanStageRun> = Vec::with_capacity(1 + chain.len());
+    let mut peak_model: u64 = 0;
+
+    let push_stage =
+        |stages: &mut Vec<PlanStageRun>, scheme: &PartitionScheme, wall: f64, join: JoinStats| {
+            stages.push(PlanStageRun {
+                kind: scheme.kind,
+                num_regions: scheme.num_regions(),
+                stats_wall_secs: wall,
+                sample_tuples: 0,
+                cutoff_seen: 0,
+                stats_complete: true,
+                join,
+            });
+        };
+
+    // Root stage.
+    let (scheme0, wall0) = build_scheme(first.kind, r1, r2, &first.cond, cfg);
+    let map0 = assign_regions(&scheme0, cfg.j, cfg.capacities.as_deref(), &cfg.cost);
+    let shuffled0 = shuffle(r1, r2, &scheme0, cfg.threads, cfg.seed ^ 0x5F);
+    let (stats0, mut intermediate) = if chain.is_empty() {
+        (execute_join(shuffled0, &first.cond, &map0, cfg), Vec::new())
+    } else {
+        execute_join_emit(shuffled0, &first.cond, &map0, cfg, KeyFrom::Probe)
+    };
+    peak_model = peak_model.max(stats0.mem_bytes + intermediate.len() as u64 * TUPLE_BYTES);
+    push_stage(&mut stages, &scheme0, wall0, stats0);
+
+    for (i, stage) in chain.iter().enumerate() {
+        // The second statistics pass the pipelined executor eliminates:
+        // full key extraction over the materialized intermediate.
+        let (scheme, wall) = build_scheme(
+            stage.spec.kind,
+            stage.base,
+            &intermediate,
+            &stage.spec.cond,
+            cfg,
+        );
+        let map = assign_regions(&scheme, cfg.j, cfg.capacities.as_deref(), &cfg.cost);
+        let shuffled = shuffle(
+            stage.base,
+            &intermediate,
+            &scheme,
+            cfg.threads,
+            cfg.seed ^ 0x5F,
+        );
+        let inbound = intermediate.len() as u64 * TUPLE_BYTES;
+        let is_last = i + 1 == chain.len();
+        let (stats, next) = if is_last {
+            (
+                execute_join(shuffled, &stage.spec.cond, &map, cfg),
+                Vec::new(),
+            )
+        } else {
+            execute_join_emit(shuffled, &stage.spec.cond, &map, cfg, KeyFrom::Build)
+        };
+        let outbound = next.len() as u64 * TUPLE_BYTES;
+        peak_model = peak_model.max(stats.mem_bytes + inbound.max(outbound));
+        push_stage(&mut stages, &scheme, wall, stats);
+        intermediate = next;
+    }
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut total = JoinStats::default();
+    for s in &stages {
+        total.merge(&s.join);
+    }
+    let last = &stages.last().expect("at least the root stage").join;
+    PlanRun {
+        output_total: last.output_total,
+        checksum: last.checksum,
+        peak_resident_bytes: peak_model,
+        wall_secs,
+        total,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ewh_core::Key;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tuples(keys: &[Key]) -> Vec<Tuple> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
+    }
+
+    fn random_keys(n: usize, domain: i64, seed: u64) -> Vec<Key> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..domain)).collect()
+    }
+
+    fn small_cfg() -> OperatorConfig {
+        OperatorConfig {
+            j: 4,
+            threads: 3,
+            morsel_tuples: 128,
+            queue_tuples: 512,
+            exchange_tuples: 1024,
+            stats_cutoff_tuples: 400,
+            stats_reservoir_tuples: 256,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_hop_plan_matches_the_materialized_baseline() {
+        let a = tuples(&random_keys(3000, 400, 1));
+        let b = tuples(&random_keys(3000, 400, 2));
+        let c = tuples(&random_keys(3000, 400, 3));
+        let cfg = small_cfg();
+        let first = StageSpec {
+            kind: SchemeKind::Csio,
+            cond: JoinCondition::Band { beta: 1 },
+        };
+        let chain = [ChainStage {
+            base: &c,
+            spec: StageSpec {
+                kind: SchemeKind::Csio,
+                cond: JoinCondition::Equi,
+            },
+        }];
+        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
+        assert_eq!(pipe.output_total, mat.output_total);
+        assert_eq!(pipe.checksum, mat.checksum);
+        assert_eq!(pipe.stages.len(), 2);
+        assert_eq!(mat.stages.len(), 2);
+        // Per-stage joins agree too (deterministic content-sensitive
+        // routing on both paths).
+        assert_eq!(
+            pipe.stages[0].join.output_total,
+            mat.stages[0].join.output_total
+        );
+        assert_eq!(pipe.intermediate_tuples(), mat.intermediate_tuples());
+        // The chain stage's scheme was built from a frozen online sample.
+        assert!(pipe.stages[1].sample_tuples > 0);
+        assert!(pipe.stages[1].cutoff_seen > 0);
+        // Totals aggregate via JoinStats::merge.
+        assert_eq!(
+            pipe.total.output_total,
+            pipe.stages.iter().map(|s| s.join.output_total).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn three_hop_plan_matches_the_materialized_baseline() {
+        let a = tuples(&random_keys(1500, 120, 11));
+        let b = tuples(&random_keys(1500, 120, 12));
+        let c = tuples(&random_keys(1500, 120, 13));
+        let d = tuples(&random_keys(1500, 120, 14));
+        let cfg = small_cfg();
+        let first = StageSpec {
+            kind: SchemeKind::Csio,
+            cond: JoinCondition::Equi,
+        };
+        let chain = [
+            ChainStage {
+                base: &c,
+                spec: StageSpec {
+                    kind: SchemeKind::Csio,
+                    cond: JoinCondition::Equi,
+                },
+            },
+            ChainStage {
+                base: &d,
+                spec: StageSpec {
+                    kind: SchemeKind::Csi,
+                    cond: JoinCondition::Band { beta: 1 },
+                },
+            },
+        ];
+        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
+        assert_eq!(pipe.output_total, mat.output_total);
+        assert_eq!(pipe.checksum, mat.checksum);
+        assert_eq!(pipe.stages.len(), 3);
+    }
+
+    #[test]
+    fn empty_intermediate_degrades_to_ci_and_stays_correct() {
+        // Disjoint key domains: the root join is empty, so the chain stage
+        // sees an empty stream, degrades to CI, and outputs nothing.
+        let a = tuples(&random_keys(500, 50, 21));
+        let b: Vec<Tuple> = tuples(&random_keys(500, 50, 22))
+            .into_iter()
+            .map(|t| Tuple::new(t.key + 10_000, t.payload))
+            .collect();
+        let c = tuples(&random_keys(500, 50, 23));
+        let cfg = small_cfg();
+        let first = StageSpec {
+            kind: SchemeKind::Csio,
+            cond: JoinCondition::Equi,
+        };
+        let chain = [ChainStage {
+            base: &c,
+            spec: StageSpec {
+                kind: SchemeKind::Csio,
+                cond: JoinCondition::Equi,
+            },
+        }];
+        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        assert_eq!(pipe.output_total, 0);
+        assert_eq!(pipe.stages[1].kind, SchemeKind::Ci);
+        assert_eq!(pipe.stages[1].sample_tuples, 0);
+        let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
+        assert_eq!(mat.output_total, 0);
+    }
+
+    #[test]
+    fn single_stage_plan_equals_the_one_shot_operator() {
+        let a = tuples(&random_keys(2000, 300, 31));
+        let b = tuples(&random_keys(2000, 300, 32));
+        let cfg = small_cfg();
+        let first = StageSpec {
+            kind: SchemeKind::Csio,
+            cond: JoinCondition::Band { beta: 2 },
+        };
+        let pipe = run_plan(&a, &b, &first, &[], &cfg);
+        let one_shot = crate::run_operator(first.kind, &a, &b, &first.cond, &cfg);
+        assert_eq!(pipe.output_total, one_shot.join.output_total);
+        assert_eq!(pipe.checksum, one_shot.join.checksum);
+        assert_eq!(pipe.stages.len(), 1);
+    }
+
+    #[test]
+    fn chained_stages_migrate_under_forced_thresholds_and_stay_exact() {
+        let a = tuples(&random_keys(2500, 60, 41));
+        let b = tuples(&random_keys(2500, 60, 42));
+        let c = tuples(&random_keys(2500, 60, 43));
+        let mut cfg = small_cfg();
+        cfg.adaptive.reassign = true;
+        cfg.adaptive.migrate_backlog_tuples = 1;
+        cfg.adaptive.poll_micros = 50;
+        cfg.threads = 4;
+        let first = StageSpec {
+            kind: SchemeKind::Hash,
+            cond: JoinCondition::Equi,
+        };
+        let chain = [ChainStage {
+            base: &c,
+            spec: StageSpec {
+                kind: SchemeKind::Hash,
+                cond: JoinCondition::Equi,
+            },
+        }];
+        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
+        assert_eq!(pipe.output_total, mat.output_total);
+        assert_eq!(pipe.checksum, mat.checksum);
+    }
+}

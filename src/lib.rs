@@ -12,7 +12,8 @@
 //!   parallel Stream-Sample.
 //! * [`exec`] — the shared-nothing execution engine (morsel-driven
 //!   pipeline, batch oracle, local joins, metrics, operator runner, CI
-//!   fallback).
+//!   fallback, and the composable query-plan executor with streamed
+//!   intermediates).
 //! * [`datagen`] — skewed TPC-H-style and synthetic X workload
 //!   generators.
 //!
@@ -44,10 +45,11 @@ pub mod prelude {
         SchemeKind, Tuple,
     };
     pub use ewh_datagen::{
-        gen_orders, gen_retail, gen_x_relation, Order, OrdersParams, RetailParams, ZipfCdf,
+        gen_chain_retail, gen_orders, gen_retail, gen_x_relation, ChainParams, Order, OrdersParams,
+        RetailParams, ZipfCdf,
     };
     pub use ewh_exec::{
-        run_operator, run_operator_adaptive, ExecMode, FallbackPolicy, OperatorConfig, OperatorRun,
-        OutputWork,
+        run_operator, run_operator_adaptive, run_plan, run_plan_materialized, ChainStage, ExecMode,
+        FallbackPolicy, OperatorConfig, OperatorRun, OutputWork, PlanRun, StageSpec,
     };
 }
