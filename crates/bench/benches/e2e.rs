@@ -6,7 +6,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ewh_bench::{bcb, RunConfig};
 use ewh_core::SchemeKind;
-use ewh_exec::run_operator;
+use ewh_exec::{run_operator, EngineRuntime};
 
 fn bench_e2e(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2e_bcb3");
@@ -22,10 +22,11 @@ fn bench_e2e(c: &mut Criterion) {
     };
     let w = bcb(3, rc.scale, rc.seed);
     let cfg = rc.operator_config(&w);
+    let rt = EngineRuntime::new(rc.threads);
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
         group.bench_with_input(BenchmarkId::new("scheme", kind), &kind, |b, &k| {
             b.iter(|| {
-                run_operator(k, &w.r1, &w.r2, &w.cond, &cfg)
+                run_operator(&rt, k, &w.r1, &w.r2, &w.cond, &cfg)
                     .join
                     .output_total
             });

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ewh_bench::{bcb, retail_hotkey, RunConfig, Workload};
 use ewh_core::SchemeKind;
-use ewh_exec::{run_operator, ExecMode, OperatorConfig, OutputWork};
+use ewh_exec::{run_operator, EngineRuntime, ExecMode, OperatorConfig, OutputWork};
 
 fn bench_modes(c: &mut Criterion) {
     let rc = RunConfig {
@@ -17,6 +17,7 @@ fn bench_modes(c: &mut Criterion) {
         (bcb(2, rc.scale, rc.seed), OutputWork::Touch),
         (retail_hotkey(rc.scale * 2.0, rc.seed), OutputWork::Count),
     ];
+    let rt = EngineRuntime::new(rc.threads);
     let mut group = c.benchmark_group("exec_mode");
     for (w, work) in &cases {
         for mode in [ExecMode::Batch, ExecMode::Pipelined] {
@@ -27,7 +28,7 @@ fn bench_modes(c: &mut Criterion) {
             };
             group.bench_function(BenchmarkId::new(&w.name, format!("{mode:?}")), |b| {
                 b.iter(|| {
-                    let run = run_operator(SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg);
+                    let run = run_operator(&rt, SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg);
                     criterion::black_box(run.join.output_total)
                 })
             });

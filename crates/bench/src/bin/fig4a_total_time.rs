@@ -8,6 +8,7 @@ use ewh_bench::{fig4a_workloads, print_table, rho_oi, run_all_schemes, RunConfig
 
 fn main() {
     let rc = RunConfig::from_args();
+    let rt = rc.runtime();
     eprintln!(
         "fig4a: scale={} J={} threads={} (paper: SF160 / J=32)",
         rc.scale, rc.j, rc.threads
@@ -16,7 +17,7 @@ fn main() {
     let mut rows_a = Vec::new();
     let mut rows_b = Vec::new();
     for w in fig4a_workloads(rc.scale, rc.seed) {
-        let runs = run_all_schemes(&w, &rc);
+        let runs = run_all_schemes(&rt, &w, &rc);
         let rho = rho_oi(&w, &runs[0]);
         let csio_total = runs[2].total_sim_secs;
         for run in &runs {

@@ -8,6 +8,7 @@ use ewh_bench::{bcb, beocd, beocd_gamma, bicd, mib, print_table, run_all_schemes
 
 fn main() {
     let rc = RunConfig::from_args();
+    let rt = rc.runtime();
     eprintln!(
         "fig4c: scale={} J={} capacity={:.1} MiB",
         rc.scale,
@@ -22,7 +23,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for w in workloads {
-        for mut run in run_all_schemes(&w, &rc) {
+        for mut run in run_all_schemes(&rt, &w, &rc) {
             // The figure reproduces the paper's full-materialization memory
             // story: flag overflow from the modeled shuffle footprint, not
             // from the pipelined engine's (smaller) resident peak.

@@ -8,6 +8,7 @@ use ewh_bench::{bcb, mib, print_table, run_all_schemes, RunConfig};
 
 fn main() {
     let base = RunConfig::from_args();
+    let rt = base.runtime();
     let mut time_rows = Vec::new();
     let mut mem_rows = Vec::new();
     for (mult, j) in [(0.5, 16usize), (1.0, 32), (2.0, 64)] {
@@ -25,7 +26,7 @@ fn main() {
         .cluster_capacity_bytes();
         let w = bcb(3, rc.scale, rc.seed);
         let setting = format!("{}k/{j}", w.n_input() / 1000);
-        for mut run in run_all_schemes(&w, &rc) {
+        for mut run in run_all_schemes(&rt, &w, &rc) {
             run.join.overflowed = run.join.mem_bytes > capacity;
             time_rows.push(vec![
                 setting.clone(),

@@ -9,6 +9,7 @@ use ewh_bench::{beocd, beocd_gamma, mib, print_table, rho_oi, run_all_schemes, R
 
 fn main() {
     let base = RunConfig::from_args();
+    let rt = base.runtime();
     let mut time_rows = Vec::new();
     let mut mem_rows = Vec::new();
     for (mult, j) in [(0.5, 16usize), (1.0, 32), (2.0, 64)] {
@@ -19,7 +20,7 @@ fn main() {
         };
         let w = beocd(rc.scale, beocd_gamma(rc.scale), rc.seed);
         let setting = format!("{:.1}k/{j}", w.n_input() as f64 / 1000.0);
-        for run in run_all_schemes(&w, &rc) {
+        for run in run_all_schemes(&rt, &w, &rc) {
             time_rows.push(vec![
                 setting.clone(),
                 run.kind.to_string(),

@@ -12,6 +12,7 @@ use ewh_core::SchemeKind;
 
 fn main() {
     let rc = RunConfig::from_args();
+    let rt = rc.runtime();
     let per_region = std::env::args().any(|a| a == "--per-region");
 
     let workloads = vec![
@@ -25,7 +26,7 @@ fn main() {
     let mut icd_ratio = std::collections::HashMap::new();
     let mut ocd_ratio = std::collections::HashMap::new();
     for w in workloads {
-        let runs = run_all_schemes(&w, &rc);
+        let runs = run_all_schemes(&rt, &w, &rc);
         for run in &runs {
             rows.push(vec![
                 w.name.clone(),

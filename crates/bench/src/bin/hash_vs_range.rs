@@ -23,12 +23,13 @@ use rand::SeedableRng;
 
 fn main() {
     let rc = RunConfig::from_args();
+    let rt = rc.runtime();
     let mut rows = Vec::new();
     for beta in [1i64, 2, 4, 8, 16] {
         let w = bcb(beta, rc.scale, rc.seed);
         let cfg = rc.operator_config(&w);
         for kind in [SchemeKind::Hash, SchemeKind::Csio] {
-            let run = run_operator(kind, &w.r1, &w.r2, &w.cond, &cfg);
+            let run = run_operator(&rt, kind, &w.r1, &w.r2, &w.cond, &cfg);
             rows.push(vec![
                 w.name.clone(),
                 kind.to_string(),
@@ -66,7 +67,7 @@ fn main() {
     let cfg = rc.operator_config(&w0);
     let mut rows = Vec::new();
     for kind in [SchemeKind::Hash, SchemeKind::Csio, SchemeKind::Csi] {
-        let run = run_operator(kind, &r1, &r2, &JoinCondition::Equi, &cfg);
+        let run = run_operator(&rt, kind, &r1, &r2, &JoinCondition::Equi, &cfg);
         rows.push(vec![
             kind.to_string(),
             format!("{}", run.join.output_total),

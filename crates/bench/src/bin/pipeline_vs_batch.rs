@@ -21,7 +21,8 @@ use ewh_bench::{
 use ewh_core::SchemeKind;
 use ewh_exec::{
     build_scheme, execute_join, run_operator, shuffle, simulate_adaptive, AdaptiveConfig,
-    EngineConfig, ExecMode, OperatorConfig, OperatorRun, OutputWork, Straggler, TaskSpec,
+    EngineConfig, EngineRuntime, ExecMode, OperatorConfig, OperatorRun, OutputWork, Straggler,
+    TaskSpec,
 };
 
 struct Row {
@@ -30,13 +31,19 @@ struct Row {
     run: OperatorRun,
 }
 
-fn run_mode(w: &Workload, rc: &RunConfig, mode: ExecMode, work: OutputWork) -> OperatorRun {
+fn run_mode(
+    rt: &EngineRuntime,
+    w: &Workload,
+    rc: &RunConfig,
+    mode: ExecMode,
+    work: OutputWork,
+) -> OperatorRun {
     let cfg = OperatorConfig {
         mode,
         output_work: work,
         ..rc.operator_config(w)
     };
-    run_operator(SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg)
+    run_operator(rt, SchemeKind::Csio, &w.r1, &w.r2, &w.cond, &cfg)
 }
 
 /// Predicted reassignment count for one scheme: realized per-region weights
@@ -69,8 +76,8 @@ fn predicted_reassignments(
         })
         .collect();
     // The engine's initial placement: LPT by estimated weight over the
-    // reducer-task count `EngineConfig::for_threads` would choose.
-    let reducers = EngineConfig::for_threads(rc.threads, cfg.morsel_tuples, rc.seed).reducers;
+    // reducer-task count `EngineConfig::for_tasks` would choose.
+    let reducers = EngineConfig::for_tasks(rc.threads, cfg.morsel_tuples, rc.seed).reducers;
     let weights: Vec<u64> = scheme
         .regions
         .iter()
@@ -104,7 +111,7 @@ const STRAGGLER_NANOS_PER_TUPLE: u64 = 5_000;
 /// Runs the migration scenarios. `rc.threads` must already be bumped to the
 /// effective thread count (see the call site) so the JSON metadata matches
 /// what actually ran.
-fn adaptive_section(rc: &RunConfig) -> (Vec<AdaptiveRow>, Workload) {
+fn adaptive_section(rt: &EngineRuntime, rc: &RunConfig) -> (Vec<AdaptiveRow>, Workload) {
     let w = retail_hotkey(rc.scale * 4.0, rc.seed);
     // Injected cost per absorbed tuple on reducer 0: enough for the slowed
     // reducer to dominate the makespan unless its regions migrate.
@@ -134,7 +141,7 @@ fn adaptive_section(rc: &RunConfig) -> (Vec<AdaptiveRow>, Workload) {
             straggler: stg,
             ..rc.operator_config(&w)
         };
-        let run = run_operator(kind, &w.r1, &w.r2, &w.cond, &cfg);
+        let run = run_operator(rt, kind, &w.r1, &w.r2, &w.cond, &cfg);
         // The simulation has no straggler model; predictions pair with the
         // fault-free runs only.
         let predicted = (stg.is_none() && reassign)
@@ -179,11 +186,12 @@ fn main() {
         (retail_hotkey(rc.scale * 4.0, rc.seed), OutputWork::Count),
     ];
 
+    let rt = rc.runtime();
     let mut rows: Vec<Row> = Vec::new();
     for (w, work) in &workloads {
         check_pipelined_scale(w, &rc.operator_config(w));
-        let batch = run_mode(w, &rc, ExecMode::Batch, *work);
-        let pipe = run_mode(w, &rc, ExecMode::Pipelined, *work);
+        let batch = run_mode(&rt, w, &rc, ExecMode::Batch, *work);
+        let pipe = run_mode(&rt, w, &rc, ExecMode::Pipelined, *work);
         assert_eq!(
             batch.join.output_total, pipe.join.output_total,
             "{}: modes disagree on the join size",
@@ -251,11 +259,15 @@ fn main() {
     // Migration needs several reducer tasks to exist at all; oversubscribe
     // the cores if the host has fewer (blocked tasks yield the CPU). One
     // config for the runs *and* the JSON metadata below.
+    // The migration scenarios want ≥ 2 reducer *tasks*; task counts are
+    // decoupled from the pool size now, so only the task budget is bumped
+    // (the shared pool itself stays host-sized).
     let adaptive_rc = RunConfig {
         threads: rc.threads.max(4),
         ..rc
     };
-    let (adaptive_rows, aw) = adaptive_section(&adaptive_rc);
+    let adaptive_rt = adaptive_rc.runtime();
+    let (adaptive_rows, aw) = adaptive_section(&adaptive_rt, &adaptive_rc);
     let atable: Vec<Vec<String>> = adaptive_rows
         .iter()
         .map(|r| {

@@ -17,7 +17,7 @@ use ewh_bench::{
     chain_hotkey_with, check_plan_scale, json_escape, mib, print_table, ChainWorkload, RunConfig,
 };
 use ewh_core::SchemeKind;
-use ewh_exec::{run_plan, run_plan_materialized, OperatorConfig, PlanRun};
+use ewh_exec::{run_plan, run_plan_materialized, EngineRuntime, OperatorConfig, PlanRun};
 
 struct ModeRun {
     scheme: SchemeKind,
@@ -25,9 +25,9 @@ struct ModeRun {
     run: PlanRun,
 }
 
-fn run_both(w: &ChainWorkload, cfg: &OperatorConfig) -> (PlanRun, PlanRun) {
+fn run_both(rt: &EngineRuntime, w: &ChainWorkload, cfg: &OperatorConfig) -> (PlanRun, PlanRun) {
     let chain = w.chain();
-    let pipe = run_plan(&w.a, &w.b, &w.first, &chain, cfg);
+    let pipe = run_plan(rt, &w.a, &w.b, &w.first, &chain, cfg);
     let mat = run_plan_materialized(&w.a, &w.b, &w.first, &chain, cfg);
     assert_eq!(
         pipe.output_total, mat.output_total,
@@ -52,6 +52,7 @@ fn run_both(w: &ChainWorkload, cfg: &OperatorConfig) -> (PlanRun, PlanRun) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let rc = RunConfig::from_args();
+    let rt = rc.runtime();
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -66,7 +67,7 @@ fn main() {
         let w = chain_hotkey_with(kind, rc.scale, rc.seed);
         let cfg = rc.chain_config(&w);
         check_plan_scale(&w, &cfg);
-        let (pipe, mat) = run_both(&w, &cfg);
+        let (pipe, mat) = run_both(&rt, &w, &cfg);
         runs.push(ModeRun {
             scheme: kind,
             mode: "pipelined",

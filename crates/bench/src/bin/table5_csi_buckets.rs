@@ -10,11 +10,18 @@
 
 use ewh_bench::{bcb, beocd, beocd_gamma, print_table, run_scheme, RunConfig, Workload};
 use ewh_core::SchemeKind;
+use ewh_exec::EngineRuntime;
 
-fn sweep(w: &Workload, rc: &RunConfig, ps: &[usize], rows: &mut Vec<Vec<String>>) {
+fn sweep(
+    rt: &EngineRuntime,
+    w: &Workload,
+    rc: &RunConfig,
+    ps: &[usize],
+    rows: &mut Vec<Vec<String>>,
+) {
     for &p in ps {
         let rc_p = RunConfig { csi_p: p, ..*rc };
-        let run = run_scheme(w, SchemeKind::Csi, &rc_p);
+        let run = run_scheme(rt, w, SchemeKind::Csi, &rc_p);
         rows.push(vec![
             w.name.clone(),
             format!("CSI p={p}"),
@@ -23,7 +30,7 @@ fn sweep(w: &Workload, rc: &RunConfig, ps: &[usize], rows: &mut Vec<Vec<String>>
             format!("{:.3}", run.total_sim_secs),
         ]);
     }
-    let run = run_scheme(w, SchemeKind::Csio, rc);
+    let run = run_scheme(rt, w, SchemeKind::Csio, rc);
     rows.push(vec![
         w.name.clone(),
         "CSIO".into(),
@@ -35,17 +42,19 @@ fn sweep(w: &Workload, rc: &RunConfig, ps: &[usize], rows: &mut Vec<Vec<String>>
 
 fn main() {
     let rc = RunConfig::from_args();
+    let rt = rc.runtime();
     // The paper sweeps 2000..24000 at n = 240M; the same p/n ratios at our
     // scale (relative to n ≈ 240k after --scale) land at 64..2048.
     let ps = [64usize, 128, 256, 512, 1024, 2048];
     let mut rows = Vec::new();
     sweep(
+        &rt,
         &beocd(rc.scale, beocd_gamma(rc.scale), rc.seed),
         &rc,
         &ps,
         &mut rows,
     );
-    sweep(&bcb(3, rc.scale, rc.seed), &rc, &ps, &mut rows);
+    sweep(&rt, &bcb(3, rc.scale, rc.seed), &rc, &ps, &mut rows);
     print_table(
         "Table V: CSI join and histogram-algorithm time vs bucket count p",
         &["join", "scheme", "join_s", "hist_alg_s", "total_s"],

@@ -17,11 +17,12 @@ use rand::SeedableRng;
 
 fn main() {
     let rc = RunConfig::from_args();
+    let rt = rc.runtime();
 
     // (a) The B_ICD worst case: compare CSIO's total time against CSI's.
     let w = bicd(rc.scale, rc.seed);
-    let csi = run_scheme(&w, SchemeKind::Csi, &rc);
-    let csio = run_scheme(&w, SchemeKind::Csio, &rc);
+    let csi = run_scheme(&rt, &w, SchemeKind::Csi, &rc);
+    let csio = run_scheme(&rt, &w, SchemeKind::Csio, &rc);
     let slowdown = csio.total_sim_secs / csi.total_sim_secs;
     print_table(
         "Worst case (a): BICD — CSIO overhead vs CSI (paper bound: 1.04x)",
@@ -57,6 +58,7 @@ fn main() {
     let (r1, r2) = (gen(&mut rng), gen(&mut rng));
     let cfg = rc.operator_config(&w); // reuse cluster settings; cost model band
     let adaptive = run_operator_adaptive(
+        &rt,
         &r1,
         &r2,
         &JoinCondition::Equi,

@@ -2,7 +2,7 @@
 //! sweeps, and TSV table printing for the per-figure binaries.
 
 use ewh_core::{CostModel, CsiParams, HistogramParams, SchemeKind, TUPLE_BYTES};
-use ewh_exec::{run_operator, OperatorConfig, OperatorRun};
+use ewh_exec::{run_operator, EngineRuntime, OperatorConfig, OperatorRun};
 
 use crate::workloads::{ChainWorkload, Workload};
 
@@ -36,6 +36,13 @@ impl Default for RunConfig {
 }
 
 impl RunConfig {
+    /// A shared worker-pool runtime sized to this config's `threads` — the
+    /// per-binary stand-in for the host-global pool a server would own.
+    /// Build it once per experiment; every query of the run shares it.
+    pub fn runtime(&self) -> EngineRuntime {
+        EngineRuntime::new(self.threads)
+    }
+
     /// Parses `--scale X --j N --seed S --csi-p P` style flags; unknown
     /// flags are ignored so binaries can add their own.
     pub fn from_args() -> Self {
@@ -90,17 +97,22 @@ impl RunConfig {
     }
 }
 
-/// Runs one workload under one scheme.
-pub fn run_scheme(w: &Workload, kind: SchemeKind, rc: &RunConfig) -> OperatorRun {
+/// Runs one workload under one scheme on the shared runtime.
+pub fn run_scheme(
+    rt: &EngineRuntime,
+    w: &Workload,
+    kind: SchemeKind,
+    rc: &RunConfig,
+) -> OperatorRun {
     let cfg = rc.operator_config(w);
-    run_operator(kind, &w.r1, &w.r2, &w.cond, &cfg)
+    run_operator(rt, kind, &w.r1, &w.r2, &w.cond, &cfg)
 }
 
 /// Runs all three schemes on a workload.
-pub fn run_all_schemes(w: &Workload, rc: &RunConfig) -> Vec<OperatorRun> {
+pub fn run_all_schemes(rt: &EngineRuntime, w: &Workload, rc: &RunConfig) -> Vec<OperatorRun> {
     [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio]
         .into_iter()
-        .map(|k| run_scheme(w, k, rc))
+        .map(|k| run_scheme(rt, w, k, rc))
         .collect()
 }
 
@@ -205,7 +217,7 @@ mod tests {
             ..Default::default()
         };
         let w = bcb(2, rc.scale, rc.seed);
-        let runs = run_all_schemes(&w, &rc);
+        let runs = run_all_schemes(&rc.runtime(), &w, &rc);
         assert_eq!(runs.len(), 3);
         assert_eq!(runs[0].join.output_total, runs[1].join.output_total);
         assert_eq!(runs[0].join.output_total, runs[2].join.output_total);

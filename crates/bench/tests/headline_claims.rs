@@ -19,7 +19,7 @@ fn rc() -> RunConfig {
 fn csio_wins_the_cost_balanced_join() {
     let rc = rc();
     let w = bcb(3, rc.scale, rc.seed);
-    let runs = run_all_schemes(&w, &rc);
+    let runs = run_all_schemes(&rc.runtime(), &w, &rc);
     let (ci, csi, csio) = (&runs[0], &runs[1], &runs[2]);
     assert!(
         csio.total_sim_secs < ci.total_sim_secs,
@@ -38,9 +38,10 @@ fn csi_degrades_with_band_width_relative_to_ci() {
     let rc = rc();
     let narrow = bcb(1, rc.scale, rc.seed);
     let wide = bcb(16, rc.scale, rc.seed);
+    let rt = rc.runtime();
     let ratio = |w: &ewh_bench::Workload| {
-        let csi = run_scheme(w, SchemeKind::Csi, &rc).total_sim_secs;
-        let ci = run_scheme(w, SchemeKind::Ci, &rc).total_sim_secs;
+        let csi = run_scheme(&rt, w, SchemeKind::Csi, &rc).total_sim_secs;
+        let ci = run_scheme(&rt, w, SchemeKind::Ci, &rc).total_sim_secs;
         csi / ci
     };
     let (rn, rw) = (ratio(&narrow), ratio(&wide));
@@ -52,8 +53,9 @@ fn csi_degrades_with_band_width_relative_to_ci() {
 fn beocd_shows_join_product_skew_collapse() {
     let rc = rc();
     let w = beocd(rc.scale, beocd_gamma(rc.scale), rc.seed);
-    let csi = run_scheme(&w, SchemeKind::Csi, &rc);
-    let csio = run_scheme(&w, SchemeKind::Csio, &rc);
+    let rt = rc.runtime();
+    let csi = run_scheme(&rt, &w, SchemeKind::Csi, &rc);
+    let csio = run_scheme(&rt, &w, SchemeKind::Csio, &rc);
     assert_eq!(csi.join.output_total, csio.join.output_total);
     let gap = csi.join.max_weight_milli as f64 / csio.join.max_weight_milli as f64;
     assert!(gap > 2.0, "JPS gap collapsed to {gap:.2}x");
@@ -66,7 +68,7 @@ fn beocd_shows_join_product_skew_collapse() {
 fn ci_memory_exceeds_content_sensitive_schemes() {
     let rc = rc();
     let w = bicd(rc.scale, rc.seed);
-    let runs = run_all_schemes(&w, &rc);
+    let runs = run_all_schemes(&rc.runtime(), &w, &rc);
     let (ci, csi, csio) = (&runs[0], &runs[1], &runs[2]);
     assert!(ci.join.mem_bytes as f64 > 3.0 * csio.join.mem_bytes as f64);
     // CSIO uses slightly more memory than CSI (balances on total work).
@@ -77,7 +79,7 @@ fn ci_memory_exceeds_content_sensitive_schemes() {
 fn csio_estimate_is_accurate() {
     let rc = rc();
     let w = bcb(3, rc.scale, rc.seed);
-    let run = run_scheme(&w, SchemeKind::Csio, &rc);
+    let run = run_scheme(&rc.runtime(), &w, SchemeKind::Csio, &rc);
     let est = run.build.est_max_weight as f64;
     let real = run.join.max_weight_milli as f64;
     assert!(

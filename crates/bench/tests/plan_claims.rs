@@ -48,7 +48,7 @@ fn pipelined_plan_peak_memory_beats_materialized_baseline() {
         w.name
     );
     let chain = w.chain();
-    let pipe = run_plan(&w.a, &w.b, &w.first, &chain, &cfg);
+    let pipe = run_plan(&rc.runtime(), &w.a, &w.b, &w.first, &chain, &cfg);
     let mat = run_plan_materialized(&w.a, &w.b, &w.first, &chain, &cfg);
 
     // The materialized baseline's joins run on the batch path — the
@@ -95,7 +95,7 @@ fn hash_chain_shows_the_same_memory_profile() {
     let cfg = claims_config(&rc, &w);
     assert!(check_plan_scale(&w, &cfg), "{}: below scale floor", w.name);
     let chain = w.chain();
-    let pipe = run_plan(&w.a, &w.b, &w.first, &chain, &cfg);
+    let pipe = run_plan(&rc.runtime(), &w.a, &w.b, &w.first, &chain, &cfg);
     let mat = run_plan_materialized(&w.a, &w.b, &w.first, &chain, &cfg);
     assert_eq!(pipe.output_total, mat.output_total);
     assert_eq!(pipe.checksum, mat.checksum);

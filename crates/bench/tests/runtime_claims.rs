@@ -1,0 +1,249 @@
+//! Acceptance claims of the shared worker-pool runtime on the hot-key
+//! retail workload:
+//!
+//! 1. **Concurrent admission is exact.** 8 simultaneous queries on one
+//!    8-worker `EngineRuntime` — no per-query thread teams — each produce
+//!    output and checksum bit-identical to the serial oracle.
+//! 2. **Sharing beats spawning.** The aggregate makespan of N concurrent
+//!    queries on one shared pool beats the old spawn-per-query model (N
+//!    private pools oversubscribing the host N-fold).
+//! 3. **Migration survives multi-tenancy.** An injected straggler in one
+//!    query still triggers run-time region migration while a second,
+//!    healthy query runs beside it on the same pool — the cross-query
+//!    interference case the shared runtime makes testable for the first
+//!    time.
+//!
+//! These tests assert on wall-clock and scheduling behavior, so they are
+//! serialized behind one mutex (the `pipeline_claims.rs` pattern):
+//! running them concurrently with each other — or with that file's
+//! straggler scenarios — would let one test's injected sleeps starve
+//! another's reducers and turn genuine claims flaky.
+//!
+//! **Scale floor:** like every pipelined claim, these runs must respect
+//! `OperatorConfig::min_pipelined_input_tuples` — inputs must dwarf the
+//! engine's bounded buffers (reducer queues + in-flight morsels + probe
+//! chunks), which is why `claims_config` halves the queue bound and the
+//! first test asserts `check_pipelined_scale`. Shrinking `--scale` (or
+//! growing queues) below that floor hollows the claims out instead of
+//! failing loudly.
+
+use std::sync::{Mutex, MutexGuard};
+use std::thread;
+use std::time::Instant;
+
+use ewh_bench::{check_pipelined_scale, retail_hotkey, RunConfig, Workload};
+use ewh_core::SchemeKind;
+use ewh_exec::{
+    run_operator, AdaptiveConfig, EngineRuntime, ExecMode, OperatorConfig, OperatorRun, OutputWork,
+    RuntimeConfig, Straggler,
+};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const QUERIES: usize = 8;
+const WORKERS: usize = 8;
+
+fn claims_rc() -> RunConfig {
+    RunConfig {
+        scale: 1.0,
+        j: 16,
+        // Per-query task-team size; the pool itself is WORKERS wide.
+        threads: WORKERS,
+        ..Default::default()
+    }
+}
+
+fn claims_config(rc: &RunConfig, w: &Workload) -> OperatorConfig {
+    OperatorConfig {
+        mode: ExecMode::Pipelined,
+        output_work: OutputWork::Count,
+        // Halved queues keep the bounded buffers under the retail input at
+        // this scale (the min_pipelined_input_tuples floor).
+        queue_tuples: 1024,
+        ..rc.operator_config(w)
+    }
+}
+
+fn shared_runtime() -> EngineRuntime {
+    EngineRuntime::with_config(RuntimeConfig {
+        workers: WORKERS,
+        max_concurrent_queries: QUERIES,
+        memory_budget_tuples: None,
+    })
+}
+
+fn run_query(rt: &EngineRuntime, w: &Workload, cfg: &OperatorConfig) -> OperatorRun {
+    run_operator(rt, SchemeKind::Csio, &w.r1, &w.r2, &w.cond, cfg)
+}
+
+/// Fires `n` queries at once; `shared` = one pool for all, else one
+/// private `pool_workers`-wide pool per query (the spawn-per-query
+/// baseline).
+fn concurrent_makespan(
+    n: usize,
+    shared: Option<&EngineRuntime>,
+    pool_workers: usize,
+    w: &Workload,
+    cfg: &OperatorConfig,
+) -> (f64, Vec<OperatorRun>) {
+    let start = Instant::now();
+    let runs: Vec<OperatorRun> = thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                s.spawn(move || {
+                    let own;
+                    let rt = match shared {
+                        Some(rt) => rt,
+                        None => {
+                            own = EngineRuntime::new(pool_workers);
+                            &own
+                        }
+                    };
+                    run_query(rt, w, cfg)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread panicked"))
+            .collect()
+    });
+    (start.elapsed().as_secs_f64(), runs)
+}
+
+#[test]
+fn eight_concurrent_queries_on_one_pool_match_the_serial_oracle() {
+    let _serial = serial();
+    let rc = claims_rc();
+    let w = retail_hotkey(rc.scale, rc.seed);
+    let cfg = claims_config(&rc, &w);
+    assert!(
+        check_pipelined_scale(&w, &cfg),
+        "{}: workload below the min_pipelined_input_tuples floor — the
+         runtime claims are only meaningful above it",
+        w.name
+    );
+    let rt = shared_runtime();
+    let oracle = run_query(&rt, &w, &cfg);
+    assert!(oracle.join.output_total > 0);
+
+    let (_, runs) = concurrent_makespan(QUERIES, Some(&rt), WORKERS, &w, &cfg);
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(
+            run.join.output_total, oracle.join.output_total,
+            "query {i} output drifted under concurrent admission"
+        );
+        assert_eq!(
+            run.join.checksum, oracle.join.checksum,
+            "query {i} checksum drifted under concurrent admission"
+        );
+    }
+    // The pool was the only execution vehicle: exactly WORKERS workers,
+    // every query's tasks multiplexed onto them.
+    assert_eq!(rt.workers(), WORKERS);
+    let m = rt.metrics();
+    assert_eq!(m.admissions as usize, 1 + QUERIES);
+    assert!(
+        m.tasks_completed >= ((1 + QUERIES) * 2) as u64,
+        "each query must have submitted mapper+reducer tasks"
+    );
+}
+
+#[test]
+fn shared_pool_beats_spawn_per_query_on_aggregate_makespan() {
+    let _serial = serial();
+    // The baseline reproduces the pre-runtime behavior: every query spawns
+    // a private host-sized team, so N queries run N × host threads and
+    // oversubscribe ANY machine N-fold, while the shared pool is exactly
+    // host-sized — that pairing keeps the claim's direction host-
+    // independent (a fixed 8-worker shared pool would lose to 64 baseline
+    // threads on a 16-core box, where they are not oversubscription but
+    // free parallelism). Measured ~2.7x on a 1-core host; asserted with no
+    // margin because the direction is what the tentpole claims.
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
+    let rc = claims_rc();
+    let w = retail_hotkey(rc.scale, rc.seed);
+    let cfg = claims_config(&rc, &w);
+    let rt = EngineRuntime::with_config(RuntimeConfig {
+        workers: host,
+        max_concurrent_queries: QUERIES,
+        memory_budget_tuples: None,
+    });
+    run_query(&rt, &w, &cfg); // warm caches/pages outside the timed region
+
+    let (shared_makespan, shared_runs) = concurrent_makespan(QUERIES, Some(&rt), host, &w, &cfg);
+    let (spawn_makespan, spawn_runs) = concurrent_makespan(QUERIES, None, host, &w, &cfg);
+    assert_eq!(
+        shared_runs[0].join.output_total,
+        spawn_runs[0].join.output_total
+    );
+    assert!(
+        shared_makespan < spawn_makespan,
+        "shared pool makespan {shared_makespan:.4}s !< spawn-per-query {spawn_makespan:.4}s"
+    );
+}
+
+#[test]
+fn straggler_query_still_migrates_while_a_healthy_query_shares_the_pool() {
+    let _serial = serial();
+    let rc = claims_rc();
+    let w = retail_hotkey(rc.scale, rc.seed);
+    let base = claims_config(&rc, &w);
+    // Forced thresholds (the `prop_migration.rs` pattern): the claim here
+    // is that the Migrate/Adopt/fence protocol works across tenants, not
+    // that the default damping fires under debug-build timing.
+    let slow_cfg = OperatorConfig {
+        adaptive: AdaptiveConfig {
+            reassign: true,
+            move_cost_factor: 0.0,
+            migrate_backlog_tuples: 1,
+            poll_micros: 50,
+            ..Default::default()
+        },
+        straggler: Some(Straggler {
+            reducer: 0,
+            nanos_per_tuple: 20_000,
+        }),
+        ..base.clone()
+    };
+    let rt = shared_runtime();
+    let oracle = run_query(&rt, &w, &base);
+
+    let (slow, healthy) = thread::scope(|s| {
+        let rt = &rt;
+        let slow = s.spawn({
+            let slow_cfg = &slow_cfg;
+            let w = &w;
+            move || run_query(rt, w, slow_cfg)
+        });
+        let healthy = s.spawn({
+            let base = &base;
+            let w = &w;
+            move || run_query(rt, w, base)
+        });
+        (
+            slow.join().expect("straggler query panicked"),
+            healthy.join().expect("healthy query panicked"),
+        )
+    });
+    assert_eq!(slow.join.output_total, oracle.join.output_total);
+    assert_eq!(slow.join.checksum, oracle.join.checksum);
+    assert_eq!(healthy.join.output_total, oracle.join.output_total);
+    assert_eq!(healthy.join.checksum, oracle.join.checksum);
+    assert!(
+        slow.join.regions_migrated >= 1,
+        "the coordinator must migrate off the straggler even while another \
+         query occupies pool workers"
+    );
+    assert!(slow.join.migration_tuples > 0);
+    assert_eq!(
+        healthy.join.regions_migrated, 0,
+        "the healthy query has nothing to migrate"
+    );
+}

@@ -22,9 +22,15 @@
 //!    no longer means "no more data can reach you": migrated state and
 //!    fenced-off fragments travel reducer → reducer after the mappers exit.
 //!    The coordinator therefore broadcasts [`Delivery::Finish`] only when
-//!    the mappers have joined, every routed tuple has been absorbed into
+//!    the mappers have finished, every routed tuple has been absorbed into
 //!    some region's state (`in_flight == 0`), and no migration handshake is
 //!    pending — at which point no queue can ever receive data again.
+//!
+//! Like the mappers and reducers, the coordinator is a task on the shared
+//! worker-pool runtime: instead of sleeping an OS thread between polls, it
+//! parks itself (`Pending`) and checks its poll interval against a
+//! monotonic clock when next scheduled, so its cadence rides on the pool's
+//! nap granularity rather than a dedicated thread.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -38,7 +44,7 @@ use super::mapper::broadcast;
 use super::queue::{BoundedQueue, Delivery};
 
 /// Everything the coordinator task reads and writes, shared by reference
-/// across the engine's scoped threads.
+/// across the engine's pool tasks.
 pub struct CoordinatorShared<'a> {
     pub queues: &'a [BoundedQueue],
     pub table: &'a RoutingTable,
@@ -47,7 +53,7 @@ pub struct CoordinatorShared<'a> {
     /// Unrouted `R1` morsels; migrations only start at zero (regions must be
     /// sealable before their build state can ship).
     pub r1_remaining: &'a AtomicUsize,
-    /// Set by the orchestrator once every mapper has joined cleanly.
+    /// Set by the orchestrator once every mapper has finished cleanly.
     pub mappers_done: &'a AtomicBool,
     /// Set by the orchestrator when the run was cancelled; the coordinator
     /// exits without broadcasting `Finish` (the orchestrator aborts).
@@ -69,10 +75,23 @@ pub struct MigrationTally {
     pub migration_secs: f64,
 }
 
+/// What one [`CoordinatorTask::poll`] reports to the orchestration layer.
+pub enum CoordinatorStep {
+    /// Between polls (or the poll changed nothing observable); park.
+    Idle,
+    /// The run is quiescent (`Finish` broadcast) or aborted; the task is
+    /// done.
+    Done(MigrationTally),
+}
+
 /// Polls a starvation pattern must survive before any migration fires at
-/// all: a single-poll blip (an OS scheduling hiccup, a queue momentarily
-/// draining) must never move a region.
-const MIN_PERSIST_POLLS: u32 = 2;
+/// all: a short blip (an OS scheduling hiccup, a queue momentarily
+/// draining) must never move a region. Under the shared worker pool this
+/// needs more history than the old dedicated-thread engine did — a pool
+/// worker carrying the "backlogged" reducer can be descheduled by the OS
+/// for a couple of coordinator polls on an oversubscribed host, which is
+/// starvation that cures itself the moment the worker runs again.
+const MIN_PERSIST_POLLS: u32 = 4;
 
 /// Polls a starvation pattern must survive before the one-shot
 /// profitability gate is waived: a queue-capacity-bounded backlog snapshot
@@ -81,57 +100,86 @@ const MIN_PERSIST_POLLS: u32 = 2;
 /// polls migrates regardless of the move cost.
 const PERSIST_POLLS: u32 = 10;
 
-/// Runs the coordinator until the run is quiescent (broadcasts `Finish`) or
-/// aborted (exits silently; the orchestrator broadcasts `Abort`).
-pub fn run_coordinator(sh: &CoordinatorShared<'_>) -> MigrationTally {
-    // The orchestrator only spawns a coordinator under the coordinated
-    // protocol; with `reassign` off, reducers terminate on `SealAll` and no
-    // one would consume a `Finish`.
-    debug_assert!(
-        sh.adaptive.reassign,
-        "coordinator spawned with reassign off"
-    );
-    let mut tally = MigrationTally::default();
-    let mut started = 0u64;
-    let mut migrated = vec![false; sh.table.n_regions()];
-    let mut pending_since: Option<Instant> = None;
-    let mut starved_polls = 0u32;
-    let poll = Duration::from_micros(sh.adaptive.poll_micros.max(1));
+/// The coordinator's resumable state across polls.
+pub struct CoordinatorTask<'a> {
+    sh: &'a CoordinatorShared<'a>,
+    tally: MigrationTally,
+    /// Handshakes started (compared against completed adoptions).
+    started: u64,
+    /// One-shot flags: each region migrates at most once per run.
+    migrated: Vec<bool>,
+    /// Decision time of the in-flight handshake.
+    pending_since: Option<Instant>,
+    starved_polls: u32,
+    poll_interval: Duration,
+    last_poll: Option<Instant>,
+}
 
-    loop {
-        if sh.abort.load(Ordering::Acquire) {
-            return tally;
+impl<'a> CoordinatorTask<'a> {
+    pub fn new(sh: &'a CoordinatorShared<'a>) -> Self {
+        // The orchestrator only spawns a coordinator under the coordinated
+        // protocol; with `reassign` off, reducers terminate on `SealAll` and
+        // no one would consume a `Finish`.
+        debug_assert!(
+            sh.adaptive.reassign,
+            "coordinator spawned with reassign off"
+        );
+        CoordinatorTask {
+            sh,
+            tally: MigrationTally::default(),
+            started: 0,
+            migrated: vec![false; sh.table.n_regions()],
+            pending_since: None,
+            starved_polls: 0,
+            poll_interval: Duration::from_micros(sh.adaptive.poll_micros.max(1)),
+            last_poll: None,
         }
-        let adopted = sh.adoptions.load(Ordering::Acquire);
-        if let Some(t0) = pending_since {
-            if adopted == started {
-                tally.migration_secs += t0.elapsed().as_secs_f64();
-                pending_since = None;
+    }
+
+    /// One coordinator iteration, rate-limited to the configured poll
+    /// cadence.
+    pub fn poll(&mut self) -> CoordinatorStep {
+        let sh = self.sh;
+        if sh.abort.load(Ordering::Acquire) {
+            return CoordinatorStep::Done(self.tally);
+        }
+        if let Some(last) = self.last_poll {
+            if last.elapsed() < self.poll_interval {
+                return CoordinatorStep::Idle;
             }
         }
-        if pending_since.is_none()
+        self.last_poll = Some(Instant::now());
+
+        let adopted = sh.adoptions.load(Ordering::Acquire);
+        if let Some(t0) = self.pending_since {
+            if adopted == self.started {
+                self.tally.migration_secs += t0.elapsed().as_secs_f64();
+                self.pending_since = None;
+            }
+        }
+        if self.pending_since.is_none()
             && sh.mappers_done.load(Ordering::Acquire)
             && sh.in_flight.load(Ordering::Acquire) == 0
         {
             broadcast(sh.queues, || Delivery::Finish);
-            return tally;
+            return CoordinatorStep::Done(self.tally);
         }
-        if pending_since.is_none()
-            && started < sh.adaptive.max_migrations as u64
+        if self.pending_since.is_none()
+            && self.started < sh.adaptive.max_migrations as u64
             && sh.r1_remaining.load(Ordering::Acquire) == 0
         {
-            match try_migrate(sh, &mut migrated, starved_polls) {
+            match try_migrate(sh, &mut self.migrated, self.starved_polls) {
                 Decision::Migrated => {
-                    started += 1;
-                    tally.regions_migrated += 1;
-                    pending_since = Some(Instant::now());
-                    starved_polls = 0;
+                    self.started += 1;
+                    self.tally.regions_migrated += 1;
+                    self.pending_since = Some(Instant::now());
+                    self.starved_polls = 0;
                 }
-                Decision::Starved => starved_polls += 1,
-                Decision::Balanced => starved_polls = 0,
+                Decision::Starved => self.starved_polls += 1,
+                Decision::Balanced => self.starved_polls = 0,
             }
         }
-        std::thread::sleep(poll);
+        CoordinatorStep::Idle
     }
 }
 
@@ -150,7 +198,7 @@ enum Decision {
 /// move-cost gate entirely.
 fn try_migrate(sh: &CoordinatorShared<'_>, migrated: &mut [bool], starved_polls: u32) -> Decision {
     let reducers = sh.queues.len();
-    // A target must be demonstrably starved: blocked on an empty queue.
+    // A target must be demonstrably starved: parked on an empty queue.
     let Some(target) =
         (0..reducers).find(|&q| sh.board.is_idle(q) && sh.queues[q].used_tuples() == 0)
     else {

@@ -49,6 +49,17 @@ pub enum PopWait {
     TimedOut,
 }
 
+/// One observation from the non-blocking [`Exchange::try_pop`].
+#[derive(Debug)]
+pub enum TryPop {
+    /// The next batch.
+    Batch(Vec<Tuple>),
+    /// Closed and drained — the end of the stream.
+    Closed,
+    /// Momentarily empty but still open; the consuming task parks itself.
+    Empty,
+}
+
 /// A bounded MPMC queue of intermediate-tuple batches between two chained
 /// operators.
 #[derive(Debug)]
@@ -120,6 +131,54 @@ impl Exchange {
         inner.batches.push_back(batch);
         drop(inner);
         self.not_empty.notify_one();
+    }
+
+    /// Non-blocking push for tasks running on the shared worker pool: on a
+    /// full exchange the batch is handed back (`Err`) and the producing
+    /// task parks itself instead of the whole pool worker — with every
+    /// stage of a plan multiplexed onto one fixed pool, a *blocking* push
+    /// here could suspend the very workers the downstream consumer needs,
+    /// which is a deadlock the per-stage thread teams never had to worry
+    /// about. Admission rules match [`Exchange::push`]: empty batches are
+    /// dropped, an oversized batch is admitted once the queue is empty, and
+    /// after [`abandon`](Exchange::abandon) pushes are discarded (reported
+    /// as `Ok`, so the producer runs to completion).
+    pub fn try_push(&self, batch: Vec<Tuple>) -> Result<(), Vec<Tuple>> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let n = batch.len();
+        let mut inner = self.inner.lock().expect("exchange poisoned");
+        debug_assert!(!inner.closed, "push after close");
+        if inner.abandoned {
+            return Ok(());
+        }
+        if inner.used > 0 && inner.used + n > self.capacity_tuples {
+            return Err(batch);
+        }
+        inner.used += n;
+        inner.pushed += 1;
+        inner.batches.push_back(batch);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking pop for tasks running on the shared worker pool (see
+    /// [`TryPop`]).
+    pub fn try_pop(&self) -> TryPop {
+        let mut inner = self.inner.lock().expect("exchange poisoned");
+        if let Some(batch) = inner.batches.pop_front() {
+            inner.used -= batch.len();
+            drop(inner);
+            self.not_full.notify_all();
+            return TryPop::Batch(batch);
+        }
+        if inner.closed {
+            TryPop::Closed
+        } else {
+            TryPop::Empty
+        }
     }
 
     /// Consumer-side teardown: marks the consumer as gone, waking and
@@ -421,6 +480,26 @@ mod tests {
         ex.close();
         assert!(ex.pop().is_none());
         assert!(ex.drained(0));
+    }
+
+    #[test]
+    fn try_push_and_try_pop_respect_capacity_and_close() {
+        let ex = Exchange::new(4);
+        assert!(ex.try_push(Vec::new()).is_ok(), "empty batches drop");
+        assert!(ex.try_push(batch(&[1, 2, 3])).is_ok());
+        let bounced = ex.try_push(batch(&[4, 5]));
+        assert_eq!(bounced.expect_err("full").len(), 2);
+        assert!(matches!(ex.try_pop(), TryPop::Batch(b) if b.len() == 3));
+        assert!(matches!(ex.try_pop(), TryPop::Empty));
+        assert!(ex.try_push(batch(&[9; 7])).is_ok(), "oversized on empty");
+        assert!(matches!(ex.try_pop(), TryPop::Batch(_)));
+        ex.close();
+        assert!(matches!(ex.try_pop(), TryPop::Closed));
+        // Post-abandon pushes are silently discarded, like the blocking path.
+        let ex = Exchange::new(2);
+        ex.abandon();
+        assert!(ex.try_push(batch(&[1, 2, 3, 4])).is_ok());
+        assert_eq!(ex.pushed_batches(), 0);
     }
 
     #[test]

@@ -20,17 +20,33 @@
 //! seal. Once the scan plan drains, mappers keep pulling intermediate
 //! batches from the upstream exchange until it closes — this is how a
 //! downstream operator's shuffle overlaps the upstream operator's probe.
+//!
+//! ## Cooperative scheduling
+//!
+//! A mapper is a task on the shared worker-pool runtime, not an OS thread:
+//! [`MapperTask::poll`] routes (at most) one unit — a scan morsel or an
+//! exchange batch — per invocation and *yields* between units, so many
+//! queries' mappers interleave on a fixed pool. Its two wait points park
+//! the task instead of the worker:
+//!
+//! * a full reducer queue — the in-progress unit keeps its routed buckets
+//!   and the one built-but-unshipped fragment across polls, and the
+//!   accumulated stall is reported to the queue's backpressure account
+//!   when the push finally lands;
+//! * an empty (but open) upstream exchange during the drain phase.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use ewh_core::{Key, Rel, RouteBatch, RouteBuckets, Router, RoutingTable, Tuple};
 
-use super::exchange::{Exchange, PopWait};
-use super::morsel::{MemGauge, MorselPlan};
+use super::exchange::{Exchange, TryPop};
+use super::morsel::{Claim, MemGauge, MorselPlan};
 use super::queue::{BoundedQueue, Delivery, RegionBatch};
+use super::runtime::Poll;
 
 /// The engine's distributed end-of-input detector, shared by every mapper
 /// (and consulted once by the orchestrator for pre-sealing empty inputs).
@@ -93,7 +109,7 @@ impl<'a> SealState<'a> {
 }
 
 /// Everything a mapper task needs, shared by reference across the engine's
-/// scoped threads.
+/// pool tasks.
 pub struct MapperShared<'a> {
     pub plan: &'a MorselPlan,
     pub r1: &'a [Tuple],
@@ -114,16 +130,43 @@ pub struct MapperShared<'a> {
     /// absorption. The coordinator's quiescence test.
     pub in_flight: &'a AtomicU64,
     pub seed: u64,
-    /// Cooperative cancellation: checked between morsels.
+    /// Cooperative cancellation: checked every poll.
     pub cancel: &'a AtomicBool,
 }
 
+/// What the in-progress unit is routing — a claimed scan morsel, or an
+/// exchange batch (owned here until its fragments ship, because the
+/// shared gauge releases it only once the whole batch is routed).
+enum UnitSource {
+    Scan { rel: Rel, start: usize, end: usize },
+    Batch { tuples: Vec<Tuple> },
+}
+
+/// One unit of routing work in flight across polls: the routed bucket
+/// snapshot plus the ship cursor.
+struct InFlightUnit {
+    source: UnitSource,
+    /// Snapshot of the touched region list (bucket indices stay valid in
+    /// `MapperTask::buckets` until the unit completes).
+    touched: Vec<u32>,
+    /// Next entry of `touched` to build and ship.
+    next: usize,
+    /// A fragment already built (and charged to the gauge / volume
+    /// counters) whose push bounced off a full queue.
+    built: Option<(u32, Vec<Tuple>)>,
+}
+
 /// One mapper task. Routes the scan plan, then drains the probe exchange
-/// (if any); exits when both are done or the run is cancelled.
+/// (if any); finishes when both are done or the run is cancelled.
 pub struct MapperTask<'a> {
     shared: &'a MapperShared<'a>,
     buckets: RouteBuckets,
     keybuf: Vec<Key>,
+    unit: Option<InFlightUnit>,
+    /// Scan plan exhausted; now pulling from the exchange (if any).
+    draining: bool,
+    /// Start of the current backpressure stall: (queue index, when).
+    blocked: Option<(usize, Instant)>,
 }
 
 impl<'a> MapperTask<'a> {
@@ -133,105 +176,241 @@ impl<'a> MapperTask<'a> {
             shared,
             buckets: RouteBuckets::new(n_regions),
             keybuf: Vec::with_capacity(shared.plan.morsel_tuples()),
+            unit: None,
+            draining: false,
+            blocked: None,
         }
     }
 
-    pub fn run(mut self) {
+    /// Advances the mapper by (at most) one routed unit. Yields after each
+    /// completed unit so concurrent queries' mappers interleave fairly on
+    /// the shared pool; parks (`Pending`) on a full reducer queue or an
+    /// empty upstream exchange.
+    pub fn poll(&mut self) -> Poll {
         let sh = self.shared;
-        loop {
-            if sh.cancel.load(Ordering::Relaxed) {
-                return; // seals never fire; the orchestrator aborts reducers
+        if sh.cancel.load(Ordering::Relaxed) {
+            // Seals never fire; the orchestrator aborts the reducers. Undo
+            // the accounting of anything routed but never shipped.
+            self.discard_unit();
+            return Poll::Ready;
+        }
+        if self.unit.is_some() {
+            if !self.ship_fragments() {
+                return Poll::Pending;
             }
-            let Some(morsel) = sh.plan.claim() else {
-                break;
-            };
-            let tuples = match morsel.rel {
-                Rel::R1 => &sh.r1[morsel.range()],
-                Rel::R2 => &sh.r2[morsel.range()],
-            };
-            self.route_batch(morsel.index as u64, morsel.rel, tuples);
-            sh.morsels_routed.fetch_add(1, Ordering::Relaxed);
-            // AcqRel: the last decrement must observe every other mapper's
-            // queue pushes as already completed. The R1 seal is broadcast
-            // *before* this morsel's `scan_remaining` decrement, so in every
-            // queue's FIFO order SealR1 precedes SealAll.
-            if morsel.rel == Rel::R1 && sh.seal.r1_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                broadcast(sh.queues, || Delivery::SealR1);
-            }
-            if sh.seal.scan_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                sh.seal.maybe_seal_all(sh.queues);
+            self.complete_unit();
+            return Poll::Yielded;
+        }
+        if !self.draining {
+            // Gate R2 claims on the R1 seal countdown: probe fragments
+            // routed before every R1 morsel has *shipped* can only pile up
+            // in unbounded pre-seal `pending` buffers (see
+            // `MorselPlan::try_claim`), and a mapper racing ahead into R2
+            // competes for queue space with the mapper still shipping the
+            // final R1 fragments.
+            let allow_r2 = sh.seal.r1_remaining.load(Ordering::Acquire) == 0;
+            match sh.plan.try_claim(allow_r2) {
+                Claim::Claimed(morsel) => {
+                    let tuples = match morsel.rel {
+                        Rel::R1 => &sh.r1[morsel.range()],
+                        Rel::R2 => &sh.r2[morsel.range()],
+                    };
+                    self.route_unit(morsel.index as u64, morsel.rel, tuples);
+                    self.unit = Some(InFlightUnit {
+                        source: UnitSource::Scan {
+                            rel: morsel.rel,
+                            start: morsel.start,
+                            end: morsel.end,
+                        },
+                        touched: self.buckets.touched().to_vec(),
+                        next: 0,
+                        built: None,
+                    });
+                    return Poll::Yielded;
+                }
+                Claim::Blocked => return Poll::Pending,
+                Claim::Drained => self.draining = true,
             }
         }
         // Scan plan drained: pull streamed probe batches until the upstream
-        // operator closes the exchange. Waits are bounded so cancellation
-        // stays observable even when the upstream producer stalls without
-        // closing (a cancelled run must never hang here).
+        // operator closes the exchange.
         let Some(exchange) = sh.seal.exchange else {
-            return;
+            return Poll::Ready;
         };
-        loop {
-            if sh.cancel.load(Ordering::Relaxed) {
-                return;
+        match exchange.try_pop() {
+            TryPop::Batch(batch) => {
+                let seq = sh.seal.exchange_claims.fetch_add(1, Ordering::Relaxed);
+                // Disjoint RNG stream space from plan morsel indices.
+                self.route_unit(u64::MAX - seq, Rel::R2, &batch);
+                self.unit = Some(InFlightUnit {
+                    source: UnitSource::Batch { tuples: batch },
+                    touched: self.buckets.touched().to_vec(),
+                    next: 0,
+                    built: None,
+                });
+                Poll::Yielded
             }
-            match exchange.pop_wait(std::time::Duration::from_millis(5)) {
-                PopWait::Batch(batch) => {
-                    let seq = sh.seal.exchange_claims.fetch_add(1, Ordering::Relaxed);
-                    // Disjoint RNG stream space from plan morsel indices.
-                    self.route_batch(u64::MAX - seq, Rel::R2, &batch);
-                    // The batch leaves the exchange buffer only now — its
-                    // routed copies were charged fragment by fragment above.
-                    sh.gauge.sub(batch.len() as u64);
-                    sh.morsels_routed.fetch_add(1, Ordering::Relaxed);
-                    sh.seal.routed_batches.fetch_add(1, Ordering::AcqRel);
-                    sh.seal.maybe_seal_all(sh.queues);
-                }
-                PopWait::Closed => {
-                    // Closed and empty. Re-check the seal: the mapper that
-                    // routed the final batch may have observed the exchange
-                    // still open.
-                    sh.seal.maybe_seal_all(sh.queues);
-                    return;
-                }
-                PopWait::TimedOut => {}
+            TryPop::Closed => {
+                // Closed and empty. Re-check the seal: the mapper that
+                // routed the final batch may have observed the exchange
+                // still open.
+                sh.seal.maybe_seal_all(sh.queues);
+                Poll::Ready
             }
+            TryPop::Empty => Poll::Pending,
         }
     }
 
-    fn route_batch(&mut self, stream: u64, rel: Rel, tuples: &[Tuple]) {
+    /// Routes one unit's tuples into `self.buckets` (retained until the
+    /// unit's fragments have all shipped).
+    fn route_unit(&mut self, stream: u64, rel: Rel, tuples: &[Tuple]) {
         let sh = self.shared;
         self.keybuf.clear();
         self.keybuf.extend(tuples.iter().map(|t| t.key));
-        // Seed the routing RNG per morsel/batch (not per thread) so content-
+        // Seed the routing RNG per morsel/batch (not per task) so content-
         // insensitive routing is identical no matter which mapper claims the
         // unit — network volume stays deterministic per seed for scans.
         let stream = stream << 1 | matches!(rel, Rel::R2) as u64;
         let mut rng = SmallRng::seed_from_u64(sh.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         sh.router
             .route_batch(rel, &self.keybuf, &mut rng, &mut self.buckets);
-        for &region in self.buckets.touched() {
-            let fragment: Vec<Tuple> = self
-                .buckets
-                .region(region)
-                .iter()
-                .map(|&i| tuples[i as usize])
-                .collect();
-            sh.gauge.add(fragment.len() as u64);
-            sh.network_tuples
-                .fetch_add(fragment.len() as u64, Ordering::Relaxed);
-            sh.in_flight
-                .fetch_add(fragment.len() as u64, Ordering::AcqRel);
+    }
+
+    /// Ships the in-progress unit's fragments, one region at a time,
+    /// resolving ownership per fragment at push time. Returns `false` (and
+    /// leaves the cursor where it was) when a push bounces off a full
+    /// queue.
+    fn ship_fragments(&mut self) -> bool {
+        let sh = self.shared;
+        let unit = self.unit.as_mut().expect("ship without a unit");
+        loop {
+            if unit.built.is_none() {
+                let Some(&region) = unit.touched.get(unit.next) else {
+                    // Every fragment shipped; account the final stall (if
+                    // any) and report the unit complete.
+                    if let Some((q, since)) = self.blocked.take() {
+                        sh.queues[q].note_blocked(since.elapsed().as_nanos() as u64);
+                    }
+                    return true;
+                };
+                let tuples: &[Tuple] = match &unit.source {
+                    UnitSource::Scan {
+                        rel: Rel::R1,
+                        start,
+                        end,
+                    } => &sh.r1[*start..*end],
+                    UnitSource::Scan {
+                        rel: Rel::R2,
+                        start,
+                        end,
+                    } => &sh.r2[*start..*end],
+                    UnitSource::Batch { tuples } => tuples,
+                };
+                let fragment: Vec<Tuple> = self
+                    .buckets
+                    .region(region)
+                    .iter()
+                    .map(|&i| tuples[i as usize])
+                    .collect();
+                sh.gauge.add(fragment.len() as u64);
+                sh.network_tuples
+                    .fetch_add(fragment.len() as u64, Ordering::Relaxed);
+                sh.in_flight
+                    .fetch_add(fragment.len() as u64, Ordering::AcqRel);
+                unit.built = Some((region, fragment));
+            }
+            let (region, fragment) = unit.built.take().expect("just built");
             // Epoch before owner: the table's ordering contract makes a
-            // stale-owner push always carry a pre-migration stamp.
+            // stale-owner push always carry a pre-migration stamp. Both are
+            // re-read on every retry, so a fragment parked behind a full
+            // queue re-routes if its region migrated meanwhile.
             let epoch = sh.table.epoch();
-            let owner = sh.table.owner_of(region);
-            sh.queues[owner as usize].push(Delivery::Batch(RegionBatch {
+            let owner = sh.table.owner_of(region) as usize;
+            match sh.queues[owner].try_push(Delivery::Batch(RegionBatch {
                 region,
-                rel,
+                rel: unit.rel(),
                 epoch,
                 tuples: fragment,
-            }));
+            })) {
+                Ok(()) => {
+                    unit.next += 1;
+                    if let Some((q, since)) = self.blocked.take() {
+                        sh.queues[q].note_blocked(since.elapsed().as_nanos() as u64);
+                    }
+                }
+                Err(Delivery::Batch(b)) => {
+                    unit.built = Some((region, b.tuples));
+                    if self.blocked.is_none() {
+                        self.blocked = Some((owner, Instant::now()));
+                    }
+                    return false;
+                }
+                Err(_) => unreachable!("try_push hands back what it was given"),
+            }
         }
+    }
+
+    /// Publishes a fully shipped unit's completion: seal countdowns for
+    /// scan morsels, the routed-batch count (and the exchange-buffer gauge
+    /// release) for streamed batches.
+    fn complete_unit(&mut self) {
+        let sh = self.shared;
+        let unit = self.unit.take().expect("complete without a unit");
         self.buckets.clear();
+        sh.morsels_routed.fetch_add(1, Ordering::Relaxed);
+        match unit.source {
+            UnitSource::Scan { rel, .. } => {
+                // AcqRel: the last decrement must observe every other
+                // mapper's queue pushes as already completed. The R1 seal is
+                // broadcast *before* this morsel's `scan_remaining`
+                // decrement, so in every queue's FIFO order SealR1 precedes
+                // SealAll.
+                if rel == Rel::R1 && sh.seal.r1_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    broadcast(sh.queues, || Delivery::SealR1);
+                }
+                if sh.seal.scan_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    sh.seal.maybe_seal_all(sh.queues);
+                }
+            }
+            UnitSource::Batch { tuples } => {
+                // The batch leaves the exchange buffer only now — its
+                // routed copies were charged fragment by fragment above.
+                sh.gauge.sub(tuples.len() as u64);
+                sh.seal.routed_batches.fetch_add(1, Ordering::AcqRel);
+                sh.seal.maybe_seal_all(sh.queues);
+            }
+        }
+    }
+
+    /// Rolls back the accounting of a cancelled in-progress unit: the
+    /// built-but-unshipped fragment (charged to the gauge and volume
+    /// counters) and, for an exchange batch, the batch's own gauge charge.
+    fn discard_unit(&mut self) {
+        let sh = self.shared;
+        let Some(unit) = self.unit.take() else {
+            return;
+        };
+        if let Some((_, fragment)) = unit.built {
+            sh.gauge.sub(fragment.len() as u64);
+            sh.network_tuples
+                .fetch_sub(fragment.len() as u64, Ordering::Relaxed);
+            sh.in_flight
+                .fetch_sub(fragment.len() as u64, Ordering::AcqRel);
+        }
+        if let UnitSource::Batch { tuples } = unit.source {
+            sh.gauge.sub(tuples.len() as u64);
+        }
+        self.blocked = None;
+        self.buckets.clear();
+    }
+}
+
+impl InFlightUnit {
+    fn rel(&self) -> Rel {
+        match &self.source {
+            UnitSource::Scan { rel, .. } => *rel,
+            UnitSource::Batch { .. } => Rel::R2,
+        }
     }
 }
 

@@ -2,7 +2,11 @@
 //!
 //! Replaces the two global barriers of the batch path (full shuffle
 //! materialization, then joins) with a pipeline of mapper and reducer tasks
-//! connected by bounded queues:
+//! connected by bounded queues. Tasks are *schedulable units* on the
+//! shared worker-pool [`EngineRuntime`] (the `runtime` module), not OS
+//! threads: a fixed pool multiplexes the tasks of every concurrently
+//! admitted query, and a task that would block — a full queue, an empty
+//! exchange — parks itself instead of a worker:
 //!
 //! * **Mappers** claim fixed-size [`Morsel`]s of either relation from a
 //!   shared [`MorselPlan`] and batch-route them through the scheme's
@@ -49,17 +53,22 @@ mod mapper;
 mod morsel;
 mod queue;
 mod reducer;
+mod runtime;
 
 pub use board::ProgressBoard;
 pub use exchange::{
     AbandonOnDrop, CloseOnDrop, Exchange, IntermediateStats, OnlineStats, PopWait, StageSink,
+    TryPop,
 };
-pub use morsel::{MemGauge, Morsel, MorselPlan, Source};
+pub use morsel::{Claim, MemGauge, Morsel, MorselPlan, Source};
 pub use queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 pub use reducer::{merge_sorted_runs, RegionResult};
+pub use runtime::{
+    EngineRuntime, Poll, QueryTicket, RuntimeConfig, RuntimeMetrics, RuntimeScope, TaskGroup,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::thread;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use ewh_core::{JoinCondition, Router, RoutingTable, Tuple};
@@ -67,9 +76,9 @@ use ewh_core::{JoinCondition, Router, RoutingTable, Tuple};
 use crate::adaptive::AdaptiveConfig;
 use crate::local_join::{KeyFrom, OutputWork};
 
-use coordinator::{run_coordinator, CoordinatorShared};
+use coordinator::{CoordinatorShared, CoordinatorStep, CoordinatorTask, MigrationTally};
 use mapper::{broadcast, MapperShared, MapperTask, SealState};
-use reducer::{ReducerOutcome, ReducerShared, ReducerTask};
+use reducer::{ReducerOutcome, ReducerShared, ReducerStep, ReducerTask};
 
 /// Fault injection: slow one reducer's absorption path down by a fixed cost
 /// per tuple, emulating a straggling node. Used by benchmarks and tests to
@@ -106,13 +115,16 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// Splits `threads` real threads into mapper and reducer tasks (half
-    /// each, at least one of both; a single thread is oversubscribed 1+1,
-    /// which is harmless because blocked tasks yield the core).
-    pub fn for_threads(threads: usize, morsel_tuples: usize, seed: u64) -> Self {
-        let threads = threads.max(1);
-        let reducers = (threads / 2).max(1);
-        let mappers = (threads - reducers).max(1);
+    /// Splits a query's task budget into mapper and reducer tasks (half
+    /// each, at least one of both). These are *schedulable tasks* on the
+    /// shared [`EngineRuntime`], not OS threads: the pool multiplexes
+    /// them, so a task budget above the pool size just means finer
+    /// interleaving, never host oversubscription (which is why the old
+    /// per-stage thread-splitting this replaced is gone).
+    pub fn for_tasks(tasks: usize, morsel_tuples: usize, seed: u64) -> Self {
+        let tasks = tasks.max(1);
+        let reducers = (tasks / 2).max(1);
+        let mappers = (tasks - reducers).max(1);
         EngineConfig {
             mappers,
             reducers,
@@ -218,6 +230,7 @@ pub struct EngineIo<'a> {
 /// claimable by a follow-up run (see the adaptive fallback).
 #[allow(clippy::too_many_arguments)] // an execution plan, not a builder
 pub fn run_pipelined(
+    rt: &EngineRuntime,
     r1: &[Tuple],
     r2: &[Tuple],
     router: &Router,
@@ -228,6 +241,7 @@ pub fn run_pipelined(
     cancel: Option<&AtomicBool>,
 ) -> EngineOutcome {
     run_pipelined_io(
+        rt,
         EngineIo {
             r1: Source::Scan(r1),
             r2: Source::Scan(r2),
@@ -246,7 +260,14 @@ pub fn run_pipelined(
 
 /// Runs one pipelined operator over generalized [`Source`]s — the entry
 /// point of the composable plan executor (see [`EngineIo`]).
-pub fn run_pipelined_io(io: EngineIo<'_>, cfg: &EngineConfig) -> EngineOutcome {
+///
+/// All mapper/reducer/coordinator work executes as tasks on `rt`'s shared
+/// worker pool; the calling thread only orchestrates (it waits for the
+/// mapper task group, decides whether the seal chain broke, and blocks
+/// until the run's tasks complete). Many engine runs — whole concurrent
+/// queries, or the stages of one plan — share a single runtime without
+/// spawning anything.
+pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig) -> EngineOutcome {
     assert!(
         io.r1.exchange().is_none(),
         "streamed build sides are unsupported: left-deep chains build on base relations"
@@ -340,29 +361,44 @@ pub fn run_pipelined_io(io: EngineIo<'_>, cfg: &EngineConfig) -> EngineOutcome {
         owned[q as usize].push(region as u32);
     }
 
-    let (outcomes, tally): (Vec<ReducerOutcome>, _) = thread::scope(|s| {
-        let reducer_handles: Vec<_> = owned
-            .iter()
-            .enumerate()
-            .map(|(q, regions)| {
-                let shared = &reducer_shared;
-                s.spawn(move || ReducerTask::new(shared, q, regions).run())
-            })
-            .collect();
-        let coordinator_handle = coordinated.then(|| {
-            let shared = &coordinator_shared;
-            s.spawn(move || run_coordinator(shared))
-        });
-        let mapper_handles: Vec<_> = (0..cfg.mappers.max(1))
-            .map(|_| {
-                let shared = &mapper_shared;
-                s.spawn(move || MapperTask::new(shared).run())
-            })
-            .collect();
-        for h in mapper_handles {
-            h.join().expect("mapper task panicked");
+    // Result slots the pool tasks write into as they finish (the runtime's
+    // scoped tasks have no join handles — the scope itself is the join).
+    let outcome_slots: Vec<Mutex<Option<ReducerOutcome>>> =
+        (0..reducers).map(|_| Mutex::new(None)).collect();
+    let tally_slot: Mutex<Option<MigrationTally>> = Mutex::new(None);
+
+    rt.scope(|s| {
+        for (q, regions) in owned.iter().enumerate() {
+            let mut task = ReducerTask::new(&reducer_shared, q, regions);
+            let slot = &outcome_slots[q];
+            s.spawn(move || match task.poll() {
+                ReducerStep::Working => Poll::Yielded,
+                ReducerStep::Parked => Poll::Pending,
+                ReducerStep::Done(outcome) => {
+                    *slot.lock().expect("outcome slot poisoned") = Some(outcome);
+                    Poll::Ready
+                }
+            });
         }
-        // If the mappers exited without sealing (cancellation), the seal
+        let coordinator_group = s.group();
+        if coordinated {
+            let mut task = CoordinatorTask::new(&coordinator_shared);
+            let slot = &tally_slot;
+            s.spawn_in(&coordinator_group, move || match task.poll() {
+                CoordinatorStep::Idle => Poll::Pending,
+                CoordinatorStep::Done(tally) => {
+                    *slot.lock().expect("tally slot poisoned") = Some(tally);
+                    Poll::Ready
+                }
+            });
+        }
+        let mapper_group = s.group();
+        for _ in 0..cfg.mappers.max(1) {
+            let mut task = MapperTask::new(&mapper_shared);
+            s.spawn_in(&mapper_group, move || task.poll());
+        }
+        mapper_group.wait();
+        // If the mappers finished without sealing (cancellation), the seal
         // chain is broken: stop the coordinator and abort the reducers
         // explicitly. Control messages bypass queue bounds, so this cannot
         // deadlock. Otherwise hand termination to the coordinator (Finish
@@ -373,18 +409,24 @@ pub fn run_pipelined_io(io: EngineIo<'_>, cfg: &EngineConfig) -> EngineOutcome {
         } else {
             mappers_done.store(true, Ordering::Release);
         }
-        let tally = coordinator_handle
-            .map(|h| h.join().expect("coordinator task panicked"))
-            .unwrap_or_default();
+        coordinator_group.wait();
         if broken {
             broadcast(&queues, || Delivery::Abort);
         }
-        let outcomes = reducer_handles
-            .into_iter()
-            .map(|h| h.join().expect("reducer task panicked"))
-            .collect();
-        (outcomes, tally)
+        // Scope exit blocks until the reducer tasks complete.
     });
+    let outcomes: Vec<ReducerOutcome> = outcome_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("outcome slot poisoned")
+                .expect("reducer task finished without an outcome")
+        })
+        .collect();
+    let tally = tally_slot
+        .into_inner()
+        .expect("tally slot poisoned")
+        .unwrap_or_default();
 
     let cancelled = outcomes.iter().any(|o| o.aborted);
     let mut outcome = EngineOutcome {
@@ -410,6 +452,15 @@ pub fn run_pipelined_io(io: EngineIo<'_>, cfg: &EngineConfig) -> EngineOutcome {
             0,
             "finished with unabsorbed tuples in flight"
         );
+        // A completed run over a private gauge must balance its books:
+        // every charged tuple was released by a sweep, a region
+        // completion, or a downstream routing release. (Shared gauges are
+        // checked by the owning plan/ticket instead.)
+        debug_assert!(
+            io.gauge.is_some() || local_gauge.current_tuples() == 0,
+            "completed run leaked {} gauge tuples",
+            local_gauge.current_tuples()
+        );
         for o in &outcomes {
             for r in &o.results {
                 outcome.per_region_input[r.region as usize] = r.input;
@@ -425,6 +476,13 @@ pub fn run_pipelined_io(io: EngineIo<'_>, cfg: &EngineConfig) -> EngineOutcome {
 mod tests {
     use super::*;
     use ewh_core::{build_ci, build_csio, CostModel, HistogramParams, Key};
+    use std::thread;
+
+    /// A small pool for the unit tests: 4 workers regardless of the host,
+    /// mirroring the thread teams the pre-runtime engine spawned.
+    fn test_rt() -> EngineRuntime {
+        EngineRuntime::new(4)
+    }
 
     fn tuples(keys: &[Key]) -> Vec<Tuple> {
         keys.iter()
@@ -468,7 +526,7 @@ mod tests {
             adaptive: AdaptiveConfig::default(),
             straggler: None,
         };
-        run_pipelined(r1, r2, router, cond, &table, &plan, &cfg, None)
+        run_pipelined(&test_rt(), r1, r2, router, cond, &table, &plan, &cfg, None)
     }
 
     #[test]
@@ -578,7 +636,9 @@ mod tests {
             straggler: None,
         };
         let cancel = AtomicBool::new(true);
+        let rt = test_rt();
         let out = run_pipelined(
+            &rt,
             &r1,
             &r2,
             &scheme.router,
@@ -595,6 +655,7 @@ mod tests {
         // The same plan drives a follow-up run to the full, correct result.
         cancel.store(false, Ordering::Relaxed);
         let out = run_pipelined(
+            &rt,
             &r1,
             &r2,
             &scheme.router,
@@ -630,13 +691,24 @@ mod tests {
             adaptive: AdaptiveConfig::default(),
             straggler: None,
         };
+        let rt = test_rt();
         for pre_claimed in [1usize, 4, 6] {
             let table = RoutingTable::new(&region_to_reducer);
             let plan = MorselPlan::new(r1.len(), r2.len(), 256); // 4 + 4 morsels
             for _ in 0..pre_claimed {
                 plan.claim().expect("plan has 8 morsels");
             }
-            let out = run_pipelined(&r1, &r2, &scheme.router, &cond, &table, &plan, &cfg, None);
+            let out = run_pipelined(
+                &rt,
+                &r1,
+                &r2,
+                &scheme.router,
+                &cond,
+                &table,
+                &plan,
+                &cfg,
+                None,
+            );
             assert!(
                 !out.cancelled,
                 "resume with {pre_claimed} pre-claimed morsels aborted"
@@ -681,7 +753,17 @@ mod tests {
                 nanos_per_tuple: 20_000,
             }),
         };
-        let out = run_pipelined(&r1, &r2, &scheme.router, &cond, &table, &plan, &cfg, None);
+        let out = run_pipelined(
+            &test_rt(),
+            &r1,
+            &r2,
+            &scheme.router,
+            &cond,
+            &table,
+            &plan,
+            &cfg,
+            None,
+        );
         assert!(!out.cancelled);
         assert_eq!(out.output_total(), expect_c);
         assert_eq!(out.checksum(), expect_s);
@@ -723,6 +805,7 @@ mod tests {
         let plan = MorselPlan::new(r1.len(), 0, 128);
         let exchange = Exchange::new(capacity);
         let gauge = MemGauge::default();
+        let rt = test_rt();
         thread::scope(|s| {
             s.spawn(|| {
                 for chunk in r2.chunks(batch.max(1)) {
@@ -732,6 +815,7 @@ mod tests {
                 exchange.close();
             });
             run_pipelined_io(
+                &rt,
                 EngineIo {
                     r1: Source::Scan(r1),
                     r2: Source::Exchange(&exchange),
@@ -869,14 +953,16 @@ mod tests {
             adaptive: AdaptiveConfig::default(),
             straggler: None,
         };
+        let rt = test_rt();
         let out = thread::scope(|s| {
             s.spawn(|| {
-                // Let the mappers drain the scan plan and block on the
+                // Let the mappers drain the scan plan and park on the
                 // stalled exchange, then cancel.
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 cancel.store(true, Ordering::Release);
             });
             run_pipelined_io(
+                &rt,
                 EngineIo {
                     r1: Source::Scan(&r1),
                     r2: Source::Exchange(&exchange),
@@ -949,7 +1035,17 @@ mod tests {
             },
             straggler: None,
         };
-        let out = run_pipelined(&r1, &r2, &scheme.router, &cond, &table, &plan, &cfg, None);
+        let out = run_pipelined(
+            &test_rt(),
+            &r1,
+            &r2,
+            &scheme.router,
+            &cond,
+            &table,
+            &plan,
+            &cfg,
+            None,
+        );
         assert_eq!(out.output_total(), expect_c);
         assert_eq!(out.checksum(), expect_s);
         assert_eq!(out.regions_migrated, 0);

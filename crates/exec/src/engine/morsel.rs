@@ -81,6 +81,17 @@ impl<'a> Source<'a> {
     }
 }
 
+/// One [`MorselPlan::try_claim`] outcome.
+#[derive(Clone, Copy, Debug)]
+pub enum Claim {
+    Claimed(Morsel),
+    /// The next morsel is `R2` and the caller's gate disallows it (the
+    /// build phase is still shipping); retry once the `R1` seal fires.
+    Blocked,
+    /// Every morsel has been claimed.
+    Drained,
+}
+
 /// The morsel decomposition of a join's two inputs. Construction is O(1):
 /// morsels are described arithmetically, never materialized.
 #[derive(Debug)]
@@ -144,6 +155,33 @@ impl MorselPlan {
     pub fn claim(&self) -> Option<Morsel> {
         let index = self.next.fetch_add(1, Ordering::Relaxed);
         (index < self.total()).then(|| self.describe(index))
+    }
+
+    /// [`claim`](Self::claim) with a build-phase gate: when `allow_r2` is
+    /// false, a cursor standing at the first `R2` morsel stays put and the
+    /// claim reports [`Claim::Blocked`]. The engine's mappers gate `R2`
+    /// claims on the `R1` seal countdown — probe tuples routed before the
+    /// seal can only sit in unbounded per-region `pending` buffers (no
+    /// region can sweep yet), so racing ahead into `R2` while some mapper
+    /// is still shipping `R1` buys no pipelining and can balloon the
+    /// resident peak to the whole probe side.
+    pub fn try_claim(&self, allow_r2: bool) -> Claim {
+        loop {
+            let cur = self.next.load(Ordering::Acquire);
+            if cur >= self.total() {
+                return Claim::Drained;
+            }
+            if !allow_r2 && cur >= self.r1_morsels() {
+                return Claim::Blocked;
+            }
+            if self
+                .next
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Claim::Claimed(self.describe(cur));
+            }
+        }
     }
 
     /// Morsels handed out so far (== routed morsels once a run completes; on

@@ -5,11 +5,19 @@
 //! the queue of the reducer owning the target region (resolved through the
 //! shared [`ewh_core::RoutingTable`] at push time). The queue is bounded
 //! (in tuples), so a reducer that falls behind exerts *backpressure*: the
-//! pushing mapper blocks, and the blocked time is accounted so runs can
-//! report where the pipeline stalled. Control traffic — seals, migration
-//! handshakes, finish/abort — bypasses the bound via
+//! pushing mapper task parks (yielding its pool worker — see
+//! [`BoundedQueue::try_push`]), and the blocked time is accounted so runs
+//! can report where the pipeline stalled. Control traffic — seals,
+//! migration handshakes, finish/abort — bypasses the bound via
 //! [`BoundedQueue::push_unbounded`], so coordination can never deadlock
 //! behind a full queue.
+//!
+//! Engine tasks run on the shared worker-pool runtime and therefore use
+//! the non-blocking [`BoundedQueue::try_push`] / [`BoundedQueue::try_pop`]
+//! pair — a task that cannot make progress returns
+//! [`Poll::Pending`](super::runtime::Poll) instead of parking an OS
+//! thread. The blocking [`BoundedQueue::push`] / [`BoundedQueue::pop`]
+//! remain for client threads and tests.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -145,6 +153,46 @@ impl BoundedQueue {
         self.not_empty.notify_one();
     }
 
+    /// Non-blocking bounded push: enqueues and returns `Ok(())`, or hands
+    /// the item back when the queue is at capacity so the caller can park
+    /// itself (a pool task returns `Pending` and retries next poll). The
+    /// admission rules match [`BoundedQueue::push`]: an oversized batch is
+    /// admitted once the queue is empty, and zero-weight control messages
+    /// always pass.
+    pub fn try_push(&self, item: Delivery) -> Result<(), Delivery> {
+        let w = weight(&item);
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if w > 0 && inner.used > 0 && inner.used + w > self.capacity_tuples {
+            return Err(item);
+        }
+        inner.used += w;
+        inner.queue.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking pop: `None` when the queue is momentarily empty (the
+    /// consuming task parks itself; termination is still driven by the
+    /// control messages described on [`BoundedQueue::pop`]).
+    pub fn try_pop(&self) -> Option<Delivery> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let item = inner.queue.pop_front()?;
+        inner.used -= weight(&item);
+        drop(inner);
+        self.not_full.notify_all();
+        Some(item)
+    }
+
+    /// Charges producer-side blocked time observed *outside* the queue —
+    /// a mapper task that parked on a full [`try_push`](Self::try_push)
+    /// reports the stall here once it unblocks, keeping
+    /// [`blocked_secs`](Self::blocked_secs) meaningful under cooperative
+    /// scheduling.
+    pub fn note_blocked(&self, nanos: u64) {
+        self.blocked_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
     /// Non-blocking push that ignores the capacity bound (weight is still
     /// accounted). Used for reducer → reducer traffic — forwarded fragments
     /// and migration handshakes — where a blocking push could form a cycle
@@ -259,6 +307,31 @@ mod tests {
             assert!(matches!(q.pop(), Delivery::Batch(_)));
         }
         assert_eq!(q.used_tuples(), 0);
+    }
+
+    #[test]
+    fn try_push_bounces_at_capacity_and_try_pop_drains() {
+        let q = BoundedQueue::new(4);
+        let batch = |n: usize| {
+            Delivery::Batch(RegionBatch {
+                region: 0,
+                rel: Rel::R2,
+                epoch: 0,
+                tuples: vec![Tuple::new(1, 2); n],
+            })
+        };
+        assert!(q.try_push(batch(3)).is_ok());
+        // 3 + 3 > 4 with a non-empty queue: bounced, item handed back.
+        let bounced = q.try_push(batch(3));
+        assert!(matches!(bounced, Err(Delivery::Batch(ref b)) if b.tuples.len() == 3));
+        // Control always passes; empty queue admits oversized batches.
+        assert!(q.try_push(Delivery::SealR1).is_ok());
+        assert!(q.try_pop().is_some());
+        assert!(q.try_pop().is_some());
+        assert!(q.try_pop().is_none());
+        assert!(q.try_push(batch(99)).is_ok(), "oversized on empty");
+        q.note_blocked(5_000_000);
+        assert!(q.blocked_secs() >= 0.005);
     }
 
     #[test]

@@ -8,6 +8,22 @@
 //! completes — the engine never holds the full shuffle materialization the
 //! batch path does.
 //!
+//! ## Cooperative scheduling
+//!
+//! A reducer is a task on the shared worker-pool runtime: each
+//! [`ReducerTask::poll`] drains a bounded number of deliveries and then
+//! yields its worker, and an empty queue parks the task (`Pending`)
+//! instead of an OS thread. When the stage ships output downstream
+//! ([`StageSink`]), swept batches go through an *outbox*: a sweep's output
+//! is staged locally and pushed to the inter-operator exchange with
+//! non-blocking [`Exchange::try_push`](super::Exchange::try_push) — a
+//! blocking push would suspend a pool worker the downstream consumer may
+//! need, which on a shared pool is a deadlock, not just a stall. While the
+//! outbox is non-empty the reducer processes no further deliveries, so
+//! upstream backpressure still propagates (its queue fills, mappers park);
+//! the price is that at most one sweep's output can sit staged beyond the
+//! exchange bound, and the shared gauge charges it honestly.
+//!
 //! ## Region migration (the reducer's side of the protocol)
 //!
 //! Ownership is dynamic: the coordinator can reassign a region mid-run by
@@ -31,6 +47,7 @@
 //! what lets reducers keep draining after `SealAll` without ever dropping a
 //! late fragment.
 
+use std::collections::VecDeque;
 use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -44,6 +61,10 @@ use super::exchange::StageSink;
 use super::morsel::MemGauge;
 use super::queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 use super::Straggler;
+
+/// Deliveries processed per poll before the task yields its worker, so a
+/// firehosed reducer cannot monopolize a pool slot against other queries.
+const DELIVERIES_PER_POLL: usize = 32;
 
 /// Per-region accumulator.
 #[derive(Debug, Default)]
@@ -83,9 +104,21 @@ pub struct ReducerOutcome {
     pub results: Vec<RegionResult>,
     /// Time spent processing deliveries.
     pub busy_secs: f64,
-    /// Time spent blocked waiting on the queue.
+    /// Time spent parked on an empty queue (or a full downstream
+    /// exchange).
     pub idle_secs: f64,
     pub aborted: bool,
+}
+
+/// What one [`ReducerTask::poll`] reports to the orchestration layer.
+#[derive(Debug)]
+pub enum ReducerStep {
+    /// Made progress; poll again soon.
+    Working,
+    /// Nothing to do right now (empty queue / full downstream exchange).
+    Parked,
+    /// Terminal delivery processed and outbox drained.
+    Done(ReducerOutcome),
 }
 
 /// State shared (by reference) between all reducer tasks of one run.
@@ -127,6 +160,16 @@ pub struct ReducerTask<'a> {
     /// Per-region fence buffer: fragments that arrived ahead of the
     /// region's `Adopt` message.
     parked: Vec<Vec<RegionBatch>>,
+    /// Output batches staged for the downstream exchange (see module
+    /// docs); drained before any further delivery is processed.
+    outbox: VecDeque<Vec<Tuple>>,
+    /// Region tallies computed by the terminal delivery; `Some` while the
+    /// outbox still holds the final batches.
+    finished: Option<Vec<RegionResult>>,
+    busy_secs: f64,
+    idle_secs: f64,
+    /// Start of the current park (empty queue / blocked outbox).
+    idle_since: Option<Instant>,
 }
 
 impl<'a> ReducerTask<'a> {
@@ -141,62 +184,118 @@ impl<'a> ReducerTask<'a> {
             me,
             states,
             parked: (0..n_regions).map(|_| Vec::new()).collect(),
+            outbox: VecDeque::new(),
+            finished: None,
+            busy_secs: 0.0,
+            idle_secs: 0.0,
+            idle_since: None,
         }
     }
 
-    pub fn run(mut self) -> ReducerOutcome {
-        let mut busy = 0.0f64;
-        let mut idle = 0.0f64;
+    /// Drains up to [`DELIVERIES_PER_POLL`] deliveries (flushing the
+    /// outbox between them) and reports how the orchestrator should
+    /// reschedule the task.
+    pub fn poll(&mut self) -> ReducerStep {
+        let start = Instant::now();
         let queue = &self.sh.queues[self.me];
-        loop {
-            // Heartbeat: only an empty queue counts as idle — the
-            // coordinator treats an idle reducer as a migration target.
-            self.sh.board.set_idle(self.me, queue.used_tuples() == 0);
-            let wait_start = Instant::now();
-            let delivery = queue.pop();
-            self.sh.board.set_idle(self.me, false);
-            let work_start = Instant::now();
-            idle += work_start.duration_since(wait_start).as_secs_f64();
+        let mut processed = 0usize;
+        let step = loop {
+            if !self.flush_outbox() {
+                // Downstream exchange full: stop consuming so backpressure
+                // reaches the mappers through our queue.
+                break self.park(queue, processed);
+            }
+            if let Some(results) = self.finished.take() {
+                // Terminal already processed; the outbox just drained.
+                break ReducerStep::Done(self.outcome(results, false));
+            }
+            if processed >= DELIVERIES_PER_POLL {
+                break ReducerStep::Working;
+            }
+            let Some(delivery) = queue.try_pop() else {
+                break self.park(queue, processed);
+            };
+            self.unpark();
+            processed += 1;
             match delivery {
                 Delivery::Batch(batch) => self.on_batch(batch),
                 Delivery::SealR1 => self.on_seal_r1(),
                 Delivery::SealAll if !self.sh.coordinated => {
-                    let results = self.finish();
-                    busy += work_start.elapsed().as_secs_f64();
-                    return ReducerOutcome {
-                        results,
-                        busy_secs: busy,
-                        idle_secs: idle,
-                        aborted: false,
-                    };
+                    self.finished = Some(self.finish());
                 }
                 Delivery::SealAll => self.on_seal_all(),
                 Delivery::Migrate { region } => self.on_migrate(region),
                 Delivery::Adopt { region, state } => self.on_adopt(region, *state),
                 Delivery::Finish => {
                     debug_assert!(self.sh.coordinated, "Finish without a coordinator");
-                    let results = self.finish();
-                    busy += work_start.elapsed().as_secs_f64();
-                    return ReducerOutcome {
-                        results,
-                        busy_secs: busy,
-                        idle_secs: idle,
-                        aborted: false,
-                    };
+                    self.finished = Some(self.finish());
                 }
                 Delivery::Abort => {
                     self.discard();
-                    busy += work_start.elapsed().as_secs_f64();
-                    return ReducerOutcome {
-                        results: Vec::new(),
-                        busy_secs: busy,
-                        idle_secs: idle,
-                        aborted: true,
-                    };
+                    self.busy_secs += start.elapsed().as_secs_f64();
+                    return ReducerStep::Done(self.outcome(Vec::new(), true));
                 }
             }
-            busy += work_start.elapsed().as_secs_f64();
+        };
+        if processed > 0 || !matches!(step, ReducerStep::Parked) {
+            self.busy_secs += start.elapsed().as_secs_f64();
         }
+        step
+    }
+
+    /// Parks the task: publish the idle heartbeat (the migration
+    /// coordinator treats an idle reducer as a migration target) and start
+    /// the idle clock.
+    fn park(&mut self, queue: &BoundedQueue, processed: usize) -> ReducerStep {
+        self.sh
+            .board
+            .set_idle(self.me, queue.used_tuples() == 0 && self.outbox.is_empty());
+        if self.idle_since.is_none() {
+            self.idle_since = Some(Instant::now());
+        }
+        if processed > 0 {
+            ReducerStep::Working
+        } else {
+            ReducerStep::Parked
+        }
+    }
+
+    fn unpark(&mut self) {
+        self.sh.board.set_idle(self.me, false);
+        if let Some(since) = self.idle_since.take() {
+            self.idle_secs += since.elapsed().as_secs_f64();
+        }
+    }
+
+    fn outcome(&mut self, results: Vec<RegionResult>, aborted: bool) -> ReducerOutcome {
+        if let Some(since) = self.idle_since.take() {
+            self.idle_secs += since.elapsed().as_secs_f64();
+        }
+        ReducerOutcome {
+            results,
+            busy_secs: self.busy_secs,
+            idle_secs: self.idle_secs,
+            aborted,
+        }
+    }
+
+    /// Pushes staged output batches to the downstream exchange until it
+    /// fills; `true` when the outbox is empty.
+    fn flush_outbox(&mut self) -> bool {
+        let Some(sink) = self.sh.sink else {
+            debug_assert!(self.outbox.is_empty(), "outbox without a sink");
+            return true;
+        };
+        while let Some(batch) = self.outbox.pop_front() {
+            match sink.exchange.try_push(batch) {
+                Ok(()) => {}
+                Err(batch) => {
+                    self.outbox.push_front(batch);
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Data fragment: absorb if owned, otherwise apply the migration fence
@@ -235,6 +334,8 @@ impl<'a> ReducerTask<'a> {
         let n = tuples.len() as u64;
         if let Some(s) = self.sh.straggler {
             if s.reducer == self.me && n > 0 {
+                // The injected fault really does occupy the pool worker —
+                // exactly what a slow node does to a shared cluster.
                 std::thread::sleep(Duration::from_nanos(n.saturating_mul(s.nanos_per_tuple)));
             }
         }
@@ -257,7 +358,7 @@ impl<'a> ReducerTask<'a> {
                 st.pending.append(&mut tuples);
                 sh.board.add_probe(region, n);
                 if st.sealed && st.pending.len() >= sh.probe_chunk {
-                    Self::flush(st, sh, self.me);
+                    Self::flush(st, sh, self.me, &mut self.outbox);
                 }
             }
         }
@@ -277,7 +378,7 @@ impl<'a> ReducerTask<'a> {
             st.sealed = true;
             sh.board.note_region_sealed(me);
             if st.pending.len() >= sh.probe_chunk {
-                Self::flush(st, sh, me);
+                Self::flush(st, sh, me, &mut self.outbox);
             }
         }
     }
@@ -291,7 +392,7 @@ impl<'a> ReducerTask<'a> {
         let me = self.me;
         for st in self.states.iter_mut().flatten() {
             if st.sealed && !st.pending.is_empty() {
-                Self::flush(st, sh, me);
+                Self::flush(st, sh, me, &mut self.outbox);
             }
         }
     }
@@ -360,7 +461,7 @@ impl<'a> ReducerTask<'a> {
             .as_mut()
             .expect("just installed");
         if st.sealed && st.pending.len() >= sh.probe_chunk {
-            Self::flush(st, sh, me);
+            Self::flush(st, sh, me, &mut self.outbox);
         }
         // Publish completion last: the coordinator may start the next
         // handshake (or declare quiescence) the moment it sees this.
@@ -382,13 +483,18 @@ impl<'a> ReducerTask<'a> {
     }
 
     /// Sweeps and frees the region's buffered probe chunk. With a sink, the
-    /// swept pairs are materialized and shipped downstream: the output is
-    /// first offered to the online statistics collector, then pushed to the
-    /// exchange (blocking under downstream backpressure — plans are DAGs,
-    /// so this throttles the chain without ever deadlocking it). Exchange-
-    /// resident tuples are charged to the shared gauge here and released by
-    /// the downstream mapper once it has routed the batch.
-    fn flush(st: &mut RegionState, sh: &ReducerShared<'_>, me: usize) {
+    /// swept pairs are materialized in emission-sized batches, offered to
+    /// the online statistics collector, charged to the shared gauge, and
+    /// staged on the outbox for the downstream exchange (see the module
+    /// docs — the outbox is what keeps a full exchange from suspending a
+    /// pool worker). The gauge charge is released by the downstream mapper
+    /// once it has routed the batch.
+    fn flush(
+        st: &mut RegionState,
+        sh: &ReducerShared<'_>,
+        me: usize,
+        outbox: &mut VecDeque<Vec<Tuple>>,
+    ) {
         debug_assert!(st.sealed);
         let mut probe = mem::take(&mut st.pending);
         probe.sort_unstable_by_key(|t| t.key);
@@ -397,10 +503,10 @@ impl<'a> ReducerTask<'a> {
             Some(sink) => {
                 let cap = sink.batch_tuples.max(1);
                 let mut buf: Vec<Tuple> = Vec::with_capacity(cap);
-                let ship = |batch: Vec<Tuple>| {
+                let mut ship = |batch: Vec<Tuple>| {
                     sink.stats.offer(&batch);
                     sh.gauge.add(batch.len() as u64);
-                    sink.exchange.push(batch);
+                    outbox.push_back(batch);
                 };
                 let (count, checksum) =
                     sweep_sorted_each(&st.build, &probe, sh.cond, sh.key_from, |t| {
@@ -438,7 +544,7 @@ impl<'a> ReducerTask<'a> {
                 st.sealed = true;
             }
             if !st.pending.is_empty() {
-                Self::flush(st, sh, me);
+                Self::flush(st, sh, me, &mut self.outbox);
             }
             sh.gauge.sub(st.build.len() as u64);
             st.build = Vec::new();
@@ -463,6 +569,9 @@ impl<'a> ReducerTask<'a> {
             for batch in parked.drain(..) {
                 gauge.sub(batch.tuples.len() as u64);
             }
+        }
+        for batch in self.outbox.drain(..) {
+            gauge.sub(batch.len() as u64);
         }
     }
 }

@@ -1,0 +1,963 @@
+//! The shared worker-pool runtime: one fixed-size team of OS threads,
+//! created once and sized to the host, that multiplexes the mapper /
+//! reducer / coordinator work of *many* concurrent operators and plans.
+//!
+//! Before this module existed every `run_operator` / `run_plan` call
+//! spawned a dedicated thread team, so two concurrent queries oversubscribed
+//! the host instead of sharing it. The runtime replaces per-query spawning
+//! with per-query *task batches*:
+//!
+//! * **Tasks, not threads.** An engine task is a resumable state machine
+//!   behind a `FnMut() -> Poll` closure. A task that would block — a full
+//!   reducer queue, an empty exchange, a coordinator between polls —
+//!   returns [`Poll::Pending`] instead of parking an OS thread, so a
+//!   fixed-size pool can interleave any number of queries without
+//!   deadlocking on its own size. [`Poll::Yielded`] marks "made progress,
+//!   more to do": the task goes back on the queue but resets the worker's
+//!   starvation heuristics.
+//! * **Per-worker deques plus work-stealing.** Each worker owns a deque;
+//!   freshly spawned tasks land on a global injector, rescheduled tasks on
+//!   the worker that ran them (locality), and an idle worker steals from
+//!   its siblings before sleeping. Steals are counted
+//!   ([`RuntimeMetrics::tasks_stolen`]) — the observable trace of the
+//!   load-balancing the paper's shared-resource model assumes.
+//! * **Scoped submission.** [`EngineRuntime::scope`] mirrors
+//!   `std::thread::scope`: tasks may borrow from the caller's stack, and
+//!   the scope does not return until every spawned task has completed (or
+//!   panicked — the first panic is resent at the join, after all tasks
+//!   finished). [`TaskGroup`]s let the orchestrating (non-worker) thread
+//!   wait for a subset — the engine waits for its mappers before deciding
+//!   whether the seal chain broke — while the rest keep running.
+//! * **Admission.** [`EngineRuntime::admit`] gates *queries* (not tasks):
+//!   at most `max_concurrent_queries` tickets are outstanding, and when the
+//!   runtime is built with a global memory budget each ticket carves a
+//!   tuple budget out of it — the per-query [`MemGauge`] hangs off the
+//!   ticket, so a query's peak is measured against the slice it was
+//!   granted. Admission blocks the *client* thread, never a pool worker;
+//!   calling it from inside a task would deadlock the pool and is the one
+//!   usage rule this module imposes.
+//!
+//! A worker that only holds blocked tasks naps briefly (tens of
+//! microseconds) between sweeps instead of spinning, after first checking
+//! the injector and its siblings for runnable work — that check is what
+//! makes the pool deadlock-free under any task placement: runnable work
+//! can never be stranded behind a sleeping worker forever.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use super::morsel::MemGauge;
+
+/// What one task poll reports back to its worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Poll {
+    /// The task is finished; drop it and signal its scope.
+    Ready,
+    /// The task did useful work and has more; reschedule it.
+    Yielded,
+    /// The task cannot progress until some *other* task runs (full queue,
+    /// empty exchange, timer not yet due); reschedule it, and if the whole
+    /// deque is pending, let the worker nap before the next sweep.
+    Pending,
+}
+
+/// How long a worker naps when every task it can see is `Pending`. This
+/// is the pool's reaction latency to cross-task wakeups (a queue push, an
+/// exchange close), so it is kept small — a parked reducer that reacts
+/// late lets queues run to their bounds and inflates the resident peak —
+/// while still ceding the core instead of spinning on a blocked pipeline.
+const PENDING_NAP: Duration = Duration::from_micros(10);
+
+/// Base timed park of an idle worker. Parks back off exponentially (see
+/// [`IDLE_PARK_MAX`]) so a fully idle pool costs a handful of wakeups per
+/// second instead of thousands; fresh injector pushes and rescheduled
+/// deque jobs notify the condvar, so reaction to new work stays immediate
+/// regardless of the backoff.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Cap on the idle-park backoff: the worst-case delay before a worker
+/// notices stealable work that appeared without a notification.
+const IDLE_PARK_MAX: Duration = Duration::from_millis(5);
+
+/// Construction knobs for [`EngineRuntime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Pool size: the total OS threads executing engine tasks, for every
+    /// query sharing this runtime.
+    pub workers: usize,
+    /// Admission limit: queries holding a [`QueryTicket`] at once. Further
+    /// `admit` calls block (on the client thread) until a ticket drops.
+    pub max_concurrent_queries: usize,
+    /// Optional runtime-global memory budget, in tuples. Each admitted
+    /// query carves its slice out of this (see [`EngineRuntime::admit`]);
+    /// `None` disables budget gating (tickets still carry a gauge).
+    pub memory_budget_tuples: Option<u64>,
+}
+
+impl RuntimeConfig {
+    /// A pool of `workers` threads, admitting up to `workers` concurrent
+    /// queries (at least 2 so pipelines of two operators can always
+    /// overlap), with no memory budget.
+    pub fn for_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        RuntimeConfig {
+            workers,
+            max_concurrent_queries: workers.max(2),
+            memory_budget_tuples: None,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeMetrics {
+    pub workers: usize,
+    /// Tasks submitted over the runtime's lifetime.
+    pub tasks_spawned: u64,
+    /// Tasks that ran to `Ready` (or panicked).
+    pub tasks_completed: u64,
+    /// Tasks a worker took from a *sibling's* deque — the work-stealing
+    /// traffic that keeps skewed task batches from stranding idle workers.
+    pub tasks_stolen: u64,
+    /// Individual `poll` invocations across all tasks.
+    pub polls: u64,
+    /// Summed wall time workers spent inside task polls.
+    pub busy_secs: f64,
+    /// Wall time since the runtime was built.
+    pub uptime_secs: f64,
+    /// Queries admitted so far.
+    pub admissions: u64,
+    /// Summed time queries waited in the admission queue.
+    pub admission_wait_secs: f64,
+    /// Queries currently holding a ticket.
+    pub active_queries: usize,
+    /// Tuple budget currently carved out by admitted queries.
+    pub budget_in_use_tuples: u64,
+}
+
+impl RuntimeMetrics {
+    /// Fraction of the pool's capacity spent inside task polls since the
+    /// runtime was built (1.0 = every worker busy the whole time).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.workers as f64 * self.uptime_secs;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_secs / capacity).min(1.0)
+        }
+    }
+}
+
+/// One schedulable unit: the type-erased task closure plus the completion
+/// hooks of the scope (and optional group) that spawned it.
+///
+/// The closure's true lifetime is the spawning scope's `'env`; it is
+/// transmuted to `'static` so it can sit in the pool's queues. Soundness
+/// rests on the scope invariant: [`EngineRuntime::scope`] does not return
+/// until `outstanding == 0`, and a job's closure is dropped *before* its
+/// completion is signalled, so no job can touch (or drop) its borrows
+/// after the borrowed stack frame is gone.
+struct Job {
+    run: Box<dyn FnMut() -> Poll + Send + 'static>,
+    scope: Arc<ScopeSync>,
+    group: Option<Arc<GroupSync>>,
+}
+
+struct ScopeSync {
+    state: Mutex<ScopeState>,
+    cv: Condvar,
+}
+
+struct ScopeState {
+    outstanding: usize,
+    /// First panic payload from any task of this scope.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl ScopeSync {
+    fn new() -> Self {
+        ScopeSync {
+            state: Mutex::new(ScopeState {
+                outstanding: 0,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn register(&self) {
+        self.state.lock().expect("scope poisoned").outstanding += 1;
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("scope poisoned");
+        st.outstanding -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.outstanding == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_all(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.state.lock().expect("scope poisoned");
+        while st.outstanding > 0 {
+            st = self.cv.wait(st).expect("scope poisoned");
+        }
+        st.panic.take()
+    }
+}
+
+struct GroupSync {
+    outstanding: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// A handle over a subset of a scope's tasks, so the orchestrating thread
+/// can wait for just that subset (the engine waits for its mappers while
+/// reducers and the coordinator keep running). Waiting from *inside* a
+/// pool task would deadlock the pool; only the scope's caller thread may
+/// wait.
+pub struct TaskGroup {
+    sync: Arc<GroupSync>,
+}
+
+impl TaskGroup {
+    /// Blocks the calling (non-worker) thread until every task spawned
+    /// into this group has completed.
+    pub fn wait(&self) {
+        let mut n = self.sync.outstanding.lock().expect("group poisoned");
+        while *n > 0 {
+            n = self.sync.cv.wait(n).expect("group poisoned");
+        }
+    }
+}
+
+struct Admission {
+    active: usize,
+    budget_in_use: u64,
+}
+
+struct PoolShared {
+    /// Per-worker deques. Plain mutexed deques, not lock-free Chase–Lev:
+    /// every slot holds a coarse unit of work (a morsel route, a queue
+    /// drain), so contention on these locks is noise next to the work.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Global submission queue; also the condvar workers park on.
+    injector: Mutex<VecDeque<Job>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    // Counters (all relaxed: they are metrics, never synchronization).
+    tasks_spawned: AtomicU64,
+    tasks_completed: AtomicU64,
+    tasks_stolen: AtomicU64,
+    polls: AtomicU64,
+    busy_nanos: AtomicU64,
+    admissions: AtomicU64,
+    admission_wait_nanos: AtomicU64,
+    admission: Mutex<Admission>,
+    admission_cv: Condvar,
+}
+
+/// The persistent shared worker-pool runtime (see the module docs). Build
+/// one per process — or per experiment, when a benchmark wants a pool of a
+/// specific size — and pass it to every `run_operator` / `run_plan` call;
+/// [`EngineRuntime::global`] offers a lazily built host-sized default.
+///
+/// Dropping the runtime shuts the pool down (all scopes have necessarily
+/// completed first, because they borrow the runtime).
+pub struct EngineRuntime {
+    shared: Arc<PoolShared>,
+    cfg: RuntimeConfig,
+    started: Instant,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EngineRuntime {
+    /// A runtime with [`RuntimeConfig::for_workers`] defaults.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(RuntimeConfig::for_workers(workers))
+    }
+
+    pub fn with_config(cfg: RuntimeConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        // A zero budget would make admit's clamp-to-total panic (and means
+        // "no query ever fits"); treat it as the smallest real budget.
+        let memory_budget_tuples = cfg.memory_budget_tuples.map(|t| t.max(1));
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks_spawned: AtomicU64::new(0),
+            tasks_completed: AtomicU64::new(0),
+            tasks_stolen: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            admissions: AtomicU64::new(0),
+            admission_wait_nanos: AtomicU64::new(0),
+            admission: Mutex::new(Admission {
+                active: 0,
+                budget_in_use: 0,
+            }),
+            admission_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ewh-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        EngineRuntime {
+            shared,
+            cfg: RuntimeConfig {
+                workers,
+                memory_budget_tuples,
+                ..cfg
+            },
+            started: Instant::now(),
+            workers: handles,
+        }
+    }
+
+    /// The process-wide default runtime, built on first use and sized to
+    /// the host (at least 2 workers, so a two-operator pipeline overlaps
+    /// even on a single-core machine).
+    pub fn global() -> &'static EngineRuntime {
+        static GLOBAL: OnceLock<EngineRuntime> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2)
+                .max(2);
+            EngineRuntime::new(workers)
+        })
+    }
+
+    /// Pool size.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the runtime counters.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        let sh = &self.shared;
+        let adm = sh.admission.lock().expect("admission poisoned");
+        RuntimeMetrics {
+            workers: self.cfg.workers,
+            tasks_spawned: sh.tasks_spawned.load(Ordering::Relaxed),
+            tasks_completed: sh.tasks_completed.load(Ordering::Relaxed),
+            tasks_stolen: sh.tasks_stolen.load(Ordering::Relaxed),
+            polls: sh.polls.load(Ordering::Relaxed),
+            busy_secs: sh.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            admissions: sh.admissions.load(Ordering::Relaxed),
+            admission_wait_secs: sh.admission_wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            active_queries: adm.active,
+            budget_in_use_tuples: adm.budget_in_use,
+        }
+    }
+
+    /// Admits one query, blocking the *client* thread until an admission
+    /// slot — and, under a global memory budget, enough unreserved budget —
+    /// is available. `requested_tuples` is the query's own estimate (e.g.
+    /// its configured memory capacity); with a global budget and no
+    /// request, the query gets an equal `total / max_concurrent` slice. A
+    /// request larger than the whole budget is clamped to it rather than
+    /// rejected, and waits for the pool to drain.
+    ///
+    /// Must never be called from inside a pool task (it would park the
+    /// worker the unblocking query needs).
+    pub fn admit(&self, requested_tuples: Option<u64>) -> QueryTicket<'_> {
+        let start = Instant::now();
+        let sh = &self.shared;
+        let max_q = self.cfg.max_concurrent_queries.max(1);
+        let budget = match self.cfg.memory_budget_tuples {
+            Some(total) => Some(match requested_tuples {
+                Some(r) => r.clamp(1, total),
+                None => (total / max_q as u64).max(1),
+            }),
+            None => requested_tuples,
+        };
+        let gated = self
+            .cfg
+            .memory_budget_tuples
+            .map(|t| (t, budget.unwrap_or(0)));
+        // Only a budget-gated runtime carves anything: a bare request on an
+        // un-budgeted runtime is advisory (it sizes the ticket's
+        // over-budget check) and must not show up as budget "in use".
+        let carved = gated.map(|(_, req)| req).unwrap_or(0);
+        let mut adm = sh.admission.lock().expect("admission poisoned");
+        loop {
+            let slots_full = adm.active >= max_q;
+            // Budget gating only defers while someone else holds budget to
+            // return — an empty pool always admits, so one oversized query
+            // can never wedge the queue.
+            let budget_full = match gated {
+                Some((total, req)) => adm.active > 0 && adm.budget_in_use + req > total,
+                None => false,
+            };
+            if !slots_full && !budget_full {
+                break;
+            }
+            adm = sh.admission_cv.wait(adm).expect("admission poisoned");
+        }
+        adm.active += 1;
+        adm.budget_in_use += carved;
+        drop(adm);
+        let wait = start.elapsed();
+        sh.admissions.fetch_add(1, Ordering::Relaxed);
+        sh.admission_wait_nanos
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        QueryTicket {
+            rt: self,
+            budget_tuples: budget,
+            carved,
+            gauge: MemGauge::default(),
+            wait,
+        }
+    }
+
+    /// Runs `f` with a [`RuntimeScope`] through which borrowed tasks can be
+    /// spawned onto the pool; returns only after every spawned task
+    /// completed. Mirrors `std::thread::scope`: if a task panicked, the
+    /// first panic is resent here (after all tasks finished); if `f` itself
+    /// panics, the scope still waits before unwinding.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'s> FnOnce(&'s RuntimeScope<'s, 'env>) -> R,
+    {
+        let scope = RuntimeScope {
+            rt: self,
+            sync: Arc::new(ScopeSync::new()),
+            _env: PhantomData,
+            _scope: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let task_panic = scope.sync.wait_all();
+        match result {
+            Err(p) => resume_unwind(p),
+            Ok(r) => {
+                if let Some(p) = task_panic {
+                    resume_unwind(p);
+                }
+                r
+            }
+        }
+    }
+
+    fn inject(&self, job: Job) {
+        let sh = &self.shared;
+        sh.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        sh.injector
+            .lock()
+            .expect("injector poisoned")
+            .push_back(job);
+        sh.work_cv.notify_one();
+    }
+}
+
+impl Drop for EngineRuntime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// An admitted query's handle: its carved memory budget and the per-query
+/// [`MemGauge`] the engine charges. Dropping the ticket releases the
+/// admission slot and returns the budget to the runtime.
+pub struct QueryTicket<'rt> {
+    rt: &'rt EngineRuntime,
+    budget_tuples: Option<u64>,
+    /// Tuples actually reserved against the runtime's global budget
+    /// (0 on an un-budgeted runtime, where requests are advisory).
+    carved: u64,
+    gauge: MemGauge,
+    wait: Duration,
+}
+
+impl QueryTicket<'_> {
+    /// The per-query gauge; pass it to the engine so this query's peak is
+    /// measured against its own budget slice.
+    pub fn gauge(&self) -> &MemGauge {
+        &self.gauge
+    }
+
+    /// Tuple budget carved for this query (`None`: admission was not
+    /// budget-gated and the query made no request).
+    pub fn budget_tuples(&self) -> Option<u64> {
+        self.budget_tuples
+    }
+
+    /// How long this query sat in the admission queue.
+    pub fn admission_wait_secs(&self) -> f64 {
+        self.wait.as_secs_f64()
+    }
+
+    /// Did the query's realized peak exceed its carved budget?
+    pub fn over_budget(&self) -> bool {
+        self.budget_tuples
+            .map(|b| self.gauge.peak_tuples() > b)
+            .unwrap_or(false)
+    }
+}
+
+impl Drop for QueryTicket<'_> {
+    fn drop(&mut self) {
+        let sh = &self.rt.shared;
+        let mut adm = sh.admission.lock().expect("admission poisoned");
+        adm.active -= 1;
+        adm.budget_in_use -= self.carved;
+        drop(adm);
+        sh.admission_cv.notify_all();
+    }
+}
+
+/// Scoped task submission handle (see [`EngineRuntime::scope`]). The two
+/// lifetimes mirror `std::thread::Scope`: `'scope` is the scope's own
+/// region, `'env` the environment tasks may borrow from.
+pub struct RuntimeScope<'scope, 'env: 'scope> {
+    rt: &'scope EngineRuntime,
+    sync: Arc<ScopeSync>,
+    _env: PhantomData<&'env mut &'env ()>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope, 'env> RuntimeScope<'scope, 'env> {
+    /// Spawns one task onto the pool. The closure is polled repeatedly
+    /// until it returns [`Poll::Ready`]; it must never block on another
+    /// task's progress (return [`Poll::Pending`] instead).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnMut() -> Poll + Send + 'env,
+    {
+        self.spawn_impl(None, f);
+    }
+
+    /// A new (empty) task group for [`RuntimeScope::spawn_in`].
+    pub fn group(&self) -> TaskGroup {
+        TaskGroup {
+            sync: Arc::new(GroupSync {
+                outstanding: Mutex::new(0),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Spawns a task whose completion also counts toward `group`.
+    pub fn spawn_in<F>(&self, group: &TaskGroup, f: F)
+    where
+        F: FnMut() -> Poll + Send + 'env,
+    {
+        self.spawn_impl(Some(Arc::clone(&group.sync)), f);
+    }
+
+    fn spawn_impl<F>(&self, group: Option<Arc<GroupSync>>, f: F)
+    where
+        F: FnMut() -> Poll + Send + 'env,
+    {
+        let boxed: Box<dyn FnMut() -> Poll + Send + 'env> = Box::new(f);
+        // SAFETY: the closure only ever runs — and is dropped — before
+        // `scope` returns (ScopeSync::wait_all), so its `'env` borrows are
+        // live for every use. See the `Job` docs.
+        let boxed: Box<dyn FnMut() -> Poll + Send + 'static> =
+            unsafe { std::mem::transmute(boxed) };
+        self.sync.register();
+        if let Some(g) = &group {
+            *g.outstanding.lock().expect("group poisoned") += 1;
+        }
+        self.rt.inject(Job {
+            run: boxed,
+            scope: Arc::clone(&self.sync),
+            group,
+        });
+    }
+}
+
+fn complete_job(shared: &PoolShared, job: Job, panic: Option<Box<dyn Any + Send>>) {
+    let Job { run, scope, group } = job;
+    // Drop the task closure *before* signalling: the moment the scope's
+    // counter hits zero the borrowed stack frame may unwind.
+    drop(run);
+    if let Some(g) = group {
+        let mut n = g.outstanding.lock().expect("group poisoned");
+        *n -= 1;
+        if *n == 0 {
+            g.cv.notify_all();
+        }
+    }
+    shared.tasks_completed.fetch_add(1, Ordering::Relaxed);
+    scope.complete(panic);
+}
+
+/// Picks the next job for worker `me`: own deque first (locality), then
+/// the injector (fresh work), then a sweep over sibling deques (stealing).
+fn next_job(shared: &PoolShared, me: usize) -> Option<Job> {
+    if let Some(job) = shared.deques[me]
+        .lock()
+        .expect("deque poisoned")
+        .pop_front()
+    {
+        return Some(job);
+    }
+    steal_job(shared, me)
+}
+
+/// Fresh or stealable work from anywhere but `me`'s own deque.
+fn steal_job(shared: &PoolShared, me: usize) -> Option<Job> {
+    if let Some(job) = shared
+        .injector
+        .lock()
+        .expect("injector poisoned")
+        .pop_front()
+    {
+        return Some(job);
+    }
+    let n = shared.deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        if let Some(job) = shared.deques[victim]
+            .lock()
+            .expect("deque poisoned")
+            .pop_back()
+        {
+            shared.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &PoolShared, me: usize) {
+    // Consecutive polls that returned `Pending`; once the streak covers the
+    // whole local deque, nothing local is runnable — look elsewhere, then
+    // nap.
+    let mut pending_streak = 0usize;
+    // Consecutive empty parks; drives the exponential idle backoff.
+    let mut idle_parks = 0u32;
+    loop {
+        let Some(mut job) = next_job(shared, me) else {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = shared.injector.lock().expect("injector poisoned");
+            if guard.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+                // Timed park with backoff: injector pushes and deque
+                // requeues notify us; the timeout only bounds how late we
+                // notice unannounced stealable work.
+                let park = IDLE_PARK
+                    .saturating_mul(1 << idle_parks.min(5))
+                    .min(IDLE_PARK_MAX);
+                let _ = shared
+                    .work_cv
+                    .wait_timeout(guard, park)
+                    .expect("injector poisoned");
+                idle_parks = idle_parks.saturating_add(1);
+            }
+            pending_streak = 0;
+            continue;
+        };
+        idle_parks = 0;
+        let start = Instant::now();
+        let polled = catch_unwind(AssertUnwindSafe(|| (job.run)()));
+        shared
+            .busy_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.polls.fetch_add(1, Ordering::Relaxed);
+        match polled {
+            Ok(Poll::Ready) => {
+                complete_job(shared, job, None);
+                pending_streak = 0;
+            }
+            Err(panic) => {
+                complete_job(shared, job, Some(panic));
+                pending_streak = 0;
+            }
+            Ok(Poll::Yielded) => {
+                shared.deques[me]
+                    .lock()
+                    .expect("deque poisoned")
+                    .push_back(job);
+                // The requeued job is stealable: wake a parked sibling (a
+                // no-waiter notify is an atomic check, cheap on this path).
+                shared.work_cv.notify_one();
+                pending_streak = 0;
+            }
+            Ok(Poll::Pending) => {
+                let mut deque = shared.deques[me].lock().expect("deque poisoned");
+                deque.push_back(job);
+                let len = deque.len();
+                drop(deque);
+                shared.work_cv.notify_one();
+                pending_streak += 1;
+                if pending_streak >= len {
+                    // Everything local is blocked: pull in fresh/stealable
+                    // work if any exists, otherwise nap instead of spinning.
+                    if let Some(other) = steal_job(shared, me) {
+                        shared.deques[me]
+                            .lock()
+                            .expect("deque poisoned")
+                            .push_front(other);
+                    } else if !shared.shutdown.load(Ordering::Acquire) {
+                        thread::sleep(PENDING_NAP);
+                    }
+                    pending_streak = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_borrowed_tasks_to_completion() {
+        let rt = EngineRuntime::new(3);
+        let counter = AtomicUsize::new(0);
+        rt.scope(|s| {
+            for _ in 0..20 {
+                let counter = &counter;
+                let mut left = 3u32; // each task yields a few times first
+                s.spawn(move || {
+                    if left > 0 {
+                        left -= 1;
+                        return Poll::Yielded;
+                    }
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    Poll::Ready
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 20);
+        let m = rt.metrics();
+        assert_eq!(m.tasks_spawned, 20);
+        assert_eq!(m.tasks_completed, 20);
+        assert!(m.polls >= 80, "each task polls at least 4 times");
+    }
+
+    #[test]
+    fn pending_tasks_make_progress_via_other_tasks_on_one_worker() {
+        // A single-worker pool must still complete a dependency chain where
+        // task B blocks until task A flips a flag: B parks as Pending, the
+        // worker keeps polling, A runs, B completes. This is the
+        // cooperative-scheduling property the whole engine rests on.
+        let rt = EngineRuntime::new(1);
+        let flag = AtomicBool::new(false);
+        rt.scope(|s| {
+            {
+                let flag = &flag;
+                s.spawn(move || {
+                    if flag.load(Ordering::Acquire) {
+                        Poll::Ready
+                    } else {
+                        Poll::Pending
+                    }
+                });
+            }
+            let flag = &flag;
+            let mut spins = 5u32;
+            s.spawn(move || {
+                if spins > 0 {
+                    spins -= 1;
+                    return Poll::Yielded;
+                }
+                flag.store(true, Ordering::Release);
+                Poll::Ready
+            });
+        });
+        assert!(flag.into_inner());
+    }
+
+    #[test]
+    fn groups_complete_independently_of_the_scope() {
+        let rt = EngineRuntime::new(2);
+        let stop = AtomicBool::new(false);
+        rt.scope(|s| {
+            // A long-runner that only exits when told.
+            {
+                let stop = &stop;
+                s.spawn(move || {
+                    if stop.load(Ordering::Acquire) {
+                        Poll::Ready
+                    } else {
+                        Poll::Pending
+                    }
+                });
+            }
+            let group = s.group();
+            for _ in 0..4 {
+                s.spawn_in(&group, || Poll::Ready);
+            }
+            group.wait(); // must return while the long-runner still spins
+            stop.store(true, Ordering::Release);
+        });
+    }
+
+    #[test]
+    fn work_is_stolen_when_one_worker_hoards_tasks() {
+        // All tasks yield many times; with several workers and one injector
+        // the deques end up imbalanced enough that someone steals. This is
+        // probabilistic in principle but deterministic in practice: the
+        // first worker drains the injector into its own deque faster than
+        // siblings wake.
+        let rt = EngineRuntime::new(4);
+        rt.scope(|s| {
+            for _ in 0..64 {
+                let mut left = 50u32;
+                s.spawn(move || {
+                    if left > 0 {
+                        left -= 1;
+                        std::hint::black_box(left);
+                        Poll::Yielded
+                    } else {
+                        Poll::Ready
+                    }
+                });
+            }
+        });
+        let m = rt.metrics();
+        assert_eq!(m.tasks_completed, 64);
+        assert!(m.busy_secs >= 0.0 && m.uptime_secs > 0.0);
+        assert!(m.utilization() >= 0.0 && m.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn task_panic_propagates_at_the_scope_join() {
+        let rt = EngineRuntime::new(2);
+        let survived = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            rt.scope(|s| {
+                let survived = &survived;
+                s.spawn(move || {
+                    survived.fetch_add(1, Ordering::Relaxed);
+                    Poll::Ready
+                });
+                s.spawn(|| panic!("task exploded"));
+            });
+        }));
+        assert!(result.is_err(), "scope must resend the task panic");
+        assert_eq!(survived.load(Ordering::Relaxed), 1);
+        // The runtime survives a panicked task: later scopes still run.
+        let after = AtomicUsize::new(0);
+        rt.scope(|s| {
+            let after = &after;
+            s.spawn(move || {
+                after.fetch_add(1, Ordering::Relaxed);
+                Poll::Ready
+            });
+        });
+        assert_eq!(after.into_inner(), 1);
+    }
+
+    #[test]
+    fn admission_limits_concurrent_tickets() {
+        let rt = EngineRuntime::with_config(RuntimeConfig {
+            workers: 2,
+            max_concurrent_queries: 1,
+            memory_budget_tuples: None,
+        });
+        let t1 = rt.admit(None);
+        assert_eq!(rt.metrics().active_queries, 1);
+        // A second admit must wait until t1 drops.
+        thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let t2 = rt.admit(None);
+                t2.admission_wait_secs()
+            });
+            thread::sleep(Duration::from_millis(20));
+            drop(t1);
+            let waited = waiter.join().expect("waiter panicked");
+            assert!(
+                waited >= 0.010,
+                "second ticket should have waited ~20ms, waited {waited}"
+            );
+        });
+        let m = rt.metrics();
+        assert_eq!(m.admissions, 2);
+        assert!(m.admission_wait_secs >= 0.010);
+        assert_eq!(m.active_queries, 0);
+    }
+
+    #[test]
+    fn budget_is_carved_and_returned() {
+        let rt = EngineRuntime::with_config(RuntimeConfig {
+            workers: 1,
+            max_concurrent_queries: 4,
+            memory_budget_tuples: Some(1000),
+        });
+        let a = rt.admit(Some(600));
+        assert_eq!(a.budget_tuples(), Some(600));
+        assert_eq!(rt.metrics().budget_in_use_tuples, 600);
+        // Unrequested budget defaults to an equal share of the total.
+        let b = rt.admit(None);
+        assert_eq!(b.budget_tuples(), Some(250));
+        // An over-sized request clamps to the whole budget instead of
+        // deadlocking the queue.
+        drop(a);
+        drop(b);
+        let c = rt.admit(Some(10_000));
+        assert_eq!(c.budget_tuples(), Some(1000));
+        c.gauge().add(1500);
+        assert!(c.over_budget());
+        drop(c);
+        assert_eq!(rt.metrics().budget_in_use_tuples, 0);
+    }
+
+    #[test]
+    fn zero_budget_runtimes_normalize_instead_of_panicking() {
+        // A budget that rounds to zero (e.g. a sub-tuple byte capacity)
+        // must not violate clamp's precondition inside admit.
+        let rt = EngineRuntime::with_config(RuntimeConfig {
+            workers: 1,
+            max_concurrent_queries: 1,
+            memory_budget_tuples: Some(0),
+        });
+        let t = rt.admit(Some(10));
+        assert_eq!(t.budget_tuples(), Some(1));
+        drop(t);
+        assert_eq!(rt.metrics().budget_in_use_tuples, 0);
+    }
+
+    #[test]
+    fn ungated_requests_do_not_count_as_carved_budget() {
+        let rt = EngineRuntime::with_config(RuntimeConfig {
+            workers: 1,
+            max_concurrent_queries: 2,
+            memory_budget_tuples: None,
+        });
+        let t = rt.admit(Some(5000));
+        // The request sizes the ticket's over-budget check but carves
+        // nothing from a budget that does not exist.
+        assert_eq!(t.budget_tuples(), Some(5000));
+        assert_eq!(rt.metrics().budget_in_use_tuples, 0);
+    }
+
+    #[test]
+    fn global_runtime_is_shared_and_sized_to_the_host() {
+        let a = EngineRuntime::global();
+        let b = EngineRuntime::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.workers() >= 2);
+    }
+}

@@ -1,14 +1,22 @@
 //! # ewh-exec — shared-nothing parallel join execution
 //!
 //! The execution substrate standing in for the paper's SQUALL/Storm cluster
-//! (§VI-A): J logical workers on real threads, the morsel-driven pipelined
-//! [`engine`] (mapper tasks batch-route morsels over bounded per-region
-//! queues to reducer tasks that build sorted region state incrementally and
-//! sweep probe chunks as they stream in), sort+sweep [`local_join`]s, and
-//! the [`run_operator`] driver that reports the paper's metrics — simulated
+//! (§VI-A): J logical workers multiplexed onto one persistent
+//! [`EngineRuntime`] worker pool, the morsel-driven pipelined [`engine`]
+//! (mapper tasks batch-route morsels over bounded per-region queues to
+//! reducer tasks that build sorted region state incrementally and sweep
+//! probe chunks as they stream in), sort+sweep [`local_join`]s, and the
+//! [`run_operator`] driver that reports the paper's metrics — simulated
 //! time from the validated cost model, measured wall time, network tuples,
 //! cluster memory (modeled and actually-resident peak), and per-worker
 //! loads.
+//!
+//! The runtime is what makes the system *multi-tenant*: queries are
+//! admitted (with a concurrency limit and per-query memory budgets carved
+//! from a runtime-global gauge) and execute as cooperative task batches on
+//! a fixed pool with per-worker deques and work-stealing — N concurrent
+//! queries share the host instead of spawning N thread teams. See the
+//! runtime-module docs via [`EngineRuntime`].
 //!
 //! Operators *compose*: [`run_plan`] executes a left-deep chain of 2-way
 //! joins (§IV-B's multi-way strategy) in which every reducer's probe output
@@ -50,8 +58,9 @@ mod shuffle;
 
 pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
 pub use engine::{
-    EngineConfig, EngineIo, EngineOutcome, Exchange, MemGauge, Morsel, MorselPlan, OnlineStats,
-    ProgressBoard, Source, StageSink, Straggler,
+    EngineConfig, EngineIo, EngineOutcome, EngineRuntime, Exchange, MemGauge, Morsel, MorselPlan,
+    OnlineStats, ProgressBoard, QueryTicket, RuntimeConfig, RuntimeMetrics, Source, StageSink,
+    Straggler,
 };
 pub use local_join::{
     local_join, output_tuple, sweep_sorted, sweep_sorted_each, sweep_sorted_into, KeyFrom,

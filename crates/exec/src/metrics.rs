@@ -53,6 +53,13 @@ pub struct JoinStats {
     pub migration_secs: f64,
     /// Total mapper time blocked on full reducer queues (backpressure).
     pub backpressure_secs: f64,
+    /// Time this query waited in the shared runtime's admission queue
+    /// before its tasks could be submitted (0 under batch execution, and
+    /// for engine-level runs that bypass admission). Runtime-wide counters
+    /// — tasks stolen, pool utilization — live in
+    /// [`RuntimeMetrics`](crate::RuntimeMetrics); this is the per-query
+    /// share of the admission story.
+    pub admission_wait_secs: f64,
     /// Per reducer task: time processing deliveries vs. waiting on the
     /// queue. Empty under batch execution.
     pub reducer_busy_secs: Vec<f64>,
@@ -98,6 +105,7 @@ impl JoinStats {
         self.migration_tuples += other.migration_tuples;
         self.migration_secs += other.migration_secs;
         self.backpressure_secs += other.backpressure_secs;
+        self.admission_wait_secs += other.admission_wait_secs;
         add_elementwise(&mut self.reducer_busy_secs, &other.reducer_busy_secs);
         add_elementwise(&mut self.reducer_idle_secs, &other.reducer_idle_secs);
     }

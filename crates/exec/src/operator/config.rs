@@ -23,7 +23,13 @@ pub enum ExecMode {
 pub struct OperatorConfig {
     /// Number of workers (the paper's J).
     pub j: usize,
-    /// Real OS threads driving the simulated workers.
+    /// Per-query task parallelism: how many schedulable engine tasks
+    /// (mappers + reducers, split by [`EngineConfig::for_tasks`]) one
+    /// operator stage submits to the shared
+    /// [`EngineRuntime`](crate::EngineRuntime). The pool multiplexes tasks
+    /// from every concurrent query onto its fixed worker set, so this is a
+    /// fairness/granularity knob, not an OS thread count. (The batch
+    /// oracle still uses it as its thread-team size.)
     pub threads: usize,
     pub seed: u64,
     pub cost: CostModel,
@@ -124,7 +130,7 @@ impl OperatorConfig {
     /// small-scale footgun documented after PR 2). Benchmarks warn below
     /// this floor; claims tests assert above it.
     pub fn min_pipelined_input_tuples(&self) -> u64 {
-        let engine = EngineConfig::for_threads(self.threads, self.morsel_tuples, self.seed);
+        let engine = EngineConfig::for_tasks(self.threads, self.morsel_tuples, self.seed);
         let buffered = engine.reducers * (self.queue_tuples + engine.probe_chunk)
             + engine.mappers * self.morsel_tuples;
         3 * buffered as u64

@@ -6,7 +6,11 @@ use std::time::Instant;
 
 use ewh_core::{JoinCondition, PartitionScheme, RoutingTable, SchemeKind, Tuple, TUPLE_BYTES};
 
-use crate::engine::{run_pipelined, EngineConfig, EngineOutcome, MorselPlan};
+use crate::engine::{
+    run_pipelined_io, EngineConfig, EngineIo, EngineOutcome, EngineRuntime, MemGauge, MorselPlan,
+    Source,
+};
+use crate::local_join::KeyFrom;
 use crate::{local_join, shuffle, JoinStats, Shuffled};
 
 use super::config::{ExecMode, FallbackPolicy, OperatorConfig};
@@ -262,7 +266,7 @@ pub(crate) fn engine_setup(
     cfg: &OperatorConfig,
 ) -> (EngineConfig, RoutingTable) {
     let n_regions = scheme.num_regions();
-    let mut engine_cfg = EngineConfig::for_threads(cfg.threads, cfg.morsel_tuples, cfg.seed ^ 0x5F);
+    let mut engine_cfg = EngineConfig::for_tasks(cfg.threads, cfg.morsel_tuples, cfg.seed ^ 0x5F);
     engine_cfg.queue_tuples = cfg.queue_tuples;
     engine_cfg.work = cfg.output_work;
     engine_cfg.reducers = engine_cfg.reducers.min(n_regions.max(1));
@@ -277,12 +281,17 @@ pub(crate) fn engine_setup(
     (engine_cfg, table)
 }
 
-/// Executes the join on the morsel-driven pipelined engine. Mirrors
+/// Executes the join on the morsel-driven pipelined engine — as task
+/// batches on the shared `rt` pool, never on threads of its own. Mirrors
 /// [`execute_join`]'s accounting while never materializing the full shuffle:
 /// `mem_bytes` still reports the modeled full-materialization footprint for
 /// comparability, while `peak_resident_bytes` reports what the engine
-/// actually held at its high-water mark.
+/// actually held at its high-water mark. `gauge` is the query's memory
+/// gauge (an admitted query passes its ticket's; `None` uses a private
+/// one).
+#[allow(clippy::too_many_arguments)] // an execution plan, not a builder
 pub fn execute_join_pipelined(
+    rt: &EngineRuntime,
     r1: &[Tuple],
     r2: &[Tuple],
     scheme: &PartitionScheme,
@@ -290,26 +299,38 @@ pub fn execute_join_pipelined(
     region_to_worker: &[u32],
     plan: &MorselPlan,
     cfg: &OperatorConfig,
+    gauge: Option<&MemGauge>,
 ) -> JoinStats {
     debug_assert_eq!(region_to_worker.len(), scheme.num_regions());
     let (engine_cfg, table) = engine_setup(scheme, cfg);
 
-    let out = run_pipelined(
-        r1,
-        r2,
-        &scheme.router,
-        cond,
-        &table,
-        plan,
+    let out = run_pipelined_io(
+        rt,
+        EngineIo {
+            r1: Source::Scan(r1),
+            r2: Source::Scan(r2),
+            router: &scheme.router,
+            cond,
+            table: &table,
+            plan,
+            sink: None,
+            key_from: KeyFrom::Probe,
+            gauge,
+            cancel: None,
+        },
         &engine_cfg,
-        None,
     );
     debug_assert!(!out.cancelled, "operator-level runs are never cancelled");
     stats_from_outcome(&out, region_to_worker, cfg)
 }
 
-/// Runs the full operator with the given scheme kind.
+/// Runs the full operator with the given scheme kind, as one *admitted
+/// query* on the shared runtime: the pipelined engine's tasks execute on
+/// `rt`'s fixed worker pool (never on per-query threads), gated by the
+/// runtime's admission queue, with the query's memory charged to the
+/// gauge of the ticket it was granted.
 pub fn run_operator(
+    rt: &EngineRuntime,
     kind: SchemeKind,
     r1: &[Tuple],
     r2: &[Tuple],
@@ -317,11 +338,12 @@ pub fn run_operator(
     cfg: &OperatorConfig,
 ) -> OperatorRun {
     let (scheme, stats_wall_secs) = build_scheme(kind, r1, r2, cond, cfg);
-    run_with_scheme(scheme, stats_wall_secs, r1, r2, cond, cfg, false, None)
+    run_with_scheme(rt, scheme, stats_wall_secs, r1, r2, cond, cfg, false, None)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_with_scheme(
+    rt: &EngineRuntime,
     scheme: PartitionScheme,
     stats_wall_secs: f64,
     r1: &[Tuple],
@@ -349,7 +371,23 @@ fn run_with_scheme(
                     &fresh
                 }
             };
-            execute_join_pipelined(r1, r2, &scheme, cond, &map, plan, cfg)
+            // Admission: one ticket per query, requesting the configured
+            // memory capacity as its budget slice (client-thread blocking;
+            // released when the ticket drops at the end of this arm).
+            let ticket = rt.admit(cfg.mem_capacity_bytes.map(|b| (b / TUPLE_BYTES).max(1)));
+            let mut stats = execute_join_pipelined(
+                rt,
+                r1,
+                r2,
+                &scheme,
+                cond,
+                &map,
+                plan,
+                cfg,
+                Some(ticket.gauge()),
+            );
+            stats.admission_wait_secs = ticket.admission_wait_secs();
+            stats
         }
     };
     let stats_sim = stats_sim_secs(&scheme, r1.len().max(r2.len()) as u64, cfg);
@@ -374,6 +412,7 @@ fn run_with_scheme(
 /// statistics — before the first morsel is claimed — that is the whole plan,
 /// and no tuple is ever shuffled twice.
 pub fn run_operator_adaptive(
+    rt: &EngineRuntime,
     r1: &[Tuple],
     r2: &[Tuple],
     cond: &JoinCondition,
@@ -391,6 +430,7 @@ pub fn run_operator_adaptive(
         let wasted_sim = stats_sim_secs(&scheme, n, cfg);
         let (ci, ci_wall) = build_scheme(SchemeKind::Ci, r1, r2, cond, cfg);
         let mut run = run_with_scheme(
+            rt,
             ci,
             csio_wall + ci_wall,
             r1,
@@ -404,7 +444,7 @@ pub fn run_operator_adaptive(
         run.total_sim_secs += wasted_sim;
         return run;
     }
-    run_with_scheme(scheme, csio_wall, r1, r2, cond, cfg, false, Some(&plan))
+    run_with_scheme(rt, scheme, csio_wall, r1, r2, cond, cfg, false, Some(&plan))
 }
 
 #[cfg(test)]
@@ -413,6 +453,10 @@ mod tests {
     use ewh_core::{JoinMatrix, Key};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+
+    fn test_rt() -> EngineRuntime {
+        EngineRuntime::new(4)
+    }
 
     fn tuples(keys: &[Key]) -> Vec<Tuple> {
         keys.iter()
@@ -438,8 +482,9 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
+        let rt = test_rt();
         for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-            let run = run_operator(kind, &r1, &r2, &cond, &cfg);
+            let run = run_operator(&rt, kind, &r1, &r2, &cond, &cfg);
             assert_eq!(run.join.output_total, expect, "{kind}");
             assert!(run.total_sim_secs >= run.join.sim_join_secs);
         }
@@ -458,9 +503,10 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
-        let a = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
-        let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
-        let c = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
+        let rt = test_rt();
+        let a = run_operator(&rt, SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+        let b = run_operator(&rt, SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        let c = run_operator(&rt, SchemeKind::Csi, &r1, &r2, &cond, &cfg);
         assert_eq!(a.join.checksum, b.join.checksum);
         assert_eq!(a.join.checksum, c.join.checksum);
     }
@@ -482,8 +528,9 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
-        let csi = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
-        let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        let rt = test_rt();
+        let csi = run_operator(&rt, SchemeKind::Csi, &r1, &r2, &cond, &cfg);
+        let csio = run_operator(&rt, SchemeKind::Csio, &r1, &r2, &cond, &cfg);
         assert_eq!(csi.join.output_total, csio.join.output_total);
         assert!(
             csio.join.max_weight_milli < csi.join.max_weight_milli,
@@ -504,8 +551,9 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
-        let ci = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
-        let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        let rt = test_rt();
+        let ci = run_operator(&rt, SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+        let csio = run_operator(&rt, SchemeKind::Csio, &r1, &r2, &cond, &cfg);
         assert!(
             ci.join.network_tuples > 2 * csio.join.network_tuples,
             "CI {} vs CSIO {}",
@@ -528,7 +576,7 @@ mod tests {
             capacities: Some(vec![4.0, 1.0]),
             ..Default::default()
         };
-        let run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+        let run = run_operator(&test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &cfg);
         let expect = JoinMatrix::new(k1, k2, cond).output_count();
         assert_eq!(run.join.output_total, expect);
         // The fast worker should carry more input than the slow one.
@@ -547,7 +595,8 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
-        let run = run_operator_adaptive(&r1, &r2, &cond, &cfg, &FallbackPolicy::default());
+        let rt = test_rt();
+        let run = run_operator_adaptive(&rt, &r1, &r2, &cond, &cfg, &FallbackPolicy::default());
         assert!(run.fell_back, "rho = 2000 should trigger the CI fallback");
         assert_eq!(run.kind, SchemeKind::Ci);
         assert_eq!(run.join.output_total, 4_000_000);
@@ -555,7 +604,7 @@ mod tests {
         // A low-selectivity join must not fall back.
         let k1: Vec<Key> = (0..2000).collect();
         let (r1b, r2b) = (tuples(&k1), tuples(&k1));
-        let run = run_operator_adaptive(&r1b, &r2b, &cond, &cfg, &FallbackPolicy::default());
+        let run = run_operator_adaptive(&rt, &r1b, &r2b, &cond, &cfg, &FallbackPolicy::default());
         assert!(!run.fell_back);
         assert_eq!(run.kind, SchemeKind::Csio);
     }
@@ -570,7 +619,7 @@ mod tests {
             mem_capacity_bytes: Some(1), // absurdly small
             ..Default::default()
         };
-        let run = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+        let run = run_operator(&test_rt(), SchemeKind::Ci, &r1, &r2, &cond, &cfg);
         assert!(run.join.overflowed);
     }
 
@@ -591,6 +640,7 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
+        let rt = test_rt();
         for kind in [
             SchemeKind::Ci,
             SchemeKind::Csi,
@@ -608,7 +658,8 @@ mod tests {
             );
             let map = assign_regions(&scheme, cfg.j, None, &cfg.cost);
             let plan = MorselPlan::new(r1.len(), r2.len(), cfg.morsel_tuples);
-            let stats = execute_join_pipelined(&r1, &r2, &scheme, &cond, &map, &plan, &cfg);
+            let stats =
+                execute_join_pipelined(&rt, &r1, &r2, &scheme, &cond, &map, &plan, &cfg, None);
             assert_eq!(stats.output_total, expect, "{kind}");
         }
     }

@@ -44,6 +44,13 @@
 //! over — is caught twice: by the online-statistics scheme build, and by
 //! run-time region migration if the frozen sample missed a late hot key.
 //!
+//! Execution-wise a plan is one *admitted query* on the shared
+//! [`EngineRuntime`]: all of its stages' mapper/reducer/coordinator work
+//! runs as task batches on the runtime's fixed worker pool, concurrently
+//! with any other query sharing that pool. No stage owns threads of its
+//! own — the per-stage `cfg.threads` split of earlier revisions (and the
+//! host oversubscription it caused on multi-stage plans) is gone.
+//!
 //! ## The baseline ([`run_plan_materialized`])
 //!
 //! The classic execution: run each operator to completion, materialize its
@@ -59,8 +66,8 @@ use std::time::Instant;
 use ewh_core::{JoinCondition, PartitionScheme, SchemeKind, Tuple, TUPLE_BYTES};
 
 use crate::engine::{
-    run_pipelined_io, AbandonOnDrop, CloseOnDrop, EngineIo, Exchange, MemGauge, MorselPlan,
-    OnlineStats, Source, StageSink,
+    run_pipelined_io, AbandonOnDrop, CloseOnDrop, EngineIo, EngineRuntime, Exchange, MemGauge,
+    MorselPlan, OnlineStats, Source, StageSink,
 };
 use crate::local_join::{sweep_sorted_into, KeyFrom};
 use crate::operator::{
@@ -143,9 +150,12 @@ impl PlanRun {
 /// Runs one pipelined stage: placement, engine, accounting. `sink` is where
 /// this stage's probe output streams (None for the final stage); the sink
 /// is closed when the engine returns — or unwinds — which is what
-/// terminates the downstream operator.
+/// terminates the downstream operator. All of the stage's mapper / reducer
+/// / coordinator work runs as tasks on the shared `rt` pool; the thread
+/// calling this only orchestrates.
 #[allow(clippy::too_many_arguments)]
 fn run_stage(
+    rt: &EngineRuntime,
     r1: Source<'_>,
     r2: Source<'_>,
     scheme: &PartitionScheme,
@@ -168,6 +178,7 @@ fn run_stage(
         cfg.morsel_tuples,
     );
     let out = run_pipelined_io(
+        rt,
         EngineIo {
             r1,
             r2,
@@ -224,10 +235,18 @@ fn build_chain_scheme(
 /// joined* relation's attribute to the next operator, matching the
 /// materialized baseline tuple for tuple.
 ///
-/// Every stage runs concurrently on its own task team ([`EngineConfig`]
-/// splits `cfg.threads` per stage; on small hosts the teams oversubscribe
-/// the cores, which is harmless because blocked tasks yield).
+/// The whole plan is **one admitted query** on the shared runtime: it
+/// holds a single admission ticket, every stage's mapper/reducer/
+/// coordinator work runs as task batches on `rt`'s fixed pool (there is no
+/// per-stage thread-splitting anymore — concurrent stages, like concurrent
+/// queries, just interleave on the same workers), and all stages charge
+/// the ticket's memory gauge so the reported peak is plan-global. The only
+/// threads this function creates are one parked *driver* per stage —
+/// coordination-only: each spends its life blocked in the stage's scope
+/// join, executing no join work, while the main thread blocks on each
+/// boundary's online-statistics cutoff in turn.
 pub fn run_plan(
+    rt: &EngineRuntime,
     r1: &[Tuple],
     r2: &[Tuple],
     first: &StageSpec,
@@ -236,7 +255,8 @@ pub fn run_plan(
 ) -> PlanRun {
     let start = Instant::now();
     let n_chain = chain.len();
-    let gauge = MemGauge::default();
+    let ticket = rt.admit(cfg.mem_capacity_bytes.map(|b| (b / TUPLE_BYTES).max(1)));
+    let gauge = ticket.gauge();
     let exchanges: Vec<Exchange> = (0..n_chain)
         .map(|_| Exchange::new(cfg.exchange_tuples.max(2)))
         .collect();
@@ -272,7 +292,6 @@ pub fn run_plan(
     }];
 
     let stage_stats: Vec<JoinStats> = thread::scope(|s| {
-        let gauge = &gauge;
         let mut handles = Vec::with_capacity(1 + n_chain);
         {
             let sink = exchanges.first().map(|exchange| StageSink {
@@ -284,6 +303,7 @@ pub fn run_plan(
             let cond = &first.cond;
             handles.push(s.spawn(move || {
                 run_stage(
+                    rt,
                     Source::Scan(r1),
                     Source::Scan(r2),
                     scheme0,
@@ -329,6 +349,7 @@ pub fn run_plan(
             let cond = &stage.spec.cond;
             handles.push(s.spawn(move || {
                 run_stage(
+                    rt,
                     Source::Scan(base),
                     source,
                     &scheme,
@@ -352,6 +373,9 @@ pub fn run_plan(
     for s in &stage_stats {
         total.merge(s);
     }
+    // The plan holds one ticket; charge its admission wait once, not per
+    // stage.
+    total.admission_wait_secs = ticket.admission_wait_secs();
     let last = stage_stats.last().expect("at least the root stage");
     let (output_total, checksum) = (last.output_total, last.checksum);
     let stages = metas
@@ -508,6 +532,10 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
+    fn test_rt() -> EngineRuntime {
+        EngineRuntime::new(4)
+    }
+
     fn tuples(keys: &[Key]) -> Vec<Tuple> {
         keys.iter()
             .enumerate()
@@ -550,7 +578,7 @@ mod tests {
                 cond: JoinCondition::Equi,
             },
         }];
-        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        let pipe = run_plan(&test_rt(), &a, &b, &first, &chain, &cfg);
         let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
         assert_eq!(pipe.output_total, mat.output_total);
         assert_eq!(pipe.checksum, mat.checksum);
@@ -600,7 +628,7 @@ mod tests {
                 },
             },
         ];
-        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        let pipe = run_plan(&test_rt(), &a, &b, &first, &chain, &cfg);
         let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
         assert_eq!(pipe.output_total, mat.output_total);
         assert_eq!(pipe.checksum, mat.checksum);
@@ -629,7 +657,7 @@ mod tests {
                 cond: JoinCondition::Equi,
             },
         }];
-        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        let pipe = run_plan(&test_rt(), &a, &b, &first, &chain, &cfg);
         assert_eq!(pipe.output_total, 0);
         assert_eq!(pipe.stages[1].kind, SchemeKind::Ci);
         assert_eq!(pipe.stages[1].sample_tuples, 0);
@@ -646,8 +674,9 @@ mod tests {
             kind: SchemeKind::Csio,
             cond: JoinCondition::Band { beta: 2 },
         };
-        let pipe = run_plan(&a, &b, &first, &[], &cfg);
-        let one_shot = crate::run_operator(first.kind, &a, &b, &first.cond, &cfg);
+        let rt = test_rt();
+        let pipe = run_plan(&rt, &a, &b, &first, &[], &cfg);
+        let one_shot = crate::run_operator(&rt, first.kind, &a, &b, &first.cond, &cfg);
         assert_eq!(pipe.output_total, one_shot.join.output_total);
         assert_eq!(pipe.checksum, one_shot.join.checksum);
         assert_eq!(pipe.stages.len(), 1);
@@ -674,7 +703,7 @@ mod tests {
                 cond: JoinCondition::Equi,
             },
         }];
-        let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+        let pipe = run_plan(&test_rt(), &a, &b, &first, &chain, &cfg);
         let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
         assert_eq!(pipe.output_total, mat.output_total);
         assert_eq!(pipe.checksum, mat.checksum);

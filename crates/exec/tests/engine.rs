@@ -5,7 +5,9 @@ use ewh_core::{
     build_ci, build_csio, CostModel, HistogramParams, JoinCondition, Key, SchemeKind, Tuple,
     TUPLE_BYTES,
 };
-use ewh_exec::{assign_regions, execute_join, run_operator, shuffle, OperatorConfig, OutputWork};
+use ewh_exec::{
+    assign_regions, execute_join, run_operator, shuffle, EngineRuntime, OperatorConfig, OutputWork,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,7 +63,14 @@ fn ci_output_balance_is_statistical() {
         threads: 2,
         ..Default::default()
     };
-    let run = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+    let run = run_operator(
+        &EngineRuntime::new(4),
+        SchemeKind::Ci,
+        &r1,
+        &r2,
+        &cond,
+        &cfg,
+    );
     let max = run.join.per_worker_output.iter().copied().max().unwrap() as f64;
     let mean = run.join.output_total as f64 / 8.0;
     assert!(max / mean < 1.25, "CI output imbalance {}", max / mean);
@@ -156,8 +165,9 @@ fn sim_time_scales_inversely_with_units_per_sec() {
         units_per_sec: 4e6,
         ..Default::default()
     };
-    let a = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &slow);
-    let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &fast);
+    let rt = EngineRuntime::new(4);
+    let a = run_operator(&rt, SchemeKind::Csio, &r1, &r2, &cond, &slow);
+    let b = run_operator(&rt, SchemeKind::Csio, &r1, &r2, &cond, &fast);
     assert_eq!(a.join.max_weight_milli, b.join.max_weight_milli);
     let ratio = a.join.sim_join_secs / b.join.sim_join_secs;
     assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
@@ -174,10 +184,11 @@ fn hash_scheme_runs_end_to_end_on_band_join() {
         threads: 2,
         ..Default::default()
     };
-    let expect = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg)
+    let rt = EngineRuntime::new(4);
+    let expect = run_operator(&rt, SchemeKind::Csio, &r1, &r2, &cond, &cfg)
         .join
         .output_total;
-    let run = run_operator(SchemeKind::Hash, &r1, &r2, &cond, &cfg);
+    let run = run_operator(&rt, SchemeKind::Hash, &r1, &r2, &cond, &cfg);
     assert_eq!(run.join.output_total, expect);
     // The 2β+1 fan-out must show in the network volume.
     assert!(
@@ -198,7 +209,14 @@ fn count_mode_is_not_slower_than_touch_on_big_outputs() {
         output_work: OutputWork::Count,
         ..Default::default()
     };
-    let run = run_operator(SchemeKind::Ci, &r1, &r2, &JoinCondition::Equi, &cfg);
+    let run = run_operator(
+        &EngineRuntime::new(4),
+        SchemeKind::Ci,
+        &r1,
+        &r2,
+        &JoinCondition::Equi,
+        &cfg,
+    );
     assert_eq!(run.join.output_total, 1500 * 1500);
     assert_eq!(run.join.checksum, 0);
 }

@@ -7,11 +7,15 @@ use ewh_core::{
     build_csio, CostModel, HistogramParams, JoinCondition, Key, SchemeKind, Tuple, TUPLE_BYTES,
 };
 use ewh_exec::{
-    execute_join, lpt_schedule, run_operator, run_operator_adaptive, shuffle, ExecMode,
-    FallbackPolicy, OperatorConfig,
+    execute_join, lpt_schedule, run_operator, run_operator_adaptive, shuffle, EngineRuntime,
+    ExecMode, FallbackPolicy, OperatorConfig,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+fn test_rt() -> EngineRuntime {
+    EngineRuntime::new(4)
+}
 
 fn tuples(keys: &[Key]) -> Vec<Tuple> {
     keys.iter()
@@ -38,6 +42,7 @@ fn pipelined_matches_batch_on_every_scheme() {
     let k2 = skewed_keys(6000, 22);
     let cond = JoinCondition::Band { beta: 1 };
     let (r1, r2) = (tuples(&k1), tuples(&k2));
+    let rt = test_rt();
     for kind in [
         SchemeKind::Ci,
         SchemeKind::Csi,
@@ -50,6 +55,7 @@ fn pipelined_matches_batch_on_every_scheme() {
             ..Default::default()
         };
         let batch = run_operator(
+            &rt,
             kind,
             &r1,
             &r2,
@@ -60,6 +66,7 @@ fn pipelined_matches_batch_on_every_scheme() {
             },
         );
         let pipe = run_operator(
+            &rt,
             kind,
             &r1,
             &r2,
@@ -85,7 +92,7 @@ fn pipelined_peak_memory_is_strictly_below_full_materialization() {
         threads: 4,
         ..Default::default()
     };
-    let run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+    let run = run_operator(&test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &cfg);
     // mem_bytes models the full shuffle; the engine must stay strictly
     // below it (the probe side streams through in chunks).
     assert!(
@@ -120,7 +127,9 @@ fn tiny_queues_and_single_tuple_morsels_stay_correct() {
         threads: 4,
         ..Default::default()
     };
+    let rt = test_rt();
     let expect = run_operator(
+        &rt,
         SchemeKind::Csio,
         &r1,
         &r2,
@@ -131,6 +140,7 @@ fn tiny_queues_and_single_tuple_morsels_stay_correct() {
         },
     );
     let stressed = run_operator(
+        &rt,
         SchemeKind::Csio,
         &r1,
         &r2,
@@ -221,7 +231,14 @@ fn adaptive_fallback_reuses_the_morsel_plan_in_pipelined_mode() {
         morsel_tuples: 128,
         ..Default::default()
     };
-    let run = run_operator_adaptive(&r1, &r2, &cond, &cfg, &FallbackPolicy::default());
+    let run = run_operator_adaptive(
+        &test_rt(),
+        &r1,
+        &r2,
+        &cond,
+        &cfg,
+        &FallbackPolicy::default(),
+    );
     assert!(run.fell_back);
     assert_eq!(run.kind, SchemeKind::Ci);
     assert_eq!(run.join.output_total, 1500 * 1500);
@@ -244,7 +261,9 @@ fn pipelined_imbalance_matches_batch_for_content_sensitive_schemes() {
         threads: 3,
         ..Default::default()
     };
+    let rt = test_rt();
     let batch = run_operator(
+        &rt,
         SchemeKind::Csio,
         &r1,
         &r2,
@@ -255,6 +274,7 @@ fn pipelined_imbalance_matches_batch_for_content_sensitive_schemes() {
         },
     );
     let pipe = run_operator(
+        &rt,
         SchemeKind::Csio,
         &r1,
         &r2,

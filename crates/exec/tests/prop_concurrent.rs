@@ -1,0 +1,177 @@
+//! Property-based correctness of *concurrent* query execution on one
+//! shared [`EngineRuntime`]: 2–4 chained query plans with mixed
+//! partitioning schemes run simultaneously on a single fixed-size worker
+//! pool — with run-time migration thresholds forced so the coordinator
+//! fires on any imbalance — and every query's `output_total` and XOR
+//! `checksum` must be bit-identical to its own serial
+//! [`run_plan_materialized`] batch oracle.
+//!
+//! This is the multi-tenant extension of `prop_migration.rs` /
+//! `prop_plan.rs`: queries contend for the same workers, steal each
+//! other's deque slots, and interleave at every cooperative yield point
+//! (queue push/pop, exchange push/pop, admission), so any cross-query leak
+//! — a fragment routed to another query's reducer, a seal observed across
+//! plans, migration state crossing tenants — shows up as a wrong count or
+//! checksum here.
+
+use std::thread;
+
+use ewh_core::{JoinCondition, Key, SchemeKind, Tuple};
+use ewh_exec::{
+    run_plan, run_plan_materialized, AdaptiveConfig, ChainStage, EngineRuntime, OperatorConfig,
+    StageSpec,
+};
+use proptest::prelude::*;
+
+fn tuples(keys: &[Key]) -> Vec<Tuple> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| Tuple::new(k, i as u64))
+        .collect()
+}
+
+fn keys_strategy(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
+    prop::collection::vec(0i64..50, 0..max_len)
+}
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Ci),
+        Just(SchemeKind::Csi),
+        Just(SchemeKind::Csio),
+        Just(SchemeKind::Hash),
+    ]
+}
+
+/// Thresholds at which any observed imbalance migrates (the
+/// `prop_migration.rs` forcing config), so concurrent runs exercise the
+/// Migrate/Adopt/fence path under cross-query scheduling noise.
+fn forced_migration() -> AdaptiveConfig {
+    AdaptiveConfig {
+        reassign: true,
+        move_cost_factor: 0.0,
+        migrate_backlog_tuples: 1,
+        poll_micros: 20,
+        ..Default::default()
+    }
+}
+
+/// One query of the concurrent batch: a root join plus an optional second
+/// hop, all inputs owned.
+struct Query {
+    a: Vec<Tuple>,
+    b: Vec<Tuple>,
+    c: Option<Vec<Tuple>>,
+    first: StageSpec,
+    chain_kind: SchemeKind,
+    cfg: OperatorConfig,
+}
+
+impl Query {
+    fn chain(&self) -> Vec<ChainStage<'_>> {
+        self.c
+            .as_deref()
+            .map(|base| {
+                vec![ChainStage {
+                    base,
+                    spec: StageSpec {
+                        kind: self.chain_kind,
+                        cond: JoinCondition::Equi,
+                    },
+                }]
+            })
+            .unwrap_or_default()
+    }
+}
+
+proptest! {
+    // Each case runs up to 4 plans twice (oracle + concurrent); keep the
+    // case count modest — the point is the interleavings, and every case
+    // explores fresh ones on the shared pool.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_plans_on_one_runtime_match_their_serial_oracles(
+        queries in prop::collection::vec(
+            (
+                keys_strategy(180),
+                keys_strategy(180),
+                (0u64..2, keys_strategy(120)),
+                scheme_strategy(),
+                scheme_strategy(),
+                0u64..1000,
+            ),
+            2..=4,
+        ),
+        workers in 1usize..5,
+    ) {
+        let queries: Vec<Query> = queries
+            .into_iter()
+            .map(|(ka, kb, (two_hop, kc), root_kind, chain_kind, seed)| Query {
+                a: tuples(&ka),
+                b: tuples(&kb),
+                c: (two_hop == 1).then(|| tuples(&kc)),
+                first: StageSpec { kind: root_kind, cond: JoinCondition::Equi },
+                chain_kind,
+                cfg: OperatorConfig {
+                    j: 4,
+                    threads: 4,
+                    seed,
+                    morsel_tuples: 64,
+                    queue_tuples: 128,
+                    exchange_tuples: 512,
+                    stats_cutoff_tuples: 100,
+                    adaptive: forced_migration(),
+                    ..Default::default()
+                },
+            })
+            .collect();
+
+        // Serial batch oracles (no runtime involved: the materialized
+        // baseline runs on the batch path).
+        let oracles: Vec<(u64, u64)> = queries
+            .iter()
+            .map(|q| {
+                let mat = run_plan_materialized(&q.a, &q.b, &q.first, &q.chain(), &q.cfg);
+                (mat.output_total, mat.checksum)
+            })
+            .collect();
+
+        // All plans at once on one shared pool (client threads only carry
+        // the blocking plan drivers; every engine task lands on the pool).
+        let rt = EngineRuntime::new(workers);
+        let results: Vec<(u64, u64)> = thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let rt = &rt;
+                    s.spawn(move || {
+                        let run = run_plan(rt, &q.a, &q.b, &q.first, &q.chain(), &q.cfg);
+                        (run.output_total, run.checksum)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("concurrent plan panicked"))
+                .collect()
+        });
+
+        for (i, (got, want)) in results.iter().zip(&oracles).enumerate() {
+            prop_assert_eq!(
+                got.0, want.0,
+                "query {} output drifted under concurrency (workers {})",
+                i, workers
+            );
+            prop_assert_eq!(
+                got.1, want.1,
+                "query {} checksum drifted under concurrency (workers {})",
+                i, workers
+            );
+        }
+        // The pool really multiplexed everything: no query brought its own
+        // workers.
+        prop_assert_eq!(rt.workers(), workers);
+        prop_assert!(rt.metrics().tasks_completed > 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! quiescence-driven `Finish` termination under adversarial interleavings.
 
 use ewh_core::{JoinCondition, Key, SchemeKind, Tuple};
-use ewh_exec::{run_operator, AdaptiveConfig, ExecMode, OperatorConfig, Straggler};
+use ewh_exec::{run_operator, AdaptiveConfig, EngineRuntime, ExecMode, OperatorConfig, Straggler};
 use proptest::prelude::*;
 
 fn condition_strategy() -> impl Strategy<Value = JoinCondition> {
@@ -57,6 +57,7 @@ proptest! {
         slow_nanos in prop_oneof![Just(0u64), Just(20_000u64)],
     ) {
         let (r1, r2) = (tuples(&k1), tuples(&k2));
+        let rt = EngineRuntime::new(4);
         let base = OperatorConfig {
             j,
             threads: 4,
@@ -69,6 +70,7 @@ proptest! {
         };
         for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio, SchemeKind::Hash] {
             let batch = run_operator(
+                &rt,
                 kind,
                 &r1,
                 &r2,
@@ -76,6 +78,7 @@ proptest! {
                 &OperatorConfig { mode: ExecMode::Batch, ..base.clone() },
             );
             let migrating = run_operator(
+                &rt,
                 kind,
                 &r1,
                 &r2,
@@ -125,7 +128,9 @@ fn forced_straggler_migrates_and_matches_oracle() {
         queue_tuples: 256,
         ..Default::default()
     };
+    let rt = EngineRuntime::new(4);
     let batch = run_operator(
+        &rt,
         SchemeKind::Ci,
         &r1,
         &r2,
@@ -136,6 +141,7 @@ fn forced_straggler_migrates_and_matches_oracle() {
         },
     );
     let migrating = run_operator(
+        &rt,
         SchemeKind::Ci,
         &r1,
         &r2,

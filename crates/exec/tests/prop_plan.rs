@@ -10,7 +10,9 @@
 //! stage.
 
 use ewh_core::{JoinCondition, Key, SchemeKind, Tuple};
-use ewh_exec::{run_plan, run_plan_materialized, ChainStage, OperatorConfig, StageSpec};
+use ewh_exec::{
+    run_plan, run_plan_materialized, ChainStage, EngineRuntime, OperatorConfig, StageSpec,
+};
 use proptest::prelude::*;
 
 fn condition_strategy() -> impl Strategy<Value = JoinCondition> {
@@ -72,7 +74,7 @@ proptest! {
             let chain = [ChainStage { base: &c, spec: StageSpec { kind, cond: cond2 } }];
             for force_migration in [false, true] {
                 let cfg = plan_config(seed, morsel_tuples, force_migration);
-                let pipe = run_plan(&a, &b, &first, &chain, &cfg);
+                let pipe = run_plan(&EngineRuntime::new(4), &a, &b, &first, &chain, &cfg);
                 let mat = run_plan_materialized(&a, &b, &first, &chain, &cfg);
                 prop_assert_eq!(
                     pipe.output_total,

@@ -63,7 +63,7 @@ fn main() {
     let mut csio_time = 0.0;
     let mut csi_time = 0.0;
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-        let run = run_operator(kind, &r1, &r2, &cond, &cfg);
+        let run = run_operator(EngineRuntime::global(), kind, &r1, &r2, &cond, &cfg);
         assert_eq!(run.join.output_total, m);
         println!(
             "{:<6} {:>12.4} {:>12} {:>12.2}",

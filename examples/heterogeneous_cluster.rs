@@ -26,7 +26,8 @@ fn main() {
         j: 4,
         ..OperatorConfig::default()
     };
-    let naive_run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &naive);
+    let rt = EngineRuntime::global();
+    let naive_run = run_operator(rt, SchemeKind::Csio, &r1, &r2, &cond, &naive);
 
     // Capacity-aware: 16 regions LPT-packed onto the 4 workers.
     let aware = OperatorConfig {
@@ -35,7 +36,7 @@ fn main() {
         capacities: Some(capacities.clone()),
         ..OperatorConfig::default()
     };
-    let aware_run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &aware);
+    let aware_run = run_operator(rt, SchemeKind::Csio, &r1, &r2, &cond, &aware);
     assert_eq!(naive_run.join.output_total, aware_run.join.output_total);
 
     // Makespan = max over workers of weight / capacity.

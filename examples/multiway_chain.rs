@@ -48,7 +48,7 @@ fn main() {
             cond,
         },
     }];
-    let run = run_plan(&a, &b, &first, &chain, &cfg);
+    let run = run_plan(EngineRuntime::global(), &a, &b, &first, &chain, &cfg);
 
     for (i, stage) in run.stages.iter().enumerate() {
         println!(

@@ -32,6 +32,9 @@ fn main() {
         .collect();
     let cond = JoinCondition::Band { beta: 5 };
 
+    // One shared worker pool serves every query in the process; queries
+    // submit task batches to it instead of spawning their own threads.
+    let rt = EngineRuntime::global();
     let cfg = OperatorConfig {
         j: 16,
         ..OperatorConfig::default()
@@ -45,7 +48,7 @@ fn main() {
         "scheme", "regions", "output", "max-input", "max-output", "imbalance"
     );
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-        let run = run_operator(kind, &r1, &r2, &cond, &cfg);
+        let run = run_operator(rt, kind, &r1, &r2, &cond, &cfg);
         println!(
             "{:<6} {:>10} {:>12} {:>10} {:>12} {:>10.2}",
             run.kind.to_string(),

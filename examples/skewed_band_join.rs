@@ -46,6 +46,7 @@ fn main() {
     let reference = JoinMatrix::new(keys(&r1), keys(&r2), cond).output_count();
     println!("calls: {n} per side; band = 10s; exact output = {reference}");
 
+    let rt = EngineRuntime::global();
     let cfg = OperatorConfig {
         j: 16,
         ..OperatorConfig::default()
@@ -56,7 +57,7 @@ fn main() {
     );
     let mut best: Option<(SchemeKind, f64)> = None;
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-        let run = run_operator(kind, &r1, &r2, &cond, &cfg);
+        let run = run_operator(rt, kind, &r1, &r2, &cond, &cfg);
         assert_eq!(
             run.join.output_total, reference,
             "scheme lost or duplicated tuples"
@@ -82,6 +83,7 @@ fn main() {
     let r1x = synth_calls(n, 43_200, 0.5, 0xC);
     let r2x = synth_calls(n, 43_260, 0.5, 0xD);
     let adaptive = run_operator_adaptive(
+        rt,
         &r1x,
         &r2x,
         &JoinCondition::Band { beta: 30 },

@@ -28,7 +28,9 @@
 //! let cond = JoinCondition::Band { beta: 2 };
 //!
 //! let cfg = OperatorConfig { j: 4, ..OperatorConfig::default() };
-//! let run = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+//! // Queries execute as task batches on a shared worker-pool runtime —
+//! // one pool serves any number of concurrent queries.
+//! let run = run_operator(EngineRuntime::global(), SchemeKind::Csio, &r1, &r2, &cond, &cfg);
 //! assert!(run.join.output_total > 0);
 //! ```
 
@@ -49,7 +51,8 @@ pub mod prelude {
         RetailParams, ZipfCdf,
     };
     pub use ewh_exec::{
-        run_operator, run_operator_adaptive, run_plan, run_plan_materialized, ChainStage, ExecMode,
-        FallbackPolicy, OperatorConfig, OperatorRun, OutputWork, PlanRun, StageSpec,
+        run_operator, run_operator_adaptive, run_plan, run_plan_materialized, ChainStage,
+        EngineRuntime, ExecMode, FallbackPolicy, OperatorConfig, OperatorRun, OutputWork, PlanRun,
+        RuntimeConfig, StageSpec,
     };
 }

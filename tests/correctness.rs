@@ -3,9 +3,17 @@
 //! variety of skew patterns.
 
 use ewh::core::{IneqOp, JoinCondition, JoinMatrix, Key, SchemeKind, Tuple};
-use ewh::exec::{run_operator, OperatorConfig};
+use ewh::exec::{run_operator, EngineRuntime, OperatorConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// One pool for the whole test binary (matching the runtime's "build one
+/// per process" model); 4 workers regardless of host, mirroring the
+/// thread teams the pre-runtime engine spawned.
+fn test_rt() -> &'static EngineRuntime {
+    static RT: std::sync::OnceLock<EngineRuntime> = std::sync::OnceLock::new();
+    RT.get_or_init(|| EngineRuntime::new(4))
+}
 
 fn tuples(keys: &[Key]) -> Vec<Tuple> {
     keys.iter()
@@ -61,7 +69,7 @@ fn all_schemes_match_reference_on_all_conditions_and_skews() {
                 };
                 let mut checksums = Vec::new();
                 for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-                    let run = run_operator(kind, &r1, &r2, &cond, &cfg);
+                    let run = run_operator(test_rt(), kind, &r1, &r2, &cond, &cfg);
                     assert_eq!(
                         run.join.output_total, reference,
                         "{kind} {cond:?} on {pname}x{qname}"
@@ -89,13 +97,13 @@ fn empty_and_degenerate_relations() {
 
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
         // Empty x non-empty.
-        let run = run_operator(kind, &[], &some, &cond, &cfg);
+        let run = run_operator(test_rt(), kind, &[], &some, &cond, &cfg);
         assert_eq!(run.join.output_total, 0, "{kind} empty left");
-        let run = run_operator(kind, &some, &[], &cond, &cfg);
+        let run = run_operator(test_rt(), kind, &some, &[], &cond, &cfg);
         assert_eq!(run.join.output_total, 0, "{kind} empty right");
         // Single tuples.
         let one = tuples(&[5]);
-        let run = run_operator(kind, &one, &one, &cond, &cfg);
+        let run = run_operator(test_rt(), kind, &one, &one, &cond, &cfg);
         assert_eq!(run.join.output_total, 1, "{kind} singleton");
     }
 }
@@ -112,7 +120,7 @@ fn duplicate_only_relations() {
         ..Default::default()
     };
     for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-        let run = run_operator(kind, &r1, &r2, &JoinCondition::Equi, &cfg);
+        let run = run_operator(test_rt(), kind, &r1, &r2, &JoinCondition::Equi, &cfg);
         assert_eq!(run.join.output_total, n * n, "{kind}");
     }
 }
@@ -134,7 +142,7 @@ fn negative_keys_work_for_non_composite_conditions() {
             ..Default::default()
         };
         for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-            let run = run_operator(kind, &tuples(&k1), &tuples(&k2), &cond, &cfg);
+            let run = run_operator(test_rt(), kind, &tuples(&k1), &tuples(&k2), &cond, &cfg);
             assert_eq!(run.join.output_total, reference, "{kind} {cond:?}");
         }
     }
@@ -152,8 +160,8 @@ fn results_are_deterministic_per_seed() {
         seed: 77,
         ..Default::default()
     };
-    let a = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
-    let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+    let a = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+    let b = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &cfg);
     assert_eq!(a.join.output_total, b.join.output_total);
     assert_eq!(a.join.per_worker_input, b.join.per_worker_input);
     assert_eq!(a.join.network_tuples, b.join.network_tuples);

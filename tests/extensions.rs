@@ -3,9 +3,19 @@
 //! model calibration loop of §VI-A.
 
 use ewh::core::{CostModel, JoinCondition, JoinMatrix, Key, SchemeKind, Tuple};
-use ewh::exec::{run_operator, run_operator_adaptive, FallbackPolicy, OperatorConfig, OutputWork};
+use ewh::exec::{
+    run_operator, run_operator_adaptive, EngineRuntime, FallbackPolicy, OperatorConfig, OutputWork,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// One pool for the whole test binary (matching the runtime's "build one
+/// per process" model); 4 workers regardless of host, mirroring the
+/// thread teams the pre-runtime engine spawned.
+fn test_rt() -> &'static EngineRuntime {
+    static RT: std::sync::OnceLock<EngineRuntime> = std::sync::OnceLock::new();
+    RT.get_or_init(|| EngineRuntime::new(4))
+}
 
 fn tuples(keys: &[Key]) -> Vec<Tuple> {
     keys.iter()
@@ -29,6 +39,7 @@ fn adaptive_operator_decision_boundary() {
     let mut rng = SmallRng::seed_from_u64(1);
     let hot: Vec<Key> = (0..1000).map(|_| rng.gen_range(0..8)).collect();
     let run = run_operator_adaptive(
+        test_rt(),
         &tuples(&hot),
         &tuples(&hot),
         &JoinCondition::Equi,
@@ -44,6 +55,7 @@ fn adaptive_operator_decision_boundary() {
     // A selective join stays on CSIO.
     let cold: Vec<Key> = (0..1000).collect();
     let run = run_operator_adaptive(
+        test_rt(),
         &tuples(&cold),
         &tuples(&cold),
         &JoinCondition::Equi,
@@ -76,8 +88,8 @@ fn heterogeneous_cluster_beats_naive_assignment() {
         capacities: Some(caps.clone()),
         ..Default::default()
     };
-    let a = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &naive);
-    let b = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &aware);
+    let a = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &naive);
+    let b = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &aware);
     assert_eq!(a.join.output_total, b.join.output_total);
 
     let makespan = |run: &ewh::exec::OperatorRun| -> f64 {
@@ -111,7 +123,14 @@ fn cost_model_calibration_closes_the_loop() {
         threads: 2,
         ..Default::default()
     };
-    let run = run_operator(SchemeKind::Csio, &r1, &r2, &JoinCondition::Equi, &cfg);
+    let run = run_operator(
+        test_rt(),
+        SchemeKind::Csio,
+        &r1,
+        &r2,
+        &JoinCondition::Equi,
+        &cfg,
+    );
 
     let (true_wi, true_wo) = (2.5e-6, 0.4e-6);
     let samples: Vec<(u64, u64, f64)> = run
@@ -142,12 +161,12 @@ fn count_and_touch_output_work_agree_on_counts() {
         threads: 2,
         ..Default::default()
     };
-    let touch = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &base);
+    let touch = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &base);
     let count_cfg = OperatorConfig {
         output_work: OutputWork::Count,
         ..base
     };
-    let count = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &count_cfg);
+    let count = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &count_cfg);
     assert_eq!(touch.join.output_total, count.join.output_total);
     assert_eq!(count.join.checksum, 0);
     assert_ne!(touch.join.checksum, 0);
@@ -171,8 +190,8 @@ fn worst_case_overhead_stays_small_on_icd_joins() {
         threads: 2,
         ..Default::default()
     };
-    let csi = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
-    let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+    let csi = run_operator(test_rt(), SchemeKind::Csi, &r1, &r2, &cond, &cfg);
+    let csio = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &cfg);
     let ratio = csio.total_sim_secs / csi.total_sim_secs;
     assert!(ratio < 1.35, "CSIO overhead {ratio:.2}x on an ICD join");
 }

@@ -3,10 +3,18 @@
 
 use ewh::core::histogram::{build_sample_matrix, coarsen_sample_matrix, regionalize};
 use ewh::core::{CostModel, HistogramParams, JoinCondition, Key, SchemeKind, Tuple};
-use ewh::exec::{run_operator, OperatorConfig};
+use ewh::exec::{run_operator, EngineRuntime, OperatorConfig};
 use ewh::tiling::{validate_partition, Rect};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// One pool for the whole test binary (matching the runtime's "build one
+/// per process" model); 4 workers regardless of host, mirroring the
+/// thread teams the pre-runtime engine spawned.
+fn test_rt() -> &'static EngineRuntime {
+    static RT: std::sync::OnceLock<EngineRuntime> = std::sync::OnceLock::new();
+    RT.get_or_init(|| EngineRuntime::new(4))
+}
 
 fn skewed_keys(n: usize, seed: u64) -> Vec<Key> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -94,7 +102,14 @@ fn estimate_tracks_realized_weight_within_15_percent() {
         threads: 2,
         ..Default::default()
     };
-    let run = run_operator(SchemeKind::Csio, &tup(&k1), &tup(&k2), &cond, &cfg);
+    let run = run_operator(
+        test_rt(),
+        SchemeKind::Csio,
+        &tup(&k1),
+        &tup(&k2),
+        &cond,
+        &cfg,
+    );
     let est = run.build.est_max_weight as f64;
     let real = run.join.max_weight_milli as f64;
     let err = (est - real).abs() / real;
@@ -125,9 +140,9 @@ fn csio_dominates_both_baselines_under_mixed_skew() {
         ..Default::default()
     };
     let (r1, r2) = (tup(&k1), tup(&k2));
-    let ci = run_operator(SchemeKind::Ci, &r1, &r2, &cond, &cfg);
-    let csi = run_operator(SchemeKind::Csi, &r1, &r2, &cond, &cfg);
-    let csio = run_operator(SchemeKind::Csio, &r1, &r2, &cond, &cfg);
+    let ci = run_operator(test_rt(), SchemeKind::Ci, &r1, &r2, &cond, &cfg);
+    let csi = run_operator(test_rt(), SchemeKind::Csi, &r1, &r2, &cond, &cfg);
+    let csio = run_operator(test_rt(), SchemeKind::Csio, &r1, &r2, &cond, &cfg);
     assert!(
         csio.join.max_weight_milli < ci.join.max_weight_milli,
         "CSIO {} !< CI {}",

@@ -6,8 +6,16 @@
 //! seal protocol, and chunked probe sweeps end to end.
 
 use ewh::core::{JoinCondition, Key, SchemeKind, Tuple};
-use ewh::exec::{run_operator, ExecMode, OperatorConfig};
+use ewh::exec::{run_operator, EngineRuntime, ExecMode, OperatorConfig};
 use proptest::prelude::*;
+
+/// One pool for the whole test binary (matching the runtime's "build one
+/// per process" model); 4 workers regardless of host, mirroring the
+/// thread teams the pre-runtime engine spawned.
+fn test_rt() -> &'static EngineRuntime {
+    static RT: std::sync::OnceLock<EngineRuntime> = std::sync::OnceLock::new();
+    RT.get_or_init(|| EngineRuntime::new(4))
+}
 
 fn condition_strategy() -> impl Strategy<Value = JoinCondition> {
     // Equi and Band only: the Hash scheme supports nothing else.
@@ -49,14 +57,14 @@ proptest! {
             ..Default::default()
         };
         for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio, SchemeKind::Hash] {
-            let batch = run_operator(
+            let batch = run_operator(test_rt(),
                 kind,
                 &r1,
                 &r2,
                 &cond,
                 &OperatorConfig { mode: ExecMode::Batch, ..base.clone() },
             );
-            let pipelined = run_operator(
+            let pipelined = run_operator(test_rt(),
                 kind,
                 &r1,
                 &r2,

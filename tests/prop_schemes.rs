@@ -2,8 +2,16 @@
 //! every scheme computes exactly the reference join.
 
 use ewh::core::{IneqOp, JoinCondition, Key, SchemeKind, Tuple};
-use ewh::exec::{run_operator, OperatorConfig, OutputWork};
+use ewh::exec::{run_operator, EngineRuntime, OperatorConfig, OutputWork};
 use proptest::prelude::*;
+
+/// One pool for the whole test binary (matching the runtime's "build one
+/// per process" model); 4 workers regardless of host, mirroring the
+/// thread teams the pre-runtime engine spawned.
+fn test_rt() -> &'static EngineRuntime {
+    static RT: std::sync::OnceLock<EngineRuntime> = std::sync::OnceLock::new();
+    RT.get_or_init(|| EngineRuntime::new(4))
+}
 
 fn condition_strategy() -> impl Strategy<Value = JoinCondition> {
     prop_oneof![
@@ -67,7 +75,7 @@ proptest! {
             ..Default::default()
         };
         for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio] {
-            let run = run_operator(kind, &r1, &r2, &cond, &cfg);
+            let run = run_operator(test_rt(), kind, &r1, &r2, &cond, &cfg);
             prop_assert_eq!(run.join.output_total, expect, "{} {:?}", kind, cond);
         }
     }
