@@ -19,6 +19,8 @@
 //! | `worst_case`              | §VI-E (worst cases + adaptive fallback) |
 //! | `pipeline_vs_batch`       | engine vs batch oracle + runtime migration |
 //! | `plan_vs_materialize`     | §IV-B chained joins: streamed vs materialized intermediates |
+//! | `concurrent_queries`      | shared worker-pool runtime vs spawn-per-query |
+//! | `oom_vs_spill`            | memory-budgeted out-of-core run vs unbudgeted in-memory peak |
 
 pub mod harness;
 pub mod workloads;

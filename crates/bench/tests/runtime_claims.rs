@@ -32,7 +32,7 @@ use std::thread;
 use std::time::Instant;
 
 use ewh_bench::{check_pipelined_scale, retail_hotkey, RunConfig, Workload};
-use ewh_core::SchemeKind;
+use ewh_core::{SchemeKind, TUPLE_BYTES};
 use ewh_exec::{
     run_operator, AdaptiveConfig, EngineRuntime, ExecMode, OperatorConfig, OperatorRun, OutputWork,
     RuntimeConfig, Straggler,
@@ -246,4 +246,59 @@ fn straggler_query_still_migrates_while_a_healthy_query_shares_the_pool() {
         healthy.join.regions_migrated, 0,
         "the healthy query has nothing to migrate"
     );
+}
+
+#[test]
+fn budgeted_admission_holds_each_tenant_inside_its_carved_slice() {
+    let _serial = serial();
+    // The enforcement follow-through `QueryTicket::over_budget` exists
+    // for: a budget-gated runtime carves `total / max_concurrent` tuples
+    // per un-requesting tenant, and with spill-to-disk landed that slice
+    // is a promise, not a hint. Calibrate the slice to ~25% of one
+    // query's unbudgeted peak, run the full concurrent batch, and require
+    // every tenant's realized peak to stay inside slice + one queue
+    // transient (the bounded in-flight buffers a budget cannot shed) —
+    // i.e. no ticket finishes meaningfully over budget once spilling
+    // does its job.
+    let rc = claims_rc();
+    let w = retail_hotkey(rc.scale, rc.seed);
+    let cfg = claims_config(&rc, &w);
+    let unbudgeted_rt = shared_runtime();
+    let oracle = run_query(&unbudgeted_rt, &w, &cfg);
+    assert!(oracle.join.output_total > 0);
+    assert_eq!(oracle.join.spill_bytes, 0, "no budget, no spill");
+
+    let slice_tuples = (oracle.join.peak_resident_bytes / TUPLE_BYTES / 4).max(1);
+    let rt = EngineRuntime::with_config(RuntimeConfig {
+        workers: WORKERS,
+        max_concurrent_queries: QUERIES,
+        // admit(None) carves total / QUERIES for each tenant.
+        memory_budget_tuples: Some(slice_tuples * QUERIES as u64),
+    });
+    // Drop the advisory capacity request: a tenant asking for the whole
+    // cluster capacity would clamp to the *entire* budget instead of
+    // taking the equal slice this claim is about.
+    let cfg = OperatorConfig {
+        mem_capacity_bytes: None,
+        ..cfg
+    };
+    let (_, runs) = concurrent_makespan(QUERIES, Some(&rt), WORKERS, &w, &cfg);
+    let slice_bytes = slice_tuples * TUPLE_BYTES;
+    let transient_bytes = cfg.min_pipelined_input_tuples() as u64 * TUPLE_BYTES;
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(run.join.output_total, oracle.join.output_total, "query {i}");
+        assert_eq!(run.join.checksum, oracle.join.checksum, "query {i}");
+        assert!(
+            run.join.spill_bytes > 0,
+            "query {i}: a quarter-peak slice must force spill I/O"
+        );
+        assert!(
+            run.join.peak_resident_bytes <= slice_bytes + transient_bytes,
+            "query {i}: peak {} bytes exceeds carved slice {} + transient {} — \
+             its ticket finished over budget despite spill",
+            run.join.peak_resident_bytes,
+            slice_bytes,
+            transient_bytes
+        );
+    }
 }

@@ -28,6 +28,11 @@ pub struct ProgressBoard {
     /// Per region: build (`R1`) tuples absorbed so far — the coordinator's
     /// estimate of how much state a migration would ship.
     region_build: Vec<AtomicU64>,
+    /// Per region: tuples currently spilled to disk. The coordinator
+    /// charges these into a migration's move cost (the new owner must
+    /// re-read them), so budget pressure does not make migration thrash
+    /// spilled regions.
+    region_spilled: Vec<AtomicU64>,
 }
 
 impl ProgressBoard {
@@ -38,6 +43,7 @@ impl ProgressBoard {
             chunks_swept: (0..reducers).map(|_| AtomicU64::new(0)).collect(),
             region_probe: (0..n_regions).map(|_| AtomicU64::new(0)).collect(),
             region_build: (0..n_regions).map(|_| AtomicU64::new(0)).collect(),
+            region_spilled: (0..n_regions).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -94,6 +100,20 @@ impl ProgressBoard {
     pub fn build_tuples(&self, region: u32) -> u64 {
         self.region_build[region as usize].load(Ordering::Relaxed)
     }
+
+    #[inline]
+    pub fn add_spilled(&self, region: u32, tuples: u64) {
+        self.region_spilled[region as usize].fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub_spilled(&self, region: u32, tuples: u64) {
+        self.region_spilled[region as usize].fetch_sub(tuples, Ordering::Relaxed);
+    }
+
+    pub fn spilled_tuples(&self, region: u32) -> u64 {
+        self.region_spilled[region as usize].load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +145,10 @@ mod tests {
         assert_eq!(b.probe_tuples(2), 15);
         assert_eq!(b.build_tuples(0), 7);
         assert_eq!(b.probe_tuples(0), 0);
+
+        b.add_spilled(1, 20);
+        b.sub_spilled(1, 8);
+        assert_eq!(b.spilled_tuples(1), 12);
+        assert_eq!(b.spilled_tuples(0), 0);
     }
 }

@@ -227,10 +227,15 @@ fn try_migrate(sh: &CoordinatorShared<'_>, migrated: &mut [bool], starved_polls:
     };
     // Profitability, mirroring the simulation's thief-finishes-first test
     // with `wi` cancelled out: the backlog a move relieves must exceed the
-    // re-shipping cost of the region's accumulated build state. Waived
-    // under persistent starvation (see [`PERSIST_POLLS`]); conversely even
-    // a profitable move needs a little history ([`MIN_PERSIST_POLLS`]).
-    let ship_cost = sh.board.build_tuples(region) as f64 * sh.adaptive.move_cost_factor;
+    // re-shipping cost of the region's accumulated build state — plus the
+    // re-read cost of whatever the region has spilled to disk, which the
+    // adopting reducer will have to reload: without that charge, budget
+    // pressure would make the coordinator thrash exactly the regions that
+    // are already paying for their size. Waived under persistent
+    // starvation (see [`PERSIST_POLLS`]); conversely even a profitable
+    // move needs a little history ([`MIN_PERSIST_POLLS`]).
+    let ship_cost = (sh.board.build_tuples(region) + sh.board.spilled_tuples(region)) as f64
+        * sh.adaptive.move_cost_factor;
     let profitable = (backlog as f64) > ship_cost;
     let fire = starved_polls >= PERSIST_POLLS || (profitable && starved_polls >= MIN_PERSIST_POLLS);
     if !fire {

@@ -16,6 +16,14 @@
 //! protocol fire: a closed, fully routed exchange is the streamed
 //! equivalent of "the last morsel was claimed".
 //!
+//! Under a memory budget, an upstream reducer may spill batches *staged
+//! for* this exchange (its outbox — the last rung of the spill ladder, see
+//! the `spill` module) rather than hold them resident behind a full
+//! exchange; they are reloaded and pushed, in whatever order, once the
+//! exchange drains. The exchange itself never spills: its bounded buffer
+//! is already the backpressure mechanism, and batch order across it
+//! carries no semantics (downstream mappers re-route per tuple).
+//!
 //! ## Online statistics
 //!
 //! Every pushed batch is offered to an [`OnlineStats`] collector: a

@@ -54,6 +54,7 @@ mod morsel;
 mod queue;
 mod reducer;
 mod runtime;
+mod spill;
 
 pub use board::ProgressBoard;
 pub use exchange::{
@@ -66,6 +67,7 @@ pub use reducer::{merge_sorted_runs, RegionResult};
 pub use runtime::{
     EngineRuntime, Poll, QueryTicket, RuntimeConfig, RuntimeMetrics, RuntimeScope, TaskGroup,
 };
+pub use spill::{SpillConfig, SpillContext, SpillRun};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -170,6 +172,13 @@ pub struct EngineOutcome {
     /// Final routing-table epoch (== `regions_migrated`; separate so tests
     /// can cross-check the table against the coordinator's tally).
     pub routing_epoch: u64,
+    /// Bytes written to spill files by this run (out-of-core execution
+    /// under a memory budget; zero without budget pressure).
+    pub spill_bytes: u64,
+    /// Wall time spent writing spill runs.
+    pub spill_secs: f64,
+    /// Wall time spent reading spill runs back for replay.
+    pub reload_secs: f64,
     /// True when the run was cancelled. Per-region join tallies are zeroed
     /// (reducer state is discarded), but morsel/network counters and the
     /// migration fields above are preserved: they describe real work done —
@@ -216,6 +225,12 @@ pub struct EngineIo<'a> {
     /// high-water mark (exchange buffers included). `None`: private gauge.
     pub gauge: Option<&'a MemGauge>,
     pub cancel: Option<&'a AtomicBool>,
+    /// Spill trigger, in tuples: reducers shed state to disk while the
+    /// gauge sits above this. `None` disables out-of-core execution.
+    pub budget_tuples: Option<u64>,
+    /// Per-query spill file manager; required whenever `budget_tuples` is
+    /// set (and harmlessly ignored without it).
+    pub spill: Option<&'a SpillContext>,
 }
 
 /// Runs one pipelined join execution over two in-memory relations — the
@@ -253,6 +268,8 @@ pub fn run_pipelined(
             key_from: KeyFrom::Probe,
             gauge: None,
             cancel,
+            budget_tuples: None,
+            spill: None,
         },
         cfg,
     )
@@ -343,6 +360,9 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         straggler: cfg.straggler,
         sink: io.sink,
         key_from: io.key_from,
+        budget_tuples: io.budget_tuples,
+        spill: io.spill,
+        cancel,
     };
     let coordinator_shared = CoordinatorShared {
         queues: &queues,
@@ -355,6 +375,14 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         in_flight: &in_flight,
         adoptions: &adoptions,
     };
+
+    // Spill counters are cumulative on the (possibly plan-shared) context;
+    // report this run's contribution as a delta. Concurrent stages over one
+    // context produce overlapping deltas — the plan driver overrides its
+    // merged totals from the context's absolute counters.
+    let spill_start = io
+        .spill
+        .map(|ctx| (ctx.spill_bytes(), ctx.spill_secs(), ctx.reload_secs()));
 
     let mut owned: Vec<Vec<u32>> = vec![Vec::new(); reducers];
     for (region, &q) in table.snapshot().iter().enumerate() {
@@ -444,8 +472,16 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         migration_tuples: migration_tuples.into_inner(),
         migration_secs: tally.migration_secs,
         routing_epoch: table.epoch(),
+        spill_bytes: 0,
+        spill_secs: 0.0,
+        reload_secs: 0.0,
         cancelled,
     };
+    if let (Some(ctx), Some((b0, s0, r0))) = (io.spill, spill_start) {
+        outcome.spill_bytes = ctx.spill_bytes().saturating_sub(b0);
+        outcome.spill_secs = (ctx.spill_secs() - s0).max(0.0);
+        outcome.reload_secs = (ctx.reload_secs() - r0).max(0.0);
+    }
     if !cancelled {
         debug_assert_eq!(
             in_flight.load(Ordering::Acquire),
@@ -827,6 +863,8 @@ mod tests {
                     key_from: crate::local_join::KeyFrom::Probe,
                     gauge: Some(&gauge),
                     cancel: None,
+                    budget_tuples: None,
+                    spill: None,
                 },
                 cfg,
             )
@@ -974,6 +1012,8 @@ mod tests {
                     key_from: crate::local_join::KeyFrom::Probe,
                     gauge: None,
                     cancel: Some(&cancel),
+                    budget_tuples: None,
+                    spill: None,
                 },
                 &cfg,
             )

@@ -26,6 +26,8 @@ use std::time::Instant;
 
 use ewh_core::{Rel, Tuple};
 
+use super::spill::SpillRun;
+
 /// One message on a reducer's queue.
 #[derive(Debug)]
 pub enum Delivery {
@@ -76,6 +78,12 @@ pub struct RegionBatch {
 pub struct MigratedRegion {
     pub build: Vec<Tuple>,
     pub pending: Vec<Tuple>,
+    /// Descriptors of the region's spilled build runs: the files travel
+    /// with the region (the per-query spill directory is shared by every
+    /// reducer of the query, so paths stay valid across owners).
+    pub spilled_build: Vec<SpillRun>,
+    /// Descriptors of the region's spilled pre-seal probe runs.
+    pub spilled_pending: Vec<SpillRun>,
     pub sealed: bool,
     pub input: u64,
     pub output: u64,
@@ -83,6 +91,10 @@ pub struct MigratedRegion {
 }
 
 impl MigratedRegion {
+    /// Resident tuples shipped with this message. Spilled runs are
+    /// descriptors only — they occupy disk, not queue memory, so they are
+    /// deliberately excluded from both the queue weight and the engine's
+    /// `in_flight` accounting.
     pub fn tuples(&self) -> u64 {
         (self.build.len() + self.pending.len()) as u64
     }
@@ -344,8 +356,7 @@ mod tests {
                 pending: vec![Tuple::new(1, 1); 2],
                 sealed: true,
                 input: 9,
-                output: 0,
-                checksum: 0,
+                ..Default::default()
             }),
         });
         assert_eq!(q.used_tuples(), 9);

@@ -49,7 +49,7 @@
 
 use std::collections::VecDeque;
 use std::mem;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use ewh_core::{JoinCondition, Rel, RoutingTable, Tuple};
@@ -60,6 +60,7 @@ use super::board::ProgressBoard;
 use super::exchange::StageSink;
 use super::morsel::MemGauge;
 use super::queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
+use super::spill::{SpillContext, SpillRun};
 use super::Straggler;
 
 /// Deliveries processed per poll before the task yields its worker, so a
@@ -76,6 +77,14 @@ struct RegionState {
     build: Vec<Tuple>,
     /// Probe tuples waiting for the seal or for a full chunk.
     pending: Vec<Tuple>,
+    /// Build-side runs spilled to disk under budget pressure; each is
+    /// reloaded transiently and swept against every probe chunk (a
+    /// sort-merge join distributes over any run partition of its build
+    /// side), then deleted when the region completes.
+    spilled_build: Vec<SpillRun>,
+    /// Probe tuples spilled pre-sweep; replayed as extra probe chunks at
+    /// the next flush (or at finish), then deleted.
+    spilled_pending: Vec<SpillRun>,
     sealed: bool,
     input: u64,
     output: u64,
@@ -149,6 +158,16 @@ pub struct ReducerShared<'a> {
     pub sink: Option<StageSink<'a>>,
     /// Which side's key the emitted intermediate carries (see [`KeyFrom`]).
     pub key_from: KeyFrom,
+    /// Spill trigger, in tuples: while the query's gauge sits above this,
+    /// reducers shed state through `spill` (`None` disables the trigger).
+    pub budget_tuples: Option<u64>,
+    /// Per-query spill context; `None` disables out-of-core execution.
+    pub spill: Option<&'a SpillContext>,
+    /// Engine-wide cancel flag. A failed spill write sets it, which makes
+    /// the mappers exit, breaks the seal chain, and tears the whole query
+    /// down cooperatively — a bare panic inside a pool task would instead
+    /// leave the query's other tasks parked forever on a shared pool.
+    pub cancel: &'a AtomicBool,
 }
 
 /// One reducer task: drains queue `me` until finished or aborted.
@@ -163,6 +182,10 @@ pub struct ReducerTask<'a> {
     /// Output batches staged for the downstream exchange (see module
     /// docs); drained before any further delivery is processed.
     outbox: VecDeque<Vec<Tuple>>,
+    /// Outbox batches spilled under budget pressure (the last rung of the
+    /// spill ladder); reloaded one at a time once the resident outbox
+    /// drains into the exchange.
+    spilled_outbox: VecDeque<SpillRun>,
     /// Region tallies computed by the terminal delivery; `Some` while the
     /// outbox still holds the final batches.
     finished: Option<Vec<RegionResult>>,
@@ -185,6 +208,7 @@ impl<'a> ReducerTask<'a> {
             states,
             parked: (0..n_regions).map(|_| Vec::new()).collect(),
             outbox: VecDeque::new(),
+            spilled_outbox: VecDeque::new(),
             finished: None,
             busy_secs: 0.0,
             idle_secs: 0.0,
@@ -236,6 +260,12 @@ impl<'a> ReducerTask<'a> {
                     return ReducerStep::Done(self.outcome(Vec::new(), true));
                 }
             }
+            // Budget enforcement rides on the delivery cadence: after each
+            // absorbed message, shed state while the query gauge sits over
+            // its slice (bounded file I/O inside a cooperative poll, like
+            // the straggler injection above — never a wait on another
+            // task).
+            self.maybe_spill();
         };
         if processed > 0 || !matches!(step, ReducerStep::Parked) {
             self.busy_secs += start.elapsed().as_secs_f64();
@@ -247,9 +277,10 @@ impl<'a> ReducerTask<'a> {
     /// coordinator treats an idle reducer as a migration target) and start
     /// the idle clock.
     fn park(&mut self, queue: &BoundedQueue, processed: usize) -> ReducerStep {
-        self.sh
-            .board
-            .set_idle(self.me, queue.used_tuples() == 0 && self.outbox.is_empty());
+        self.sh.board.set_idle(
+            self.me,
+            queue.used_tuples() == 0 && self.outbox.is_empty() && self.spilled_outbox.is_empty(),
+        );
         if self.idle_since.is_none() {
             self.idle_since = Some(Instant::now());
         }
@@ -280,22 +311,51 @@ impl<'a> ReducerTask<'a> {
     }
 
     /// Pushes staged output batches to the downstream exchange until it
-    /// fills; `true` when the outbox is empty.
+    /// fills, reloading spilled outbox runs as the resident outbox drains;
+    /// `true` when both are empty.
     fn flush_outbox(&mut self) -> bool {
         let Some(sink) = self.sh.sink else {
             debug_assert!(self.outbox.is_empty(), "outbox without a sink");
+            debug_assert!(
+                self.spilled_outbox.is_empty(),
+                "spilled outbox without a sink"
+            );
             return true;
         };
-        while let Some(batch) = self.outbox.pop_front() {
-            match sink.exchange.try_push(batch) {
-                Ok(()) => {}
-                Err(batch) => {
-                    self.outbox.push_front(batch);
-                    return false;
+        loop {
+            while let Some(batch) = self.outbox.pop_front() {
+                match sink.exchange.try_push(batch) {
+                    Ok(()) => {}
+                    Err(batch) => {
+                        self.outbox.push_front(batch);
+                        return false;
+                    }
+                }
+            }
+            // Resident outbox drained: pull one spilled run back in (the
+            // reload transient is one run; the gauge charge is released by
+            // the downstream mapper, exactly as for a never-spilled
+            // batch).
+            let Some(run) = self.spilled_outbox.pop_front() else {
+                return true;
+            };
+            let ctx = self
+                .sh
+                .spill
+                .expect("spilled outbox without a spill context");
+            match ctx.read_run(&run) {
+                Ok(batch) => {
+                    self.sh.gauge.add(batch.len() as u64);
+                    ctx.remove_run(&run);
+                    self.outbox.push_back(batch);
+                }
+                Err(e) => {
+                    ctx.record_failure(format!("outbox reload failed: {e}"));
+                    self.sh.cancel.store(true, Ordering::Release);
+                    ctx.remove_run(&run);
                 }
             }
         }
-        true
     }
 
     /// Data fragment: absorb if owned, otherwise apply the migration fence
@@ -358,7 +418,7 @@ impl<'a> ReducerTask<'a> {
                 st.pending.append(&mut tuples);
                 sh.board.add_probe(region, n);
                 if st.sealed && st.pending.len() >= sh.probe_chunk {
-                    Self::flush(st, sh, self.me, &mut self.outbox);
+                    Self::flush(st, sh, self.me, region, &mut self.outbox);
                 }
             }
         }
@@ -368,17 +428,19 @@ impl<'a> ReducerTask<'a> {
     fn on_seal_r1(&mut self) {
         let sh = self.sh;
         let me = self.me;
-        for st in self.states.iter_mut().flatten() {
+        for (region, slot) in self.states.iter_mut().enumerate() {
+            let Some(st) = slot.as_mut() else { continue };
             // Adopted regions arrive pre-sealed, and a region sealed early
             // by a racing migration is equally fine — skip, don't re-merge.
             if st.sealed {
                 continue;
             }
+            Self::shed_runs_before_merge(st, sh, region as u32);
             st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
             st.sealed = true;
             sh.board.note_region_sealed(me);
             if st.pending.len() >= sh.probe_chunk {
-                Self::flush(st, sh, me, &mut self.outbox);
+                Self::flush(st, sh, me, region as u32, &mut self.outbox);
             }
         }
     }
@@ -390,9 +452,10 @@ impl<'a> ReducerTask<'a> {
     fn on_seal_all(&mut self) {
         let sh = self.sh;
         let me = self.me;
-        for st in self.states.iter_mut().flatten() {
-            if st.sealed && !st.pending.is_empty() {
-                Self::flush(st, sh, me, &mut self.outbox);
+        for (region, slot) in self.states.iter_mut().enumerate() {
+            let Some(st) = slot.as_mut() else { continue };
+            if st.sealed && !(st.pending.is_empty() && st.spilled_pending.is_empty()) {
+                Self::flush(st, sh, me, region as u32, &mut self.outbox);
             }
         }
     }
@@ -406,6 +469,7 @@ impl<'a> ReducerTask<'a> {
             .take()
             .expect("Migrate for a region this reducer does not own");
         if !st.sealed {
+            Self::shed_runs_before_merge(&mut st, sh, region);
             st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
             st.sealed = true;
             sh.board.note_region_sealed(self.me);
@@ -413,6 +477,13 @@ impl<'a> ReducerTask<'a> {
         let state = MigratedRegion {
             build: mem::take(&mut st.build),
             pending: mem::take(&mut st.pending),
+            // Spilled runs ship as descriptors: the per-query spill dir is
+            // shared, so the new owner reloads the same files. Their
+            // tuples stay out of `in_flight` (they are not resident), and
+            // the coordinator already charged their re-read cost into the
+            // move decision.
+            spilled_build: mem::take(&mut st.spilled_build),
+            spilled_pending: mem::take(&mut st.spilled_pending),
             sealed: true,
             input: st.input,
             output: st.output,
@@ -447,6 +518,8 @@ impl<'a> ReducerTask<'a> {
             runs: Vec::new(),
             build: state.build,
             pending: state.pending,
+            spilled_build: state.spilled_build,
+            spilled_pending: state.spilled_pending,
             sealed: state.sealed,
             input: state.input,
             output: state.output,
@@ -461,7 +534,7 @@ impl<'a> ReducerTask<'a> {
             .as_mut()
             .expect("just installed");
         if st.sealed && st.pending.len() >= sh.probe_chunk {
-            Self::flush(st, sh, me, &mut self.outbox);
+            Self::flush(st, sh, me, region, &mut self.outbox);
         }
         // Publish completion last: the coordinator may start the next
         // handshake (or declare quiescence) the moment it sees this.
@@ -482,24 +555,298 @@ impl<'a> ReducerTask<'a> {
         build
     }
 
-    /// Sweeps and frees the region's buffered probe chunk. With a sink, the
-    /// swept pairs are materialized in emission-sized batches, offered to
-    /// the online statistics collector, charged to the shared gauge, and
-    /// staged on the outbox for the downstream exchange (see the module
-    /// docs — the outbox is what keeps a full exchange from suspending a
-    /// pool worker). The gauge charge is released by the downstream mapper
-    /// once it has routed the batch.
+    /// Sheds state to disk while the query's gauge sits above its budget
+    /// slice. Each iteration writes one victim (largest-first down the
+    /// spill ladder); the loop stops when the gauge fits, nothing
+    /// spillable remains on *this* reducer (other reducers of the same
+    /// query shed their own share on their own polls), or a write failed —
+    /// the failure is recorded on the spill context and the cooperative
+    /// cancel flag tears the query down.
+    fn maybe_spill(&mut self) {
+        let sh = self.sh;
+        let (Some(ctx), Some(budget)) = (sh.spill, sh.budget_tuples) else {
+            return;
+        };
+        while sh.gauge.current_tuples() > budget {
+            if ctx.failed() {
+                return;
+            }
+            if !self.spill_once(ctx) {
+                return;
+            }
+        }
+    }
+
+    /// Sheds a region's sorted runs to disk until the merge transient
+    /// (`merge_gauged` briefly holds the merged copy alongside its
+    /// sources) fits under the query's budget. Without this, sealing a
+    /// hot region while the gauge already sits at the spill trigger would
+    /// spike resident memory to roughly twice that region's state — the
+    /// one place the budget could silently leak. Shed runs skip the merge
+    /// and stay on disk as capped sub-runs the sweep replays like any
+    /// other spilled build run.
+    fn shed_runs_before_merge(st: &mut RegionState, sh: &ReducerShared<'_>, region: u32) {
+        let (Some(ctx), Some(budget)) = (sh.spill, sh.budget_tuples) else {
+            return;
+        };
+        loop {
+            let transient: u64 = st.runs.iter().map(|r| r.len() as u64).sum();
+            if transient == 0 || sh.gauge.current_tuples() + transient <= budget || ctx.failed() {
+                return;
+            }
+            let i = st
+                .runs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.len())
+                .map(|(i, _)| i)
+                .expect("transient > 0 implies a non-empty run");
+            let victim = st.runs.swap_remove(i);
+            let (written, tail) = Self::write_capped(ctx, sh, victim);
+            for run in &written {
+                sh.board.add_spilled(region, run.tuples());
+            }
+            st.spilled_build.extend(written);
+            if !tail.is_empty() {
+                st.runs.push(tail);
+                return;
+            }
+        }
+    }
+
+    /// Writes one (sorted) victim as a sequence of runs of at most
+    /// `probe_chunk` tuples each — capping run granularity keeps the
+    /// reload transient during replay one chunk wide instead of the whole
+    /// victim wide, which is what lets a budgeted run's realized peak
+    /// stay near its trigger. The gauge is debited per written slice.
+    /// Returns the descriptors written and the unwritten tail: empty on
+    /// success, the still-resident remainder when a write failed (the
+    /// failure is recorded and the cooperative cancel flag raised here).
+    fn write_capped(
+        ctx: &SpillContext,
+        sh: &ReducerShared<'_>,
+        mut victim: Vec<Tuple>,
+    ) -> (Vec<SpillRun>, Vec<Tuple>) {
+        let cap = sh.probe_chunk.max(1);
+        let mut written = Vec::new();
+        let mut off = 0;
+        while off < victim.len() {
+            let end = (off + cap).min(victim.len());
+            match ctx.write_run(&victim[off..end]) {
+                Ok(run) => {
+                    sh.gauge.sub((end - off) as u64);
+                    written.push(run);
+                    off = end;
+                }
+                Err(e) => {
+                    ctx.record_failure(format!("spill write failed: {e}"));
+                    sh.cancel.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        let tail = victim.split_off(off);
+        (written, tail)
+    }
+
+    /// Writes one victim to disk and drops it from resident state. The
+    /// ladder: build-side state first (a pre-seal run or a sealed build —
+    /// reloaded transiently per probe chunk later, so it stays out of
+    /// memory longest), then the largest pending probe buffer (replayed as
+    /// an extra probe chunk at the next flush), then a staged outbox batch
+    /// (reloaded once the exchange drains). Returns `false` when nothing
+    /// spillable remains or the write failed; the gauge is only debited
+    /// for what was actually written, so an error leaves the rest of the
+    /// victim resident and the discard accounting balanced.
+    fn spill_once(&mut self, ctx: &SpillContext) -> bool {
+        let sh = self.sh;
+
+        // Rung 1: largest build-side victim — a pre-seal sorted run
+        // (`Some(i)`) or the sealed, merged build (`None`).
+        let mut best: Option<(usize, Option<usize>, usize)> = None;
+        for (region, slot) in self.states.iter().enumerate() {
+            let Some(st) = slot.as_ref() else { continue };
+            for (i, run) in st.runs.iter().enumerate() {
+                if run.len() > best.map_or(0, |(_, _, len)| len) {
+                    best = Some((region, Some(i), run.len()));
+                }
+            }
+            if st.build.len() > best.map_or(0, |(_, _, len)| len) {
+                best = Some((region, None, st.build.len()));
+            }
+        }
+        if let Some((region, run_idx, _)) = best {
+            let st = self.states[region]
+                .as_mut()
+                .expect("chosen from live states");
+            let victim = match run_idx {
+                Some(i) => st.runs.swap_remove(i),
+                None => mem::take(&mut st.build),
+            };
+            // Runs and sealed builds are already key-sorted — the run-file
+            // contract the flush replay relies on, and one slicing into
+            // capped sub-runs keeps each slice sorted too (the sweep
+            // distributes over any partition of the build into runs).
+            let (written, tail) = Self::write_capped(ctx, sh, victim);
+            for run in &written {
+                sh.board.add_spilled(region as u32, run.tuples());
+            }
+            st.spilled_build.extend(written);
+            if tail.is_empty() {
+                return true;
+            }
+            // A sorted tail is itself a valid run wherever the victim
+            // came from; the query is being cancelled regardless.
+            match run_idx {
+                Some(_) => st.runs.push(tail),
+                None => st.build = tail,
+            }
+            return false;
+        }
+
+        // Rung 2: largest pending probe buffer.
+        let mut best: Option<(usize, usize)> = None;
+        for (region, slot) in self.states.iter().enumerate() {
+            let Some(st) = slot.as_ref() else { continue };
+            if st.pending.len() > best.map_or(0, |(_, len)| len) {
+                best = Some((region, st.pending.len()));
+            }
+        }
+        if let Some((region, _)) = best {
+            let st = self.states[region]
+                .as_mut()
+                .expect("chosen from live states");
+            let mut victim = mem::take(&mut st.pending);
+            // Probe runs must land sorted: the replay sweeps each run as a
+            // self-contained, pre-sorted probe chunk.
+            victim.sort_unstable_by_key(|t| t.key);
+            let (written, tail) = Self::write_capped(ctx, sh, victim);
+            for run in &written {
+                sh.board.add_spilled(region as u32, run.tuples());
+            }
+            st.spilled_pending.extend(written);
+            if tail.is_empty() {
+                return true;
+            }
+            st.pending = tail;
+            return false;
+        }
+
+        // Rung 3: largest staged outbox batch. Batch order across the
+        // exchange is immaterial (the downstream mapper re-routes per
+        // tuple), so pulling one out of the middle is safe.
+        let Some((i, _)) = self
+            .outbox
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.len()))
+            .filter(|&(_, len)| len > 0)
+            .max_by_key(|&(_, len)| len)
+        else {
+            return false;
+        };
+        let mut victim = self.outbox.remove(i).expect("indexed above");
+        victim.sort_unstable_by_key(|t| t.key);
+        let (written, tail) = Self::write_capped(ctx, sh, victim);
+        self.spilled_outbox.extend(written);
+        if tail.is_empty() {
+            return true;
+        }
+        self.outbox.push_back(tail);
+        false
+    }
+
+    /// Sweeps and frees the region's buffered probe state: the resident
+    /// pending chunk first, then every probe run spilled under budget
+    /// pressure, replayed one at a time so the reload transient stays one
+    /// chunk wide. Each chunk is swept against the resident build *and*
+    /// every spilled build run — a sort-merge join distributes over any
+    /// partition of its build side into sorted runs and of its probe side
+    /// into chunks, and the order-invariant XOR checksum makes the
+    /// recombination bit-identical to the in-memory sweep.
     fn flush(
         st: &mut RegionState,
         sh: &ReducerShared<'_>,
         me: usize,
+        region: u32,
         outbox: &mut VecDeque<Vec<Tuple>>,
     ) {
         debug_assert!(st.sealed);
-        let mut probe = mem::take(&mut st.pending);
-        probe.sort_unstable_by_key(|t| t.key);
-        let (count, checksum) = match sh.sink {
-            None => sweep_sorted(&st.build, &probe, sh.cond, sh.work),
+        let mut resident = mem::take(&mut st.pending);
+        resident.sort_unstable_by_key(|t| t.key);
+        if !resident.is_empty() {
+            Self::sweep_chunk(st, sh, me, resident, outbox);
+        }
+        for run in mem::take(&mut st.spilled_pending) {
+            let ctx = sh.spill.expect("spilled pending without a spill context");
+            sh.board.sub_spilled(region, run.tuples());
+            match ctx.read_run(&run) {
+                Ok(probe) => {
+                    sh.gauge.add(probe.len() as u64);
+                    ctx.remove_run(&run);
+                    Self::sweep_chunk(st, sh, me, probe, outbox);
+                }
+                Err(e) => {
+                    ctx.record_failure(format!("probe reload failed: {e}"));
+                    sh.cancel.store(true, Ordering::Release);
+                    ctx.remove_run(&run);
+                }
+            }
+        }
+    }
+
+    /// Sweeps one sorted probe chunk against the region's full build side
+    /// (resident build plus each spilled build run, reloaded transiently),
+    /// then frees the chunk. Chunk-outer / build-run-inner keeps peak
+    /// memory at one chunk + one reloaded run, at the price of re-reading
+    /// each spilled run once per chunk — the re-read cost the coordinator
+    /// charges into migration decisions.
+    fn sweep_chunk(
+        st: &mut RegionState,
+        sh: &ReducerShared<'_>,
+        me: usize,
+        probe: Vec<Tuple>,
+        outbox: &mut VecDeque<Vec<Tuple>>,
+    ) {
+        let (mut count, mut checksum) = Self::sweep_one(&st.build, &probe, sh, outbox);
+        if let Some(ctx) = sh.spill {
+            for run in &st.spilled_build {
+                match ctx.read_run(run) {
+                    Ok(build) => {
+                        sh.gauge.add(build.len() as u64);
+                        let (c, x) = Self::sweep_one(&build, &probe, sh, outbox);
+                        sh.gauge.sub(build.len() as u64);
+                        count += c;
+                        checksum ^= x;
+                    }
+                    Err(e) => {
+                        ctx.record_failure(format!("build reload failed: {e}"));
+                        sh.cancel.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
+        st.output += count;
+        st.checksum ^= checksum;
+        sh.board.note_chunk_swept(me);
+        sh.gauge.sub(probe.len() as u64);
+    }
+
+    /// One build × probe sweep. With a sink, the swept pairs are
+    /// materialized in emission-sized batches, offered to the online
+    /// statistics collector, charged to the shared gauge, and staged on
+    /// the outbox for the downstream exchange (see the module docs — the
+    /// outbox is what keeps a full exchange from suspending a pool
+    /// worker). The gauge charge is released by the downstream mapper
+    /// once it has routed the batch.
+    fn sweep_one(
+        build: &[Tuple],
+        probe: &[Tuple],
+        sh: &ReducerShared<'_>,
+        outbox: &mut VecDeque<Vec<Tuple>>,
+    ) -> (u64, u64) {
+        match sh.sink {
+            None => sweep_sorted(build, probe, sh.cond, sh.work),
             Some(sink) => {
                 let cap = sink.batch_tuples.max(1);
                 let mut buf: Vec<Tuple> = Vec::with_capacity(cap);
@@ -509,7 +856,7 @@ impl<'a> ReducerTask<'a> {
                     outbox.push_back(batch);
                 };
                 let (count, checksum) =
-                    sweep_sorted_each(&st.build, &probe, sh.cond, sh.key_from, |t| {
+                    sweep_sorted_each(build, probe, sh.cond, sh.key_from, |t| {
                         buf.push(t);
                         if buf.len() >= cap {
                             ship(mem::replace(&mut buf, Vec::with_capacity(cap)));
@@ -520,11 +867,7 @@ impl<'a> ReducerTask<'a> {
                 }
                 (count, checksum)
             }
-        };
-        st.output += count;
-        st.checksum ^= checksum;
-        sh.board.note_chunk_swept(me);
-        sh.gauge.sub(probe.len() as u64);
+        }
     }
 
     fn finish(&mut self) -> Vec<RegionResult> {
@@ -540,14 +883,24 @@ impl<'a> ReducerTask<'a> {
             // A region that saw no R1 seal can only mean an empty plan where
             // the orchestrator pre-sealed; merge whatever is there.
             if !st.sealed {
+                Self::shed_runs_before_merge(st, sh, region as u32);
                 st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
                 st.sealed = true;
             }
-            if !st.pending.is_empty() {
-                Self::flush(st, sh, me, &mut self.outbox);
+            if !st.pending.is_empty() || !st.spilled_pending.is_empty() {
+                Self::flush(st, sh, me, region as u32, &mut self.outbox);
             }
             sh.gauge.sub(st.build.len() as u64);
             st.build = Vec::new();
+            if let Some(ctx) = sh.spill {
+                // Spilled build runs persist across flushes (each probe
+                // chunk re-reads them); the region completing is what
+                // finally retires the files.
+                for run in st.spilled_build.drain(..) {
+                    sh.board.sub_spilled(region as u32, run.tuples());
+                    ctx.remove_run(&run);
+                }
+            }
             results.push(RegionResult {
                 region: region as u32,
                 input: st.input,
@@ -559,10 +912,19 @@ impl<'a> ReducerTask<'a> {
     }
 
     fn discard(&mut self) {
-        let gauge = self.sh.gauge;
+        let sh = self.sh;
+        let gauge = sh.gauge;
         for slot in self.states.iter_mut() {
             if let Some(st) = slot.take() {
                 gauge.sub(st.resident_tuples());
+                // Spilled tuples are not in the gauge; just retire the
+                // files (best-effort — the ticket's spill dir is removed
+                // wholesale on drop regardless).
+                if let Some(ctx) = sh.spill {
+                    for run in st.spilled_build.iter().chain(&st.spilled_pending) {
+                        ctx.remove_run(run);
+                    }
+                }
             }
         }
         for parked in self.parked.iter_mut() {
@@ -572,6 +934,11 @@ impl<'a> ReducerTask<'a> {
         }
         for batch in self.outbox.drain(..) {
             gauge.sub(batch.len() as u64);
+        }
+        if let Some(ctx) = sh.spill {
+            for run in self.spilled_outbox.drain(..) {
+                ctx.remove_run(&run);
+            }
         }
     }
 }

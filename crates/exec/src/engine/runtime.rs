@@ -47,6 +47,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
@@ -429,6 +430,7 @@ impl EngineRuntime {
             carved,
             gauge: MemGauge::default(),
             wait,
+            spill_dir: OnceLock::new(),
         }
     }
 
@@ -492,6 +494,10 @@ pub struct QueryTicket<'rt> {
     carved: u64,
     gauge: MemGauge,
     wait: Duration,
+    /// Lazily named per-query spill directory; removed wholesale when the
+    /// ticket drops (success, cancel and panic paths alike), so spilled
+    /// runs can never outlive their query.
+    spill_dir: OnceLock<PathBuf>,
 }
 
 impl QueryTicket<'_> {
@@ -518,10 +524,34 @@ impl QueryTicket<'_> {
             .map(|b| self.gauge.peak_tuples() > b)
             .unwrap_or(false)
     }
+
+    /// This query's private spill directory, a uniquely named child of
+    /// `base` (the system temp dir when `None`). The name is fixed on
+    /// first call; nothing is created on disk here — the engine's spill
+    /// writer makes the directory on the first actual spill — but whatever
+    /// ends up inside is removed when the ticket drops.
+    pub fn spill_dir(&self, base: Option<&Path>) -> &Path {
+        self.spill_dir.get_or_init(|| {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let base = base
+                .map(Path::to_path_buf)
+                .unwrap_or_else(std::env::temp_dir);
+            base.join(format!(
+                "ewh-spill-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ))
+        })
+    }
 }
 
 impl Drop for QueryTicket<'_> {
     fn drop(&mut self) {
+        // Tmpfile hygiene: the spill directory (if any run was ever
+        // written) dies with the ticket, on every exit path.
+        if let Some(dir) = self.spill_dir.get() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
         let sh = &self.rt.shared;
         let mut adm = sh.admission.lock().expect("admission poisoned");
         adm.active -= 1;
@@ -922,6 +952,27 @@ mod tests {
         assert!(c.over_budget());
         drop(c);
         assert_eq!(rt.metrics().budget_in_use_tuples, 0);
+    }
+
+    #[test]
+    fn ticket_spill_dirs_are_unique_and_removed_on_drop() {
+        let rt = EngineRuntime::new(1);
+        let a = rt.admit(None);
+        let b = rt.admit(None);
+        let da = a.spill_dir(None).to_path_buf();
+        let db = b.spill_dir(None).to_path_buf();
+        assert_ne!(da, db, "concurrent tickets must not share a spill dir");
+        assert_eq!(
+            a.spill_dir(None),
+            da.as_path(),
+            "name is fixed on first call"
+        );
+        assert!(!da.exists(), "nothing touches disk until a run is written");
+        std::fs::create_dir_all(&da).expect("create spill dir");
+        std::fs::write(da.join("run-0.spill"), b"x").expect("write run");
+        drop(a);
+        assert!(!da.exists(), "ticket drop removes the spill dir");
+        drop(b);
     }
 
     #[test]

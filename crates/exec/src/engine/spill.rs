@@ -1,0 +1,264 @@
+//! Out-of-core spill support: per-query scoped temp files holding
+//! length-prefixed sorted runs of tuples.
+//!
+//! When a query's [`MemGauge`](super::MemGauge) crosses its budget slice,
+//! reducers shed state through a [`SpillContext`]: each victim (a sealed
+//! build run, a pre-seal probe `pending`, an outbox batch) is written as
+//! one [`SpillRun`] — a `u64` little-endian tuple count followed by that
+//! many `(i64 key, u64 payload)` pairs — into the query's private spill
+//! directory, and the gauge is released by exactly the tuples written.
+//! Runs are reloaded transiently during the sweep (build runs) or replayed
+//! as extra probe chunks (pending runs), so the join's output stays
+//! bit-identical to the in-memory path: a sort-merge join distributes over
+//! any partition of its build side into sorted runs and of its probe side
+//! into chunks, and the engine's output checksum is order-invariant.
+//!
+//! The context is shared by every reducer task of one query (all stages of
+//! a chained plan included — the plan-global gauge picks the victim
+//! stage), so `spill_bytes` / `spill_secs` / `reload_secs` aggregate
+//! per query. I/O failures are not panics inside pool tasks: a failed
+//! write is recorded here and the query is cancelled cooperatively; the
+//! driver re-raises the failure at the query join (see
+//! `execute_join_pipelined`), exactly like `Exchange::abandon` surfaces a
+//! downstream unwind.
+//!
+//! Directory lifetime: the per-query directory is created lazily on the
+//! first spilled run and removed by
+//! [`QueryTicket`](super::QueryTicket)'s `Drop` — on success, cancel and
+//! panic paths alike — so no run can leak past its query.
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ewh_core::{Tuple, TUPLE_BYTES};
+
+/// Out-of-core knobs of one operator / plan run (part of
+/// [`OperatorConfig`](crate::OperatorConfig)).
+#[derive(Clone, Debug, Default)]
+pub struct SpillConfig {
+    /// Spill trigger, in tuples: reducers shed state while the query's
+    /// gauge sits above this. `None` defers to the admission ticket's
+    /// carved slice (so a budgeted runtime enforces its carve by default);
+    /// if neither is set the query never spills.
+    pub budget_tuples: Option<u64>,
+    /// Where per-query spill directories are created. `None` uses the
+    /// system temp dir.
+    pub temp_dir: Option<PathBuf>,
+    /// Fault injection (tests only): every spill write fails once the
+    /// query has spilled at least this many bytes. `Some(0)` fails the
+    /// first write.
+    pub fail_after_bytes: Option<u64>,
+}
+
+/// Descriptor of one spilled sorted run on disk: the file path and the
+/// tuple count its length prefix promises.
+#[derive(Debug)]
+pub struct SpillRun {
+    path: PathBuf,
+    tuples: u64,
+}
+
+impl SpillRun {
+    /// Tuples in this run (what reloading it will charge to the gauge).
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+}
+
+/// Per-query spill state shared by reference across all of the query's
+/// reducer tasks (and, for chained plans, across stages).
+#[derive(Debug)]
+pub struct SpillContext {
+    /// The query's private spill directory (created lazily on first use).
+    dir: PathBuf,
+    /// Distinguishes run files within the directory.
+    seq: AtomicU64,
+    bytes: AtomicU64,
+    spill_nanos: AtomicU64,
+    reload_nanos: AtomicU64,
+    fail_after_bytes: Option<u64>,
+    failure: Mutex<Option<String>>,
+}
+
+impl SpillContext {
+    /// A context writing runs under `dir` (not created until the first
+    /// run), with optional write-fault injection.
+    pub fn new(dir: PathBuf, fail_after_bytes: Option<u64>) -> Self {
+        SpillContext {
+            dir,
+            seq: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            spill_nanos: AtomicU64::new(0),
+            reload_nanos: AtomicU64::new(0),
+            fail_after_bytes,
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Writes `tuples` as one length-prefixed run and returns its
+    /// descriptor. The caller is responsible for releasing the gauge only
+    /// after a successful write (on error the tuples must stay resident so
+    /// the abort path's accounting balances).
+    pub fn write_run(&self, tuples: &[Tuple]) -> io::Result<SpillRun> {
+        let start = Instant::now();
+        if let Some(limit) = self.fail_after_bytes {
+            if self.bytes.load(Ordering::Relaxed) >= limit {
+                return Err(io::Error::other("injected spill-write fault"));
+            }
+        }
+        fs::create_dir_all(&self.dir)?;
+        let id = self.seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("run-{id}.spill"));
+        let mut w = BufWriter::new(File::create(&path)?);
+        w.write_all(&(tuples.len() as u64).to_le_bytes())?;
+        for t in tuples {
+            w.write_all(&t.key.to_le_bytes())?;
+            w.write_all(&t.payload.to_le_bytes())?;
+        }
+        w.flush()?;
+        let written = 8 + tuples.len() as u64 * TUPLE_BYTES;
+        self.bytes.fetch_add(written, Ordering::Relaxed);
+        self.spill_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(SpillRun {
+            path,
+            tuples: tuples.len() as u64,
+        })
+    }
+
+    /// Reads a run back in full (the file stays on disk; see
+    /// [`SpillContext::remove_run`]).
+    pub fn read_run(&self, run: &SpillRun) -> io::Result<Vec<Tuple>> {
+        let start = Instant::now();
+        let mut r = BufReader::new(File::open(&run.path)?);
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)?;
+        let n = u64::from_le_bytes(buf8);
+        if n != run.tuples {
+            return Err(io::Error::other(format!(
+                "spill run length prefix {n} != descriptor {}",
+                run.tuples
+            )));
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            r.read_exact(&mut buf8)?;
+            let key = i64::from_le_bytes(buf8);
+            r.read_exact(&mut buf8)?;
+            let payload = u64::from_le_bytes(buf8);
+            out.push(Tuple::new(key, payload));
+        }
+        self.reload_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Deletes a consumed run's file (best-effort: the per-query directory
+    /// is removed wholesale by the ticket's `Drop` regardless).
+    pub fn remove_run(&self, run: &SpillRun) {
+        let _ = fs::remove_file(&run.path);
+    }
+
+    /// Records a spill I/O failure; the first message wins.
+    pub fn record_failure(&self, msg: String) {
+        let mut slot = self.failure.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(msg);
+    }
+
+    /// Takes the recorded failure, if any — the driver calls this after
+    /// the engine returns and re-raises it as a panic at the query join.
+    pub fn take_failure(&self) -> Option<String> {
+        self.failure
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    /// Has a spill write failed? Reducers stop spilling once set (the
+    /// query is being cancelled; shedding more state would be wasted I/O).
+    pub fn failed(&self) -> bool {
+        self.failure
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Total bytes written by spills so far.
+    pub fn spill_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall time spent writing runs.
+    pub fn spill_secs(&self) -> f64 {
+        self.spill_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Cumulative wall time spent reloading runs.
+    pub fn reload_secs(&self) -> f64 {
+        self.reload_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_ctx(tag: &str, fail_after: Option<u64>) -> SpillContext {
+        let dir = std::env::temp_dir().join(format!("ewh-spill-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SpillContext::new(dir, fail_after)
+    }
+
+    #[test]
+    fn runs_round_trip_and_account_bytes() {
+        let ctx = temp_ctx("roundtrip", None);
+        let tuples: Vec<Tuple> = (0..100).map(|i| Tuple::new(i - 50, i as u64)).collect();
+        let run = ctx.write_run(&tuples).expect("write");
+        assert_eq!(run.tuples(), 100);
+        assert_eq!(ctx.spill_bytes(), 8 + 100 * TUPLE_BYTES);
+        assert!(ctx.spill_secs() > 0.0);
+        let back = ctx.read_run(&run).expect("read");
+        assert_eq!(back, tuples);
+        assert!(ctx.reload_secs() > 0.0);
+        ctx.remove_run(&run);
+        assert!(ctx.read_run(&run).is_err(), "file gone after remove");
+        let _ = fs::remove_dir_all(&ctx.dir);
+    }
+
+    #[test]
+    fn empty_runs_are_valid() {
+        let ctx = temp_ctx("empty", None);
+        let run = ctx.write_run(&[]).expect("write empty");
+        assert_eq!(run.tuples(), 0);
+        assert_eq!(ctx.read_run(&run).expect("read empty"), Vec::new());
+        let _ = fs::remove_dir_all(&ctx.dir);
+    }
+
+    #[test]
+    fn fault_injection_fails_once_past_the_byte_limit() {
+        let ctx = temp_ctx("fault", Some(0));
+        assert!(ctx.write_run(&[Tuple::new(1, 1)]).is_err());
+        assert!(!ctx.failed());
+        ctx.record_failure("boom".into());
+        assert!(ctx.failed());
+        ctx.record_failure("later".into());
+        assert_eq!(ctx.take_failure().as_deref(), Some("boom"));
+        assert!(!ctx.failed());
+    }
+
+    #[test]
+    fn a_partial_limit_allows_writes_up_to_it() {
+        let ctx = temp_ctx("partial", Some(1));
+        let run = ctx.write_run(&[Tuple::new(7, 7)]).expect("first write ok");
+        assert_eq!(run.tuples(), 1);
+        assert!(
+            ctx.write_run(&[Tuple::new(8, 8)]).is_err(),
+            "limit crossed after the first run"
+        );
+        let _ = fs::remove_dir_all(&ctx.dir);
+    }
+}

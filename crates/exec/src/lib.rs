@@ -59,8 +59,8 @@ mod shuffle;
 pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
 pub use engine::{
     EngineConfig, EngineIo, EngineOutcome, EngineRuntime, Exchange, MemGauge, Morsel, MorselPlan,
-    OnlineStats, ProgressBoard, QueryTicket, RuntimeConfig, RuntimeMetrics, Source, StageSink,
-    Straggler,
+    OnlineStats, ProgressBoard, QueryTicket, RuntimeConfig, RuntimeMetrics, Source, SpillConfig,
+    SpillContext, SpillRun, StageSink, Straggler,
 };
 pub use local_join::{
     local_join, output_tuple, sweep_sorted, sweep_sorted_each, sweep_sorted_into, KeyFrom,

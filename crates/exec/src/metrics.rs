@@ -64,6 +64,13 @@ pub struct JoinStats {
     /// queue. Empty under batch execution.
     pub reducer_busy_secs: Vec<f64>,
     pub reducer_idle_secs: Vec<f64>,
+    /// Bytes written to spill files under a memory budget (0 without
+    /// budget pressure, and always 0 under batch execution).
+    pub spill_bytes: u64,
+    /// Wall time spent writing spill runs.
+    pub spill_secs: f64,
+    /// Wall time spent reading spill runs back for replay.
+    pub reload_secs: f64,
 }
 
 /// Adds `src` elementwise into `dst`, growing `dst` as needed.
@@ -108,6 +115,9 @@ impl JoinStats {
         self.admission_wait_secs += other.admission_wait_secs;
         add_elementwise(&mut self.reducer_busy_secs, &other.reducer_busy_secs);
         add_elementwise(&mut self.reducer_idle_secs, &other.reducer_idle_secs);
+        self.spill_bytes += other.spill_bytes;
+        self.spill_secs += other.spill_secs;
+        self.reload_secs += other.reload_secs;
     }
 
     /// Summed reducer idle time across tasks (0 under batch execution).

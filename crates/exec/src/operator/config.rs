@@ -3,7 +3,7 @@
 use ewh_core::{CostModel, CsiParams, HashParams, HistogramParams};
 
 use crate::adaptive::AdaptiveConfig;
-use crate::engine::{EngineConfig, Straggler};
+use crate::engine::{EngineConfig, SpillConfig, Straggler};
 use crate::OutputWork;
 
 /// How the operator executes the shuffle + local joins.
@@ -88,6 +88,12 @@ pub struct OperatorConfig {
     /// Fault injection: slow one reducer task down (benchmarks/tests only).
     /// In a chained plan the same injection applies to every stage.
     pub straggler: Option<Straggler>,
+    /// Out-of-core execution knobs: an explicit budget override, the spill
+    /// temp directory, and fault injection for spill writes. When no
+    /// explicit budget is set here, a budget slice carved by the runtime's
+    /// admission control ([`crate::RuntimeConfig::memory_budget_tuples`])
+    /// is enforced instead; with neither, queries never spill.
+    pub spill: SpillConfig,
 }
 
 impl Default for OperatorConfig {
@@ -117,6 +123,7 @@ impl Default for OperatorConfig {
             stats_cutoff_tuples: 8192,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            spill: SpillConfig::default(),
         }
     }
 }

@@ -8,7 +8,7 @@ use ewh_core::{JoinCondition, PartitionScheme, RoutingTable, SchemeKind, Tuple, 
 
 use crate::engine::{
     run_pipelined_io, EngineConfig, EngineIo, EngineOutcome, EngineRuntime, MemGauge, MorselPlan,
-    Source,
+    Source, SpillContext,
 };
 use crate::local_join::KeyFrom;
 use crate::{local_join, shuffle, JoinStats, Shuffled};
@@ -244,6 +244,9 @@ pub fn stats_from_outcome(
         backpressure_secs: out.backpressure_secs,
         reducer_busy_secs: out.busy_secs.clone(),
         reducer_idle_secs: out.idle_secs.clone(),
+        spill_bytes: out.spill_bytes,
+        spill_secs: out.spill_secs,
+        reload_secs: out.reload_secs,
         ..Default::default()
     };
     stats.compute_max_weight(&cfg.cost);
@@ -288,7 +291,9 @@ pub(crate) fn engine_setup(
 /// comparability, while `peak_resident_bytes` reports what the engine
 /// actually held at its high-water mark. `gauge` is the query's memory
 /// gauge (an admitted query passes its ticket's; `None` uses a private
-/// one).
+/// one). With `budget_tuples` and a `spill` context, reducers shed state
+/// to disk whenever the gauge exceeds the budget; a spill I/O failure
+/// cancels the run cooperatively and resurfaces here as a panic.
 #[allow(clippy::too_many_arguments)] // an execution plan, not a builder
 pub fn execute_join_pipelined(
     rt: &EngineRuntime,
@@ -300,6 +305,8 @@ pub fn execute_join_pipelined(
     plan: &MorselPlan,
     cfg: &OperatorConfig,
     gauge: Option<&MemGauge>,
+    budget_tuples: Option<u64>,
+    spill: Option<&SpillContext>,
 ) -> JoinStats {
     debug_assert_eq!(region_to_worker.len(), scheme.num_regions());
     let (engine_cfg, table) = engine_setup(scheme, cfg);
@@ -317,9 +324,19 @@ pub fn execute_join_pipelined(
             key_from: KeyFrom::Probe,
             gauge,
             cancel: None,
+            budget_tuples,
+            spill,
         },
         &engine_cfg,
     );
+    // A spill I/O failure tore the query down cooperatively (every pool
+    // task unwound through the normal abort protocol); re-raise it on the
+    // driving thread, where a caller can catch it at the plan join.
+    if let Some(ctx) = spill {
+        if let Some(msg) = ctx.take_failure() {
+            panic!("query cancelled by spill failure: {msg}");
+        }
+    }
     debug_assert!(!out.cancelled, "operator-level runs are never cancelled");
     stats_from_outcome(&out, region_to_worker, cfg)
 }
@@ -375,6 +392,20 @@ fn run_with_scheme(
             // memory capacity as its budget slice (client-thread blocking;
             // released when the ticket drops at the end of this arm).
             let ticket = rt.admit(cfg.mem_capacity_bytes.map(|b| (b / TUPLE_BYTES).max(1)));
+            // Spill under whichever budget binds: an explicit operator
+            // override, else the slice admission carved from the runtime's
+            // global budget. The spill context lives in the ticket's scoped
+            // temp dir, removed wholesale when the ticket drops — success,
+            // cancel and panic paths alike.
+            let budget = cfg.spill.budget_tuples.or(ticket.budget_tuples());
+            let spill_ctx = budget.map(|_| {
+                SpillContext::new(
+                    ticket
+                        .spill_dir(cfg.spill.temp_dir.as_deref())
+                        .to_path_buf(),
+                    cfg.spill.fail_after_bytes,
+                )
+            });
             let mut stats = execute_join_pipelined(
                 rt,
                 r1,
@@ -385,6 +416,8 @@ fn run_with_scheme(
                 plan,
                 cfg,
                 Some(ticket.gauge()),
+                budget,
+                spill_ctx.as_ref(),
             );
             stats.admission_wait_secs = ticket.admission_wait_secs();
             stats
@@ -658,8 +691,9 @@ mod tests {
             );
             let map = assign_regions(&scheme, cfg.j, None, &cfg.cost);
             let plan = MorselPlan::new(r1.len(), r2.len(), cfg.morsel_tuples);
-            let stats =
-                execute_join_pipelined(&rt, &r1, &r2, &scheme, &cond, &map, &plan, &cfg, None);
+            let stats = execute_join_pipelined(
+                &rt, &r1, &r2, &scheme, &cond, &map, &plan, &cfg, None, None, None,
+            );
             assert_eq!(stats.output_total, expect, "{kind}");
         }
     }

@@ -67,7 +67,7 @@ use ewh_core::{JoinCondition, PartitionScheme, SchemeKind, Tuple, TUPLE_BYTES};
 
 use crate::engine::{
     run_pipelined_io, AbandonOnDrop, CloseOnDrop, EngineIo, EngineRuntime, Exchange, MemGauge,
-    MorselPlan, OnlineStats, Source, StageSink,
+    MorselPlan, OnlineStats, Source, SpillContext, StageSink,
 };
 use crate::local_join::{sweep_sorted_into, KeyFrom};
 use crate::operator::{
@@ -163,6 +163,8 @@ fn run_stage(
     key_from: KeyFrom,
     sink: Option<StageSink<'_>>,
     gauge: &MemGauge,
+    budget_tuples: Option<u64>,
+    spill: Option<&SpillContext>,
     cfg: &OperatorConfig,
 ) -> JoinStats {
     // Teardown guards, armed before anything can panic: close this stage's
@@ -190,9 +192,19 @@ fn run_stage(
             key_from,
             gauge: Some(gauge),
             cancel: None,
+            budget_tuples,
+            spill,
         },
         &engine_cfg,
     );
+    // A spill I/O failure cancelled this stage cooperatively; re-raise it
+    // here so the panic propagates through the stage driver to the plan
+    // join (the teardown guards above unwind the neighbors).
+    if let Some(ctx) = spill {
+        if let Some(msg) = ctx.take_failure() {
+            panic!("plan stage cancelled by spill failure: {msg}");
+        }
+    }
     debug_assert!(!out.cancelled, "plan stages are never cancelled");
     drop(close_guard); // close the downstream exchange: upstream quiescence
     let map = assign_regions(scheme, cfg.j, cfg.capacities.as_deref(), &cfg.cost);
@@ -257,6 +269,21 @@ pub fn run_plan(
     let n_chain = chain.len();
     let ticket = rt.admit(cfg.mem_capacity_bytes.map(|b| (b / TUPLE_BYTES).max(1)));
     let gauge = ticket.gauge();
+    // One spill budget and context for the whole plan: all stages charge
+    // the shared gauge, so the plan-global footprint is what the budget
+    // bounds and any stage may be picked as the spill victim. The context's
+    // files live in the ticket's scoped temp dir (removed when the ticket
+    // drops, panic paths included).
+    let budget = cfg.spill.budget_tuples.or(ticket.budget_tuples());
+    let spill_ctx = budget.map(|_| {
+        SpillContext::new(
+            ticket
+                .spill_dir(cfg.spill.temp_dir.as_deref())
+                .to_path_buf(),
+            cfg.spill.fail_after_bytes,
+        )
+    });
+    let spill = spill_ctx.as_ref();
     let exchanges: Vec<Exchange> = (0..n_chain)
         .map(|_| Exchange::new(cfg.exchange_tuples.max(2)))
         .collect();
@@ -311,6 +338,8 @@ pub fn run_plan(
                     KeyFrom::Probe,
                     sink,
                     gauge,
+                    budget,
+                    spill,
                     cfg,
                 )
             }));
@@ -357,6 +386,8 @@ pub fn run_plan(
                     KeyFrom::Build,
                     sink,
                     gauge,
+                    budget,
+                    spill,
                     cfg,
                 )
             }));
@@ -376,6 +407,14 @@ pub fn run_plan(
     // The plan holds one ticket; charge its admission wait once, not per
     // stage.
     total.admission_wait_secs = ticket.admission_wait_secs();
+    // Per-stage spill deltas overlap when stages run concurrently over the
+    // shared context; override the merged sums with the context's absolute
+    // totals, which count every byte exactly once.
+    if let Some(ctx) = spill {
+        total.spill_bytes = ctx.spill_bytes();
+        total.spill_secs = ctx.spill_secs();
+        total.reload_secs = ctx.reload_secs();
+    }
     let last = stage_stats.last().expect("at least the root stage");
     let (output_total, checksum) = (last.output_total, last.checksum);
     let stages = metas

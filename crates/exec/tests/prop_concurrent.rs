@@ -19,7 +19,7 @@ use std::thread;
 use ewh_core::{JoinCondition, Key, SchemeKind, Tuple};
 use ewh_exec::{
     run_plan, run_plan_materialized, AdaptiveConfig, ChainStage, EngineRuntime, OperatorConfig,
-    StageSpec,
+    SpillConfig, StageSpec,
 };
 use proptest::prelude::*;
 
@@ -174,4 +174,69 @@ proptest! {
         prop_assert_eq!(rt.workers(), workers);
         prop_assert!(rt.metrics().tasks_completed > 0);
     }
+}
+
+/// Fault isolation across tenants: a spilling query whose spill writes
+/// fail (injected `fail_after_bytes: Some(0)`) must cancel cleanly — its
+/// panic surfaces at *its* plan join — while a healthy co-tenant sharing
+/// the same pool workers finishes exactly and on time. A deadlocked pool
+/// task or a cross-query cancel leak would hang or corrupt the healthy
+/// side.
+#[test]
+fn failing_spilling_tenant_does_not_poison_a_healthy_co_tenant() {
+    let keys: Vec<Key> = (0..3000).map(|i| (i % 150) as Key).collect();
+    let (a, b) = (tuples(&keys), tuples(&keys));
+    let first = StageSpec {
+        kind: SchemeKind::Csio,
+        cond: JoinCondition::Equi,
+    };
+    let base = OperatorConfig {
+        j: 4,
+        threads: 4,
+        morsel_tuples: 64,
+        queue_tuples: 128,
+        exchange_tuples: 512,
+        stats_cutoff_tuples: 100,
+        adaptive: forced_migration(),
+        ..Default::default()
+    };
+    let faulty = OperatorConfig {
+        spill: SpillConfig {
+            budget_tuples: Some(64),
+            temp_dir: None,
+            fail_after_bytes: Some(0),
+        },
+        ..base.clone()
+    };
+
+    let oracle = run_plan_materialized(&a, &b, &first, &[], &base);
+    assert!(oracle.output_total > 0);
+
+    let rt = EngineRuntime::new(3);
+    let (faulty_result, healthy_run) = thread::scope(|s| {
+        let rt = &rt;
+        let faulty_handle = s.spawn({
+            let (a, b, first, faulty) = (&a, &b, &first, &faulty);
+            move || run_plan(rt, a, b, first, &[], faulty)
+        });
+        let healthy_handle = s.spawn({
+            let (a, b, first, base) = (&a, &b, &first, &base);
+            move || run_plan(rt, a, b, first, &[], base)
+        });
+        (
+            faulty_handle.join(),
+            healthy_handle.join().expect("healthy co-tenant panicked"),
+        )
+    });
+    assert!(
+        faulty_result.is_err(),
+        "the spill-faulted tenant must cancel with a panic at its plan join"
+    );
+    assert_eq!(healthy_run.output_total, oracle.output_total);
+    assert_eq!(healthy_run.checksum, oracle.checksum);
+
+    // The pool survives for the next admission: rerun the healthy plan.
+    let again = run_plan(&rt, &a, &b, &first, &[], &base);
+    assert_eq!(again.output_total, oracle.output_total);
+    assert_eq!(again.checksum, oracle.checksum);
 }

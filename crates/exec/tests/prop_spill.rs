@@ -1,0 +1,307 @@
+//! Property-based correctness of out-of-core execution: with the spill
+//! budget forced to ~10% of the input — so reducers *must* shed sealed
+//! build runs, pre-seal probe pendings, and (in chained plans) outbox
+//! batches to disk — the pipelined engine's `output_total` and XOR
+//! `checksum` must stay bit-identical to the `ExecMode::Batch` oracle for
+//! all four scheme kinds, with and without migration thresholds forced to
+//! fire. This certifies the whole spill ladder, the merge-replay of
+//! spilled runs during the sweep, and the shipping of spilled-run
+//! descriptors across a region migration.
+//!
+//! Deterministic companions pin the claims the properties could silently
+//! stop exercising: a pressured run actually reports `spill_bytes > 0`,
+//! spill files never outlive their query (success path), and an injected
+//! spill-write fault cancels the query cleanly — the panic surfaces at the
+//! driver, no pool worker deadlocks, and the temp dir is still reclaimed.
+
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+
+use ewh_core::{JoinCondition, Key, SchemeKind, Tuple};
+use ewh_exec::{
+    run_operator, AdaptiveConfig, EngineRuntime, ExecMode, OperatorConfig, SpillConfig,
+};
+use proptest::prelude::*;
+
+fn condition_strategy() -> impl Strategy<Value = JoinCondition> {
+    // Equi and Band only: the Hash scheme supports nothing else.
+    prop_oneof![
+        Just(JoinCondition::Equi),
+        (0i64..4).prop_map(|beta| JoinCondition::Band { beta }),
+    ]
+}
+
+fn keys_strategy(max_len: usize) -> impl Strategy<Value = Vec<Key>> {
+    prop::collection::vec(0i64..60, 0..max_len)
+}
+
+fn tuples(keys: &[Key]) -> Vec<Tuple> {
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| Tuple::new(k, i as u64))
+        .collect()
+}
+
+/// Thresholds at which any observed imbalance migrates (the
+/// `prop_migration.rs` forcing config) — spilled regions must survive the
+/// Migrate/Adopt handshake with their on-disk runs intact.
+fn forced_migration() -> AdaptiveConfig {
+    AdaptiveConfig {
+        reassign: true,
+        move_cost_factor: 0.0,
+        migrate_backlog_tuples: 1,
+        poll_micros: 20,
+        ..Default::default()
+    }
+}
+
+/// A per-test spill base directory, so hygiene assertions can't race other
+/// test binaries using the system temp dir.
+fn spill_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ewh-prop-spill-{}-{tag}", std::process::id()))
+}
+
+/// Asserts no per-query spill directory (and so no run file) survived its
+/// query: `QueryTicket::drop` must have reclaimed each one.
+fn assert_no_leftover_spill(base: &Path) {
+    if let Ok(entries) = std::fs::read_dir(base) {
+        let leftover: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        assert!(
+            leftover.is_empty(),
+            "spill files leaked past their queries: {leftover:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spilling_engine_equals_batch_oracle(
+        k1 in keys_strategy(220),
+        k2 in keys_strategy(220),
+        cond in condition_strategy(),
+        j in 1usize..7,
+        seed in 0u64..1000,
+        migrate in any::<bool>(),
+    ) {
+        let (r1, r2) = (tuples(&k1), tuples(&k2));
+        // ~10% of the input: virtually everything a reducer absorbs must
+        // round-trip through disk (floor of 8 keeps degenerate tiny inputs
+        // from spilling one tuple at a time forever).
+        let budget = ((r1.len() + r2.len()) as u64 / 10).max(8);
+        let base_dir = spill_base("oracle");
+        let rt = EngineRuntime::new(4);
+        let base = OperatorConfig {
+            j,
+            threads: 4,
+            seed,
+            morsel_tuples: 48,
+            queue_tuples: 64,
+            ..Default::default()
+        };
+        for kind in [SchemeKind::Ci, SchemeKind::Csi, SchemeKind::Csio, SchemeKind::Hash] {
+            let batch = run_operator(
+                &rt,
+                kind,
+                &r1,
+                &r2,
+                &cond,
+                &OperatorConfig { mode: ExecMode::Batch, ..base.clone() },
+            );
+            let spilling = run_operator(
+                &rt,
+                kind,
+                &r1,
+                &r2,
+                &cond,
+                &OperatorConfig {
+                    mode: ExecMode::Pipelined,
+                    spill: SpillConfig {
+                        budget_tuples: Some(budget),
+                        temp_dir: Some(base_dir.clone()),
+                        fail_after_bytes: None,
+                    },
+                    adaptive: if migrate {
+                        forced_migration()
+                    } else {
+                        AdaptiveConfig::default()
+                    },
+                    ..base.clone()
+                },
+            );
+            prop_assert_eq!(
+                spilling.join.output_total,
+                batch.join.output_total,
+                "{} {:?} budget={} migrate={}",
+                kind,
+                cond,
+                budget,
+                migrate
+            );
+            prop_assert_eq!(
+                spilling.join.checksum,
+                batch.join.checksum,
+                "{} {:?} checksum budget={}",
+                kind,
+                cond,
+                budget
+            );
+        }
+        assert_no_leftover_spill(&base_dir);
+        let _ = std::fs::remove_dir_all(&base_dir);
+    }
+}
+
+/// Deterministic companion: a pressured run *must* actually spill (so the
+/// property above cannot silently pass in-memory), stay exact, and leave
+/// the spill base directory empty when the query completes.
+#[test]
+fn forced_budget_spills_matches_oracle_and_cleans_up() {
+    let keys: Vec<Key> = (0..4000).map(|i| (i % 200) as Key).collect();
+    let (r1, r2) = (tuples(&keys), tuples(&keys));
+    let cond = JoinCondition::Equi;
+    let base_dir = spill_base("deterministic");
+    let base = OperatorConfig {
+        j: 8,
+        threads: 4,
+        morsel_tuples: 128,
+        queue_tuples: 256,
+        ..Default::default()
+    };
+    let rt = EngineRuntime::new(4);
+    let batch = run_operator(
+        &rt,
+        SchemeKind::Csio,
+        &r1,
+        &r2,
+        &cond,
+        &OperatorConfig {
+            mode: ExecMode::Batch,
+            ..base.clone()
+        },
+    );
+    let spilling = run_operator(
+        &rt,
+        SchemeKind::Csio,
+        &r1,
+        &r2,
+        &cond,
+        &OperatorConfig {
+            mode: ExecMode::Pipelined,
+            spill: SpillConfig {
+                // 5% of the input: the build side alone is 10x over budget.
+                budget_tuples: Some((r1.len() + r2.len()) as u64 / 20),
+                temp_dir: Some(base_dir.clone()),
+                fail_after_bytes: None,
+            },
+            ..base.clone()
+        },
+    );
+    assert_eq!(spilling.join.output_total, batch.join.output_total);
+    assert_eq!(spilling.join.checksum, batch.join.checksum);
+    assert!(
+        spilling.join.spill_bytes > 0,
+        "a 5% budget must force actual spill I/O"
+    );
+    assert!(spilling.join.spill_secs > 0.0);
+    assert_no_leftover_spill(&base_dir);
+
+    // Zero pressure on the same workload: no budget, no spill I/O at all.
+    let unbudgeted = run_operator(
+        &rt,
+        SchemeKind::Csio,
+        &r1,
+        &r2,
+        &cond,
+        &OperatorConfig {
+            mode: ExecMode::Pipelined,
+            ..base
+        },
+    );
+    assert_eq!(unbudgeted.join.output_total, batch.join.output_total);
+    assert_eq!(unbudgeted.join.spill_bytes, 0);
+    assert_eq!(unbudgeted.join.spill_secs, 0.0);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+/// An I/O failure mid-spill cancels the query *cleanly*: the injected
+/// write fault (`fail_after_bytes: Some(0)` fails the very first run) is
+/// recorded, mappers and reducers wind down cooperatively — no pool worker
+/// deadlocks — and the driver re-raises the failure as a panic at the
+/// query join. The pool must stay healthy for the next query, and the
+/// ticket's `Drop` must reclaim the spill dir on this path too.
+#[test]
+fn spill_write_fault_cancels_query_and_pool_survives() {
+    let keys: Vec<Key> = (0..4000).map(|i| (i % 200) as Key).collect();
+    let (r1, r2) = (tuples(&keys), tuples(&keys));
+    let cond = JoinCondition::Equi;
+    let base_dir = spill_base("fault");
+    let rt = EngineRuntime::new(4);
+    let base = OperatorConfig {
+        j: 8,
+        threads: 4,
+        morsel_tuples: 128,
+        queue_tuples: 256,
+        ..Default::default()
+    };
+    let faulty = OperatorConfig {
+        mode: ExecMode::Pipelined,
+        spill: SpillConfig {
+            budget_tuples: Some(64),
+            temp_dir: Some(base_dir.clone()),
+            fail_after_bytes: Some(0),
+        },
+        ..base.clone()
+    };
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_operator(&rt, SchemeKind::Csio, &r1, &r2, &cond, &faulty)
+    }));
+    let err = result.expect_err("a failing spill write must surface as a panic at the join");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into());
+    assert!(
+        msg.contains("spill"),
+        "panic should carry the spill failure, got: {msg}"
+    );
+    // Unwinding dropped the ticket, which reclaims the spill directory
+    // even on the failure path.
+    assert_no_leftover_spill(&base_dir);
+
+    // The pool was not poisoned: the same runtime completes a healthy
+    // budgeted query afterwards (no deadlocked workers holding slots).
+    let healthy = run_operator(
+        &rt,
+        SchemeKind::Csio,
+        &r1,
+        &r2,
+        &cond,
+        &OperatorConfig {
+            mode: ExecMode::Pipelined,
+            spill: SpillConfig {
+                budget_tuples: Some(400),
+                temp_dir: Some(base_dir.clone()),
+                fail_after_bytes: None,
+            },
+            ..base.clone()
+        },
+    );
+    let batch = run_operator(
+        &rt,
+        SchemeKind::Csio,
+        &r1,
+        &r2,
+        &cond,
+        &OperatorConfig {
+            mode: ExecMode::Batch,
+            ..base
+        },
+    );
+    assert_eq!(healthy.join.output_total, batch.join.output_total);
+    assert_eq!(healthy.join.checksum, batch.join.checksum);
+    assert!(healthy.join.spill_bytes > 0);
+    assert_no_leftover_spill(&base_dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}

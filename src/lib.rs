@@ -53,6 +53,6 @@ pub mod prelude {
     pub use ewh_exec::{
         run_operator, run_operator_adaptive, run_plan, run_plan_materialized, ChainStage,
         EngineRuntime, ExecMode, FallbackPolicy, OperatorConfig, OperatorRun, OutputWork, PlanRun,
-        RuntimeConfig, StageSpec,
+        RuntimeConfig, SpillConfig, StageSpec,
     };
 }
