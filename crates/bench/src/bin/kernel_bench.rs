@@ -1,0 +1,88 @@
+//! AoS vs columnar kernel throughput: batch routing, region-run sorting,
+//! and the staircase sweep, each implemented over `Vec<Tuple>` (the
+//! pre-columnar layout) and over `ewh_core::ColumnBatch` (what the engine
+//! runs on).
+//! Reports tuples/sec per layout and the columnar speedup, and asserts the
+//! two layouts fold identical output checksums.
+//!
+//! ```sh
+//! cargo run --release -p ewh-bench --bin kernel_bench -- \
+//!     [--scale 1.0] [--json BENCH_kernels.json]
+//! ```
+
+use ewh_bench::kernels::run_kernels;
+use ewh_bench::{print_table, RunConfig};
+
+/// Tuples per kernel input at scale 1.0. Large enough that the columns
+/// spill out of L2 and the loops dominate the measurement.
+const BASE_TUPLES: usize = 400_000;
+/// Key domain: ~8 duplicates per key at scale 1.0, so band sweeps find
+/// sizable contiguous partner runs.
+const DOMAIN_PER_TUPLE: f64 = 1.0 / 8.0;
+/// Routing window, matching the engine's default morsel granularity.
+const CHUNK: usize = 4096;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rc = RunConfig::from_args();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let n = ((BASE_TUPLES as f64 * rc.scale) as usize).max(4096);
+    let domain = ((n as f64 * DOMAIN_PER_TUPLE) as i64).max(16);
+    let reps = 9;
+    let reports = run_kernels(n, domain, CHUNK, reps, rc.seed);
+
+    for r in &reports {
+        assert!(
+            r.checksums_match,
+            "{}: AoS and columnar layouts disagree on the output checksum",
+            r.kernel
+        );
+    }
+
+    let table: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                format!("{:.3e}", r.aos_tuples_per_sec),
+                format!("{:.3e}", r.col_tuples_per_sec),
+                format!("{:.2}", r.speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("kernel_bench (n {n}, domain {domain}, chunk {CHUNK}, reps {reps})"),
+        &["kernel", "aos_tuples_per_s", "col_tuples_per_s", "speedup"],
+        &table,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"kernel_bench\",\n  \"tuples\": {},\n  \"domain\": {},\n  \"chunk\": {},\n  \"reps\": {},\n  \"seed\": {},\n  \"results\": [\n",
+        n, domain, CHUNK, reps, rc.seed
+    ));
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"aos_tuples_per_sec\": {:.1}, \"col_tuples_per_sec\": {:.1}, \"speedup\": {:.4}, \"checksums_match\": {}}}{}\n",
+            r.kernel,
+            r.aos_tuples_per_sec,
+            r.col_tuples_per_sec,
+            r.speedup(),
+            r.checksums_match,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing the JSON report failed");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -233,6 +233,7 @@ fn main() {
                 format!("{:.1}", mib(j.mem_bytes)),
                 format!("{:.4}", j.wall_join_secs),
                 j.morsels_routed.to_string(),
+                format!("{:.4}", j.route_secs),
                 format!("{:.4}", j.backpressure_secs),
                 j.regions_migrated.to_string(),
             ]
@@ -248,6 +249,7 @@ fn main() {
             "shuffle_MiB",
             "join_wall_s",
             "morsels",
+            "route_s",
             "backpressure_s",
             "migrations",
         ],
@@ -316,7 +318,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let j = &r.run.join;
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"peak_resident_bytes\": {}, \"shuffle_bytes\": {}, \"network_tuples\": {}, \"join_wall_secs\": {:.6}, \"morsels_routed\": {}, \"backpressure_secs\": {:.6}, \"regions_migrated\": {}, \"migration_tuples\": {}, \"migration_secs\": {:.6}}}{}\n",
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"peak_resident_bytes\": {}, \"shuffle_bytes\": {}, \"network_tuples\": {}, \"join_wall_secs\": {:.6}, \"morsels_routed\": {}, \"route_secs\": {:.6}, \"backpressure_secs\": {:.6}, \"regions_migrated\": {}, \"migration_tuples\": {}, \"migration_secs\": {:.6}}}{}\n",
             json_escape(&r.workload),
             r.mode,
             j.output_total,
@@ -326,6 +328,7 @@ fn main() {
             j.network_tuples,
             j.wall_join_secs,
             j.morsels_routed,
+            j.route_secs,
             j.backpressure_secs,
             j.regions_migrated,
             j.migration_tuples,

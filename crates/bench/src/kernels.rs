@@ -1,0 +1,231 @@
+//! AoS vs columnar micro-kernels: the three hot loops of the pipelined
+//! engine — batch routing, region-run sorting, and the staircase sweep —
+//! implemented once over array-of-structs `Vec<Tuple>` (the pre-columnar
+//! layout, kept as the oracle-side representation) and once over
+//! [`ColumnBatch`]. The `kernel_bench` binary measures their throughput;
+//! `tests/kernel_claims.rs` asserts the layouts agree bit for bit and the
+//! columnar sweep does not regress.
+//!
+//! Both layout variants of a kernel consume identical inputs and fold an
+//! order-sensitive checksum over their outputs, so a stability bug (the
+//! columnar sort is a stable radix/permutation hybrid, the AoS baseline a
+//! stable `sort_by_key`) or a routing divergence shows up as a checksum
+//! mismatch, not just a throughput blip.
+
+use std::time::Instant;
+
+use ewh_core::{ColumnBatch, JoinCondition, Key, Rel, RouteBatch, RouteBuckets, Router, Tuple};
+use ewh_exec::{sweep_columns, sweep_sorted, OutputWork};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Order-sensitive fold (FNV-style) so permutation differences between the
+/// two layouts cannot cancel out the way an XOR would let them.
+#[inline]
+fn fold(acc: u64, key: Key, payload: u64) -> u64 {
+    acc.wrapping_mul(1_099_511_628_211)
+        .wrapping_add(key as u64 ^ payload)
+}
+
+/// A duplicate-heavy tuple set: keys in `0..domain` with payloads distinct
+/// per position, unsorted, so sorts do real work and band sweeps find
+/// sizable partner runs.
+pub fn kernel_tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Tuple::new(rng.gen_range(0..domain.max(1)), i as u64))
+        .collect()
+}
+
+/// Routes `tuples` in `chunk`-sized windows the way the pre-columnar mapper
+/// did: materialize a key scratch from the tuple structs, batch-route it,
+/// then build each touched region's fragment as a `Vec<Tuple>` struct copy.
+pub fn route_aos(
+    tuples: &[Tuple],
+    router: &Router,
+    n_regions: usize,
+    chunk: usize,
+    seed: u64,
+) -> u64 {
+    let mut buckets = RouteBuckets::new(n_regions);
+    let mut keybuf: Vec<Key> = Vec::with_capacity(chunk);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = 0u64;
+    for window in tuples.chunks(chunk.max(1)) {
+        keybuf.clear();
+        keybuf.extend(window.iter().map(|t| t.key));
+        buckets.clear();
+        router.route_batch(Rel::R1, &keybuf, &mut rng, &mut buckets);
+        for &region in buckets.touched() {
+            let idx = buckets.region(region);
+            let mut frag: Vec<Tuple> = Vec::with_capacity(idx.len());
+            for &i in idx {
+                frag.push(window[i as usize]);
+            }
+            acc = fold(acc, region as Key, frag.len() as u64);
+            for t in &frag {
+                acc = fold(acc, t.key, t.payload);
+            }
+            std::hint::black_box(&frag);
+        }
+    }
+    acc
+}
+
+/// The columnar mapper's routing: batch-route straight off the key column
+/// (no scratch materialization), then gather each touched region's fragment
+/// out of both columns.
+pub fn route_columns(
+    batch: &ColumnBatch,
+    router: &Router,
+    n_regions: usize,
+    chunk: usize,
+    seed: u64,
+) -> u64 {
+    let (keys, payloads) = (batch.keys(), batch.payloads());
+    let mut buckets = RouteBuckets::new(n_regions);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = 0u64;
+    let mut off = 0;
+    while off < keys.len() {
+        let end = (off + chunk.max(1)).min(keys.len());
+        buckets.clear();
+        router.route_batch(Rel::R1, &keys[off..end], &mut rng, &mut buckets);
+        for &region in buckets.touched() {
+            let idx = buckets.region(region);
+            let frag = ColumnBatch::gather_from(&keys[off..end], &payloads[off..end], idx);
+            acc = fold(acc, region as Key, frag.len() as u64);
+            for (&k, &p) in frag.keys().iter().zip(frag.payloads()) {
+                acc = fold(acc, k, p);
+            }
+            std::hint::black_box(&frag);
+        }
+        off = end;
+    }
+    acc
+}
+
+/// Stable sort of a fresh AoS copy — 16-byte records move through the sort.
+pub fn sort_aos(tuples: &[Tuple]) -> u64 {
+    let mut v = tuples.to_vec();
+    v.sort_by_key(|t| t.key);
+    let v = std::hint::black_box(v);
+    v.iter().fold(0u64, |acc, t| fold(acc, t.key, t.payload))
+}
+
+/// Stable sort of a fresh columnar copy — at bench sizes this takes the
+/// key-column radix path (histogram once, scatter only the non-constant
+/// digits); small batches would sort a `u32` index permutation instead.
+pub fn sort_columns(batch: &ColumnBatch) -> u64 {
+    let mut b = batch.clone();
+    b.sort_by_key();
+    let b = std::hint::black_box(b);
+    b.keys()
+        .iter()
+        .zip(b.payloads())
+        .fold(0u64, |acc, (&k, &p)| fold(acc, k, p))
+}
+
+/// The AoS staircase sweep over pre-sorted sides (`Touch` folds every
+/// output pair's payload).
+pub fn sweep_aos(build: &[Tuple], probe: &[Tuple], cond: &JoinCondition) -> u64 {
+    let (count, checksum) = sweep_sorted(build, probe, cond, OutputWork::Touch);
+    count ^ checksum
+}
+
+/// The columnar staircase sweep: key narrowing over the bare key slices,
+/// payload folds over contiguous probe-payload ranges.
+pub fn sweep_cols(build: &ColumnBatch, probe: &ColumnBatch, cond: &JoinCondition) -> u64 {
+    let (count, checksum) = sweep_columns(build, probe, cond, OutputWork::Touch);
+    count ^ checksum
+}
+
+/// One kernel's measured comparison.
+pub struct KernelReport {
+    pub kernel: &'static str,
+    pub aos_tuples_per_sec: f64,
+    pub col_tuples_per_sec: f64,
+    /// Both layouts folded identical output checksums.
+    pub checksums_match: bool,
+}
+
+impl KernelReport {
+    /// Columnar over AoS throughput.
+    pub fn speedup(&self) -> f64 {
+        self.col_tuples_per_sec / self.aos_tuples_per_sec.max(1e-12)
+    }
+}
+
+/// Times `f` over `reps` repetitions after one warmup and converts to
+/// tuples/sec; returns the folded checksum alongside so callers can assert
+/// cross-layout agreement.
+pub fn throughput(tuples_per_rep: usize, reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let checksum = f(); // warmup rep, and the checksum for equality checks
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..reps.max(1) {
+        acc ^= std::hint::black_box(f());
+    }
+    std::hint::black_box(acc);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    ((tuples_per_rep * reps.max(1)) as f64 / secs, checksum)
+}
+
+/// Runs all three kernel comparisons at the given size. `reps` trades
+/// precision for runtime (the claims test uses few, the bench bin many).
+pub fn run_kernels(
+    n: usize,
+    domain: i64,
+    chunk: usize,
+    reps: usize,
+    seed: u64,
+) -> Vec<KernelReport> {
+    let tuples = kernel_tuples(n, domain, seed);
+    let batch = ColumnBatch::from_tuples(&tuples);
+    let scheme = ewh_core::build_ci(8, n as u64, n as u64, None);
+    let (router, n_regions) = (&scheme.router, scheme.num_regions());
+
+    let (aos_tps, aos_sum) = throughput(n, reps, || {
+        route_aos(&tuples, router, n_regions, chunk, seed ^ 0xA5)
+    });
+    let (col_tps, col_sum) = throughput(n, reps, || {
+        route_columns(&batch, router, n_regions, chunk, seed ^ 0xA5)
+    });
+    let mut reports = vec![KernelReport {
+        kernel: "route",
+        aos_tuples_per_sec: aos_tps,
+        col_tuples_per_sec: col_tps,
+        checksums_match: aos_sum == col_sum,
+    }];
+
+    let (aos_tps, aos_sum) = throughput(n, reps, || sort_aos(&tuples));
+    let (col_tps, col_sum) = throughput(n, reps, || sort_columns(&batch));
+    reports.push(KernelReport {
+        kernel: "sort",
+        aos_tuples_per_sec: aos_tps,
+        col_tuples_per_sec: col_tps,
+        checksums_match: aos_sum == col_sum,
+    });
+
+    // Pre-sorted halves with a band condition: duplicate-heavy keys give
+    // each build key a sizable contiguous probe partner run, which is
+    // where the columnar payload fold earns its keep.
+    let cond = JoinCondition::Band { beta: 1 };
+    let mut build = tuples[..n / 2].to_vec();
+    let mut probe = tuples[n / 2..].to_vec();
+    build.sort_by_key(|t| t.key);
+    probe.sort_by_key(|t| t.key);
+    let build_cols = ColumnBatch::from_tuples(&build);
+    let probe_cols = ColumnBatch::from_tuples(&probe);
+    let swept = build.len() + probe.len();
+    let (aos_tps, aos_sum) = throughput(swept, reps, || sweep_aos(&build, &probe, &cond));
+    let (col_tps, col_sum) =
+        throughput(swept, reps, || sweep_cols(&build_cols, &probe_cols, &cond));
+    reports.push(KernelReport {
+        kernel: "sweep",
+        aos_tuples_per_sec: aos_tps,
+        col_tuples_per_sec: col_tps,
+        checksums_match: aos_sum == col_sum,
+    });
+    reports
+}

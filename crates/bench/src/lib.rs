@@ -23,6 +23,7 @@
 //! | `oom_vs_spill`            | memory-budgeted out-of-core run vs unbudgeted in-memory peak |
 
 pub mod harness;
+pub mod kernels;
 pub mod workloads;
 
 pub use harness::{

@@ -1,0 +1,52 @@
+//! Acceptance claims of the columnar kernels: the AoS and columnar
+//! implementations of routing, sorting, and the staircase sweep fold
+//! bit-identical output checksums, and the columnar sweep's throughput is
+//! at least in the AoS sweep's ballpark (a generous margin — CI hosts are
+//! noisy; the real speedup claim lives in `BENCH_kernels.json`, measured
+//! on a quiet machine at full scale).
+
+use ewh_bench::kernels::{run_kernels, sweep_aos, sweep_cols, throughput};
+use ewh_core::{ColumnBatch, JoinCondition};
+
+#[test]
+fn every_kernel_agrees_across_layouts() {
+    // Three sizes, including one below the routing chunk and one that
+    // leaves a ragged tail window.
+    for (n, seed) in [(1000usize, 3u64), (4096, 5), (30_000, 7)] {
+        let reports = run_kernels(n, (n as i64 / 8).max(16), 4096, 1, seed);
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(
+                r.checksums_match,
+                "{} kernel: layouts disagree at n = {n}",
+                r.kernel
+            );
+            assert!(r.aos_tuples_per_sec > 0.0 && r.col_tuples_per_sec > 0.0);
+        }
+    }
+}
+
+#[test]
+fn columnar_sweep_does_not_regress_against_aos() {
+    // Duplicate-heavy sorted sides with a band condition: every build key
+    // has a contiguous probe partner run, the sweep's hot case. The margin
+    // is deliberately loose (≥ 0.7×): this guards against a pathological
+    // regression, not noise between two fast loops.
+    let tuples = ewh_bench::kernels::kernel_tuples(120_000, 12_000, 11);
+    let cond = JoinCondition::Band { beta: 1 };
+    let mut build = tuples[..60_000].to_vec();
+    let mut probe = tuples[60_000..].to_vec();
+    build.sort_by_key(|t| t.key);
+    probe.sort_by_key(|t| t.key);
+    let build_cols = ColumnBatch::from_tuples(&build);
+    let probe_cols = ColumnBatch::from_tuples(&probe);
+
+    let swept = build.len() + probe.len();
+    let (aos_tps, aos_sum) = throughput(swept, 3, || sweep_aos(&build, &probe, &cond));
+    let (col_tps, col_sum) = throughput(swept, 3, || sweep_cols(&build_cols, &probe_cols, &cond));
+    assert_eq!(aos_sum, col_sum, "sweep layouts disagree");
+    assert!(
+        col_tps >= 0.7 * aos_tps,
+        "columnar sweep regressed: {col_tps:.3e} tuples/s vs AoS {aos_tps:.3e}"
+    );
+}

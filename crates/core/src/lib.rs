@@ -19,6 +19,7 @@
 //! Tuple shuffling and local join execution live in `ewh-exec`; the tiling
 //! and sampling substrates in `ewh-tiling` / `ewh-sampling`.
 
+mod batch;
 mod cost;
 pub mod histogram;
 mod join;
@@ -28,6 +29,7 @@ mod router;
 mod schemes;
 mod types;
 
+pub use batch::ColumnBatch;
 pub use cost::CostModel;
 pub use histogram::HistogramParams;
 pub use join::{IneqOp, JoinCondition};

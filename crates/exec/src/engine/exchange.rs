@@ -43,14 +43,14 @@ use std::sync::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use ewh_core::{Key, Tuple};
+use ewh_core::{ColumnBatch, Key};
 use ewh_sampling::WeightedReservoir;
 
 /// One observation from [`Exchange::pop_wait`].
 #[derive(Debug)]
 pub enum PopWait {
     /// The next batch.
-    Batch(Vec<Tuple>),
+    Batch(ColumnBatch),
     /// Closed and drained — the end of the stream.
     Closed,
     /// Nothing arrived within the timeout; the stream is still open.
@@ -61,7 +61,7 @@ pub enum PopWait {
 #[derive(Debug)]
 pub enum TryPop {
     /// The next batch.
-    Batch(Vec<Tuple>),
+    Batch(ColumnBatch),
     /// Closed and drained — the end of the stream.
     Closed,
     /// Momentarily empty but still open; the consuming task parks itself.
@@ -80,7 +80,7 @@ pub struct Exchange {
 
 #[derive(Debug)]
 struct ExchangeInner {
-    batches: VecDeque<Vec<Tuple>>,
+    batches: VecDeque<ColumnBatch>,
     /// Tuples currently buffered.
     used: usize,
     /// Batches ever pushed (stable once `closed`).
@@ -117,7 +117,7 @@ impl Exchange {
     /// pushing (the reducer-side [`StageSink`] path does this), and the
     /// consuming mapper releases it after routing — which is why a chained
     /// plan must share one gauge across all its stages.
-    pub fn push(&self, batch: Vec<Tuple>) {
+    pub fn push(&self, batch: ColumnBatch) {
         if batch.is_empty() {
             return;
         }
@@ -151,7 +151,7 @@ impl Exchange {
     /// dropped, an oversized batch is admitted once the queue is empty, and
     /// after [`abandon`](Exchange::abandon) pushes are discarded (reported
     /// as `Ok`, so the producer runs to completion).
-    pub fn try_push(&self, batch: Vec<Tuple>) -> Result<(), Vec<Tuple>> {
+    pub fn try_push(&self, batch: ColumnBatch) -> Result<(), ColumnBatch> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -214,7 +214,7 @@ impl Exchange {
 
     /// Blocking pop: the next batch, or `None` once the exchange is closed
     /// and drained (the consumer-side end of stream).
-    pub fn pop(&self) -> Option<Vec<Tuple>> {
+    pub fn pop(&self) -> Option<ColumnBatch> {
         loop {
             match self.pop_wait(std::time::Duration::from_secs(3600)) {
                 PopWait::Batch(batch) => return Some(batch),
@@ -332,15 +332,17 @@ impl OnlineStats {
         }
     }
 
-    /// Feeds one produced batch. Cheap after the freeze (a count bump).
-    pub fn offer(&self, batch: &[Tuple]) {
+    /// Feeds one produced batch's key column. Cheap after the freeze (a
+    /// count bump) — and the columnar layout means the reservoir scan
+    /// never touches payloads at all.
+    pub fn offer(&self, keys: &[Key]) {
         let frozen = self.frozen.load(Ordering::Acquire);
         let mut inner = self.inner.lock().expect("stats poisoned");
-        inner.seen += batch.len() as u64;
+        inner.seen += keys.len() as u64;
         if !frozen {
             let StatsInner { reservoir, rng, .. } = &mut *inner;
-            for t in batch {
-                reservoir.offer(t.key, 1, rng);
+            for &k in keys {
+                reservoir.offer(k, 1, rng);
             }
             if inner.seen >= self.target {
                 drop(inner);
@@ -439,8 +441,12 @@ mod tests {
     use std::sync::atomic::AtomicU64;
     use std::thread;
 
-    fn batch(keys: &[Key]) -> Vec<Tuple> {
-        keys.iter().map(|&k| Tuple::new(k, k as u64)).collect()
+    fn batch(keys: &[Key]) -> ColumnBatch {
+        let mut b = ColumnBatch::with_capacity(keys.len());
+        for &k in keys {
+            b.push(k, k as u64);
+        }
+        b
     }
 
     #[test]
@@ -457,7 +463,7 @@ mod tests {
             s.spawn(|| {
                 let mut next = 0i64;
                 while let Some(b) = ex.pop() {
-                    assert_eq!(b[0].key, next, "FIFO violated");
+                    assert_eq!(b.keys()[0], next, "FIFO violated");
                     next += 1;
                     consumed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -483,7 +489,7 @@ mod tests {
     #[test]
     fn empty_batches_are_dropped() {
         let ex = Exchange::new(4);
-        ex.push(Vec::new());
+        ex.push(ColumnBatch::new());
         assert_eq!(ex.pushed_batches(), 0);
         ex.close();
         assert!(ex.pop().is_none());
@@ -493,7 +499,10 @@ mod tests {
     #[test]
     fn try_push_and_try_pop_respect_capacity_and_close() {
         let ex = Exchange::new(4);
-        assert!(ex.try_push(Vec::new()).is_ok(), "empty batches drop");
+        assert!(
+            ex.try_push(ColumnBatch::new()).is_ok(),
+            "empty batches drop"
+        );
         assert!(ex.try_push(batch(&[1, 2, 3])).is_ok());
         let bounced = ex.try_push(batch(&[4, 5]));
         assert_eq!(bounced.expect_err("full").len(), 2);
@@ -531,7 +540,7 @@ mod tests {
         thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..6i64 {
-                    stats.offer(&batch(&[2 * i, 2 * i + 1]));
+                    stats.offer(&[2 * i, 2 * i + 1]);
                 }
             });
             let cut = stats.wait_cutoff();
@@ -541,14 +550,14 @@ mod tests {
             assert_eq!(cut.sample.len() as u64, cut.seen);
         });
         // Offers after the freeze still count tuples.
-        stats.offer(&batch(&[99]));
+        stats.offer(&[99]);
         assert_eq!(stats.seen(), 13);
     }
 
     #[test]
     fn stats_cutoff_fires_on_close_for_tiny_streams() {
         let stats = OnlineStats::new(16, 1_000_000, 3);
-        stats.offer(&batch(&[1, 2, 3]));
+        stats.offer(&[1, 2, 3]);
         stats.close();
         let cut = stats.wait_cutoff();
         assert_eq!(cut.seen, 3);
@@ -565,7 +574,7 @@ mod tests {
         for i in 0..20_000i64 {
             stream.push(if i % 2 == 0 { 42 } else { i % 257 });
         }
-        stats.offer(&batch(&stream));
+        stats.offer(&stream);
         let cut = stats.wait_cutoff();
         assert_eq!(cut.sample.len(), 512);
         let hot = cut.sample.iter().filter(|&&k| k == 42).count();

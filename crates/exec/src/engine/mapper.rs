@@ -41,7 +41,7 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use ewh_core::{Key, Rel, RouteBatch, RouteBuckets, Router, RoutingTable, Tuple};
+use ewh_core::{ColumnBatch, Key, Rel, RouteBatch, RouteBuckets, Router, RoutingTable};
 
 use super::exchange::{Exchange, TryPop};
 use super::morsel::{Claim, MemGauge, MorselPlan};
@@ -112,10 +112,12 @@ impl<'a> SealState<'a> {
 /// pool tasks.
 pub struct MapperShared<'a> {
     pub plan: &'a MorselPlan,
-    pub r1: &'a [Tuple],
-    /// Scan tuples of the probe side (empty when the probe streams from an
-    /// exchange — see [`SealState::exchange`]).
-    pub r2: &'a [Tuple],
+    /// Build-side base relation, in columnar layout: morsels route off
+    /// `keys()` windows directly (no per-morsel key scratch).
+    pub r1: &'a ColumnBatch,
+    /// Scan columns of the probe side (empty when the probe streams from
+    /// an exchange — see [`SealState::exchange`]).
+    pub r2: &'a ColumnBatch,
     pub router: &'a Router,
     /// Region id → owning reducer, re-read per fragment (see module docs).
     pub table: &'a RoutingTable,
@@ -129,6 +131,11 @@ pub struct MapperShared<'a> {
     /// incremented here per pushed fragment, decremented by reducers on
     /// absorption. The coordinator's quiescence test.
     pub in_flight: &'a AtomicU64,
+    /// Nanoseconds spent in `route_batch` plus the fragment ship passes
+    /// (per-region columnar gathers and their queue pushes; park stalls
+    /// excluded) — the routing-kernel time `JoinStats::route_secs`
+    /// reports.
+    pub route_nanos: &'a AtomicU64,
     pub seed: u64,
     /// Cooperative cancellation: checked every poll.
     pub cancel: &'a AtomicBool,
@@ -139,7 +146,7 @@ pub struct MapperShared<'a> {
 /// shared gauge releases it only once the whole batch is routed).
 enum UnitSource {
     Scan { rel: Rel, start: usize, end: usize },
-    Batch { tuples: Vec<Tuple> },
+    Batch { tuples: ColumnBatch },
 }
 
 /// One unit of routing work in flight across polls: the routed bucket
@@ -153,7 +160,7 @@ struct InFlightUnit {
     next: usize,
     /// A fragment already built (and charged to the gauge / volume
     /// counters) whose push bounced off a full queue.
-    built: Option<(u32, Vec<Tuple>)>,
+    built: Option<(u32, ColumnBatch)>,
 }
 
 /// One mapper task. Routes the scan plan, then drains the probe exchange
@@ -161,7 +168,6 @@ struct InFlightUnit {
 pub struct MapperTask<'a> {
     shared: &'a MapperShared<'a>,
     buckets: RouteBuckets,
-    keybuf: Vec<Key>,
     unit: Option<InFlightUnit>,
     /// Scan plan exhausted; now pulling from the exchange (if any).
     draining: bool,
@@ -175,7 +181,6 @@ impl<'a> MapperTask<'a> {
         MapperTask {
             shared,
             buckets: RouteBuckets::new(n_regions),
-            keybuf: Vec::with_capacity(shared.plan.morsel_tuples()),
             unit: None,
             draining: false,
             blocked: None,
@@ -195,7 +200,16 @@ impl<'a> MapperTask<'a> {
             return Poll::Ready;
         }
         if self.unit.is_some() {
-            if !self.ship_fragments() {
+            // One clock pair around the whole ship pass — per-fragment
+            // timing costs more than the gathers it would measure. A full
+            // queue bounces `try_push` immediately, so the park stall
+            // itself never lands in this account (it is backpressure,
+            // tracked by the queue).
+            let start = Instant::now();
+            let shipped = self.ship_fragments();
+            sh.route_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if !shipped {
                 return Poll::Pending;
             }
             self.complete_unit();
@@ -211,11 +225,13 @@ impl<'a> MapperTask<'a> {
             let allow_r2 = sh.seal.r1_remaining.load(Ordering::Acquire) == 0;
             match sh.plan.try_claim(allow_r2) {
                 Claim::Claimed(morsel) => {
-                    let tuples = match morsel.rel {
-                        Rel::R1 => &sh.r1[morsel.range()],
-                        Rel::R2 => &sh.r2[morsel.range()],
+                    // Route straight off the base relation's key column —
+                    // no key scratch is materialized from tuples.
+                    let keys = match morsel.rel {
+                        Rel::R1 => &sh.r1.keys()[morsel.range()],
+                        Rel::R2 => &sh.r2.keys()[morsel.range()],
                     };
-                    self.route_unit(morsel.index as u64, morsel.rel, tuples);
+                    self.route_unit(morsel.index as u64, morsel.rel, keys);
                     self.unit = Some(InFlightUnit {
                         source: UnitSource::Scan {
                             rel: morsel.rel,
@@ -241,7 +257,7 @@ impl<'a> MapperTask<'a> {
             TryPop::Batch(batch) => {
                 let seq = sh.seal.exchange_claims.fetch_add(1, Ordering::Relaxed);
                 // Disjoint RNG stream space from plan morsel indices.
-                self.route_unit(u64::MAX - seq, Rel::R2, &batch);
+                self.route_unit(u64::MAX - seq, Rel::R2, batch.keys());
                 self.unit = Some(InFlightUnit {
                     source: UnitSource::Batch { tuples: batch },
                     touched: self.buckets.touched().to_vec(),
@@ -261,19 +277,20 @@ impl<'a> MapperTask<'a> {
         }
     }
 
-    /// Routes one unit's tuples into `self.buckets` (retained until the
-    /// unit's fragments have all shipped).
-    fn route_unit(&mut self, stream: u64, rel: Rel, tuples: &[Tuple]) {
+    /// Routes one unit's key column into `self.buckets` (retained until
+    /// the unit's fragments have all shipped).
+    fn route_unit(&mut self, stream: u64, rel: Rel, keys: &[Key]) {
         let sh = self.shared;
-        self.keybuf.clear();
-        self.keybuf.extend(tuples.iter().map(|t| t.key));
+        let start = Instant::now();
         // Seed the routing RNG per morsel/batch (not per task) so content-
         // insensitive routing is identical no matter which mapper claims the
         // unit — network volume stays deterministic per seed for scans.
         let stream = stream << 1 | matches!(rel, Rel::R2) as u64;
         let mut rng = SmallRng::seed_from_u64(sh.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         sh.router
-            .route_batch(rel, &self.keybuf, &mut rng, &mut self.buckets);
+            .route_batch(rel, keys, &mut rng, &mut self.buckets);
+        sh.route_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Ships the in-progress unit's fragments, one region at a time,
@@ -293,25 +310,21 @@ impl<'a> MapperTask<'a> {
                     }
                     return true;
                 };
-                let tuples: &[Tuple] = match &unit.source {
+                let (keys, payloads) = match &unit.source {
                     UnitSource::Scan {
                         rel: Rel::R1,
                         start,
                         end,
-                    } => &sh.r1[*start..*end],
+                    } => (&sh.r1.keys()[*start..*end], &sh.r1.payloads()[*start..*end]),
                     UnitSource::Scan {
                         rel: Rel::R2,
                         start,
                         end,
-                    } => &sh.r2[*start..*end],
-                    UnitSource::Batch { tuples } => tuples,
+                    } => (&sh.r2.keys()[*start..*end], &sh.r2.payloads()[*start..*end]),
+                    UnitSource::Batch { tuples } => (tuples.keys(), tuples.payloads()),
                 };
-                let fragment: Vec<Tuple> = self
-                    .buckets
-                    .region(region)
-                    .iter()
-                    .map(|&i| tuples[i as usize])
-                    .collect();
+                let fragment =
+                    ColumnBatch::gather_from(keys, payloads, self.buckets.region(region));
                 sh.gauge.add(fragment.len() as u64);
                 sh.network_tuples
                     .fetch_add(fragment.len() as u64, Ordering::Relaxed);

@@ -73,7 +73,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ewh_core::{JoinCondition, Router, RoutingTable, Tuple};
+use ewh_core::{ColumnBatch, JoinCondition, Router, RoutingTable, Tuple};
 
 use crate::adaptive::AdaptiveConfig;
 use crate::local_join::{KeyFrom, OutputWork};
@@ -159,6 +159,9 @@ pub struct EngineOutcome {
     pub morsels_routed: u64,
     /// Total time mappers spent blocked on full reducer queues.
     pub backpressure_secs: f64,
+    /// Total time mappers spent routing: the batched router scans plus the
+    /// per-region columnar fragment gathers.
+    pub route_secs: f64,
     /// Per-reducer time spent processing vs. waiting.
     pub busy_secs: Vec<f64>,
     pub idle_secs: Vec<f64>,
@@ -255,11 +258,15 @@ pub fn run_pipelined(
     cfg: &EngineConfig,
     cancel: Option<&AtomicBool>,
 ) -> EngineOutcome {
+    // One transpose per run; every routed fragment, region sort, and sweep
+    // downstream works on the columnar layout.
+    let r1 = ColumnBatch::from_tuples(r1);
+    let r2 = ColumnBatch::from_tuples(r2);
     run_pipelined_io(
         rt,
         EngineIo {
-            r1: Source::Scan(r1),
-            r2: Source::Scan(r2),
+            r1: Source::Scan(&r1),
+            r2: Source::Scan(&r2),
             router,
             cond,
             table,
@@ -289,8 +296,8 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         io.r1.exchange().is_none(),
         "streamed build sides are unsupported: left-deep chains build on base relations"
     );
-    let r1 = io.r1.scan_tuples();
-    let r2 = io.r2.scan_tuples();
+    let r1 = io.r1.scan_cols();
+    let r2 = io.r2.scan_cols();
     let (router, cond, table, plan) = (io.router, io.cond, io.table, io.plan);
     let n_regions = table.n_regions();
     let reducers = cfg.reducers.max(1);
@@ -312,6 +319,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
     let seal = SealState::new(r1_left, plan.unconsumed(), io.r2.exchange());
     let network_tuples = AtomicU64::new(0);
     let morsels_routed = AtomicU64::new(0);
+    let route_nanos = AtomicU64::new(0);
     let in_flight = AtomicU64::new(0);
     let adoptions = AtomicU64::new(0);
     let migration_tuples = AtomicU64::new(0);
@@ -342,6 +350,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         network_tuples: &network_tuples,
         morsels_routed: &morsels_routed,
         in_flight: &in_flight,
+        route_nanos: &route_nanos,
         seed: cfg.seed,
         cancel,
     };
@@ -465,6 +474,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         peak_resident_tuples: gauge.peak_tuples(),
         morsels_routed: morsels_routed.into_inner(),
         backpressure_secs: queues.iter().map(|q| q.blocked_secs()).sum(),
+        route_secs: route_nanos.into_inner() as f64 * 1e-9,
         busy_secs: outcomes.iter().map(|o| o.busy_secs).collect(),
         idle_secs: outcomes.iter().map(|o| o.idle_secs).collect(),
         wall_secs: start.elapsed().as_secs_f64(),
@@ -839,6 +849,7 @@ mod tests {
             (0..n_regions).map(|r| (r % cfg.reducers) as u32).collect();
         let table = RoutingTable::new(&region_to_reducer);
         let plan = MorselPlan::new(r1.len(), 0, 128);
+        let r1 = ColumnBatch::from_tuples(r1);
         let exchange = Exchange::new(capacity);
         let gauge = MemGauge::default();
         let rt = test_rt();
@@ -846,14 +857,14 @@ mod tests {
             s.spawn(|| {
                 for chunk in r2.chunks(batch.max(1)) {
                     gauge.add(chunk.len() as u64);
-                    exchange.push(chunk.to_vec());
+                    exchange.push(ColumnBatch::from_tuples(chunk));
                 }
                 exchange.close();
             });
             run_pipelined_io(
                 &rt,
                 EngineIo {
-                    r1: Source::Scan(r1),
+                    r1: Source::Scan(&r1),
                     r2: Source::Exchange(&exchange),
                     router,
                     cond,
@@ -972,7 +983,7 @@ mod tests {
         // The upstream producer never pushes and never closes; a cancelled
         // downstream run must still unwind (bounded pop waits re-check the
         // cancel flag) instead of hanging in the exchange forever.
-        let r1 = tuples(&(0..500).collect::<Vec<Key>>());
+        let r1 = ColumnBatch::from_tuples(&tuples(&(0..500).collect::<Vec<Key>>()));
         let cond = JoinCondition::Equi;
         let scheme = build_ci(4, 500, 0, None);
         let region_to_reducer: Vec<u32> =

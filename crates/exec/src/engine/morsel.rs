@@ -12,9 +12,13 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use ewh_core::{Rel, Tuple};
+use ewh_core::{ColumnBatch, Rel};
 
 use super::exchange::Exchange;
+
+/// The empty scan — what [`Source::scan_cols`] hands back for exchange
+/// sources, so callers can always borrow columns without an `Option`.
+static EMPTY_COLS: ColumnBatch = ColumnBatch::new();
 
 /// One claimable unit of routing work: a contiguous tuple range of one
 /// relation. `Copy` on purpose: mappers claim morsels in a hot loop and a
@@ -57,19 +61,20 @@ impl Morsel {
 /// the intermediate ever being fully resident.
 #[derive(Clone, Copy, Debug)]
 pub enum Source<'a> {
-    /// A base relation (or any fully materialized input).
-    Scan(&'a [Tuple]),
+    /// A base relation (or any fully materialized input), in columnar
+    /// layout so mappers route straight off the key column.
+    Scan(&'a ColumnBatch),
     /// The streamed output of an upstream operator.
     Exchange(&'a Exchange),
 }
 
 impl<'a> Source<'a> {
-    /// The scan slice, empty for exchange sources (their tuples are pulled
-    /// from the queue, never addressed by morsel range).
-    pub fn scan_tuples(&self) -> &'a [Tuple] {
+    /// The scan columns, empty for exchange sources (their tuples are
+    /// pulled from the queue, never addressed by morsel range).
+    pub fn scan_cols(&self) -> &'a ColumnBatch {
         match self {
             Source::Scan(t) => t,
-            Source::Exchange(_) => &[],
+            Source::Exchange(_) => &EMPTY_COLS,
         }
     }
 

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use ewh_core::{Rel, Tuple};
+use ewh_core::{ColumnBatch, Rel};
 
 use super::spill::SpillRun;
 
@@ -67,7 +67,10 @@ pub struct RegionBatch {
     /// Routing epoch observed when the owning reducer was resolved — the
     /// engine's per-region migration fence (see `reducer.rs`).
     pub epoch: u64,
-    pub tuples: Vec<Tuple>,
+    /// The fragment's tuples, in columnar layout end to end: gathered from
+    /// the morsel's columns by the mapper, sorted and swept column-wise by
+    /// the reducer.
+    pub tuples: ColumnBatch,
 }
 
 /// The shipped state of one migrated region: the sealed, sorted build side,
@@ -76,8 +79,8 @@ pub struct RegionBatch {
 /// the new owner on [`Delivery::Adopt`].
 #[derive(Debug, Default)]
 pub struct MigratedRegion {
-    pub build: Vec<Tuple>,
-    pub pending: Vec<Tuple>,
+    pub build: ColumnBatch,
+    pub pending: ColumnBatch,
     /// Descriptors of the region's spilled build runs: the files travel
     /// with the region (the per-query spill directory is shared by every
     /// reducer of the query, so paths stay valid across owners).
@@ -252,6 +255,15 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
 
+    /// A columnar batch of `n` identical tuples.
+    fn cols(n: usize) -> ColumnBatch {
+        let mut b = ColumnBatch::with_capacity(n);
+        for _ in 0..n {
+            b.push(1, 2);
+        }
+        b
+    }
+
     #[test]
     fn fifo_order_and_backpressure() {
         let q = Arc::new(BoundedQueue::new(2));
@@ -263,7 +275,7 @@ mod tests {
                         region: i,
                         rel: Rel::R1,
                         epoch: 0,
-                        tuples: Vec::new(),
+                        tuples: ColumnBatch::new(),
                     }));
                 }
                 q.push(Delivery::SealAll);
@@ -295,7 +307,7 @@ mod tests {
             region: 0,
             rel: Rel::R2,
             epoch: 0,
-            tuples: Vec::new(),
+            tuples: ColumnBatch::new(),
         }));
         // A second data push would block; a seal must not.
         q.push(Delivery::SealAll);
@@ -311,7 +323,7 @@ mod tests {
                 region: i,
                 rel: Rel::R2,
                 epoch: 0,
-                tuples: vec![Tuple::new(1, 2); 3],
+                tuples: cols(3),
             }));
         }
         assert_eq!(q.used_tuples(), 15);
@@ -329,7 +341,7 @@ mod tests {
                 region: 0,
                 rel: Rel::R2,
                 epoch: 0,
-                tuples: vec![Tuple::new(1, 2); n],
+                tuples: cols(n),
             })
         };
         assert!(q.try_push(batch(3)).is_ok());
@@ -352,8 +364,8 @@ mod tests {
         q.push_unbounded(Delivery::Adopt {
             region: 3,
             state: Box::new(MigratedRegion {
-                build: vec![Tuple::new(0, 0); 7],
-                pending: vec![Tuple::new(1, 1); 2],
+                build: cols(7),
+                pending: cols(2),
                 sealed: true,
                 input: 9,
                 ..Default::default()

@@ -52,9 +52,9 @@ use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use ewh_core::{JoinCondition, Rel, RoutingTable, Tuple};
+use ewh_core::{ColumnBatch, JoinCondition, Rel, RoutingTable};
 
-use crate::local_join::{sweep_sorted, sweep_sorted_each, KeyFrom, OutputWork};
+use crate::local_join::{sweep_columns, sweep_columns_each, KeyFrom, OutputWork};
 
 use super::board::ProgressBoard;
 use super::exchange::StageSink;
@@ -70,13 +70,13 @@ const DELIVERIES_PER_POLL: usize = 32;
 /// Per-region accumulator.
 #[derive(Debug, Default)]
 struct RegionState {
-    /// Sorted `R1` runs (each incoming fragment is sorted on arrival);
-    /// merged into `build` at the R1 seal.
-    runs: Vec<Vec<Tuple>>,
-    /// Merged, sorted build side (valid once `sealed` is set).
-    build: Vec<Tuple>,
+    /// Sorted `R1` column runs (each incoming fragment is
+    /// permutation-sorted on arrival); merged into `build` at the R1 seal.
+    runs: Vec<ColumnBatch>,
+    /// Merged, sorted build columns (valid once `sealed` is set).
+    build: ColumnBatch,
     /// Probe tuples waiting for the seal or for a full chunk.
-    pending: Vec<Tuple>,
+    pending: ColumnBatch,
     /// Build-side runs spilled to disk under budget pressure; each is
     /// reloaded transiently and swept against every probe chunk (a
     /// sort-merge join distributes over any run partition of its build
@@ -93,8 +93,9 @@ struct RegionState {
 
 impl RegionState {
     fn resident_tuples(&self) -> u64 {
-        (self.runs.iter().map(Vec::len).sum::<usize>() + self.build.len() + self.pending.len())
-            as u64
+        (self.runs.iter().map(ColumnBatch::len).sum::<usize>()
+            + self.build.len()
+            + self.pending.len()) as u64
     }
 }
 
@@ -181,7 +182,7 @@ pub struct ReducerTask<'a> {
     parked: Vec<Vec<RegionBatch>>,
     /// Output batches staged for the downstream exchange (see module
     /// docs); drained before any further delivery is processed.
-    outbox: VecDeque<Vec<Tuple>>,
+    outbox: VecDeque<ColumnBatch>,
     /// Outbox batches spilled under budget pressure (the last rung of the
     /// spill ladder); reloaded one at a time once the resident outbox
     /// drains into the exchange.
@@ -407,10 +408,10 @@ impl<'a> ReducerTask<'a> {
         match rel {
             Rel::R1 => {
                 debug_assert!(!st.sealed, "R1 fragment after the R1 seal");
-                // Incremental sorted build: sort the fragment now, merge the
-                // runs once at the seal — O(n log n) total, off the mappers'
-                // critical path.
-                tuples.sort_unstable_by_key(|t| t.key);
+                // Incremental sorted build: permutation-sort the fragment's
+                // columns now, merge the runs once at the seal — O(n log n)
+                // total, off the mappers' critical path.
+                tuples.sort_by_key();
                 st.runs.push(tuples);
                 sh.board.add_build(region, n);
             }
@@ -547,8 +548,8 @@ impl<'a> ReducerTask<'a> {
     /// side. Charging the full size for the whole merge is a (slight)
     /// overestimate of the instantaneous extra — the gauge must never
     /// under-report the high-water mark it exists to measure.
-    fn merge_gauged(runs: Vec<Vec<Tuple>>, gauge: &MemGauge) -> Vec<Tuple> {
-        let transient = runs.iter().map(Vec::len).sum::<usize>() as u64;
+    fn merge_gauged(runs: Vec<ColumnBatch>, gauge: &MemGauge) -> ColumnBatch {
+        let transient = runs.iter().map(ColumnBatch::len).sum::<usize>() as u64;
         gauge.add(transient);
         let build = merge_sorted_runs(runs);
         gauge.sub(transient);
@@ -625,14 +626,14 @@ impl<'a> ReducerTask<'a> {
     fn write_capped(
         ctx: &SpillContext,
         sh: &ReducerShared<'_>,
-        mut victim: Vec<Tuple>,
-    ) -> (Vec<SpillRun>, Vec<Tuple>) {
+        mut victim: ColumnBatch,
+    ) -> (Vec<SpillRun>, ColumnBatch) {
         let cap = sh.probe_chunk.max(1);
         let mut written = Vec::new();
         let mut off = 0;
         while off < victim.len() {
             let end = (off + cap).min(victim.len());
-            match ctx.write_run(&victim[off..end]) {
+            match ctx.write_run(&victim.keys()[off..end], &victim.payloads()[off..end]) {
                 Ok(run) => {
                     sh.gauge.sub((end - off) as u64);
                     written.push(run);
@@ -719,7 +720,7 @@ impl<'a> ReducerTask<'a> {
             let mut victim = mem::take(&mut st.pending);
             // Probe runs must land sorted: the replay sweeps each run as a
             // self-contained, pre-sorted probe chunk.
-            victim.sort_unstable_by_key(|t| t.key);
+            victim.sort_by_key();
             let (written, tail) = Self::write_capped(ctx, sh, victim);
             for run in &written {
                 sh.board.add_spilled(region as u32, run.tuples());
@@ -746,7 +747,7 @@ impl<'a> ReducerTask<'a> {
             return false;
         };
         let mut victim = self.outbox.remove(i).expect("indexed above");
-        victim.sort_unstable_by_key(|t| t.key);
+        victim.sort_by_key();
         let (written, tail) = Self::write_capped(ctx, sh, victim);
         self.spilled_outbox.extend(written);
         if tail.is_empty() {
@@ -769,11 +770,11 @@ impl<'a> ReducerTask<'a> {
         sh: &ReducerShared<'_>,
         me: usize,
         region: u32,
-        outbox: &mut VecDeque<Vec<Tuple>>,
+        outbox: &mut VecDeque<ColumnBatch>,
     ) {
         debug_assert!(st.sealed);
         let mut resident = mem::take(&mut st.pending);
-        resident.sort_unstable_by_key(|t| t.key);
+        resident.sort_by_key();
         if !resident.is_empty() {
             Self::sweep_chunk(st, sh, me, resident, outbox);
         }
@@ -805,8 +806,8 @@ impl<'a> ReducerTask<'a> {
         st: &mut RegionState,
         sh: &ReducerShared<'_>,
         me: usize,
-        probe: Vec<Tuple>,
-        outbox: &mut VecDeque<Vec<Tuple>>,
+        probe: ColumnBatch,
+        outbox: &mut VecDeque<ColumnBatch>,
     ) {
         let (mut count, mut checksum) = Self::sweep_one(&st.build, &probe, sh, outbox);
         if let Some(ctx) = sh.spill {
@@ -840,26 +841,26 @@ impl<'a> ReducerTask<'a> {
     /// worker). The gauge charge is released by the downstream mapper
     /// once it has routed the batch.
     fn sweep_one(
-        build: &[Tuple],
-        probe: &[Tuple],
+        build: &ColumnBatch,
+        probe: &ColumnBatch,
         sh: &ReducerShared<'_>,
-        outbox: &mut VecDeque<Vec<Tuple>>,
+        outbox: &mut VecDeque<ColumnBatch>,
     ) -> (u64, u64) {
         match sh.sink {
-            None => sweep_sorted(build, probe, sh.cond, sh.work),
+            None => sweep_columns(build, probe, sh.cond, sh.work),
             Some(sink) => {
                 let cap = sink.batch_tuples.max(1);
-                let mut buf: Vec<Tuple> = Vec::with_capacity(cap);
-                let mut ship = |batch: Vec<Tuple>| {
-                    sink.stats.offer(&batch);
+                let mut buf = ColumnBatch::with_capacity(cap);
+                let mut ship = |batch: ColumnBatch| {
+                    sink.stats.offer(batch.keys());
                     sh.gauge.add(batch.len() as u64);
                     outbox.push_back(batch);
                 };
                 let (count, checksum) =
-                    sweep_sorted_each(build, probe, sh.cond, sh.key_from, |t| {
-                        buf.push(t);
+                    sweep_columns_each(build, probe, sh.cond, sh.key_from, |k, p| {
+                        buf.push(k, p);
                         if buf.len() >= cap {
-                            ship(mem::replace(&mut buf, Vec::with_capacity(cap)));
+                            ship(mem::replace(&mut buf, ColumnBatch::with_capacity(cap)));
                         }
                     });
                 if !buf.is_empty() {
@@ -891,7 +892,7 @@ impl<'a> ReducerTask<'a> {
                 Self::flush(st, sh, me, region as u32, &mut self.outbox);
             }
             sh.gauge.sub(st.build.len() as u64);
-            st.build = Vec::new();
+            st.build = ColumnBatch::new();
             if let Some(ctx) = sh.spill {
                 // Spilled build runs persist across flushes (each probe
                 // chunk re-reads them); the region completing is what
@@ -943,11 +944,12 @@ impl<'a> ReducerTask<'a> {
     }
 }
 
-/// Balanced pairwise merge of sorted runs: O(n log k) for k runs of n total
-/// tuples.
-pub fn merge_sorted_runs(mut runs: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+/// Balanced pairwise merge of key-sorted column runs: O(n log k) for k
+/// runs of n total tuples. The two-way merge walks the key columns and
+/// copies both columns position-wise, so no `Tuple` is ever materialized.
+pub fn merge_sorted_runs(mut runs: Vec<ColumnBatch>) -> ColumnBatch {
     if runs.is_empty() {
-        return Vec::new();
+        return ColumnBatch::new();
     }
     while runs.len() > 1 {
         let mut next = Vec::with_capacity(runs.len().div_ceil(2));
@@ -963,27 +965,25 @@ pub fn merge_sorted_runs(mut runs: Vec<Vec<Tuple>>) -> Vec<Tuple> {
     runs.pop().expect("non-empty by construction")
 }
 
-fn merge_two(a: Vec<Tuple>, b: Vec<Tuple>) -> Vec<Tuple> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
-    loop {
-        match (ia.peek(), ib.peek()) {
-            (Some(x), Some(y)) => {
-                if x.key <= y.key {
-                    out.push(ia.next().expect("peeked"));
-                } else {
-                    out.push(ib.next().expect("peeked"));
-                }
-            }
-            (Some(_), None) => {
-                out.extend(ia);
-                break;
-            }
-            (None, _) => {
-                out.extend(ib);
-                break;
-            }
+fn merge_two(a: ColumnBatch, b: ColumnBatch) -> ColumnBatch {
+    let mut out = ColumnBatch::with_capacity(a.len() + b.len());
+    let (ak, ap) = (a.keys(), a.payloads());
+    let (bk, bp) = (b.keys(), b.payloads());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ak.len() && j < bk.len() {
+        if ak[i] <= bk[j] {
+            out.push(ak[i], ap[i]);
+            i += 1;
+        } else {
+            out.push(bk[j], bp[j]);
+            j += 1;
         }
+    }
+    if i < ak.len() {
+        out.extend_from_range(&a, i..ak.len());
+    }
+    if j < bk.len() {
+        out.extend_from_range(&b, j..bk.len());
     }
     out
 }
@@ -992,30 +992,31 @@ fn merge_two(a: Vec<Tuple>, b: Vec<Tuple>) -> Vec<Tuple> {
 mod tests {
     use super::*;
 
-    fn tuples(keys: &[i64]) -> Vec<Tuple> {
-        keys.iter()
-            .enumerate()
-            .map(|(i, &k)| Tuple::new(k, i as u64))
-            .collect()
+    fn cols(keys: &[i64]) -> ColumnBatch {
+        let mut b = ColumnBatch::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            b.push(k, i as u64);
+        }
+        b
     }
 
     #[test]
     fn merge_runs_produces_one_sorted_run() {
         let runs = vec![
-            tuples(&[1, 5, 9]),
-            tuples(&[2, 2, 8]),
-            tuples(&[0]),
-            Vec::new(),
-            tuples(&[3, 4, 10, 11]),
+            cols(&[1, 5, 9]),
+            cols(&[2, 2, 8]),
+            cols(&[0]),
+            ColumnBatch::new(),
+            cols(&[3, 4, 10, 11]),
         ];
         let merged = merge_sorted_runs(runs);
-        let keys: Vec<i64> = merged.iter().map(|t| t.key).collect();
-        assert_eq!(keys, vec![0, 1, 2, 2, 3, 4, 5, 8, 9, 10, 11]);
+        assert_eq!(merged.keys(), &[0, 1, 2, 2, 3, 4, 5, 8, 9, 10, 11]);
+        assert_eq!(merged.payloads().len(), merged.keys().len());
     }
 
     #[test]
     fn merge_of_nothing_is_empty() {
         assert!(merge_sorted_runs(Vec::new()).is_empty());
-        assert!(merge_sorted_runs(vec![Vec::new(), Vec::new()]).is_empty());
+        assert!(merge_sorted_runs(vec![ColumnBatch::new(), ColumnBatch::new()]).is_empty());
     }
 }

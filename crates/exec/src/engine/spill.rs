@@ -1,12 +1,16 @@
 //! Out-of-core spill support: per-query scoped temp files holding
-//! length-prefixed sorted runs of tuples.
+//! length-prefixed sorted runs of tuples in columnar slab layout.
 //!
 //! When a query's [`MemGauge`](super::MemGauge) crosses its budget slice,
 //! reducers shed state through a [`SpillContext`]: each victim (a sealed
 //! build run, a pre-seal probe `pending`, an outbox batch) is written as
-//! one [`SpillRun`] — a `u64` little-endian tuple count followed by that
-//! many `(i64 key, u64 payload)` pairs — into the query's private spill
-//! directory, and the gauge is released by exactly the tuples written.
+//! one [`SpillRun`] — a `u64` little-endian tuple count followed by the
+//! whole *key column* (`i64` LE) and then the whole *payload column*
+//! (`u64` LE) — into the query's private spill directory, and the gauge is
+//! released by exactly the tuples written. The slab layout mirrors the
+//! in-memory [`ColumnBatch`]: each column serializes as one contiguous
+//! fixed-width block, so a run reloads straight into its two columns with
+//! no per-tuple interleaving on either side of the I/O.
 //! Runs are reloaded transiently during the sweep (build runs) or replayed
 //! as extra probe chunks (pending runs), so the join's output stays
 //! bit-identical to the in-memory path: a sort-merge join distributes over
@@ -34,7 +38,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ewh_core::{Tuple, TUPLE_BYTES};
+use ewh_core::{ColumnBatch, Key, TUPLE_BYTES};
 
 /// Out-of-core knobs of one operator / plan run (part of
 /// [`OperatorConfig`](crate::OperatorConfig)).
@@ -99,11 +103,14 @@ impl SpillContext {
         }
     }
 
-    /// Writes `tuples` as one length-prefixed run and returns its
+    /// Writes the parallel `keys` / `payloads` columns as one
+    /// length-prefixed run — count, then the key slab, then the payload
+    /// slab, each column one contiguous LE block — and returns its
     /// descriptor. The caller is responsible for releasing the gauge only
     /// after a successful write (on error the tuples must stay resident so
     /// the abort path's accounting balances).
-    pub fn write_run(&self, tuples: &[Tuple]) -> io::Result<SpillRun> {
+    pub fn write_run(&self, keys: &[Key], payloads: &[u64]) -> io::Result<SpillRun> {
+        assert_eq!(keys.len(), payloads.len(), "column lengths must match");
         let start = Instant::now();
         if let Some(limit) = self.fail_after_bytes {
             if self.bytes.load(Ordering::Relaxed) >= limit {
@@ -114,25 +121,36 @@ impl SpillContext {
         let id = self.seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("run-{id}.spill"));
         let mut w = BufWriter::new(File::create(&path)?);
-        w.write_all(&(tuples.len() as u64).to_le_bytes())?;
-        for t in tuples {
-            w.write_all(&t.key.to_le_bytes())?;
-            w.write_all(&t.payload.to_le_bytes())?;
+        w.write_all(&(keys.len() as u64).to_le_bytes())?;
+        let mut slab = Vec::with_capacity(keys.len() * 8);
+        for k in keys {
+            slab.extend_from_slice(&k.to_le_bytes());
         }
+        w.write_all(&slab)?;
+        slab.clear();
+        for p in payloads {
+            slab.extend_from_slice(&p.to_le_bytes());
+        }
+        w.write_all(&slab)?;
         w.flush()?;
-        let written = 8 + tuples.len() as u64 * TUPLE_BYTES;
+        let written = 8 + keys.len() as u64 * TUPLE_BYTES;
         self.bytes.fetch_add(written, Ordering::Relaxed);
         self.spill_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(SpillRun {
             path,
-            tuples: tuples.len() as u64,
+            tuples: keys.len() as u64,
         })
     }
 
-    /// Reads a run back in full (the file stays on disk; see
+    /// [`write_run`](Self::write_run) over a whole batch's columns.
+    pub fn write_batch(&self, batch: &ColumnBatch) -> io::Result<SpillRun> {
+        self.write_run(batch.keys(), batch.payloads())
+    }
+
+    /// Reads a run back in full as columns (the file stays on disk; see
     /// [`SpillContext::remove_run`]).
-    pub fn read_run(&self, run: &SpillRun) -> io::Result<Vec<Tuple>> {
+    pub fn read_run(&self, run: &SpillRun) -> io::Result<ColumnBatch> {
         let start = Instant::now();
         let mut r = BufReader::new(File::open(&run.path)?);
         let mut buf8 = [0u8; 8];
@@ -144,17 +162,21 @@ impl SpillContext {
                 run.tuples
             )));
         }
-        let mut out = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            r.read_exact(&mut buf8)?;
-            let key = i64::from_le_bytes(buf8);
-            r.read_exact(&mut buf8)?;
-            let payload = u64::from_le_bytes(buf8);
-            out.push(Tuple::new(key, payload));
-        }
+        let n = n as usize;
+        let mut slab = vec![0u8; n * 8];
+        r.read_exact(&mut slab)?;
+        let keys: Vec<Key> = slab
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        r.read_exact(&mut slab)?;
+        let payloads: Vec<u64> = slab
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
         self.reload_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        Ok(out)
+        Ok(ColumnBatch::from_columns(keys, payloads))
     }
 
     /// Deletes a consumed run's file (best-effort: the per-query directory
@@ -206,6 +228,7 @@ impl SpillContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ewh_core::Tuple;
 
     fn temp_ctx(tag: &str, fail_after: Option<u64>) -> SpillContext {
         let dir = std::env::temp_dir().join(format!("ewh-spill-test-{}-{tag}", std::process::id()));
@@ -217,12 +240,13 @@ mod tests {
     fn runs_round_trip_and_account_bytes() {
         let ctx = temp_ctx("roundtrip", None);
         let tuples: Vec<Tuple> = (0..100).map(|i| Tuple::new(i - 50, i as u64)).collect();
-        let run = ctx.write_run(&tuples).expect("write");
+        let batch = ColumnBatch::from_tuples(&tuples);
+        let run = ctx.write_batch(&batch).expect("write");
         assert_eq!(run.tuples(), 100);
         assert_eq!(ctx.spill_bytes(), 8 + 100 * TUPLE_BYTES);
         assert!(ctx.spill_secs() > 0.0);
         let back = ctx.read_run(&run).expect("read");
-        assert_eq!(back, tuples);
+        assert_eq!(back, batch);
         assert!(ctx.reload_secs() > 0.0);
         ctx.remove_run(&run);
         assert!(ctx.read_run(&run).is_err(), "file gone after remove");
@@ -230,18 +254,35 @@ mod tests {
     }
 
     #[test]
+    fn the_on_disk_layout_is_count_then_key_slab_then_payload_slab() {
+        let ctx = temp_ctx("layout", None);
+        let run = ctx
+            .write_run(&[-1, 7], &[0xAB, 0xCD])
+            .expect("write two tuples");
+        let bytes = fs::read(&run.path).expect("raw file");
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&2u64.to_le_bytes());
+        expect.extend_from_slice(&(-1i64).to_le_bytes());
+        expect.extend_from_slice(&7i64.to_le_bytes());
+        expect.extend_from_slice(&0xABu64.to_le_bytes());
+        expect.extend_from_slice(&0xCDu64.to_le_bytes());
+        assert_eq!(bytes, expect, "columnar slabs, not interleaved pairs");
+        let _ = fs::remove_dir_all(&ctx.dir);
+    }
+
+    #[test]
     fn empty_runs_are_valid() {
         let ctx = temp_ctx("empty", None);
-        let run = ctx.write_run(&[]).expect("write empty");
+        let run = ctx.write_run(&[], &[]).expect("write empty");
         assert_eq!(run.tuples(), 0);
-        assert_eq!(ctx.read_run(&run).expect("read empty"), Vec::new());
+        assert!(ctx.read_run(&run).expect("read empty").is_empty());
         let _ = fs::remove_dir_all(&ctx.dir);
     }
 
     #[test]
     fn fault_injection_fails_once_past_the_byte_limit() {
         let ctx = temp_ctx("fault", Some(0));
-        assert!(ctx.write_run(&[Tuple::new(1, 1)]).is_err());
+        assert!(ctx.write_run(&[1], &[1]).is_err());
         assert!(!ctx.failed());
         ctx.record_failure("boom".into());
         assert!(ctx.failed());
@@ -253,10 +294,10 @@ mod tests {
     #[test]
     fn a_partial_limit_allows_writes_up_to_it() {
         let ctx = temp_ctx("partial", Some(1));
-        let run = ctx.write_run(&[Tuple::new(7, 7)]).expect("first write ok");
+        let run = ctx.write_run(&[7], &[7]).expect("first write ok");
         assert_eq!(run.tuples(), 1);
         assert!(
-            ctx.write_run(&[Tuple::new(8, 8)]).is_err(),
+            ctx.write_run(&[8], &[8]).is_err(),
             "limit crossed after the first run"
         );
         let _ = fs::remove_dir_all(&ctx.dir);

@@ -63,8 +63,8 @@ pub use engine::{
     SpillContext, SpillRun, StageSink, Straggler,
 };
 pub use local_join::{
-    local_join, output_tuple, sweep_sorted, sweep_sorted_each, sweep_sorted_into, KeyFrom,
-    OutputWork,
+    local_join, output_tuple, pair_payload, sweep_columns, sweep_columns_each, sweep_sorted,
+    sweep_sorted_each, sweep_sorted_into, KeyFrom, OutputWork,
 };
 pub use metrics::JoinStats;
 pub use operator::{

@@ -12,7 +12,9 @@
 //! post-processing cost — writing to disk or shipping to the next operator —
 //! that `wo` models), [`OutputWork::Count`] only counts.
 
-use ewh_core::{JoinCondition, Tuple};
+use std::ops::Range;
+
+use ewh_core::{ColumnBatch, JoinCondition, Key, Tuple};
 
 /// How much work to spend per output tuple.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,10 +39,19 @@ pub enum KeyFrom {
     Probe,
 }
 
+/// The payload of one matched pair — the single definition of the
+/// `build·31 + probe` oracle contract. Every sweep variant (checksum
+/// folds, emitted tuples, columnar kernels) derives its per-pair value
+/// from this helper, so the contract lives in exactly one place.
+#[inline]
+pub fn pair_payload(build: u64, probe: u64) -> u64 {
+    build.wrapping_mul(31).wrapping_add(probe)
+}
+
 /// The canonical output tuple of one matched pair — the single definition
 /// both the pipelined plan executor and the materialize-between-operators
 /// baseline use, so chained results are comparable bit for bit. The payload
-/// is exactly the pair's checksum contribution (`build·31 + probe`), so an
+/// is exactly the pair's checksum contribution ([`pair_payload`]), so an
 /// operator's XOR checksum equals the XOR of its emitted payloads.
 #[inline]
 pub fn output_tuple(build: &Tuple, probe: &Tuple, key_from: KeyFrom) -> Tuple {
@@ -48,10 +59,7 @@ pub fn output_tuple(build: &Tuple, probe: &Tuple, key_from: KeyFrom) -> Tuple {
         KeyFrom::Build => build.key,
         KeyFrom::Probe => probe.key,
     };
-    Tuple::new(
-        key,
-        build.payload.wrapping_mul(31).wrapping_add(probe.payload),
-    )
+    Tuple::new(key, pair_payload(build.payload, probe.payload))
 }
 
 /// Joins one worker's buckets in place (sorts both). Returns
@@ -132,7 +140,7 @@ pub fn sweep_sorted(
         OutputWork::Count => sweep_ranges(r1, r2, cond, |_, _| {}),
         OutputWork::Touch => sweep_ranges(r1, r2, cond, |t1, partners| {
             for t2 in partners {
-                checksum ^= t1.payload.wrapping_mul(31).wrapping_add(t2.payload);
+                checksum ^= pair_payload(t1.payload, t2.payload);
             }
         }),
     };
@@ -174,6 +182,115 @@ pub fn sweep_sorted_into(
     out: &mut Vec<Tuple>,
 ) -> (u64, u64) {
     sweep_sorted_each(r1, r2, cond, key_from, |t| out.push(t))
+}
+
+/// The columnar staircase kernel: [`sweep_ranges`] rewritten over a bare
+/// key column. The cursor walks and binary searches touch only `Key`
+/// slices (half the bytes per element of a `Tuple` scan), and each
+/// build-side match is reported as an *index range* of probe positions so
+/// callers fold the parallel payload column in tight contiguous loops the
+/// compiler can autovectorize.
+#[inline]
+fn sweep_ranges_cols(
+    build_keys: &[Key],
+    probe_keys: &[Key],
+    cond: &JoinCondition,
+    mut on_range: impl FnMut(usize, Range<usize>),
+) -> u64 {
+    if build_keys.is_empty() || probe_keys.is_empty() {
+        return 0;
+    }
+    debug_assert!(build_keys.is_sorted());
+    debug_assert!(probe_keys.is_sorted());
+    let probe_min = probe_keys[0];
+    let probe_max = probe_keys[probe_keys.len() - 1];
+    let start = build_keys.partition_point(|&k| cond.joinable_range(k).hi < probe_min);
+    let end = build_keys.partition_point(|&k| cond.joinable_range(k).lo <= probe_max);
+
+    let mut count = 0u64;
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    for (off, &k1) in build_keys[start..end].iter().enumerate() {
+        let jr = cond.joinable_range(k1);
+        while lo < probe_keys.len() && probe_keys[lo] < jr.lo {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < probe_keys.len() && probe_keys[hi] <= jr.hi {
+            hi += 1;
+        }
+        count += (hi - lo) as u64;
+        on_range(start + off, lo..hi);
+    }
+    count
+}
+
+/// Columnar twin of [`sweep_sorted`]: sweeps two key-sorted
+/// [`ColumnBatch`]es and folds the pair checksum over the parallel
+/// payload columns. Bit-identical to the AoS sweep on the same logical
+/// tuples — both derive per-pair values from [`pair_payload`].
+pub fn sweep_columns(
+    build: &ColumnBatch,
+    probe: &ColumnBatch,
+    cond: &JoinCondition,
+    work: OutputWork,
+) -> (u64, u64) {
+    let bp = build.payloads();
+    let pp = probe.payloads();
+    let mut checksum = 0u64;
+    let count = match work {
+        OutputWork::Count => sweep_ranges_cols(build.keys(), probe.keys(), cond, |_, _| {}),
+        OutputWork::Touch => sweep_ranges_cols(build.keys(), probe.keys(), cond, |i, r| {
+            let b = bp[i];
+            let mut fold = 0u64;
+            for &p in &pp[r] {
+                fold ^= pair_payload(b, p);
+            }
+            checksum ^= fold;
+        }),
+    };
+    (count, checksum)
+}
+
+/// Columnar twin of [`sweep_sorted_each`]: emits every matched pair as
+/// `(key, payload)` — the payload is [`pair_payload`], the key comes from
+/// the `key_from` side — so the engine's sink path can push straight into
+/// an output [`ColumnBatch`] without materializing `Tuple`s.
+pub fn sweep_columns_each(
+    build: &ColumnBatch,
+    probe: &ColumnBatch,
+    cond: &JoinCondition,
+    key_from: KeyFrom,
+    mut emit: impl FnMut(Key, u64),
+) -> (u64, u64) {
+    let bk = build.keys();
+    let bp = build.payloads();
+    let pk = probe.keys();
+    let pp = probe.payloads();
+    let mut checksum = 0u64;
+    let count = sweep_ranges_cols(bk, pk, cond, |i, r| {
+        let b = bp[i];
+        match key_from {
+            KeyFrom::Build => {
+                let key = bk[i];
+                for &p in &pp[r] {
+                    let pay = pair_payload(b, p);
+                    checksum ^= pay;
+                    emit(key, pay);
+                }
+            }
+            KeyFrom::Probe => {
+                for j in r {
+                    let pay = pair_payload(b, pp[j]);
+                    checksum ^= pay;
+                    emit(pk[j], pay);
+                }
+            }
+        }
+    });
+    (count, checksum)
 }
 
 #[cfg(test)]
@@ -322,5 +439,71 @@ mod tests {
         assert_eq!(c, 0);
         let (c, _) = local_join(&mut tuples(&[1, 2]), &mut [], &cond, OutputWork::Touch);
         assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn columnar_sweep_matches_aos_sweep_for_all_conditions() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let conds = [
+            JoinCondition::Equi,
+            JoinCondition::Band { beta: 0 },
+            JoinCondition::Band { beta: 4 },
+            JoinCondition::Inequality(IneqOp::Lt),
+            JoinCondition::Inequality(IneqOp::Ge),
+            JoinCondition::EquiBand { shift: 8, beta: 2 },
+        ];
+        for cond in conds {
+            let k1: Vec<Key> = (0..400).map(|_| rng.gen_range(0..70)).collect();
+            let k2: Vec<Key> = (0..400).map(|_| rng.gen_range(0..70)).collect();
+            let mut r1 = tuples(&k1);
+            let mut r2 = tuples(&k2);
+            r1.sort_unstable_by_key(|t| t.key);
+            r2.sort_unstable_by_key(|t| t.key);
+            let (expect_c, expect_s) = sweep_sorted(&r1, &r2, &cond, OutputWork::Touch);
+
+            let b1 = ColumnBatch::from_tuples(&r1);
+            let b2 = ColumnBatch::from_tuples(&r2);
+            let (c, s) = sweep_columns(&b1, &b2, &cond, OutputWork::Touch);
+            assert_eq!(c, expect_c, "{cond:?}");
+            assert_eq!(s, expect_s, "{cond:?}");
+            let (cc, cs) = sweep_columns(&b1, &b2, &cond, OutputWork::Count);
+            assert_eq!(cc, expect_c, "{cond:?}");
+            assert_eq!(cs, 0);
+        }
+    }
+
+    #[test]
+    fn columnar_emitting_sweep_matches_aos_emitting_sweep() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let k1: Vec<Key> = (0..300).map(|_| rng.gen_range(0..40)).collect();
+        let k2: Vec<Key> = (0..300).map(|_| rng.gen_range(0..40)).collect();
+        let mut r1 = tuples(&k1);
+        let mut r2 = tuples(&k2);
+        r1.sort_unstable_by_key(|t| t.key);
+        r2.sort_unstable_by_key(|t| t.key);
+        let cond = JoinCondition::Band { beta: 2 };
+        for key_from in [KeyFrom::Build, KeyFrom::Probe] {
+            let mut expect = Vec::new();
+            let (expect_c, expect_s) = sweep_sorted_into(&r1, &r2, &cond, key_from, &mut expect);
+
+            let b1 = ColumnBatch::from_tuples(&r1);
+            let b2 = ColumnBatch::from_tuples(&r2);
+            let mut out = ColumnBatch::new();
+            let (c, s) = sweep_columns_each(&b1, &b2, &cond, key_from, |k, p| out.push(k, p));
+            assert_eq!(c, expect_c);
+            assert_eq!(s, expect_s);
+            assert_eq!(out.to_tuples(), expect, "same pairs in the same order");
+        }
+    }
+
+    #[test]
+    fn pair_payload_is_the_output_tuple_contract() {
+        let b = Tuple::new(1, 0xDEAD);
+        let p = Tuple::new(2, 0xBEEF);
+        assert_eq!(
+            output_tuple(&b, &p, KeyFrom::Build).payload,
+            pair_payload(0xDEAD, 0xBEEF)
+        );
+        assert_eq!(pair_payload(3, 4), 3u64.wrapping_mul(31).wrapping_add(4));
     }
 }

@@ -4,7 +4,9 @@
 use std::thread;
 use std::time::Instant;
 
-use ewh_core::{JoinCondition, PartitionScheme, RoutingTable, SchemeKind, Tuple, TUPLE_BYTES};
+use ewh_core::{
+    ColumnBatch, JoinCondition, PartitionScheme, RoutingTable, SchemeKind, Tuple, TUPLE_BYTES,
+};
 
 use crate::engine::{
     run_pipelined_io, EngineConfig, EngineIo, EngineOutcome, EngineRuntime, MemGauge, MorselPlan,
@@ -242,6 +244,7 @@ pub fn stats_from_outcome(
         migration_tuples: out.migration_tuples,
         migration_secs: out.migration_secs,
         backpressure_secs: out.backpressure_secs,
+        route_secs: out.route_secs,
         reducer_busy_secs: out.busy_secs.clone(),
         reducer_idle_secs: out.idle_secs.clone(),
         spill_bytes: out.spill_bytes,
@@ -311,11 +314,14 @@ pub fn execute_join_pipelined(
     debug_assert_eq!(region_to_worker.len(), scheme.num_regions());
     let (engine_cfg, table) = engine_setup(scheme, cfg);
 
+    // One transpose per side; the engine routes, sorts, and sweeps columns.
+    let r1 = ColumnBatch::from_tuples(r1);
+    let r2 = ColumnBatch::from_tuples(r2);
     let out = run_pipelined_io(
         rt,
         EngineIo {
-            r1: Source::Scan(r1),
-            r2: Source::Scan(r2),
+            r1: Source::Scan(&r1),
+            r2: Source::Scan(&r2),
             router: &scheme.router,
             cond,
             table: &table,

@@ -63,7 +63,7 @@
 use std::thread;
 use std::time::Instant;
 
-use ewh_core::{JoinCondition, PartitionScheme, SchemeKind, Tuple, TUPLE_BYTES};
+use ewh_core::{ColumnBatch, JoinCondition, PartitionScheme, SchemeKind, Tuple, TUPLE_BYTES};
 
 use crate::engine::{
     run_pipelined_io, AbandonOnDrop, CloseOnDrop, EngineIo, EngineRuntime, Exchange, MemGauge,
@@ -175,8 +175,8 @@ fn run_stage(
     let _abandon_guard = AbandonOnDrop(r2.exchange());
     let (engine_cfg, table) = engine_setup(scheme, cfg);
     let plan = MorselPlan::new(
-        r1.scan_tuples().len(),
-        r2.scan_tuples().len(),
+        r1.scan_cols().len(),
+        r2.scan_cols().len(),
         cfg.morsel_tuples,
     );
     let out = run_pipelined_io(
@@ -301,6 +301,16 @@ pub fn run_plan(
     let (scheme0, wall0) = build_scheme(first.kind, r1, r2, &first.cond, cfg);
     let root_m_est = scheme0.build.m_est;
 
+    // Transpose every scan source once, before the stage tasks spawn: the
+    // engine routes, sorts, and sweeps on columnar batches, and the
+    // borrows must outlive the scoped stage threads below.
+    let r1_cols = ColumnBatch::from_tuples(r1);
+    let r2_cols = ColumnBatch::from_tuples(r2);
+    let base_cols: Vec<ColumnBatch> = chain
+        .iter()
+        .map(|stage| ColumnBatch::from_tuples(stage.base))
+        .collect();
+
     struct StageMeta {
         kind: SchemeKind,
         num_regions: usize,
@@ -328,11 +338,12 @@ pub fn run_plan(
             });
             let scheme0 = &scheme0;
             let cond = &first.cond;
+            let (r1_cols, r2_cols) = (&r1_cols, &r2_cols);
             handles.push(s.spawn(move || {
                 run_stage(
                     rt,
-                    Source::Scan(r1),
-                    Source::Scan(r2),
+                    Source::Scan(r1_cols),
+                    Source::Scan(r2_cols),
                     scheme0,
                     cond,
                     KeyFrom::Probe,
@@ -374,7 +385,7 @@ pub fn run_plan(
                 batch_tuples: cfg.morsel_tuples.max(1),
             });
             let source = Source::Exchange(&exchanges[i]);
-            let base = stage.base;
+            let base = &base_cols[i];
             let cond = &stage.spec.cond;
             handles.push(s.spawn(move || {
                 run_stage(
