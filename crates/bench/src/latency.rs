@@ -1,0 +1,202 @@
+//! Open-loop mixed-workload latency harness: many small interactive
+//! queries arrive on a fixed schedule while one large analytic query
+//! grinds on the same shared worker pool.
+//!
+//! *Open-loop* means the arrival schedule never waits for completions: the
+//! k-th small query is launched at `start + k·interval` regardless of how
+//! far behind the pool is, and its latency is measured from that scheduled
+//! arrival — so scheduler-induced queueing delay counts against the
+//! scheduler, the way it does for a real interactive client.
+//!
+//! The same scenario runs under both `Pending`-handling policies of the
+//! runtime ([`RuntimeConfig::pending_nap_micros`]): the event-driven waker
+//! parking that is the engine's default, and the legacy nap-and-requeue
+//! poll loop it replaced. The `latency_bench` binary seeds
+//! `BENCH_latency.json` from the comparison; `tests/latency_claims.rs`
+//! asserts the cross-mode output equality and the spurious-poll collapse.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ewh_core::SchemeKind;
+use ewh_exec::{
+    run_operator, EngineRuntime, ExecMode, OperatorConfig, OperatorRun, OutputWork, RuntimeConfig,
+};
+
+use crate::harness::RunConfig;
+use crate::workloads::{retail_hotkey, Workload};
+
+/// Knobs of one open-loop run (shared by both scheduler modes).
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyScenario {
+    /// Small interactive queries launched over the run.
+    pub small_queries: usize,
+    /// Open-loop inter-arrival gap of the small queries.
+    pub interval: Duration,
+    /// Scale of each small query's RETAIL workload.
+    pub small_scale: f64,
+    /// Scale of the single analytic query started before the first small
+    /// arrival (hot-key output grows quadratically with scale, so modest
+    /// factors keep it busy for the whole arrival window).
+    pub analytic_scale: f64,
+    /// Shared pool size.
+    pub workers: usize,
+    pub seed: u64,
+}
+
+impl Default for LatencyScenario {
+    fn default() -> Self {
+        LatencyScenario {
+            small_queries: 16,
+            interval: Duration::from_millis(15),
+            small_scale: 0.25,
+            analytic_scale: 2.0,
+            workers: 8,
+            seed: 0xEC,
+        }
+    }
+}
+
+/// What one scheduler mode produced: the sorted small-query latency
+/// distribution, the outputs (for cross-mode equality checks), and the
+/// runtime-counter deltas attributable to this run.
+#[derive(Clone, Debug)]
+pub struct ModeOutcome {
+    /// Small-query latencies (scheduled arrival → completion), sorted.
+    pub latencies_secs: Vec<f64>,
+    pub small_output: u64,
+    pub small_checksum: u64,
+    pub analytic_output: u64,
+    pub analytic_checksum: u64,
+    pub analytic_wall_secs: f64,
+    pub makespan_secs: f64,
+    pub polls: u64,
+    pub spurious_polls: u64,
+    pub wakeups: u64,
+    pub parked_secs: f64,
+}
+
+impl ModeOutcome {
+    pub fn p50_secs(&self) -> f64 {
+        percentile(&self.latencies_secs, 0.50)
+    }
+
+    pub fn p99_secs(&self) -> f64 {
+        percentile(&self.latencies_secs, 0.99)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0.0 for empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn query_config(
+    sc: &LatencyScenario,
+    scale: f64,
+    work: OutputWork,
+    w: &Workload,
+) -> OperatorConfig {
+    let rc = RunConfig {
+        scale,
+        threads: sc.workers,
+        seed: sc.seed,
+        ..RunConfig::default()
+    };
+    OperatorConfig {
+        mode: ExecMode::Pipelined,
+        output_work: work,
+        // Small queries sit below the default retail scale; shrink the
+        // bounded buffers so their pipelines still do real streaming.
+        queue_tuples: 1024,
+        ..rc.operator_config(w)
+    }
+}
+
+/// Runs the scenario once under the given `Pending` policy (`None` =
+/// event-driven waker parking, `Some(micros)` = legacy nap-and-requeue) on
+/// a fresh pool, and returns the mode's outcome.
+pub fn run_mode(sc: &LatencyScenario, pending_nap_micros: Option<u64>) -> ModeOutcome {
+    let small_w = retail_hotkey(sc.small_scale, sc.seed);
+    let analytic_w = retail_hotkey(sc.analytic_scale, sc.seed ^ 0xA11);
+    // Small queries count their output (latency is about scheduling, not
+    // output touching); the analytic query *touches* every output pair so
+    // its reducers stay genuinely busy and its mappers genuinely blocked on
+    // queue backpressure — the sustained pressure the small queries must
+    // cut through.
+    let small_cfg = query_config(sc, sc.small_scale, OutputWork::Count, &small_w);
+    let analytic_cfg = query_config(sc, sc.analytic_scale, OutputWork::Touch, &analytic_w);
+
+    let rt = EngineRuntime::with_config(RuntimeConfig {
+        workers: sc.workers,
+        // Admission must never throttle the open-loop arrivals: queueing
+        // delay should come from the scheduler under test, not the ticket
+        // queue.
+        max_concurrent_queries: sc.small_queries + 2,
+        memory_budget_tuples: None,
+        pending_nap_micros,
+    });
+    let before = rt.metrics();
+    let start = Instant::now();
+
+    let (analytic, smalls): (OperatorRun, Vec<(u64, u64, f64)>) = thread::scope(|s| {
+        let analytic = s.spawn(|| {
+            run_operator(
+                &rt,
+                SchemeKind::Csio,
+                &analytic_w.r1,
+                &analytic_w.r2,
+                &analytic_w.cond,
+                &analytic_cfg,
+            )
+        });
+        // The open-loop dispatcher: arrival k is *scheduled* at
+        // start + (k+1)·interval, and its latency clock starts there even
+        // if the host is late dispatching the client thread.
+        let handles: Vec<_> = (0..sc.small_queries)
+            .map(|k| {
+                let scheduled = start + sc.interval * (k as u32 + 1);
+                let (rt, w, cfg) = (&rt, &small_w, &small_cfg);
+                thread::sleep(scheduled.saturating_duration_since(Instant::now()));
+                s.spawn(move || {
+                    let run = run_operator(rt, SchemeKind::Csio, &w.r1, &w.r2, &w.cond, cfg);
+                    let latency = scheduled.elapsed().as_secs_f64();
+                    (run.join.output_total, run.join.checksum, latency)
+                })
+            })
+            .collect();
+        let smalls = handles
+            .into_iter()
+            .map(|h| h.join().expect("small query panicked"))
+            .collect();
+        (analytic.join().expect("analytic query panicked"), smalls)
+    });
+    let makespan_secs = start.elapsed().as_secs_f64();
+    let after = rt.metrics();
+
+    let (small_output, small_checksum) = (smalls[0].0, smalls[0].1);
+    for (i, &(out, sum, _)) in smalls.iter().enumerate() {
+        assert_eq!(out, small_output, "small query {i} output drifted");
+        assert_eq!(sum, small_checksum, "small query {i} checksum drifted");
+    }
+    let mut latencies_secs: Vec<f64> = smalls.iter().map(|q| q.2).collect();
+    latencies_secs.sort_by(|a, b| a.total_cmp(b));
+
+    ModeOutcome {
+        latencies_secs,
+        small_output,
+        small_checksum,
+        analytic_output: analytic.join.output_total,
+        analytic_checksum: analytic.join.checksum,
+        analytic_wall_secs: analytic.join.wall_join_secs,
+        makespan_secs,
+        polls: after.polls - before.polls,
+        spurious_polls: after.spurious_polls - before.spurious_polls,
+        wakeups: after.wakeups - before.wakeups,
+        parked_secs: (after.parked_secs - before.parked_secs).max(0.0),
+    }
+}

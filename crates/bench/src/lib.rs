@@ -21,15 +21,18 @@
 //! | `plan_vs_materialize`     | §IV-B chained joins: streamed vs materialized intermediates |
 //! | `concurrent_queries`      | shared worker-pool runtime vs spawn-per-query |
 //! | `oom_vs_spill`            | memory-budgeted out-of-core run vs unbudgeted in-memory peak |
+//! | `latency_bench`           | open-loop small-query latency: waker parking vs the nap loop |
 
 pub mod harness;
 pub mod kernels;
+pub mod latency;
 pub mod workloads;
 
 pub use harness::{
     check_pipelined_scale, check_plan_scale, json_escape, mib, print_table, rho_oi,
     run_all_schemes, run_scheme, RunConfig,
 };
+pub use latency::{percentile, run_mode, LatencyScenario, ModeOutcome};
 pub use workloads::{
     bcb, beocd, beocd_gamma, bicd, chain_hotkey, chain_hotkey_with, encode_beocd, fig4a_workloads,
     retail_hotkey, ChainWorkload, Workload, BEOCD_SHIFT, CHAIN_N, RETAIL_N,

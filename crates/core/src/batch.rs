@@ -170,19 +170,17 @@ impl ColumnBatch {
 
     /// [`gather`](Self::gather) over bare column slices — lets callers
     /// gather out of a sub-range (a morsel's window of a base relation)
-    /// with indices relative to that window. One pass over the index list
-    /// fills both columns.
+    /// with indices relative to that window. Each column is filled by its
+    /// own pass over the index list: the per-pass random accesses then stay
+    /// inside a single source array (one window of it fits in L1), and the
+    /// exact-size `collect` writes the destination without a per-element
+    /// capacity branch — together that is what keeps the two 8-byte column
+    /// gathers competitive with one 16-byte struct copy.
     pub fn gather_from(keys: &[Key], payloads: &[u64], indices: &[u32]) -> ColumnBatch {
         debug_assert_eq!(keys.len(), payloads.len());
-        let mut ks = Vec::with_capacity(indices.len());
-        let mut ps = Vec::with_capacity(indices.len());
-        for &i in indices {
-            ks.push(keys[i as usize]);
-            ps.push(payloads[i as usize]);
-        }
         ColumnBatch {
-            keys: ks,
-            payloads: ps,
+            keys: indices.iter().map(|&i| keys[i as usize]).collect(),
+            payloads: indices.iter().map(|&i| payloads[i as usize]).collect(),
         }
     }
 

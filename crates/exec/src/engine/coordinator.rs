@@ -27,10 +27,17 @@
 //!    pending — at which point no queue can ever receive data again.
 //!
 //! Like the mappers and reducers, the coordinator is a task on the shared
-//! worker-pool runtime: instead of sleeping an OS thread between polls, it
-//! parks itself (`Pending`) and checks its poll interval against a
-//! monotonic clock when next scheduled, so its cadence rides on the pool's
-//! nap granularity rather than a dedicated thread.
+//! worker-pool runtime — and it is the engine's one *legitimately timed*
+//! wait. Between polls it parks with two wake sources armed: a timer
+//! ([`TaskCx::sleep`]) for the next cadence tick, and the shared
+//! [`quiesce`](CoordinatorShared::quiesce) wake-set, bumped by reducers on
+//! the events its termination check watches (the in-flight count crossing
+//! zero after the mappers finish, an adoption completing) and by the
+//! orchestrator on abort/mapper-completion — so termination is detected
+//! the moment it happens rather than a poll interval later. The
+//! generation of the wake-set is read *before* any condition atomics; a
+//! registration that straddles an event is refused and the task re-polls
+//! immediately ([`CoordinatorStep::Busy`]).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -42,6 +49,7 @@ use crate::adaptive::AdaptiveConfig;
 use super::board::ProgressBoard;
 use super::mapper::broadcast;
 use super::queue::{BoundedQueue, Delivery};
+use super::runtime::{TaskCx, WakeSet};
 
 /// Everything the coordinator task reads and writes, shared by reference
 /// across the engine's pool tasks.
@@ -62,6 +70,10 @@ pub struct CoordinatorShared<'a> {
     pub in_flight: &'a AtomicU64,
     /// Completed adoptions (incremented by the adopting reducer).
     pub adoptions: &'a AtomicU64,
+    /// Wake-set the coordinator parks on between timed polls; woken by
+    /// reducers (quiescence events, adoptions) and the orchestrator
+    /// (abort, mappers done).
+    pub quiesce: &'a WakeSet,
 }
 
 /// What the coordinator did over one run.
@@ -77,8 +89,12 @@ pub struct MigrationTally {
 
 /// What one [`CoordinatorTask::poll`] reports to the orchestration layer.
 pub enum CoordinatorStep {
-    /// Between polls (or the poll changed nothing observable); park.
+    /// Between polls; the waker is registered with the quiescence wake-set
+    /// and a cadence timer is armed — park.
     Idle,
+    /// A quiescence event raced the park registration; re-poll soon
+    /// (yield, don't park).
+    Busy,
     /// The run is quiescent (`Finish` broadcast) or aborted; the task is
     /// done.
     Done(MigrationTally),
@@ -137,15 +153,21 @@ impl<'a> CoordinatorTask<'a> {
     }
 
     /// One coordinator iteration, rate-limited to the configured poll
-    /// cadence.
-    pub fn poll(&mut self) -> CoordinatorStep {
+    /// cadence. An `Idle` step leaves the task's waker registered with the
+    /// quiescence wake-set *and* armed on a cadence timer.
+    pub fn poll(&mut self, cx: &TaskCx<'_>) -> CoordinatorStep {
         let sh = self.sh;
+        // Generation before any condition read: an event (abort, adoption,
+        // in-flight zero-crossing) landing after the checks below bumps it
+        // and refuses the park registration at the bottom.
+        let quiesce_gen = sh.quiesce.generation();
         if sh.abort.load(Ordering::Acquire) {
             return CoordinatorStep::Done(self.tally);
         }
         if let Some(last) = self.last_poll {
-            if last.elapsed() < self.poll_interval {
-                return CoordinatorStep::Idle;
+            let since = last.elapsed();
+            if since < self.poll_interval {
+                return self.park_until(cx, quiesce_gen, self.poll_interval - since);
             }
         }
         self.last_poll = Some(Instant::now());
@@ -179,6 +201,17 @@ impl<'a> CoordinatorTask<'a> {
                 Decision::Balanced => self.starved_polls = 0,
             }
         }
+        self.park_until(cx, quiesce_gen, self.poll_interval)
+    }
+
+    /// Parks until the next cadence tick or a quiescence event, whichever
+    /// comes first. A stale timer firing after a quiescence wake costs one
+    /// spurious re-poll, never a hang.
+    fn park_until(&self, cx: &TaskCx<'_>, quiesce_gen: u64, wait: Duration) -> CoordinatorStep {
+        if !self.sh.quiesce.register(cx.waker(), quiesce_gen) {
+            return CoordinatorStep::Busy;
+        }
+        cx.sleep(wait);
         CoordinatorStep::Idle
     }
 }

@@ -46,6 +46,8 @@ use rand::SeedableRng;
 use ewh_core::{ColumnBatch, Key};
 use ewh_sampling::WeightedReservoir;
 
+use super::runtime::Waker;
+
 /// One observation from [`Exchange::pop_wait`].
 #[derive(Debug)]
 pub enum PopWait {
@@ -89,6 +91,13 @@ struct ExchangeInner {
     /// The consumer is gone (its stage unwound): producers must never
     /// block again; pushes are discarded.
     abandoned: bool,
+    /// Tasks parked on an empty exchange (downstream mappers); woken by
+    /// any push, and by close/abandon. Registered under this mutex, so no
+    /// push can slip between a failed pop and the registration.
+    consumer_waiters: Vec<Waker>,
+    /// Tasks parked on a full exchange (upstream reducers flushing their
+    /// outbox); woken by any pop, and by close/abandon.
+    producer_waiters: Vec<Waker>,
 }
 
 impl Exchange {
@@ -100,6 +109,8 @@ impl Exchange {
                 pushed: 0,
                 closed: false,
                 abandoned: false,
+                consumer_waiters: Vec::new(),
+                producer_waiters: Vec::new(),
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -137,8 +148,12 @@ impl Exchange {
         inner.used += n;
         inner.pushed += 1;
         inner.batches.push_back(batch);
+        let waiters = std::mem::take(&mut inner.consumer_waiters);
         drop(inner);
         self.not_empty.notify_one();
+        for w in &waiters {
+            w.wake();
+        }
     }
 
     /// Non-blocking push for tasks running on the shared worker pool: on a
@@ -152,6 +167,18 @@ impl Exchange {
     /// after [`abandon`](Exchange::abandon) pushes are discarded (reported
     /// as `Ok`, so the producer runs to completion).
     pub fn try_push(&self, batch: ColumnBatch) -> Result<(), ColumnBatch> {
+        self.try_push_impl(batch, None)
+    }
+
+    /// [`try_push`](Exchange::try_push) that, on a full exchange, registers
+    /// `waker` to be woken by the next pop (or close/abandon) — under the
+    /// same lock as the failed attempt, so the freeing transition can
+    /// never race past unobserved. `Err` means "parked: return `Pending`".
+    pub fn try_push_or_park(&self, batch: ColumnBatch, waker: &Waker) -> Result<(), ColumnBatch> {
+        self.try_push_impl(batch, Some(waker))
+    }
+
+    fn try_push_impl(&self, batch: ColumnBatch, park: Option<&Waker>) -> Result<(), ColumnBatch> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -162,29 +189,55 @@ impl Exchange {
             return Ok(());
         }
         if inner.used > 0 && inner.used + n > self.capacity_tuples {
+            if let Some(waker) = park {
+                waker.register_in(&mut inner.producer_waiters);
+            }
             return Err(batch);
         }
         inner.used += n;
         inner.pushed += 1;
         inner.batches.push_back(batch);
+        let waiters = std::mem::take(&mut inner.consumer_waiters);
         drop(inner);
         self.not_empty.notify_one();
+        for w in &waiters {
+            w.wake();
+        }
         Ok(())
     }
 
     /// Non-blocking pop for tasks running on the shared worker pool (see
     /// [`TryPop`]).
     pub fn try_pop(&self) -> TryPop {
+        self.try_pop_impl(None)
+    }
+
+    /// [`try_pop`](Exchange::try_pop) that, on an empty-but-open exchange,
+    /// registers `waker` to be woken by the next push or by
+    /// [`close`](Exchange::close). `Empty` means "parked: return
+    /// `Pending`".
+    pub fn try_pop_or_park(&self, waker: &Waker) -> TryPop {
+        self.try_pop_impl(Some(waker))
+    }
+
+    fn try_pop_impl(&self, park: Option<&Waker>) -> TryPop {
         let mut inner = self.inner.lock().expect("exchange poisoned");
         if let Some(batch) = inner.batches.pop_front() {
             inner.used -= batch.len();
+            let waiters = std::mem::take(&mut inner.producer_waiters);
             drop(inner);
             self.not_full.notify_all();
+            for w in &waiters {
+                w.wake();
+            }
             return TryPop::Batch(batch);
         }
         if inner.closed {
             TryPop::Closed
         } else {
+            if let Some(waker) = park {
+                waker.register_in(&mut inner.consumer_waiters);
+            }
             TryPop::Empty
         }
     }
@@ -197,9 +250,14 @@ impl Exchange {
     pub fn abandon(&self) {
         let mut inner = self.inner.lock().expect("exchange poisoned");
         inner.abandoned = true;
+        let mut waiters = std::mem::take(&mut inner.producer_waiters);
+        waiters.append(&mut inner.consumer_waiters);
         drop(inner);
         self.not_full.notify_all();
         self.not_empty.notify_all();
+        for w in &waiters {
+            w.wake();
+        }
     }
 
     /// Marks the stream complete: no batch will ever be pushed again. Wakes
@@ -207,9 +265,14 @@ impl Exchange {
     pub fn close(&self) {
         let mut inner = self.inner.lock().expect("exchange poisoned");
         inner.closed = true;
+        let mut waiters = std::mem::take(&mut inner.consumer_waiters);
+        waiters.append(&mut inner.producer_waiters);
         drop(inner);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+        for w in &waiters {
+            w.wake();
+        }
     }
 
     /// Blocking pop: the next batch, or `None` once the exchange is closed
@@ -233,8 +296,12 @@ impl Exchange {
         loop {
             if let Some(batch) = inner.batches.pop_front() {
                 inner.used -= batch.len();
+                let waiters = std::mem::take(&mut inner.producer_waiters);
                 drop(inner);
                 self.not_full.notify_all();
+                for w in &waiters {
+                    w.wake();
+                }
                 return PopWait::Batch(batch);
             }
             if inner.closed {
@@ -250,8 +317,12 @@ impl Exchange {
                 // have raced the timeout.
                 if let Some(batch) = inner.batches.pop_front() {
                     inner.used -= batch.len();
+                    let waiters = std::mem::take(&mut inner.producer_waiters);
                     drop(inner);
                     self.not_full.notify_all();
+                    for w in &waiters {
+                        w.wake();
+                    }
                     return PopWait::Batch(batch);
                 }
                 if inner.closed {

@@ -26,14 +26,24 @@
 //! A mapper is a task on the shared worker-pool runtime, not an OS thread:
 //! [`MapperTask::poll`] routes (at most) one unit — a scan morsel or an
 //! exchange batch — per invocation and *yields* between units, so many
-//! queries' mappers interleave on a fixed pool. Its two wait points park
-//! the task instead of the worker:
+//! queries' mappers interleave on a fixed pool. Its three wait points park
+//! the task (register a waker, return `Pending`) instead of the worker:
 //!
-//! * a full reducer queue — the in-progress unit keeps its routed buckets
-//!   and the one built-but-unshipped fragment across polls, and the
-//!   accumulated stall is reported to the queue's backpressure account
-//!   when the push finally lands;
-//! * an empty (but open) upstream exchange during the drain phase.
+//! * a full reducer queue — the waker is registered with that queue's
+//!   producer list under the queue's own lock
+//!   ([`BoundedQueue::try_push_or_park`]); the in-progress unit keeps its
+//!   routed buckets and the one built-but-unshipped fragment across polls,
+//!   and the accumulated stall is reported to the queue's backpressure
+//!   account when the push finally lands;
+//! * the `R2` gate while the build phase is still shipping — the waker
+//!   registers with [`SealState::r1_wake`], woken by the mapper that
+//!   routes the last `R1` morsel (generation read before the countdown
+//!   check, so the last decrement can never race past the registration);
+//! * an empty (but open) upstream exchange during the drain phase
+//!   ([`Exchange::try_pop_or_park`]).
+//!
+//! Every park also registers with the query's [`CancelToken`]: a parked
+//! task is never re-polled, so cancellation must *wake* it to be observed.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -46,7 +56,7 @@ use ewh_core::{ColumnBatch, Key, Rel, RouteBatch, RouteBuckets, Router, RoutingT
 use super::exchange::{Exchange, TryPop};
 use super::morsel::{Claim, MemGauge, MorselPlan};
 use super::queue::{BoundedQueue, Delivery, RegionBatch};
-use super::runtime::Poll;
+use super::runtime::{CancelToken, Poll, TaskCx, WakeSet, Waker};
 
 /// The engine's distributed end-of-input detector, shared by every mapper
 /// (and consulted once by the orchestrator for pre-sealing empty inputs).
@@ -68,6 +78,9 @@ pub struct SealState<'a> {
     pub exchange_claims: AtomicU64,
     /// Exchange batches fully routed (fragments pushed).
     pub routed_batches: AtomicU64,
+    /// Waiters parked on the `R2` gate (the `R1` countdown); woken by the
+    /// mapper whose decrement takes `r1_remaining` to zero.
+    pub r1_wake: WakeSet,
     /// Dedupes the `SealAll` broadcast.
     sealed_all: AtomicBool,
 }
@@ -80,6 +93,7 @@ impl<'a> SealState<'a> {
             exchange,
             exchange_claims: AtomicU64::new(0),
             routed_batches: AtomicU64::new(0),
+            r1_wake: WakeSet::new(),
             sealed_all: AtomicBool::new(false),
         }
     }
@@ -137,8 +151,9 @@ pub struct MapperShared<'a> {
     /// reports.
     pub route_nanos: &'a AtomicU64,
     pub seed: u64,
-    /// Cooperative cancellation: checked every poll.
-    pub cancel: &'a AtomicBool,
+    /// Cooperative cancellation: checked every poll, and registered with at
+    /// every park (a parked task only observes the cancel via its wake).
+    pub cancel: &'a CancelToken,
 }
 
 /// What the in-progress unit is routing — a claimed scan morsel, or an
@@ -189,11 +204,12 @@ impl<'a> MapperTask<'a> {
 
     /// Advances the mapper by (at most) one routed unit. Yields after each
     /// completed unit so concurrent queries' mappers interleave fairly on
-    /// the shared pool; parks (`Pending`) on a full reducer queue or an
-    /// empty upstream exchange.
-    pub fn poll(&mut self) -> Poll {
+    /// the shared pool; parks (`Pending`, waker registered) on a full
+    /// reducer queue, the un-sealed `R2` gate, or an empty upstream
+    /// exchange.
+    pub fn poll(&mut self, cx: &TaskCx<'_>) -> Poll {
         let sh = self.shared;
-        if sh.cancel.load(Ordering::Relaxed) {
+        if sh.cancel.is_cancelled() {
             // Seals never fire; the orchestrator aborts the reducers. Undo
             // the accounting of anything routed but never shipped.
             self.discard_unit();
@@ -202,15 +218,22 @@ impl<'a> MapperTask<'a> {
         if self.unit.is_some() {
             // One clock pair around the whole ship pass — per-fragment
             // timing costs more than the gathers it would measure. A full
-            // queue bounces `try_push` immediately, so the park stall
-            // itself never lands in this account (it is backpressure,
-            // tracked by the queue).
+            // queue bounces `try_push_or_park` immediately, so the park
+            // stall itself never lands in this account (it is
+            // backpressure, tracked by the queue).
             let start = Instant::now();
-            let shipped = self.ship_fragments();
+            let shipped = self.ship_fragments(cx.waker());
             sh.route_nanos
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             if !shipped {
-                return Poll::Pending;
+                // The waker is registered with the full queue; add the
+                // cancel registration so an abort also wakes us. A raced
+                // cancel re-polls instead of parking.
+                return if sh.cancel.park(cx.waker()) {
+                    Poll::Pending
+                } else {
+                    Poll::Yielded
+                };
             }
             self.complete_unit();
             return Poll::Yielded;
@@ -221,7 +244,10 @@ impl<'a> MapperTask<'a> {
             // in unbounded pre-seal `pending` buffers (see
             // `MorselPlan::try_claim`), and a mapper racing ahead into R2
             // competes for queue space with the mapper still shipping the
-            // final R1 fragments.
+            // final R1 fragments. Generation before the countdown read:
+            // if the final decrement fires in between, registration
+            // refuses and we re-poll with the gate open.
+            let r1_gen = sh.seal.r1_wake.generation();
             let allow_r2 = sh.seal.r1_remaining.load(Ordering::Acquire) == 0;
             match sh.plan.try_claim(allow_r2) {
                 Claim::Claimed(morsel) => {
@@ -244,7 +270,15 @@ impl<'a> MapperTask<'a> {
                     });
                     return Poll::Yielded;
                 }
-                Claim::Blocked => return Poll::Pending,
+                Claim::Blocked => {
+                    return if sh.seal.r1_wake.register(cx.waker(), r1_gen)
+                        && sh.cancel.park(cx.waker())
+                    {
+                        Poll::Pending
+                    } else {
+                        Poll::Yielded
+                    };
+                }
                 Claim::Drained => self.draining = true,
             }
         }
@@ -253,7 +287,7 @@ impl<'a> MapperTask<'a> {
         let Some(exchange) = sh.seal.exchange else {
             return Poll::Ready;
         };
-        match exchange.try_pop() {
+        match exchange.try_pop_or_park(cx.waker()) {
             TryPop::Batch(batch) => {
                 let seq = sh.seal.exchange_claims.fetch_add(1, Ordering::Relaxed);
                 // Disjoint RNG stream space from plan morsel indices.
@@ -273,7 +307,15 @@ impl<'a> MapperTask<'a> {
                 sh.seal.maybe_seal_all(sh.queues);
                 Poll::Ready
             }
-            TryPop::Empty => Poll::Pending,
+            TryPop::Empty => {
+                // Consumer waker is registered with the exchange; a raced
+                // cancel re-polls instead of parking.
+                if sh.cancel.park(cx.waker()) {
+                    Poll::Pending
+                } else {
+                    Poll::Yielded
+                }
+            }
         }
     }
 
@@ -296,8 +338,9 @@ impl<'a> MapperTask<'a> {
     /// Ships the in-progress unit's fragments, one region at a time,
     /// resolving ownership per fragment at push time. Returns `false` (and
     /// leaves the cursor where it was) when a push bounces off a full
-    /// queue.
-    fn ship_fragments(&mut self) -> bool {
+    /// queue — with `waker` registered on that queue's producer list, so
+    /// the consumer's next pop re-polls us.
+    fn ship_fragments(&mut self, waker: &Waker) -> bool {
         let sh = self.shared;
         let unit = self.unit.as_mut().expect("ship without a unit");
         loop {
@@ -339,12 +382,15 @@ impl<'a> MapperTask<'a> {
             // queue re-routes if its region migrated meanwhile.
             let epoch = sh.table.epoch();
             let owner = sh.table.owner_of(region) as usize;
-            match sh.queues[owner].try_push(Delivery::Batch(RegionBatch {
-                region,
-                rel: unit.rel(),
-                epoch,
-                tuples: fragment,
-            })) {
+            match sh.queues[owner].try_push_or_park(
+                Delivery::Batch(RegionBatch {
+                    region,
+                    rel: unit.rel(),
+                    epoch,
+                    tuples: fragment,
+                }),
+                waker,
+            ) {
                 Ok(()) => {
                     unit.next += 1;
                     if let Some((q, since)) = self.blocked.take() {
@@ -358,7 +404,7 @@ impl<'a> MapperTask<'a> {
                     }
                     return false;
                 }
-                Err(_) => unreachable!("try_push hands back what it was given"),
+                Err(_) => unreachable!("try_push_or_park hands back what it was given"),
             }
         }
     }
@@ -380,6 +426,10 @@ impl<'a> MapperTask<'a> {
                 // SealAll.
                 if rel == Rel::R1 && sh.seal.r1_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                     broadcast(sh.queues, || Delivery::SealR1);
+                    // The R2 gate just opened: wake every mapper parked on
+                    // `Claim::Blocked` (generation bump also refuses any
+                    // registration racing this decrement).
+                    sh.seal.r1_wake.wake_all();
                 }
                 if sh.seal.scan_remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                     sh.seal.maybe_seal_all(sh.queues);

@@ -65,7 +65,8 @@ pub use morsel::{Claim, MemGauge, Morsel, MorselPlan, Source};
 pub use queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 pub use reducer::{merge_sorted_runs, RegionResult};
 pub use runtime::{
-    EngineRuntime, Poll, QueryTicket, RuntimeConfig, RuntimeMetrics, RuntimeScope, TaskGroup,
+    CancelToken, EngineRuntime, Poll, QueryTicket, RuntimeConfig, RuntimeMetrics, RuntimeScope,
+    TaskCx, TaskGroup, WakeSet, Waker,
 };
 pub use spill::{SpillConfig, SpillContext, SpillRun};
 
@@ -227,7 +228,7 @@ pub struct EngineIo<'a> {
     /// [`EngineOutcome::peak_resident_tuples`] reports the plan-global
     /// high-water mark (exchange buffers included). `None`: private gauge.
     pub gauge: Option<&'a MemGauge>,
-    pub cancel: Option<&'a AtomicBool>,
+    pub cancel: Option<&'a CancelToken>,
     /// Spill trigger, in tuples: reducers shed state to disk while the
     /// gauge sits above this. `None` disables out-of-core execution.
     pub budget_tuples: Option<u64>,
@@ -256,7 +257,7 @@ pub fn run_pipelined(
     table: &RoutingTable,
     plan: &MorselPlan,
     cfg: &EngineConfig,
-    cancel: Option<&AtomicBool>,
+    cancel: Option<&CancelToken>,
 ) -> EngineOutcome {
     // One transpose per run; every routed fragment, region sort, and sweep
     // downstream works on the columnar layout.
@@ -310,7 +311,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
     let local_gauge = MemGauge::default();
     let gauge = io.gauge.unwrap_or(&local_gauge);
     let board = ProgressBoard::new(reducers, n_regions);
-    let default_cancel = AtomicBool::new(false);
+    let default_cancel = CancelToken::new();
     let cancel = io.cancel.unwrap_or(&default_cancel);
     // Seed the seal countdowns from the *unconsumed* remainder: a resumed
     // plan (cancelled earlier run) only routes what is left, so counting
@@ -325,6 +326,9 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
     let migration_tuples = AtomicU64::new(0);
     let mappers_done = AtomicBool::new(false);
     let abort = AtomicBool::new(false);
+    // Wakes the parked coordinator on the events its termination check
+    // watches; also bumped by the orchestrator after the stores below.
+    let quiesce = WakeSet::new();
     // The coordinated protocol (heartbeats + run-time migration + Finish
     // termination) is selected by the adaptive config; with reassignment
     // off the engine runs the legacy SealAll-terminated protocol untouched.
@@ -372,6 +376,8 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         budget_tuples: io.budget_tuples,
         spill: io.spill,
         cancel,
+        quiesce: &quiesce,
+        mappers_done: &mappers_done,
     };
     let coordinator_shared = CoordinatorShared {
         queues: &queues,
@@ -383,6 +389,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         abort: &abort,
         in_flight: &in_flight,
         adoptions: &adoptions,
+        quiesce: &quiesce,
     };
 
     // Spill counters are cumulative on the (possibly plan-shared) context;
@@ -408,7 +415,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         for (q, regions) in owned.iter().enumerate() {
             let mut task = ReducerTask::new(&reducer_shared, q, regions);
             let slot = &outcome_slots[q];
-            s.spawn(move || match task.poll() {
+            s.spawn(move |cx| match task.poll(cx) {
                 ReducerStep::Working => Poll::Yielded,
                 ReducerStep::Parked => Poll::Pending,
                 ReducerStep::Done(outcome) => {
@@ -421,8 +428,9 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         if coordinated {
             let mut task = CoordinatorTask::new(&coordinator_shared);
             let slot = &tally_slot;
-            s.spawn_in(&coordinator_group, move || match task.poll() {
+            s.spawn_in(&coordinator_group, move |cx| match task.poll(cx) {
                 CoordinatorStep::Idle => Poll::Pending,
+                CoordinatorStep::Busy => Poll::Yielded,
                 CoordinatorStep::Done(tally) => {
                     *slot.lock().expect("tally slot poisoned") = Some(tally);
                     Poll::Ready
@@ -432,20 +440,22 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         let mapper_group = s.group();
         for _ in 0..cfg.mappers.max(1) {
             let mut task = MapperTask::new(&mapper_shared);
-            s.spawn_in(&mapper_group, move || task.poll());
+            s.spawn_in(&mapper_group, move |cx| task.poll(cx));
         }
         mapper_group.wait();
         // If the mappers finished without sealing (cancellation), the seal
         // chain is broken: stop the coordinator and abort the reducers
         // explicitly. Control messages bypass queue bounds, so this cannot
         // deadlock. Otherwise hand termination to the coordinator (Finish
-        // at quiescence) or, uncoordinated, to the SealAll chain.
+        // at quiescence) or, uncoordinated, to the SealAll chain. Either
+        // way, wake the parked coordinator to observe the store.
         let broken = !seal.sealed_all();
         if broken {
             abort.store(true, Ordering::Release);
         } else {
             mappers_done.store(true, Ordering::Release);
         }
+        quiesce.wake_all();
         coordinator_group.wait();
         if broken {
             broadcast(&queues, || Delivery::Abort);
@@ -681,7 +691,8 @@ mod tests {
             adaptive: AdaptiveConfig::default(),
             straggler: None,
         };
-        let cancel = AtomicBool::new(true);
+        let cancel = CancelToken::new();
+        cancel.cancel();
         let rt = test_rt();
         let out = run_pipelined(
             &rt,
@@ -698,8 +709,9 @@ mod tests {
         assert_eq!(out.output_total(), 0);
         assert_eq!(out.morsels_routed, 0, "cancel was set before any claim");
 
-        // The same plan drives a follow-up run to the full, correct result.
-        cancel.store(false, Ordering::Relaxed);
+        // The same plan drives a follow-up run to the full, correct result
+        // (tokens are one-shot, so the resume gets a fresh one).
+        let cancel = CancelToken::new();
         let out = run_pipelined(
             &rt,
             &r1,
@@ -981,8 +993,9 @@ mod tests {
     #[test]
     fn cancel_interrupts_a_stalled_exchange_probe() {
         // The upstream producer never pushes and never closes; a cancelled
-        // downstream run must still unwind (bounded pop waits re-check the
-        // cancel flag) instead of hanging in the exchange forever.
+        // downstream run must still unwind (parked mappers dual-register
+        // with the cancel token, whose wake re-polls them) instead of
+        // hanging in the exchange forever.
         let r1 = ColumnBatch::from_tuples(&tuples(&(0..500).collect::<Vec<Key>>()));
         let cond = JoinCondition::Equi;
         let scheme = build_ci(4, 500, 0, None);
@@ -991,7 +1004,7 @@ mod tests {
         let table = RoutingTable::new(&region_to_reducer);
         let plan = MorselPlan::new(r1.len(), 0, 128);
         let exchange = Exchange::new(256); // open for the whole test
-        let cancel = AtomicBool::new(false);
+        let cancel = CancelToken::new();
         let cfg = EngineConfig {
             mappers: 2,
             reducers: 2,
@@ -1006,9 +1019,10 @@ mod tests {
         let out = thread::scope(|s| {
             s.spawn(|| {
                 // Let the mappers drain the scan plan and park on the
-                // stalled exchange, then cancel.
+                // stalled exchange, then cancel — the token's wake is the
+                // only thing that can reach a parked mapper.
                 std::thread::sleep(std::time::Duration::from_millis(20));
-                cancel.store(true, Ordering::Release);
+                cancel.cancel();
             });
             run_pipelined_io(
                 &rt,

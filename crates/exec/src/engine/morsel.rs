@@ -91,7 +91,9 @@ impl<'a> Source<'a> {
 pub enum Claim {
     Claimed(Morsel),
     /// The next morsel is `R2` and the caller's gate disallows it (the
-    /// build phase is still shipping); retry once the `R1` seal fires.
+    /// build phase is still shipping). The engine's mappers park on
+    /// `SealState::r1_wake` here; the seal's final countdown decrement
+    /// wakes them with the gate open.
     Blocked,
     /// Every morsel has been claimed.
     Drained,

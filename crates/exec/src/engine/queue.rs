@@ -13,11 +13,17 @@
 //! behind a full queue.
 //!
 //! Engine tasks run on the shared worker-pool runtime and therefore use
-//! the non-blocking [`BoundedQueue::try_push`] / [`BoundedQueue::try_pop`]
-//! pair — a task that cannot make progress returns
+//! the waker-registering [`BoundedQueue::try_push_or_park`] /
+//! [`BoundedQueue::try_pop_or_park`] pair — a task that cannot make
+//! progress registers its [`Waker`] and returns
 //! [`Poll::Pending`](super::runtime::Poll) instead of parking an OS
-//! thread. The blocking [`BoundedQueue::push`] / [`BoundedQueue::pop`]
-//! remain for client threads and tests.
+//! thread or being blindly re-polled. Registration happens under the same
+//! mutex as the failed try, so a transition racing the registration can
+//! never be lost: whoever frees capacity (a pop) or delivers data (a push)
+//! drains the matching waiter list and wakes every parked task. The
+//! blocking [`BoundedQueue::push`] / [`BoundedQueue::pop`] remain for
+//! client threads and tests — their pushes and pops wake parked tasks the
+//! same way.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +32,7 @@ use std::time::Instant;
 
 use ewh_core::{ColumnBatch, Rel};
 
+use super::runtime::Waker;
 use super::spill::SpillRun;
 
 /// One message on a reducer's queue.
@@ -120,6 +127,12 @@ struct Inner {
     queue: VecDeque<Delivery>,
     /// Tuples currently enqueued.
     used: usize,
+    /// Tasks parked on an empty queue (the owning reducer); woken by any
+    /// push. Registered under this mutex, so a push can never slip between
+    /// a failed pop and the registration.
+    consumer_waiters: Vec<Waker>,
+    /// Tasks parked on a full queue (pushing mappers); woken by any pop.
+    producer_waiters: Vec<Waker>,
 }
 
 fn weight(item: &Delivery) -> usize {
@@ -138,6 +151,8 @@ impl BoundedQueue {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 used: 0,
+                consumer_waiters: Vec::new(),
+                producer_waiters: Vec::new(),
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -164,8 +179,12 @@ impl BoundedQueue {
         }
         inner.used += w;
         inner.queue.push_back(item);
+        let waiters = std::mem::take(&mut inner.consumer_waiters);
         drop(inner);
         self.not_empty.notify_one();
+        for w in &waiters {
+            w.wake();
+        }
     }
 
     /// Non-blocking bounded push: enqueues and returns `Ok(())`, or hands
@@ -175,15 +194,35 @@ impl BoundedQueue {
     /// admitted once the queue is empty, and zero-weight control messages
     /// always pass.
     pub fn try_push(&self, item: Delivery) -> Result<(), Delivery> {
+        self.try_push_impl(item, None)
+    }
+
+    /// [`try_push`](Self::try_push) that, on a full queue, registers
+    /// `waker` to be woken by the next pop — under the same lock as the
+    /// failed attempt, so the freeing pop can never race past
+    /// unobserved. `Err` means "parked: return `Pending`" (after also
+    /// registering with the query's cancel token).
+    pub fn try_push_or_park(&self, item: Delivery, waker: &Waker) -> Result<(), Delivery> {
+        self.try_push_impl(item, Some(waker))
+    }
+
+    fn try_push_impl(&self, item: Delivery, park: Option<&Waker>) -> Result<(), Delivery> {
         let w = weight(&item);
         let mut inner = self.inner.lock().expect("queue poisoned");
         if w > 0 && inner.used > 0 && inner.used + w > self.capacity_tuples {
+            if let Some(waker) = park {
+                waker.register_in(&mut inner.producer_waiters);
+            }
             return Err(item);
         }
         inner.used += w;
         inner.queue.push_back(item);
+        let waiters = std::mem::take(&mut inner.consumer_waiters);
         drop(inner);
         self.not_empty.notify_one();
+        for w in &waiters {
+            w.wake();
+        }
         Ok(())
     }
 
@@ -191,11 +230,33 @@ impl BoundedQueue {
     /// consuming task parks itself; termination is still driven by the
     /// control messages described on [`BoundedQueue::pop`]).
     pub fn try_pop(&self) -> Option<Delivery> {
+        self.try_pop_impl(None)
+    }
+
+    /// [`try_pop`](Self::try_pop) that, on an empty queue, registers
+    /// `waker` to be woken by the next push (bounded, unbounded or
+    /// blocking alike). `None` means "parked: return `Pending`".
+    pub fn try_pop_or_park(&self, waker: &Waker) -> Option<Delivery> {
+        self.try_pop_impl(Some(waker))
+    }
+
+    fn try_pop_impl(&self, park: Option<&Waker>) -> Option<Delivery> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        let item = inner.queue.pop_front()?;
+        let Some(item) = inner.queue.pop_front() else {
+            if let Some(waker) = park {
+                waker.register_in(&mut inner.consumer_waiters);
+            }
+            return None;
+        };
         inner.used -= weight(&item);
+        // Freed capacity can unblock every parked producer whose batch now
+        // fits — wake them all; those still blocked re-register.
+        let waiters = std::mem::take(&mut inner.producer_waiters);
         drop(inner);
         self.not_full.notify_all();
+        for w in &waiters {
+            w.wake();
+        }
         Some(item)
     }
 
@@ -217,8 +278,12 @@ impl BoundedQueue {
         let mut inner = self.inner.lock().expect("queue poisoned");
         inner.used += w;
         inner.queue.push_back(item);
+        let waiters = std::mem::take(&mut inner.consumer_waiters);
         drop(inner);
         self.not_empty.notify_one();
+        for w in &waiters {
+            w.wake();
+        }
     }
 
     /// Blocking pop. Termination is driven by [`Delivery::Finish`] /
@@ -229,8 +294,12 @@ impl BoundedQueue {
         loop {
             if let Some(item) = inner.queue.pop_front() {
                 inner.used -= weight(&item);
+                let waiters = std::mem::take(&mut inner.producer_waiters);
                 drop(inner);
                 self.not_full.notify_all();
+                for w in &waiters {
+                    w.wake();
+                }
                 return item;
             }
             inner = self.not_empty.wait(inner).expect("queue poisoned");
@@ -356,6 +425,58 @@ mod tests {
         assert!(q.try_push(batch(99)).is_ok(), "oversized on empty");
         q.note_blocked(5_000_000);
         assert!(q.blocked_secs() >= 0.005);
+    }
+
+    #[test]
+    fn parked_producers_and_consumers_are_woken_by_the_opposite_side() {
+        use super::super::runtime::{EngineRuntime, Poll};
+        let rt = EngineRuntime::new(2);
+        let q = BoundedQueue::new(2);
+        let batch = |n: usize| {
+            Delivery::Batch(RegionBatch {
+                region: 0,
+                rel: Rel::R2,
+                epoch: 0,
+                tuples: cols(n),
+            })
+        };
+        // Fill the queue so the producer task must park, then have a
+        // consumer task drain everything; both sides finish only if the
+        // cross wakes (pop→producer, push→consumer) actually fire.
+        assert!(q.try_push(batch(2)).is_ok());
+        let pushed = std::sync::atomic::AtomicUsize::new(0);
+        let popped = std::sync::atomic::AtomicUsize::new(0);
+        rt.scope(|s| {
+            {
+                let (q, pushed) = (&q, &pushed);
+                let mut left = 3usize;
+                s.spawn(move |cx| {
+                    while left > 0 {
+                        match q.try_push_or_park(batch(2), cx.waker()) {
+                            Ok(()) => {
+                                left -= 1;
+                                pushed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => return Poll::Pending,
+                        }
+                    }
+                    Poll::Ready
+                });
+            }
+            let (q, popped) = (&q, &popped);
+            s.spawn(move |cx| match q.try_pop_or_park(cx.waker()) {
+                Some(_) => {
+                    if popped.fetch_add(1, Ordering::Relaxed) + 1 == 4 {
+                        Poll::Ready
+                    } else {
+                        Poll::Yielded
+                    }
+                }
+                None => Poll::Pending,
+            });
+        });
+        assert_eq!(pushed.into_inner(), 3);
+        assert_eq!(popped.into_inner(), 4);
     }
 
     #[test]

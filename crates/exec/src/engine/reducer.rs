@@ -12,17 +12,24 @@
 //!
 //! A reducer is a task on the shared worker-pool runtime: each
 //! [`ReducerTask::poll`] drains a bounded number of deliveries and then
-//! yields its worker, and an empty queue parks the task (`Pending`)
-//! instead of an OS thread. When the stage ships output downstream
-//! ([`StageSink`]), swept batches go through an *outbox*: a sweep's output
-//! is staged locally and pushed to the inter-operator exchange with
-//! non-blocking [`Exchange::try_push`](super::Exchange::try_push) — a
+//! yields its worker, and an empty queue parks the task (`Pending`, waker
+//! registered on the queue's consumer list) instead of an OS thread. When
+//! the stage ships output downstream ([`StageSink`]), swept batches go
+//! through an *outbox*: a sweep's output is staged locally and pushed to
+//! the inter-operator exchange with non-blocking
+//! [`Exchange::try_push_or_park`](super::Exchange::try_push_or_park) — a
 //! blocking push would suspend a pool worker the downstream consumer may
 //! need, which on a shared pool is a deadlock, not just a stall. While the
 //! outbox is non-empty the reducer processes no further deliveries, so
 //! upstream backpressure still propagates (its queue fills, mappers park);
 //! the price is that at most one sweep's output can sit staged beyond the
 //! exchange bound, and the shared gauge charges it honestly.
+//!
+//! A parked reducer is woken by a push to its queue (including the
+//! unbounded control pushes: `Abort`, `Adopt`, forwards) or, when parked
+//! on a full downstream exchange, by that exchange's consumer popping or
+//! abandoning — which is also how cancellation reaches a reducer parked
+//! there, so the reducer never registers with the cancel token itself.
 //!
 //! ## Region migration (the reducer's side of the protocol)
 //!
@@ -60,6 +67,7 @@ use super::board::ProgressBoard;
 use super::exchange::StageSink;
 use super::morsel::MemGauge;
 use super::queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
+use super::runtime::{CancelToken, TaskCx, WakeSet, Waker};
 use super::spill::{SpillContext, SpillRun};
 use super::Straggler;
 
@@ -164,11 +172,20 @@ pub struct ReducerShared<'a> {
     pub budget_tuples: Option<u64>,
     /// Per-query spill context; `None` disables out-of-core execution.
     pub spill: Option<&'a SpillContext>,
-    /// Engine-wide cancel flag. A failed spill write sets it, which makes
-    /// the mappers exit, breaks the seal chain, and tears the whole query
-    /// down cooperatively — a bare panic inside a pool task would instead
-    /// leave the query's other tasks parked forever on a shared pool.
-    pub cancel: &'a AtomicBool,
+    /// Engine-wide cancel token. A failed spill write cancels it, which
+    /// makes the mappers exit, breaks the seal chain, and tears the whole
+    /// query down cooperatively — a bare panic inside a pool task would
+    /// instead leave the query's other tasks parked forever on a shared
+    /// pool. Cancelling also *wakes* every task parked on it.
+    pub cancel: &'a CancelToken,
+    /// Quiescence watchers (the coordinator between timed polls): woken
+    /// when the routed-but-unabsorbed count crosses zero after the mappers
+    /// are done, and after every completed adoption handshake.
+    pub quiesce: &'a WakeSet,
+    /// Set by the orchestrator once every mapper task has finished; gates
+    /// the zero-crossing wake above (an in-flight dip to zero mid-run is
+    /// not quiescence).
+    pub mappers_done: &'a AtomicBool,
 }
 
 /// One reducer task: drains queue `me` until finished or aborted.
@@ -219,15 +236,19 @@ impl<'a> ReducerTask<'a> {
 
     /// Drains up to [`DELIVERIES_PER_POLL`] deliveries (flushing the
     /// outbox between them) and reports how the orchestrator should
-    /// reschedule the task.
-    pub fn poll(&mut self) -> ReducerStep {
+    /// reschedule the task. A `Parked` step always leaves the task's waker
+    /// registered with whichever resource refused it (the downstream
+    /// exchange or this reducer's own queue).
+    pub fn poll(&mut self, cx: &TaskCx<'_>) -> ReducerStep {
         let start = Instant::now();
         let queue = &self.sh.queues[self.me];
         let mut processed = 0usize;
         let step = loop {
-            if !self.flush_outbox() {
+            if !self.flush_outbox(cx.waker()) {
                 // Downstream exchange full: stop consuming so backpressure
-                // reaches the mappers through our queue.
+                // reaches the mappers through our queue. The waker is on
+                // the exchange's producer list; its consumer (or its
+                // abandonment at cancel) wakes us.
                 break self.park(queue, processed);
             }
             if let Some(results) = self.finished.take() {
@@ -237,7 +258,7 @@ impl<'a> ReducerTask<'a> {
             if processed >= DELIVERIES_PER_POLL {
                 break ReducerStep::Working;
             }
-            let Some(delivery) = queue.try_pop() else {
+            let Some(delivery) = queue.try_pop_or_park(cx.waker()) else {
                 break self.park(queue, processed);
             };
             self.unpark();
@@ -313,8 +334,9 @@ impl<'a> ReducerTask<'a> {
 
     /// Pushes staged output batches to the downstream exchange until it
     /// fills, reloading spilled outbox runs as the resident outbox drains;
-    /// `true` when both are empty.
-    fn flush_outbox(&mut self) -> bool {
+    /// `true` when both are empty. On a full exchange, `waker` is left
+    /// registered with its producer list.
+    fn flush_outbox(&mut self, waker: &Waker) -> bool {
         let Some(sink) = self.sh.sink else {
             debug_assert!(self.outbox.is_empty(), "outbox without a sink");
             debug_assert!(
@@ -325,7 +347,7 @@ impl<'a> ReducerTask<'a> {
         };
         loop {
             while let Some(batch) = self.outbox.pop_front() {
-                match sink.exchange.try_push(batch) {
+                match sink.exchange.try_push_or_park(batch, waker) {
                     Ok(()) => {}
                     Err(batch) => {
                         self.outbox.push_front(batch);
@@ -352,7 +374,7 @@ impl<'a> ReducerTask<'a> {
                 }
                 Err(e) => {
                     ctx.record_failure(format!("outbox reload failed: {e}"));
-                    self.sh.cancel.store(true, Ordering::Release);
+                    self.sh.cancel.cancel();
                     ctx.remove_run(&run);
                 }
             }
@@ -423,7 +445,18 @@ impl<'a> ReducerTask<'a> {
                 }
             }
         }
-        sh.in_flight.fetch_sub(n, Ordering::AcqRel);
+        Self::sub_in_flight(sh, n);
+    }
+
+    /// Decrements the routed-but-unabsorbed counter, waking the quiescence
+    /// watchers on the final crossing to zero once the mappers are done —
+    /// the event the coordinator's termination check waits on.
+    fn sub_in_flight(sh: &ReducerShared<'_>, n: u64) {
+        if sh.in_flight.fetch_sub(n, Ordering::AcqRel) == n
+            && sh.mappers_done.load(Ordering::Acquire)
+        {
+            sh.quiesce.wake_all();
+        }
     }
 
     fn on_seal_r1(&mut self) {
@@ -526,7 +559,7 @@ impl<'a> ReducerTask<'a> {
             output: state.output,
             checksum: state.checksum,
         });
-        sh.in_flight.fetch_sub(shipped, Ordering::AcqRel);
+        Self::sub_in_flight(sh, shipped);
         for batch in mem::take(&mut self.parked[region as usize]) {
             self.absorb(batch);
         }
@@ -540,6 +573,7 @@ impl<'a> ReducerTask<'a> {
         // Publish completion last: the coordinator may start the next
         // handshake (or declare quiescence) the moment it sees this.
         sh.adoptions.fetch_add(1, Ordering::Release);
+        sh.quiesce.wake_all();
     }
 
     /// Merges a region's sorted runs, charging the merge's memory transient
@@ -641,7 +675,7 @@ impl<'a> ReducerTask<'a> {
                 }
                 Err(e) => {
                     ctx.record_failure(format!("spill write failed: {e}"));
-                    sh.cancel.store(true, Ordering::Release);
+                    sh.cancel.cancel();
                     break;
                 }
             }
@@ -789,7 +823,7 @@ impl<'a> ReducerTask<'a> {
                 }
                 Err(e) => {
                     ctx.record_failure(format!("probe reload failed: {e}"));
-                    sh.cancel.store(true, Ordering::Release);
+                    sh.cancel.cancel();
                     ctx.remove_run(&run);
                 }
             }
@@ -822,7 +856,7 @@ impl<'a> ReducerTask<'a> {
                     }
                     Err(e) => {
                         ctx.record_failure(format!("build reload failed: {e}"));
-                        sh.cancel.store(true, Ordering::Release);
+                        sh.cancel.cancel();
                     }
                 }
             }

@@ -8,17 +8,39 @@
 //! with per-query *task batches*:
 //!
 //! * **Tasks, not threads.** An engine task is a resumable state machine
-//!   behind a `FnMut() -> Poll` closure. A task that would block — a full
-//!   reducer queue, an empty exchange, a coordinator between polls —
+//!   behind a `FnMut(&TaskCx) -> Poll` closure. A task that would block — a
+//!   full reducer queue, an empty exchange, a coordinator between polls —
 //!   returns [`Poll::Pending`] instead of parking an OS thread, so a
 //!   fixed-size pool can interleave any number of queries without
 //!   deadlocking on its own size. [`Poll::Yielded`] marks "made progress,
-//!   more to do": the task goes back on the queue but resets the worker's
-//!   starvation heuristics.
+//!   more to do": the task goes straight back on the queue.
+//! * **Event-driven parking, not polling.** `Pending` is a contract, not a
+//!   hint: before returning it the task must have registered its
+//!   [`Waker`] (via [`TaskCx::waker`]) with whichever resource blocked it —
+//!   a [`BoundedQueue`](super::queue::BoundedQueue) slot, an
+//!   [`Exchange`](super::exchange::Exchange) batch, a [`WakeSet`]
+//!   countdown, a [`CancelToken`], or a [`TaskCx::sleep`] timer. The job is
+//!   then *parked*: it leaves the deques entirely and is re-enqueued only
+//!   when the resource transitions and wakes it. Workers holding no
+//!   runnable work park indefinitely on the injector condvar — there is no
+//!   blind re-poll sweep and no idle nap; the old `PENDING_NAP` /
+//!   `IDLE_PARK` backoff constants are gone.
+//! * **Lost-wakeup protocol.** A resource transition racing between a
+//!   task's last failed `try_*` and its waker registration must still wake
+//!   the task. Resources with their own lock (queues, exchanges) register
+//!   the waker *under the same lock* as the failed try, closing the window
+//!   outright. Lock-free conditions (seal countdowns, cancellation,
+//!   quiescence) go through a [`WakeSet`], whose wake-generation counter is
+//!   read *before* the condition check and re-checked at registration: if a
+//!   wake slipped in between, registration fails and the task re-polls
+//!   ([`Poll::Yielded`]) instead of parking on a stale condition. The
+//!   worker-level analogue — a job enqueued while a worker is deciding to
+//!   park — is closed by a runnable-job count checked under the injector
+//!   lock, which every enqueue path takes before notifying.
 //! * **Per-worker deques plus work-stealing.** Each worker owns a deque;
-//!   freshly spawned tasks land on a global injector, rescheduled tasks on
-//!   the worker that ran them (locality), and an idle worker steals from
-//!   its siblings before sleeping. Steals are counted
+//!   freshly spawned tasks land on a global injector, rescheduled and woken
+//!   tasks on the worker that last ran them (locality), and an idle worker
+//!   steals from its siblings before parking. Steals are counted
 //!   ([`RuntimeMetrics::tasks_stolen`]) — the observable trace of the
 //!   load-balancing the paper's shared-resource model assumes.
 //! * **Scoped submission.** [`EngineRuntime::scope`] mirrors
@@ -35,20 +57,22 @@
 //!   ticket, so a query's peak is measured against the slice it was
 //!   granted. Admission blocks the *client* thread, never a pool worker;
 //!   calling it from inside a task would deadlock the pool and is the one
-//!   usage rule this module imposes.
+//!   usage rule this module imposes. Event-driven callers use
+//!   [`EngineRuntime::try_admit`] plus the [`EngineRuntime::admission_wake`]
+//!   registry instead of blocking.
 //!
-//! A worker that only holds blocked tasks naps briefly (tens of
-//! microseconds) between sweeps instead of spinning, after first checking
-//! the injector and its siblings for runnable work — that check is what
-//! makes the pool deadlock-free under any task placement: runnable work
-//! can never be stranded behind a sleeping worker forever.
+//! Timers are the one legitimately *timed* wait left: [`TaskCx::sleep`]
+//! arms an entry in a shared deadline heap, idle workers bound their park
+//! by the earliest armed deadline, and every worker fires due timers at the
+//! top of its loop — so a cadence task (the coordinator) wakes on schedule
+//! even when every worker is parked, without any worker busy-polling.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -62,29 +86,426 @@ pub enum Poll {
     Ready,
     /// The task did useful work and has more; reschedule it.
     Yielded,
-    /// The task cannot progress until some *other* task runs (full queue,
-    /// empty exchange, timer not yet due); reschedule it, and if the whole
-    /// deque is pending, let the worker nap before the next sweep.
+    /// The task cannot progress until some *other* event (a queue pop, an
+    /// exchange push, a countdown, a timer) and has registered its
+    /// [`Waker`] with that resource. The job is parked off the deques and
+    /// re-enqueued by the wake. A `Pending` without any registration is
+    /// tolerated (the worker falls back to rescheduling it like
+    /// [`Poll::Yielded`]) but defeats event-driven parking — every blocking
+    /// edge in the engine registers.
     Pending,
 }
 
-/// How long a worker naps when every task it can see is `Pending`. This
-/// is the pool's reaction latency to cross-task wakeups (a queue push, an
-/// exchange close), so it is kept small — a parked reducer that reacts
-/// late lets queues run to their bounds and inflates the resident peak —
-/// while still ceding the core instead of spinning on a blocked pipeline.
-const PENDING_NAP: Duration = Duration::from_micros(10);
+// ---------------------------------------------------------------------------
+// Wakers
+// ---------------------------------------------------------------------------
 
-/// Base timed park of an idle worker. Parks back off exponentially (see
-/// [`IDLE_PARK_MAX`]) so a fully idle pool costs a handful of wakeups per
-/// second instead of thousands; fresh injector pushes and rescheduled
-/// deque jobs notify the condvar, so reaction to new work stays immediate
-/// regardless of the backoff.
-const IDLE_PARK: Duration = Duration::from_micros(200);
+/// Waker lifecycle states (`WakerInner::state`).
+const WAKER_RUNNING: u8 = 0;
+/// The job is stored in the waker's slot, off the deques, awaiting a wake.
+const WAKER_PARKED: u8 = 1;
+/// A wake arrived while the task was being polled; consume it by re-running
+/// the task instead of parking it.
+const WAKER_NOTIFIED: u8 = 2;
 
-/// Cap on the idle-park backoff: the worst-case delay before a worker
-/// notices stealable work that appeared without a notification.
-const IDLE_PARK_MAX: Duration = Duration::from_millis(5);
+struct WakerInner {
+    state: AtomicU8,
+    /// Did the current poll register this waker with any resource? Cleared
+    /// at poll start; set by [`Waker::arm`]. A `Pending` poll that never
+    /// armed is rescheduled rather than parked (nothing would wake it).
+    armed: AtomicBool,
+    /// The worker that last polled the job — wakes re-enqueue there.
+    home: AtomicUsize,
+    /// The parked job itself (plus when it parked, for `parked_time`).
+    /// Invariant: `Some` whenever `state == WAKER_PARKED`; the slot is
+    /// filled *before* the state CAS publishes `PARKED`.
+    slot: Mutex<Option<(Job, Instant)>>,
+    pool: Arc<PoolShared>,
+}
+
+/// The wake handle of one pool task. Clones are registered with blocking
+/// resources; [`Waker::wake`] re-enqueues the parked job on its home
+/// worker's deque and unparks a worker through the injector condvar.
+///
+/// Wakes are idempotent and may come from pool workers or client threads
+/// alike. A wake that lands *during* a poll is latched (`NOTIFIED`) and
+/// converts that poll's `Pending` into an immediate reschedule, so a
+/// transition can never slip between a failed `try_*` and the park.
+#[derive(Clone)]
+pub struct Waker {
+    inner: Arc<WakerInner>,
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waker")
+            .field("state", &self.inner.state.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Waker {
+    fn new(pool: Arc<PoolShared>) -> Self {
+        Waker {
+            inner: Arc::new(WakerInner {
+                state: AtomicU8::new(WAKER_RUNNING),
+                armed: AtomicBool::new(false),
+                home: AtomicUsize::new(0),
+                slot: Mutex::new(None),
+                pool,
+            }),
+        }
+    }
+
+    /// Marks that the current poll registered this waker somewhere, making
+    /// a `Pending` return eligible for parking. Resource registries
+    /// (queues, exchanges, [`WakeSet`]) call this for you.
+    pub fn arm(&self) {
+        self.inner.armed.store(true, Ordering::Relaxed);
+    }
+
+    fn is_armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Relaxed)
+    }
+
+    /// Do `self` and `other` wake the same task? (Registries dedupe on
+    /// this, mirroring `std::task::Waker::will_wake`.)
+    pub fn will_wake(&self, other: &Waker) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Registers this waker in a resource's waiter list (deduped per task)
+    /// and arms it. Must be called under the resource's own mutex — that
+    /// lock, shared with the failed `try_*`, is what closes the
+    /// lost-wakeup window for mutex-guarded resources.
+    pub fn register_in(&self, list: &mut Vec<Waker>) {
+        if !list.iter().any(|w| w.will_wake(self)) {
+            list.push(self.clone());
+        }
+        self.arm();
+    }
+
+    /// Wakes the task: a parked job is re-enqueued on its home worker's
+    /// deque; a wake during a poll is latched so that poll's `Pending`
+    /// reschedules instead of parking; a wake of an already-woken (or
+    /// completed) task is a no-op. Returns whether a parked job was
+    /// actually re-enqueued.
+    pub fn wake(&self) -> bool {
+        let inner = &self.inner;
+        loop {
+            match inner.state.compare_exchange(
+                WAKER_PARKED,
+                WAKER_RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    let (job, since) = inner
+                        .slot
+                        .lock()
+                        .expect("waker slot poisoned")
+                        .take()
+                        .expect("parked waker without a stored job");
+                    let pool = &inner.pool;
+                    pool.wakeups.fetch_add(1, Ordering::Relaxed);
+                    pool.parked_nanos
+                        .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let home = inner.home.load(Ordering::Relaxed) % pool.deques.len();
+                    enqueue_local(pool, home, job);
+                    return true;
+                }
+                Err(state) if state == WAKER_RUNNING => {
+                    if inner
+                        .state
+                        .compare_exchange(
+                            WAKER_RUNNING,
+                            WAKER_NOTIFIED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return false;
+                    }
+                    // Lost the race to a concurrent park or wake; re-read.
+                }
+                Err(_) => return false, // already NOTIFIED
+            }
+        }
+    }
+
+    /// Resets per-poll state before the job's closure runs: pin the home
+    /// worker, clear the armed flag, and consume a notification aimed at
+    /// the *previous* poll (this poll will re-observe whatever that wake
+    /// advertised).
+    fn begin_poll(&self, me: usize) {
+        self.inner.home.store(me, Ordering::Relaxed);
+        self.inner.armed.store(false, Ordering::Relaxed);
+        let _ = self.inner.state.compare_exchange(
+            WAKER_NOTIFIED,
+            WAKER_RUNNING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Parks `job` in the waker's slot. Fails — handing the job back for an
+    /// immediate reschedule — if a wake latched during the poll. The slot
+    /// is filled before the state CAS so a concurrent [`Waker::wake`] that
+    /// observes `PARKED` always finds the job.
+    fn try_park(&self, job: Job) -> Result<(), Job> {
+        let inner = &self.inner;
+        *inner.slot.lock().expect("waker slot poisoned") = Some((job, Instant::now()));
+        match inner.state.compare_exchange(
+            WAKER_RUNNING,
+            WAKER_PARKED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(_) => {
+                // NOTIFIED during the poll: the wake-worthy transition
+                // already happened; take the job back and re-run it.
+                inner.state.store(WAKER_RUNNING, Ordering::Release);
+                let (job, _) = inner
+                    .slot
+                    .lock()
+                    .expect("waker slot poisoned")
+                    .take()
+                    .expect("job stored just above");
+                Err(job)
+            }
+        }
+    }
+}
+
+/// A registry of parked waiters on one lock-free condition (a seal
+/// countdown hitting zero, cancellation, quiescence). The embedded
+/// *wake generation* closes the check-then-register race: read
+/// [`WakeSet::generation`] **before** testing the condition, then hand it
+/// to [`WakeSet::register`] — if any wake fired in between, registration
+/// refuses and the caller re-polls instead of parking on a state change it
+/// missed. Resources guarded by their own mutex (queues, exchanges) don't
+/// need the generation dance: they register under the same lock as the
+/// failed try.
+pub struct WakeSet {
+    inner: Mutex<WakeSetInner>,
+}
+
+struct WakeSetInner {
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+impl WakeSet {
+    pub const fn new() -> Self {
+        WakeSet {
+            inner: Mutex::new(WakeSetInner {
+                generation: 0,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// The current wake generation. Read it *before* checking the condition
+    /// this set guards.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().expect("wake set poisoned").generation
+    }
+
+    /// Registers `waker` to be woken by the next [`WakeSet::wake_all`],
+    /// unless the generation moved since `generation` was read — then no
+    /// registration happens and `false` is returned: the condition may have
+    /// transitioned, re-poll instead of parking. Duplicate registrations of
+    /// the same task are coalesced.
+    pub fn register(&self, waker: &Waker, generation: u64) -> bool {
+        let mut inner = self.inner.lock().expect("wake set poisoned");
+        if inner.generation != generation {
+            return false;
+        }
+        if !inner.waiters.iter().any(|w| w.will_wake(waker)) {
+            inner.waiters.push(waker.clone());
+        }
+        drop(inner);
+        waker.arm();
+        true
+    }
+
+    /// Advances the generation and wakes every registered waiter. Safe from
+    /// any thread; waiters that already completed ignore the wake.
+    pub fn wake_all(&self) {
+        let waiters = {
+            let mut inner = self.inner.lock().expect("wake set poisoned");
+            inner.generation += 1;
+            std::mem::take(&mut inner.waiters)
+        };
+        for w in &waiters {
+            w.wake();
+        }
+    }
+}
+
+impl Default for WakeSet {
+    fn default() -> Self {
+        WakeSet::new()
+    }
+}
+
+/// A cancellation flag that *wakes* its waiters. Under event-driven
+/// parking a plain `AtomicBool` cannot cancel a parked task — nothing
+/// re-polls it — so every park site in the engine dual-registers with the
+/// query's `CancelToken`: the resource wake delivers progress, the cancel
+/// wake delivers the abort.
+#[derive(Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    wake: WakeSet,
+}
+
+impl CancelToken {
+    pub const fn new() -> Self {
+        CancelToken {
+            cancelled: AtomicBool::new(false),
+            wake: WakeSet::new(),
+        }
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Raises the flag and wakes every task parked through
+    /// [`CancelToken::park`]. Idempotent; callable from client threads.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+        self.wake.wake_all();
+    }
+
+    /// Registers `waker` to be woken on cancellation. Returns `false` — do
+    /// **not** park, re-poll instead — if the token is already cancelled
+    /// (or a cancel raced the registration).
+    pub fn park(&self, waker: &Waker) -> bool {
+        let generation = self.wake.generation();
+        if self.is_cancelled() {
+            return false;
+        }
+        self.wake.register(waker, generation)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+/// One armed [`TaskCx::sleep`] deadline (nanoseconds since the pool's
+/// epoch). Ordered for a min-heap on (deadline, seq).
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
+        // on top.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Timers {
+    heap: BinaryHeap<TimerEntry>,
+    seq: u64,
+}
+
+/// Sentinel for "no timer armed" in `PoolShared::next_deadline`.
+const NO_DEADLINE: u64 = u64::MAX;
+
+/// The per-poll context handed to every task closure: its [`Waker`] (to
+/// register with blocking resources) and the pool's timer wheel.
+pub struct TaskCx<'a> {
+    waker: &'a Waker,
+}
+
+impl TaskCx<'_> {
+    /// This task's wake handle, for registering with blocking resources.
+    pub fn waker(&self) -> &Waker {
+        self.waker
+    }
+
+    /// Arms a one-shot timer `after` from now and marks the waker armed:
+    /// return `Pending` and the task is woken when the deadline passes.
+    /// This is the pool's only sanctioned timed wait — idle workers bound
+    /// their park by the earliest armed deadline, so the wake needs no
+    /// dedicated timer thread.
+    pub fn sleep(&self, after: Duration) {
+        let pool = &self.waker.inner.pool;
+        let deadline = pool
+            .nanos_since_epoch()
+            .saturating_add(after.as_nanos().min(u64::MAX as u128) as u64);
+        {
+            let mut timers = pool.timers.lock().expect("timers poisoned");
+            timers.seq += 1;
+            let seq = timers.seq;
+            timers.heap.push(TimerEntry {
+                deadline,
+                seq,
+                waker: self.waker.clone(),
+            });
+            // Published under the timers lock (fire_due_timers recomputes
+            // under the same lock), read lock-free by the hot path.
+            if deadline < pool.next_deadline.load(Ordering::Relaxed) {
+                pool.next_deadline.store(deadline, Ordering::Release);
+            }
+        }
+        self.waker.arm();
+        // Parked workers must re-derive their park timeout from the new
+        // deadline; the injector lock orders this against their
+        // runnable-check-then-wait.
+        drop(pool.injector.lock().expect("injector poisoned"));
+        pool.work_cv.notify_all();
+    }
+}
+
+/// Pops and wakes every timer whose deadline has passed. Called by every
+/// worker at the top of its loop; the lock-free `next_deadline` check makes
+/// the no-timers-due case two atomic loads.
+fn fire_due_timers(shared: &PoolShared) {
+    let now = shared.nanos_since_epoch();
+    if shared.next_deadline.load(Ordering::Acquire) > now {
+        return;
+    }
+    let mut due = Vec::new();
+    {
+        let mut timers = shared.timers.lock().expect("timers poisoned");
+        while timers.heap.peek().is_some_and(|e| e.deadline <= now) {
+            due.push(timers.heap.pop().expect("peeked entry"));
+        }
+        let next = timers.heap.peek().map_or(NO_DEADLINE, |e| e.deadline);
+        shared.next_deadline.store(next, Ordering::Release);
+    }
+    for entry in &due {
+        entry.waker.wake();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
 
 /// Construction knobs for [`EngineRuntime`].
 #[derive(Clone, Copy, Debug)]
@@ -99,6 +520,12 @@ pub struct RuntimeConfig {
     /// query carves its slice out of this (see [`EngineRuntime::admit`]);
     /// `None` disables budget gating (tickets still carry a gauge).
     pub memory_budget_tuples: Option<u64>,
+    /// Benchmark baseline knob: when set, a task that polls `Pending` is
+    /// re-queued after a nap of this many microseconds instead of parking
+    /// on its waker — the pre-waker `PENDING_NAP` poll loop, kept only so
+    /// `latency_bench` can A/B the two schedulers on one binary. `None`
+    /// (the default everywhere) is event-driven parking.
+    pub pending_nap_micros: Option<u64>,
 }
 
 impl RuntimeConfig {
@@ -111,6 +538,7 @@ impl RuntimeConfig {
             workers,
             max_concurrent_queries: workers.max(2),
             memory_budget_tuples: None,
+            pending_nap_micros: None,
         }
     }
 }
@@ -128,6 +556,15 @@ pub struct RuntimeMetrics {
     pub tasks_stolen: u64,
     /// Individual `poll` invocations across all tasks.
     pub polls: u64,
+    /// Polls that returned [`Poll::Pending`]. Under event-driven parking a
+    /// genuine block costs exactly one of these (register, park, wake);
+    /// under the old nap loop every blocked task burned one per 10µs
+    /// sweep — the headline ratio of the waker change.
+    pub spurious_polls: u64,
+    /// Parked jobs re-enqueued by a [`Waker::wake`].
+    pub wakeups: u64,
+    /// Summed wall time parked jobs spent waiting for their wake.
+    pub parked_secs: f64,
     /// Summed wall time workers spent inside task polls.
     pub busy_secs: f64,
     /// Wall time since the runtime was built.
@@ -155,19 +592,23 @@ impl RuntimeMetrics {
     }
 }
 
-/// One schedulable unit: the type-erased task closure plus the completion
-/// hooks of the scope (and optional group) that spawned it.
+/// One schedulable unit: the type-erased task closure, the completion
+/// hooks of the scope (and optional group) that spawned it, and its
+/// [`Waker`].
 ///
 /// The closure's true lifetime is the spawning scope's `'env`; it is
 /// transmuted to `'static` so it can sit in the pool's queues. Soundness
 /// rests on the scope invariant: [`EngineRuntime::scope`] does not return
 /// until `outstanding == 0`, and a job's closure is dropped *before* its
 /// completion is signalled, so no job can touch (or drop) its borrows
-/// after the borrowed stack frame is gone.
+/// after the borrowed stack frame is gone. A *parked* job still counts as
+/// outstanding (the waker's slot owns it), so the invariant holds across
+/// parks.
 struct Job {
-    run: Box<dyn FnMut() -> Poll + Send + 'static>,
+    run: Box<dyn FnMut(&TaskCx<'_>) -> Poll + Send + 'static>,
     scope: Arc<ScopeSync>,
     group: Option<Arc<GroupSync>>,
+    waker: Waker,
 }
 
 struct ScopeSync {
@@ -255,16 +696,62 @@ struct PoolShared {
     injector: Mutex<VecDeque<Job>>,
     work_cv: Condvar,
     shutdown: AtomicBool,
+    /// Jobs currently sitting in *any* deque or the injector (not parked,
+    /// not mid-poll). Checked under the injector lock before a worker
+    /// parks: every enqueue path bumps this, then takes and releases the
+    /// injector lock before notifying, so a worker can never park with a
+    /// runnable job it failed to observe.
+    runnable: AtomicUsize,
+    /// Armed [`TaskCx::sleep`] deadlines (min-heap) …
+    timers: Mutex<Timers>,
+    /// … and the earliest of them, cached for lock-free checks
+    /// ([`NO_DEADLINE`] when the heap is empty). Idle workers bound their
+    /// park by this.
+    next_deadline: AtomicU64,
+    /// Zero point of the timer clock.
+    epoch: Instant,
+    /// [`RuntimeConfig::pending_nap_micros`] as a duration: `Some` switches
+    /// the worker loop's `Pending` handling from waker parking to the
+    /// legacy nap-and-requeue poll loop (benchmark baseline only).
+    pending_nap: Option<Duration>,
     // Counters (all relaxed: they are metrics, never synchronization).
     tasks_spawned: AtomicU64,
     tasks_completed: AtomicU64,
     tasks_stolen: AtomicU64,
     polls: AtomicU64,
+    spurious_polls: AtomicU64,
+    wakeups: AtomicU64,
+    parked_nanos: AtomicU64,
     busy_nanos: AtomicU64,
     admissions: AtomicU64,
     admission_wait_nanos: AtomicU64,
     admission: Mutex<Admission>,
     admission_cv: Condvar,
+    /// Waker registry for admission slots: woken whenever a ticket drops,
+    /// so a task-side [`EngineRuntime::try_admit`] retry loop parks instead
+    /// of polling.
+    admission_wake: WakeSet,
+}
+
+impl PoolShared {
+    fn nanos_since_epoch(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// Enqueues a runnable job on worker `to`'s deque and unparks a worker.
+/// The empty acquire/release of the injector lock before the notify is the
+/// lost-wakeup fence: a parker holds that lock from its runnable-count
+/// check through its condvar wait, so either it sees the bumped count or
+/// the notification reaches its wait.
+fn enqueue_local(pool: &PoolShared, to: usize, job: Job) {
+    pool.runnable.fetch_add(1, Ordering::Relaxed);
+    pool.deques[to]
+        .lock()
+        .expect("deque poisoned")
+        .push_back(job);
+    drop(pool.injector.lock().expect("injector poisoned"));
+    pool.work_cv.notify_one();
 }
 
 /// The persistent shared worker-pool runtime (see the module docs). Build
@@ -297,10 +784,21 @@ impl EngineRuntime {
             injector: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            runnable: AtomicUsize::new(0),
+            timers: Mutex::new(Timers {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }),
+            next_deadline: AtomicU64::new(NO_DEADLINE),
+            epoch: Instant::now(),
+            pending_nap: cfg.pending_nap_micros.map(Duration::from_micros),
             tasks_spawned: AtomicU64::new(0),
             tasks_completed: AtomicU64::new(0),
             tasks_stolen: AtomicU64::new(0),
             polls: AtomicU64::new(0),
+            spurious_polls: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            parked_nanos: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             admissions: AtomicU64::new(0),
             admission_wait_nanos: AtomicU64::new(0),
@@ -309,6 +807,7 @@ impl EngineRuntime {
                 budget_in_use: 0,
             }),
             admission_cv: Condvar::new(),
+            admission_wake: WakeSet::new(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -364,12 +863,64 @@ impl EngineRuntime {
             tasks_completed: sh.tasks_completed.load(Ordering::Relaxed),
             tasks_stolen: sh.tasks_stolen.load(Ordering::Relaxed),
             polls: sh.polls.load(Ordering::Relaxed),
+            spurious_polls: sh.spurious_polls.load(Ordering::Relaxed),
+            wakeups: sh.wakeups.load(Ordering::Relaxed),
+            parked_secs: sh.parked_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             busy_secs: sh.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             uptime_secs: self.started.elapsed().as_secs_f64(),
             admissions: sh.admissions.load(Ordering::Relaxed),
             admission_wait_secs: sh.admission_wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             active_queries: adm.active,
             budget_in_use_tuples: adm.budget_in_use,
+        }
+    }
+
+    /// The slot/budget computation shared by [`EngineRuntime::admit`] and
+    /// [`EngineRuntime::try_admit`]: what this query would be granted.
+    fn admission_grant(&self, requested_tuples: Option<u64>) -> (Option<u64>, u64, usize) {
+        let max_q = self.cfg.max_concurrent_queries.max(1);
+        let budget = match self.cfg.memory_budget_tuples {
+            Some(total) => Some(match requested_tuples {
+                Some(r) => r.clamp(1, total),
+                None => (total / max_q as u64).max(1),
+            }),
+            None => requested_tuples,
+        };
+        // Only a budget-gated runtime carves anything: a bare request on an
+        // un-budgeted runtime is advisory (it sizes the ticket's
+        // over-budget check) and must not show up as budget "in use".
+        let carved = if self.cfg.memory_budget_tuples.is_some() {
+            budget.unwrap_or(0)
+        } else {
+            0
+        };
+        (budget, carved, max_q)
+    }
+
+    fn admission_blocked(&self, adm: &Admission, carved: u64, max_q: usize) -> bool {
+        let slots_full = adm.active >= max_q;
+        // Budget gating only defers while someone else holds budget to
+        // return — an empty pool always admits, so one oversized query
+        // can never wedge the queue.
+        let budget_full = match self.cfg.memory_budget_tuples {
+            Some(total) => adm.active > 0 && adm.budget_in_use + carved > total,
+            None => false,
+        };
+        slots_full || budget_full
+    }
+
+    fn issue_ticket(&self, budget: Option<u64>, carved: u64, wait: Duration) -> QueryTicket<'_> {
+        let sh = &self.shared;
+        sh.admissions.fetch_add(1, Ordering::Relaxed);
+        sh.admission_wait_nanos
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        QueryTicket {
+            rt: self,
+            budget_tuples: budget,
+            carved,
+            gauge: MemGauge::default(),
+            wait,
+            spill_dir: OnceLock::new(),
         }
     }
 
@@ -382,56 +933,44 @@ impl EngineRuntime {
     /// rejected, and waits for the pool to drain.
     ///
     /// Must never be called from inside a pool task (it would park the
-    /// worker the unblocking query needs).
+    /// worker the unblocking query needs) — tasks use
+    /// [`EngineRuntime::try_admit`] with the [`EngineRuntime::admission_wake`]
+    /// registry instead.
     pub fn admit(&self, requested_tuples: Option<u64>) -> QueryTicket<'_> {
         let start = Instant::now();
         let sh = &self.shared;
-        let max_q = self.cfg.max_concurrent_queries.max(1);
-        let budget = match self.cfg.memory_budget_tuples {
-            Some(total) => Some(match requested_tuples {
-                Some(r) => r.clamp(1, total),
-                None => (total / max_q as u64).max(1),
-            }),
-            None => requested_tuples,
-        };
-        let gated = self
-            .cfg
-            .memory_budget_tuples
-            .map(|t| (t, budget.unwrap_or(0)));
-        // Only a budget-gated runtime carves anything: a bare request on an
-        // un-budgeted runtime is advisory (it sizes the ticket's
-        // over-budget check) and must not show up as budget "in use".
-        let carved = gated.map(|(_, req)| req).unwrap_or(0);
+        let (budget, carved, max_q) = self.admission_grant(requested_tuples);
         let mut adm = sh.admission.lock().expect("admission poisoned");
-        loop {
-            let slots_full = adm.active >= max_q;
-            // Budget gating only defers while someone else holds budget to
-            // return — an empty pool always admits, so one oversized query
-            // can never wedge the queue.
-            let budget_full = match gated {
-                Some((total, req)) => adm.active > 0 && adm.budget_in_use + req > total,
-                None => false,
-            };
-            if !slots_full && !budget_full {
-                break;
-            }
+        while self.admission_blocked(&adm, carved, max_q) {
             adm = sh.admission_cv.wait(adm).expect("admission poisoned");
         }
         adm.active += 1;
         adm.budget_in_use += carved;
         drop(adm);
-        let wait = start.elapsed();
-        sh.admissions.fetch_add(1, Ordering::Relaxed);
-        sh.admission_wait_nanos
-            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
-        QueryTicket {
-            rt: self,
-            budget_tuples: budget,
-            carved,
-            gauge: MemGauge::default(),
-            wait,
-            spill_dir: OnceLock::new(),
+        self.issue_ticket(budget, carved, start.elapsed())
+    }
+
+    /// Non-blocking [`EngineRuntime::admit`]: `None` when no slot (or
+    /// budget) is free right now. Event-driven callers read
+    /// [`EngineRuntime::admission_wake`]'s generation before this call and
+    /// register on failure — every ticket drop wakes that set.
+    pub fn try_admit(&self, requested_tuples: Option<u64>) -> Option<QueryTicket<'_>> {
+        let sh = &self.shared;
+        let (budget, carved, max_q) = self.admission_grant(requested_tuples);
+        let mut adm = sh.admission.lock().expect("admission poisoned");
+        if self.admission_blocked(&adm, carved, max_q) {
+            return None;
         }
+        adm.active += 1;
+        adm.budget_in_use += carved;
+        drop(adm);
+        Some(self.issue_ticket(budget, carved, Duration::ZERO))
+    }
+
+    /// The waker registry behind [`EngineRuntime::try_admit`]: woken on
+    /// every [`QueryTicket`] drop.
+    pub fn admission_wake(&self) -> &WakeSet {
+        &self.shared.admission_wake
     }
 
     /// Runs `f` with a [`RuntimeScope`] through which borrowed tasks can be
@@ -465,6 +1004,7 @@ impl EngineRuntime {
     fn inject(&self, job: Job) {
         let sh = &self.shared;
         sh.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        sh.runnable.fetch_add(1, Ordering::Relaxed);
         sh.injector
             .lock()
             .expect("injector poisoned")
@@ -476,6 +1016,9 @@ impl EngineRuntime {
 impl Drop for EngineRuntime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        // Workers park indefinitely now: the store must be ordered against
+        // their check-then-wait, which holds the injector lock.
+        drop(self.shared.injector.lock().expect("injector poisoned"));
         self.shared.work_cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -558,6 +1101,9 @@ impl Drop for QueryTicket<'_> {
         adm.budget_in_use -= self.carved;
         drop(adm);
         sh.admission_cv.notify_all();
+        // A freed slot is a resource transition like any other: wake tasks
+        // parked on try_admit.
+        sh.admission_wake.wake_all();
     }
 }
 
@@ -573,11 +1119,12 @@ pub struct RuntimeScope<'scope, 'env: 'scope> {
 
 impl<'scope, 'env> RuntimeScope<'scope, 'env> {
     /// Spawns one task onto the pool. The closure is polled repeatedly
-    /// until it returns [`Poll::Ready`]; it must never block on another
-    /// task's progress (return [`Poll::Pending`] instead).
+    /// until it returns [`Poll::Ready`]; it must never block the worker on
+    /// another task's progress — register the poll's [`TaskCx::waker`]
+    /// with the blocking resource and return [`Poll::Pending`] instead.
     pub fn spawn<F>(&self, f: F)
     where
-        F: FnMut() -> Poll + Send + 'env,
+        F: FnMut(&TaskCx<'_>) -> Poll + Send + 'env,
     {
         self.spawn_impl(None, f);
     }
@@ -595,20 +1142,20 @@ impl<'scope, 'env> RuntimeScope<'scope, 'env> {
     /// Spawns a task whose completion also counts toward `group`.
     pub fn spawn_in<F>(&self, group: &TaskGroup, f: F)
     where
-        F: FnMut() -> Poll + Send + 'env,
+        F: FnMut(&TaskCx<'_>) -> Poll + Send + 'env,
     {
         self.spawn_impl(Some(Arc::clone(&group.sync)), f);
     }
 
     fn spawn_impl<F>(&self, group: Option<Arc<GroupSync>>, f: F)
     where
-        F: FnMut() -> Poll + Send + 'env,
+        F: FnMut(&TaskCx<'_>) -> Poll + Send + 'env,
     {
-        let boxed: Box<dyn FnMut() -> Poll + Send + 'env> = Box::new(f);
+        let boxed: Box<dyn FnMut(&TaskCx<'_>) -> Poll + Send + 'env> = Box::new(f);
         // SAFETY: the closure only ever runs — and is dropped — before
         // `scope` returns (ScopeSync::wait_all), so its `'env` borrows are
         // live for every use. See the `Job` docs.
-        let boxed: Box<dyn FnMut() -> Poll + Send + 'static> =
+        let boxed: Box<dyn FnMut(&TaskCx<'_>) -> Poll + Send + 'static> =
             unsafe { std::mem::transmute(boxed) };
         self.sync.register();
         if let Some(g) = &group {
@@ -618,12 +1165,15 @@ impl<'scope, 'env> RuntimeScope<'scope, 'env> {
             run: boxed,
             scope: Arc::clone(&self.sync),
             group,
+            waker: Waker::new(Arc::clone(&self.rt.shared)),
         });
     }
 }
 
 fn complete_job(shared: &PoolShared, job: Job, panic: Option<Box<dyn Any + Send>>) {
-    let Job { run, scope, group } = job;
+    let Job {
+        run, scope, group, ..
+    } = job;
     // Drop the task closure *before* signalling: the moment the scope's
     // counter hits zero the borrowed stack frame may unwind.
     drop(run);
@@ -646,6 +1196,7 @@ fn next_job(shared: &PoolShared, me: usize) -> Option<Job> {
         .expect("deque poisoned")
         .pop_front()
     {
+        shared.runnable.fetch_sub(1, Ordering::Relaxed);
         return Some(job);
     }
     steal_job(shared, me)
@@ -659,6 +1210,7 @@ fn steal_job(shared: &PoolShared, me: usize) -> Option<Job> {
         .expect("injector poisoned")
         .pop_front()
     {
+        shared.runnable.fetch_sub(1, Ordering::Relaxed);
         return Some(job);
     }
     let n = shared.deques.len();
@@ -669,6 +1221,7 @@ fn steal_job(shared: &PoolShared, me: usize) -> Option<Job> {
             .expect("deque poisoned")
             .pop_back()
         {
+            shared.runnable.fetch_sub(1, Ordering::Relaxed);
             shared.tasks_stolen.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
@@ -676,38 +1229,54 @@ fn steal_job(shared: &PoolShared, me: usize) -> Option<Job> {
     None
 }
 
-fn worker_loop(shared: &PoolShared, me: usize) {
-    // Consecutive polls that returned `Pending`; once the streak covers the
-    // whole local deque, nothing local is runnable — look elsewhere, then
-    // nap.
+fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
+    // Nap-mode emulation state: consecutive `Pending` polls. The legacy
+    // loop napped once per full sweep of the local deque (when the streak
+    // covered every local job and nothing was stealable), not once per
+    // blocked poll — napping per poll makes the baseline `n_blocked` times
+    // slower than the loop it emulates, and under open-loop arrivals that
+    // compounds (slower service → deeper backlog → more blocked tasks per
+    // sweep → slower still) into a runaway crawl.
     let mut pending_streak = 0usize;
-    // Consecutive empty parks; drives the exponential idle backoff.
-    let mut idle_parks = 0u32;
     loop {
+        fire_due_timers(shared);
         let Some(mut job) = next_job(shared, me) else {
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
             let guard = shared.injector.lock().expect("injector poisoned");
-            if guard.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
-                // Timed park with backoff: injector pushes and deque
-                // requeues notify us; the timeout only bounds how late we
-                // notice unannounced stealable work.
-                let park = IDLE_PARK
-                    .saturating_mul(1 << idle_parks.min(5))
-                    .min(IDLE_PARK_MAX);
-                let _ = shared
-                    .work_cv
-                    .wait_timeout(guard, park)
-                    .expect("injector poisoned");
-                idle_parks = idle_parks.saturating_add(1);
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Every enqueue bumps `runnable` *before* acquiring this lock
+            // to notify, so a zero read here means any job that appears
+            // later comes with a notification we cannot miss.
+            if shared.runnable.load(Ordering::Acquire) == 0 {
+                let next = shared.next_deadline.load(Ordering::Acquire);
+                if next == NO_DEADLINE {
+                    // Nothing runnable, no timer armed: park until an
+                    // enqueue (wake, spawn, requeue) or an arming sleep
+                    // notifies.
+                    drop(shared.work_cv.wait(guard).expect("injector poisoned"));
+                } else {
+                    let now = shared.nanos_since_epoch();
+                    if next > now {
+                        let _ = shared
+                            .work_cv
+                            .wait_timeout(guard, Duration::from_nanos(next - now))
+                            .expect("injector poisoned");
+                    }
+                    // else: a timer is already due — loop and fire it.
+                }
             }
             pending_streak = 0;
             continue;
         };
-        idle_parks = 0;
         let start = Instant::now();
-        let polled = catch_unwind(AssertUnwindSafe(|| (job.run)()));
+        job.waker.begin_poll(me);
+        let waker = job.waker.clone();
+        let cx = TaskCx { waker: &waker };
+        let polled = catch_unwind(AssertUnwindSafe(|| (job.run)(&cx)));
         shared
             .busy_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -722,34 +1291,47 @@ fn worker_loop(shared: &PoolShared, me: usize) {
                 pending_streak = 0;
             }
             Ok(Poll::Yielded) => {
-                shared.deques[me]
-                    .lock()
-                    .expect("deque poisoned")
-                    .push_back(job);
-                // The requeued job is stealable: wake a parked sibling (a
-                // no-waiter notify is an atomic check, cheap on this path).
-                shared.work_cv.notify_one();
+                enqueue_local(shared, me, job);
                 pending_streak = 0;
             }
             Ok(Poll::Pending) => {
-                let mut deque = shared.deques[me].lock().expect("deque poisoned");
-                deque.push_back(job);
-                let len = deque.len();
-                drop(deque);
-                shared.work_cv.notify_one();
-                pending_streak += 1;
-                if pending_streak >= len {
-                    // Everything local is blocked: pull in fresh/stealable
-                    // work if any exists, otherwise nap instead of spinning.
-                    if let Some(other) = steal_job(shared, me) {
-                        shared.deques[me]
-                            .lock()
-                            .expect("deque poisoned")
-                            .push_front(other);
-                    } else if !shared.shutdown.load(Ordering::Acquire) {
-                        thread::sleep(PENDING_NAP);
+                shared.spurious_polls.fetch_add(1, Ordering::Relaxed);
+                if let Some(nap) = shared.pending_nap {
+                    // Legacy poll-loop emulation (benchmark baseline): the
+                    // task is requeued *first* so a sibling can steal it
+                    // meanwhile, and the worker never parks. Like the old
+                    // loop, the nap lands only once the `Pending` streak
+                    // covers the whole local deque and nothing is stealable
+                    // — one nap per sweep of blocked tasks, not one per
+                    // blocked poll. Registered wakers still fire but find
+                    // the task queued and latch NOTIFIED, which the next
+                    // `begin_poll` simply clears.
+                    enqueue_local(shared, me, job);
+                    pending_streak += 1;
+                    let len = shared.deques[me].lock().expect("deque poisoned").len();
+                    if pending_streak >= len {
+                        if let Some(other) = steal_job(shared, me) {
+                            shared.runnable.fetch_add(1, Ordering::Relaxed);
+                            shared.deques[me]
+                                .lock()
+                                .expect("deque poisoned")
+                                .push_front(other);
+                        } else if !shared.shutdown.load(Ordering::Acquire) {
+                            thread::sleep(nap);
+                        }
+                        pending_streak = 0;
                     }
-                    pending_streak = 0;
+                } else if waker.is_armed() {
+                    if let Err(job) = waker.try_park(job) {
+                        // A wake latched mid-poll: the awaited transition
+                        // already happened, so run again instead.
+                        enqueue_local(shared, me, job);
+                    }
+                } else {
+                    // Pending without any registration: nothing would ever
+                    // wake it, so fall back to rescheduling. Correct but
+                    // poll-driven — engine tasks always register.
+                    enqueue_local(shared, me, job);
                 }
             }
         }
@@ -769,7 +1351,7 @@ mod tests {
             for _ in 0..20 {
                 let counter = &counter;
                 let mut left = 3u32; // each task yields a few times first
-                s.spawn(move || {
+                s.spawn(move |_| {
                     if left > 0 {
                         left -= 1;
                         return Poll::Yielded;
@@ -787,60 +1369,209 @@ mod tests {
     }
 
     #[test]
-    fn pending_tasks_make_progress_via_other_tasks_on_one_worker() {
+    fn parked_tasks_are_woken_by_their_registered_wake_set() {
         // A single-worker pool must still complete a dependency chain where
-        // task B blocks until task A flips a flag: B parks as Pending, the
-        // worker keeps polling, A runs, B completes. This is the
-        // cooperative-scheduling property the whole engine rests on.
+        // task B parks until task A flips a flag: B registers with a
+        // WakeSet and parks off the deques, A runs, flips the flag and
+        // wakes the set, B is re-enqueued and completes. This replaces the
+        // old nap-and-re-poll loop — if the wake is lost, this test hangs.
         let rt = EngineRuntime::new(1);
         let flag = AtomicBool::new(false);
+        let wake = WakeSet::new();
         rt.scope(|s| {
             {
-                let flag = &flag;
-                s.spawn(move || {
+                let (flag, wake) = (&flag, &wake);
+                s.spawn(move |cx| {
+                    // Generation before the condition check: a wake racing
+                    // in between fails the registration and we re-poll.
+                    let gen = wake.generation();
                     if flag.load(Ordering::Acquire) {
                         Poll::Ready
-                    } else {
+                    } else if wake.register(cx.waker(), gen) {
                         Poll::Pending
+                    } else {
+                        Poll::Yielded
                     }
                 });
             }
-            let flag = &flag;
+            let (flag, wake) = (&flag, &wake);
             let mut spins = 5u32;
-            s.spawn(move || {
+            s.spawn(move |_| {
                 if spins > 0 {
                     spins -= 1;
                     return Poll::Yielded;
                 }
                 flag.store(true, Ordering::Release);
+                wake.wake_all();
                 Poll::Ready
             });
         });
         assert!(flag.into_inner());
+        let m = rt.metrics();
+        assert!(
+            m.wakeups >= 1,
+            "the parked task must be woken, not re-polled"
+        );
+        assert!(
+            m.spurious_polls <= 3,
+            "a parked task re-polls only on its wake, got {}",
+            m.spurious_polls
+        );
+    }
+
+    #[test]
+    fn stale_generation_refuses_registration() {
+        // If the wake fires between the condition check and the
+        // registration, the stale generation must make register() refuse —
+        // parking would sleep through a transition that already happened.
+        let rt = EngineRuntime::new(1);
+        let wake = WakeSet::new();
+        let refused = AtomicBool::new(false);
+        rt.scope(|s| {
+            let (wake, refused) = (&wake, &refused);
+            s.spawn(move |cx| {
+                let gen = wake.generation();
+                wake.wake_all(); // the race, made deterministic
+                if wake.register(cx.waker(), gen) {
+                    Poll::Pending
+                } else {
+                    refused.store(true, Ordering::Release);
+                    Poll::Ready
+                }
+            });
+        });
+        assert!(refused.into_inner());
+    }
+
+    #[test]
+    fn wakes_from_client_threads_unpark_and_time_the_park() {
+        // The scope's caller thread (not a pool worker) wakes a parked
+        // task after ~20ms; parked_secs must record the wait.
+        let rt = EngineRuntime::new(2);
+        let stop = AtomicBool::new(false);
+        let wake = WakeSet::new();
+        rt.scope(|s| {
+            {
+                let (stop, wake) = (&stop, &wake);
+                s.spawn(move |cx| {
+                    let gen = wake.generation();
+                    if stop.load(Ordering::Acquire) {
+                        Poll::Ready
+                    } else if wake.register(cx.waker(), gen) {
+                        Poll::Pending
+                    } else {
+                        Poll::Yielded
+                    }
+                });
+            }
+            thread::sleep(Duration::from_millis(20));
+            stop.store(true, Ordering::Release);
+            wake.wake_all();
+        });
+        let m = rt.metrics();
+        assert!(m.wakeups >= 1);
+        assert!(
+            m.parked_secs >= 0.010,
+            "the task parked ~20ms, recorded {}",
+            m.parked_secs
+        );
+    }
+
+    #[test]
+    fn sleep_timers_wake_parked_workers() {
+        let rt = EngineRuntime::new(1);
+        let started = Instant::now();
+        let mut slept = false;
+        rt.scope(|s| {
+            s.spawn(move |cx| {
+                if slept {
+                    Poll::Ready
+                } else {
+                    slept = true;
+                    cx.sleep(Duration::from_millis(10));
+                    Poll::Pending
+                }
+            });
+        });
+        assert!(
+            started.elapsed() >= Duration::from_millis(10),
+            "the timer must gate completion"
+        );
+        assert!(rt.metrics().wakeups >= 1, "timer expiry is a wake");
+    }
+
+    #[test]
+    fn cancel_token_wakes_its_parked_waiters() {
+        let rt = EngineRuntime::new(1);
+        let token = CancelToken::new();
+        let observed = AtomicBool::new(false);
+        rt.scope(|s| {
+            {
+                let (token, observed) = (&token, &observed);
+                s.spawn(move |cx| {
+                    if token.is_cancelled() {
+                        observed.store(true, Ordering::Release);
+                        Poll::Ready
+                    } else if token.park(cx.waker()) {
+                        Poll::Pending
+                    } else {
+                        Poll::Yielded
+                    }
+                });
+            }
+            thread::sleep(Duration::from_millis(10));
+            token.cancel();
+        });
+        assert!(observed.into_inner());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn unregistered_pending_is_rescheduled_not_stranded() {
+        // A task that returns Pending without registering anywhere must
+        // still complete (the worker falls back to rescheduling it).
+        let rt = EngineRuntime::new(1);
+        let mut naps = 3u32;
+        rt.scope(|s| {
+            s.spawn(move |_| {
+                if naps > 0 {
+                    naps -= 1;
+                    Poll::Pending
+                } else {
+                    Poll::Ready
+                }
+            });
+        });
+        assert!(rt.metrics().spurious_polls >= 3);
     }
 
     #[test]
     fn groups_complete_independently_of_the_scope() {
         let rt = EngineRuntime::new(2);
         let stop = AtomicBool::new(false);
+        let wake = WakeSet::new();
         rt.scope(|s| {
-            // A long-runner that only exits when told.
+            // A long-runner that parks until told to exit.
             {
-                let stop = &stop;
-                s.spawn(move || {
+                let (stop, wake) = (&stop, &wake);
+                s.spawn(move |cx| {
+                    let gen = wake.generation();
                     if stop.load(Ordering::Acquire) {
                         Poll::Ready
-                    } else {
+                    } else if wake.register(cx.waker(), gen) {
                         Poll::Pending
+                    } else {
+                        Poll::Yielded
                     }
                 });
             }
             let group = s.group();
             for _ in 0..4 {
-                s.spawn_in(&group, || Poll::Ready);
+                s.spawn_in(&group, |_| Poll::Ready);
             }
-            group.wait(); // must return while the long-runner still spins
+            group.wait(); // must return while the long-runner is parked
             stop.store(true, Ordering::Release);
+            wake.wake_all();
         });
     }
 
@@ -855,7 +1586,7 @@ mod tests {
         rt.scope(|s| {
             for _ in 0..64 {
                 let mut left = 50u32;
-                s.spawn(move || {
+                s.spawn(move |_| {
                     if left > 0 {
                         left -= 1;
                         std::hint::black_box(left);
@@ -879,11 +1610,11 @@ mod tests {
         let result = catch_unwind(AssertUnwindSafe(|| {
             rt.scope(|s| {
                 let survived = &survived;
-                s.spawn(move || {
+                s.spawn(move |_| {
                     survived.fetch_add(1, Ordering::Relaxed);
                     Poll::Ready
                 });
-                s.spawn(|| panic!("task exploded"));
+                s.spawn(|_| panic!("task exploded"));
             });
         }));
         assert!(result.is_err(), "scope must resend the task panic");
@@ -892,7 +1623,7 @@ mod tests {
         let after = AtomicUsize::new(0);
         rt.scope(|s| {
             let after = &after;
-            s.spawn(move || {
+            s.spawn(move |_| {
                 after.fetch_add(1, Ordering::Relaxed);
                 Poll::Ready
             });
@@ -906,6 +1637,7 @@ mod tests {
             workers: 2,
             max_concurrent_queries: 1,
             memory_budget_tuples: None,
+            pending_nap_micros: None,
         });
         let t1 = rt.admit(None);
         assert_eq!(rt.metrics().active_queries, 1);
@@ -930,11 +1662,33 @@ mod tests {
     }
 
     #[test]
+    fn try_admit_refuses_instead_of_blocking_and_drop_wakes_the_registry() {
+        let rt = EngineRuntime::with_config(RuntimeConfig {
+            workers: 1,
+            max_concurrent_queries: 1,
+            memory_budget_tuples: None,
+            pending_nap_micros: None,
+        });
+        let gen = rt.admission_wake().generation();
+        let t1 = rt.try_admit(None).expect("empty pool admits");
+        assert!(rt.try_admit(None).is_none(), "slot is taken");
+        drop(t1);
+        assert!(
+            rt.admission_wake().generation() > gen,
+            "ticket drop must advance the admission wake generation"
+        );
+        let t2 = rt.try_admit(None).expect("freed slot admits");
+        drop(t2);
+        assert_eq!(rt.metrics().admissions, 2);
+    }
+
+    #[test]
     fn budget_is_carved_and_returned() {
         let rt = EngineRuntime::with_config(RuntimeConfig {
             workers: 1,
             max_concurrent_queries: 4,
             memory_budget_tuples: Some(1000),
+            pending_nap_micros: None,
         });
         let a = rt.admit(Some(600));
         assert_eq!(a.budget_tuples(), Some(600));
@@ -983,6 +1737,7 @@ mod tests {
             workers: 1,
             max_concurrent_queries: 1,
             memory_budget_tuples: Some(0),
+            pending_nap_micros: None,
         });
         let t = rt.admit(Some(10));
         assert_eq!(t.budget_tuples(), Some(1));
@@ -996,6 +1751,7 @@ mod tests {
             workers: 1,
             max_concurrent_queries: 2,
             memory_budget_tuples: None,
+            pending_nap_micros: None,
         });
         let t = rt.admit(Some(5000));
         // The request sizes the ticket's over-budget check but carves

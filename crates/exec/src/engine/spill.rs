@@ -21,10 +21,11 @@
 //! a chained plan included — the plan-global gauge picks the victim
 //! stage), so `spill_bytes` / `spill_secs` / `reload_secs` aggregate
 //! per query. I/O failures are not panics inside pool tasks: a failed
-//! write is recorded here and the query is cancelled cooperatively; the
-//! driver re-raises the failure at the query join (see
-//! `execute_join_pipelined`), exactly like `Exchange::abandon` surfaces a
-//! downstream unwind.
+//! write is recorded here and the query is cancelled cooperatively through
+//! its [`CancelToken`](super::CancelToken) — whose wake also reaches tasks
+//! parked on queues or exchanges — and the driver re-raises the failure at
+//! the query join (see `execute_join_pipelined`), exactly like
+//! `Exchange::abandon` surfaces a downstream unwind.
 //!
 //! Directory lifetime: the per-query directory is created lazily on the
 //! first spilled run and removed by

@@ -176,6 +176,82 @@ proptest! {
     }
 }
 
+/// The waker path under forced spill: three concurrent tenants each run
+/// with a spill budget of a *quarter* of the query's unbudgeted resident
+/// peak, so reducers continually shed state to disk and re-load it while
+/// mappers park on the tiny queues feeding them. Spill writes and reloads
+/// happen inside reducer polls between park/unpark cycles, so a wake lost
+/// across a spill boundary (a reducer parked on a queue while its state
+/// sits on disk) would deadlock here, and a mis-ordered wake would drift
+/// the output, which the serial batch oracle comparison catches.
+#[test]
+fn concurrent_quarter_budget_spilling_tenants_match_their_oracles() {
+    let keys: Vec<Key> = (0..4000).map(|i| (i % 120) as Key).collect();
+    let (a, b) = (tuples(&keys), tuples(&keys));
+    let first = StageSpec {
+        kind: SchemeKind::Csio,
+        cond: JoinCondition::Equi,
+    };
+    let base = OperatorConfig {
+        j: 4,
+        threads: 6,
+        morsel_tuples: 64,
+        queue_tuples: 128,
+        exchange_tuples: 512,
+        stats_cutoff_tuples: 100,
+        adaptive: forced_migration(),
+        ..Default::default()
+    };
+
+    let oracle = run_plan_materialized(&a, &b, &first, &[], &base);
+    assert!(oracle.output_total > 0);
+
+    // Learn the unbudgeted resident peak, then squeeze each tenant under
+    // a quarter of it so spilling is structurally forced.
+    let rt = EngineRuntime::new(3);
+    let unbudgeted = run_plan(&rt, &a, &b, &first, &[], &base);
+    let quarter = (unbudgeted.peak_resident_bytes / ewh_core::TUPLE_BYTES / 4).max(1);
+    let budgeted = OperatorConfig {
+        spill: SpillConfig {
+            budget_tuples: Some(quarter),
+            temp_dir: None,
+            fail_after_bytes: None,
+        },
+        ..base
+    };
+
+    let runs = thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (rt, a, b, first, budgeted) = (&rt, &a, &b, &first, &budgeted);
+                s.spawn(move || run_plan(rt, a, b, first, &[], budgeted))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("budgeted tenant panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (q, run) in runs.iter().enumerate() {
+        assert_eq!(
+            run.output_total, oracle.output_total,
+            "tenant {q}: output drifted under quarter-budget spilling"
+        );
+        assert_eq!(
+            run.checksum, oracle.checksum,
+            "tenant {q}: checksum drifted under quarter-budget spilling"
+        );
+        assert!(
+            run.total.spill_bytes > 0,
+            "tenant {q}: a quarter budget must actually force spilling \
+             (peak {} tuples, budget {quarter})",
+            unbudgeted.peak_resident_bytes / ewh_core::TUPLE_BYTES
+        );
+    }
+    // Parks and wakes really happened around the spill boundaries.
+    assert!(rt.metrics().wakeups > 0, "no waker activity under pressure");
+}
+
 /// Fault isolation across tenants: a spilling query whose spill writes
 /// fail (injected `fail_after_bytes: Some(0)`) must cancel cleanly — its
 /// panic surfaces at *its* plan join — while a healthy co-tenant sharing
