@@ -2,20 +2,27 @@
 //! and the staircase sweep, each implemented over `Vec<Tuple>` (the
 //! pre-columnar layout) and over `ewh_core::ColumnBatch` (what the engine
 //! runs on).
-//! Reports tuples/sec per layout and the columnar speedup, and asserts the
-//! two layouts fold identical output checksums.
+//! Runs two size tiers — a cache-resident one and a larger out-of-cache
+//! one, where the write-combining and galloping kernels earn their keep —
+//! and reports min/median/max tuples/sec per layout across the timed reps
+//! plus the median-over-median columnar speedup, asserting the two layouts
+//! fold identical output checksums at both tiers.
 //!
 //! ```sh
 //! cargo run --release -p ewh-bench --bin kernel_bench -- \
 //!     [--scale 1.0] [--json BENCH_kernels.json]
 //! ```
 
-use ewh_bench::kernels::run_kernels;
+use ewh_bench::kernels::{run_kernels, KernelReport};
 use ewh_bench::{print_table, RunConfig};
 
-/// Tuples per kernel input at scale 1.0. Large enough that the columns
-/// spill out of L2 and the loops dominate the measurement.
+/// Tuples per kernel input at scale 1.0 for the first tier: the columns
+/// fit in L2/L3, so this tier measures the loop bodies themselves.
 const BASE_TUPLES: usize = 400_000;
+/// Second-tier multiplier: 4x pushes the working set (both layouts plus
+/// their output copies) well past typical last-level caches, so this tier
+/// measures how the kernels behave when every miss goes to DRAM.
+const OUT_OF_CACHE_FACTOR: usize = 4;
 /// Key domain: ~8 duplicates per key at scale 1.0, so band sweeps find
 /// sizable contiguous partner runs.
 const DOMAIN_PER_TUPLE: f64 = 1.0 / 8.0;
@@ -31,50 +38,77 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let n = ((BASE_TUPLES as f64 * rc.scale) as usize).max(4096);
-    let domain = ((n as f64 * DOMAIN_PER_TUPLE) as i64).max(16);
     let reps = 9;
-    let reports = run_kernels(n, domain, CHUNK, reps, rc.seed);
+    let tiers: Vec<(usize, i64, Vec<KernelReport>)> = [1, OUT_OF_CACHE_FACTOR]
+        .iter()
+        .map(|&factor| {
+            let n = ((BASE_TUPLES * factor) as f64 * rc.scale) as usize;
+            let n = n.max(4096);
+            let domain = ((n as f64 * DOMAIN_PER_TUPLE) as i64).max(16);
+            let reports = run_kernels(n, domain, CHUNK, reps, rc.seed);
+            for r in &reports {
+                assert!(
+                    r.checksums_match,
+                    "{} (n {n}): AoS and columnar layouts disagree on the output checksum",
+                    r.kernel
+                );
+            }
+            (n, domain, reports)
+        })
+        .collect();
 
-    for r in &reports {
-        assert!(
-            r.checksums_match,
-            "{}: AoS and columnar layouts disagree on the output checksum",
-            r.kernel
+    for (n, domain, reports) in &tiers {
+        let table: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kernel.to_string(),
+                    format!("{:.2e}/{:.2e}/{:.2e}", r.aos.min, r.aos.median, r.aos.max),
+                    format!("{:.2e}/{:.2e}/{:.2e}", r.col.min, r.col.median, r.col.max),
+                    format!("{:.2}", r.speedup()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("kernel_bench (n {n}, domain {domain}, chunk {CHUNK}, reps {reps})"),
+            &[
+                "kernel",
+                "aos min/med/max t_per_s",
+                "col min/med/max t_per_s",
+                "speedup",
+            ],
+            &table,
         );
     }
 
-    let table: Vec<Vec<String>> = reports
-        .iter()
-        .map(|r| {
-            vec![
-                r.kernel.to_string(),
-                format!("{:.3e}", r.aos_tuples_per_sec),
-                format!("{:.3e}", r.col_tuples_per_sec),
-                format!("{:.2}", r.speedup()),
-            ]
-        })
-        .collect();
-    print_table(
-        &format!("kernel_bench (n {n}, domain {domain}, chunk {CHUNK}, reps {reps})"),
-        &["kernel", "aos_tuples_per_s", "col_tuples_per_s", "speedup"],
-        &table,
-    );
-
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"bench\": \"kernel_bench\",\n  \"tuples\": {},\n  \"domain\": {},\n  \"chunk\": {},\n  \"reps\": {},\n  \"seed\": {},\n  \"results\": [\n",
-        n, domain, CHUNK, reps, rc.seed
+        "  \"bench\": \"kernel_bench\",\n  \"chunk\": {},\n  \"reps\": {},\n  \"seed\": {},\n  \"tiers\": [\n",
+        CHUNK, reps, rc.seed
     ));
-    for (i, r) in reports.iter().enumerate() {
+    for (t, (n, domain, reports)) in tiers.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"aos_tuples_per_sec\": {:.1}, \"col_tuples_per_sec\": {:.1}, \"speedup\": {:.4}, \"checksums_match\": {}}}{}\n",
-            r.kernel,
-            r.aos_tuples_per_sec,
-            r.col_tuples_per_sec,
-            r.speedup(),
-            r.checksums_match,
-            if i + 1 < reports.len() { "," } else { "" },
+            "    {{\"tuples\": {}, \"domain\": {}, \"results\": [\n",
+            n, domain
+        ));
+        for (i, r) in reports.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"kernel\": \"{}\", \"aos_tuples_per_sec\": {{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}}}, \"col_tuples_per_sec\": {{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}}}, \"speedup\": {:.4}, \"checksums_match\": {}}}{}\n",
+                r.kernel,
+                r.aos.min,
+                r.aos.median,
+                r.aos.max,
+                r.col.min,
+                r.col.median,
+                r.col.max,
+                r.speedup(),
+                r.checksums_match,
+                if i + 1 < reports.len() { "," } else { "" },
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if t + 1 < tiers.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

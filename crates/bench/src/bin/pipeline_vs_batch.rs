@@ -234,6 +234,8 @@ fn main() {
                 format!("{:.4}", j.wall_join_secs),
                 j.morsels_routed.to_string(),
                 format!("{:.4}", j.route_secs),
+                format!("{:.4}", j.merge_secs),
+                format!("{:.4}", j.sweep_secs),
                 format!("{:.4}", j.backpressure_secs),
                 j.regions_migrated.to_string(),
             ]
@@ -250,6 +252,8 @@ fn main() {
             "join_wall_s",
             "morsels",
             "route_s",
+            "merge_s",
+            "sweep_s",
             "backpressure_s",
             "migrations",
         ],
@@ -318,7 +322,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let j = &r.run.join;
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"peak_resident_bytes\": {}, \"shuffle_bytes\": {}, \"network_tuples\": {}, \"join_wall_secs\": {:.6}, \"morsels_routed\": {}, \"route_secs\": {:.6}, \"backpressure_secs\": {:.6}, \"regions_migrated\": {}, \"migration_tuples\": {}, \"migration_secs\": {:.6}}}{}\n",
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"output_total\": {}, \"checksum\": {}, \"peak_resident_bytes\": {}, \"shuffle_bytes\": {}, \"network_tuples\": {}, \"join_wall_secs\": {:.6}, \"morsels_routed\": {}, \"route_secs\": {:.6}, \"merge_secs\": {:.6}, \"sweep_secs\": {:.6}, \"backpressure_secs\": {:.6}, \"regions_migrated\": {}, \"migration_tuples\": {}, \"migration_secs\": {:.6}}}{}\n",
             json_escape(&r.workload),
             r.mode,
             j.output_total,
@@ -329,6 +333,8 @@ fn main() {
             j.wall_join_secs,
             j.morsels_routed,
             j.route_secs,
+            j.merge_secs,
+            j.sweep_secs,
             j.backpressure_secs,
             j.regions_migrated,
             j.migration_tuples,

@@ -14,7 +14,9 @@
 
 use std::time::Instant;
 
-use ewh_core::{ColumnBatch, JoinCondition, Key, Rel, RouteBatch, RouteBuckets, Router, Tuple};
+use ewh_core::{
+    ColumnBatch, JoinCondition, Key, Rel, RouteBatch, RouteBuckets, RouteScatter, Router, Tuple,
+};
 use ewh_exec::{sweep_columns, sweep_sorted, OutputWork};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -72,9 +74,10 @@ pub fn route_aos(
     acc
 }
 
-/// The columnar mapper's routing: batch-route straight off the key column
-/// (no scratch materialization), then gather each touched region's fragment
-/// out of both columns.
+/// The columnar mapper's routing: the two-pass histogram-then-scatter with
+/// write-combining staging lanes ([`RouteScatter`]) that builds every
+/// touched region's fragment exact-sized in one sweep over both columns,
+/// recycling fragment allocations across windows the way the engine does.
 pub fn route_columns(
     batch: &ColumnBatch,
     router: &Router,
@@ -83,22 +86,28 @@ pub fn route_columns(
     seed: u64,
 ) -> u64 {
     let (keys, payloads) = (batch.keys(), batch.payloads());
-    let mut buckets = RouteBuckets::new(n_regions);
+    let mut scatter = RouteScatter::new(n_regions);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut acc = 0u64;
     let mut off = 0;
     while off < keys.len() {
         let end = (off + chunk.max(1)).min(keys.len());
-        buckets.clear();
-        router.route_batch(Rel::R1, &keys[off..end], &mut rng, &mut buckets);
-        for &region in buckets.touched() {
-            let idx = buckets.region(region);
-            let frag = ColumnBatch::gather_from(&keys[off..end], &payloads[off..end], idx);
+        router.route_scatter(
+            Rel::R1,
+            &keys[off..end],
+            &payloads[off..end],
+            &mut rng,
+            &mut scatter,
+        );
+        for slot in 0..scatter.touched().len() {
+            let region = scatter.touched()[slot];
+            let frag = scatter.take_fragment(slot);
             acc = fold(acc, region as Key, frag.len() as u64);
             for (&k, &p) in frag.keys().iter().zip(frag.payloads()) {
                 acc = fold(acc, k, p);
             }
             std::hint::black_box(&frag);
+            scatter.recycle(frag);
         }
         off = end;
     }
@@ -140,35 +149,60 @@ pub fn sweep_cols(build: &ColumnBatch, probe: &ColumnBatch, cond: &JoinCondition
     count ^ checksum
 }
 
+/// Per-layout throughput distribution over the timed repetitions, in
+/// tuples/sec. A single aggregate number hides run-to-run noise — a 10%
+/// kernel win is indistinguishable from scheduler jitter without the
+/// spread — so min/median/max are reported (and the JSON seeds) instead.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Slowest repetition.
+    pub min: f64,
+    pub median: f64,
+    /// Fastest repetition.
+    pub max: f64,
+}
+
 /// One kernel's measured comparison.
 pub struct KernelReport {
     pub kernel: &'static str,
-    pub aos_tuples_per_sec: f64,
-    pub col_tuples_per_sec: f64,
+    pub aos: Throughput,
+    pub col: Throughput,
     /// Both layouts folded identical output checksums.
     pub checksums_match: bool,
 }
 
 impl KernelReport {
-    /// Columnar over AoS throughput.
+    /// Columnar over AoS throughput, median over median (the robust
+    /// center; min/max bound the noise band).
     pub fn speedup(&self) -> f64 {
-        self.col_tuples_per_sec / self.aos_tuples_per_sec.max(1e-12)
+        self.col.median / self.aos.median.max(1e-12)
     }
 }
 
-/// Times `f` over `reps` repetitions after one warmup and converts to
+/// Times `f` per repetition after one warmup and converts each rep to
 /// tuples/sec; returns the folded checksum alongside so callers can assert
 /// cross-layout agreement.
-pub fn throughput(tuples_per_rep: usize, reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+pub fn throughput(
+    tuples_per_rep: usize,
+    reps: usize,
+    mut f: impl FnMut() -> u64,
+) -> (Throughput, u64) {
     let checksum = f(); // warmup rep, and the checksum for equality checks
-    let start = Instant::now();
-    let mut acc = 0u64;
-    for _ in 0..reps.max(1) {
-        acc ^= std::hint::black_box(f());
-    }
-    std::hint::black_box(acc);
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    ((tuples_per_rep * reps.max(1)) as f64 / secs, checksum)
+    let mut secs_per_rep: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64().max(1e-9)
+        })
+        .collect();
+    secs_per_rep.sort_by(f64::total_cmp);
+    let tps = |secs: f64| tuples_per_rep as f64 / secs;
+    let spread = Throughput {
+        min: tps(*secs_per_rep.last().expect("at least one rep")),
+        median: tps(secs_per_rep[secs_per_rep.len() / 2]),
+        max: tps(secs_per_rep[0]),
+    };
+    (spread, checksum)
 }
 
 /// Runs all three kernel comparisons at the given size. `reps` trades
@@ -193,8 +227,8 @@ pub fn run_kernels(
     });
     let mut reports = vec![KernelReport {
         kernel: "route",
-        aos_tuples_per_sec: aos_tps,
-        col_tuples_per_sec: col_tps,
+        aos: aos_tps,
+        col: col_tps,
         checksums_match: aos_sum == col_sum,
     }];
 
@@ -202,8 +236,8 @@ pub fn run_kernels(
     let (col_tps, col_sum) = throughput(n, reps, || sort_columns(&batch));
     reports.push(KernelReport {
         kernel: "sort",
-        aos_tuples_per_sec: aos_tps,
-        col_tuples_per_sec: col_tps,
+        aos: aos_tps,
+        col: col_tps,
         checksums_match: aos_sum == col_sum,
     });
 
@@ -223,8 +257,8 @@ pub fn run_kernels(
         throughput(swept, reps, || sweep_cols(&build_cols, &probe_cols, &cond));
     reports.push(KernelReport {
         kernel: "sweep",
-        aos_tuples_per_sec: aos_tps,
-        col_tuples_per_sec: col_tps,
+        aos: aos_tps,
+        col: col_tps,
         checksums_match: aos_sum == col_sum,
     });
     reports

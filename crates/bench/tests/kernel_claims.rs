@@ -21,7 +21,9 @@ fn every_kernel_agrees_across_layouts() {
                 "{} kernel: layouts disagree at n = {n}",
                 r.kernel
             );
-            assert!(r.aos_tuples_per_sec > 0.0 && r.col_tuples_per_sec > 0.0);
+            assert!(r.aos.median > 0.0 && r.col.median > 0.0);
+            assert!(r.aos.min <= r.aos.median && r.aos.median <= r.aos.max);
+            assert!(r.col.min <= r.col.median && r.col.median <= r.col.max);
         }
     }
 }
@@ -30,8 +32,11 @@ fn every_kernel_agrees_across_layouts() {
 fn columnar_sweep_does_not_regress_against_aos() {
     // Duplicate-heavy sorted sides with a band condition: every build key
     // has a contiguous probe partner run, the sweep's hot case. The margin
-    // is deliberately loose (≥ 0.7×): this guards against a pathological
-    // regression, not noise between two fast loops.
+    // is deliberately loose (≥ 0.5×): this guards against a pathological
+    // regression, not noise — in a debug build the gallop closures and
+    // unrolled checksum lanes are not inlined, so the columnar sweep runs
+    // below parity there. The real speedup floor is asserted under
+    // `--release` by `release_kernels_beat_their_speedup_floors`.
     let tuples = ewh_bench::kernels::kernel_tuples(120_000, 12_000, 11);
     let cond = JoinCondition::Band { beta: 1 };
     let mut build = tuples[..60_000].to_vec();
@@ -46,7 +51,40 @@ fn columnar_sweep_does_not_regress_against_aos() {
     let (col_tps, col_sum) = throughput(swept, 3, || sweep_cols(&build_cols, &probe_cols, &cond));
     assert_eq!(aos_sum, col_sum, "sweep layouts disagree");
     assert!(
-        col_tps >= 0.7 * aos_tps,
-        "columnar sweep regressed: {col_tps:.3e} tuples/s vs AoS {aos_tps:.3e}"
+        col_tps.median >= 0.5 * aos_tps.median,
+        "columnar sweep regressed: {:.3e} tuples/s vs AoS {:.3e}",
+        col_tps.median,
+        aos_tps.median
     );
+}
+
+#[test]
+fn release_kernels_beat_their_speedup_floors() {
+    // The headline kernel claims: write-combining scatter routing,
+    // radix/permutation sorting, and the galloping sweep each beat the AoS
+    // baseline by a floor margin at out-of-cache-ish size — with
+    // bit-identical checksums. Optimized code only: a debug build measures
+    // bounds checks and `RefCell` overhead, not the kernels, so this test
+    // is a no-op there (CI runs it again under `--release`).
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let n = 400_000;
+    let reports = run_kernels(n, n as i64 / 8, 4096, 5, 23);
+    let floors = [("route", 1.3), ("sort", 1.5), ("sweep", 1.1)];
+    for (kernel, floor) in floors {
+        let r = reports
+            .iter()
+            .find(|r| r.kernel == kernel)
+            .expect("kernel report present");
+        assert!(r.checksums_match, "{kernel}: layouts disagree");
+        assert!(
+            r.speedup() >= floor,
+            "{kernel} kernel speedup {:.2}x below its {floor}x floor \
+             (aos median {:.3e} t/s, col median {:.3e} t/s)",
+            r.speedup(),
+            r.aos.median,
+            r.col.median
+        );
+    }
 }

@@ -71,6 +71,14 @@ impl ColumnBatch {
         ColumnBatch { keys, payloads }
     }
 
+    /// Decomposes the batch into its raw columns — the inverse of
+    /// [`from_columns`](Self::from_columns). Buffer recyclers use this to
+    /// reuse a retired batch's allocations as fill targets.
+    #[inline]
+    pub fn into_columns(self) -> (Vec<Key>, Vec<u64>) {
+        (self.keys, self.payloads)
+    }
+
     /// Transposes an array-of-structs slice into columns.
     pub fn from_tuples(tuples: &[Tuple]) -> Self {
         ColumnBatch {
@@ -139,6 +147,30 @@ impl ColumnBatch {
     pub fn extend_from_range(&mut self, other: &ColumnBatch, range: std::ops::Range<usize>) {
         self.keys.extend_from_slice(&other.keys[range.clone()]);
         self.payloads.extend_from_slice(&other.payloads[range]);
+    }
+
+    /// Appends parallel column slices in one bulk copy per column — the
+    /// burst flush of a write-combining staging lane. Panics if the slice
+    /// lengths differ.
+    #[inline]
+    pub fn extend_from_slices(&mut self, keys: &[Key], payloads: &[u64]) {
+        assert_eq!(keys.len(), payloads.len(), "column lengths must match");
+        self.keys.extend_from_slice(keys);
+        self.payloads.extend_from_slice(payloads);
+    }
+
+    /// Reserves room for at least `additional` more tuples in both columns.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.keys.reserve(additional);
+        self.payloads.reserve(additional);
+    }
+
+    /// Tuples the batch can hold without reallocating (the smaller of the
+    /// two column capacities).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.capacity().min(self.payloads.capacity())
     }
 
     pub fn clear(&mut self) {

@@ -7,11 +7,12 @@
 //! random row *band* of the J = a×b region grid and is replicated to the `b`
 //! regions of that band (§II-A).
 
+use std::mem;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use rand::Rng;
 
-use crate::Key;
+use crate::{ColumnBatch, Key};
 
 /// Which relation a tuple being routed belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -96,6 +97,330 @@ pub trait RouteBatch {
             self.route_one(rel, k, &mut *rng, &mut scratch);
             for &region in &scratch {
                 buckets.push(region, i as u32);
+            }
+        }
+    }
+
+    /// Routes a whole batch *and* builds every touched region's fragment in
+    /// one two-pass histogram-then-scatter (see [`RouteScatter`]). Consumes
+    /// the RNG in exactly the per-tuple order of
+    /// [`route_batch`](Self::route_batch), so content-insensitive routing
+    /// decisions are identical across the two paths. `scatter` is cleared
+    /// here (it fully owns its per-batch lifecycle, unlike `route_batch`'s
+    /// buckets).
+    fn route_scatter(
+        &self,
+        rel: Rel,
+        keys: &[Key],
+        payloads: &[u64],
+        rng: &mut impl Rng,
+        scatter: &mut RouteScatter,
+    ) {
+        scatter.clear();
+        let mut scratch: Vec<u32> = Vec::with_capacity(8);
+        for &k in keys {
+            scratch.clear();
+            self.route_one(rel, k, &mut *rng, &mut scratch);
+            scatter.record(&scratch);
+        }
+        scatter.scatter_columns(keys, payloads);
+    }
+}
+
+/// Tuples a write-combining staging lane holds before it bursts into its
+/// destination fragment: 64 key + 64 payload slots = 1 KiB per lane, so a
+/// dozen concurrently touched regions stage entirely inside L1 while the
+/// fragments themselves are written in cache-line-sized bulk copies.
+const WC_LANE: usize = 64;
+
+/// Staging lanes a [`RouteScatter`] keeps spare fragment allocations for.
+const SPARE_FRAGMENTS: usize = 32;
+
+/// Two-pass histogram-then-scatter routing: the cache-conscious successor
+/// of routing into [`RouteBuckets`] and gathering each fragment afterwards.
+///
+/// Pass 1 (`record`, driven by
+/// [`RouteBatch::route_scatter`]) routes every key once, accumulating a
+/// per-region histogram and the flattened per-tuple destination lists
+/// (CSR layout). Pass 2 (`scatter_columns`)
+/// allocates each touched region's fragment at its exact final size, then
+/// replays the destinations, writing each tuple's key/payload into a small
+/// cache-resident *write-combining lane* per region; a full lane flushes
+/// in one bulk copy per column. The scattered stores of the per-tuple loop
+/// thus always hit hot staging memory, and the (cold) fragments are only
+/// ever written in `WC_LANE`-sized bursts.
+///
+/// Bit-identity contract: for every region, the fragment equals
+/// `ColumnBatch::gather_from(keys, payloads, buckets.region(r))` of the
+/// [`RouteBuckets`] path on the same routing decisions, and
+/// [`touched`](Self::touched) lists regions in the same first-touch order —
+/// the batch-oracle property tests compare the two paths directly.
+#[derive(Debug, Default)]
+pub struct RouteScatter {
+    /// Per-region tuple count of the current batch (reset via `touched`).
+    counts: Vec<u32>,
+    /// Region id → index into `touched`/`frags` (valid iff counted).
+    slot_of: Vec<u32>,
+    /// Regions in first-touch order.
+    touched: Vec<u32>,
+    /// Flattened per-tuple destination region lists (CSR values).
+    dests: Vec<u32>,
+    /// CSR offsets: tuple `i` goes to `dests[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Write-combining staging lanes, [`WC_LANE`] slots per touched region.
+    lane_keys: Vec<Key>,
+    lane_payloads: Vec<u64>,
+    lane_len: Vec<u32>,
+    /// Built fragments, parallel to `touched`.
+    frags: Vec<ColumnBatch>,
+    /// Retired fragment allocations recycled into future batches.
+    spare: Vec<ColumnBatch>,
+    /// Grouped fast-path state (see [`route_grouped`](Self::route_grouped)):
+    /// per-group tuple counts, group id → `grp_touched` slot, groups in
+    /// first-touch order, and each touched group's contiguous span of
+    /// fragment slots within `touched`.
+    grp_counts: Vec<u32>,
+    grp_slot: Vec<u32>,
+    grp_touched: Vec<u32>,
+    grp_spans: Vec<(u32, u32)>,
+}
+
+impl RouteScatter {
+    pub fn new(n_regions: usize) -> Self {
+        RouteScatter {
+            counts: vec![0; n_regions],
+            slot_of: vec![0; n_regions],
+            ..Self::default()
+        }
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Region ids that received at least one tuple of the current batch, in
+    /// first-touch order (same order as [`RouteBuckets::touched`]).
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// The built fragment of `touched()[slot]`, leaving an empty batch in
+    /// its place. Only meaningful after the scatter pass has run (via
+    /// [`RouteBatch::route_scatter`]).
+    pub fn take_fragment(&mut self, slot: usize) -> ColumnBatch {
+        mem::take(&mut self.frags[slot])
+    }
+
+    /// Donates a retired batch's allocation for reuse as a future fragment.
+    pub fn recycle(&mut self, mut batch: ColumnBatch) {
+        if self.spare.len() < SPARE_FRAGMENTS && batch.capacity() > 0 {
+            batch.clear();
+            self.spare.push(batch);
+        }
+    }
+
+    /// Resets the per-batch state (O(touched), keeps every allocation);
+    /// untaken fragments are recycled into the spare list.
+    pub fn clear(&mut self) {
+        for &r in &self.touched {
+            self.counts[r as usize] = 0;
+        }
+        for &g in &self.grp_touched {
+            self.grp_counts[g as usize] = 0;
+        }
+        self.touched.clear();
+        self.grp_touched.clear();
+        self.grp_spans.clear();
+        self.dests.clear();
+        self.offsets.clear();
+        for f in self.frags.drain(..) {
+            if self.spare.len() < SPARE_FRAGMENTS && f.capacity() > 0 {
+                let mut f = f;
+                f.clear();
+                self.spare.push(f);
+            }
+        }
+    }
+
+    /// Pass-1 entry: records one tuple's destination regions (histogram +
+    /// first-touch order + CSR append). Must be called once per tuple, in
+    /// batch order.
+    #[inline]
+    fn record(&mut self, regions: &[u32]) {
+        for &r in regions {
+            let c = &mut self.counts[r as usize];
+            if *c == 0 {
+                self.slot_of[r as usize] = self.touched.len() as u32;
+                self.touched.push(r);
+            }
+            *c += 1;
+        }
+        self.dests.extend_from_slice(regions);
+        self.offsets.push(self.dests.len() as u32);
+    }
+
+    /// Pass 2: allocates each touched region's fragment at its exact
+    /// histogram size and replays the recorded destinations through the
+    /// write-combining lanes. Fragment contents end up in batch order per
+    /// region — identical to the gather of a [`RouteBuckets`] bucket.
+    fn scatter_columns(&mut self, keys: &[Key], payloads: &[u64]) {
+        debug_assert_eq!(keys.len(), payloads.len());
+        debug_assert_eq!(self.offsets.len(), keys.len());
+        let nt = self.touched.len();
+        debug_assert!(self.frags.is_empty());
+        for &r in &self.touched {
+            let cap = self.counts[r as usize] as usize;
+            let mut f = self.spare.pop().unwrap_or_default();
+            f.reserve(cap);
+            self.frags.push(f);
+        }
+        self.lane_keys.resize(nt * WC_LANE, 0);
+        self.lane_payloads.resize(nt * WC_LANE, 0);
+        self.lane_len.clear();
+        self.lane_len.resize(nt, 0);
+        let mut from = 0usize;
+        for (i, (&k, &p)) in keys.iter().zip(payloads).enumerate() {
+            let to = self.offsets[i] as usize;
+            for &r in &self.dests[from..to] {
+                let s = self.slot_of[r as usize] as usize;
+                let len = self.lane_len[s] as usize;
+                let base = s * WC_LANE;
+                self.lane_keys[base + len] = k;
+                self.lane_payloads[base + len] = p;
+                if len + 1 == WC_LANE {
+                    self.frags[s].extend_from_slices(
+                        &self.lane_keys[base..base + WC_LANE],
+                        &self.lane_payloads[base..base + WC_LANE],
+                    );
+                    self.lane_len[s] = 0;
+                } else {
+                    self.lane_len[s] = len as u32 + 1;
+                }
+            }
+            from = to;
+        }
+        for s in 0..nt {
+            let len = self.lane_len[s] as usize;
+            if len > 0 {
+                let base = s * WC_LANE;
+                self.frags[s].extend_from_slices(
+                    &self.lane_keys[base..base + len],
+                    &self.lane_payloads[base..base + len],
+                );
+                self.lane_len[s] = 0;
+            }
+        }
+    }
+
+    /// Grouped fast path for routers whose per-tuple destination sets are
+    /// *disjoint groups* of regions — a whole row (or column) of the
+    /// content-insensitive matrix, a single hash bucket. Every member
+    /// region of a group receives the identical fragment, so instead of
+    /// scattering each of the `replication × n` copies tuple-by-tuple,
+    /// this records one group id per tuple, scatters each tuple *once*
+    /// into its group's fragment, and bulk-clones that fragment to the
+    /// group's sibling regions afterwards.
+    ///
+    /// `group_of` draws each tuple's group in batch order, consuming any
+    /// RNG exactly as the scalar per-tuple router would; `members` appends
+    /// a group's member regions in the scalar router's emission order, so
+    /// [`touched`](Self::touched) keeps the first-touch region order of
+    /// the [`RouteBuckets`] path and the bit-identity contract holds.
+    pub fn route_grouped(
+        &mut self,
+        keys: &[Key],
+        payloads: &[u64],
+        n_groups: usize,
+        mut group_of: impl FnMut(Key) -> u32,
+        mut members: impl FnMut(u32, &mut Vec<u32>),
+    ) {
+        self.clear();
+        if self.grp_counts.len() < n_groups {
+            self.grp_counts.resize(n_groups, 0);
+            self.grp_slot.resize(n_groups, 0);
+        }
+        let mut scratch: Vec<u32> = Vec::with_capacity(8);
+        self.dests.reserve(keys.len());
+        for &k in keys {
+            let g = group_of(k);
+            let c = &mut self.grp_counts[g as usize];
+            if *c == 0 {
+                self.grp_slot[g as usize] = self.grp_touched.len() as u32;
+                self.grp_touched.push(g);
+                let start = self.touched.len() as u32;
+                scratch.clear();
+                members(g, &mut scratch);
+                for &r in &scratch {
+                    debug_assert_eq!(self.counts[r as usize], 0, "groups must be disjoint");
+                    self.slot_of[r as usize] = self.touched.len() as u32;
+                    self.touched.push(r);
+                }
+                self.grp_spans.push((start, scratch.len() as u32));
+            }
+            *c += 1;
+            // `dests` holds the per-tuple *group slot* in this mode (the
+            // generic path stores flattened region lists instead).
+            self.dests.push(self.grp_slot[g as usize]);
+        }
+        self.scatter_grouped(keys, payloads);
+    }
+
+    /// Pass 2 of the grouped path: one write-combining scatter per tuple
+    /// into its group's first fragment slot, then bulk clones to siblings.
+    fn scatter_grouped(&mut self, keys: &[Key], payloads: &[u64]) {
+        debug_assert!(self.frags.is_empty());
+        // Exact-size fragment per touched region; a group's member slots
+        // are contiguous in `touched`, so slot order equals group order.
+        for (gi, &g) in self.grp_touched.iter().enumerate() {
+            let cap = self.grp_counts[g as usize] as usize;
+            let (_, len) = self.grp_spans[gi];
+            for _ in 0..len {
+                let mut f = self.spare.pop().unwrap_or_default();
+                f.reserve(cap);
+                self.frags.push(f);
+            }
+        }
+        let ng = self.grp_touched.len();
+        self.lane_keys.resize(ng * WC_LANE, 0);
+        self.lane_payloads.resize(ng * WC_LANE, 0);
+        self.lane_len.clear();
+        self.lane_len.resize(ng, 0);
+        for (i, (&k, &p)) in keys.iter().zip(payloads).enumerate() {
+            let gs = self.dests[i] as usize;
+            let len = self.lane_len[gs] as usize;
+            let base = gs * WC_LANE;
+            self.lane_keys[base + len] = k;
+            self.lane_payloads[base + len] = p;
+            if len + 1 == WC_LANE {
+                let slot = self.grp_spans[gs].0 as usize;
+                self.frags[slot].extend_from_slices(
+                    &self.lane_keys[base..base + WC_LANE],
+                    &self.lane_payloads[base..base + WC_LANE],
+                );
+                self.lane_len[gs] = 0;
+            } else {
+                self.lane_len[gs] = len as u32 + 1;
+            }
+        }
+        for gs in 0..ng {
+            let len = self.lane_len[gs] as usize;
+            if len > 0 {
+                let base = gs * WC_LANE;
+                let slot = self.grp_spans[gs].0 as usize;
+                self.frags[slot].extend_from_slices(
+                    &self.lane_keys[base..base + len],
+                    &self.lane_payloads[base..base + len],
+                );
+                self.lane_len[gs] = 0;
+            }
+        }
+        // Sibling regions of a group take a bulk copy of the group's
+        // fragment — two memcpys per clone instead of a per-tuple scatter.
+        for &(start, len) in &self.grp_spans {
+            for s in start + 1..start + len {
+                let (head, tail) = self.frags.split_at_mut(s as usize);
+                let src = &head[start as usize];
+                tail[0].extend_from_slices(src.keys(), src.payloads());
             }
         }
     }
@@ -222,6 +547,78 @@ impl RouteBatch for Router {
             (Router::Hash(h), Rel::R1) => scatter!(|k, out| h.route_r1(k, &mut *rng, out)),
             (Router::Hash(h), Rel::R2) => scatter!(|k, out| h.route_r2(k, out)),
         }
+    }
+
+    /// Amortized override of the two-pass scatter: one variant dispatch per
+    /// batch for the routing pass, same RNG draw order as `route_batch`.
+    /// Routers whose destination sets are disjoint region groups — the
+    /// content-insensitive matrix (a whole row/column per tuple) and the
+    /// hash partitioner's `R1` side (one bucket per tuple) — take the
+    /// grouped fast path, which scatters each tuple once and bulk-clones
+    /// replicated fragments; the grid router's overlapping region ranges
+    /// and the hash band fan-out keep the generic per-destination scatter.
+    fn route_scatter(
+        &self,
+        rel: Rel,
+        keys: &[Key],
+        payloads: &[u64],
+        rng: &mut impl Rng,
+        scatter: &mut RouteScatter,
+    ) {
+        match (self, rel) {
+            (Router::Random(r), Rel::R1) => {
+                let cols = r.cols;
+                return scatter.route_grouped(
+                    keys,
+                    payloads,
+                    r.rows as usize,
+                    |_k| rng.gen_range(0..r.rows),
+                    |row, out| out.extend((0..cols).map(|j| row * cols + j)),
+                );
+            }
+            (Router::Random(r), Rel::R2) => {
+                let (rows, cols) = (r.rows, r.cols);
+                return scatter.route_grouped(
+                    keys,
+                    payloads,
+                    cols as usize,
+                    |_k| rng.gen_range(0..cols),
+                    |col, out| out.extend((0..rows).map(|i| i * cols + col)),
+                );
+            }
+            (Router::Hash(h), Rel::R1) => {
+                return scatter.route_grouped(
+                    keys,
+                    payloads,
+                    h.num_buckets() as usize,
+                    |k| h.bucket_r1(k, &mut *rng),
+                    |b, out| out.push(b),
+                );
+            }
+            _ => {}
+        }
+        scatter.clear();
+        let mut scratch: Vec<u32> = Vec::with_capacity(8);
+        macro_rules! route_pass {
+            (|$k:ident, $out:ident| $route:expr) => {
+                for &$k in keys {
+                    scratch.clear();
+                    {
+                        let $out = &mut scratch;
+                        $route;
+                    }
+                    scatter.record(&scratch);
+                }
+            };
+        }
+        match (self, rel) {
+            (Router::Grid(g), Rel::R1) => route_pass!(|k, out| g.route_r1(k, out)),
+            (Router::Grid(g), Rel::R2) => route_pass!(|k, out| g.route_r2(k, out)),
+            (Router::Random(_), _) => unreachable!("grouped fast path above"),
+            (Router::Hash(_), Rel::R1) => unreachable!("grouped fast path above"),
+            (Router::Hash(h), Rel::R2) => route_pass!(|k, out| h.route_r2(k, out)),
+        }
+        scatter.scatter_columns(keys, payloads);
     }
 }
 
@@ -384,13 +781,28 @@ impl HashRouter {
             .unwrap_or(false)
     }
 
+    /// Number of hash buckets (= regions) this router partitions into.
+    #[inline]
+    pub fn num_buckets(&self) -> u32 {
+        self.j
+    }
+
+    /// The single region an `R1` tuple with key `k` routes to, drawing
+    /// from the RNG exactly as [`route_r1`](Self::route_r1) does (heavy
+    /// keys scatter to a random region) — the grouped-scatter fast path's
+    /// per-tuple group function.
+    #[inline]
+    pub fn bucket_r1(&self, k: Key, rng: &mut impl Rng) -> u32 {
+        if self.is_heavy(k) {
+            rng.gen_range(0..self.j)
+        } else {
+            self.bucket(k)
+        }
+    }
+
     #[inline]
     pub fn route_r1(&self, k: Key, rng: &mut impl Rng, out: &mut Vec<u32>) {
-        if self.is_heavy(k) {
-            out.push(rng.gen_range(0..self.j));
-        } else {
-            out.push(self.bucket(k));
-        }
+        out.push(self.bucket_r1(k, rng));
     }
 
     #[inline]
@@ -514,6 +926,55 @@ mod tests {
         buckets.clear();
         assert!(buckets.touched().is_empty());
         assert!((0..3u32).all(|r| buckets.region(r).is_empty()));
+    }
+
+    #[test]
+    fn route_scatter_matches_buckets_and_gather() {
+        // The WC two-pass scatter must reproduce the RouteBuckets path
+        // bit for bit: same fragments (contents and per-region order),
+        // same first-touch region order, same RNG consumption.
+        let routers = [
+            Router::Grid(grid()),
+            Router::Random(RandomRouter { rows: 4, cols: 8 }),
+            Router::Hash(HashRouter::new(7, 2, vec![5, 40])),
+        ];
+        for router in routers {
+            for rel in [Rel::R1, Rel::R2] {
+                let keys: Vec<Key> = (0..300).map(|i| (i * 7) % 64).collect();
+                let payloads: Vec<u64> = (0..300).map(|i| i as u64 * 3).collect();
+                let n_regions = 64;
+
+                let mut rng = SmallRng::seed_from_u64(77);
+                let mut buckets = RouteBuckets::new(n_regions);
+                router.route_batch(rel, &keys, &mut rng, &mut buckets);
+
+                let mut rng = SmallRng::seed_from_u64(77);
+                let mut sc = RouteScatter::new(n_regions);
+                router.route_scatter(rel, &keys, &payloads, &mut rng, &mut sc);
+
+                assert_eq!(sc.touched(), buckets.touched());
+                for (slot, &region) in buckets.touched().to_vec().iter().enumerate() {
+                    let expect = ColumnBatch::gather_from(&keys, &payloads, buckets.region(region));
+                    assert_eq!(sc.take_fragment(slot), expect, "region {region}");
+                }
+                // A second batch through the same scratch stays correct
+                // (recycled fragment allocations, cleared histogram).
+                let mut rng = SmallRng::seed_from_u64(78);
+                let mut buckets2 = RouteBuckets::new(n_regions);
+                router.route_batch(rel, &keys[..97], &mut rng, &mut buckets2);
+                let mut rng = SmallRng::seed_from_u64(78);
+                router.route_scatter(rel, &keys[..97], &payloads[..97], &mut rng, &mut sc);
+                assert_eq!(sc.touched(), buckets2.touched());
+                for (slot, &region) in buckets2.touched().to_vec().iter().enumerate() {
+                    let expect = ColumnBatch::gather_from(
+                        &keys[..97],
+                        &payloads[..97],
+                        buckets2.region(region),
+                    );
+                    assert_eq!(sc.take_fragment(slot), expect, "region {region}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use ewh_core::{ColumnBatch, Key, Rel, RouteBatch, RouteBuckets, Router, RoutingTable};
+use ewh_core::{ColumnBatch, Key, Rel, RouteBatch, RouteScatter, Router, RoutingTable};
 
 use super::exchange::{Exchange, TryPop};
 use super::morsel::{Claim, MemGauge, MorselPlan};
@@ -160,20 +160,20 @@ pub struct MapperShared<'a> {
 /// exchange batch (owned here until its fragments ship, because the
 /// shared gauge releases it only once the whole batch is routed).
 enum UnitSource {
-    Scan { rel: Rel, start: usize, end: usize },
+    Scan { rel: Rel },
     Batch { tuples: ColumnBatch },
 }
 
-/// One unit of routing work in flight across polls: the routed bucket
+/// One unit of routing work in flight across polls: the scatter's touched
 /// snapshot plus the ship cursor.
 struct InFlightUnit {
     source: UnitSource,
-    /// Snapshot of the touched region list (bucket indices stay valid in
-    /// `MapperTask::buckets` until the unit completes).
+    /// Snapshot of the touched region list (fragments stay parked in
+    /// `MapperTask::scatter` until taken for shipping).
     touched: Vec<u32>,
-    /// Next entry of `touched` to build and ship.
+    /// Next entry of `touched` to take and ship.
     next: usize,
-    /// A fragment already built (and charged to the gauge / volume
+    /// A fragment already taken (and charged to the gauge / volume
     /// counters) whose push bounced off a full queue.
     built: Option<(u32, ColumnBatch)>,
 }
@@ -182,7 +182,10 @@ struct InFlightUnit {
 /// (if any); finishes when both are done or the run is cancelled.
 pub struct MapperTask<'a> {
     shared: &'a MapperShared<'a>,
-    buckets: RouteBuckets,
+    /// Two-pass write-combining routing scratch: histogram + staging
+    /// lanes + the current unit's built fragments (see
+    /// [`RouteScatter`]).
+    scatter: RouteScatter,
     unit: Option<InFlightUnit>,
     /// Scan plan exhausted; now pulling from the exchange (if any).
     draining: bool,
@@ -195,7 +198,7 @@ impl<'a> MapperTask<'a> {
         let n_regions = shared.table.n_regions();
         MapperTask {
             shared,
-            buckets: RouteBuckets::new(n_regions),
+            scatter: RouteScatter::new(n_regions),
             unit: None,
             draining: false,
             blocked: None,
@@ -251,20 +254,18 @@ impl<'a> MapperTask<'a> {
             let allow_r2 = sh.seal.r1_remaining.load(Ordering::Acquire) == 0;
             match sh.plan.try_claim(allow_r2) {
                 Claim::Claimed(morsel) => {
-                    // Route straight off the base relation's key column —
-                    // no key scratch is materialized from tuples.
-                    let keys = match morsel.rel {
-                        Rel::R1 => &sh.r1.keys()[morsel.range()],
-                        Rel::R2 => &sh.r2.keys()[morsel.range()],
+                    // Route straight off the base relation's columns — no
+                    // per-morsel scratch is materialized from tuples.
+                    let side = match morsel.rel {
+                        Rel::R1 => sh.r1,
+                        Rel::R2 => sh.r2,
                     };
-                    self.route_unit(morsel.index as u64, morsel.rel, keys);
+                    let keys = &side.keys()[morsel.range()];
+                    let payloads = &side.payloads()[morsel.range()];
+                    self.route_unit(morsel.index as u64, morsel.rel, keys, payloads);
                     self.unit = Some(InFlightUnit {
-                        source: UnitSource::Scan {
-                            rel: morsel.rel,
-                            start: morsel.start,
-                            end: morsel.end,
-                        },
-                        touched: self.buckets.touched().to_vec(),
+                        source: UnitSource::Scan { rel: morsel.rel },
+                        touched: self.scatter.touched().to_vec(),
                         next: 0,
                         built: None,
                     });
@@ -291,10 +292,10 @@ impl<'a> MapperTask<'a> {
             TryPop::Batch(batch) => {
                 let seq = sh.seal.exchange_claims.fetch_add(1, Ordering::Relaxed);
                 // Disjoint RNG stream space from plan morsel indices.
-                self.route_unit(u64::MAX - seq, Rel::R2, batch.keys());
+                self.route_unit(u64::MAX - seq, Rel::R2, batch.keys(), batch.payloads());
                 self.unit = Some(InFlightUnit {
                     source: UnitSource::Batch { tuples: batch },
-                    touched: self.buckets.touched().to_vec(),
+                    touched: self.scatter.touched().to_vec(),
                     next: 0,
                     built: None,
                 });
@@ -319,9 +320,11 @@ impl<'a> MapperTask<'a> {
         }
     }
 
-    /// Routes one unit's key column into `self.buckets` (retained until
-    /// the unit's fragments have all shipped).
-    fn route_unit(&mut self, stream: u64, rel: Rel, keys: &[Key]) {
+    /// Routes one unit's columns into `self.scatter`'s per-region fragments
+    /// (retained until the unit's fragments have all shipped). Two passes:
+    /// a histogram pass records destinations, then a write-combining scatter
+    /// builds every fragment exact-sized in one sweep over the columns.
+    fn route_unit(&mut self, stream: u64, rel: Rel, keys: &[Key], payloads: &[u64]) {
         let sh = self.shared;
         let start = Instant::now();
         // Seed the routing RNG per morsel/batch (not per task) so content-
@@ -330,7 +333,7 @@ impl<'a> MapperTask<'a> {
         let stream = stream << 1 | matches!(rel, Rel::R2) as u64;
         let mut rng = SmallRng::seed_from_u64(sh.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         sh.router
-            .route_batch(rel, keys, &mut rng, &mut self.buckets);
+            .route_scatter(rel, keys, payloads, &mut rng, &mut self.scatter);
         sh.route_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
@@ -353,21 +356,10 @@ impl<'a> MapperTask<'a> {
                     }
                     return true;
                 };
-                let (keys, payloads) = match &unit.source {
-                    UnitSource::Scan {
-                        rel: Rel::R1,
-                        start,
-                        end,
-                    } => (&sh.r1.keys()[*start..*end], &sh.r1.payloads()[*start..*end]),
-                    UnitSource::Scan {
-                        rel: Rel::R2,
-                        start,
-                        end,
-                    } => (&sh.r2.keys()[*start..*end], &sh.r2.payloads()[*start..*end]),
-                    UnitSource::Batch { tuples } => (tuples.keys(), tuples.payloads()),
-                };
-                let fragment =
-                    ColumnBatch::gather_from(keys, payloads, self.buckets.region(region));
+                // The scatter pass pre-built this fragment; it's charged to
+                // the gauge only here, as it leaves for the wire, so the
+                // accounting sequence matches the old lazy gather exactly.
+                let fragment = self.scatter.take_fragment(unit.next);
                 sh.gauge.add(fragment.len() as u64);
                 sh.network_tuples
                     .fetch_add(fragment.len() as u64, Ordering::Relaxed);
@@ -415,7 +407,7 @@ impl<'a> MapperTask<'a> {
     fn complete_unit(&mut self) {
         let sh = self.shared;
         let unit = self.unit.take().expect("complete without a unit");
-        self.buckets.clear();
+        self.scatter.clear();
         sh.morsels_routed.fetch_add(1, Ordering::Relaxed);
         match unit.source {
             UnitSource::Scan { rel, .. } => {
@@ -438,7 +430,9 @@ impl<'a> MapperTask<'a> {
             UnitSource::Batch { tuples } => {
                 // The batch leaves the exchange buffer only now — its
                 // routed copies were charged fragment by fragment above.
+                // Its allocation is recycled into future fragment columns.
                 sh.gauge.sub(tuples.len() as u64);
+                self.scatter.recycle(tuples);
                 sh.seal.routed_batches.fetch_add(1, Ordering::AcqRel);
                 sh.seal.maybe_seal_all(sh.queues);
             }
@@ -464,7 +458,7 @@ impl<'a> MapperTask<'a> {
             sh.gauge.sub(tuples.len() as u64);
         }
         self.blocked = None;
-        self.buckets.clear();
+        self.scatter.clear();
     }
 }
 

@@ -51,6 +51,7 @@ mod coordinator;
 mod exchange;
 mod mapper;
 mod morsel;
+mod pool;
 mod queue;
 mod reducer;
 mod runtime;
@@ -62,8 +63,9 @@ pub use exchange::{
     TryPop,
 };
 pub use morsel::{Claim, MemGauge, Morsel, MorselPlan, Source};
+pub use pool::BatchPool;
 pub use queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
-pub use reducer::{merge_sorted_runs, RegionResult};
+pub use reducer::{merge_sorted_runs, merge_sorted_runs_pairwise, RegionResult};
 pub use runtime::{
     CancelToken, EngineRuntime, Poll, QueryTicket, RuntimeConfig, RuntimeMetrics, RuntimeScope,
     TaskCx, TaskGroup, WakeSet, Waker,
@@ -161,8 +163,13 @@ pub struct EngineOutcome {
     /// Total time mappers spent blocked on full reducer queues.
     pub backpressure_secs: f64,
     /// Total time mappers spent routing: the batched router scans plus the
-    /// per-region columnar fragment gathers.
+    /// write-combining scatter that builds every per-region fragment.
     pub route_secs: f64,
+    /// Total time reducers spent merging sorted runs (seal, migration
+    /// adoption and finish merges).
+    pub merge_secs: f64,
+    /// Total time reducers spent sweeping probe chunks against build state.
+    pub sweep_secs: f64,
     /// Per-reducer time spent processing vs. waiting.
     pub busy_secs: Vec<f64>,
     pub idle_secs: Vec<f64>,
@@ -321,6 +328,8 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
     let network_tuples = AtomicU64::new(0);
     let morsels_routed = AtomicU64::new(0);
     let route_nanos = AtomicU64::new(0);
+    let merge_nanos = AtomicU64::new(0);
+    let sweep_nanos = AtomicU64::new(0);
     let in_flight = AtomicU64::new(0);
     let adoptions = AtomicU64::new(0);
     let migration_tuples = AtomicU64::new(0);
@@ -378,6 +387,8 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         cancel,
         quiesce: &quiesce,
         mappers_done: &mappers_done,
+        merge_nanos: &merge_nanos,
+        sweep_nanos: &sweep_nanos,
     };
     let coordinator_shared = CoordinatorShared {
         queues: &queues,
@@ -485,6 +496,8 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         morsels_routed: morsels_routed.into_inner(),
         backpressure_secs: queues.iter().map(|q| q.blocked_secs()).sum(),
         route_secs: route_nanos.into_inner() as f64 * 1e-9,
+        merge_secs: merge_nanos.into_inner() as f64 * 1e-9,
+        sweep_secs: sweep_nanos.into_inner() as f64 * 1e-9,
         busy_secs: outcomes.iter().map(|o| o.busy_secs).collect(),
         idle_secs: outcomes.iter().map(|o| o.idle_secs).collect(),
         wall_secs: start.elapsed().as_secs_f64(),

@@ -59,13 +59,14 @@ use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use ewh_core::{ColumnBatch, JoinCondition, Rel, RoutingTable};
+use ewh_core::{ColumnBatch, JoinCondition, Key, KeyRange, Rel, RoutingTable};
 
 use crate::local_join::{sweep_columns, sweep_columns_each, KeyFrom, OutputWork};
 
 use super::board::ProgressBoard;
 use super::exchange::StageSink;
 use super::morsel::MemGauge;
+use super::pool::BatchPool;
 use super::queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 use super::runtime::{CancelToken, TaskCx, WakeSet, Waker};
 use super::spill::{SpillContext, SpillRun};
@@ -186,6 +187,12 @@ pub struct ReducerShared<'a> {
     /// the zero-crossing wake above (an in-flight dip to zero mid-run is
     /// not quiescence).
     pub mappers_done: &'a AtomicBool,
+    /// Cumulative run-merge wall time (one clock pair per `merge_gauged`
+    /// pass), aggregated across reducers into `JoinStats::merge_secs`.
+    pub merge_nanos: &'a AtomicU64,
+    /// Cumulative sweep wall time (one clock pair per build×chunk sweep
+    /// pass), aggregated across reducers into `JoinStats::sweep_secs`.
+    pub sweep_nanos: &'a AtomicU64,
 }
 
 /// One reducer task: drains queue `me` until finished or aborted.
@@ -243,8 +250,9 @@ impl<'a> ReducerTask<'a> {
         let start = Instant::now();
         let queue = &self.sh.queues[self.me];
         let mut processed = 0usize;
+        let pool = cx.pool();
         let step = loop {
-            if !self.flush_outbox(cx.waker()) {
+            if !self.flush_outbox(cx.waker(), pool) {
                 // Downstream exchange full: stop consuming so backpressure
                 // reaches the mappers through our queue. The waker is on
                 // the exchange's producer list; its consumer (or its
@@ -264,17 +272,17 @@ impl<'a> ReducerTask<'a> {
             self.unpark();
             processed += 1;
             match delivery {
-                Delivery::Batch(batch) => self.on_batch(batch),
-                Delivery::SealR1 => self.on_seal_r1(),
+                Delivery::Batch(batch) => self.on_batch(batch, pool),
+                Delivery::SealR1 => self.on_seal_r1(pool),
                 Delivery::SealAll if !self.sh.coordinated => {
-                    self.finished = Some(self.finish());
+                    self.finished = Some(self.finish(pool));
                 }
-                Delivery::SealAll => self.on_seal_all(),
+                Delivery::SealAll => self.on_seal_all(pool),
                 Delivery::Migrate { region } => self.on_migrate(region),
-                Delivery::Adopt { region, state } => self.on_adopt(region, *state),
+                Delivery::Adopt { region, state } => self.on_adopt(region, *state, pool),
                 Delivery::Finish => {
                     debug_assert!(self.sh.coordinated, "Finish without a coordinator");
-                    self.finished = Some(self.finish());
+                    self.finished = Some(self.finish(pool));
                 }
                 Delivery::Abort => {
                     self.discard();
@@ -336,7 +344,7 @@ impl<'a> ReducerTask<'a> {
     /// fills, reloading spilled outbox runs as the resident outbox drains;
     /// `true` when both are empty. On a full exchange, `waker` is left
     /// registered with its producer list.
-    fn flush_outbox(&mut self, waker: &Waker) -> bool {
+    fn flush_outbox(&mut self, waker: &Waker, pool: &BatchPool) -> bool {
         let Some(sink) = self.sh.sink else {
             debug_assert!(self.outbox.is_empty(), "outbox without a sink");
             debug_assert!(
@@ -366,7 +374,7 @@ impl<'a> ReducerTask<'a> {
                 .sh
                 .spill
                 .expect("spilled outbox without a spill context");
-            match ctx.read_run(&run) {
+            match ctx.read_run_into(&run, pool.take(run.tuples() as usize)) {
                 Ok(batch) => {
                     self.sh.gauge.add(batch.len() as u64);
                     ctx.remove_run(&run);
@@ -384,10 +392,10 @@ impl<'a> ReducerTask<'a> {
     /// Data fragment: absorb if owned, otherwise apply the migration fence
     /// (park ahead of an adoption, or forward a pre-migration straggler to
     /// the current owner).
-    fn on_batch(&mut self, batch: RegionBatch) {
+    fn on_batch(&mut self, batch: RegionBatch, pool: &BatchPool) {
         let region = batch.region;
         if self.states[region as usize].is_some() {
-            self.absorb(batch);
+            self.absorb(batch, pool);
             return;
         }
         let owner = self.sh.table.owner_of(region);
@@ -407,7 +415,7 @@ impl<'a> ReducerTask<'a> {
     }
 
     /// Folds an owned region's fragment into its state.
-    fn absorb(&mut self, batch: RegionBatch) {
+    fn absorb(&mut self, batch: RegionBatch, pool: &BatchPool) {
         let RegionBatch {
             region,
             rel,
@@ -439,9 +447,12 @@ impl<'a> ReducerTask<'a> {
             }
             Rel::R2 => {
                 st.pending.append(&mut tuples);
+                // The emptied fragment's allocation feeds the next outbox
+                // buffer or spill reload on this worker.
+                pool.put(tuples);
                 sh.board.add_probe(region, n);
                 if st.sealed && st.pending.len() >= sh.probe_chunk {
-                    Self::flush(st, sh, self.me, region, &mut self.outbox);
+                    Self::flush(st, sh, self.me, region, &mut self.outbox, pool);
                 }
             }
         }
@@ -459,7 +470,7 @@ impl<'a> ReducerTask<'a> {
         }
     }
 
-    fn on_seal_r1(&mut self) {
+    fn on_seal_r1(&mut self, pool: &BatchPool) {
         let sh = self.sh;
         let me = self.me;
         for (region, slot) in self.states.iter_mut().enumerate() {
@@ -470,11 +481,11 @@ impl<'a> ReducerTask<'a> {
                 continue;
             }
             Self::shed_runs_before_merge(st, sh, region as u32);
-            st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
+            st.build = Self::merge_gauged(mem::take(&mut st.runs), sh);
             st.sealed = true;
             sh.board.note_region_sealed(me);
             if st.pending.len() >= sh.probe_chunk {
-                Self::flush(st, sh, me, region as u32, &mut self.outbox);
+                Self::flush(st, sh, me, region as u32, &mut self.outbox, pool);
             }
         }
     }
@@ -483,13 +494,13 @@ impl<'a> ReducerTask<'a> {
     /// is enqueued somewhere, but migrated state and fenced fragments may
     /// still arrive — eagerly sweep what is buffered (freeing the memory
     /// early) and keep draining until `Finish`.
-    fn on_seal_all(&mut self) {
+    fn on_seal_all(&mut self, pool: &BatchPool) {
         let sh = self.sh;
         let me = self.me;
         for (region, slot) in self.states.iter_mut().enumerate() {
             let Some(st) = slot.as_mut() else { continue };
             if st.sealed && !(st.pending.is_empty() && st.spilled_pending.is_empty()) {
-                Self::flush(st, sh, me, region as u32, &mut self.outbox);
+                Self::flush(st, sh, me, region as u32, &mut self.outbox, pool);
             }
         }
     }
@@ -504,7 +515,7 @@ impl<'a> ReducerTask<'a> {
             .expect("Migrate for a region this reducer does not own");
         if !st.sealed {
             Self::shed_runs_before_merge(&mut st, sh, region);
-            st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
+            st.build = Self::merge_gauged(mem::take(&mut st.runs), sh);
             st.sealed = true;
             sh.board.note_region_sealed(self.me);
         }
@@ -536,7 +547,7 @@ impl<'a> ReducerTask<'a> {
 
     /// Install a migrated region's state, then absorb any fragments the
     /// fence parked while the state was in flight.
-    fn on_adopt(&mut self, region: u32, state: MigratedRegion) {
+    fn on_adopt(&mut self, region: u32, state: MigratedRegion, pool: &BatchPool) {
         let sh = self.sh;
         debug_assert!(
             self.states[region as usize].is_none(),
@@ -561,14 +572,14 @@ impl<'a> ReducerTask<'a> {
         });
         Self::sub_in_flight(sh, shipped);
         for batch in mem::take(&mut self.parked[region as usize]) {
-            self.absorb(batch);
+            self.absorb(batch, pool);
         }
         let me = self.me;
         let st = self.states[region as usize]
             .as_mut()
             .expect("just installed");
         if st.sealed && st.pending.len() >= sh.probe_chunk {
-            Self::flush(st, sh, me, region, &mut self.outbox);
+            Self::flush(st, sh, me, region, &mut self.outbox, pool);
         }
         // Publish completion last: the coordinator may start the next
         // handshake (or declare quiescence) the moment it sees this.
@@ -582,11 +593,14 @@ impl<'a> ReducerTask<'a> {
     /// side. Charging the full size for the whole merge is a (slight)
     /// overestimate of the instantaneous extra — the gauge must never
     /// under-report the high-water mark it exists to measure.
-    fn merge_gauged(runs: Vec<ColumnBatch>, gauge: &MemGauge) -> ColumnBatch {
+    fn merge_gauged(runs: Vec<ColumnBatch>, sh: &ReducerShared<'_>) -> ColumnBatch {
         let transient = runs.iter().map(ColumnBatch::len).sum::<usize>() as u64;
-        gauge.add(transient);
+        sh.gauge.add(transient);
+        let start = Instant::now();
         let build = merge_sorted_runs(runs);
-        gauge.sub(transient);
+        sh.merge_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        sh.gauge.sub(transient);
         build
     }
 
@@ -805,21 +819,32 @@ impl<'a> ReducerTask<'a> {
         me: usize,
         region: u32,
         outbox: &mut VecDeque<ColumnBatch>,
+        pool: &BatchPool,
     ) {
         debug_assert!(st.sealed);
         let mut resident = mem::take(&mut st.pending);
         resident.sort_by_key();
         if !resident.is_empty() {
-            Self::sweep_chunk(st, sh, me, resident, outbox);
+            Self::sweep_chunk(st, sh, me, resident, outbox, pool);
         }
+        let build_zone = Self::build_zone(st);
         for run in mem::take(&mut st.spilled_pending) {
             let ctx = sh.spill.expect("spilled pending without a spill context");
             sh.board.sub_spilled(region, run.tuples());
-            match ctx.read_run(&run) {
+            // Zone fence: a spilled probe run whose fence can't join any
+            // build key is dropped without reloading a byte — only its
+            // bookkeeping (spill board, file removal) runs. `candidate` on
+            // the conservative union fence is exact in the negative
+            // direction, so the skipped run provably contributes no pairs.
+            if !sh.cond.candidate(&build_zone, run.key_range()) {
+                ctx.remove_run(&run);
+                continue;
+            }
+            match ctx.read_run_into(&run, pool.take(run.tuples() as usize)) {
                 Ok(probe) => {
                     sh.gauge.add(probe.len() as u64);
                     ctx.remove_run(&run);
-                    Self::sweep_chunk(st, sh, me, probe, outbox);
+                    Self::sweep_chunk(st, sh, me, probe, outbox, pool);
                 }
                 Err(e) => {
                     ctx.record_failure(format!("probe reload failed: {e}"));
@@ -842,15 +867,29 @@ impl<'a> ReducerTask<'a> {
         me: usize,
         probe: ColumnBatch,
         outbox: &mut VecDeque<ColumnBatch>,
+        pool: &BatchPool,
     ) {
-        let (mut count, mut checksum) = Self::sweep_one(&st.build, &probe, sh, outbox);
+        // Zone fences: a build side (resident or spilled run) whose key
+        // fence can't join this chunk is skipped without touching its
+        // columns — for a spilled run that means no disk reload at all.
+        let probe_zone = Self::zone_of(&probe);
+        let (mut count, mut checksum) = if sh.cond.candidate(&Self::zone_of(&st.build), &probe_zone)
+        {
+            Self::sweep_one(&st.build, &probe, sh, outbox, pool)
+        } else {
+            (0, 0)
+        };
         if let Some(ctx) = sh.spill {
             for run in &st.spilled_build {
-                match ctx.read_run(run) {
+                if !sh.cond.candidate(run.key_range(), &probe_zone) {
+                    continue;
+                }
+                match ctx.read_run_into(run, pool.take(run.tuples() as usize)) {
                     Ok(build) => {
                         sh.gauge.add(build.len() as u64);
-                        let (c, x) = Self::sweep_one(&build, &probe, sh, outbox);
+                        let (c, x) = Self::sweep_one(&build, &probe, sh, outbox, pool);
                         sh.gauge.sub(build.len() as u64);
+                        pool.put(build);
                         count += c;
                         checksum ^= x;
                     }
@@ -865,6 +904,36 @@ impl<'a> ReducerTask<'a> {
         st.checksum ^= checksum;
         sh.board.note_chunk_swept(me);
         sh.gauge.sub(probe.len() as u64);
+        pool.put(probe);
+    }
+
+    /// A sorted batch's zone fence: its first and last key (empty batches
+    /// fence nothing).
+    fn zone_of(batch: &ColumnBatch) -> KeyRange {
+        match (batch.keys().first(), batch.keys().last()) {
+            (Some(&lo), Some(&hi)) => KeyRange::new(lo, hi),
+            _ => KeyRange::empty(),
+        }
+    }
+
+    /// The region's whole build-side fence: the union of the resident
+    /// build's range and every spilled build run's recorded fence. The
+    /// union may cover gaps, so it is conservative — `candidate` returning
+    /// false against it is exact (no key in the probe range can join), and
+    /// that is the only direction the fence is used in.
+    fn build_zone(st: &RegionState) -> KeyRange {
+        let mut zone = Self::zone_of(&st.build);
+        for run in &st.spilled_build {
+            let r = run.key_range();
+            if !r.is_empty() {
+                zone = if zone.is_empty() {
+                    *r
+                } else {
+                    KeyRange::new(zone.lo.min(r.lo), zone.hi.max(r.hi))
+                };
+            }
+        }
+        zone
     }
 
     /// One build × probe sweep. With a sink, the swept pairs are
@@ -879,12 +948,14 @@ impl<'a> ReducerTask<'a> {
         probe: &ColumnBatch,
         sh: &ReducerShared<'_>,
         outbox: &mut VecDeque<ColumnBatch>,
+        pool: &BatchPool,
     ) -> (u64, u64) {
-        match sh.sink {
+        let start = Instant::now();
+        let out = match sh.sink {
             None => sweep_columns(build, probe, sh.cond, sh.work),
             Some(sink) => {
                 let cap = sink.batch_tuples.max(1);
-                let mut buf = ColumnBatch::with_capacity(cap);
+                let mut buf = pool.take(cap);
                 let mut ship = |batch: ColumnBatch| {
                     sink.stats.offer(batch.keys());
                     sh.gauge.add(batch.len() as u64);
@@ -894,18 +965,23 @@ impl<'a> ReducerTask<'a> {
                     sweep_columns_each(build, probe, sh.cond, sh.key_from, |k, p| {
                         buf.push(k, p);
                         if buf.len() >= cap {
-                            ship(mem::replace(&mut buf, ColumnBatch::with_capacity(cap)));
+                            ship(mem::replace(&mut buf, pool.take(cap)));
                         }
                     });
                 if !buf.is_empty() {
                     ship(buf);
+                } else {
+                    pool.put(buf);
                 }
                 (count, checksum)
             }
-        }
+        };
+        sh.sweep_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
     }
 
-    fn finish(&mut self) -> Vec<RegionResult> {
+    fn finish(&mut self, pool: &BatchPool) -> Vec<RegionResult> {
         let sh = self.sh;
         let me = self.me;
         debug_assert!(
@@ -919,14 +995,14 @@ impl<'a> ReducerTask<'a> {
             // the orchestrator pre-sealed; merge whatever is there.
             if !st.sealed {
                 Self::shed_runs_before_merge(st, sh, region as u32);
-                st.build = Self::merge_gauged(mem::take(&mut st.runs), sh.gauge);
+                st.build = Self::merge_gauged(mem::take(&mut st.runs), sh);
                 st.sealed = true;
             }
             if !st.pending.is_empty() || !st.spilled_pending.is_empty() {
-                Self::flush(st, sh, me, region as u32, &mut self.outbox);
+                Self::flush(st, sh, me, region as u32, &mut self.outbox, pool);
             }
             sh.gauge.sub(st.build.len() as u64);
-            st.build = ColumnBatch::new();
+            pool.put(mem::take(&mut st.build));
             if let Some(ctx) = sh.spill {
                 // Spilled build runs persist across flushes (each probe
                 // chunk re-reads them); the region completing is what
@@ -978,10 +1054,90 @@ impl<'a> ReducerTask<'a> {
     }
 }
 
-/// Balanced pairwise merge of key-sorted column runs: O(n log k) for k
-/// runs of n total tuples. The two-way merge walks the key columns and
-/// copies both columns position-wise, so no `Tuple` is ever materialized.
+/// K-way loser-tree merge of key-sorted column runs: every tuple is copied
+/// exactly once, with one O(log k) replay per pop, so a hot region that
+/// accumulated many fragments (or spill sub-runs) merges in a single pass
+/// instead of log k full rewrites. Ties break toward the lower run index —
+/// the same order the pairwise oracle produces — so the two functions are
+/// bit-identical on any input, duplicate keys and payload order included.
 pub fn merge_sorted_runs(mut runs: Vec<ColumnBatch>) -> ColumnBatch {
+    // Empty runs contribute nothing and the survivors keep their relative
+    // order, so dropping them up front preserves the tie-break sequence.
+    runs.retain(|r| !r.is_empty());
+    match runs.len() {
+        0 => return ColumnBatch::new(),
+        1 => return runs.pop().expect("one run"),
+        2 => {
+            let b = runs.pop().expect("two runs");
+            let a = runs.pop().expect("two runs");
+            return merge_two(a, b);
+        }
+        _ => {}
+    }
+    let k = runs.len();
+    let cols: Vec<(&[Key], &[u64])> = runs.iter().map(|r| (r.keys(), r.payloads())).collect();
+    let total = cols.iter().map(|(ks, _)| ks.len()).sum::<usize>();
+    let mut pos = vec![0usize; k];
+
+    // `a` beats `b` when its current head must pop first. Exhausted runs
+    // (and the `usize::MAX` empty-slot sentinel) never beat anything.
+    let beats = |a: usize, b: usize, pos: &[usize]| -> bool {
+        if a == usize::MAX || pos[a] >= cols[a].0.len() {
+            return false;
+        }
+        if b == usize::MAX || pos[b] >= cols[b].0.len() {
+            return true;
+        }
+        let (ka, kb) = (cols[a].0[pos[a]], cols[b].0[pos[b]]);
+        ka < kb || (ka == kb && a < b)
+    };
+
+    // Complete binary tournament: external node `k + r` is run r, internal
+    // nodes 1..k each store the LOSER of their subtree's final; the overall
+    // winner sits in `tree[0]`. Built bottom-up so odd k folds in naturally.
+    let mut tree = vec![usize::MAX; k];
+    let mut winner_at = vec![usize::MAX; 2 * k];
+    for (r, slot) in winner_at[k..].iter_mut().enumerate() {
+        *slot = r;
+    }
+    for t in (1..k).rev() {
+        let (a, b) = (winner_at[2 * t], winner_at[2 * t + 1]);
+        if beats(a, b, &pos) {
+            winner_at[t] = a;
+            tree[t] = b;
+        } else {
+            winner_at[t] = b;
+            tree[t] = a;
+        }
+    }
+    tree[0] = winner_at[1];
+
+    let mut out = ColumnBatch::with_capacity(total);
+    for _ in 0..total {
+        let w = tree[0];
+        let (ks, ps) = cols[w];
+        out.push(ks[pos[w]], ps[pos[w]]);
+        pos[w] += 1;
+        // Replay leaf-to-root: the popped run (possibly exhausted now)
+        // re-fights the stored losers along its path; each node keeps the
+        // loser and the winner climbs on.
+        let mut winner = w;
+        let mut t = (k + w) / 2;
+        while t >= 1 {
+            if beats(tree[t], winner, &pos) {
+                std::mem::swap(&mut tree[t], &mut winner);
+            }
+            t /= 2;
+        }
+        tree[0] = winner;
+    }
+    out
+}
+
+/// Balanced pairwise merge of key-sorted column runs — the pre-loser-tree
+/// implementation, kept as the bit-identity oracle for `merge_sorted_runs`
+/// (property tests compare the two on adversarial run sets).
+pub fn merge_sorted_runs_pairwise(mut runs: Vec<ColumnBatch>) -> ColumnBatch {
     if runs.is_empty() {
         return ColumnBatch::new();
     }
@@ -1052,5 +1208,33 @@ mod tests {
     fn merge_of_nothing_is_empty() {
         assert!(merge_sorted_runs(Vec::new()).is_empty());
         assert!(merge_sorted_runs(vec![ColumnBatch::new(), ColumnBatch::new()]).is_empty());
+    }
+
+    #[test]
+    fn loser_tree_matches_pairwise_merge_with_duplicates() {
+        // Payloads encode (run, position) so any stability slip — equal
+        // keys emitted in the wrong run order — flips the comparison.
+        let make = |runs: &[&[i64]]| -> Vec<ColumnBatch> {
+            runs.iter()
+                .enumerate()
+                .map(|(r, keys)| {
+                    keys.iter()
+                        .enumerate()
+                        .map(|(i, &k)| ewh_core::Tuple::new(k, (r as u64) << 32 | i as u64))
+                        .collect()
+                })
+                .collect()
+        };
+        let cases: Vec<Vec<ColumnBatch>> = vec![
+            make(&[&[1, 5, 9], &[2, 2, 8], &[0], &[], &[3, 4, 10, 11]]),
+            make(&[&[7, 7, 7], &[7, 7], &[7], &[7, 7, 7, 7]]),
+            make(&[&[-3, 0, 0, 2], &[0, 0], &[-3, 5], &[0], &[1, 1], &[], &[2]]),
+        ];
+        for runs in cases {
+            let a = merge_sorted_runs(runs.clone());
+            let b = merge_sorted_runs_pairwise(runs);
+            assert_eq!(a.keys(), b.keys());
+            assert_eq!(a.payloads(), b.payloads());
+        }
     }
 }

@@ -78,6 +78,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use super::morsel::MemGauge;
+use super::pool::BatchPool;
 
 /// What one task poll reports back to its worker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -436,15 +437,23 @@ struct Timers {
 const NO_DEADLINE: u64 = u64::MAX;
 
 /// The per-poll context handed to every task closure: its [`Waker`] (to
-/// register with blocking resources) and the pool's timer wheel.
+/// register with blocking resources), the pool's timer wheel, and the
+/// polling worker's batch-recycling pool.
 pub struct TaskCx<'a> {
     waker: &'a Waker,
+    pool: &'a BatchPool,
 }
 
 impl TaskCx<'_> {
     /// This task's wake handle, for registering with blocking resources.
     pub fn waker(&self) -> &Waker {
         self.waker
+    }
+
+    /// The polling worker's [`BatchPool`]: recycled `ColumnBatch`
+    /// allocations for fragment, outbox and spill-reload buffers.
+    pub fn pool(&self) -> &BatchPool {
+        self.pool
     }
 
     /// Arms a one-shot timer `after` from now and marks the waker armed:
@@ -1238,6 +1247,10 @@ fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
     // compounds (slower service → deeper backlog → more blocked tasks per
     // sweep → slower still) into a runaway crawl.
     let mut pending_streak = 0usize;
+    // This worker's batch-recycling stash; every task polled here shares
+    // it through the `TaskCx`, so buffers circulate across the tasks that
+    // happen to land on this worker.
+    let pool = BatchPool::new();
     loop {
         fire_due_timers(shared);
         let Some(mut job) = next_job(shared, me) else {
@@ -1275,7 +1288,10 @@ fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
         let start = Instant::now();
         job.waker.begin_poll(me);
         let waker = job.waker.clone();
-        let cx = TaskCx { waker: &waker };
+        let cx = TaskCx {
+            waker: &waker,
+            pool: &pool,
+        };
         let polled = catch_unwind(AssertUnwindSafe(|| (job.run)(&cx)));
         shared
             .busy_nanos

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ewh_core::{ColumnBatch, Key, TUPLE_BYTES};
+use ewh_core::{ColumnBatch, Key, KeyRange, TUPLE_BYTES};
 
 /// Out-of-core knobs of one operator / plan run (part of
 /// [`OperatorConfig`](crate::OperatorConfig)).
@@ -59,18 +59,28 @@ pub struct SpillConfig {
     pub fail_after_bytes: Option<u64>,
 }
 
-/// Descriptor of one spilled sorted run on disk: the file path and the
-/// tuple count its length prefix promises.
+/// Descriptor of one spilled sorted run on disk: the file path, the tuple
+/// count its length prefix promises, and the run's key zone fence —
+/// observed `[min, max]` keys, recorded at write time so sweeps can skip a
+/// non-candidate run without reloading a byte of it. The fence lives only
+/// in this in-memory descriptor; the on-disk layout is unchanged.
 #[derive(Debug)]
 pub struct SpillRun {
     path: PathBuf,
     tuples: u64,
+    key_range: KeyRange,
 }
 
 impl SpillRun {
     /// Tuples in this run (what reloading it will charge to the gauge).
     pub fn tuples(&self) -> u64 {
         self.tuples
+    }
+
+    /// The run's key zone fence: inclusive `[min, max]` over its keys
+    /// (empty for an empty run).
+    pub fn key_range(&self) -> &KeyRange {
+        &self.key_range
     }
 }
 
@@ -124,7 +134,10 @@ impl SpillContext {
         let mut w = BufWriter::new(File::create(&path)?);
         w.write_all(&(keys.len() as u64).to_le_bytes())?;
         let mut slab = Vec::with_capacity(keys.len() * 8);
-        for k in keys {
+        let (mut min, mut max) = (Key::MAX, Key::MIN);
+        for &k in keys {
+            min = min.min(k);
+            max = max.max(k);
             slab.extend_from_slice(&k.to_le_bytes());
         }
         w.write_all(&slab)?;
@@ -141,6 +154,11 @@ impl SpillContext {
         Ok(SpillRun {
             path,
             tuples: keys.len() as u64,
+            key_range: if keys.is_empty() {
+                KeyRange::empty()
+            } else {
+                KeyRange::new(min, max)
+            },
         })
     }
 
@@ -152,7 +170,19 @@ impl SpillContext {
     /// Reads a run back in full as columns (the file stays on disk; see
     /// [`SpillContext::remove_run`]).
     pub fn read_run(&self, run: &SpillRun) -> io::Result<ColumnBatch> {
+        self.read_run_into(run, ColumnBatch::new())
+    }
+
+    /// [`read_run`](Self::read_run) into a donated buffer — typically a
+    /// recycled batch from a worker's
+    /// [`BatchPool`](super::BatchPool) — whose column allocations are
+    /// reused, so a reload with a big-enough donation performs no fresh
+    /// column allocation. The donation's contents are discarded.
+    pub fn read_run_into(&self, run: &SpillRun, into: ColumnBatch) -> io::Result<ColumnBatch> {
         let start = Instant::now();
+        let (mut keys, mut payloads) = into.into_columns();
+        keys.clear();
+        payloads.clear();
         let mut r = BufReader::new(File::open(&run.path)?);
         let mut buf8 = [0u8; 8];
         r.read_exact(&mut buf8)?;
@@ -166,15 +196,15 @@ impl SpillContext {
         let n = n as usize;
         let mut slab = vec![0u8; n * 8];
         r.read_exact(&mut slab)?;
-        let keys: Vec<Key> = slab
-            .chunks_exact(8)
-            .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-            .collect();
+        keys.extend(
+            slab.chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
         r.read_exact(&mut slab)?;
-        let payloads: Vec<u64> = slab
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-            .collect();
+        payloads.extend(
+            slab.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
         self.reload_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(ColumnBatch::from_columns(keys, payloads))
@@ -244,6 +274,7 @@ mod tests {
         let batch = ColumnBatch::from_tuples(&tuples);
         let run = ctx.write_batch(&batch).expect("write");
         assert_eq!(run.tuples(), 100);
+        assert_eq!(*run.key_range(), KeyRange::new(-50, 49));
         assert_eq!(ctx.spill_bytes(), 8 + 100 * TUPLE_BYTES);
         assert!(ctx.spill_secs() > 0.0);
         let back = ctx.read_run(&run).expect("read");
@@ -276,6 +307,7 @@ mod tests {
         let ctx = temp_ctx("empty", None);
         let run = ctx.write_run(&[], &[]).expect("write empty");
         assert_eq!(run.tuples(), 0);
+        assert!(run.key_range().is_empty());
         assert!(ctx.read_run(&run).expect("read empty").is_empty());
         let _ = fs::remove_dir_all(&ctx.dir);
     }

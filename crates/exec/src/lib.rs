@@ -58,9 +58,10 @@ mod shuffle;
 
 pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
 pub use engine::{
-    EngineConfig, EngineIo, EngineOutcome, EngineRuntime, Exchange, MemGauge, Morsel, MorselPlan,
-    OnlineStats, ProgressBoard, QueryTicket, RuntimeConfig, RuntimeMetrics, Source, SpillConfig,
-    SpillContext, SpillRun, StageSink, Straggler,
+    merge_sorted_runs, merge_sorted_runs_pairwise, BatchPool, EngineConfig, EngineIo,
+    EngineOutcome, EngineRuntime, Exchange, MemGauge, Morsel, MorselPlan, OnlineStats,
+    ProgressBoard, QueryTicket, RuntimeConfig, RuntimeMetrics, Source, SpillConfig, SpillContext,
+    SpillRun, StageSink, Straggler,
 };
 pub use local_join::{
     local_join, output_tuple, pair_payload, sweep_columns, sweep_columns_each, sweep_sorted,

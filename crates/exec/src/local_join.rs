@@ -210,21 +210,58 @@ fn sweep_ranges_cols(
     let mut count = 0u64;
     let mut lo = 0usize;
     let mut hi = 0usize;
+    let mut prev_key = None;
     for (off, &k1) in build_keys[start..end].iter().enumerate() {
-        let jr = cond.joinable_range(k1);
-        while lo < probe_keys.len() && probe_keys[lo] < jr.lo {
-            lo += 1;
-        }
-        if hi < lo {
-            hi = lo;
-        }
-        while hi < probe_keys.len() && probe_keys[hi] <= jr.hi {
-            hi += 1;
+        // Sorted input puts duplicate build keys adjacent, and the probe
+        // window depends only on the key — a repeated key reuses the
+        // previous `lo..hi` without touching the probe column at all.
+        if prev_key != Some(k1) {
+            prev_key = Some(k1);
+            let jr = cond.joinable_range(k1);
+            lo = gallop_while(probe_keys, lo, |k| k < jr.lo);
+            if hi < lo {
+                hi = lo;
+            }
+            hi = gallop_while(probe_keys, hi, |k| k <= jr.hi);
         }
         count += (hi - lo) as u64;
         on_range(start + off, lo..hi);
     }
     count
+}
+
+/// Galloping cursor advance: returns the first index `>= from` whose key
+/// fails `too_small` (a monotone predicate over the sorted column), or
+/// `keys.len()`. The staircase cursor usually hops 0–2 positions per build
+/// key, so the first few steps are a plain linear probe; a skewed gap that
+/// would cost thousands of per-element steps instead widens exponentially
+/// and finishes with a binary search inside the overshot window —
+/// O(log gap) worst case without giving up the tight-loop common case.
+#[inline]
+fn gallop_while(keys: &[Key], from: usize, too_small: impl Fn(Key) -> bool) -> usize {
+    const LINEAR: usize = 8;
+    let n = keys.len();
+    let mut i = from;
+    let lin_end = n.min(from + LINEAR);
+    while i < lin_end {
+        if !too_small(keys[i]) {
+            return i;
+        }
+        i += 1;
+    }
+    let mut step = LINEAR;
+    loop {
+        let next = n.min(i + step);
+        if next == i {
+            return i;
+        }
+        if too_small(keys[next - 1]) {
+            i = next;
+            step <<= 1;
+        } else {
+            return i + keys[i..next].partition_point(|&k| too_small(k));
+        }
+    }
 }
 
 /// Columnar twin of [`sweep_sorted`]: sweeps two key-sorted
@@ -243,9 +280,21 @@ pub fn sweep_columns(
     let count = match work {
         OutputWork::Count => sweep_ranges_cols(build.keys(), probe.keys(), cond, |_, _| {}),
         OutputWork::Touch => sweep_ranges_cols(build.keys(), probe.keys(), cond, |i, r| {
+            // Four independent XOR lanes break the serial dependence on the
+            // accumulator; XOR's commutativity makes the re-association
+            // bit-identical to the scalar fold.
             let b = bp[i];
-            let mut fold = 0u64;
-            for &p in &pp[r] {
+            let window = &pp[r];
+            let mut lanes = [0u64; 4];
+            let mut chunks = window.chunks_exact(4);
+            for c in chunks.by_ref() {
+                lanes[0] ^= pair_payload(b, c[0]);
+                lanes[1] ^= pair_payload(b, c[1]);
+                lanes[2] ^= pair_payload(b, c[2]);
+                lanes[3] ^= pair_payload(b, c[3]);
+            }
+            let mut fold = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3];
+            for &p in chunks.remainder() {
                 fold ^= pair_payload(b, p);
             }
             checksum ^= fold;

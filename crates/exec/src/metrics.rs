@@ -54,9 +54,16 @@ pub struct JoinStats {
     /// Total mapper time blocked on full reducer queues (backpressure).
     pub backpressure_secs: f64,
     /// Total mapper time spent routing: the batched router scans over the
-    /// key column plus the per-region columnar fragment gathers (0 under
-    /// batch execution, which shuffles up front instead).
+    /// key column plus the write-combining scatter that builds every
+    /// per-region fragment (0 under batch execution, which shuffles up
+    /// front instead).
     pub route_secs: f64,
+    /// Total reducer time merging sorted runs — seal, migration and finish
+    /// merges (0 under batch execution).
+    pub merge_secs: f64,
+    /// Total reducer time sweeping probe chunks against build state (0
+    /// under batch execution, which joins per region after the shuffle).
+    pub sweep_secs: f64,
     /// Time this query waited in the shared runtime's admission queue
     /// before its tasks could be submitted (0 under batch execution, and
     /// for engine-level runs that bypass admission). Runtime-wide counters
@@ -117,6 +124,8 @@ impl JoinStats {
         self.migration_secs += other.migration_secs;
         self.backpressure_secs += other.backpressure_secs;
         self.route_secs += other.route_secs;
+        self.merge_secs += other.merge_secs;
+        self.sweep_secs += other.sweep_secs;
         self.admission_wait_secs += other.admission_wait_secs;
         add_elementwise(&mut self.reducer_busy_secs, &other.reducer_busy_secs);
         add_elementwise(&mut self.reducer_idle_secs, &other.reducer_idle_secs);

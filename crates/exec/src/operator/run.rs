@@ -245,6 +245,8 @@ pub fn stats_from_outcome(
         migration_secs: out.migration_secs,
         backpressure_secs: out.backpressure_secs,
         route_secs: out.route_secs,
+        merge_secs: out.merge_secs,
+        sweep_secs: out.sweep_secs,
         reducer_busy_secs: out.busy_secs.clone(),
         reducer_idle_secs: out.idle_secs.clone(),
         spill_bytes: out.spill_bytes,

@@ -1,0 +1,170 @@
+//! Property-based oracles for the cache-conscious kernels: the loser-tree
+//! k-way merge matches the pairwise 2-way merge exactly (duplicates and
+//! stability included), the write-combining scatter router builds the same
+//! fragments in the same order as batch-route-then-gather under adversarial
+//! skew (all tuples into one region, empty regions, grouped and generic
+//! paths), and zone-fence candidacy never disagrees with a real sweep.
+
+use ewh_core::{
+    ColumnBatch, GridRouter, HashRouter, IneqOp, JoinCondition, Key, KeyRange, RandomRouter, Rel,
+    RouteBatch, RouteBuckets, RouteScatter, Router, Tuple,
+};
+use ewh_exec::{merge_sorted_runs, merge_sorted_runs_pairwise, sweep_columns, OutputWork};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sorted runs with duplicate-heavy keys; payloads encode `(run, index)` so
+/// any reordering of equal keys — a stability bug — changes the output.
+fn runs_strategy() -> impl Strategy<Value = Vec<ColumnBatch>> {
+    prop::collection::vec(prop::collection::vec(-10i64..10, 0..60), 0..7).prop_map(|key_runs| {
+        key_runs
+            .into_iter()
+            .enumerate()
+            .map(|(r, mut keys)| {
+                keys.sort_unstable();
+                keys.iter()
+                    .enumerate()
+                    .map(|(i, &k)| Tuple::new(k, (r as u64) << 32 | i as u64))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+/// Key columns with adversarial shapes: uniform, all-one-key (every tuple
+/// routes to a single region under content-sensitive routers), and
+/// two-cluster (most regions stay empty).
+fn keys_strategy() -> impl Strategy<Value = Vec<Key>> {
+    prop_oneof![
+        prop::collection::vec(-50i64..50, 0..400),
+        (0..400usize, -50i64..50).prop_map(|(n, k)| vec![k; n]),
+        (
+            prop::collection::vec(any::<bool>(), 0..400),
+            -50i64..0,
+            0i64..50
+        )
+            .prop_map(|(picks, a, b)| picks.iter().map(|&p| if p { a } else { b }).collect()),
+    ]
+}
+
+/// A router plus its region count: the content-insensitive matrix and the
+/// hash partitioner take the grouped scatter fast path, the grid router the
+/// generic per-destination path.
+fn router_strategy() -> impl Strategy<Value = (Router, usize)> {
+    prop_oneof![
+        (1u32..4, 1u32..4).prop_map(|(rows, cols)| {
+            let n = (rows * cols) as usize;
+            (Router::Random(RandomRouter { rows, cols }), n)
+        }),
+        (1u32..6, 0i64..3, prop::collection::vec(-50i64..50, 0..3)).prop_map(
+            |(j, beta, mut heavy)| {
+                heavy.sort_unstable();
+                heavy.dedup();
+                (Router::Hash(HashRouter::new(j, beta, heavy)), j as usize)
+            }
+        ),
+        Just({
+            // A 2×2 key grid whose four regions each cover one cell.
+            let bounds = vec![Key::MIN, 0, Key::MAX];
+            let rects = [(0, 0, 0, 0), (0, 0, 1, 1), (1, 1, 0, 0), (1, 1, 1, 1)];
+            let g = GridRouter::new(bounds.clone(), bounds, &rects);
+            (Router::Grid(g), 4)
+        }),
+    ]
+}
+
+/// Sorted key-sorted batch for the sweep fence oracle.
+fn sorted_batch_strategy(max_len: usize) -> impl Strategy<Value = ColumnBatch> {
+    prop::collection::vec(-40i64..40, 0..max_len).prop_map(|mut keys| {
+        keys.sort_unstable();
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::new(k, i as u64))
+            .collect()
+    })
+}
+
+fn cond_strategy() -> impl Strategy<Value = JoinCondition> {
+    prop_oneof![
+        Just(JoinCondition::Equi),
+        (0i64..4).prop_map(|beta| JoinCondition::Band { beta }),
+        Just(JoinCondition::Inequality(IneqOp::Lt)),
+        Just(JoinCondition::Inequality(IneqOp::Ge)),
+    ]
+}
+
+/// The inclusive key coverage of a sorted batch (what the reducer fences
+/// build state and probe chunks with).
+fn zone_of(batch: &ColumnBatch) -> KeyRange {
+    if batch.is_empty() {
+        KeyRange::empty()
+    } else {
+        KeyRange::new(batch.keys()[0], batch.keys()[batch.len() - 1])
+    }
+}
+
+proptest! {
+    #[test]
+    fn loser_tree_merge_matches_pairwise_oracle(runs in runs_strategy()) {
+        let merged = merge_sorted_runs(runs.clone());
+        let oracle = merge_sorted_runs_pairwise(runs.clone());
+        // Exact equality — payload order included — proves the loser tree
+        // keeps the pairwise merge's stability on duplicate keys.
+        prop_assert_eq!(merged.to_tuples(), oracle.to_tuples());
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(oracle.len(), total);
+        prop_assert!(oracle.is_sorted_by_key());
+    }
+
+    #[test]
+    fn scatter_routing_matches_bucket_gather_under_skew(
+        keys in keys_strategy(),
+        router_regions in router_strategy(),
+        rel in prop_oneof![Just(Rel::R1), Just(Rel::R2)],
+        seed in any::<u64>(),
+    ) {
+        let (router, n_regions) = router_regions;
+        let payloads: Vec<u64> = (0..keys.len() as u64).map(|i| i << 8 | 0xE1).collect();
+
+        let mut buckets = RouteBuckets::new(n_regions);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        router.route_batch(rel, &keys, &mut rng, &mut buckets);
+        let oracle_after: u64 = rng.gen();
+
+        let mut scatter = RouteScatter::new(n_regions);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        router.route_scatter(rel, &keys, &payloads, &mut rng, &mut scatter);
+        let scatter_after: u64 = rng.gen();
+
+        // Same RNG consumption, same first-touch region order, and every
+        // fragment bit-identical to the gather of the bucket path.
+        prop_assert_eq!(scatter_after, oracle_after);
+        prop_assert_eq!(scatter.touched().to_vec(), buckets.touched().to_vec());
+        for (slot, &region) in buckets.touched().iter().enumerate() {
+            let expect =
+                ColumnBatch::gather_from(&keys, &payloads, buckets.region(region));
+            let got = scatter.take_fragment(slot);
+            prop_assert_eq!(got, expect, "region {} fragment diverged", region);
+        }
+    }
+
+    #[test]
+    fn zone_fences_never_disagree_with_a_real_sweep(
+        build in sorted_batch_strategy(150),
+        probe in sorted_batch_strategy(150),
+        cond in cond_strategy(),
+    ) {
+        let (count, checksum) = sweep_columns(&build, &probe, &cond, OutputWork::Touch);
+        // The fenced path skips the sweep when candidacy fails; that skip
+        // must be provably lossless.
+        if !cond.candidate(&zone_of(&build), &zone_of(&probe)) {
+            prop_assert_eq!((count, checksum), (0, 0), "fence would drop output");
+        }
+        // And a produced pair implies candidacy (the contrapositive, so
+        // both directions of the fence contract are pinned).
+        if count > 0 {
+            prop_assert!(cond.candidate(&zone_of(&build), &zone_of(&probe)));
+        }
+    }
+}
