@@ -39,10 +39,33 @@ use ewh_exec::{
     RuntimeConfig, Straggler,
 };
 
+struct QueryRun {
+    output_total: u64,
+    checksum: u64,
+    admission_wait_secs: f64,
+    route_secs: f64,
+    merge_secs: f64,
+    sweep_secs: f64,
+}
+
 struct ConcurrentOutcome {
     makespan_secs: f64,
-    /// Per-query (output_total, checksum, wall, admission_wait).
-    queries: Vec<(u64, u64, f64, f64)>,
+    queries: Vec<QueryRun>,
+}
+
+impl ConcurrentOutcome {
+    /// Summed per-stage kernel time across the mode's queries — where the
+    /// pool's cycles actually went (routing scatter vs. run merges vs.
+    /// probe sweeps), comparable across the three scheduling modes.
+    fn stage_sums(&self) -> (f64, f64, f64) {
+        self.queries.iter().fold((0.0, 0.0, 0.0), |acc, q| {
+            (
+                acc.0 + q.route_secs,
+                acc.1 + q.merge_secs,
+                acc.2 + q.sweep_secs,
+            )
+        })
+    }
 }
 
 fn query_config(rc: &RunConfig, w: &ewh_bench::Workload) -> OperatorConfig {
@@ -69,7 +92,7 @@ fn run_concurrent(
 ) -> ConcurrentOutcome {
     let cfg = query_config(rc, w);
     let start = Instant::now();
-    let queries: Vec<(u64, u64, f64, f64)> = thread::scope(|s| {
+    let queries: Vec<QueryRun> = thread::scope(|s| {
         let handles: Vec<_> = (0..n)
             .map(|_| {
                 let cfg = &cfg;
@@ -82,15 +105,16 @@ fn run_concurrent(
                             &own
                         }
                     };
-                    let t0 = Instant::now();
                     let run: OperatorRun =
                         run_operator(rt, SchemeKind::Csio, &w.r1, &w.r2, &w.cond, cfg);
-                    (
-                        run.join.output_total,
-                        run.join.checksum,
-                        t0.elapsed().as_secs_f64(),
-                        run.join.admission_wait_secs,
-                    )
+                    QueryRun {
+                        output_total: run.join.output_total,
+                        checksum: run.join.checksum,
+                        admission_wait_secs: run.join.admission_wait_secs,
+                        route_secs: run.join.route_secs,
+                        merge_secs: run.join.merge_secs,
+                        sweep_secs: run.join.sweep_secs,
+                    }
                 })
             })
             .collect();
@@ -174,8 +198,10 @@ fn main() {
 
     // Oracle + reference: the same N queries back to back on the pool.
     let serial = run_concurrent(1, Some(&shared_rt), &rc, &w);
-    let (oracle_output, oracle_checksum) = (serial.queries[0].0, serial.queries[0].1);
+    let (oracle_output, oracle_checksum) =
+        (serial.queries[0].output_total, serial.queries[0].checksum);
     let serial_start = Instant::now();
+    let mut serial_stages = (0.0f64, 0.0f64, 0.0f64);
     for _ in 0..queries {
         let run = run_operator(
             &shared_rt,
@@ -187,6 +213,9 @@ fn main() {
         );
         assert_eq!(run.join.output_total, oracle_output);
         assert_eq!(run.join.checksum, oracle_checksum);
+        serial_stages.0 += run.join.route_secs;
+        serial_stages.1 += run.join.merge_secs;
+        serial_stages.2 += run.join.sweep_secs;
     }
     let serial_makespan = serial_start.elapsed().as_secs_f64();
 
@@ -198,11 +227,11 @@ fn main() {
     for (label, outcome) in [("shared", &shared), ("spawn", &spawn)] {
         for (i, q) in outcome.queries.iter().enumerate() {
             assert_eq!(
-                q.0, oracle_output,
+                q.output_total, oracle_output,
                 "{label}: query {i} output drifted under concurrency"
             );
             assert_eq!(
-                q.1, oracle_checksum,
+                q.checksum, oracle_checksum,
                 "{label}: query {i} checksum drifted under concurrency"
             );
         }
@@ -213,8 +242,17 @@ fn main() {
     assert_eq!(healthy_run.join.output_total, oracle_output);
 
     let stolen = after.tasks_stolen - before.tasks_stolen;
-    let admission_wait: f64 = shared.queries.iter().map(|q| q.3).sum();
-    let rows = vec![
+    let admission_wait: f64 = shared.queries.iter().map(|q| q.admission_wait_secs).sum();
+    let shared_stages = shared.stage_sums();
+    let spawn_stages = spawn.stage_sums();
+    let stage_cols = |(route, merge, sweep): (f64, f64, f64)| {
+        vec![
+            format!("{route:.4}"),
+            format!("{merge:.4}"),
+            format!("{sweep:.4}"),
+        ]
+    };
+    let mut rows = vec![
         vec![
             "serial".into(),
             format!("{queries}x1"),
@@ -240,6 +278,9 @@ fn main() {
             "-".into(),
         ],
     ];
+    rows[0].extend(stage_cols(serial_stages));
+    rows[1].extend(stage_cols(shared_stages));
+    rows[2].extend(stage_cols(spawn_stages));
     print_table(
         &format!(
             "concurrent_queries (retail hot-key, scale {}, {} queries, {}-worker pool)",
@@ -252,6 +293,9 @@ fn main() {
             "makespan_s",
             "tasks_stolen",
             "admission_wait_s",
+            "route_s",
+            "merge_s",
+            "sweep_s",
         ],
         &rows,
     );
@@ -275,8 +319,13 @@ fn main() {
     );
 
     let speedup = spawn.makespan_secs / shared.makespan_secs.max(1e-9);
+    let stage_json = |(route, merge, sweep): (f64, f64, f64)| {
+        format!(
+            "{{\"route_secs\": {route:.6}, \"merge_secs\": {merge:.6}, \"sweep_secs\": {sweep:.6}}}"
+        )
+    };
     let json = format!(
-        "{{\n  \"bench\": \"concurrent_queries\",\n  \"workload\": \"{}\",\n  \"scale\": {},\n  \"queries\": {},\n  \"workers\": {},\n  \"output_total\": {},\n  \"checksum\": {},\n  \"serial_makespan_secs\": {:.6},\n  \"shared_makespan_secs\": {:.6},\n  \"spawn_per_query_makespan_secs\": {:.6},\n  \"shared_vs_spawn_speedup\": {:.4},\n  \"tasks_stolen\": {},\n  \"admission_wait_secs\": {:.6},\n  \"pool_utilization\": {:.4},\n  \"straggler_query_migrations\": {},\n  \"healthy_query_migrations\": {}\n}}\n",
+        "{{\n  \"bench\": \"concurrent_queries\",\n  \"workload\": \"{}\",\n  \"scale\": {},\n  \"queries\": {},\n  \"workers\": {},\n  \"output_total\": {},\n  \"checksum\": {},\n  \"serial_makespan_secs\": {:.6},\n  \"shared_makespan_secs\": {:.6},\n  \"spawn_per_query_makespan_secs\": {:.6},\n  \"shared_vs_spawn_speedup\": {:.4},\n  \"tasks_stolen\": {},\n  \"admission_wait_secs\": {:.6},\n  \"serial_stage_secs\": {},\n  \"shared_stage_secs\": {},\n  \"spawn_per_query_stage_secs\": {},\n  \"pool_utilization\": {:.4},\n  \"straggler_query_migrations\": {},\n  \"healthy_query_migrations\": {}\n}}\n",
         json_escape(&w.name),
         rc.scale,
         queries,
@@ -289,6 +338,9 @@ fn main() {
         speedup,
         stolen,
         admission_wait,
+        stage_json(serial_stages),
+        stage_json(shared_stages),
+        stage_json(spawn_stages),
         after.utilization(),
         slow_run.join.regions_migrated,
         healthy_run.join.regions_migrated,

@@ -138,6 +138,9 @@ fn main() {
                 format!("{:.4}", s.stats_wall_secs),
                 format!("{:.4}", s.join.wall_join_secs),
                 format!("{:.4}", s.join.backpressure_secs),
+                format!("{:.4}", s.join.route_secs),
+                format!("{:.4}", s.join.merge_secs),
+                format!("{:.4}", s.join.sweep_secs),
             ]);
         }
     }
@@ -154,6 +157,9 @@ fn main() {
             "stats_wall_s",
             "join_wall_s",
             "backpressure_s",
+            "route_s",
+            "merge_s",
+            "sweep_s",
         ],
         &stage_rows,
     );
@@ -175,7 +181,7 @@ fn main() {
             .iter()
             .map(|s| {
                 format!(
-                    "{{\"scheme\": \"{}\", \"regions\": {}, \"output\": {}, \"stats_sample\": {}, \"stats_cutoff_seen\": {}, \"stats_wall_secs\": {:.6}, \"join_wall_secs\": {:.6}}}",
+                    "{{\"scheme\": \"{}\", \"regions\": {}, \"output\": {}, \"stats_sample\": {}, \"stats_cutoff_seen\": {}, \"stats_wall_secs\": {:.6}, \"join_wall_secs\": {:.6}, \"route_secs\": {:.6}, \"merge_secs\": {:.6}, \"sweep_secs\": {:.6}}}",
                     s.kind,
                     s.num_regions,
                     s.join.output_total,
@@ -183,6 +189,9 @@ fn main() {
                     s.cutoff_seen,
                     s.stats_wall_secs,
                     s.join.wall_join_secs,
+                    s.join.route_secs,
+                    s.join.merge_secs,
+                    s.join.sweep_secs,
                 )
             })
             .collect();

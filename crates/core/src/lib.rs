@@ -21,6 +21,7 @@
 
 mod batch;
 mod cost;
+mod frame;
 pub mod histogram;
 mod join;
 mod matrix;
@@ -31,6 +32,7 @@ mod types;
 
 pub use batch::ColumnBatch;
 pub use cost::CostModel;
+pub use frame::{encode_frame, Frame, FrameDecoder, FrameError, MAX_FRAME_BODY};
 pub use histogram::HistogramParams;
 pub use join::{IneqOp, JoinCondition};
 pub use matrix::JoinMatrix;

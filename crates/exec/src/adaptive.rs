@@ -51,6 +51,12 @@ pub struct AdaptiveConfig {
     /// Engine only: cap on run-time region migrations per execution (each
     /// region migrates at most once regardless).
     pub max_migrations: usize,
+    /// Engine only, used with per-link profiles: the reducer drain rate
+    /// that converts a tuple backlog into seconds, so the migration gate
+    /// can compare backlog relief against the shipping time over the
+    /// target's actual link (`LinkProfile::ship_secs`). Ignored without
+    /// links configured.
+    pub drain_tuples_per_sec: f64,
 }
 
 impl Default for AdaptiveConfig {
@@ -65,6 +71,10 @@ impl Default for AdaptiveConfig {
             migrate_backlog_tuples: 2048,
             poll_micros: 200,
             max_migrations: usize::MAX,
+            // A sort-merge reducer absorbs on the order of ten million
+            // tuples a second on one core; the gate only needs the right
+            // order of magnitude (both sides scale with it).
+            drain_tuples_per_sec: 1e7,
         }
     }
 }

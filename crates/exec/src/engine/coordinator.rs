@@ -40,6 +40,7 @@
 //! immediately ([`CoordinatorStep::Busy`]).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ewh_core::RoutingTable;
@@ -48,16 +49,24 @@ use crate::adaptive::AdaptiveConfig;
 
 use super::board::ProgressBoard;
 use super::mapper::broadcast;
-use super::queue::{BoundedQueue, Delivery};
+use super::port::DeliveryPort;
+use super::queue::Delivery;
 use super::runtime::{TaskCx, WakeSet};
+use super::transport::LinkProfile;
 
 /// Everything the coordinator task reads and writes, shared by reference
 /// across the engine's pool tasks.
 pub struct CoordinatorShared<'a> {
-    pub queues: &'a [BoundedQueue],
+    pub queues: &'a [Arc<DeliveryPort>],
     pub table: &'a RoutingTable,
     pub board: &'a ProgressBoard,
     pub adaptive: &'a AdaptiveConfig,
+    /// Per-reducer *inbound* link profiles. When present, the move-cost
+    /// gate prices a migration in seconds over the target's actual link
+    /// instead of the flat per-tuple factor — the Bala-Join tradeoff: the
+    /// same backlog migrates over a fat loopback link and stays put behind
+    /// a thin one.
+    pub links: Option<&'a [LinkProfile]>,
     /// Unrouted `R1` morsels; migrations only start at zero (regions must be
     /// sealable before their build state can ship).
     pub r1_remaining: &'a AtomicUsize,
@@ -264,13 +273,33 @@ fn try_migrate(sh: &CoordinatorShared<'_>, migrated: &mut [bool], starved_polls:
     // re-read cost of whatever the region has spilled to disk, which the
     // adopting reducer will have to reload: without that charge, budget
     // pressure would make the coordinator thrash exactly the regions that
-    // are already paying for their size. Waived under persistent
-    // starvation (see [`PERSIST_POLLS`]); conversely even a profitable
-    // move needs a little history ([`MIN_PERSIST_POLLS`]).
-    let ship_cost = (sh.board.build_tuples(region) + sh.board.spilled_tuples(region)) as f64
-        * sh.adaptive.move_cost_factor;
-    let profitable = (backlog as f64) > ship_cost;
-    let fire = starved_polls >= PERSIST_POLLS || (profitable && starved_polls >= MIN_PERSIST_POLLS);
+    // are already paying for their size.
+    let ship_tuples = sh.board.build_tuples(region) + sh.board.spilled_tuples(region);
+    let fire = match sh.links {
+        // Communication-aware gate: both sides of the comparison in
+        // seconds. The relief is the backlog drained at the configured
+        // rate; the cost is shipping the sealed state over the *target's*
+        // inbound link (bandwidth + handshake RTT), scaled by the same
+        // `move_cost_factor` safety margin. The persistent-starvation
+        // waiver is deliberately disabled here: over a thin link a move
+        // stays unprofitable no matter how long the backlog persists —
+        // waiting it out locally is the whole point of the tradeoff.
+        Some(links) => {
+            let backlog_secs = backlog as f64 / sh.adaptive.drain_tuples_per_sec.max(1.0);
+            let ship_secs = links[target].ship_secs(ship_tuples);
+            let profitable = backlog_secs > ship_secs * sh.adaptive.move_cost_factor;
+            profitable && starved_polls >= MIN_PERSIST_POLLS
+        }
+        // Flat tuple-count gate, waived under persistent starvation (see
+        // [`PERSIST_POLLS`]): a queue-capacity-bounded backlog snapshot
+        // systematically undervalues a persistent straggler. Conversely
+        // even a profitable move needs a little history
+        // ([`MIN_PERSIST_POLLS`]).
+        None => {
+            let profitable = (backlog as f64) > ship_tuples as f64 * sh.adaptive.move_cost_factor;
+            starved_polls >= PERSIST_POLLS || (profitable && starved_polls >= MIN_PERSIST_POLLS)
+        }
+    };
     if !fire {
         return Decision::Starved;
     }

@@ -46,6 +46,7 @@
 //! task is never re-polled, so cancellation must *wake* it to be observed.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
@@ -55,7 +56,8 @@ use ewh_core::{ColumnBatch, Key, Rel, RouteBatch, RouteScatter, Router, RoutingT
 
 use super::exchange::{Exchange, TryPop};
 use super::morsel::{Claim, MemGauge, MorselPlan};
-use super::queue::{BoundedQueue, Delivery, RegionBatch};
+use super::port::DeliveryPort;
+use super::queue::{Delivery, RegionBatch};
 use super::runtime::{CancelToken, Poll, TaskCx, WakeSet, Waker};
 
 /// The engine's distributed end-of-input detector, shared by every mapper
@@ -107,7 +109,7 @@ impl<'a> SealState<'a> {
     /// Broadcasts `SealAll` once the whole input — scan morsels and, if the
     /// probe streams, the closed exchange — has been routed. Safe to call
     /// from any task at any time; deduplicated internally.
-    pub fn maybe_seal_all(&self, queues: &[BoundedQueue]) {
+    pub fn maybe_seal_all(&self, queues: &[Arc<DeliveryPort>]) {
         if self.scan_remaining.load(Ordering::Acquire) != 0 {
             return;
         }
@@ -135,7 +137,7 @@ pub struct MapperShared<'a> {
     pub router: &'a Router,
     /// Region id → owning reducer, re-read per fragment (see module docs).
     pub table: &'a RoutingTable,
-    pub queues: &'a [BoundedQueue],
+    pub queues: &'a [Arc<DeliveryPort>],
     /// End-of-input tracking for both seals.
     pub seal: &'a SealState<'a>,
     pub gauge: &'a MemGauge,
@@ -473,7 +475,7 @@ impl InFlightUnit {
 
 /// Pushes one control message to every reducer queue (bypassing the bound —
 /// control must never deadlock behind a full queue).
-pub fn broadcast(queues: &[BoundedQueue], mut make: impl FnMut() -> Delivery) {
+pub fn broadcast(queues: &[Arc<DeliveryPort>], mut make: impl FnMut() -> Delivery) {
     for q in queues {
         q.push_unbounded(make());
     }

@@ -52,10 +52,12 @@ mod exchange;
 mod mapper;
 mod morsel;
 mod pool;
+mod port;
 mod queue;
 mod reducer;
 mod runtime;
 mod spill;
+mod transport;
 
 pub use board::ProgressBoard;
 pub use exchange::{
@@ -64,6 +66,7 @@ pub use exchange::{
 };
 pub use morsel::{Claim, MemGauge, Morsel, MorselPlan, Source};
 pub use pool::BatchPool;
+pub use port::{BatchPort, DeliveryPort, FragmentPort, PortPop};
 pub use queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
 pub use reducer::{merge_sorted_runs, merge_sorted_runs_pairwise, RegionResult};
 pub use runtime::{
@@ -71,9 +74,13 @@ pub use runtime::{
     TaskCx, TaskGroup, WakeSet, Waker,
 };
 pub use spill::{SpillConfig, SpillContext, SpillRun};
+pub use transport::{
+    LinkProfile, RemoteExchangeReceiver, RemoteExchangeSender, RemoteQueue, TransportConfig,
+    TransportFailure, TransportKind,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ewh_core::{ColumnBatch, JoinCondition, Router, RoutingTable, Tuple};
@@ -117,6 +124,12 @@ pub struct EngineConfig {
     pub adaptive: AdaptiveConfig,
     /// Optional injected straggler (see [`Straggler`]).
     pub straggler: Option<Straggler>,
+    /// Carry mapper→reducer deliveries over a framed byte-stream transport
+    /// (loopback pipes or localhost TCP) instead of in-process queues:
+    /// the full distributed data plane — encode, credit flow control,
+    /// incremental decode — behind the same [`FragmentPort`] contract.
+    /// `None`: plain in-process [`BoundedQueue`]s.
+    pub transport: Option<TransportConfig>,
 }
 
 impl EngineConfig {
@@ -142,6 +155,7 @@ impl EngineConfig {
             work: OutputWork::Touch,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            transport: None,
         }
     }
 }
@@ -190,6 +204,9 @@ pub struct EngineOutcome {
     pub spill_secs: f64,
     /// Wall time spent reading spill runs back for replay.
     pub reload_secs: f64,
+    /// Bytes the transport's data writers put on the wire (frame headers
+    /// included); zero for in-process queues.
+    pub wire_bytes: u64,
     /// True when the run was cancelled. Per-region join tallies are zeroed
     /// (reducer state is discarded), but morsel/network counters and the
     /// migration fields above are preserved: they describe real work done —
@@ -242,6 +259,10 @@ pub struct EngineIo<'a> {
     /// Per-query spill file manager; required whenever `budget_tuples` is
     /// set (and harmlessly ignored without it).
     pub spill: Option<&'a SpillContext>,
+    /// Per-reducer inbound [`LinkProfile`]s for the migration
+    /// coordinator's communication-aware move-cost gate. `None`: the flat
+    /// per-tuple gate.
+    pub links: Option<&'a [LinkProfile]>,
 }
 
 /// Runs one pipelined join execution over two in-memory relations — the
@@ -285,6 +306,7 @@ pub fn run_pipelined(
             cancel,
             budget_tuples: None,
             spill: None,
+            links: None,
         },
         cfg,
     )
@@ -312,9 +334,26 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
     debug_assert!(table.snapshot().iter().all(|&q| (q as usize) < reducers));
 
     let start = Instant::now();
-    let queues: Vec<BoundedQueue> = (0..reducers)
-        .map(|_| BoundedQueue::new(cfg.queue_tuples))
-        .collect();
+    // With a transport configured every delivery queue becomes a framed
+    // byte-stream link (same FragmentPort contract, credit-based window in
+    // place of the shared counter). One failure latch is shared by every
+    // link of the run; a watcher task below converts a trip into a
+    // cooperative cancellation.
+    let transport_failure = cfg.transport.as_ref().map(|_| TransportFailure::new());
+    let mut remote_queues: Vec<Arc<RemoteQueue>> = Vec::new();
+    let queues: Vec<Arc<port::DeliveryPort>> = match (&cfg.transport, &transport_failure) {
+        (Some(tcfg), Some(latch)) => (0..reducers)
+            .map(|_| {
+                let q = RemoteQueue::spawn(tcfg, cfg.queue_tuples, latch.clone())
+                    .expect("transport link setup failed");
+                remote_queues.push(q.clone());
+                q as Arc<port::DeliveryPort>
+            })
+            .collect(),
+        _ => (0..reducers)
+            .map(|_| Arc::new(BoundedQueue::new(cfg.queue_tuples)) as Arc<port::DeliveryPort>)
+            .collect(),
+    };
     let local_gauge = MemGauge::default();
     let gauge = io.gauge.unwrap_or(&local_gauge);
     let board = ProgressBoard::new(reducers, n_regions);
@@ -395,6 +434,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         table,
         board: &board,
         adaptive: &cfg.adaptive,
+        links: io.links,
         r1_remaining: &seal.r1_remaining,
         mappers_done: &mappers_done,
         abort: &abort,
@@ -423,6 +463,36 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
     let tally_slot: Mutex<Option<MigrationTally>> = Mutex::new(None);
 
     rt.scope(|s| {
+        // The transport's I/O threads are 'static and cannot borrow the
+        // run's cancel token; this scoped watcher bridges the gap. It
+        // parks on the failure latch and, on a trip, cancels the query,
+        // flags the abort (so a coordinator waiting out `in_flight` —
+        // which discarded deliveries can never drain — exits), and aborts
+        // every reducer in-band. The orchestrator releases the latch after
+        // the coordinator so a clean run parks here exactly once.
+        if let Some(latch) = &transport_failure {
+            let latch = latch.clone();
+            let queues = &queues;
+            let abort = &abort;
+            let quiesce = &quiesce;
+            s.spawn(move |cx| {
+                if latch.failed() {
+                    cancel.cancel();
+                    abort.store(true, Ordering::Release);
+                    broadcast(queues, || Delivery::Abort);
+                    quiesce.wake_all();
+                    return Poll::Ready;
+                }
+                if latch.released() {
+                    return Poll::Ready;
+                }
+                if latch.park(cx.waker()) {
+                    Poll::Pending
+                } else {
+                    Poll::Yielded
+                }
+            });
+        }
         for (q, regions) in owned.iter().enumerate() {
             let mut task = ReducerTask::new(&reducer_shared, q, regions);
             let slot = &outcome_slots[q];
@@ -468,6 +538,12 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         }
         quiesce.wake_all();
         coordinator_group.wait();
+        // A clean run parks the transport watcher forever; let it exit.
+        // (A trip that races this release still aborted the reducers via
+        // the in-band injection on the failed link.)
+        if let Some(latch) = &transport_failure {
+            latch.release();
+        }
         if broken {
             broadcast(&queues, || Delivery::Abort);
         }
@@ -508,6 +584,7 @@ pub fn run_pipelined_io(rt: &EngineRuntime, io: EngineIo<'_>, cfg: &EngineConfig
         spill_bytes: 0,
         spill_secs: 0.0,
         reload_secs: 0.0,
+        wire_bytes: remote_queues.iter().map(|q| q.wire_bytes()).sum(),
         cancelled,
     };
     if let (Some(ctx), Some((b0, s0, r0))) = (io.spill, spill_start) {
@@ -594,6 +671,7 @@ mod tests {
             work: OutputWork::Touch,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            transport: None,
         };
         run_pipelined(&test_rt(), r1, r2, router, cond, &table, &plan, &cfg, None)
     }
@@ -703,6 +781,7 @@ mod tests {
             work: OutputWork::Touch,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            transport: None,
         };
         let cancel = CancelToken::new();
         cancel.cancel();
@@ -761,6 +840,7 @@ mod tests {
             work: OutputWork::Touch,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            transport: None,
         };
         let rt = test_rt();
         for pre_claimed in [1usize, 4, 6] {
@@ -823,6 +903,7 @@ mod tests {
                 reducer: 0,
                 nanos_per_tuple: 20_000,
             }),
+            transport: None,
         };
         let out = run_pipelined(
             &test_rt(),
@@ -901,6 +982,7 @@ mod tests {
                     cancel: None,
                     budget_tuples: None,
                     spill: None,
+                    links: None,
                 },
                 cfg,
             )
@@ -944,6 +1026,7 @@ mod tests {
             work: OutputWork::Touch,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            transport: None,
         };
         for batch in [1usize, 97, 4096] {
             let out = run_exchange_fed(
@@ -987,6 +1070,7 @@ mod tests {
                 reducer: 0,
                 nanos_per_tuple: 10_000,
             }),
+            transport: None,
         };
         let out = run_exchange_fed(
             &r1,
@@ -1027,6 +1111,7 @@ mod tests {
             work: OutputWork::Touch,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            transport: None,
         };
         let rt = test_rt();
         let out = thread::scope(|s| {
@@ -1052,6 +1137,7 @@ mod tests {
                     cancel: Some(&cancel),
                     budget_tuples: None,
                     spill: None,
+                    links: None,
                 },
                 &cfg,
             )
@@ -1074,6 +1160,7 @@ mod tests {
             work: OutputWork::Touch,
             adaptive: AdaptiveConfig::default(),
             straggler: None,
+            transport: None,
         };
         let out = run_exchange_fed(
             &r1,
@@ -1112,6 +1199,7 @@ mod tests {
                 ..Default::default()
             },
             straggler: None,
+            transport: None,
         };
         let out = run_pipelined(
             &test_rt(),

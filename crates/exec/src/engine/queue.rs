@@ -145,6 +145,12 @@ fn weight(item: &Delivery) -> usize {
     }
 }
 
+/// The backpressure weight of one delivery — exposed so the transport
+/// layer's credit gate charges exactly what the in-process queue would.
+pub(crate) fn delivery_weight(item: &Delivery) -> usize {
+    weight(item)
+}
+
 impl BoundedQueue {
     pub fn new(capacity_tuples: usize) -> Self {
         BoundedQueue {

@@ -57,6 +57,7 @@
 use std::collections::VecDeque;
 use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ewh_core::{ColumnBatch, JoinCondition, Key, KeyRange, Rel, RoutingTable};
@@ -67,7 +68,8 @@ use super::board::ProgressBoard;
 use super::exchange::StageSink;
 use super::morsel::MemGauge;
 use super::pool::BatchPool;
-use super::queue::{BoundedQueue, Delivery, MigratedRegion, RegionBatch};
+use super::port::{DeliveryPort, PortPop};
+use super::queue::{Delivery, MigratedRegion, RegionBatch};
 use super::runtime::{CancelToken, TaskCx, WakeSet, Waker};
 use super::spill::{SpillContext, SpillRun};
 use super::Straggler;
@@ -142,7 +144,7 @@ pub enum ReducerStep {
 
 /// State shared (by reference) between all reducer tasks of one run.
 pub struct ReducerShared<'a> {
-    pub queues: &'a [BoundedQueue],
+    pub queues: &'a [Arc<DeliveryPort>],
     pub table: &'a RoutingTable,
     pub board: &'a ProgressBoard,
     pub gauge: &'a MemGauge,
@@ -257,7 +259,7 @@ impl<'a> ReducerTask<'a> {
                 // reaches the mappers through our queue. The waker is on
                 // the exchange's producer list; its consumer (or its
                 // abandonment at cancel) wakes us.
-                break self.park(queue, processed);
+                break self.park(queue.as_ref(), processed);
             }
             if let Some(results) = self.finished.take() {
                 // Terminal already processed; the outbox just drained.
@@ -266,8 +268,13 @@ impl<'a> ReducerTask<'a> {
             if processed >= DELIVERIES_PER_POLL {
                 break ReducerStep::Working;
             }
-            let Some(delivery) = queue.try_pop_or_park(cx.waker()) else {
-                break self.park(queue, processed);
+            let delivery = match queue.try_pop_or_park(cx.waker()) {
+                PortPop::Item(d) => d,
+                PortPop::Empty => break self.park(queue.as_ref(), processed),
+                // A remote link that died mid-stream closes its port; the
+                // transport has already cancelled the query, so tear down
+                // exactly like an in-band abort.
+                PortPop::Closed => Delivery::Abort,
             };
             self.unpark();
             processed += 1;
@@ -306,7 +313,7 @@ impl<'a> ReducerTask<'a> {
     /// Parks the task: publish the idle heartbeat (the migration
     /// coordinator treats an idle reducer as a migration target) and start
     /// the idle clock.
-    fn park(&mut self, queue: &BoundedQueue, processed: usize) -> ReducerStep {
+    fn park(&mut self, queue: &DeliveryPort, processed: usize) -> ReducerStep {
         self.sh.board.set_idle(
             self.me,
             queue.used_tuples() == 0 && self.outbox.is_empty() && self.spilled_outbox.is_empty(),

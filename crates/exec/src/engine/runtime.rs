@@ -1085,12 +1085,28 @@ impl QueryTicket<'_> {
     pub fn spill_dir(&self, base: Option<&Path>) -> &Path {
         self.spill_dir.get_or_init(|| {
             static SEQ: AtomicU64 = AtomicU64::new(0);
+            // A pid alone is not unique across time: a worker process that
+            // fork-spawns after a sibling died can recycle its pid while
+            // the dead sibling's spill directory still exists (or worse,
+            // while a survivor still reads from it). The startup nonce —
+            // wall-clock nanos mixed with ASLR entropy, fixed once per
+            // process — keeps directory names distinct across pid reuse.
+            static NONCE: OnceLock<u64> = OnceLock::new();
+            let nonce = *NONCE.get_or_init(|| {
+                let clock = std::time::SystemTime::now()
+                    .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0);
+                let aslr = &NONCE as *const _ as u64;
+                clock ^ aslr.rotate_left(32)
+            });
             let base = base
                 .map(Path::to_path_buf)
                 .unwrap_or_else(std::env::temp_dir);
             base.join(format!(
-                "ewh-spill-{}-{}",
+                "ewh-spill-{}-{:016x}-{}",
                 std::process::id(),
+                nonce,
                 SEQ.fetch_add(1, Ordering::Relaxed)
             ))
         })

@@ -82,6 +82,25 @@ impl SpillRun {
     pub fn key_range(&self) -> &KeyRange {
         &self.key_range
     }
+
+    /// The run's file path. Exposed for the transport layer, which ships
+    /// descriptors (not file contents) with migrated regions — valid only
+    /// while both endpoints share the query's spill directory.
+    pub(crate) fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Rebuilds a descriptor from its wire-serialized parts (see
+    /// `transport`'s `Adopt` codec). The file itself must already exist at
+    /// `path`; [`SpillContext::read_run_into`] re-validates the length
+    /// prefix against `tuples` on reload.
+    pub(crate) fn from_parts(path: PathBuf, tuples: u64, key_range: KeyRange) -> Self {
+        SpillRun {
+            path,
+            tuples,
+            key_range,
+        }
+    }
 }
 
 /// Per-query spill state shared by reference across all of the query's

@@ -59,9 +59,10 @@ mod shuffle;
 pub use adaptive::{simulate as simulate_adaptive, AdaptiveConfig, AdaptiveOutcome, TaskSpec};
 pub use engine::{
     merge_sorted_runs, merge_sorted_runs_pairwise, BatchPool, EngineConfig, EngineIo,
-    EngineOutcome, EngineRuntime, Exchange, MemGauge, Morsel, MorselPlan, OnlineStats,
-    ProgressBoard, QueryTicket, RuntimeConfig, RuntimeMetrics, Source, SpillConfig, SpillContext,
-    SpillRun, StageSink, Straggler,
+    EngineOutcome, EngineRuntime, Exchange, FragmentPort, LinkProfile, MemGauge, Morsel,
+    MorselPlan, OnlineStats, PortPop, ProgressBoard, QueryTicket, RemoteExchangeReceiver,
+    RemoteExchangeSender, RemoteQueue, RuntimeConfig, RuntimeMetrics, Source, SpillConfig,
+    SpillContext, SpillRun, StageSink, Straggler, TransportConfig, TransportFailure, TransportKind,
 };
 pub use local_join::{
     local_join, output_tuple, pair_payload, sweep_columns, sweep_columns_each, sweep_sorted,

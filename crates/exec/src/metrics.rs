@@ -82,6 +82,10 @@ pub struct JoinStats {
     pub spill_secs: f64,
     /// Wall time spent reading spill runs back for replay.
     pub reload_secs: f64,
+    /// Bytes the framed transport's data writers put on the wire, frame
+    /// headers included (0 for in-process queues and under batch
+    /// execution).
+    pub wire_bytes: u64,
 }
 
 /// Adds `src` elementwise into `dst`, growing `dst` as needed.
@@ -132,6 +136,7 @@ impl JoinStats {
         self.spill_bytes += other.spill_bytes;
         self.spill_secs += other.spill_secs;
         self.reload_secs += other.reload_secs;
+        self.wire_bytes += other.wire_bytes;
     }
 
     /// Summed reducer idle time across tasks (0 under batch execution).

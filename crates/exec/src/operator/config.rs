@@ -3,7 +3,7 @@
 use ewh_core::{CostModel, CsiParams, HashParams, HistogramParams};
 
 use crate::adaptive::AdaptiveConfig;
-use crate::engine::{EngineConfig, SpillConfig, Straggler};
+use crate::engine::{EngineConfig, LinkProfile, SpillConfig, Straggler, TransportConfig};
 use crate::OutputWork;
 
 /// How the operator executes the shuffle + local joins.
@@ -94,6 +94,18 @@ pub struct OperatorConfig {
     /// admission control ([`crate::RuntimeConfig::memory_budget_tuples`])
     /// is enforced instead; with neither, queries never spill.
     pub spill: SpillConfig,
+    /// Run the pipelined engine's mapper → reducer deliveries over the
+    /// framed byte-stream transport (in-process loopback pipes or real
+    /// localhost TCP sockets) instead of shared-memory queues — the same
+    /// `FragmentPort` contract, with a credit window in place of the shared
+    /// tuple counter. `None` keeps the in-process queues.
+    pub transport: Option<TransportConfig>,
+    /// Per-reducer inbound [`LinkProfile`]s for the migration coordinator's
+    /// communication-aware move-cost gate: a move is charged the time to
+    /// ship the region's sealed state over the *target's* actual link.
+    /// Must cover the engine's reducer-task count (`threads` is always a
+    /// safe length); `None` keeps the flat per-tuple gate.
+    pub links: Option<Vec<LinkProfile>>,
 }
 
 impl Default for OperatorConfig {
@@ -124,6 +136,8 @@ impl Default for OperatorConfig {
             adaptive: AdaptiveConfig::default(),
             straggler: None,
             spill: SpillConfig::default(),
+            transport: None,
+            links: None,
         }
     }
 }

@@ -252,6 +252,7 @@ pub fn stats_from_outcome(
         spill_bytes: out.spill_bytes,
         spill_secs: out.spill_secs,
         reload_secs: out.reload_secs,
+        wire_bytes: out.wire_bytes,
         ..Default::default()
     };
     stats.compute_max_weight(&cfg.cost);
@@ -280,6 +281,7 @@ pub(crate) fn engine_setup(
     engine_cfg.reducers = engine_cfg.reducers.min(n_regions.max(1));
     engine_cfg.adaptive = cfg.adaptive;
     engine_cfg.straggler = cfg.straggler;
+    engine_cfg.transport = cfg.transport;
     let weights: Vec<u64> = scheme
         .regions
         .iter()
@@ -315,6 +317,14 @@ pub fn execute_join_pipelined(
 ) -> JoinStats {
     debug_assert_eq!(region_to_worker.len(), scheme.num_regions());
     let (engine_cfg, table) = engine_setup(scheme, cfg);
+    if let Some(links) = &cfg.links {
+        assert!(
+            links.len() >= engine_cfg.reducers,
+            "links must cover every reducer task: {} < {}",
+            links.len(),
+            engine_cfg.reducers
+        );
+    }
 
     // One transpose per side; the engine routes, sorts, and sweeps columns.
     let r1 = ColumnBatch::from_tuples(r1);
@@ -334,6 +344,7 @@ pub fn execute_join_pipelined(
             cancel: None,
             budget_tuples,
             spill,
+            links: cfg.links.as_deref(),
         },
         &engine_cfg,
     );
@@ -344,6 +355,12 @@ pub fn execute_join_pipelined(
         if let Some(msg) = ctx.take_failure() {
             panic!("query cancelled by spill failure: {msg}");
         }
+    }
+    // A transport link failure (corrupt frame, dead socket) tears the run
+    // down cooperatively the same way; re-raise it here so callers see one
+    // surface for both I/O failure classes.
+    if out.cancelled && cfg.transport.is_some() {
+        panic!("query cancelled by transport failure");
     }
     debug_assert!(!out.cancelled, "operator-level runs are never cancelled");
     stats_from_outcome(&out, region_to_worker, cfg)

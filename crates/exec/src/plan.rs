@@ -194,6 +194,7 @@ fn run_stage(
             cancel: None,
             budget_tuples,
             spill,
+            links: None,
         },
         &engine_cfg,
     );

@@ -305,3 +305,61 @@ fn spill_write_fault_cancels_query_and_pool_survives() {
     assert_no_leftover_spill(&base_dir);
     let _ = std::fs::remove_dir_all(&base_dir);
 }
+
+/// The spill-directory naming contract: every ticket's directory is a
+/// distinct child of the base named `ewh-spill-<pid>-<16-hex nonce>-<seq>`.
+/// The pid and nonce are fixed per process (the nonce guards against pid
+/// reuse across worker restarts sharing one temp dir); the sequence makes
+/// concurrent same-process queries collision-free by construction — no
+/// two tickets may ever agree on a directory, even across runtimes.
+#[test]
+fn spill_dirs_are_nonce_unique_per_ticket() {
+    let base_dir = spill_base("nonce");
+    let rt_a = EngineRuntime::new(2);
+    let rt_b = EngineRuntime::new(2);
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            if i % 2 == 0 {
+                rt_a.admit(None)
+            } else {
+                rt_b.admit(None)
+            }
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let pid = std::process::id().to_string();
+    let mut nonces = std::collections::HashSet::new();
+    for t in &tickets {
+        let dir = t.spill_dir(Some(&base_dir)).to_path_buf();
+        // Idempotent: the name is fixed on first call.
+        assert_eq!(dir, t.spill_dir(Some(&base_dir)));
+        assert_eq!(dir.parent(), Some(base_dir.as_path()));
+        let name = dir.file_name().unwrap().to_str().unwrap().to_string();
+        let rest = name
+            .strip_prefix("ewh-spill-")
+            .unwrap_or_else(|| panic!("unexpected spill dir name: {name}"));
+        let mut parts = rest.splitn(3, '-');
+        assert_eq!(parts.next(), Some(pid.as_str()), "pid component: {name}");
+        let nonce = parts.next().expect("nonce component");
+        assert_eq!(nonce.len(), 16, "nonce must be 16 hex digits: {name}");
+        assert!(nonce.chars().all(|c| c.is_ascii_hexdigit()), "{name}");
+        nonces.insert(nonce.to_string());
+        let seq = parts.next().expect("sequence component");
+        seq.parse::<u64>()
+            .unwrap_or_else(|_| panic!("sequence component: {name}"));
+        assert!(
+            seen.insert(dir),
+            "two tickets agreed on a spill dir: {name}"
+        );
+    }
+    assert_eq!(
+        nonces.len(),
+        1,
+        "the startup nonce is fixed once per process, shared by every runtime"
+    );
+    drop(tickets);
+    // Nothing was spilled, so nothing was created — and ticket drop must
+    // not have invented anything either.
+    assert_no_leftover_spill(&base_dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
